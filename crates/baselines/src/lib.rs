@@ -1,0 +1,280 @@
+//! Search-based bitwidth baselines: the prior art the paper compares
+//! against.
+//!
+//! Stripes \[1\] and its precursor \[3\] assign per-layer bitwidths by
+//! *empirical search*: repeatedly pick a candidate assignment, run the
+//! network on the test set, accept if accuracy holds, tweak and retry.
+//! The paper's critique (§I) is that this is slow — every candidate
+//! costs a full accuracy evaluation — and over-fits the test set. This
+//! crate implements the two baseline flavours the evaluation needs:
+//!
+//! * [`uniform_search`]: the smallest *single* bitwidth shared by every
+//!   layer that meets the accuracy constraint — the paper's fallback
+//!   baseline for networks Stripes never published numbers for.
+//! * [`greedy_search`]: a Stripes-style per-layer descent — start from a
+//!   feasible uniform assignment and repeatedly lower the bitwidth of
+//!   whichever layer still tolerates it. Cost: `O(layers · bits)`
+//!   accuracy evaluations, each a full forward pass over the dataset —
+//!   exactly the expense the analytical method avoids.
+//!
+//! Both return the same [`BitwidthAllocation`] type the analytical
+//! allocator produces, so cost models and experiments treat them
+//! interchangeably. Both also report how many accuracy evaluations they
+//! spent, the currency of the paper's compute-time comparison (§VI-A).
+
+use mupod_core::AccuracyEvaluator;
+use mupod_nn::inventory::LayerInventory;
+use mupod_nn::NodeId;
+use mupod_quant::{BitwidthAllocation, FixedPointFormat, LayerFormat};
+use std::collections::HashMap;
+
+/// Result of a baseline search.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// The found allocation (aligned with the searched layers).
+    pub allocation: BitwidthAllocation,
+    /// The layers the allocation covers, in order.
+    pub layers: Vec<NodeId>,
+    /// Accuracy of the final assignment.
+    pub accuracy: f64,
+    /// Number of full accuracy evaluations spent.
+    pub evaluations: usize,
+}
+
+fn formats_for_bits(
+    layers: &[NodeId],
+    inventory: &LayerInventory,
+    bits: &[u32],
+) -> HashMap<NodeId, FixedPointFormat> {
+    layers
+        .iter()
+        .zip(bits)
+        .map(|(&id, &b)| {
+            let info = inventory.find(id).expect("layer present in inventory");
+            let int_bits = FixedPointFormat::int_bits_for_max_abs(info.max_abs);
+            (id, FixedPointFormat::new(int_bits, b as i32 - int_bits))
+        })
+        .collect()
+}
+
+fn allocation_for_bits(
+    layers: &[NodeId],
+    inventory: &LayerInventory,
+    bits: &[u32],
+) -> BitwidthAllocation {
+    layers
+        .iter()
+        .zip(bits)
+        .map(|(&id, &b)| {
+            let info = inventory.find(id).expect("layer present in inventory");
+            let int_bits = FixedPointFormat::int_bits_for_max_abs(info.max_abs);
+            let fmt = FixedPointFormat::new(int_bits, b as i32 - int_bits);
+            LayerFormat {
+                layer: info.name.clone(),
+                format: fmt,
+                delta: fmt.delta(),
+                max_abs: info.max_abs,
+            }
+        })
+        .collect()
+}
+
+/// Finds the smallest uniform bitwidth in `[1, max_bits]` whose
+/// quantized accuracy meets `target_accuracy`.
+///
+/// Linear descent from the top (the curve is monotone enough in
+/// practice, and a binary search would save at most four evaluations).
+/// Returns the last feasible assignment; if even `max_bits` fails, that
+/// assignment is returned with its measured accuracy so the caller can
+/// see the violation.
+///
+/// # Panics
+///
+/// Panics if `layers` is empty or `max_bits == 0`.
+pub fn uniform_search(
+    evaluator: &AccuracyEvaluator<'_>,
+    inventory: &LayerInventory,
+    layers: &[NodeId],
+    target_accuracy: f64,
+    max_bits: u32,
+) -> BaselineResult {
+    assert!(!layers.is_empty(), "uniform search needs layers");
+    assert!(max_bits > 0, "max_bits must be positive");
+    let mut evaluations = 0usize;
+    let mut best_bits = max_bits;
+    let mut best_acc = {
+        evaluations += 1;
+        let bits = vec![max_bits; layers.len()];
+        evaluator.accuracy_quantized(&formats_for_bits(layers, inventory, &bits))
+    };
+    for b in (1..max_bits).rev() {
+        let bits = vec![b; layers.len()];
+        evaluations += 1;
+        let acc =
+            evaluator.accuracy_quantized(&formats_for_bits(layers, inventory, &bits));
+        if acc >= target_accuracy {
+            best_bits = b;
+            best_acc = acc;
+        } else {
+            break;
+        }
+    }
+    let bits = vec![best_bits; layers.len()];
+    BaselineResult {
+        allocation: allocation_for_bits(layers, inventory, &bits),
+        layers: layers.to_vec(),
+        accuracy: best_acc,
+        evaluations,
+    }
+}
+
+/// Stripes-style greedy per-layer search.
+///
+/// Starting from `start_bits` everywhere (must be feasible, or the
+/// search degenerates to reporting it), repeatedly sweeps the layers in
+/// `rho`-descending order (most expensive layer first), lowering each
+/// layer by one bit whenever the accuracy constraint still holds, until
+/// a full sweep makes no progress.
+///
+/// `rho` weights the sweep order only — the greedy accepts any reduction
+/// — so passing `#Input` or `#MAC` steers which layer gets first claim
+/// on the error budget, mirroring how Stripes prioritized.
+///
+/// # Panics
+///
+/// Panics if lengths mismatch or `layers` is empty.
+pub fn greedy_search(
+    evaluator: &AccuracyEvaluator<'_>,
+    inventory: &LayerInventory,
+    layers: &[NodeId],
+    rho: &[f64],
+    target_accuracy: f64,
+    start_bits: u32,
+) -> BaselineResult {
+    assert!(!layers.is_empty(), "greedy search needs layers");
+    assert_eq!(layers.len(), rho.len(), "layers/rho length mismatch");
+    assert!(start_bits > 0, "start_bits must be positive");
+
+    let mut order: Vec<usize> = (0..layers.len()).collect();
+    order.sort_by(|&a, &b| rho[b].partial_cmp(&rho[a]).expect("finite rho"));
+
+    let mut bits = vec![start_bits; layers.len()];
+    let mut evaluations = 0usize;
+    let mut accuracy = {
+        evaluations += 1;
+        evaluator.accuracy_quantized(&formats_for_bits(layers, inventory, &bits))
+    };
+    loop {
+        let mut improved = false;
+        for &k in &order {
+            if bits[k] == 1 {
+                continue;
+            }
+            bits[k] -= 1;
+            evaluations += 1;
+            let acc =
+                evaluator.accuracy_quantized(&formats_for_bits(layers, inventory, &bits));
+            if acc >= target_accuracy {
+                accuracy = acc;
+                improved = true;
+            } else {
+                bits[k] += 1;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    BaselineResult {
+        allocation: allocation_for_bits(layers, inventory, &bits),
+        layers: layers.to_vec(),
+        accuracy,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mupod_core::AccuracyMode;
+    use mupod_data::{Dataset, DatasetSpec};
+    use mupod_models::{calibrate::calibrate_head, ModelKind, ModelScale};
+    use mupod_nn::Network;
+
+    fn setup() -> (Network, Dataset) {
+        let scale = ModelScale::tiny();
+        let mut net = ModelKind::AlexNet.build(&scale, 171);
+        let spec = DatasetSpec::new(scale.classes, 3, scale.input_hw, scale.input_hw);
+        let data = Dataset::generate(&spec, 172, 32);
+        calibrate_head(&mut net, &data, 0.1).unwrap();
+        (net, data)
+    }
+
+    #[test]
+    fn uniform_search_finds_feasible_minimum() {
+        let (net, data) = setup();
+        let layers = ModelKind::AlexNet.analyzable_layers(&net);
+        let inventory = LayerInventory::measure(&net, data.images().iter().cloned());
+        let ev = AccuracyEvaluator::new(&net, &data, AccuracyMode::FpAgreement);
+        let target = 0.9;
+        let result = uniform_search(&ev, &inventory, &layers, target, 20);
+        assert!(result.accuracy >= target);
+        let bits = result.allocation.bits();
+        assert!(bits.iter().all(|&b| b == bits[0]), "not uniform: {bits:?}");
+        assert!(bits[0] < 20, "search failed to lower anything");
+        assert!(result.evaluations >= 2);
+    }
+
+    #[test]
+    fn greedy_improves_on_uniform() {
+        let (net, data) = setup();
+        let layers = ModelKind::AlexNet.analyzable_layers(&net);
+        let inventory = LayerInventory::measure(&net, data.images().iter().cloned());
+        let ev = AccuracyEvaluator::new(&net, &data, AccuracyMode::FpAgreement);
+        let target = 0.9;
+        let uniform = uniform_search(&ev, &inventory, &layers, target, 20);
+        let rho: Vec<f64> = layers
+            .iter()
+            .map(|&id| inventory.find(id).unwrap().macs as f64)
+            .collect();
+        let greedy = greedy_search(
+            &ev,
+            &inventory,
+            &layers,
+            &rho,
+            target,
+            uniform.allocation.bits()[0],
+        );
+        assert!(greedy.accuracy >= target);
+        let total_uniform: u32 = uniform.allocation.bits().iter().sum();
+        let total_greedy: u32 = greedy.allocation.bits().iter().sum();
+        assert!(
+            total_greedy <= total_uniform,
+            "greedy {total_greedy} worse than uniform {total_uniform}"
+        );
+        // The greedy search burns many more evaluations — the cost the
+        // analytical method eliminates.
+        assert!(greedy.evaluations > uniform.evaluations);
+    }
+
+    #[test]
+    fn greedy_respects_accuracy_floor() {
+        let (net, data) = setup();
+        let layers = ModelKind::AlexNet.analyzable_layers(&net);
+        let inventory = LayerInventory::measure(&net, data.images().iter().cloned());
+        let ev = AccuracyEvaluator::new(&net, &data, AccuracyMode::FpAgreement);
+        let rho = vec![1.0; layers.len()];
+        let result = greedy_search(&ev, &inventory, &layers, &rho, 0.95, 16);
+        assert!(result.accuracy >= 0.95);
+        assert!(result.allocation.bits().iter().all(|&b| b >= 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs layers")]
+    fn uniform_rejects_empty_layers() {
+        let (net, data) = setup();
+        let inventory = LayerInventory::measure(&net, std::iter::empty());
+        let ev = AccuracyEvaluator::new(&net, &data, AccuracyMode::FpAgreement);
+        uniform_search(&ev, &inventory, &[], 0.9, 8);
+    }
+}

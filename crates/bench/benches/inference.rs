@@ -1,0 +1,64 @@
+//! Substrate benchmarks: forward-pass cost of every zoo network and the
+//! im2col-vs-direct convolution ablation.
+//!
+//! These bound everything else — one profiling sweep is
+//! `layers × Δ-points × images` (partial) forward passes, and one
+//! accuracy evaluation is `images` full passes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mupod_bench::setup;
+use mupod_models::ModelKind;
+use mupod_stats::SeededRng;
+use mupod_tensor::conv::{conv2d, conv2d_direct, Conv2dParams};
+use mupod_tensor::Tensor;
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forward");
+    group.sample_size(20);
+    for kind in [
+        ModelKind::AlexNet,
+        ModelKind::Nin,
+        ModelKind::GoogleNet,
+        ModelKind::Vgg19,
+        ModelKind::ResNet50,
+        ModelKind::ResNet152,
+        ModelKind::SqueezeNet,
+        ModelKind::MobileNet,
+    ] {
+        let s = setup(kind, 1);
+        let (img, _) = s.data.sample(0);
+        let img = img.clone();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &s, |b, s| {
+            b.iter(|| s.net.forward(&img))
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv_kernels(c: &mut Criterion) {
+    let mut rng = SeededRng::new(5);
+    let p = Conv2dParams::new(16, 32, 3, 1, 1);
+    let n_in: usize = 16 * 16 * 16;
+    let input = Tensor::from_vec(
+        &[16, 16, 16],
+        (0..n_in).map(|_| rng.gaussian(0.0, 1.0) as f32).collect(),
+    );
+    let n_w: usize = 32 * 16 * 9;
+    let weight = Tensor::from_vec(
+        &[32, 16, 3, 3],
+        (0..n_w).map(|_| rng.gaussian(0.0, 0.1) as f32).collect(),
+    );
+    let bias = vec![0.0f32; 32];
+
+    let mut group = c.benchmark_group("conv2d_16x16x16_to_32");
+    group.bench_function("im2col_gemm", |b| {
+        b.iter(|| conv2d(&input, &weight, Some(&bias), &p))
+    });
+    group.bench_function("direct", |b| {
+        b.iter(|| conv2d_direct(&input, &weight, Some(&bias), &p))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_conv_kernels);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! EXP-TIME / EXP-ABL2 — profiling cost and the suffix-replay ablation.
+//!
+//! The paper's §VI-A claims profiling "takes a few minutes" even on
+//! ResNet-152. The enabling optimization is suffix replay: clean
+//! activations are cached once per image and only the layers downstream
+//! of the injection point re-execute. `profile_suffix` vs `profile_full`
+//! quantifies exactly that design choice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mupod_bench::setup;
+use mupod_core::{ProfileConfig, Profiler};
+use mupod_models::ModelKind;
+
+fn bench_profiling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profiling");
+    group.sample_size(10);
+    for kind in [ModelKind::AlexNet, ModelKind::Nin] {
+        let s = setup(kind, 4);
+        let layers = kind.analyzable_layers(&s.net);
+        let images = s.data.images();
+        for (label, full_replay) in [("suffix", false), ("full", true)] {
+            group.bench_with_input(
+                BenchmarkId::new(label, kind.name()),
+                &full_replay,
+                |b, &full_replay| {
+                    b.iter(|| {
+                        Profiler::new(&s.net, images)
+                            .with_config(ProfileConfig {
+                                n_deltas: 4,
+                                repeats: 1,
+                                full_replay,
+                                ..Default::default()
+                            })
+                            .profile(&layers)
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_profiling_deep(c: &mut Criterion) {
+    // One deep network to show per-layer profiling stays tractable at
+    // 156 layers (the paper's headline case).
+    let mut group = c.benchmark_group("profiling_deep");
+    group.sample_size(10);
+    let s = setup(ModelKind::ResNet152, 2);
+    let layers = ModelKind::ResNet152.analyzable_layers(&s.net);
+    // Profile a stratified subset of layers per iteration to keep the
+    // bench short; cost scales linearly in layers.
+    let subset: Vec<_> = layers.iter().copied().step_by(26).collect();
+    group.bench_function("resnet152_6layers", |b| {
+        b.iter(|| {
+            Profiler::new(&s.net, s.data.images())
+                .with_config(ProfileConfig {
+                    n_deltas: 3,
+                    repeats: 1,
+                    ..Default::default()
+                })
+                .profile(&subset)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_profiling, bench_profiling_deep);
+criterion_main!(benches);

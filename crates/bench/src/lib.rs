@@ -1,0 +1,31 @@
+//! Shared setup for the Criterion benchmarks.
+//!
+//! The benchmarks quantify the paper's §VI-A compute claims: profiling
+//! takes minutes (thanks to suffix replay), optimization seconds, and
+//! the σ binary search a bounded number of accuracy evaluations —
+//! versus the per-candidate full evaluations of search-based methods.
+
+use mupod_data::{Dataset, DatasetSpec};
+use mupod_models::{calibrate::calibrate_head, ModelKind, ModelScale};
+use mupod_nn::Network;
+
+/// A small calibrated model + dataset for benchmarking.
+pub struct BenchSetup {
+    /// Calibrated network.
+    pub net: Network,
+    /// Evaluation dataset.
+    pub data: Dataset,
+    /// The model kind.
+    pub kind: ModelKind,
+}
+
+/// Builds a calibrated tiny-scale model for benchmarks.
+pub fn setup(kind: ModelKind, images: usize) -> BenchSetup {
+    let scale = ModelScale::tiny();
+    let seed = 0xBE7C ^ (kind as u64);
+    let mut net = kind.build(&scale, seed);
+    let spec = DatasetSpec::new(scale.classes, 3, scale.input_hw, scale.input_hw);
+    let data = Dataset::generate(&spec, seed ^ 1, images);
+    calibrate_head(&mut net, &data, 0.1).expect("calibration succeeds");
+    BenchSetup { net, data, kind }
+}

@@ -1,0 +1,536 @@
+//! Argument parsing and command implementations for the `mupod` CLI.
+//!
+//! The binary exposes the paper's workflow as three subcommands:
+//!
+//! ```text
+//! mupod inspect  --model alexnet [--scale tiny|small]
+//! mupod profile  --model alexnet --out profile.csv [--images N]
+//! mupod optimize --model alexnet --objective bandwidth --loss 1
+//!                [--profile profile.csv] [--scheme equal|gaussian]
+//! ```
+//!
+//! `profile` is the expensive stage; its CSV can be fed to any number of
+//! later `optimize` invocations with different constraints — the
+//! workflow §VI-A of the paper describes.
+
+use mupod_core::{
+    Objective, PrecisionOptimizer, Profile, ProfileConfig, SearchScheme,
+};
+use mupod_data::{Dataset, DatasetSpec};
+use mupod_models::{calibrate::calibrate_head, ModelKind, ModelScale};
+use mupod_nn::inventory::LayerInventory;
+use mupod_nn::Network;
+use std::fmt::Write as _;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Print the per-layer inventory of a model.
+    Inspect(CommonArgs),
+    /// Profile λ/θ and write the CSV.
+    Profile(CommonArgs, ProfileArgs),
+    /// Run the optimizer and print the allocation.
+    Optimize(CommonArgs, OptimizeArgs),
+    /// Print usage.
+    Help,
+}
+
+/// Arguments shared by all subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommonArgs {
+    /// Which zoo model to build.
+    pub model: ModelKind,
+    /// Scale preset.
+    pub scale: ModelScale,
+    /// Master seed (weights, data).
+    pub seed: u64,
+    /// Dataset size for calibration + evaluation.
+    pub images: usize,
+}
+
+/// `profile` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileArgs {
+    /// Output CSV path.
+    pub out: String,
+    /// Noise magnitudes per layer.
+    pub n_deltas: usize,
+}
+
+/// `optimize` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeArgs {
+    /// Hardware criterion.
+    pub objective: Objective,
+    /// Relative accuracy loss budget (fraction, e.g. 0.01).
+    pub loss: f64,
+    /// Optional pre-computed profile CSV.
+    pub profile: Option<String>,
+    /// σ-search scheme.
+    pub scheme: SearchScheme,
+    /// Optional path to write the resulting allocation CSV.
+    pub save: Option<String>,
+}
+
+/// Errors from parsing or running a command.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line; payload is the message to show.
+    Usage(String),
+    /// Any downstream failure.
+    Run(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Run(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Usage text shown by `mupod help`.
+pub const USAGE: &str = "\
+mupod — multi-objective precision optimization (DATE 2019 reproduction)
+
+USAGE:
+  mupod inspect  --model <name> [--scale tiny|small] [--seed N] [--images N]
+  mupod profile  --model <name> --out <file.csv> [--deltas N] [common flags]
+  mupod optimize --model <name> --objective <bandwidth|mac|unweighted>
+                 [--loss <percent>] [--profile <file.csv>]
+                 [--scheme equal|gaussian] [--save <alloc.csv>]
+                 [common flags]
+  mupod help
+
+MODELS: alexnet nin googlenet vgg19 resnet50 resnet152 squeezenet mobilenet
+";
+
+fn parse_model(name: &str) -> Result<ModelKind, CliError> {
+    let normalized: String = name
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect::<String>()
+        .to_ascii_lowercase();
+    ModelKind::ALL
+        .iter()
+        .copied()
+        .find(|k| {
+            k.name()
+                .chars()
+                .filter(|c| c.is_ascii_alphanumeric())
+                .collect::<String>()
+                .to_ascii_lowercase()
+                == normalized
+        })
+        .ok_or_else(|| CliError::Usage(format!("unknown model `{name}`")))
+}
+
+fn take_value<'a>(
+    args: &'a [String],
+    i: &mut usize,
+    flag: &str,
+) -> Result<&'a str, CliError> {
+    *i += 1;
+    args.get(*i)
+        .map(|s| s.as_str())
+        .ok_or_else(|| CliError::Usage(format!("missing value for {flag}")))
+}
+
+/// Parses a full argument vector (excluding the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] with a human-readable message on any
+/// malformed input.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let Some(sub) = args.first() else {
+        return Ok(Command::Help);
+    };
+    if sub == "help" || sub == "--help" || sub == "-h" {
+        return Ok(Command::Help);
+    }
+    let mut model = None;
+    let mut scale = ModelScale::small();
+    let mut seed = 42u64;
+    let mut images = 160usize;
+    let mut out = None;
+    let mut n_deltas = 20usize;
+    let mut objective = None;
+    let mut loss = 0.01f64;
+    let mut profile = None;
+    let mut scheme = SearchScheme::EqualScheme;
+    let mut save = None;
+
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--model" => model = Some(parse_model(take_value(args, &mut i, "--model")?)?),
+            "--scale" => {
+                scale = match take_value(args, &mut i, "--scale")? {
+                    "tiny" => ModelScale::tiny(),
+                    "small" => ModelScale::small(),
+                    other => {
+                        return Err(CliError::Usage(format!("unknown scale `{other}`")))
+                    }
+                }
+            }
+            "--seed" => {
+                seed = take_value(args, &mut i, "--seed")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("bad --seed".into()))?
+            }
+            "--images" => {
+                images = take_value(args, &mut i, "--images")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("bad --images".into()))?
+            }
+            "--out" => out = Some(take_value(args, &mut i, "--out")?.to_string()),
+            "--deltas" => {
+                n_deltas = take_value(args, &mut i, "--deltas")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("bad --deltas".into()))?
+            }
+            "--objective" => {
+                objective = Some(match take_value(args, &mut i, "--objective")? {
+                    "bandwidth" | "bw" | "input" => Objective::Bandwidth,
+                    "mac" | "energy" | "mac-energy" => Objective::MacEnergy,
+                    "unweighted" => Objective::Unweighted,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown objective `{other}`"
+                        )))
+                    }
+                })
+            }
+            "--loss" => {
+                let pct: f64 = take_value(args, &mut i, "--loss")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("bad --loss".into()))?;
+                loss = pct / 100.0;
+            }
+            "--profile" => {
+                profile = Some(take_value(args, &mut i, "--profile")?.to_string())
+            }
+            "--save" => save = Some(take_value(args, &mut i, "--save")?.to_string()),
+            "--scheme" => {
+                scheme = match take_value(args, &mut i, "--scheme")? {
+                    "equal" | "scheme1" => SearchScheme::EqualScheme,
+                    "gaussian" | "scheme2" => SearchScheme::GaussianApprox,
+                    other => {
+                        return Err(CliError::Usage(format!("unknown scheme `{other}`")))
+                    }
+                }
+            }
+            other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+        }
+        i += 1;
+    }
+
+    let common = CommonArgs {
+        model: model.ok_or_else(|| CliError::Usage("--model is required".into()))?,
+        scale,
+        seed,
+        images,
+    };
+    match sub.as_str() {
+        "inspect" => Ok(Command::Inspect(common)),
+        "profile" => Ok(Command::Profile(
+            common,
+            ProfileArgs {
+                out: out.ok_or_else(|| CliError::Usage("--out is required".into()))?,
+                n_deltas,
+            },
+        )),
+        "optimize" => Ok(Command::Optimize(
+            common,
+            OptimizeArgs {
+                objective: objective
+                    .ok_or_else(|| CliError::Usage("--objective is required".into()))?,
+                loss,
+                profile,
+                scheme,
+                save,
+            },
+        )),
+        other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
+    }
+}
+
+fn prepare(common: &CommonArgs) -> Result<(Network, Dataset), CliError> {
+    let mut net = common.model.build(&common.scale, common.seed);
+    let spec = DatasetSpec::new(
+        common.scale.classes,
+        3,
+        common.scale.input_hw,
+        common.scale.input_hw,
+    )
+    .with_class_seed(common.seed);
+    let calib = Dataset::generate(&spec, common.seed ^ 0xA, common.images);
+    let eval = Dataset::generate(&spec, common.seed ^ 0xB, common.images / 2);
+    calibrate_head(&mut net, &calib, 0.1)
+        .map_err(|e| CliError::Run(format!("calibration failed: {e}")))?;
+    Ok((net, eval))
+}
+
+/// Executes a parsed command, returning the text to print.
+///
+/// # Errors
+///
+/// Returns [`CliError::Run`] when a pipeline stage fails (with the
+/// underlying message).
+pub fn run(cmd: &Command) -> Result<String, CliError> {
+    let mut out = String::new();
+    match cmd {
+        Command::Help => out.push_str(USAGE),
+        Command::Inspect(common) => {
+            let (net, eval) = prepare(common)?;
+            let layers = common.model.analyzable_layers(&net);
+            let inventory = LayerInventory::measure(&net, eval.images().iter().cloned());
+            let _ = writeln!(
+                out,
+                "{} — {} analyzable layers, {} parameters, held-out accuracy {:.1}%",
+                common.model,
+                layers.len(),
+                net.parameter_count(),
+                eval.accuracy_of(|img| net.classify(img)) * 100.0
+            );
+            let _ = writeln!(
+                out,
+                "{:<14} {:>10} {:>12} {:>10}",
+                "layer", "#inputs", "#MACs", "max|X|"
+            );
+            for &id in &layers {
+                let info = inventory.find(id).expect("layer in inventory");
+                let _ = writeln!(
+                    out,
+                    "{:<14} {:>10} {:>12} {:>10.1}",
+                    info.name, info.input_elems, info.macs, info.max_abs
+                );
+            }
+        }
+        Command::Profile(common, pargs) => {
+            let (net, eval) = prepare(common)?;
+            let layers = common.model.analyzable_layers(&net);
+            let images = &eval.images()[..eval.len().min(24)];
+            let profile = mupod_core::Profiler::new(&net, images)
+                .with_config(ProfileConfig {
+                    n_deltas: pargs.n_deltas,
+                    ..Default::default()
+                })
+                .profile(&layers)
+                .map_err(|e| CliError::Run(format!("profiling failed: {e}")))?;
+            let file = std::fs::File::create(&pargs.out)
+                .map_err(|e| CliError::Run(format!("cannot create {}: {e}", pargs.out)))?;
+            profile
+                .save_csv(file)
+                .map_err(|e| CliError::Run(format!("cannot write profile: {e}")))?;
+            let _ = writeln!(
+                out,
+                "profiled {} layers (min R² {:.4}, worst rel err {:.1}%) -> {}",
+                profile.len(),
+                profile.min_r_squared(),
+                profile.max_relative_error() * 100.0,
+                pargs.out
+            );
+        }
+        Command::Optimize(common, oargs) => {
+            let (net, eval) = prepare(common)?;
+            let layers = common.model.analyzable_layers(&net);
+            let mut optimizer = PrecisionOptimizer::new(&net, &eval)
+                .layers(layers)
+                .relative_accuracy_loss(oargs.loss)
+                .scheme(oargs.scheme);
+            if let Some(path) = &oargs.profile {
+                let file = std::fs::File::open(path)
+                    .map_err(|e| CliError::Run(format!("cannot open {path}: {e}")))?;
+                let profile = Profile::load_csv(file)
+                    .map_err(|e| CliError::Run(format!("cannot parse {path}: {e}")))?;
+                optimizer = optimizer.with_profile(profile);
+            }
+            let result = optimizer
+                .run(oargs.objective.clone())
+                .map_err(|e| CliError::Run(format!("optimization failed: {e}")))?;
+            let _ = writeln!(
+                out,
+                "{} | objective {} | σ_YŁ {:.4} | fp acc {:.3} -> quantized {:.3}",
+                common.model,
+                oargs.objective.name(),
+                result.sigma.sigma,
+                result.fp_accuracy,
+                result.validated_accuracy
+            );
+            let _ = writeln!(out, "{:<14} {:>8} {:>6}", "layer", "format", "bits");
+            for (lf, bits) in result
+                .allocation
+                .layers()
+                .iter()
+                .zip(result.allocation.bits())
+            {
+                let _ = writeln!(
+                    out,
+                    "{:<14} {:>8} {:>6}",
+                    lf.layer,
+                    lf.format.to_string(),
+                    bits
+                );
+            }
+            if let Some(path) = &oargs.save {
+                let file = std::fs::File::create(path)
+                    .map_err(|e| CliError::Run(format!("cannot create {path}: {e}")))?;
+                result
+                    .allocation
+                    .save_csv(file)
+                    .map_err(|e| CliError::Run(format!("cannot write {path}: {e}")))?;
+                let _ = writeln!(out, "allocation written to {path}");
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_inspect() {
+        let cmd = parse(&argv("inspect --model alexnet --scale tiny")).unwrap();
+        match cmd {
+            Command::Inspect(c) => {
+                assert_eq!(c.model, ModelKind::AlexNet);
+                assert_eq!(c.scale, ModelScale::tiny());
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn parses_model_aliases() {
+        for (alias, kind) in [
+            ("vgg19", ModelKind::Vgg19),
+            ("VGG-19", ModelKind::Vgg19),
+            ("resnet152", ModelKind::ResNet152),
+            ("NiN", ModelKind::Nin),
+        ] {
+            let cmd = parse(&argv(&format!("inspect --model {alias}"))).unwrap();
+            match cmd {
+                Command::Inspect(c) => assert_eq!(c.model, kind, "{alias}"),
+                _ => panic!("wrong command"),
+            }
+        }
+    }
+
+    #[test]
+    fn parses_optimize_with_all_flags() {
+        let cmd = parse(&argv(
+            "optimize --model nin --objective mac --loss 5 --scheme gaussian --seed 7",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Optimize(c, o) => {
+                assert_eq!(c.model, ModelKind::Nin);
+                assert_eq!(c.seed, 7);
+                assert_eq!(o.objective, Objective::MacEnergy);
+                assert!((o.loss - 0.05).abs() < 1e-12);
+                assert_eq!(o.scheme, SearchScheme::GaussianApprox);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn missing_required_flags_error() {
+        assert!(matches!(
+            parse(&argv("optimize --model alexnet")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("profile --model alexnet")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("inspect")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_inputs_error() {
+        assert!(matches!(
+            parse(&argv("inspect --model hal9000")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("inspect --model alexnet --bogus")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("frobnicate --model alexnet")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn empty_and_help_yield_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert!(run(&Command::Help).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn inspect_runs_end_to_end() {
+        let cmd = parse(&argv(
+            "inspect --model squeezenet --scale tiny --images 24",
+        ))
+        .unwrap();
+        let text = run(&cmd).unwrap();
+        assert!(text.contains("26 analyzable layers"), "{text}");
+        assert!(text.contains("conv10"));
+    }
+
+    #[test]
+    fn optimize_saves_allocation_csv() {
+        let dir = std::env::temp_dir().join("mupod_cli_save_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out_csv = dir.join("alloc.csv").to_string_lossy().to_string();
+        let cmd = parse(&argv(&format!(
+            "optimize --model alexnet --scale tiny --images 24 --objective mac --loss 5 --save {out_csv}"
+        )))
+        .unwrap();
+        let text = run(&cmd).unwrap();
+        assert!(text.contains("allocation written"), "{text}");
+        let reloaded = mupod_quant::BitwidthAllocation::load_csv(
+            std::fs::File::open(&out_csv).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(reloaded.len(), 5);
+    }
+
+    #[test]
+    fn profile_then_optimize_via_csv() {
+        let dir = std::env::temp_dir().join("mupod_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("p.csv").to_string_lossy().to_string();
+        let cmd = parse(&argv(&format!(
+            "profile --model alexnet --scale tiny --images 24 --deltas 8 --out {csv}"
+        )))
+        .unwrap();
+        let text = run(&cmd).unwrap();
+        assert!(text.contains("profiled 5 layers"), "{text}");
+
+        let cmd = parse(&argv(&format!(
+            "optimize --model alexnet --scale tiny --images 24 --objective bandwidth --loss 5 --profile {csv}"
+        )))
+        .unwrap();
+        let text = run(&cmd).unwrap();
+        assert!(text.contains("conv1"), "{text}");
+        assert!(text.contains("quantized"), "{text}");
+    }
+}

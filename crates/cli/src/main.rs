@@ -1,0 +1,14 @@
+//! The `mupod` command-line tool. See [`mupod_cli::USAGE`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match mupod_cli::parse(&args).and_then(|cmd| mupod_cli::run(&cmd)) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!();
+            eprintln!("{}", mupod_cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Accuracy evaluation under noise injection and quantization.
+
+use mupod_data::Dataset;
+use mupod_nn::tap::{gaussian_output_noise, QuantizeTap, StochasticQuantizeTap, UniformNoiseTap};
+use mupod_nn::{Network, NodeId};
+use mupod_quant::{BitwidthAllocation, FixedPointFormat};
+use mupod_stats::SeededRng;
+use std::collections::HashMap;
+
+/// What counts as the "correct" label when measuring accuracy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccuracyMode {
+    /// The dataset's generator labels (ordinary top-1 accuracy).
+    GeneratorLabels,
+    /// Agreement with the full-precision model's own predictions —
+    /// measures *relative* accuracy directly: the fp32 reference scores
+    /// 100 % by construction, exactly the quantity "relative accuracy
+    /// drop" compares against.
+    FpAgreement,
+}
+
+/// Evaluates a network's accuracy on a dataset under various
+/// perturbations.
+///
+/// The reference predictions for [`AccuracyMode::FpAgreement`] are
+/// computed once at construction.
+pub struct AccuracyEvaluator<'a> {
+    net: &'a Network,
+    dataset: &'a Dataset,
+    mode: AccuracyMode,
+    /// Per-image target label under the chosen mode.
+    targets: Vec<usize>,
+    /// Clean accuracy under the chosen mode.
+    fp_accuracy: f64,
+}
+
+impl std::fmt::Debug for AccuracyEvaluator<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AccuracyEvaluator")
+            .field("mode", &self.mode)
+            .field("samples", &self.dataset.len())
+            .field("fp_accuracy", &self.fp_accuracy)
+            .finish()
+    }
+}
+
+impl<'a> AccuracyEvaluator<'a> {
+    /// Builds an evaluator; runs one clean pass per image to establish
+    /// the reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn new(net: &'a Network, dataset: &'a Dataset, mode: AccuracyMode) -> Self {
+        assert!(!dataset.is_empty(), "evaluation dataset must not be empty");
+        let fp_preds: Vec<usize> = dataset.images().iter().map(|img| net.classify(img)).collect();
+        let (targets, fp_accuracy) = match mode {
+            AccuracyMode::GeneratorLabels => {
+                let correct = fp_preds
+                    .iter()
+                    .zip(dataset.labels())
+                    .filter(|(p, l)| p == l)
+                    .count();
+                (
+                    dataset.labels().to_vec(),
+                    correct as f64 / dataset.len() as f64,
+                )
+            }
+            AccuracyMode::FpAgreement => (fp_preds, 1.0),
+        };
+        Self {
+            net,
+            dataset,
+            mode,
+            targets,
+            fp_accuracy,
+        }
+    }
+
+    /// The label mode in use.
+    pub fn mode(&self) -> AccuracyMode {
+        self.mode
+    }
+
+    /// Clean (full-precision) accuracy under the chosen mode.
+    pub fn fp_accuracy(&self) -> f64 {
+        self.fp_accuracy
+    }
+
+    /// Number of evaluation samples.
+    pub fn len(&self) -> usize {
+        self.dataset.len()
+    }
+
+    /// Whether the evaluator holds no samples (never true — construction
+    /// rejects empty datasets).
+    pub fn is_empty(&self) -> bool {
+        self.dataset.is_empty()
+    }
+
+    fn fraction_correct<F: FnMut(usize, &mupod_tensor::Tensor) -> usize>(
+        &self,
+        mut predict: F,
+    ) -> f64 {
+        let correct = self
+            .dataset
+            .images()
+            .iter()
+            .enumerate()
+            .filter(|(i, img)| predict(*i, img) == self.targets[*i])
+            .count();
+        correct as f64 / self.dataset.len() as f64
+    }
+
+    /// Accuracy with uniform noise `U[-Δ_K, Δ_K]` injected into every
+    /// listed layer simultaneously (Scheme 1's test, §V-C).
+    ///
+    /// Each image uses an independent fork of `seed`, so results do not
+    /// depend on evaluation order.
+    pub fn accuracy_uniform_noise(&self, deltas: &HashMap<NodeId, f64>, seed: u64) -> f64 {
+        let root = SeededRng::new(seed);
+        self.fraction_correct(|i, img| {
+            let mut tap = UniformNoiseTap::new(deltas.clone(), root.fork(i as u64));
+            self.net.classify_tapped(img, &mut tap)
+        })
+    }
+
+    /// Accuracy with `N(0, σ²)` added to the logits only (Scheme 2's
+    /// test, §V-C).
+    pub fn accuracy_gaussian_output(&self, sigma: f64, seed: u64) -> f64 {
+        let root = SeededRng::new(seed);
+        self.fraction_correct(|i, img| {
+            let acts = self.net.forward(img);
+            let mut logits = self.net.output(&acts).clone();
+            let mut rng = root.fork(i as u64);
+            gaussian_output_noise(&mut logits, sigma, &mut rng);
+            logits.argmax()
+        })
+    }
+
+    /// Accuracy with each listed layer's input rounded to its format —
+    /// the final validation under true fixed-point arithmetic.
+    pub fn accuracy_quantized(&self, formats: &HashMap<NodeId, FixedPointFormat>) -> f64 {
+        self.fraction_correct(|_, img| {
+            let mut tap = QuantizeTap::new(formats.clone());
+            self.net.classify_tapped(img, &mut tap)
+        })
+    }
+
+    /// Accuracy with each listed layer's input rounded *stochastically*
+    /// to its format — the unbiased-rounding ablation partner of
+    /// [`AccuracyEvaluator::accuracy_quantized`].
+    pub fn accuracy_quantized_stochastic(
+        &self,
+        formats: &HashMap<NodeId, FixedPointFormat>,
+        seed: u64,
+    ) -> f64 {
+        let root = SeededRng::new(seed);
+        self.fraction_correct(|i, img| {
+            let mut tap =
+                StochasticQuantizeTap::new(formats.clone(), root.fork(i as u64));
+            self.net.classify_tapped(img, &mut tap)
+        })
+    }
+
+    /// Accuracy of a [`BitwidthAllocation`] whose entries correspond to
+    /// `layers` (same order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn accuracy_of_allocation(
+        &self,
+        layers: &[NodeId],
+        allocation: &BitwidthAllocation,
+    ) -> f64 {
+        assert_eq!(
+            layers.len(),
+            allocation.len(),
+            "layers/allocation length mismatch"
+        );
+        let formats: HashMap<NodeId, FixedPointFormat> = layers
+            .iter()
+            .zip(allocation.layers())
+            .map(|(&id, lf)| (id, lf.format))
+            .collect();
+        self.accuracy_quantized(&formats)
+    }
+
+    /// Accuracy of a different network (e.g. weight-quantized clone) on
+    /// the same targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the other network's input shape differs.
+    pub fn accuracy_of_network(&self, other: &Network) -> f64 {
+        self.fraction_correct(|_, img| other.classify(img))
+    }
+
+    /// Accuracy of a different network with per-layer input quantization
+    /// applied — used by the §V-E weight search, where both the weights
+    /// (baked into `other`) and the inputs (via `formats`) are reduced.
+    ///
+    /// The reference targets remain those of the evaluator's original
+    /// full-precision network.
+    pub fn accuracy_of_network_with_formats(
+        &self,
+        other: &Network,
+        formats: &HashMap<NodeId, FixedPointFormat>,
+    ) -> f64 {
+        self.fraction_correct(|_, img| {
+            let mut tap = QuantizeTap::new(formats.clone());
+            other.classify_tapped(img, &mut tap)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mupod_data::DatasetSpec;
+    use mupod_models::{calibrate::calibrate_head, ModelKind, ModelScale};
+
+    fn setup() -> (Network, Dataset) {
+        let scale = ModelScale::tiny();
+        let mut net = ModelKind::AlexNet.build(&scale, 71);
+        let spec = DatasetSpec::new(scale.classes, 3, scale.input_hw, scale.input_hw);
+        let data = Dataset::generate(&spec, 72, 48);
+        calibrate_head(&mut net, &data, 0.1).unwrap();
+        (net, data)
+    }
+
+    #[test]
+    fn fp_agreement_reference_is_perfect() {
+        let (net, data) = setup();
+        let ev = AccuracyEvaluator::new(&net, &data, AccuracyMode::FpAgreement);
+        assert_eq!(ev.fp_accuracy(), 1.0);
+        assert_eq!(ev.len(), 48);
+    }
+
+    #[test]
+    fn generator_labels_match_dataset_accuracy() {
+        let (net, data) = setup();
+        let ev = AccuracyEvaluator::new(&net, &data, AccuracyMode::GeneratorLabels);
+        let direct = data.accuracy_of(|img| net.classify(img));
+        assert_eq!(ev.fp_accuracy(), direct);
+        assert!(ev.fp_accuracy() > 0.25);
+    }
+
+    #[test]
+    fn zero_noise_recovers_fp_accuracy() {
+        let (net, data) = setup();
+        let ev = AccuracyEvaluator::new(&net, &data, AccuracyMode::FpAgreement);
+        let layers = net.dot_product_layers();
+        let deltas: HashMap<NodeId, f64> = layers.iter().map(|&l| (l, 0.0)).collect();
+        assert_eq!(ev.accuracy_uniform_noise(&deltas, 1), 1.0);
+        assert_eq!(ev.accuracy_gaussian_output(0.0, 1), 1.0);
+    }
+
+    #[test]
+    fn huge_noise_destroys_accuracy() {
+        let (net, data) = setup();
+        let ev = AccuracyEvaluator::new(&net, &data, AccuracyMode::FpAgreement);
+        let layers = net.dot_product_layers();
+        let deltas: HashMap<NodeId, f64> = layers.iter().map(|&l| (l, 1e4)).collect();
+        let acc = ev.accuracy_uniform_noise(&deltas, 1);
+        assert!(acc < 0.6, "accuracy {acc} should collapse under huge noise");
+    }
+
+    #[test]
+    fn gaussian_noise_accuracy_is_monotone_in_sigma() {
+        let (net, data) = setup();
+        let ev = AccuracyEvaluator::new(&net, &data, AccuracyMode::FpAgreement);
+        let a_small = ev.accuracy_gaussian_output(0.01, 3);
+        let a_big = ev.accuracy_gaussian_output(100.0, 3);
+        assert!(a_small > a_big, "{a_small} vs {a_big}");
+    }
+
+    #[test]
+    fn generous_quantization_preserves_accuracy() {
+        let (net, data) = setup();
+        let ev = AccuracyEvaluator::new(&net, &data, AccuracyMode::FpAgreement);
+        let formats: HashMap<NodeId, FixedPointFormat> = net
+            .dot_product_layers()
+            .into_iter()
+            .map(|l| (l, FixedPointFormat::new(12, 12)))
+            .collect();
+        let acc = ev.accuracy_quantized(&formats);
+        assert!(acc > 0.95, "24-bit quantization broke accuracy: {acc}");
+    }
+
+    #[test]
+    fn accuracy_of_network_identity() {
+        let (net, data) = setup();
+        let ev = AccuracyEvaluator::new(&net, &data, AccuracyMode::FpAgreement);
+        assert_eq!(ev.accuracy_of_network(&net), 1.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! CSV persistence for [`Profile`]s.
+//!
+//! Profiling is the expensive stage (§VI-A: minutes per network); the
+//! paper notes that "changing the user constraints only requires
+//! re-running the last optimization step". Persisting the profile makes
+//! that workflow concrete: profile once, then re-optimize under as many
+//! constraints as desired without touching the network again.
+
+use crate::profile::{LayerProfile, Profile};
+use mupod_nn::NodeId;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors from profile persistence.
+#[derive(Debug)]
+pub enum ProfileIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not a valid profile CSV; payload is line number and
+    /// message.
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for ProfileIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileIoError::Io(e) => write!(f, "profile io error: {e}"),
+            ProfileIoError::Parse(line, msg) => {
+                write!(f, "profile parse error at line {line}: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileIoError {}
+
+impl From<std::io::Error> for ProfileIoError {
+    fn from(e: std::io::Error) -> Self {
+        ProfileIoError::Io(e)
+    }
+}
+
+const HEADER: &str = "node,name,lambda,theta,r_squared,max_relative_error,max_abs,input_elems,macs";
+
+impl Profile {
+    /// Writes the profile as CSV (header + one row per layer). The raw
+    /// sweep points are not persisted — they are diagnostics, not inputs
+    /// to the optimization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn save_csv<W: Write>(&self, mut w: W) -> Result<(), ProfileIoError> {
+        writeln!(w, "{HEADER}")?;
+        for l in self.layers() {
+            writeln!(
+                w,
+                "{},{},{},{},{},{},{},{},{}",
+                l.node.index(),
+                l.name,
+                l.lambda,
+                l.theta,
+                l.r_squared,
+                l.max_relative_error,
+                l.max_abs,
+                l.input_elems,
+                l.macs
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Reads a profile previously written by [`Profile::save_csv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileIoError::Parse`] on malformed rows (wrong column
+    /// count, unparseable numbers, missing header) and
+    /// [`ProfileIoError::Io`] on reader failures. Layer names containing
+    /// commas are rejected at save time by construction (builder names
+    /// never contain commas) and will fail parsing here.
+    pub fn load_csv<R: Read>(r: R) -> Result<Profile, ProfileIoError> {
+        let reader = BufReader::new(r);
+        let mut lines = reader.lines().enumerate();
+        match lines.next() {
+            Some((_, Ok(h))) if h.trim() == HEADER => {}
+            Some((_, Ok(h))) => {
+                return Err(ProfileIoError::Parse(1, format!("bad header `{h}`")))
+            }
+            Some((_, Err(e))) => return Err(e.into()),
+            None => return Err(ProfileIoError::Parse(1, "empty file".into())),
+        }
+        let mut layers = Vec::new();
+        for (i, line) in lines {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 9 {
+                return Err(ProfileIoError::Parse(
+                    i + 1,
+                    format!("expected 9 fields, got {}", fields.len()),
+                ));
+            }
+            let parse_f = |s: &str, what: &str| {
+                s.parse::<f64>().map_err(|_| {
+                    ProfileIoError::Parse(i + 1, format!("bad {what} `{s}`"))
+                })
+            };
+            let parse_u = |s: &str, what: &str| {
+                s.parse::<u64>().map_err(|_| {
+                    ProfileIoError::Parse(i + 1, format!("bad {what} `{s}`"))
+                })
+            };
+            layers.push(LayerProfile {
+                node: NodeId::from_index_for_tests(
+                    parse_u(fields[0], "node id")? as usize
+                ),
+                name: fields[1].to_string(),
+                lambda: parse_f(fields[2], "lambda")?,
+                theta: parse_f(fields[3], "theta")?,
+                r_squared: parse_f(fields[4], "r_squared")?,
+                max_relative_error: parse_f(fields[5], "max_relative_error")?,
+                max_abs: parse_f(fields[6], "max_abs")?,
+                input_elems: parse_u(fields[7], "input_elems")?,
+                macs: parse_u(fields[8], "macs")?,
+                sweep: vec![],
+            });
+        }
+        Ok(Profile::from_layers(layers))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_profile() -> Profile {
+        Profile::from_layers(vec![
+            LayerProfile {
+                node: NodeId::from_index_for_tests(1),
+                name: "conv1".into(),
+                lambda: 0.52,
+                theta: 0.013,
+                r_squared: 0.999,
+                max_relative_error: 0.03,
+                max_abs: 161.0,
+                input_elems: 154_600,
+                macs: 105_000_000,
+                sweep: vec![(0.1, 0.06)],
+            },
+            LayerProfile {
+                node: NodeId::from_index_for_tests(4),
+                name: "conv2".into(),
+                lambda: 1.7,
+                theta: -0.002,
+                r_squared: 0.995,
+                max_relative_error: 0.08,
+                max_abs: 139.0,
+                input_elems: 70_000,
+                macs: 225_000_000,
+                sweep: vec![],
+            },
+        ])
+    }
+
+    #[test]
+    fn roundtrip_preserves_fields() {
+        let p = sample_profile();
+        let mut buf = Vec::new();
+        p.save_csv(&mut buf).unwrap();
+        let q = Profile::load_csv(buf.as_slice()).unwrap();
+        assert_eq!(q.len(), 2);
+        for (a, b) in p.layers().iter().zip(q.layers()) {
+            assert_eq!(a.node, b.node);
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.lambda, b.lambda);
+            assert_eq!(a.theta, b.theta);
+            assert_eq!(a.max_abs, b.max_abs);
+            assert_eq!(a.input_elems, b.input_elems);
+            assert_eq!(a.macs, b.macs);
+        }
+        // Sweep points are intentionally not persisted.
+        assert!(q.layers()[0].sweep.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = Profile::load_csv("nope\n1,a,1,1,1,1,1,1,1\n".as_bytes()).unwrap_err();
+        match err {
+            ProfileIoError::Parse(1, _) => {}
+            e => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn rejects_short_row() {
+        let text = format!("{HEADER}\n1,conv1,0.5\n");
+        let err = Profile::load_csv(text.as_bytes()).unwrap_err();
+        match err {
+            ProfileIoError::Parse(2, msg) => assert!(msg.contains("9 fields")),
+            e => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_number() {
+        let text = format!("{HEADER}\n1,conv1,abc,0,1,0,1,1,1\n");
+        let err = Profile::load_csv(text.as_bytes()).unwrap_err();
+        match err {
+            ProfileIoError::Parse(2, msg) => assert!(msg.contains("lambda")),
+            e => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let p = sample_profile();
+        let mut buf = Vec::new();
+        p.save_csv(&mut buf).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        let q = Profile::load_csv(buf.as_slice()).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+}

@@ -1,0 +1,285 @@
+//! Binary search for the output error budget `σ_{Y_Ł}` (§V-C).
+//!
+//! `σ_{Y_Ł}` increases monotonically as accuracy decreases, so the paper
+//! runs a real-valued binary search (after doubling an initial guess
+//! until it violates the constraint), stopping when the bracket is
+//! narrower than 0.01. A candidate `σ` is tested with one of two
+//! schemes:
+//!
+//! * **Scheme 1** (`equal_scheme`): decompose `σ` into per-layer deltas
+//!   with `ξ_K = 1/Ł` via Eq. 7, inject uniform noise into every layer,
+//!   measure accuracy.
+//! * **Scheme 2** (`gaussian_approx`): inject `N(0, σ²)` at the logits
+//!   only — valid because the aggregate output error is very nearly
+//!   normal (Fig. 3, right).
+
+use crate::eval::AccuracyEvaluator;
+use crate::profile::Profile;
+use mupod_nn::NodeId;
+use std::collections::HashMap;
+
+/// Which §V-C test decides whether a candidate `σ_{Y_Ł}` is acceptable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchScheme {
+    /// Scheme 1: equal-share uniform injection into every layer.
+    EqualScheme,
+    /// Scheme 2: Gaussian noise at the output only (much cheaper — one
+    /// clean pass per image regardless of depth).
+    GaussianApprox,
+}
+
+/// Result of the σ search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// The largest `σ_{Y_Ł}` found to satisfy the accuracy constraint.
+    pub sigma: f64,
+    /// Accuracy measured at [`SearchOutcome::sigma`].
+    pub accuracy_at_sigma: f64,
+    /// The accuracy threshold that was enforced.
+    pub target_accuracy: f64,
+    /// Number of accuracy evaluations spent.
+    pub evaluations: usize,
+}
+
+/// Binary search driver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SigmaSearch {
+    /// Acceptance test scheme.
+    pub scheme: SearchScheme,
+    /// Initial upper-bound guess (the paper starts at 1.0).
+    pub initial_guess: f64,
+    /// Relative bracket width at which the search stops: bisection ends
+    /// when `hi − lo ≤ tolerance · hi`. The paper stops at an absolute
+    /// width of 0.01, which presumes ImageNet-scale logits (σ* ≈ 0.32);
+    /// a relative criterion serves any logit scale.
+    pub tolerance: f64,
+    /// Seed for the injected noise.
+    pub seed: u64,
+    /// Cap on doubling steps while hunting for a violating upper bound.
+    pub max_doublings: usize,
+    /// Acceptance slack in *images*: a candidate σ passes if accuracy is
+    /// within `slack_images / n` of the target. On small evaluation sets
+    /// a single hair-margin image flips under any noise at all, which
+    /// would otherwise drive the search to σ = 0; the paper's ≥ 12 500
+    /// evaluation images make this fraction invisible.
+    pub slack_images: f64,
+}
+
+impl Default for SigmaSearch {
+    fn default() -> Self {
+        Self {
+            scheme: SearchScheme::EqualScheme,
+            initial_guess: 1.0,
+            tolerance: 0.01,
+            seed: 0x51C4,
+            max_doublings: 24,
+            slack_images: 1.0,
+        }
+    }
+}
+
+impl SigmaSearch {
+    /// Measures accuracy at a candidate `σ` under the configured scheme.
+    pub fn accuracy_at(
+        &self,
+        sigma: f64,
+        profile: &Profile,
+        evaluator: &AccuracyEvaluator<'_>,
+    ) -> f64 {
+        match self.scheme {
+            SearchScheme::EqualScheme => {
+                let l = profile.len() as f64;
+                let deltas: HashMap<NodeId, f64> = profile
+                    .layers()
+                    .iter()
+                    .map(|lp| (lp.node, lp.delta_for(sigma, 1.0 / l)))
+                    .collect();
+                evaluator.accuracy_uniform_noise(&deltas, self.seed)
+            }
+            SearchScheme::GaussianApprox => {
+                evaluator.accuracy_gaussian_output(sigma, self.seed)
+            }
+        }
+    }
+
+    /// Finds the largest `σ_{Y_Ł}` whose accuracy stays at or above
+    /// `target_accuracy`.
+    ///
+    /// Follows the paper's procedure: start from
+    /// [`SigmaSearch::initial_guess`]; if it already violates, bisect in
+    /// `[0, guess]`; otherwise double until violation, then bisect. The
+    /// returned `sigma` is the *satisfying* end of the final bracket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_accuracy` is not in `(0, 1]` or the profile is
+    /// empty.
+    pub fn search(
+        &self,
+        profile: &Profile,
+        evaluator: &AccuracyEvaluator<'_>,
+        target_accuracy: f64,
+    ) -> SearchOutcome {
+        assert!(
+            target_accuracy > 0.0 && target_accuracy <= 1.0,
+            "target accuracy must be in (0, 1]"
+        );
+        assert!(!profile.is_empty(), "profile must not be empty");
+        let mut evaluations = 0usize;
+        let mut eval_at = |sigma: f64| {
+            evaluations += 1;
+            self.accuracy_at(sigma, profile, evaluator)
+        };
+        let threshold = target_accuracy - self.slack_images / evaluator.len() as f64;
+
+        // Establish a violated upper bound and a satisfying lower bound.
+        let mut hi = self.initial_guess;
+        let mut lo = 0.0;
+        let mut acc_lo = evaluator.fp_accuracy();
+        let mut acc_hi = eval_at(hi);
+        let mut doublings = 0;
+        while acc_hi >= threshold && doublings < self.max_doublings {
+            lo = hi;
+            acc_lo = acc_hi;
+            hi *= 2.0;
+            acc_hi = eval_at(hi);
+            doublings += 1;
+        }
+        if acc_hi >= threshold {
+            // Even the largest probed σ satisfies — return it.
+            return SearchOutcome {
+                sigma: hi,
+                accuracy_at_sigma: acc_hi,
+                target_accuracy,
+                evaluations,
+            };
+        }
+
+        // Bisect until the bracket closes (relative width).
+        while hi - lo > self.tolerance * hi {
+            let mid = 0.5 * (lo + hi);
+            let acc_mid = eval_at(mid);
+            if acc_mid >= threshold {
+                lo = mid;
+                acc_lo = acc_mid;
+            } else {
+                hi = mid;
+            }
+        }
+        SearchOutcome {
+            sigma: lo,
+            accuracy_at_sigma: acc_lo,
+            target_accuracy,
+            evaluations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::AccuracyMode;
+    use crate::profile::Profiler;
+    use mupod_data::{Dataset, DatasetSpec};
+    use mupod_models::{calibrate::calibrate_head, ModelKind, ModelScale};
+    use mupod_nn::Network;
+
+    fn setup() -> (Network, Dataset, Profile) {
+        let scale = ModelScale::tiny();
+        let mut net = ModelKind::AlexNet.build(&scale, 111);
+        let spec = DatasetSpec::new(scale.classes, 3, scale.input_hw, scale.input_hw);
+        let data = Dataset::generate(&spec, 112, 40);
+        calibrate_head(&mut net, &data, 0.1).unwrap();
+        let layers = ModelKind::AlexNet.analyzable_layers(&net);
+        let profile = Profiler::new(&net, &data.images()[..8])
+            .with_config(crate::profile::ProfileConfig {
+                n_deltas: 10,
+                ..Default::default()
+            })
+            .profile(&layers)
+            .unwrap();
+        (net, data, profile)
+    }
+
+    #[test]
+    fn search_finds_satisfying_sigma_scheme2() {
+        let (net, data, profile) = setup();
+        let ev = AccuracyEvaluator::new(&net, &data, AccuracyMode::FpAgreement);
+        let target = 0.95;
+        let search = SigmaSearch {
+            scheme: SearchScheme::GaussianApprox,
+            ..Default::default()
+        };
+        let out = search.search(&profile, &ev, target);
+        let slack = search.slack_images / ev.len() as f64;
+        assert!(out.accuracy_at_sigma >= target - slack);
+        assert!(out.sigma > 0.0);
+        assert!(out.evaluations > 2);
+        // Just past the bracket the accuracy drops below target.
+        let beyond = search.accuracy_at(out.sigma * 4.0, &profile, &ev);
+        assert!(
+            beyond < target + 0.05,
+            "σ·4 accuracy {beyond} suspiciously high"
+        );
+    }
+
+    #[test]
+    fn search_finds_satisfying_sigma_scheme1() {
+        let (net, data, profile) = setup();
+        let ev = AccuracyEvaluator::new(&net, &data, AccuracyMode::FpAgreement);
+        let target = 0.9;
+        let search = SigmaSearch::default();
+        let out = search.search(&profile, &ev, target);
+        let slack = search.slack_images / ev.len() as f64;
+        assert!(out.accuracy_at_sigma >= target - slack, "{out:?}");
+        assert!(out.sigma > 0.0);
+    }
+
+    #[test]
+    fn schemes_agree_on_order_of_magnitude() {
+        // The paper supports both schemes as interchangeable estimators;
+        // their σ results should be within a small factor.
+        let (net, data, profile) = setup();
+        let ev = AccuracyEvaluator::new(&net, &data, AccuracyMode::FpAgreement);
+        let target = 0.9;
+        let s1 = SigmaSearch::default().search(&profile, &ev, target);
+        let s2 = SigmaSearch {
+            scheme: SearchScheme::GaussianApprox,
+            ..Default::default()
+        }
+        .search(&profile, &ev, target);
+        let ratio = s1.sigma / s2.sigma;
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "scheme σ mismatch: {} vs {}",
+            s1.sigma,
+            s2.sigma
+        );
+    }
+
+    #[test]
+    fn tighter_target_gives_smaller_sigma() {
+        let (net, data, profile) = setup();
+        let ev = AccuracyEvaluator::new(&net, &data, AccuracyMode::FpAgreement);
+        let search = SigmaSearch {
+            scheme: SearchScheme::GaussianApprox,
+            ..Default::default()
+        };
+        let loose = search.search(&profile, &ev, 0.85);
+        let tight = search.search(&profile, &ev, 0.99);
+        assert!(
+            tight.sigma <= loose.sigma,
+            "tight {} > loose {}",
+            tight.sigma,
+            loose.sigma
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "target accuracy")]
+    fn rejects_invalid_target() {
+        let (net, data, profile) = setup();
+        let ev = AccuracyEvaluator::new(&net, &data, AccuracyMode::FpAgreement);
+        SigmaSearch::default().search(&profile, &ev, 1.5);
+    }
+}

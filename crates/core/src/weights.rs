@@ -1,0 +1,153 @@
+//! Weight bitwidth search (§V-E).
+//!
+//! Stripes/Loom pick a single weight bitwidth per network; the paper
+//! integrates "the same method at the end of the input optimization
+//! process": after input formats are fixed, lower the uniform weight
+//! bitwidth while the accuracy constraint still holds. The search is a
+//! simple descending scan — weight quantization accuracy is monotone
+//! enough in practice, and the candidate range is tiny (1..=16).
+
+use crate::eval::AccuracyEvaluator;
+use mupod_nn::{Network, NodeId};
+use mupod_quant::FixedPointFormat;
+use std::collections::HashMap;
+
+/// Finds the smallest uniform weight bitwidth in `[min_bits, max_bits]`
+/// that keeps accuracy at or above `target_accuracy`, with the given
+/// per-layer *input* formats simultaneously applied.
+///
+/// Returns `(weight_bits, accuracy)`; falls back to `max_bits` if even
+/// that violates the target (the caller can then relax its budget).
+///
+/// # Panics
+///
+/// Panics if `min_bits == 0` or `min_bits > max_bits`.
+pub fn search_weight_bits(
+    net: &Network,
+    evaluator_dataset: &mupod_data::Dataset,
+    mode: crate::eval::AccuracyMode,
+    input_formats: &HashMap<NodeId, FixedPointFormat>,
+    target_accuracy: f64,
+    min_bits: u32,
+    max_bits: u32,
+) -> (u32, f64) {
+    assert!(min_bits > 0, "weight bitwidth must be positive");
+    assert!(min_bits <= max_bits, "empty weight bitwidth range");
+    let mut chosen = max_bits;
+    let mut chosen_acc = 0.0;
+    for bits in (min_bits..=max_bits).rev() {
+        let quantized = net.with_quantized_weights(bits);
+        // The evaluator references the *quantized* network so fp-agreement
+        // still compares against the original labels semantics: reuse the
+        // original network's reference predictions by evaluating the
+        // quantized network on the original evaluator's targets.
+        let ev = AccuracyEvaluator::new(net, evaluator_dataset, mode);
+        let acc = {
+            let formats = input_formats.clone();
+            // Quantize inputs on the weight-quantized clone.
+            let root = &quantized;
+            evaluator_accuracy_on(&ev, root, &formats)
+        };
+        if acc >= target_accuracy {
+            chosen = bits;
+            chosen_acc = acc;
+        } else {
+            break;
+        }
+    }
+    if chosen_acc == 0.0 {
+        // Even max_bits failed; report its measured accuracy.
+        let quantized = net.with_quantized_weights(max_bits);
+        let ev = AccuracyEvaluator::new(net, evaluator_dataset, mode);
+        chosen_acc = evaluator_accuracy_on(&ev, &quantized, input_formats);
+        chosen = max_bits;
+    }
+    (chosen, chosen_acc)
+}
+
+/// Accuracy of `other` (a weight-quantized clone) against the reference
+/// targets of `ev`, with input quantization applied.
+fn evaluator_accuracy_on(
+    ev: &AccuracyEvaluator<'_>,
+    other: &Network,
+    input_formats: &HashMap<NodeId, FixedPointFormat>,
+) -> f64 {
+    // AccuracyEvaluator does not expose per-image targets, so measure via
+    // its quantized-network entry point: temporarily treat `other` as the
+    // network and quantize inputs with a tap.
+    ev.accuracy_of_network_with_formats(other, input_formats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::AccuracyMode;
+    use mupod_data::{Dataset, DatasetSpec};
+    use mupod_models::{calibrate::calibrate_head, ModelKind, ModelScale};
+
+    #[test]
+    fn weight_search_returns_feasible_bits() {
+        let scale = ModelScale::tiny();
+        let mut net = ModelKind::AlexNet.build(&scale, 131);
+        let spec = DatasetSpec::new(scale.classes, 3, scale.input_hw, scale.input_hw);
+        let data = Dataset::generate(&spec, 132, 32);
+        calibrate_head(&mut net, &data, 0.1).unwrap();
+
+        // Generous input formats so weights dominate the error.
+        let formats: HashMap<NodeId, FixedPointFormat> = net
+            .dot_product_layers()
+            .into_iter()
+            .map(|l| (l, FixedPointFormat::new(12, 10)))
+            .collect();
+        let (bits, acc) = search_weight_bits(
+            &net,
+            &data,
+            AccuracyMode::FpAgreement,
+            &formats,
+            0.9,
+            2,
+            16,
+        );
+        assert!(bits <= 16 && bits >= 2);
+        assert!(
+            acc >= 0.9 || bits == 16,
+            "reported accuracy {acc} at {bits} bits"
+        );
+        // The paper's W column sits in the 8-11 bit range; sanity-check
+        // ours is not absurdly large.
+        assert!(bits <= 14, "weight bits {bits} unexpectedly high");
+    }
+
+    #[test]
+    fn lower_target_allows_fewer_weight_bits() {
+        let scale = ModelScale::tiny();
+        let mut net = ModelKind::Nin.build(&scale, 133);
+        let spec = DatasetSpec::new(scale.classes, 3, scale.input_hw, scale.input_hw);
+        let data = Dataset::generate(&spec, 134, 32);
+        calibrate_head(&mut net, &data, 0.1).unwrap();
+        let formats: HashMap<NodeId, FixedPointFormat> = net
+            .dot_product_layers()
+            .into_iter()
+            .map(|l| (l, FixedPointFormat::new(12, 10)))
+            .collect();
+        let (loose_bits, _) = search_weight_bits(
+            &net,
+            &data,
+            AccuracyMode::FpAgreement,
+            &formats,
+            0.7,
+            1,
+            16,
+        );
+        let (tight_bits, _) = search_weight_bits(
+            &net,
+            &data,
+            AccuracyMode::FpAgreement,
+            &formats,
+            0.99,
+            1,
+            16,
+        );
+        assert!(loose_bits <= tight_bits, "{loose_bits} > {tight_bits}");
+    }
+}

@@ -1,0 +1,135 @@
+//! Pipeline variants not covered by the unit tests: Scheme 2 end to
+//! end, generator-label accuracy, unweighted objectives, and the
+//! refinement bookkeeping.
+
+use mupod_core::{
+    AccuracyMode, Objective, PrecisionOptimizer, ProfileConfig, SearchScheme,
+};
+use mupod_data::{Dataset, DatasetSpec};
+use mupod_models::{calibrate::calibrate_head, ModelKind, ModelScale};
+use mupod_nn::Network;
+
+fn setup(seed: u64) -> (Network, Dataset) {
+    let scale = ModelScale::tiny();
+    let mut net = ModelKind::AlexNet.build(&scale, seed);
+    let spec = DatasetSpec::new(scale.classes, 3, scale.input_hw, scale.input_hw)
+        .with_class_seed(seed);
+    let data = Dataset::generate(&spec, seed ^ 3, 48);
+    calibrate_head(&mut net, &data, 0.1).unwrap();
+    (net, data)
+}
+
+fn quick() -> ProfileConfig {
+    ProfileConfig {
+        n_deltas: 10,
+        repeats: 2,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn scheme2_pipeline_end_to_end() {
+    let (net, data) = setup(0x51);
+    let layers = ModelKind::AlexNet.analyzable_layers(&net);
+    let result = PrecisionOptimizer::new(&net, &data)
+        .layers(layers)
+        .relative_accuracy_loss(0.05)
+        .scheme(SearchScheme::GaussianApprox)
+        .profile_config(quick())
+        .profile_images(8)
+        .run(Objective::MacEnergy)
+        .expect("scheme 2 pipeline");
+    assert!(result.sigma.sigma > 0.0);
+    assert!(result.validated_accuracy >= 0.85);
+}
+
+#[test]
+fn generator_labels_mode_targets_real_accuracy() {
+    let (net, data) = setup(0x52);
+    let layers = ModelKind::AlexNet.analyzable_layers(&net);
+    let result = PrecisionOptimizer::new(&net, &data)
+        .layers(layers)
+        .relative_accuracy_loss(0.05)
+        .accuracy_mode(AccuracyMode::GeneratorLabels)
+        .profile_config(quick())
+        .profile_images(8)
+        .run(Objective::Bandwidth)
+        .expect("generator-label pipeline");
+    // fp accuracy under generator labels is below 1.0 (the probe is not
+    // perfect), and the validated accuracy respects the relative budget.
+    assert!(result.fp_accuracy < 1.0);
+    assert!(result.fp_accuracy > 0.5);
+    assert!(
+        result.validated_accuracy >= result.fp_accuracy * 0.95 - 0.1,
+        "validated {} vs fp {}",
+        result.validated_accuracy,
+        result.fp_accuracy
+    );
+}
+
+#[test]
+fn unweighted_objective_runs() {
+    let (net, data) = setup(0x53);
+    let layers = ModelKind::AlexNet.analyzable_layers(&net);
+    let result = PrecisionOptimizer::new(&net, &data)
+        .layers(layers)
+        .relative_accuracy_loss(0.05)
+        .profile_config(quick())
+        .profile_images(8)
+        .skip_validation()
+        .run(Objective::Unweighted)
+        .expect("unweighted pipeline");
+    assert!(result.validated_accuracy.is_nan(), "skip_validation => NaN");
+    let sum: f64 = result.xi.iter().sum();
+    assert!((sum - 1.0).abs() < 1e-6);
+}
+
+#[test]
+fn refinement_never_grows_sigma() {
+    let (net, data) = setup(0x54);
+    let layers = ModelKind::AlexNet.analyzable_layers(&net);
+    let result = PrecisionOptimizer::new(&net, &data)
+        .layers(layers)
+        .relative_accuracy_loss(0.05)
+        .profile_config(quick())
+        .profile_images(8)
+        .run(Objective::Bandwidth)
+        .expect("pipeline");
+    assert!(
+        result.sigma_allocated <= result.sigma.sigma.max(1e-6) + 1e-12,
+        "allocated σ {} exceeds searched σ {}",
+        result.sigma_allocated,
+        result.sigma.sigma
+    );
+}
+
+#[test]
+fn scheme1_and_scheme2_allocations_are_comparable() {
+    // §V-C supports both schemes interchangeably: their final effective
+    // bitwidths should be within ~2 bits of each other.
+    let (net, data) = setup(0x55);
+    let layers = ModelKind::AlexNet.analyzable_layers(&net);
+    let s1 = PrecisionOptimizer::new(&net, &data)
+        .layers(layers.clone())
+        .relative_accuracy_loss(0.05)
+        .profile_config(quick())
+        .profile_images(8)
+        .skip_validation()
+        .run(Objective::Bandwidth)
+        .expect("scheme 1");
+    let s2 = PrecisionOptimizer::new(&net, &data)
+        .layers(layers)
+        .relative_accuracy_loss(0.05)
+        .scheme(SearchScheme::GaussianApprox)
+        .with_profile(s1.profile.clone())
+        .skip_validation()
+        .run(Objective::Bandwidth)
+        .expect("scheme 2");
+    let rho = vec![1.0; s1.allocation.len()];
+    let e1 = s1.allocation.effective_bitwidth(&rho);
+    let e2 = s2.allocation.effective_bitwidth(&rho);
+    assert!(
+        (e1 - e2).abs() < 2.5,
+        "scheme effective bitwidths diverge: {e1} vs {e2}"
+    );
+}

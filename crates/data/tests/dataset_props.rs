@@ -1,0 +1,98 @@
+//! Property tests for the synthetic dataset generator.
+
+use mupod_data::{Dataset, DatasetSpec};
+use mupod_stats::RunningStats;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generation is a pure function of (spec, seed, n).
+    #[test]
+    fn generation_is_deterministic(
+        seed in 0u64..10_000,
+        classes in 2usize..8,
+        n in 1usize..24,
+    ) {
+        let spec = DatasetSpec::new(classes, 3, 8, 8);
+        let a = Dataset::generate(&spec, seed, n);
+        let b = Dataset::generate(&spec, seed, n);
+        for i in 0..n {
+            prop_assert_eq!(a.sample(i).0.data(), b.sample(i).0.data());
+            prop_assert_eq!(a.sample(i).1, b.sample(i).1);
+        }
+    }
+
+    /// A shared class seed makes two different sample streams the same
+    /// task: per-class mean images correlate strongly across datasets.
+    #[test]
+    fn class_seed_shares_task(task in 0u64..1000) {
+        let spec = DatasetSpec::new(4, 3, 8, 8).with_class_seed(task);
+        let a = Dataset::generate(&spec, 10, 64);
+        let b = Dataset::generate(&spec, 20, 64);
+
+        let mean_of = |d: &Dataset, class: usize| -> Vec<f64> {
+            let mut sums = vec![0.0; 3 * 8 * 8];
+            let mut count = 0;
+            for (img, label) in d.iter() {
+                if label == class {
+                    count += 1;
+                    for (s, &v) in sums.iter_mut().zip(img.data()) {
+                        *s += v as f64;
+                    }
+                }
+            }
+            sums.into_iter().map(|s| s / count as f64).collect()
+        };
+        // Same class across datasets must be closer than different
+        // classes across datasets.
+        let a0 = mean_of(&a, 0);
+        let b0 = mean_of(&b, 0);
+        let b1 = mean_of(&b, 1);
+        let dist = |x: &[f64], y: &[f64]| -> f64 {
+            x.iter().zip(y).map(|(a, b)| (a - b).powi(2)).sum::<f64>().sqrt()
+        };
+        prop_assert!(
+            dist(&a0, &b0) < dist(&a0, &b1),
+            "class identity not preserved across sample seeds"
+        );
+    }
+
+    /// Different class seeds produce different tasks.
+    #[test]
+    fn different_class_seeds_differ(task in 0u64..1000) {
+        let s1 = DatasetSpec::new(3, 3, 8, 8).with_class_seed(task);
+        let s2 = DatasetSpec::new(3, 3, 8, 8).with_class_seed(task ^ 0xFFFF);
+        let a = Dataset::generate(&s1, 7, 3);
+        let b = Dataset::generate(&s2, 7, 3);
+        prop_assert_ne!(a.sample(0).0.data(), b.sample(0).0.data());
+    }
+
+    /// Pixels stay in the clamped ImageNet-like range and are roughly
+    /// centered.
+    #[test]
+    fn pixel_range_invariant(seed in 0u64..10_000) {
+        let spec = DatasetSpec::new(4, 3, 10, 10);
+        let d = Dataset::generate(&spec, seed, 16);
+        let mut s = RunningStats::new();
+        for (img, _) in d.iter() {
+            for &v in img.data() {
+                prop_assert!((-128.0..=127.0).contains(&v));
+                s.push(v as f64);
+            }
+        }
+        prop_assert!(s.mean().abs() < 30.0, "pixels badly off-center");
+    }
+
+    /// Round-robin labels are balanced for any multiple of the class
+    /// count.
+    #[test]
+    fn labels_balanced(classes in 2usize..6, reps in 1usize..8) {
+        let spec = DatasetSpec::new(classes, 1, 4, 4);
+        let d = Dataset::generate(&spec, 3, classes * reps);
+        for c in 0..classes {
+            let count = d.labels().iter().filter(|&&l| l == c).count();
+            prop_assert_eq!(count, reps);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! EXP-F2 — Fig. 2: the cross-layer linear relationship (Eq. 5).
+//!
+//! The paper's central empirical claim: for every layer `K`,
+//! `Δ_{X_K} ≈ λ_K σ_{Y_{K→Ł}} + θ_K`, with the regression predicting
+//! `Δ` "mostly with a < 5 % error … in the worst case about 10 %". The
+//! paper plots VGG-19 and GoogleNet; this binary profiles both, prints
+//! each layer's fitted line and quality metrics, and checks the error
+//! bound (with headroom for the reduced reproduction scale — see
+//! `EXPERIMENTS.md`).
+
+use mupod_core::{ProfileConfig, Profiler};
+use mupod_experiments::{f, markdown_table, prepare, RunSize};
+use mupod_models::ModelKind;
+
+fn main() {
+    let size = RunSize::from_args();
+    println!("# EXP-F2: Δ vs σ cross-layer linearity (Fig. 2)");
+    for kind in [ModelKind::Vgg19, ModelKind::GoogleNet] {
+        let prepared = prepare(kind, &size);
+        let net = &prepared.net;
+        let layers = kind.analyzable_layers(net);
+        let images = &prepared.eval.images()[..size.profile_images.min(prepared.eval.len())];
+        let profile = Profiler::new(net, images)
+            .with_config(ProfileConfig {
+                n_deltas: size.n_deltas,
+                repeats: size.repeats,
+                ..Default::default()
+            })
+            .profile(&layers)
+            .expect("profiling succeeds");
+
+        println!();
+        println!(
+            "## {kind} — {} layers, {} images × {} logits × {} repeats per point",
+            layers.len(),
+            images.len(),
+            prepared.scale.classes,
+            size.repeats
+        );
+        println!();
+        let rows: Vec<Vec<String>> = profile
+            .layers()
+            .iter()
+            .map(|l| {
+                vec![
+                    l.name.clone(),
+                    f(l.lambda, 4),
+                    f(l.theta, 5),
+                    f(l.r_squared, 4),
+                    format!("{:.1}%", l.max_relative_error * 100.0),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            markdown_table(&["layer", "lambda", "theta", "R^2", "max rel err"], &rows)
+        );
+        let n_ok = profile
+            .layers()
+            .iter()
+            .filter(|l| l.max_relative_error < 0.10)
+            .count();
+        println!(
+            "layers with < 10% worst-case prediction error: {}/{} | worst overall: {:.1}% | min R² {:.4}",
+            n_ok,
+            profile.len(),
+            profile.max_relative_error() * 100.0,
+            profile.min_r_squared(),
+        );
+        println!(
+            "(paper: mostly < 5%, worst ~10%, on 500 ImageNet images × 1000 logits)"
+        );
+    }
+}

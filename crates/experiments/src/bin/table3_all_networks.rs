@@ -1,0 +1,242 @@
+//! EXP-T3 — Table III: all eight networks × {1 %, 5 %} loss × two
+//! objectives.
+//!
+//! For every network the binary reports, at both accuracy budgets:
+//! the §V-E weight bitwidth `W`; the baseline (smallest feasible uniform
+//! bitwidth, the paper's fallback when Stripes published no numbers);
+//! the `Optimized Input` and `Optimized MAC` allocations, each scored
+//! under *both* effective-bitwidth criteria (as the paper's Input / MAC
+//! column pairs); the bandwidth saving; and the MAC energy saving under
+//! the DesignWare-style energy model. Averages close the table.
+//!
+//! Profiling — the expensive stage — runs once per network and is shared
+//! across both loss budgets and both objectives, exactly the workflow
+//! §VI-A describes.
+//!
+//! Run with `--nets AlexNet,NiN,...` to restrict rows (ResNet-152 is the
+//! slow one), `--loss 1` or `--loss 5` for one budget only, and
+//! `--quick` for a smoke-sized run.
+
+use mupod_baselines::uniform_search;
+use mupod_core::{
+    search_weight_bits, AccuracyEvaluator, AccuracyMode, Objective, PrecisionOptimizer,
+    Profile, ProfileConfig, Profiler,
+};
+use mupod_experiments::{f, markdown_table, pct, prepare, Prepared, RunSize};
+use mupod_hw::{bandwidth, MacEnergyModel};
+use mupod_models::ModelKind;
+use mupod_nn::inventory::LayerInventory;
+use mupod_quant::FixedPointFormat;
+use std::collections::HashMap;
+
+struct Row {
+    name: String,
+    layers: usize,
+    weight_bits: u32,
+    base_input_eff: f64,
+    base_mac_eff: f64,
+    oi_input_eff: f64,
+    oi_mac_eff: f64,
+    bw_save: f64,
+    om_input_eff: f64,
+    om_mac_eff: f64,
+    energy_save: f64,
+}
+
+fn parse_filter() -> (Vec<ModelKind>, Vec<f64>) {
+    let args: Vec<String> = std::env::args().collect();
+    let mut kinds: Vec<ModelKind> = ModelKind::ALL.to_vec();
+    let mut losses = vec![0.01, 0.05];
+    for i in 0..args.len() {
+        if args[i] == "--nets" && i + 1 < args.len() {
+            kinds = args[i + 1]
+                .split(',')
+                .map(|n| {
+                    ModelKind::ALL
+                        .iter()
+                        .copied()
+                        .find(|k| k.name().eq_ignore_ascii_case(n.trim()))
+                        .unwrap_or_else(|| panic!("unknown network `{n}`"))
+                })
+                .collect();
+        }
+        if args[i] == "--loss" && i + 1 < args.len() {
+            let v: f64 = args[i + 1].parse().expect("numeric loss");
+            losses = vec![v / 100.0];
+        }
+    }
+    (kinds, losses)
+}
+
+/// One prepared network plus everything loss-independent.
+struct NetContext {
+    prepared: Prepared,
+    layers: Vec<mupod_nn::NodeId>,
+    inputs: Vec<u64>,
+    macs: Vec<u64>,
+    rho_in: Vec<f64>,
+    rho_mac: Vec<f64>,
+    profile: Profile,
+}
+
+fn build_context(kind: ModelKind, size: &RunSize) -> NetContext {
+    eprintln!("[{kind}: preparing]");
+    let prepared = prepare(kind, size);
+    let layers = kind.analyzable_layers(&prepared.net);
+    let inventory =
+        LayerInventory::measure(&prepared.net, prepared.eval.images().iter().cloned());
+    let inputs: Vec<u64> = layers
+        .iter()
+        .map(|&id| inventory.find(id).unwrap().input_elems)
+        .collect();
+    let macs: Vec<u64> = layers
+        .iter()
+        .map(|&id| inventory.find(id).unwrap().macs)
+        .collect();
+    eprintln!("[{kind}: profiling {} layers]", layers.len());
+    let n_images = size.profile_images.min(prepared.eval.len());
+    let mut profile = Profiler::new(&prepared.net, &prepared.eval.images()[..n_images])
+        .with_config(ProfileConfig {
+            n_deltas: size.n_deltas,
+            repeats: size.repeats,
+            ..Default::default()
+        })
+        .profile(&layers)
+        .expect("profiling succeeds");
+    profile.update_ranges(inventory);
+    NetContext {
+        rho_in: inputs.iter().map(|&v| v as f64).collect(),
+        rho_mac: macs.iter().map(|&v| v as f64).collect(),
+        prepared,
+        layers,
+        inputs,
+        macs,
+        profile,
+    }
+}
+
+fn row_for(ctx: &NetContext, loss: f64, size: &RunSize, energy_model: &MacEnergyModel) -> Row {
+    let kind = ctx.prepared.kind;
+    let net = &ctx.prepared.net;
+    let inventory = LayerInventory::measure(net, ctx.prepared.eval.images().iter().cloned());
+    let ev = AccuracyEvaluator::new(net, &ctx.prepared.eval, AccuracyMode::FpAgreement);
+    let target = ev.fp_accuracy() * (1.0 - loss);
+
+    eprintln!("[{kind}: uniform baseline @ {:.0}%]", loss * 100.0);
+    let base = uniform_search(&ev, &inventory, &ctx.layers, target, 16);
+    let base_bits = base.allocation.bits();
+
+    eprintln!("[{kind}: optimizing @ {:.0}%]", loss * 100.0);
+    let oi = PrecisionOptimizer::new(net, &ctx.prepared.eval)
+        .layers(ctx.layers.clone())
+        .relative_accuracy_loss(loss)
+        .with_profile(ctx.profile.clone())
+        .profile_images(size.profile_images)
+        .run(Objective::Bandwidth)
+        .expect("bandwidth optimization");
+    let om = PrecisionOptimizer::new(net, &ctx.prepared.eval)
+        .layers(ctx.layers.clone())
+        .relative_accuracy_loss(loss)
+        .with_profile(ctx.profile.clone())
+        .run(Objective::MacEnergy)
+        .expect("mac optimization");
+
+    eprintln!("[{kind}: weight search @ {:.0}%]", loss * 100.0);
+    let formats: HashMap<_, FixedPointFormat> = ctx
+        .layers
+        .iter()
+        .zip(oi.allocation.layers())
+        .map(|(&id, lf)| (id, lf.format))
+        .collect();
+    let (weight_bits, _) = search_weight_bits(
+        net,
+        &ctx.prepared.eval,
+        AccuracyMode::FpAgreement,
+        &formats,
+        target,
+        2,
+        16,
+    );
+
+    let eff = |bits: &[u32], rho: &[f64]| mupod_quant::effective_bitwidth(bits, rho);
+    let oi_bits = oi.allocation.bits();
+    let om_bits = om.allocation.bits();
+
+    let bw_base = bandwidth::total_input_bits(&ctx.inputs, &base_bits);
+    let bw_opt = bandwidth::total_input_bits(&ctx.inputs, &oi_bits);
+    let e_base = energy_model.network_energy(&ctx.macs, &base_bits, weight_bits);
+    let e_opt = energy_model.network_energy(&ctx.macs, &om_bits, weight_bits);
+
+    Row {
+        name: kind.name().to_string(),
+        layers: ctx.layers.len(),
+        weight_bits,
+        base_input_eff: eff(&base_bits, &ctx.rho_in),
+        base_mac_eff: eff(&base_bits, &ctx.rho_mac),
+        oi_input_eff: eff(&oi_bits, &ctx.rho_in),
+        oi_mac_eff: eff(&oi_bits, &ctx.rho_mac),
+        bw_save: bandwidth::saving_percent(bw_base, bw_opt),
+        om_input_eff: eff(&om_bits, &ctx.rho_in),
+        om_mac_eff: eff(&om_bits, &ctx.rho_mac),
+        energy_save: MacEnergyModel::saving_percent(e_base, e_opt),
+    }
+}
+
+fn main() {
+    let size = RunSize::from_args();
+    let (kinds, losses) = parse_filter();
+    let energy_model = MacEnergyModel::dwip_40nm();
+
+    println!("# EXP-T3: effective bitwidths across networks (Table III)");
+    let contexts: Vec<NetContext> = kinds.iter().map(|&k| build_context(k, &size)).collect();
+
+    for loss in &losses {
+        println!();
+        println!("## {:.0}% relative accuracy drop", loss * 100.0);
+        println!();
+        let rows: Vec<Row> = contexts
+            .iter()
+            .map(|ctx| row_for(ctx, *loss, &size, &energy_model))
+            .collect();
+
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.layers.to_string(),
+                    r.weight_bits.to_string(),
+                    f(r.base_input_eff, 2),
+                    f(r.base_mac_eff, 2),
+                    f(r.oi_input_eff, 2),
+                    f(r.oi_mac_eff, 2),
+                    pct(r.bw_save),
+                    f(r.om_input_eff, 2),
+                    f(r.om_mac_eff, 2),
+                    pct(r.energy_save),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "network", "#layers", "W", "Base In", "Base MAC", "OptIn In",
+                    "OptIn MAC", "BW save%", "OptMAC In", "OptMAC MAC", "Ener save%",
+                ],
+                &table
+            )
+        );
+        let avg = |get: &dyn Fn(&Row) -> f64| -> f64 {
+            rows.iter().map(get).sum::<f64>() / rows.len() as f64
+        };
+        println!(
+            "Average BW saving: {}%  |  Average energy saving: {}%",
+            pct(avg(&|r| r.bw_save)),
+            pct(avg(&|r| r.energy_save))
+        );
+        println!(
+            "(paper averages: 12.3% BW / 23.8% energy at 1%; 8.8% BW / 17.8% energy at 5%)"
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Shared infrastructure for the experiment binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see `DESIGN.md` §5 for the index). This library holds the
+//! common plumbing: model preparation (build + calibrate on the
+//! synthetic dataset), markdown table rendering, and the `--quick` knob
+//! that shrinks workloads for smoke testing.
+
+use mupod_data::{Dataset, DatasetSpec};
+use mupod_models::{calibrate::calibrate_head, ModelKind, ModelScale};
+use mupod_nn::Network;
+
+/// Workload sizing for an experiment run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunSize {
+    /// Images used to calibrate the classifier head.
+    pub calibration_images: usize,
+    /// Images used for accuracy evaluation.
+    pub eval_images: usize,
+    /// Images used by the profiler.
+    pub profile_images: usize,
+    /// Noise magnitudes per layer in the profiling sweep.
+    pub n_deltas: usize,
+    /// Noise redraws per image per magnitude.
+    pub repeats: usize,
+}
+
+impl RunSize {
+    /// Full experiment size (matches the numbers quoted in
+    /// `EXPERIMENTS.md`).
+    pub fn full() -> Self {
+        Self {
+            calibration_images: 256,
+            eval_images: 128,
+            profile_images: 24,
+            n_deltas: 20,
+            repeats: 3,
+        }
+    }
+
+    /// Reduced size for smoke tests (`--quick`).
+    pub fn quick() -> Self {
+        Self {
+            calibration_images: 64,
+            eval_images: 32,
+            profile_images: 6,
+            n_deltas: 8,
+            repeats: 1,
+        }
+    }
+
+    /// Picks full or quick based on the process arguments.
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--quick") {
+            eprintln!("[quick mode: reduced workload]");
+            Self::quick()
+        } else {
+            Self::full()
+        }
+    }
+}
+
+/// A prepared model: built, calibrated, with matching datasets.
+pub struct Prepared {
+    /// The calibrated network.
+    pub net: Network,
+    /// Evaluation dataset (disjoint seed from calibration).
+    pub eval: Dataset,
+    /// The model kind.
+    pub kind: ModelKind,
+    /// The scale it was built at.
+    pub scale: ModelScale,
+    /// Calibration accuracy on held-out evaluation data.
+    pub eval_accuracy: f64,
+}
+
+/// Builds a model at experiment scale, calibrates its head and reports
+/// held-out accuracy.
+///
+/// Seeds are derived from the model kind so every experiment sees the
+/// same network for the same kind.
+pub fn prepare(kind: ModelKind, size: &RunSize) -> Prepared {
+    let scale = ModelScale::small();
+    let seed = 0xC0FFEE ^ (kind as u64);
+    let mut net = kind.build(&scale, seed);
+    let spec = DatasetSpec::new(scale.classes, 3, scale.input_hw, scale.input_hw)
+        .with_class_seed(seed);
+    let calib = Dataset::generate(&spec, seed ^ 0xA, size.calibration_images);
+    let eval = Dataset::generate(&spec, seed ^ 0xB, size.eval_images);
+    calibrate_head(&mut net, &calib, 0.1).expect("calibration succeeds");
+    let eval_accuracy = eval.accuracy_of(|img| net.classify(img));
+    Prepared {
+        net,
+        eval,
+        kind,
+        scale,
+        eval_accuracy,
+    }
+}
+
+/// Renders a markdown table.
+///
+/// # Panics
+///
+/// Panics if any row length differs from the header length.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        format!("| {} |\n", padded.join(" | "))
+    };
+    out.push_str(&fmt_row(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &widths,
+    ));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&fmt_row(&sep, &widths));
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Formats a float with fixed decimals.
+pub fn f(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+/// Formats a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_table_shapes() {
+        let t = markdown_table(
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["33".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("bb"));
+        assert!(lines[1].contains("--"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn markdown_table_rejects_ragged() {
+        markdown_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn quick_size_smaller_than_full() {
+        let q = RunSize::quick();
+        let full = RunSize::full();
+        assert!(q.eval_images < full.eval_images);
+        assert!(q.n_deltas < full.n_deltas);
+    }
+}

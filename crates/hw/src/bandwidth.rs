@@ -1,0 +1,102 @@
+//! Input-read bandwidth accounting (Table II's `#Input_bits` rows).
+
+use mupod_nn::inventory::LayerInventory;
+use mupod_quant::BitwidthAllocation;
+
+/// Total bits read for input operands in one inference:
+/// `Σ_K #Input_K · B_K`.
+///
+/// # Panics
+///
+/// Panics if slice lengths differ.
+pub fn total_input_bits(input_counts: &[u64], bits: &[u32]) -> f64 {
+    assert_eq!(input_counts.len(), bits.len(), "length mismatch");
+    input_counts
+        .iter()
+        .zip(bits)
+        .map(|(&n, &b)| n as f64 * b as f64)
+        .sum()
+}
+
+/// Per-layer input bits (the `#Input_bits` row of Table II).
+///
+/// # Panics
+///
+/// Panics if slice lengths differ.
+pub fn per_layer_input_bits(input_counts: &[u64], bits: &[u32]) -> Vec<f64> {
+    assert_eq!(input_counts.len(), bits.len(), "length mismatch");
+    input_counts
+        .iter()
+        .zip(bits)
+        .map(|(&n, &b)| n as f64 * b as f64)
+        .collect()
+}
+
+/// Total input-read traffic of an allocation on a measured network.
+///
+/// # Panics
+///
+/// Panics if the allocation and inventory disagree on layer count.
+pub fn allocation_input_bits(
+    inventory: &LayerInventory,
+    allocation: &BitwidthAllocation,
+) -> f64 {
+    assert_eq!(
+        inventory.len(),
+        allocation.len(),
+        "inventory/allocation layer count mismatch"
+    );
+    let counts: Vec<u64> = inventory.layers().iter().map(|l| l.input_elems).collect();
+    total_input_bits(&counts, &allocation.bits())
+}
+
+/// Percentage bandwidth saving of `optimized` over `baseline`
+/// (positive = optimized reads fewer bits).
+///
+/// # Panics
+///
+/// Panics if `baseline` is not positive.
+pub fn saving_percent(baseline: f64, optimized: f64) -> f64 {
+    assert!(baseline > 0.0, "baseline traffic must be positive");
+    (1.0 - optimized / baseline) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_baseline_row_reproduced() {
+        // Paper Table II: inputs (×10³) and baseline bitwidths give
+        // #Input_bits = 2833×10³ total.
+        let inputs = [154_600u64, 70_000, 43_200, 64_900, 64_900];
+        let bits = [9u32, 7, 4, 5, 7];
+        let per_layer = per_layer_input_bits(&inputs, &bits);
+        assert_eq!(per_layer[0], 1_391_400.0);
+        let total = total_input_bits(&inputs, &bits);
+        assert!((total - 2_833_000.0).abs() < 1_500.0, "total {total}");
+    }
+
+    #[test]
+    fn table2_optimized_row_reproduced() {
+        // Opt_for_#Input row (6, 6, 5, 6, 7) totals 2407×10³ bits — a
+        // 15 % saving, as the paper reports.
+        let inputs = [154_600u64, 70_000, 43_200, 64_900, 64_900];
+        let base = total_input_bits(&inputs, &[9, 7, 4, 5, 7]);
+        let opt = total_input_bits(&inputs, &[6, 6, 5, 6, 7]);
+        assert!((opt - 2_407_000.0).abs() < 1_500.0, "opt {opt}");
+        let saving = saving_percent(base, opt);
+        assert!((saving - 15.0).abs() < 0.5, "saving {saving}");
+    }
+
+    #[test]
+    fn saving_can_be_negative() {
+        assert!(saving_percent(100.0, 120.0) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_ragged_inputs() {
+        total_input_bits(&[1, 2], &[3]);
+    }
+}

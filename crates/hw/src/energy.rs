@@ -1,0 +1,155 @@
+//! Parametric MAC energy model (DesignWare-at-40 nm substitute).
+
+use mupod_nn::inventory::LayerInventory;
+use mupod_quant::BitwidthAllocation;
+
+/// Energy model of one multiply–accumulate as a function of the two
+/// operand bitwidths:
+///
+/// `E(b_in, b_w) = e_fixed + e_mult · b_in · b_w + e_add · (b_in + b_w)`
+///
+/// * `e_mult · b_in·b_w` — the array multiplier's partial products;
+/// * `e_add · (b_in+b_w)` — accumulator and operand registers;
+/// * `e_fixed` — clocking/control overhead per operation.
+///
+/// Units are picojoules. See the crate docs for the calibration
+/// rationale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MacEnergyModel {
+    /// Fixed per-operation overhead (pJ).
+    pub e_fixed: f64,
+    /// Coefficient of the `b_in · b_w` multiplier term (pJ per bit²).
+    pub e_mult: f64,
+    /// Coefficient of the `b_in + b_w` register/adder term (pJ per bit).
+    pub e_add: f64,
+}
+
+impl MacEnergyModel {
+    /// Default calibration standing in for the paper's Synopsys
+    /// DesignWare MAC at TSMC 40 nm LP, 0.9 V, 500 MHz.
+    ///
+    /// Solves to ≈ 0.20 pJ for an 8×8 MAC and ≈ 0.66 pJ for 16×16.
+    pub fn dwip_40nm() -> Self {
+        Self {
+            e_fixed: 0.02,
+            e_mult: 0.0022,
+            e_add: 0.0024,
+        }
+    }
+
+    /// Energy of one MAC with the given operand widths (pJ).
+    ///
+    /// Zero-width operands still pay the fixed overhead — a layer never
+    /// becomes free.
+    pub fn energy_per_mac(&self, input_bits: u32, weight_bits: u32) -> f64 {
+        self.e_fixed
+            + self.e_mult * input_bits as f64 * weight_bits as f64
+            + self.e_add * (input_bits + weight_bits) as f64
+    }
+
+    /// Energy of all MACs in one layer (pJ).
+    pub fn layer_energy(&self, macs: u64, input_bits: u32, weight_bits: u32) -> f64 {
+        macs as f64 * self.energy_per_mac(input_bits, weight_bits)
+    }
+
+    /// Total MAC energy of one inference given per-layer input bitwidths
+    /// and a uniform weight bitwidth (pJ) — the paper's *Ener Save*
+    /// denominator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `macs` and `input_bits` lengths differ.
+    pub fn network_energy(&self, macs: &[u64], input_bits: &[u32], weight_bits: u32) -> f64 {
+        assert_eq!(macs.len(), input_bits.len(), "macs/bits length mismatch");
+        macs.iter()
+            .zip(input_bits)
+            .map(|(&m, &b)| self.layer_energy(m, b, weight_bits))
+            .sum()
+    }
+
+    /// Total MAC energy of one inference for an allocation measured on a
+    /// network inventory (pJ).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocation and inventory disagree on layer count.
+    pub fn allocation_energy(
+        &self,
+        inventory: &LayerInventory,
+        allocation: &BitwidthAllocation,
+        weight_bits: u32,
+    ) -> f64 {
+        assert_eq!(
+            inventory.len(),
+            allocation.len(),
+            "inventory/allocation layer count mismatch"
+        );
+        let macs: Vec<u64> = inventory.layers().iter().map(|l| l.macs).collect();
+        self.network_energy(&macs, &allocation.bits(), weight_bits)
+    }
+
+    /// Percentage saving of `optimized` relative to `baseline`
+    /// (positive = optimized is cheaper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baseline` is not positive.
+    pub fn saving_percent(baseline: f64, optimized: f64) -> f64 {
+        assert!(baseline > 0.0, "baseline energy must be positive");
+        (1.0 - optimized / baseline) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_anchors() {
+        let m = MacEnergyModel::dwip_40nm();
+        let e8 = m.energy_per_mac(8, 8);
+        let e16 = m.energy_per_mac(16, 16);
+        assert!((e8 - 0.20).abs() < 0.03, "8x8 = {e8}");
+        assert!((e16 - 0.66).abs() < 0.05, "16x16 = {e16}");
+    }
+
+    #[test]
+    fn energy_monotone_in_both_operands() {
+        let m = MacEnergyModel::dwip_40nm();
+        for b in 1..16 {
+            assert!(m.energy_per_mac(b + 1, 8) > m.energy_per_mac(b, 8));
+            assert!(m.energy_per_mac(8, b + 1) > m.energy_per_mac(8, b));
+        }
+    }
+
+    #[test]
+    fn zero_width_still_costs_overhead() {
+        let m = MacEnergyModel::dwip_40nm();
+        assert!(m.energy_per_mac(0, 0) > 0.0);
+    }
+
+    #[test]
+    fn network_energy_sums_layers() {
+        let m = MacEnergyModel::dwip_40nm();
+        let total = m.network_energy(&[100, 200], &[8, 4], 10);
+        let by_hand = m.layer_energy(100, 8, 10) + m.layer_energy(200, 4, 10);
+        assert!((total - by_hand).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saving_percent_signs() {
+        assert!((MacEnergyModel::saving_percent(100.0, 80.0) - 20.0).abs() < 1e-12);
+        // A regression (more energy) shows as negative saving, like the
+        // SqueezeNet -2.7 % cell in Table III.
+        assert!(MacEnergyModel::saving_percent(100.0, 110.0) < 0.0);
+    }
+
+    #[test]
+    fn lowering_input_bits_saves_energy() {
+        let m = MacEnergyModel::dwip_40nm();
+        let base = m.network_energy(&[1000, 1000], &[16, 16], 10);
+        let opt = m.network_energy(&[1000, 1000], &[7, 5], 10);
+        let saving = MacEnergyModel::saving_percent(base, opt);
+        assert!(saving > 30.0, "saving = {saving}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Roofline latency model: is an allocation compute- or memory-bound?
+//!
+//! The paper reports Stripes' performance scaling directly from the
+//! effective bitwidth; a deployment decision also needs to know whether
+//! the accelerator can *feed* its MACs. This model bounds per-layer
+//! latency by the classic roofline:
+//!
+//! `t_K = max(work_K / peak_compute, traffic_K / peak_bandwidth)`
+//!
+//! where bit-serial compute throughput scales inversely with the
+//! operand bitwidth ([`crate::BitSerialModel`]) and traffic is the
+//! layer's input-read bits.
+
+use crate::serial::BitSerialModel;
+
+/// Peak rates of the modeled accelerator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RooflineModel {
+    /// Peak MAC throughput at the baseline bitwidth (MAC/s).
+    pub peak_macs_per_s: f64,
+    /// Peak memory bandwidth (bits/s).
+    pub peak_bits_per_s: f64,
+    /// The bit-serial scaling of compute throughput.
+    pub serial: BitSerialModel,
+}
+
+impl RooflineModel {
+    /// A Stripes-like edge configuration: 1 TMAC/s at 16-bit baseline,
+    /// 64 Gbit/s DRAM.
+    pub fn edge_stripes() -> Self {
+        Self {
+            peak_macs_per_s: 1e12,
+            peak_bits_per_s: 64e9,
+            serial: BitSerialModel::stripes(),
+        }
+    }
+
+    /// Latency of one layer (seconds).
+    pub fn layer_latency(
+        &self,
+        macs: u64,
+        input_bits_traffic: f64,
+        input_bitwidth: u32,
+        weight_bits: u32,
+    ) -> f64 {
+        let speed_scale = 1.0
+            / self
+                .serial
+                .layer_cycle_fraction(input_bitwidth, weight_bits);
+        let compute = macs as f64 / (self.peak_macs_per_s * speed_scale);
+        let memory = input_bits_traffic / self.peak_bits_per_s;
+        compute.max(memory)
+    }
+
+    /// Whether a layer is memory-bound at this allocation.
+    pub fn is_memory_bound(
+        &self,
+        macs: u64,
+        input_bits_traffic: f64,
+        input_bitwidth: u32,
+        weight_bits: u32,
+    ) -> bool {
+        let speed_scale = 1.0
+            / self
+                .serial
+                .layer_cycle_fraction(input_bitwidth, weight_bits);
+        input_bits_traffic / self.peak_bits_per_s
+            > macs as f64 / (self.peak_macs_per_s * speed_scale)
+    }
+
+    /// End-to-end latency of an inference (layers execute sequentially).
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ.
+    pub fn network_latency(
+        &self,
+        macs: &[u64],
+        input_counts: &[u64],
+        bits: &[u32],
+        weight_bits: u32,
+    ) -> f64 {
+        assert_eq!(macs.len(), input_counts.len(), "length mismatch");
+        assert_eq!(macs.len(), bits.len(), "length mismatch");
+        macs.iter()
+            .zip(input_counts)
+            .zip(bits)
+            .map(|((&m, &n), &b)| {
+                self.layer_latency(m, n as f64 * b as f64, b, weight_bits)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_bound_layer_scales_with_bitwidth() {
+        let m = RooflineModel::edge_stripes();
+        // Huge MACs, tiny traffic: compute bound; halving bits halves time.
+        let t16 = m.layer_latency(1_000_000_000, 1e3, 16, 16);
+        let t8 = m.layer_latency(1_000_000_000, 1e3, 8, 16);
+        assert!((t16 / t8 - 2.0).abs() < 1e-9);
+        assert!(!m.is_memory_bound(1_000_000_000, 1e3, 16, 16));
+    }
+
+    #[test]
+    fn memory_bound_layer_scales_with_traffic() {
+        let m = RooflineModel::edge_stripes();
+        // Tiny MACs, huge traffic: memory bound; time = traffic / bw.
+        let t = m.layer_latency(10, 64e9, 8, 16);
+        assert!((t - 1.0).abs() < 1e-9);
+        assert!(m.is_memory_bound(10, 64e9, 8, 16));
+    }
+
+    #[test]
+    fn lowering_bits_can_flip_a_layer_to_memory_bound() {
+        let m = RooflineModel::edge_stripes();
+        // Work/traffic chosen so 16-bit compute (1 ms) dominates memory
+        // (0.25 ms), while 2-bit compute (0.125 ms) no longer does.
+        let macs = 1_000_000_000u64;
+        let traffic = 16e6;
+        assert!(!m.is_memory_bound(macs, traffic, 16, 16));
+        assert!(m.is_memory_bound(macs, traffic, 2, 16));
+    }
+
+    #[test]
+    fn network_latency_sums_layers() {
+        let m = RooflineModel::edge_stripes();
+        let total = m.network_latency(&[1000, 2000], &[100, 200], &[8, 8], 16);
+        let by_hand = m.layer_latency(1000, 800.0, 8, 16)
+            + m.layer_latency(2000, 1600.0, 8, 16);
+        assert!((total - by_hand).abs() < 1e-15);
+    }
+}

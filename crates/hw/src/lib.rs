@@ -1,0 +1,41 @@
+//! Hardware cost models: MAC energy, bandwidth and bit-serial
+//! accelerators.
+//!
+//! The paper's evaluation (Table III) reports three hardware-facing
+//! quantities derived from per-layer bitwidths:
+//!
+//! * **Bandwidth saving** — computed directly from the input-weighted
+//!   effective bitwidth ([`bandwidth`]).
+//! * **MAC energy saving** — the paper synthesizes a Synopsys DesignWare
+//!   MAC at TSMC 40 nm LP (0.9 V, 500 MHz) and sums per-MAC energy over
+//!   a full inference. We cannot run that flow, so [`MacEnergyModel`] is
+//!   a parametric substitute whose shape (energy ≈ bilinear in the two
+//!   operand widths, plus a width-linear adder/register term and a fixed
+//!   overhead) follows published CMOS multiplier characterizations; the
+//!   default coefficients are calibrated so an 8×8 MAC costs ≈ 0.2 pJ
+//!   and a 16×16 MAC ≈ 0.65 pJ, Horowitz-style 45 nm numbers. Relative
+//!   savings — the quantity the paper actually reports — are insensitive
+//!   to the absolute scale (see `DESIGN.md`, substitution table).
+//! * **Bit-serial performance** — Stripes processes activations
+//!   bit-serially, so throughput scales with `16 / effective_bits`;
+//!   Loom is serial in both operands ([`BitSerialModel`]).
+//!
+//! # Example
+//!
+//! ```
+//! use mupod_hw::MacEnergyModel;
+//! let model = MacEnergyModel::dwip_40nm();
+//! let e8 = model.energy_per_mac(8, 8);
+//! let e16 = model.energy_per_mac(16, 16);
+//! assert!(e16 > 2.0 * e8); // energy grows super-linearly in width
+//! ```
+
+pub mod bandwidth;
+pub mod latency;
+pub mod memory;
+
+mod energy;
+mod serial;
+
+pub use energy::MacEnergyModel;
+pub use serial::BitSerialModel;

@@ -1,0 +1,136 @@
+//! Memory-access energy: the other half of a system-level objective.
+//!
+//! The paper optimizes input *bandwidth* (bits moved) and MAC energy
+//! separately and notes that "designers can formulate different
+//! optimization criteria" (§VI-A). A natural combined criterion is total
+//! system energy = MAC energy + memory-access energy; this module
+//! supplies the memory half with the classic two-level model: a fraction
+//! of input reads hit the on-chip SRAM buffer, the rest go to DRAM,
+//! whose per-bit cost is orders of magnitude higher.
+
+use crate::energy::MacEnergyModel;
+
+/// Per-bit energy of the two memory levels (picojoules per bit).
+///
+/// Defaults follow the widely used Horowitz ISSCC'14 45 nm numbers:
+/// DRAM ≈ 20 pJ/bit, large on-chip SRAM ≈ 0.08 pJ/bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryEnergyModel {
+    /// DRAM access cost (pJ per bit).
+    pub dram_pj_per_bit: f64,
+    /// On-chip SRAM access cost (pJ per bit).
+    pub sram_pj_per_bit: f64,
+}
+
+impl Default for MemoryEnergyModel {
+    fn default() -> Self {
+        Self {
+            dram_pj_per_bit: 20.0,
+            sram_pj_per_bit: 0.08,
+        }
+    }
+}
+
+impl MemoryEnergyModel {
+    /// Energy to read `bits` with the given SRAM hit rate (pJ).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ hit_rate ≤ 1`.
+    pub fn read_energy(&self, bits: f64, sram_hit_rate: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&sram_hit_rate),
+            "hit rate must be in [0, 1]"
+        );
+        bits * (sram_hit_rate * self.sram_pj_per_bit
+            + (1.0 - sram_hit_rate) * self.dram_pj_per_bit)
+    }
+}
+
+/// A system-level energy breakdown for one inference (picojoules).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostBreakdown {
+    /// Energy of all multiply–accumulates.
+    pub mac_pj: f64,
+    /// Energy of input-operand reads.
+    pub memory_pj: f64,
+}
+
+impl CostBreakdown {
+    /// Total energy.
+    pub fn total_pj(&self) -> f64 {
+        self.mac_pj + self.memory_pj
+    }
+}
+
+/// Computes the combined MAC + memory energy of an allocation.
+///
+/// `input_counts`/`macs` are per-layer; `bits` is the allocation's
+/// per-layer input bitwidths; `weight_bits` the uniform weight width.
+///
+/// # Panics
+///
+/// Panics on length mismatches (see the underlying models).
+#[allow(clippy::too_many_arguments)]
+pub fn system_energy(
+    mac_model: &MacEnergyModel,
+    mem_model: &MemoryEnergyModel,
+    input_counts: &[u64],
+    macs: &[u64],
+    bits: &[u32],
+    weight_bits: u32,
+    sram_hit_rate: f64,
+) -> CostBreakdown {
+    let mac_pj = mac_model.network_energy(macs, bits, weight_bits);
+    let traffic = crate::bandwidth::total_input_bits(input_counts, bits);
+    let memory_pj = mem_model.read_energy(traffic, sram_hit_rate);
+    CostBreakdown { mac_pj, memory_pj }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dram_dominates_at_low_hit_rate() {
+        let m = MemoryEnergyModel::default();
+        let cold = m.read_energy(1000.0, 0.0);
+        let hot = m.read_energy(1000.0, 1.0);
+        assert!(cold / hot > 100.0, "DRAM/SRAM ratio {}", cold / hot);
+    }
+
+    #[test]
+    fn read_energy_linear_in_bits_and_hit_rate() {
+        let m = MemoryEnergyModel::default();
+        assert!((m.read_energy(2000.0, 0.5) - 2.0 * m.read_energy(1000.0, 0.5)).abs() < 1e-9);
+        let half = m.read_energy(1000.0, 0.5);
+        let expect = 0.5 * (m.read_energy(1000.0, 0.0) + m.read_energy(1000.0, 1.0));
+        assert!((half - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn system_energy_sums_components() {
+        let mac = MacEnergyModel::dwip_40nm();
+        let mem = MemoryEnergyModel::default();
+        let cb = system_energy(&mac, &mem, &[100, 50], &[1000, 500], &[8, 6], 8, 0.9);
+        assert!(cb.mac_pj > 0.0);
+        assert!(cb.memory_pj > 0.0);
+        assert!((cb.total_pj() - cb.mac_pj - cb.memory_pj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fewer_bits_save_both_components() {
+        let mac = MacEnergyModel::dwip_40nm();
+        let mem = MemoryEnergyModel::default();
+        let wide = system_energy(&mac, &mem, &[100], &[1000], &[16], 8, 0.5);
+        let narrow = system_energy(&mac, &mem, &[100], &[1000], &[8], 8, 0.5);
+        assert!(narrow.mac_pj < wide.mac_pj);
+        assert!(narrow.memory_pj < wide.memory_pj);
+    }
+
+    #[test]
+    #[should_panic(expected = "hit rate")]
+    fn rejects_bad_hit_rate() {
+        MemoryEnergyModel::default().read_energy(1.0, 1.5);
+    }
+}

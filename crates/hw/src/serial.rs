@@ -1,0 +1,143 @@
+//! Bit-serial accelerator performance models (Stripes / Loom).
+
+/// Which operands the accelerator processes bit-serially.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SerialMode {
+    /// Stripes (MICRO 2016): activations serial, weights parallel.
+    /// Execution time per layer scales with the activation bitwidth.
+    ActivationSerial,
+    /// Loom (DAC 2018): both activations and weights serial; time scales
+    /// with the product of the two bitwidths.
+    FullySerial,
+}
+
+/// A bit-serial DNN accelerator whose throughput scales with operand
+/// bitwidth, relative to a fixed-width baseline datapath.
+///
+/// The paper (§VI): "their performance scales almost linearly with the
+/// saving in effective_bitwidth" — this model realizes exactly that
+/// proportionality.
+///
+/// # Example
+///
+/// ```
+/// use mupod_hw::BitSerialModel;
+/// let stripes = BitSerialModel::stripes();
+/// // Halving the effective bitwidth doubles throughput.
+/// let s8 = stripes.speedup(&[8, 8], &[1.0, 1.0], 8);
+/// let s4 = stripes.speedup(&[4, 4], &[1.0, 1.0], 8);
+/// assert!((s4 / s8 - 2.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BitSerialModel {
+    /// Serial dimension(s).
+    pub mode: SerialMode,
+    /// Baseline datapath width the speedup is measured against.
+    pub baseline_bits: u32,
+}
+
+impl BitSerialModel {
+    /// The Stripes configuration (activation-serial, 16-bit baseline).
+    pub fn stripes() -> Self {
+        Self {
+            mode: SerialMode::ActivationSerial,
+            baseline_bits: 16,
+        }
+    }
+
+    /// The Loom configuration (fully serial, 16-bit baseline).
+    pub fn loom() -> Self {
+        Self {
+            mode: SerialMode::FullySerial,
+            baseline_bits: 16,
+        }
+    }
+
+    /// Relative execution cycles of one layer (1.0 = baseline datapath).
+    pub fn layer_cycle_fraction(&self, input_bits: u32, weight_bits: u32) -> f64 {
+        let b = self.baseline_bits as f64;
+        match self.mode {
+            SerialMode::ActivationSerial => input_bits.max(1) as f64 / b,
+            SerialMode::FullySerial => {
+                (input_bits.max(1) as f64 * weight_bits.max(1) as f64) / (b * b)
+            }
+        }
+    }
+
+    /// Total relative cycles across layers, weighted by per-layer work
+    /// (MAC counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ or total work is zero.
+    pub fn network_cycle_fraction(
+        &self,
+        input_bits: &[u32],
+        work: &[f64],
+        weight_bits: u32,
+    ) -> f64 {
+        assert_eq!(input_bits.len(), work.len(), "bits/work length mismatch");
+        let total: f64 = work.iter().sum();
+        assert!(total > 0.0, "work must be positive");
+        input_bits
+            .iter()
+            .zip(work)
+            .map(|(&b, &w)| w * self.layer_cycle_fraction(b, weight_bits))
+            .sum::<f64>()
+            / total
+    }
+
+    /// End-to-end speedup over the baseline datapath.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ or total work is zero.
+    pub fn speedup(&self, input_bits: &[u32], work: &[f64], weight_bits: u32) -> f64 {
+        1.0 / self.network_cycle_fraction(input_bits, work, weight_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripes_speedup_linear_in_activation_bits() {
+        let m = BitSerialModel::stripes();
+        // Uniform 8-bit activations on a 16-bit baseline: 2x.
+        let s = m.speedup(&[8, 8, 8], &[1.0, 2.0, 3.0], 16);
+        assert!((s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stripes_ignores_weight_bits() {
+        let m = BitSerialModel::stripes();
+        assert_eq!(
+            m.layer_cycle_fraction(8, 4),
+            m.layer_cycle_fraction(8, 16)
+        );
+    }
+
+    #[test]
+    fn loom_scales_with_both_operands() {
+        let m = BitSerialModel::loom();
+        // 8-bit x 8-bit on 16x16 baseline: 4x speedup.
+        let s = m.speedup(&[8], &[1.0], 8);
+        assert!((s - 4.0).abs() < 1e-12);
+        assert!(m.layer_cycle_fraction(8, 4) < m.layer_cycle_fraction(8, 8));
+    }
+
+    #[test]
+    fn work_weighting_dominated_by_heavy_layers() {
+        let m = BitSerialModel::stripes();
+        // Heavy layer at 4 bits, light layer at 16: speedup near 4x.
+        let s = m.speedup(&[4, 16], &[99.0, 1.0], 16);
+        assert!(s > 3.5 && s < 4.0, "speedup {s}");
+    }
+
+    #[test]
+    fn zero_bits_clamped() {
+        let m = BitSerialModel::stripes();
+        assert!(m.layer_cycle_fraction(0, 8) > 0.0);
+    }
+}

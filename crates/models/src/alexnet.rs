@@ -1,0 +1,77 @@
+//! AlexNet: 5 convolutions (2 grouped), LRN, overlapping pools, 3 FC.
+//!
+//! The paper's Table II case study. Following the original, conv2, conv4
+//! and conv5 use two channel groups; LRN follows conv1 and conv2. The
+//! three FC layers are present (errors propagate through them to the
+//! logits) but excluded from bitwidth analysis per Stripes' convention.
+
+use crate::blocks::{ch, ArchBuilder};
+use crate::ModelScale;
+use mupod_nn::Network;
+
+/// Builds AlexNet at the given scale.
+pub(crate) fn build(scale: &ModelScale, seed: u64) -> Network {
+    let mut a = ArchBuilder::new(&scale.input_dims(), seed);
+    let b = scale.base_channels;
+    let input = a.input();
+
+    // conv1 + LRN + pool: spatial H -> H/2.
+    let c1 = a.conv_relu("conv1", input, 3, ch(b, 2.0), 5, 1, 2, 1);
+    let l1 = a.b.lrn("lrn1", c1, 5, 1e-4, 0.75, 2.0);
+    let p1 = a.max_pool2("pool1", l1);
+
+    // conv2 (grouped) + LRN + pool: H/2 -> H/4.
+    let c2 = a.conv_relu("conv2", p1, ch(b, 2.0), ch(b, 3.0), 5, 1, 2, 2);
+    let l2 = a.b.lrn("lrn2", c2, 5, 1e-4, 0.75, 2.0);
+    let p2 = a.max_pool2("pool2", l2);
+
+    // conv3, conv4 (grouped), conv5 (grouped) + pool: H/4 -> H/8.
+    let c3 = a.conv_relu("conv3", p2, ch(b, 3.0), ch(b, 4.0), 3, 1, 1, 1);
+    let c4 = a.conv_relu("conv4", c3, ch(b, 4.0), ch(b, 3.0), 3, 1, 1, 2);
+    let c5 = a.conv_relu("conv5", c4, ch(b, 3.0), ch(b, 3.0), 3, 1, 1, 2);
+    let p5 = a.max_pool2("pool5", c5);
+
+    // FC head (ignored by the analysis for this network).
+    let fl = a.b.flatten("flatten", p5);
+    let side = scale.input_hw / 8;
+    let feat = ch(b, 3.0) * side * side;
+    let f6 = a.fc("fc6", fl, feat, ch(b, 4.0));
+    let r6 = a.b.relu("fc6_relu", f6);
+    let f7 = a.fc("fc7", r6, ch(b, 4.0), ch(b, 4.0));
+    let r7 = a.b.relu("fc7_relu", f7);
+    let f8 = a.fc("fc8", r7, ch(b, 4.0), scale.classes);
+    a.b.build(f8).expect("AlexNet builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mupod_nn::Op;
+
+    #[test]
+    fn five_convs_three_fcs() {
+        let net = build(&ModelScale::tiny(), 3);
+        let convs = net
+            .dot_product_layers()
+            .into_iter()
+            .filter(|&id| matches!(net.node(id).op, Op::Conv2d { .. }))
+            .count();
+        let fcs = net.dot_product_layers().len() - convs;
+        assert_eq!(convs, 5);
+        assert_eq!(fcs, 3);
+    }
+
+    #[test]
+    fn grouped_convs_match_original() {
+        let net = build(&ModelScale::tiny(), 3);
+        let groups: Vec<usize> = net
+            .dot_product_layers()
+            .into_iter()
+            .filter_map(|id| match &net.node(id).op {
+                Op::Conv2d { params, .. } => Some(params.groups),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(groups, vec![1, 2, 1, 2, 2]);
+    }
+}

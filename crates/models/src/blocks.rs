@@ -1,0 +1,259 @@
+//! Shared building blocks for the architecture builders.
+
+use crate::init::{bn_affine, he_conv, he_fc, small_bias};
+use mupod_nn::{NetworkBuilder, NodeId};
+use mupod_stats::SeededRng;
+use mupod_tensor::conv::Conv2dParams;
+use mupod_tensor::pool::Pool2dParams;
+
+/// A [`NetworkBuilder`] paired with a seeded RNG and naming helpers —
+/// the common scaffolding of every architecture in the zoo.
+pub(crate) struct ArchBuilder {
+    pub b: NetworkBuilder,
+    pub rng: SeededRng,
+}
+
+/// Rounds `base · mult` to a channel count, clamped at 1.
+pub(crate) fn ch(base: usize, mult: f64) -> usize {
+    ((base as f64 * mult).round() as usize).max(1)
+}
+
+impl ArchBuilder {
+    pub(crate) fn new(input_dims: &[usize], seed: u64) -> Self {
+        Self {
+            b: NetworkBuilder::new(input_dims),
+            rng: SeededRng::new(seed),
+        }
+    }
+
+    pub(crate) fn input(&self) -> NodeId {
+        self.b.input()
+    }
+
+    /// Plain convolution with He weights.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn conv(
+        &mut self,
+        name: &str,
+        input: NodeId,
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        groups: usize,
+    ) -> NodeId {
+        let params = Conv2dParams::grouped(in_c, out_c, k, stride, pad, groups);
+        let weight = he_conv(&mut self.rng, out_c, in_c / groups, k, 1.0);
+        let bias = small_bias(&mut self.rng, out_c);
+        self.b.conv2d(name, input, params, weight, bias)
+    }
+
+    /// Convolution followed by ReLU.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn conv_relu(
+        &mut self,
+        name: &str,
+        input: NodeId,
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        groups: usize,
+    ) -> NodeId {
+        let c = self.conv(name, input, in_c, out_c, k, stride, pad, groups);
+        self.b.relu(format!("{name}_relu"), c)
+    }
+
+    /// Convolution → folded-BN affine → ReLU (ResNet/MobileNet style).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn conv_bn_relu(
+        &mut self,
+        name: &str,
+        input: NodeId,
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        groups: usize,
+    ) -> NodeId {
+        let bn = self.conv_bn(name, input, in_c, out_c, k, stride, pad, groups);
+        self.b.relu(format!("{name}_relu"), bn)
+    }
+
+    /// Convolution → folded-BN affine, no activation (residual tails).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn conv_bn(
+        &mut self,
+        name: &str,
+        input: NodeId,
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        groups: usize,
+    ) -> NodeId {
+        self.conv_bn_gain(name, input, in_c, out_c, k, stride, pad, groups, 1.0)
+    }
+
+    /// [`ArchBuilder::conv_bn`] with the affine scaled by `gain`.
+    ///
+    /// Residual networks need `gain < 1` on each branch tail: a real
+    /// trained ResNet's batch norms keep activations bounded with depth,
+    /// but a He-initialized stack with identity-like affines *doubles*
+    /// activation variance at every residual addition — 2⁵⁰ after
+    /// ResNet-152's 50 blocks. Scaling the branch by `√(2/N_blocks)`
+    /// (Fixup-style) bounds total growth to ≈ e², matching the bounded
+    /// dynamic ranges the paper's `max|X_K|` measurements rely on.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn conv_bn_gain(
+        &mut self,
+        name: &str,
+        input: NodeId,
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        groups: usize,
+        gain: f64,
+    ) -> NodeId {
+        let c = self.conv(name, input, in_c, out_c, k, stride, pad, groups);
+        let (mut scale, shift) = bn_affine(&mut self.rng, out_c);
+        for v in &mut scale {
+            *v *= gain as f32;
+        }
+        self.b.channel_affine(format!("{name}_bn"), c, scale, shift)
+    }
+
+    /// Fully-connected layer with He weights.
+    pub(crate) fn fc(&mut self, name: &str, input: NodeId, in_d: usize, out_d: usize) -> NodeId {
+        let weight = he_fc(&mut self.rng, out_d, in_d, 1.0);
+        let bias = small_bias(&mut self.rng, out_d);
+        self.b.fully_connected(name, input, weight, bias)
+    }
+
+    /// 3×3/2 max pool (the classic stage-reduction pool).
+    pub(crate) fn max_pool2(&mut self, name: &str, input: NodeId) -> NodeId {
+        self.b.max_pool(name, input, Pool2dParams::new(2, 2, 0))
+    }
+
+    /// GoogleNet inception module: four parallel branches concatenated.
+    ///
+    /// Contributes exactly **6** convolutions (1×1, 3×3-reduce, 3×3,
+    /// 5×5-reduce, 5×5, pool-proj). Returns `(output, out_channels)`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn inception(
+        &mut self,
+        prefix: &str,
+        input: NodeId,
+        in_c: usize,
+        o1: usize,
+        r3: usize,
+        o3: usize,
+        r5: usize,
+        o5: usize,
+        pp: usize,
+    ) -> (NodeId, usize) {
+        let b1 = self.conv_relu(&format!("{prefix}_1x1"), input, in_c, o1, 1, 1, 0, 1);
+        let b3r = self.conv_relu(&format!("{prefix}_3x3r"), input, in_c, r3, 1, 1, 0, 1);
+        let b3 = self.conv_relu(&format!("{prefix}_3x3"), b3r, r3, o3, 3, 1, 1, 1);
+        let b5r = self.conv_relu(&format!("{prefix}_5x5r"), input, in_c, r5, 1, 1, 0, 1);
+        let b5 = self.conv_relu(&format!("{prefix}_5x5"), b5r, r5, o5, 5, 1, 2, 1);
+        let pool = self.b.max_pool(
+            format!("{prefix}_pool"),
+            input,
+            Pool2dParams::new(3, 1, 1),
+        );
+        let bp = self.conv_relu(&format!("{prefix}_pp"), pool, in_c, pp, 1, 1, 0, 1);
+        let cat = self.b.concat(format!("{prefix}_cat"), &[b1, b3, b5, bp]);
+        (cat, o1 + o3 + o5 + pp)
+    }
+
+    /// ResNet bottleneck block (1×1 → 3×3 → 1×1 with shortcut).
+    ///
+    /// Contributes **3** convolutions, plus **1** projection convolution
+    /// when `project` is set (channel or stride change). Returns the
+    /// block output.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn bottleneck(
+        &mut self,
+        prefix: &str,
+        input: NodeId,
+        in_c: usize,
+        mid_c: usize,
+        out_c: usize,
+        stride: usize,
+        project: bool,
+        branch_gain: f64,
+    ) -> NodeId {
+        let c1 = self.conv_bn_relu(&format!("{prefix}_a"), input, in_c, mid_c, 1, 1, 0, 1);
+        let c2 = self.conv_bn_relu(&format!("{prefix}_b"), c1, mid_c, mid_c, 3, stride, 1, 1);
+        let c3 = self.conv_bn_gain(
+            &format!("{prefix}_c"),
+            c2,
+            mid_c,
+            out_c,
+            1,
+            1,
+            0,
+            1,
+            branch_gain,
+        );
+        let shortcut = if project {
+            self.conv_bn(&format!("{prefix}_proj"), input, in_c, out_c, 1, stride, 0, 1)
+        } else {
+            assert_eq!(in_c, out_c, "identity shortcut requires equal channels");
+            assert_eq!(stride, 1, "identity shortcut requires stride 1");
+            input
+        };
+        let sum = self.b.add(format!("{prefix}_add"), &[c3, shortcut]);
+        self.b.relu(format!("{prefix}_relu"), sum)
+    }
+
+    /// SqueezeNet fire module (squeeze 1×1, expand 1×1 ∥ 3×3, concat).
+    ///
+    /// Contributes **3** convolutions. Returns `(output, out_channels)`.
+    pub(crate) fn fire(
+        &mut self,
+        prefix: &str,
+        input: NodeId,
+        in_c: usize,
+        squeeze_c: usize,
+        expand_c: usize,
+    ) -> (NodeId, usize) {
+        let s = self.conv_relu(&format!("{prefix}_s1"), input, in_c, squeeze_c, 1, 1, 0, 1);
+        let e1 = self.conv_relu(&format!("{prefix}_e1"), s, squeeze_c, expand_c, 1, 1, 0, 1);
+        let e3 = self.conv_relu(&format!("{prefix}_e3"), s, squeeze_c, expand_c, 3, 1, 1, 1);
+        let cat = self.b.concat(format!("{prefix}_cat"), &[e1, e3]);
+        (cat, 2 * expand_c)
+    }
+
+    /// MobileNet depthwise-separable block (3×3 depthwise + 1×1
+    /// pointwise, each with BN+ReLU).
+    ///
+    /// Contributes **2** convolutions. Returns the block output.
+    pub(crate) fn dw_separable(
+        &mut self,
+        prefix: &str,
+        input: NodeId,
+        in_c: usize,
+        out_c: usize,
+        stride: usize,
+    ) -> NodeId {
+        let dw = self.conv_bn_relu(
+            &format!("{prefix}_dw"),
+            input,
+            in_c,
+            in_c,
+            3,
+            stride,
+            1,
+            in_c,
+        );
+        self.conv_bn_relu(&format!("{prefix}_pw"), dw, in_c, out_c, 1, 1, 0, 1)
+    }
+}

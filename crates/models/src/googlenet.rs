@@ -1,0 +1,92 @@
+//! GoogleNet: 3 stem convolutions + 9 inception modules × 6 convolutions
+//! = 57 analyzable layers, plus an (ignored) FC classifier.
+//!
+//! Module widths follow the original's growth pattern at reduced scale.
+//! The mid-network downsampling pools are folded away (the scaled input
+//! is already small); depth and branch structure are unchanged.
+
+use crate::blocks::{ch, ArchBuilder};
+use crate::ModelScale;
+use mupod_nn::Network;
+
+/// Builds GoogleNet at the given scale.
+pub(crate) fn build(scale: &ModelScale, seed: u64) -> Network {
+    let mut a = ArchBuilder::new(&scale.input_dims(), seed);
+    let b = scale.base_channels;
+    let input = a.input();
+
+    // Stem: conv1 (7x7/2 in the original; 5x5/2 here), pool, 1x1 reduce,
+    // 3x3. Three convolutions total.
+    let c1 = a.conv_relu("conv1", input, 3, ch(b, 2.0), 5, 2, 2, 1);
+    let l1 = a.b.lrn("lrn1", c1, 5, 1e-4, 0.75, 2.0);
+    let p1 = a.max_pool2("pool1", l1);
+    let c2r = a.conv_relu("conv2r", p1, ch(b, 2.0), ch(b, 2.0), 1, 1, 0, 1);
+    let c2 = a.conv_relu("conv2", c2r, ch(b, 2.0), ch(b, 3.0), 3, 1, 1, 1);
+    let l2 = a.b.lrn("lrn2", c2, 5, 1e-4, 0.75, 2.0);
+
+    // Nine inception modules (3a..3b, 4a..4e, 5a..5b): branch widths grow
+    // following the original's pattern, scaled by the base channel count.
+    // Each tuple is (o1, r3, o3, r5, o5, pp) in units of b/4.
+    let widths: [(f64, f64, f64, f64, f64, f64); 9] = [
+        (2.0, 3.0, 4.0, 0.5, 1.0, 1.0), // 3a
+        (4.0, 4.0, 6.0, 1.0, 3.0, 2.0), // 3b
+        (6.0, 3.0, 6.5, 0.5, 1.5, 2.0), // 4a
+        (5.0, 3.5, 7.0, 1.0, 2.0, 2.0), // 4b
+        (4.0, 4.0, 8.0, 1.0, 2.0, 2.0), // 4c
+        (3.5, 4.5, 9.0, 1.0, 2.0, 2.0), // 4d
+        (8.0, 5.0, 10.0, 1.0, 4.0, 4.0), // 4e
+        (8.0, 5.0, 10.0, 1.0, 4.0, 4.0), // 5a
+        (12.0, 6.0, 12.0, 1.5, 4.0, 4.0), // 5b
+    ];
+    let names = ["3a", "3b", "4a", "4b", "4c", "4d", "4e", "5a", "5b"];
+
+    let mut node = l2;
+    let mut in_c = ch(b, 3.0);
+    let unit = b as f64 / 4.0;
+    for (name, &(o1, r3, o3, r5, o5, pp)) in names.iter().zip(&widths) {
+        let (out, out_c) = a.inception(
+            &format!("inc{name}"),
+            node,
+            in_c,
+            ch(1, o1 * unit),
+            ch(1, r3 * unit),
+            ch(1, o3 * unit),
+            ch(1, r5 * unit),
+            ch(1, o5 * unit),
+            ch(1, pp * unit),
+        );
+        node = out;
+        in_c = out_c;
+    }
+
+    // Classifier: global average pool + FC (ignored by the analysis).
+    let gap = a.b.global_avg_pool("gap", node);
+    let fc = a.fc("fc", gap, in_c, scale.classes);
+    a.b.build(fc).expect("GoogleNet builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mupod_nn::Op;
+
+    #[test]
+    fn fifty_seven_convs_one_fc() {
+        let net = build(&ModelScale::tiny(), 13);
+        let convs = net
+            .dot_product_layers()
+            .into_iter()
+            .filter(|&id| matches!(net.node(id).op, Op::Conv2d { .. }))
+            .count();
+        assert_eq!(convs, 57);
+        assert_eq!(net.dot_product_layers().len(), 58);
+    }
+
+    #[test]
+    fn inception_concat_channels_consistent() {
+        let scale = ModelScale::tiny();
+        let net = build(&scale, 13);
+        // The network builds (shape validation passed) and classifies.
+        assert_eq!(net.node_out_dims(net.output_id()), &[scale.classes]);
+    }
+}

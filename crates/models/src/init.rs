@@ -1,0 +1,104 @@
+//! He-style weight initialization.
+//!
+//! The reproduction cannot load the Caffe Model Zoo weights the paper
+//! used, so weights are drawn from the fan-in-scaled Gaussian of He et
+//! al. (2015). For ReLU networks this keeps per-layer activation variance
+//! approximately constant with depth, which is what makes the profiled
+//! `λ_K`/`θ_K` statistics (and the `max|X_K|` dynamic ranges) behave like
+//! those of a trained network.
+
+use mupod_stats::SeededRng;
+use mupod_tensor::Tensor;
+
+/// Draws a He-normal convolution filter bank
+/// `[out_c, in_c/groups, k, k]` with `std = gain·√(2/fan_in)`.
+pub fn he_conv(
+    rng: &mut SeededRng,
+    out_c: usize,
+    in_c_per_group: usize,
+    k: usize,
+    gain: f64,
+) -> Tensor {
+    let fan_in = (in_c_per_group * k * k) as f64;
+    let std = gain * (2.0 / fan_in).sqrt();
+    let n = out_c * in_c_per_group * k * k;
+    Tensor::from_vec(
+        &[out_c, in_c_per_group, k, k],
+        (0..n).map(|_| rng.gaussian(0.0, std) as f32).collect(),
+    )
+}
+
+/// Draws a He-normal fully-connected weight matrix `[out, in]`.
+pub fn he_fc(rng: &mut SeededRng, out: usize, inp: usize, gain: f64) -> Tensor {
+    let std = gain * (2.0 / inp as f64).sqrt();
+    Tensor::from_vec(
+        &[out, inp],
+        (0..out * inp).map(|_| rng.gaussian(0.0, std) as f32).collect(),
+    )
+}
+
+/// Small random biases (std 0.01) — exact zeros would make early ReLU
+/// outputs degenerate on zero-mean patches.
+pub fn small_bias(rng: &mut SeededRng, n: usize) -> Vec<f32> {
+    (0..n).map(|_| rng.gaussian(0.0, 0.01) as f32).collect()
+}
+
+/// Folded-batch-norm affine parameters: scale ≈ 1, shift ≈ 0 with mild
+/// per-channel variation, mimicking inference-time BN folding.
+pub fn bn_affine(rng: &mut SeededRng, channels: usize) -> (Vec<f32>, Vec<f32>) {
+    let scale = (0..channels)
+        .map(|_| (1.0 + rng.gaussian(0.0, 0.05)) as f32)
+        .collect();
+    let shift = (0..channels).map(|_| rng.gaussian(0.0, 0.02) as f32).collect();
+    (scale, shift)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mupod_stats::RunningStats;
+
+    #[test]
+    fn he_conv_std_matches_fan_in() {
+        let mut rng = SeededRng::new(1);
+        let w = he_conv(&mut rng, 64, 16, 3, 1.0);
+        let mut s = RunningStats::new();
+        s.extend(w.data().iter().map(|&v| v as f64));
+        let expected = (2.0_f64 / (16.0 * 9.0)).sqrt();
+        assert!((s.population_std() - expected).abs() / expected < 0.05);
+        assert!(s.mean().abs() < 0.01);
+    }
+
+    #[test]
+    fn he_fc_std_matches_fan_in() {
+        let mut rng = SeededRng::new(2);
+        let w = he_fc(&mut rng, 100, 400, 1.0);
+        let mut s = RunningStats::new();
+        s.extend(w.data().iter().map(|&v| v as f64));
+        let expected = (2.0_f64 / 400.0).sqrt();
+        assert!((s.population_std() - expected).abs() / expected < 0.05);
+    }
+
+    #[test]
+    fn gain_scales_std() {
+        let mut rng = SeededRng::new(3);
+        let w1 = he_conv(&mut rng, 32, 8, 3, 1.0);
+        let mut rng = SeededRng::new(3);
+        let w2 = he_conv(&mut rng, 32, 8, 3, 2.0);
+        for (a, b) in w1.data().iter().zip(w2.data()) {
+            assert!((b - 2.0 * a).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bn_affine_near_identity() {
+        let mut rng = SeededRng::new(4);
+        let (scale, shift) = bn_affine(&mut rng, 1000);
+        let mut s = RunningStats::new();
+        s.extend(scale.iter().map(|&v| v as f64));
+        assert!((s.mean() - 1.0).abs() < 0.01);
+        let mut sh = RunningStats::new();
+        sh.extend(shift.iter().map(|&v| v as f64));
+        assert!(sh.mean().abs() < 0.01);
+    }
+}

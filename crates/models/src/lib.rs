@@ -1,0 +1,247 @@
+//! The model zoo: the eight CNN architectures of the paper's Table III.
+//!
+//! The paper evaluates AlexNet, NiN, GoogleNet, VGG-19, ResNet-50,
+//! ResNet-152, SqueezeNet and MobileNet with pretrained Caffe weights.
+//! This crate rebuilds the same eight *topologies* — preserving the
+//! paper's analyzable-layer counts exactly (5, 12, 57, 16, 54, 156, 26,
+//! 28) and every structural feature the method must cope with (grouped
+//! convolutions, LRN, inception branches, residual additions, fire
+//! modules, depthwise separability) — at reduced channel/spatial scale,
+//! with He-initialized weights and a ridge-regression-calibrated
+//! classifier head (see `DESIGN.md`, substitution table).
+//!
+//! Following Stripes, the paper ignores fully-connected layers for
+//! AlexNet, NiN, GoogleNet and VGG-19; [`ModelKind::analyzable_layers`]
+//! encodes that convention.
+//!
+//! # Example
+//!
+//! ```
+//! use mupod_models::{ModelKind, ModelScale};
+//!
+//! let net = ModelKind::AlexNet.build(&ModelScale::tiny(), 42);
+//! let analyzable = ModelKind::AlexNet.analyzable_layers(&net);
+//! assert_eq!(analyzable.len(), 5); // the paper's "# layers" column
+//! ```
+
+mod alexnet;
+mod blocks;
+pub mod calibrate;
+mod googlenet;
+pub mod init;
+mod mobilenet;
+mod nin;
+mod resnet;
+mod squeezenet;
+mod vgg;
+
+use mupod_nn::{Network, NodeId, Op};
+
+/// The eight networks of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// AlexNet (5 analyzable conv layers; FC layers present but ignored).
+    AlexNet,
+    /// Network-in-Network (12 conv layers).
+    Nin,
+    /// GoogleNet (57 conv layers; the FC classifier is ignored).
+    GoogleNet,
+    /// VGG-19 (16 conv layers; FC layers present but ignored).
+    Vgg19,
+    /// ResNet-50 (53 convs + 1 FC = 54 analyzable layers).
+    ResNet50,
+    /// ResNet-152 (155 convs + 1 FC = 156 analyzable layers).
+    ResNet152,
+    /// SqueezeNet (26 conv layers).
+    SqueezeNet,
+    /// MobileNet (27 convs + 1 FC = 28 analyzable layers).
+    MobileNet,
+}
+
+impl ModelKind {
+    /// All eight kinds, in the paper's Table III row order.
+    pub const ALL: [ModelKind; 8] = [
+        ModelKind::AlexNet,
+        ModelKind::Nin,
+        ModelKind::GoogleNet,
+        ModelKind::Vgg19,
+        ModelKind::ResNet50,
+        ModelKind::ResNet152,
+        ModelKind::SqueezeNet,
+        ModelKind::MobileNet,
+    ];
+
+    /// The paper's "# layers" column for this network.
+    pub fn paper_layer_count(&self) -> usize {
+        match self {
+            ModelKind::AlexNet => 5,
+            ModelKind::Nin => 12,
+            ModelKind::GoogleNet => 57,
+            ModelKind::Vgg19 => 16,
+            ModelKind::ResNet50 => 54,
+            ModelKind::ResNet152 => 156,
+            ModelKind::SqueezeNet => 26,
+            ModelKind::MobileNet => 28,
+        }
+    }
+
+    /// Whether the paper (following Stripes) excludes fully-connected
+    /// layers from the bitwidth analysis for this network.
+    pub fn ignores_fc(&self) -> bool {
+        matches!(
+            self,
+            ModelKind::AlexNet | ModelKind::Nin | ModelKind::GoogleNet | ModelKind::Vgg19
+        )
+    }
+
+    /// Display name matching the paper's table.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::AlexNet => "AlexNet",
+            ModelKind::Nin => "NiN",
+            ModelKind::GoogleNet => "GoogleNet",
+            ModelKind::Vgg19 => "VGG-19",
+            ModelKind::ResNet50 => "ResNet-50",
+            ModelKind::ResNet152 => "ResNet-152",
+            ModelKind::SqueezeNet => "SqueezeNet",
+            ModelKind::MobileNet => "MobileNet",
+        }
+    }
+
+    /// Builds the network at the given scale with seeded He weights.
+    pub fn build(&self, scale: &ModelScale, seed: u64) -> Network {
+        match self {
+            ModelKind::AlexNet => alexnet::build(scale, seed),
+            ModelKind::Nin => nin::build(scale, seed),
+            ModelKind::GoogleNet => googlenet::build(scale, seed),
+            ModelKind::Vgg19 => vgg::build(scale, seed),
+            ModelKind::ResNet50 => resnet::build_resnet50(scale, seed),
+            ModelKind::ResNet152 => resnet::build_resnet152(scale, seed),
+            ModelKind::SqueezeNet => squeezenet::build(scale, seed),
+            ModelKind::MobileNet => mobilenet::build(scale, seed),
+        }
+    }
+
+    /// The dot-product layers the paper's method allocates bitwidths
+    /// over: all of them, minus fully-connected layers for the four
+    /// networks where Stripes ignored them.
+    pub fn analyzable_layers(&self, net: &Network) -> Vec<NodeId> {
+        net.dot_product_layers()
+            .into_iter()
+            .filter(|&id| {
+                !self.ignores_fc() || matches!(net.node(id).op, Op::Conv2d { .. })
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Scale preset controlling input resolution, channel widths and class
+/// count.
+///
+/// Architectural *depth* (the paper's layer counts) never changes with
+/// scale; only the per-layer widths and image size do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelScale {
+    /// Input image side (images are square, 3-channel).
+    pub input_hw: usize,
+    /// Base channel multiplier: stage widths are small multiples of it.
+    pub base_channels: usize,
+    /// Output classes.
+    pub classes: usize,
+}
+
+impl ModelScale {
+    /// Minimal scale for unit tests (16×16 input, 4 base channels).
+    pub fn tiny() -> Self {
+        Self {
+            input_hw: 16,
+            base_channels: 4,
+            classes: 8,
+        }
+    }
+
+    /// Experiment scale (32×32 input, 8 base channels).
+    pub fn small() -> Self {
+        Self {
+            input_hw: 32,
+            base_channels: 8,
+            classes: 10,
+        }
+    }
+
+    /// CHW input dimensions.
+    pub fn input_dims(&self) -> [usize; 3] {
+        [3, self.input_hw, self.input_hw]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_layer_counts_match_table3() {
+        let counts: Vec<usize> = ModelKind::ALL
+            .iter()
+            .map(|k| k.paper_layer_count())
+            .collect();
+        assert_eq!(counts, vec![5, 12, 57, 16, 54, 156, 26, 28]);
+    }
+
+    #[test]
+    fn fc_ignore_convention() {
+        assert!(ModelKind::AlexNet.ignores_fc());
+        assert!(ModelKind::Vgg19.ignores_fc());
+        assert!(!ModelKind::ResNet50.ignores_fc());
+        assert!(!ModelKind::MobileNet.ignores_fc());
+    }
+
+    #[test]
+    fn every_model_matches_its_paper_layer_count() {
+        let scale = ModelScale::tiny();
+        for kind in ModelKind::ALL {
+            let net = kind.build(&scale, 7);
+            let layers = kind.analyzable_layers(&net);
+            assert_eq!(
+                layers.len(),
+                kind.paper_layer_count(),
+                "{kind} has {} analyzable layers, paper says {}",
+                layers.len(),
+                kind.paper_layer_count()
+            );
+        }
+    }
+
+    #[test]
+    fn every_model_runs_forward() {
+        let scale = ModelScale::tiny();
+        let image = mupod_tensor::Tensor::filled(&scale.input_dims(), 10.0);
+        for kind in ModelKind::ALL {
+            let net = kind.build(&scale, 11);
+            let acts = net.forward(&image);
+            let out = net.output(&acts);
+            assert_eq!(out.dims(), &[scale.classes], "{kind} output shape");
+            assert!(
+                out.data().iter().all(|v| v.is_finite()),
+                "{kind} produced non-finite logits"
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_change_weights() {
+        let scale = ModelScale::tiny();
+        let a = ModelKind::AlexNet.build(&scale, 1);
+        let b = ModelKind::AlexNet.build(&scale, 2);
+        let image = mupod_tensor::Tensor::filled(&scale.input_dims(), 5.0);
+        let oa = a.forward(&image);
+        let ob = b.forward(&image);
+        assert_ne!(a.output(&oa).data(), b.output(&ob).data());
+    }
+}

@@ -1,0 +1,68 @@
+//! MobileNet: a full convolution + 13 depthwise-separable blocks
+//! (2 convolutions each) + FC = 28 analyzable layers.
+//!
+//! The depthwise convolutions (`groups == channels`) are the stress test
+//! for the engine's grouped-convolution path and for per-layer formats on
+//! very cheap layers.
+
+use crate::blocks::{ch, ArchBuilder};
+use crate::ModelScale;
+use mupod_nn::Network;
+
+/// Builds MobileNet at the given scale.
+pub(crate) fn build(scale: &ModelScale, seed: u64) -> Network {
+    let mut a = ArchBuilder::new(&scale.input_dims(), seed);
+    let b = scale.base_channels;
+    let input = a.input();
+
+    // conv1: H -> H/2.
+    let c1 = a.conv_bn_relu("conv1", input, 3, ch(b, 1.0), 3, 2, 1, 1);
+
+    // 13 depthwise-separable blocks; two downsamples (the original's
+    // five are reduced to fit the scaled spatial extent; depth is
+    // unchanged). Channel plan follows the original's doubling ramp.
+    let out_mult = [
+        2.0, 2.0, 2.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0, 6.0, 6.0, 8.0, 8.0,
+    ];
+    let strides = [1usize, 2, 1, 2, 1, 1, 1, 1, 1, 1, 1, 1, 1];
+
+    let mut node = c1;
+    let mut in_c = ch(b, 1.0);
+    for i in 0..13 {
+        let out_c = ch(b, out_mult[i]);
+        node = a.dw_separable(&format!("dws{}", i + 1), node, in_c, out_c, strides[i]);
+        in_c = out_c;
+    }
+
+    let gap = a.b.global_avg_pool("gap", node);
+    let fc = a.fc("fc", gap, in_c, scale.classes);
+    a.b.build(fc).expect("MobileNet builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mupod_nn::Op;
+
+    #[test]
+    fn twenty_eight_layers() {
+        let net = build(&ModelScale::tiny(), 37);
+        assert_eq!(net.dot_product_layers().len(), 28);
+    }
+
+    #[test]
+    fn thirteen_depthwise_convs() {
+        let net = build(&ModelScale::tiny(), 37);
+        let depthwise = net
+            .dot_product_layers()
+            .into_iter()
+            .filter(|&id| match &net.node(id).op {
+                Op::Conv2d { params, .. } => {
+                    params.groups > 1 && params.groups == params.in_channels
+                }
+                _ => false,
+            })
+            .count();
+        assert_eq!(depthwise, 13);
+    }
+}

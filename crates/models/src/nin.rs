@@ -1,0 +1,60 @@
+//! Network-in-Network: 12 convolutions in four mlpconv blocks.
+//!
+//! Each block is one spatial convolution followed by two 1×1 "mlp"
+//! convolutions; the last block's final 1×1 produces class maps that a
+//! global average pool turns into logits (no FC layer at all). This is
+//! the network of the paper's Fig. 4 energy case study.
+
+use crate::blocks::{ch, ArchBuilder};
+use crate::ModelScale;
+use mupod_nn::Network;
+
+/// Builds NiN at the given scale.
+pub(crate) fn build(scale: &ModelScale, seed: u64) -> Network {
+    let mut a = ArchBuilder::new(&scale.input_dims(), seed);
+    let b = scale.base_channels;
+    let input = a.input();
+
+    // Block 1: 5x5 mlpconv, H -> H/2.
+    let c1 = a.conv_relu("conv1", input, 3, ch(b, 2.0), 5, 1, 2, 1);
+    let m1a = a.conv_relu("cccp1", c1, ch(b, 2.0), ch(b, 2.0), 1, 1, 0, 1);
+    let m1b = a.conv_relu("cccp2", m1a, ch(b, 2.0), ch(b, 2.0), 1, 1, 0, 1);
+    let p1 = a.max_pool2("pool1", m1b);
+
+    // Block 2: 5x5 mlpconv, H/2 -> H/4.
+    let c2 = a.conv_relu("conv2", p1, ch(b, 2.0), ch(b, 3.0), 5, 1, 2, 1);
+    let m2a = a.conv_relu("cccp3", c2, ch(b, 3.0), ch(b, 3.0), 1, 1, 0, 1);
+    let m2b = a.conv_relu("cccp4", m2a, ch(b, 3.0), ch(b, 3.0), 1, 1, 0, 1);
+    let p2 = a.max_pool2("pool2", m2b);
+
+    // Block 3: 3x3 mlpconv, H/4 -> H/8.
+    let c3 = a.conv_relu("conv3", p2, ch(b, 3.0), ch(b, 4.0), 3, 1, 1, 1);
+    let m3a = a.conv_relu("cccp5", c3, ch(b, 4.0), ch(b, 4.0), 1, 1, 0, 1);
+    let m3b = a.conv_relu("cccp6", m3a, ch(b, 4.0), ch(b, 4.0), 1, 1, 0, 1);
+    let p3 = a.max_pool2("pool3", m3b);
+
+    // Block 4: 3x3 mlpconv ending in class maps.
+    let c4 = a.conv_relu("conv4", p3, ch(b, 4.0), ch(b, 4.0), 3, 1, 1, 1);
+    let m4a = a.conv_relu("cccp7", c4, ch(b, 4.0), ch(b, 4.0), 1, 1, 0, 1);
+    let m4b = a.conv("cccp8", m4a, ch(b, 4.0), scale.classes, 1, 1, 0, 1);
+    let gap = a.b.global_avg_pool("gap", m4b);
+    a.b.build(gap).expect("NiN builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_convs_no_fc() {
+        let net = build(&ModelScale::tiny(), 5);
+        assert_eq!(net.dot_product_layers().len(), 12);
+    }
+
+    #[test]
+    fn output_is_class_logits() {
+        let scale = ModelScale::tiny();
+        let net = build(&scale, 5);
+        assert_eq!(net.node_out_dims(net.output_id()), &[scale.classes]);
+    }
+}

@@ -1,0 +1,124 @@
+//! ResNet-50 and ResNet-152: bottleneck residual networks.
+//!
+//! Layer accounting matches the paper's Table III exactly:
+//!
+//! * ResNet-50, stages `[3, 4, 6, 3]`: 1 stem + 16·3 bottleneck convs +
+//!   4 stage projections + 1 FC = **54**.
+//! * ResNet-152, stages `[3, 8, 36, 3]`: 1 stem + 50·3 + 4 + 1 = **156**.
+//!
+//! ResNet-152 is the paper's headline scalability case ("allocating
+//! precision at the granularity of layers for very deep networks such as
+//! Resnet-152, which hitherto was not achievable").
+
+use crate::blocks::{ch, ArchBuilder};
+use crate::ModelScale;
+use mupod_nn::Network;
+use mupod_tensor::pool::Pool2dParams;
+
+/// Builds ResNet-50 at the given scale.
+pub(crate) fn build_resnet50(scale: &ModelScale, seed: u64) -> Network {
+    build_resnet(scale, seed, &[3, 4, 6, 3])
+}
+
+/// Builds ResNet-152 at the given scale.
+pub(crate) fn build_resnet152(scale: &ModelScale, seed: u64) -> Network {
+    build_resnet(scale, seed, &[3, 8, 36, 3])
+}
+
+fn build_resnet(scale: &ModelScale, seed: u64, stages: &[usize; 4]) -> Network {
+    let mut a = ArchBuilder::new(&scale.input_dims(), seed);
+    let b = scale.base_channels;
+    let input = a.input();
+
+    // Stem: one convolution (7x7/2 in the original; 3x3 here) + pool.
+    let stem = a.conv_bn_relu("conv1", input, 3, ch(b, 1.0), 3, 1, 1, 1);
+    let mut node = a
+        .b
+        .max_pool("pool1", stem, Pool2dParams::new(2, 2, 0));
+
+    // Branch gain bounding activation growth with depth (see
+    // `ArchBuilder::conv_bn_gain`).
+    let total_blocks: usize = stages.iter().sum();
+    let branch_gain = (2.0 / total_blocks as f64).sqrt();
+
+    let mut in_c = ch(b, 1.0);
+    for (stage, &blocks) in stages.iter().enumerate() {
+        let mid_c = ch(b, (1 << stage) as f64);
+        let out_c = 2 * mid_c;
+        for block in 0..blocks {
+            // First block of each stage projects; stages 2-4 downsample.
+            let (stride, project) = if block == 0 {
+                (if stage == 0 { 1 } else { 2 }, true)
+            } else {
+                (1, false)
+            };
+            node = a.bottleneck(
+                &format!("res{}_{}", stage + 2, block),
+                node,
+                in_c,
+                mid_c,
+                out_c,
+                stride,
+                project,
+                branch_gain,
+            );
+            in_c = out_c;
+        }
+    }
+
+    let gap = a.b.global_avg_pool("gap", node);
+    let fc = a.fc("fc", gap, in_c, scale.classes);
+    a.b.build(fc).expect("ResNet builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mupod_nn::Op;
+
+    fn conv_fc_counts(net: &Network) -> (usize, usize) {
+        let layers = net.dot_product_layers();
+        let convs = layers
+            .iter()
+            .filter(|&&id| matches!(net.node(id).op, Op::Conv2d { .. }))
+            .count();
+        (convs, layers.len() - convs)
+    }
+
+    #[test]
+    fn resnet50_counts() {
+        let net = build_resnet50(&ModelScale::tiny(), 21);
+        let (convs, fcs) = conv_fc_counts(&net);
+        assert_eq!(convs, 53); // 1 stem + 48 + 4 projections
+        assert_eq!(fcs, 1);
+    }
+
+    #[test]
+    fn resnet152_counts() {
+        let net = build_resnet152(&ModelScale::tiny(), 21);
+        let (convs, fcs) = conv_fc_counts(&net);
+        assert_eq!(convs, 155); // 1 stem + 150 + 4 projections
+        assert_eq!(fcs, 1);
+    }
+
+    #[test]
+    fn residual_additions_present() {
+        let net = build_resnet50(&ModelScale::tiny(), 21);
+        let adds = net
+            .iter()
+            .filter(|(_, n)| matches!(n.op, Op::Add))
+            .count();
+        assert_eq!(adds, 16); // one per bottleneck block
+    }
+
+    #[test]
+    fn deep_forward_stays_finite() {
+        let scale = ModelScale::tiny();
+        let net = build_resnet152(&scale, 23);
+        let image = mupod_tensor::Tensor::filled(&scale.input_dims(), 50.0);
+        let acts = net.forward(&image);
+        let out = net.output(&acts);
+        assert!(out.data().iter().all(|v| v.is_finite()));
+        assert!(out.max_abs() > 0.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! SqueezeNet: conv1 + 8 fire modules × 3 convolutions + conv10 = 26
+//! analyzable layers, no fully-connected layer at all.
+
+use crate::blocks::{ch, ArchBuilder};
+use crate::ModelScale;
+use mupod_nn::Network;
+
+/// Builds SqueezeNet at the given scale.
+pub(crate) fn build(scale: &ModelScale, seed: u64) -> Network {
+    let mut a = ArchBuilder::new(&scale.input_dims(), seed);
+    let b = scale.base_channels;
+    let input = a.input();
+
+    // conv1: H -> H/2, then pool to H/4.
+    let c1 = a.conv_relu("conv1", input, 3, ch(b, 2.0), 3, 2, 1, 1);
+    let p1 = a.max_pool2("pool1", c1);
+
+    // Fire modules 2-9 with gently growing widths; pool midway.
+    let squeeze = [0.5, 0.5, 1.0, 1.0, 1.5, 1.5, 2.0, 2.0];
+    let expand = [1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0];
+    let mut node = p1;
+    let mut in_c = ch(b, 2.0);
+    for i in 0..8 {
+        let (out, out_c) = a.fire(
+            &format!("fire{}", i + 2),
+            node,
+            in_c,
+            ch(b, squeeze[i]),
+            ch(b, expand[i]),
+        );
+        node = out;
+        in_c = out_c;
+        if i == 3 {
+            node = a.max_pool2("pool5", node);
+        }
+    }
+
+    // conv10 produces class maps; global average pool yields logits.
+    let c10 = a.conv("conv10", node, in_c, scale.classes, 1, 1, 0, 1);
+    let gap = a.b.global_avg_pool("gap", c10);
+    a.b.build(gap).expect("SqueezeNet builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_six_convs_no_fc() {
+        let net = build(&ModelScale::tiny(), 31);
+        assert_eq!(net.dot_product_layers().len(), 26);
+    }
+
+    #[test]
+    fn fire_concats_present() {
+        let net = build(&ModelScale::tiny(), 31);
+        let concats = net
+            .iter()
+            .filter(|(_, n)| matches!(n.op, mupod_nn::Op::Concat))
+            .count();
+        assert_eq!(concats, 8);
+    }
+}

@@ -1,0 +1,80 @@
+//! VGG-19: 16 convolutions in five stages plus a 3-layer FC head.
+//!
+//! Stage layout `[2, 2, 4, 4, 4]` with channel doubling, exactly the
+//! original; to keep the scaled-down spatial extent positive, the pool
+//! after the final stage is omitted (documented spatial adaptation —
+//! depth and the analyzable layer count are unchanged).
+
+use crate::blocks::{ch, ArchBuilder};
+use crate::ModelScale;
+use mupod_nn::Network;
+
+/// Builds VGG-19 at the given scale.
+pub(crate) fn build(scale: &ModelScale, seed: u64) -> Network {
+    let mut a = ArchBuilder::new(&scale.input_dims(), seed);
+    let b = scale.base_channels;
+    let input = a.input();
+
+    let stage_convs = [2usize, 2, 4, 4, 4];
+    let stage_mult = [1.0, 2.0, 3.0, 4.0, 4.0];
+
+    let mut node = input;
+    let mut in_c = 3usize;
+    let mut conv_idx = 0usize;
+    for (s, (&n_convs, &mult)) in stage_convs.iter().zip(&stage_mult).enumerate() {
+        let out_c = ch(b, mult);
+        for _ in 0..n_convs {
+            conv_idx += 1;
+            node = a.conv_relu(&format!("conv{conv_idx}"), node, in_c, out_c, 3, 1, 1, 1);
+            in_c = out_c;
+        }
+        // Pool after stages 1-4 only (H/16 at the end).
+        if s < 4 {
+            node = a.max_pool2(&format!("pool{}", s + 1), node);
+        }
+    }
+
+    let fl = a.b.flatten("flatten", node);
+    let side = scale.input_hw / 16;
+    let feat = in_c * side * side;
+    let f1 = a.fc("fc6", fl, feat, ch(b, 4.0));
+    let r1 = a.b.relu("fc6_relu", f1);
+    let f2 = a.fc("fc7", r1, ch(b, 4.0), ch(b, 4.0));
+    let r2 = a.b.relu("fc7_relu", f2);
+    let f3 = a.fc("fc8", r2, ch(b, 4.0), scale.classes);
+    a.b.build(f3).expect("VGG-19 builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mupod_nn::Op;
+
+    #[test]
+    fn sixteen_convs_three_fcs() {
+        let net = build(&ModelScale::tiny(), 9);
+        let convs = net
+            .dot_product_layers()
+            .into_iter()
+            .filter(|&id| matches!(net.node(id).op, Op::Conv2d { .. }))
+            .count();
+        assert_eq!(convs, 16);
+        assert_eq!(net.dot_product_layers().len(), 19);
+    }
+
+    #[test]
+    fn channels_double_by_stage() {
+        let net = build(&ModelScale::tiny(), 9);
+        let out_cs: Vec<usize> = net
+            .dot_product_layers()
+            .into_iter()
+            .filter_map(|id| match &net.node(id).op {
+                Op::Conv2d { params, .. } => Some(params.out_channels),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(out_cs[0], out_cs[1]);
+        assert!(out_cs[2] > out_cs[1]);
+        assert_eq!(out_cs[15], out_cs[12]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Structural fingerprints of every zoo architecture.
+//!
+//! The substitution argument in `DESIGN.md` rests on the scaled models
+//! preserving the *topology* of the originals: these tests pin the
+//! structural facts (branching, residuals, grouped/depthwise layers,
+//! pooling skeletons, channel progressions) that the reproduction's
+//! claims depend on.
+
+use mupod_models::{ModelKind, ModelScale};
+use mupod_nn::{Network, Op};
+
+fn count_op<F: Fn(&Op) -> bool>(net: &Network, pred: F) -> usize {
+    net.iter().filter(|(_, n)| pred(&n.op)).count()
+}
+
+#[test]
+fn alexnet_has_lrn_and_overlapping_pools() {
+    let net = ModelKind::AlexNet.build(&ModelScale::tiny(), 1);
+    assert_eq!(count_op(&net, |o| matches!(o, Op::Lrn { .. })), 2);
+    assert_eq!(count_op(&net, |o| matches!(o, Op::MaxPool(_))), 3);
+    assert_eq!(
+        count_op(&net, |o| matches!(o, Op::FullyConnected { .. })),
+        3
+    );
+}
+
+#[test]
+fn nin_is_fully_convolutional() {
+    let net = ModelKind::Nin.build(&ModelScale::tiny(), 2);
+    assert_eq!(count_op(&net, |o| matches!(o, Op::FullyConnected { .. })), 0);
+    assert_eq!(count_op(&net, |o| matches!(o, Op::GlobalAvgPool)), 1);
+    // Eight of the twelve convs are 1x1 mlpconvs.
+    let one_by_one = net
+        .iter()
+        .filter(|(_, n)| match &n.op {
+            Op::Conv2d { params, .. } => params.kernel == 1,
+            _ => false,
+        })
+        .count();
+    assert_eq!(one_by_one, 8);
+}
+
+#[test]
+fn googlenet_has_nine_inception_modules() {
+    let net = ModelKind::GoogleNet.build(&ModelScale::tiny(), 3);
+    // Each module contributes exactly one concat and one 3x3/1 max pool.
+    assert_eq!(count_op(&net, |o| matches!(o, Op::Concat)), 9);
+    let fives = net
+        .iter()
+        .filter(|(_, n)| match &n.op {
+            Op::Conv2d { params, .. } => params.kernel == 5,
+            _ => false,
+        })
+        .count();
+    assert_eq!(fives, 10, "9 inception 5x5 branches + the stem conv1");
+}
+
+#[test]
+fn vgg19_is_plain_sequential() {
+    let net = ModelKind::Vgg19.build(&ModelScale::tiny(), 4);
+    assert_eq!(count_op(&net, |o| matches!(o, Op::Add)), 0);
+    assert_eq!(count_op(&net, |o| matches!(o, Op::Concat)), 0);
+    // All convs are 3x3 stride 1.
+    for (_, node) in net.iter() {
+        if let Op::Conv2d { params, .. } = &node.op {
+            assert_eq!(params.kernel, 3);
+            assert_eq!(params.stride, 1);
+        }
+    }
+}
+
+#[test]
+fn resnets_have_expected_projection_counts() {
+    for (kind, blocks) in [(ModelKind::ResNet50, 16), (ModelKind::ResNet152, 50)] {
+        let net = kind.build(&ModelScale::tiny(), 5);
+        assert_eq!(
+            count_op(&net, |o| matches!(o, Op::Add)),
+            blocks,
+            "{kind}: one residual add per bottleneck"
+        );
+        // Projection convs are the 1x1 layers named *_proj.
+        let projections = net
+            .iter()
+            .filter(|(_, n)| n.name.ends_with("_proj"))
+            .count();
+        assert_eq!(projections, 4, "{kind}: one projection per stage");
+        // Folded BN affine follows every convolution.
+        let convs = count_op(&net, |o| matches!(o, Op::Conv2d { .. }));
+        assert_eq!(
+            count_op(&net, |o| matches!(o, Op::ChannelAffine { .. })),
+            convs,
+            "{kind}"
+        );
+    }
+}
+
+#[test]
+fn squeezenet_fire_modules_squeeze_then_expand() {
+    let net = ModelKind::SqueezeNet.build(&ModelScale::tiny(), 6);
+    for i in 2..=9 {
+        let s = net.find(&format!("fire{i}_s1")).expect("squeeze layer");
+        let e1 = net.find(&format!("fire{i}_e1")).expect("expand 1x1");
+        let (s_out, e_in) = match (&net.node(s).op, &net.node(e1).op) {
+            (Op::Conv2d { params: a, .. }, Op::Conv2d { params: b, .. }) => {
+                (a.out_channels, b.in_channels)
+            }
+            _ => panic!("fire layers are convs"),
+        };
+        assert_eq!(s_out, e_in, "fire{i}: expand reads the squeeze output");
+        // The squeeze layer has fewer outputs than the expand layer.
+        let e_out = match &net.node(e1).op {
+            Op::Conv2d { params, .. } => params.out_channels,
+            _ => unreachable!(),
+        };
+        assert!(s_out < 2 * e_out, "fire{i}: squeeze must bottleneck");
+    }
+}
+
+#[test]
+fn mobilenet_alternates_depthwise_and_pointwise() {
+    let net = ModelKind::MobileNet.build(&ModelScale::tiny(), 7);
+    for i in 1..=13 {
+        let dw = net.find(&format!("dws{i}_dw")).expect("depthwise");
+        let pw = net.find(&format!("dws{i}_pw")).expect("pointwise");
+        match &net.node(dw).op {
+            Op::Conv2d { params, .. } => {
+                assert_eq!(params.groups, params.in_channels, "dws{i} depthwise");
+                assert_eq!(params.kernel, 3);
+            }
+            _ => panic!("dws{i}_dw is a conv"),
+        }
+        match &net.node(pw).op {
+            Op::Conv2d { params, .. } => {
+                assert_eq!(params.groups, 1, "dws{i} pointwise");
+                assert_eq!(params.kernel, 1);
+            }
+            _ => panic!("dws{i}_pw is a conv"),
+        }
+    }
+}
+
+#[test]
+fn activation_ranges_stay_bounded_at_both_scales() {
+    // The fix for residual variance growth (branch gain) must hold at
+    // every scale.
+    for scale in [ModelScale::tiny(), ModelScale::small()] {
+        for kind in ModelKind::ALL {
+            let net = kind.build(&scale, 11);
+            let image = mupod_tensor::Tensor::filled(&scale.input_dims(), 100.0);
+            let acts = net.forward(&image);
+            let mut worst = 0.0f32;
+            for (id, _) in net.iter() {
+                worst = worst.max(acts.get(id).max_abs());
+            }
+            // The bound guards against *exponential* residual variance
+            // growth (which reached ~10^7 before the branch-gain fix);
+            // a saturated constant-100 image legitimately drives a few
+            // thousand.
+            assert!(
+                worst < 16384.0,
+                "{kind} at {}px: activations reach {worst}",
+                scale.input_hw
+            );
+        }
+    }
+}
+
+#[test]
+fn summaries_render_for_every_model() {
+    for kind in ModelKind::ALL {
+        let net = kind.build(&ModelScale::tiny(), 13);
+        let s = net.summary();
+        assert!(s.contains("dot-product layers"), "{kind}");
+        let dot = net.to_dot();
+        assert!(dot.contains("digraph"), "{kind}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Human-readable network descriptions: text summaries and Graphviz
+//! DOT export.
+
+use crate::graph::Network;
+use crate::layer::Op;
+use std::fmt::Write as _;
+
+impl Network {
+    /// Renders a layer-by-layer text summary: id, name, op, output
+    /// shape, parameter count.
+    ///
+    /// ```
+    /// # use mupod_nn::NetworkBuilder;
+    /// # use mupod_tensor::{conv::Conv2dParams, Tensor};
+    /// # let mut b = NetworkBuilder::new(&[1, 4, 4]);
+    /// # let i = b.input();
+    /// # let c = b.conv2d("conv1", i, Conv2dParams::new(1, 2, 3, 1, 1),
+    /// #     Tensor::zeros(&[2, 1, 3, 3]), vec![0.0; 2]);
+    /// # let net = b.build(c).unwrap();
+    /// let text = net.summary();
+    /// assert!(text.contains("conv1"));
+    /// assert!(text.contains("2x4x4"));
+    /// ```
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<5} {:<18} {:<8} {:<14} {:>10}",
+            "id", "name", "op", "output", "params"
+        );
+        let mut total_params = 0usize;
+        for (id, node) in self.iter() {
+            let dims = self
+                .node_out_dims(id)
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("x");
+            let params = match &node.op {
+                Op::Conv2d { weight, bias, .. } | Op::FullyConnected { weight, bias } => {
+                    weight.numel() + bias.len()
+                }
+                _ => 0,
+            };
+            total_params += params;
+            let _ = writeln!(
+                out,
+                "{:<5} {:<18} {:<8} {:<14} {:>10}",
+                id.to_string(),
+                node.name,
+                node.op.mnemonic(),
+                dims,
+                params
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{} nodes, {} dot-product layers, {} parameters",
+            self.node_count(),
+            self.dot_product_layers().len(),
+            total_params
+        );
+        out
+    }
+
+    /// Exports the graph in Graphviz DOT format (dot-product layers are
+    /// boxed; the output node is doubled).
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph network {\n  rankdir=TB;\n");
+        for (id, node) in self.iter() {
+            let shape = if node.op.is_dot_product() {
+                "box"
+            } else if id == self.output_id() {
+                "doublecircle"
+            } else {
+                "ellipse"
+            };
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{}\\n{}\" shape={}];",
+                id.index(),
+                node.name,
+                node.op.mnemonic(),
+                shape
+            );
+        }
+        for (id, node) in self.iter() {
+            for p in &node.inputs {
+                let _ = writeln!(out, "  n{} -> n{};", p.index(), id.index());
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::NetworkBuilder;
+    use mupod_tensor::conv::Conv2dParams;
+    use mupod_tensor::Tensor;
+
+    fn net() -> crate::Network {
+        let mut b = NetworkBuilder::new(&[1, 4, 4]);
+        let i = b.input();
+        let c = b.conv2d(
+            "conv1",
+            i,
+            Conv2dParams::new(1, 2, 3, 1, 1),
+            Tensor::zeros(&[2, 1, 3, 3]),
+            vec![0.0; 2],
+        );
+        let r = b.relu("relu1", c);
+        let g = b.global_avg_pool("gap", r);
+        b.build(g).unwrap()
+    }
+
+    #[test]
+    fn summary_lists_every_node_and_totals() {
+        let s = net().summary();
+        assert!(s.contains("input"));
+        assert!(s.contains("conv1"));
+        assert!(s.contains("relu1"));
+        assert!(s.contains("gap"));
+        assert!(s.contains("4 nodes, 1 dot-product layers, 20 parameters"));
+    }
+
+    #[test]
+    fn dot_has_every_edge() {
+        let d = net().to_dot();
+        assert!(d.starts_with("digraph"));
+        assert!(d.contains("n0 -> n1;"));
+        assert!(d.contains("n1 -> n2;"));
+        assert!(d.contains("n2 -> n3;"));
+        assert!(d.contains("shape=box"));
+    }
+}

@@ -1,0 +1,419 @@
+//! Forward execution: full passes, tapped passes and suffix replay.
+
+use crate::graph::Network;
+use crate::layer::{NodeId, Op};
+use crate::tap::InputTap;
+use mupod_tensor::conv::conv2d;
+use mupod_tensor::gemm::matvec;
+use mupod_tensor::pool::{avg_pool2d, global_avg_pool, lrn_across_channels, max_pool2d};
+use mupod_tensor::Tensor;
+
+/// Per-node activation tensors produced by a forward pass.
+///
+/// Indexing follows [`NodeId`]; the input placeholder holds the image.
+#[derive(Debug, Clone)]
+pub struct Activations {
+    tensors: Vec<Tensor>,
+}
+
+impl Activations {
+    /// Activation of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn get(&self, id: NodeId) -> &Tensor {
+        &self.tensors[id.0]
+    }
+
+    /// Number of stored activations.
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Whether no activations are stored.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+}
+
+/// Evaluates one operator given its input tensors.
+///
+/// # Panics
+///
+/// Panics on operand-shape mismatches (the tensor kernels validate).
+pub(crate) fn eval_op(op: &Op, inputs: &[&Tensor]) -> Tensor {
+    match op {
+        Op::Input => unreachable!("input placeholder is never evaluated"),
+        Op::Conv2d {
+            params,
+            weight,
+            bias,
+        } => conv2d(inputs[0], weight, Some(bias), params),
+        Op::FullyConnected { weight, bias } => {
+            assert_eq!(
+                inputs[0].dims().len(),
+                1,
+                "fully-connected input must be rank 1 (insert a flatten)"
+            );
+            let out_dim = weight.dims()[0];
+            let in_dim = weight.dims()[1];
+            let out = matvec(out_dim, in_dim, weight.data(), inputs[0].data(), Some(bias));
+            Tensor::from_vec(&[out_dim], out)
+        }
+        Op::ReLU => {
+            let mut t = inputs[0].clone();
+            t.map_inplace(|v| v.max(0.0));
+            t
+        }
+        Op::MaxPool(p) => max_pool2d(inputs[0], p),
+        Op::AvgPool(p) => avg_pool2d(inputs[0], p),
+        Op::GlobalAvgPool => global_avg_pool(inputs[0]),
+        Op::Lrn {
+            local_size,
+            alpha,
+            beta,
+            k,
+        } => lrn_across_channels(inputs[0], *local_size, *alpha, *beta, *k),
+        Op::ChannelAffine { scale, shift } => {
+            let t = inputs[0];
+            assert_eq!(t.dims().len(), 3, "channel affine expects CHW");
+            let (c, h, w) = (t.dims()[0], t.dims()[1], t.dims()[2]);
+            assert_eq!(scale.len(), c, "affine channel count mismatch");
+            let mut out = t.clone();
+            let data = out.data_mut();
+            for ci in 0..c {
+                let (s, b) = (scale[ci], shift[ci]);
+                for v in &mut data[ci * h * w..(ci + 1) * h * w] {
+                    *v = s * *v + b;
+                }
+            }
+            out
+        }
+        Op::Add => {
+            let mut out = inputs[0].clone();
+            for t in &inputs[1..] {
+                out.add_assign(t);
+            }
+            out
+        }
+        Op::Concat => Tensor::concat_channels(inputs),
+        Op::Flatten => inputs[0].reshaped(&[inputs[0].numel()]),
+        Op::Softmax => {
+            assert_eq!(inputs[0].dims().len(), 1, "softmax expects rank 1");
+            let max = inputs[0]
+                .data()
+                .iter()
+                .fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+            let exp: Vec<f32> = inputs[0].data().iter().map(|&v| (v - max).exp()).collect();
+            let sum: f32 = exp.iter().sum();
+            Tensor::from_vec(
+                &[inputs[0].numel()],
+                exp.into_iter().map(|v| v / sum).collect(),
+            )
+        }
+    }
+}
+
+impl Network {
+    /// Runs a clean forward pass, returning every activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image` does not match [`Network::input_dims`].
+    pub fn forward(&self, image: &Tensor) -> Activations {
+        self.forward_tapped(image, &mut crate::tap::NoTap)
+    }
+
+    /// Runs a forward pass, letting `tap` perturb the data input of each
+    /// dot-product layer it claims (noise injection / quantization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image` does not match [`Network::input_dims`].
+    pub fn forward_tapped(&self, image: &Tensor, tap: &mut dyn InputTap) -> Activations {
+        assert_eq!(
+            image.dims(),
+            self.input_dims(),
+            "image shape does not match network input"
+        );
+        let mut tensors: Vec<Tensor> = Vec::with_capacity(self.nodes.len());
+        tensors.push(image.clone());
+        for (i, node) in self.nodes.iter().enumerate().skip(1) {
+            let id = NodeId(i);
+            let out = if node.op.is_dot_product() && tap.wants(id) {
+                let mut data_in = tensors[node.inputs[0].0].clone();
+                tap.apply(id, &mut data_in);
+                eval_op(&node.op, &[&data_in])
+            } else {
+                let inputs: Vec<&Tensor> =
+                    node.inputs.iter().map(|p| &tensors[p.0]).collect();
+                eval_op(&node.op, &inputs)
+            };
+            tensors.push(out);
+        }
+        Activations { tensors }
+    }
+
+    /// The output (logits) tensor of a completed pass.
+    pub fn output<'a>(&self, acts: &'a Activations) -> &'a Tensor {
+        acts.get(self.output)
+    }
+
+    /// Nodes affected by a perturbation at the data input of `start`:
+    /// `start` itself plus everything downstream of it.
+    pub(crate) fn affected_from(&self, start: NodeId) -> Vec<bool> {
+        let mut affected = vec![false; self.nodes.len()];
+        affected[start.0] = true;
+        for i in (start.0 + 1)..self.nodes.len() {
+            affected[i] = self.nodes[i].inputs.iter().any(|p| affected[p.0]);
+        }
+        affected
+    }
+
+    /// Replays only the suffix of the graph affected by perturbing the
+    /// data input of `start`, reading clean operands from `base`.
+    ///
+    /// Returns the resulting output (logits) tensor. `tap` is applied
+    /// exactly once, to `start`'s data input. This is the workhorse of
+    /// the paper's profiling loop (§V-A steps 3–4): the clean activations
+    /// are computed once per image, then each (layer, Δ) pair replays
+    /// only the downstream part.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is not a dot-product layer, or `base` does not
+    /// belong to this network.
+    pub fn forward_suffix(
+        &self,
+        base: &Activations,
+        start: NodeId,
+        tap: &mut dyn InputTap,
+    ) -> Tensor {
+        assert_eq!(
+            base.len(),
+            self.nodes.len(),
+            "activation cache does not match network"
+        );
+        assert!(
+            self.nodes[start.0].op.is_dot_product(),
+            "suffix replay must start at a dot-product layer"
+        );
+        let affected = self.affected_from(start);
+        let mut fresh: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        for i in start.0..self.nodes.len() {
+            if !affected[i] {
+                continue;
+            }
+            let node = &self.nodes[i];
+            let out = if i == start.0 {
+                let mut data_in = base.get(node.inputs[0]).clone();
+                tap.apply(NodeId(i), &mut data_in);
+                eval_op(&node.op, &[&data_in])
+            } else {
+                let inputs: Vec<&Tensor> = node
+                    .inputs
+                    .iter()
+                    .map(|p| fresh[p.0].as_ref().unwrap_or_else(|| base.get(*p)))
+                    .collect();
+                eval_op(&node.op, &inputs)
+            };
+            fresh[i] = Some(out);
+        }
+        fresh[self.output.0]
+            .take()
+            .unwrap_or_else(|| base.get(self.output).clone())
+    }
+
+    /// Classifies an image: the argmax of the logits after a clean pass.
+    pub fn classify(&self, image: &Tensor) -> usize {
+        let acts = self.forward(image);
+        self.output(&acts).argmax()
+    }
+
+    /// Classifies an image under a tap (noisy / quantized inference).
+    pub fn classify_tapped(&self, image: &Tensor, tap: &mut dyn InputTap) -> usize {
+        let acts = self.forward_tapped(image, tap);
+        self.output(&acts).argmax()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NetworkBuilder;
+    use crate::tap::{NoTap, UniformNoiseTap};
+    use mupod_stats::SeededRng;
+    use mupod_tensor::conv::Conv2dParams;
+    use mupod_tensor::pool::Pool2dParams;
+
+    fn random_tensor(rng: &mut SeededRng, dims: &[usize]) -> Tensor {
+        let n: usize = dims.iter().product();
+        Tensor::from_vec(
+            dims,
+            (0..n).map(|_| rng.gaussian(0.0, 0.5) as f32).collect(),
+        )
+    }
+
+    /// A net exercising every op: conv, affine, relu, pools, lrn,
+    /// residual add, concat, flatten, fc, softmax.
+    fn full_net(rng: &mut SeededRng) -> Network {
+        let mut b = NetworkBuilder::new(&[2, 8, 8]);
+        let input = b.input();
+        let c1 = b.conv2d(
+            "c1",
+            input,
+            Conv2dParams::new(2, 4, 3, 1, 1),
+            random_tensor(rng, &[4, 2, 3, 3]),
+            vec![0.05; 4],
+        );
+        let bn = b.channel_affine("bn1", c1, vec![1.1; 4], vec![-0.02; 4]);
+        let r1 = b.relu("r1", bn);
+        let lrn = b.lrn("lrn1", r1, 3, 1e-2, 0.75, 1.0);
+        let p1 = b.max_pool("p1", lrn, Pool2dParams::new(2, 2, 0)); // 4x4
+        let c2 = b.conv2d(
+            "c2",
+            p1,
+            Conv2dParams::new(4, 4, 3, 1, 1),
+            random_tensor(rng, &[4, 4, 3, 3]),
+            vec![0.0; 4],
+        );
+        let res = b.add("res", &[p1, c2]);
+        let c3 = b.conv2d(
+            "c3a",
+            res,
+            Conv2dParams::new(4, 2, 1, 1, 0),
+            random_tensor(rng, &[2, 4, 1, 1]),
+            vec![0.0; 2],
+        );
+        let c4 = b.conv2d(
+            "c3b",
+            res,
+            Conv2dParams::new(4, 2, 3, 1, 1),
+            random_tensor(rng, &[2, 4, 3, 3]),
+            vec![0.0; 2],
+        );
+        let cat = b.concat("cat", &[c3, c4]);
+        let ap = b.avg_pool("ap", cat, Pool2dParams::new(2, 2, 0)); // 2x2
+        let fl = b.flatten("fl", ap);
+        let fc = b.fully_connected(
+            "fc",
+            fl,
+            random_tensor(rng, &[5, 16]),
+            vec![0.0; 5],
+        );
+        b.build(fc).unwrap()
+    }
+
+    #[test]
+    fn forward_shapes_all_ops() {
+        let mut rng = SeededRng::new(3);
+        let net = full_net(&mut rng);
+        let image = random_tensor(&mut rng, &[2, 8, 8]);
+        let acts = net.forward(&image);
+        assert_eq!(net.output(&acts).dims(), &[5]);
+        assert_eq!(acts.len(), net.node_count());
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let out = eval_op(
+            &Op::Softmax,
+            &[&Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0])],
+        );
+        let sum: f32 = out.data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(out.data()[2] > out.data()[1]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let out = eval_op(
+            &Op::Softmax,
+            &[&Tensor::from_vec(&[2], vec![1000.0, 1001.0])],
+        );
+        assert!(out.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn suffix_replay_matches_full_tapped_pass() {
+        let mut rng = SeededRng::new(5);
+        let net = full_net(&mut rng);
+        let image = random_tensor(&mut rng, &[2, 8, 8]);
+        let base = net.forward(&image);
+
+        for &layer in &net.dot_product_layers() {
+            // The same seeded tap must produce identical outputs whether
+            // we replay the suffix or rerun the full network.
+            let mut tap_a = UniformNoiseTap::single(layer, 0.05, SeededRng::new(77));
+            let suffix_out = net.forward_suffix(&base, layer, &mut tap_a);
+
+            let mut tap_b = UniformNoiseTap::single(layer, 0.05, SeededRng::new(77));
+            let full = net.forward_tapped(&image, &mut tap_b);
+            let full_out = net.output(&full);
+
+            assert_eq!(suffix_out.dims(), full_out.dims());
+            for (a, b) in suffix_out.data().iter().zip(full_out.data()) {
+                assert!((a - b).abs() < 1e-5, "layer {layer}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn suffix_replay_without_noise_equals_clean() {
+        let mut rng = SeededRng::new(9);
+        let net = full_net(&mut rng);
+        let image = random_tensor(&mut rng, &[2, 8, 8]);
+        let base = net.forward(&image);
+        let layer = net.dot_product_layers()[1];
+        let out = net.forward_suffix(&base, layer, &mut NoTap);
+        for (a, b) in out.data().iter().zip(net.output(&base).data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn injection_changes_output() {
+        let mut rng = SeededRng::new(13);
+        let net = full_net(&mut rng);
+        let image = random_tensor(&mut rng, &[2, 8, 8]);
+        let base = net.forward(&image);
+        let layer = net.dot_product_layers()[0];
+        let mut tap = UniformNoiseTap::single(layer, 0.5, SeededRng::new(1));
+        let noisy = net.forward_suffix(&base, layer, &mut tap);
+        let diff = noisy.sub(net.output(&base));
+        assert!(diff.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn classify_is_argmax_of_logits() {
+        let mut rng = SeededRng::new(15);
+        let net = full_net(&mut rng);
+        let image = random_tensor(&mut rng, &[2, 8, 8]);
+        let acts = net.forward(&image);
+        assert_eq!(net.classify(&image), net.output(&acts).argmax());
+    }
+
+    #[test]
+    #[should_panic(expected = "image shape does not match")]
+    fn forward_rejects_wrong_image_shape() {
+        let mut rng = SeededRng::new(17);
+        let net = full_net(&mut rng);
+        net.forward(&Tensor::zeros(&[1, 8, 8]));
+    }
+
+    #[test]
+    fn affected_set_is_downstream_closure() {
+        let mut rng = SeededRng::new(19);
+        let net = full_net(&mut rng);
+        let layers = net.dot_product_layers();
+        let first = layers[0];
+        let affected = net.affected_from(first);
+        // Everything from the first conv onward is downstream of it in
+        // this topology.
+        assert!(affected[first.index()]);
+        assert!(affected[net.output_id().index()]);
+        // The input placeholder is never affected.
+        assert!(!affected[0]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Node and operator definitions.
+
+use mupod_tensor::conv::Conv2dParams;
+use mupod_tensor::pool::Pool2dParams;
+use mupod_tensor::Tensor;
+
+/// Identifier of a node inside a [`crate::Network`].
+///
+/// Node ids are dense indices assigned in insertion order, which is also
+/// a valid topological order (the builder only lets a node consume
+/// already-inserted nodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The dense index of this node.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// An operator in the inference graph.
+///
+/// Weights live inside the op (inference only — they are the "constant
+/// learned weights" of the paper's Eq. 3). Operand conventions:
+/// activations are CHW rank-3 tensors until a [`Op::Flatten`] produces a
+/// rank-1 vector for the fully-connected tail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// The image input placeholder (always node 0).
+    Input,
+    /// 2-D convolution; weight is `[OutC, InC/groups, K, K]`.
+    Conv2d {
+        /// Geometry (stride, padding, groups, …).
+        params: Conv2dParams,
+        /// Filter bank.
+        weight: Tensor,
+        /// Per-output-channel bias.
+        bias: Vec<f32>,
+    },
+    /// Fully-connected layer; weight is `[Out, In]`, input rank 1.
+    FullyConnected {
+        /// Weight matrix.
+        weight: Tensor,
+        /// Per-output bias.
+        bias: Vec<f32>,
+    },
+    /// Rectified linear unit, `max(0, x)` element-wise.
+    ReLU,
+    /// Max pooling over a CHW tensor.
+    MaxPool(Pool2dParams),
+    /// Average pooling over a CHW tensor (full-window divisor).
+    AvgPool(Pool2dParams),
+    /// Global average pooling, CHW → C vector.
+    GlobalAvgPool,
+    /// Across-channel local response normalization (AlexNet/GoogleNet).
+    Lrn {
+        /// Channel window size.
+        local_size: usize,
+        /// Scale coefficient.
+        alpha: f32,
+        /// Exponent.
+        beta: f32,
+        /// Additive constant.
+        k: f32,
+    },
+    /// Per-channel affine `y = scale[c]·x + shift[c]` (inference-folded
+    /// batch normalization).
+    ChannelAffine {
+        /// Per-channel multiplier.
+        scale: Vec<f32>,
+        /// Per-channel offset.
+        shift: Vec<f32>,
+    },
+    /// Element-wise sum of all inputs (residual connections).
+    Add,
+    /// Channel-axis concatenation of all inputs (inception/fire modules).
+    Concat,
+    /// CHW → flat vector.
+    Flatten,
+    /// Numerically stable softmax over a rank-1 vector.
+    Softmax,
+}
+
+impl Op {
+    /// Whether this is a dot-product layer in the paper's sense — a
+    /// convolutional or fully-connected layer whose *input* receives a
+    /// fixed-point format (the set the optimizer allocates over).
+    pub fn is_dot_product(&self) -> bool {
+        matches!(self, Op::Conv2d { .. } | Op::FullyConnected { .. })
+    }
+
+    /// Number of data operands this op consumes.
+    ///
+    /// `None` means variadic (≥ 2): [`Op::Add`] and [`Op::Concat`].
+    pub fn arity(&self) -> Option<usize> {
+        match self {
+            Op::Input => Some(0),
+            Op::Add | Op::Concat => None,
+            _ => Some(1),
+        }
+    }
+
+    /// A short operator mnemonic for display.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Op::Input => "input",
+            Op::Conv2d { .. } => "conv",
+            Op::FullyConnected { .. } => "fc",
+            Op::ReLU => "relu",
+            Op::MaxPool(_) => "maxpool",
+            Op::AvgPool(_) => "avgpool",
+            Op::GlobalAvgPool => "gap",
+            Op::Lrn { .. } => "lrn",
+            Op::ChannelAffine { .. } => "affine",
+            Op::Add => "add",
+            Op::Concat => "concat",
+            Op::Flatten => "flatten",
+            Op::Softmax => "softmax",
+        }
+    }
+}
+
+/// A named node: an operator plus the ids of the nodes it consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Human-readable unique layer name (e.g. `conv3`).
+    pub name: String,
+    /// The operator.
+    pub op: Op,
+    /// Producer nodes, in operand order.
+    pub inputs: Vec<NodeId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_product_classification() {
+        assert!(Op::Conv2d {
+            params: Conv2dParams::new(1, 1, 1, 1, 0),
+            weight: Tensor::zeros(&[1, 1, 1, 1]),
+            bias: vec![0.0],
+        }
+        .is_dot_product());
+        assert!(Op::FullyConnected {
+            weight: Tensor::zeros(&[1, 1]),
+            bias: vec![0.0],
+        }
+        .is_dot_product());
+        assert!(!Op::ReLU.is_dot_product());
+        assert!(!Op::Add.is_dot_product());
+    }
+
+    #[test]
+    fn arity_rules() {
+        assert_eq!(Op::Input.arity(), Some(0));
+        assert_eq!(Op::ReLU.arity(), Some(1));
+        assert_eq!(Op::Add.arity(), None);
+        assert_eq!(Op::Concat.arity(), None);
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(NodeId(3).index(), 3);
+    }
+}

@@ -1,0 +1,304 @@
+//! Input taps: the mechanism behind every error-injection experiment.
+//!
+//! A tap intercepts the *data operand* of dot-product layers during a
+//! forward pass. The three concrete taps correspond to the three ways the
+//! paper perturbs a network:
+//!
+//! * [`UniformNoiseTap`] adds `U[-Δ_K, Δ_K]` noise per layer — profiling
+//!   (§V-A) and Scheme 1 accuracy testing (§V-C). Matching the paper's
+//!   Fig. 1, exact zeros are left exact: a zero activation is always
+//!   representable in fixed point, so it carries no rounding error.
+//! * [`QuantizeTap`] rounds the operand to each layer's chosen
+//!   fixed-point format — the final validation that an allocation meets
+//!   the accuracy constraint on real rounding rather than modelled noise.
+//! * [`gaussian_output_noise`] perturbs the logits directly with
+//!   `N(0, σ²)` — Scheme 2 (§V-C, `gaussian_approx`).
+
+use crate::layer::NodeId;
+use mupod_quant::FixedPointFormat;
+use mupod_stats::SeededRng;
+use mupod_tensor::Tensor;
+use std::collections::HashMap;
+
+/// Perturbs the data input of chosen dot-product layers during a pass.
+///
+/// Implementations must be deterministic given their construction state
+/// (seeded RNGs), so a suffix replay and a full pass agree.
+pub trait InputTap {
+    /// Whether this tap wants to perturb `node`'s data input.
+    fn wants(&self, node: NodeId) -> bool;
+
+    /// Perturbs the data input of `node` in place.
+    fn apply(&mut self, node: NodeId, input: &mut Tensor);
+}
+
+/// The identity tap: perturbs nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoTap;
+
+impl InputTap for NoTap {
+    fn wants(&self, _node: NodeId) -> bool {
+        false
+    }
+
+    fn apply(&mut self, _node: NodeId, _input: &mut Tensor) {}
+}
+
+/// Adds symmetric uniform noise `U[-Δ_K, Δ_K]` to the inputs of selected
+/// layers, skipping exact zeros.
+///
+/// # Example
+///
+/// ```
+/// use mupod_nn::tap::{InputTap, UniformNoiseTap};
+/// use mupod_nn::NodeId;
+/// use mupod_stats::SeededRng;
+/// use mupod_tensor::Tensor;
+///
+/// # let some_node = NodeId::from_index_for_tests(1);
+/// let mut tap = UniformNoiseTap::single(some_node, 0.25, SeededRng::new(7));
+/// let mut t = Tensor::from_vec(&[3], vec![1.0, 0.0, -2.0]);
+/// tap.apply(some_node, &mut t);
+/// assert_eq!(t.data()[1], 0.0); // zeros stay exact
+/// assert!((t.data()[0] - 1.0).abs() <= 0.25);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UniformNoiseTap {
+    deltas: HashMap<NodeId, f64>,
+    rng: SeededRng,
+}
+
+impl UniformNoiseTap {
+    /// Tap a single layer with half-width `delta`.
+    pub fn single(node: NodeId, delta: f64, rng: SeededRng) -> Self {
+        Self::new([(node, delta)].into_iter().collect(), rng)
+    }
+
+    /// Tap several layers, each with its own half-width.
+    pub fn new(deltas: HashMap<NodeId, f64>, rng: SeededRng) -> Self {
+        Self { deltas, rng }
+    }
+
+    /// The half-width assigned to a node, if any.
+    pub fn delta(&self, node: NodeId) -> Option<f64> {
+        self.deltas.get(&node).copied()
+    }
+}
+
+impl InputTap for UniformNoiseTap {
+    fn wants(&self, node: NodeId) -> bool {
+        self.deltas.get(&node).is_some_and(|&d| d > 0.0)
+    }
+
+    fn apply(&mut self, node: NodeId, input: &mut Tensor) {
+        let Some(&delta) = self.deltas.get(&node) else {
+            return;
+        };
+        if delta <= 0.0 {
+            return;
+        }
+        for v in input.data_mut() {
+            if *v != 0.0 {
+                *v += self.rng.symmetric_uniform(delta) as f32;
+            }
+        }
+    }
+}
+
+/// Rounds the inputs of selected layers to their fixed-point formats.
+#[derive(Debug, Clone)]
+pub struct QuantizeTap {
+    formats: HashMap<NodeId, FixedPointFormat>,
+}
+
+impl QuantizeTap {
+    /// Builds a tap from per-layer formats.
+    pub fn new(formats: HashMap<NodeId, FixedPointFormat>) -> Self {
+        Self { formats }
+    }
+
+    /// The format assigned to a node, if any.
+    pub fn format(&self, node: NodeId) -> Option<FixedPointFormat> {
+        self.formats.get(&node).copied()
+    }
+}
+
+impl InputTap for QuantizeTap {
+    fn wants(&self, node: NodeId) -> bool {
+        self.formats.contains_key(&node)
+    }
+
+    fn apply(&mut self, node: NodeId, input: &mut Tensor) {
+        if let Some(fmt) = self.formats.get(&node) {
+            fmt.quantize_tensor(input);
+        }
+    }
+}
+
+/// Stochastically rounds the inputs of selected layers to their
+/// fixed-point formats (unbiased rounding; see
+/// [`FixedPointFormat::quantize_stochastic`]).
+///
+/// The ablation partner of [`QuantizeTap`]: round-to-nearest carries a
+/// signal-correlated bias, stochastic rounding carries twice the error
+/// variance (`step²/6` vs `step²/12`). The `ablation_rounding`
+/// experiment measures which effect dominates (at reproduction scale:
+/// the variance — nearest wins).
+#[derive(Debug, Clone)]
+pub struct StochasticQuantizeTap {
+    formats: HashMap<NodeId, FixedPointFormat>,
+    rng: SeededRng,
+}
+
+impl StochasticQuantizeTap {
+    /// Builds a tap from per-layer formats and a seeded noise source.
+    pub fn new(formats: HashMap<NodeId, FixedPointFormat>, rng: SeededRng) -> Self {
+        Self { formats, rng }
+    }
+}
+
+impl InputTap for StochasticQuantizeTap {
+    fn wants(&self, node: NodeId) -> bool {
+        self.formats.contains_key(&node)
+    }
+
+    fn apply(&mut self, node: NodeId, input: &mut Tensor) {
+        if let Some(fmt) = self.formats.get(&node) {
+            fmt.quantize_tensor_stochastic(input, &mut self.rng);
+        }
+    }
+}
+
+/// Adds Gaussian noise `N(0, σ²)` to a logits tensor in place — the
+/// paper's Scheme 2 (`gaussian_approx`), which models the aggregate
+/// output error of all layers as a single normal source at layer `Ł`.
+pub fn gaussian_output_noise(logits: &mut Tensor, sigma: f64, rng: &mut SeededRng) {
+    if sigma <= 0.0 {
+        return;
+    }
+    for v in logits.data_mut() {
+        *v += rng.gaussian(0.0, sigma) as f32;
+    }
+}
+
+impl NodeId {
+    /// Constructs a raw id for doctests and external test code.
+    ///
+    /// Real ids should come from [`crate::NetworkBuilder`]; this escape
+    /// hatch exists because taps are keyed by id and useful to exercise
+    /// without building a network.
+    pub fn from_index_for_tests(index: usize) -> Self {
+        NodeId(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mupod_stats::{population_std, RunningStats};
+
+    #[test]
+    fn no_tap_wants_nothing() {
+        assert!(!NoTap.wants(NodeId(0)));
+    }
+
+    #[test]
+    fn uniform_tap_preserves_zeros_and_bounds_error() {
+        let node = NodeId(4);
+        let mut tap = UniformNoiseTap::single(node, 0.1, SeededRng::new(3));
+        let original = vec![1.0f32, 0.0, -0.5, 0.0, 2.0];
+        let mut t = Tensor::from_vec(&[5], original.clone());
+        tap.apply(node, &mut t);
+        for (o, n) in original.iter().zip(t.data()) {
+            if *o == 0.0 {
+                assert_eq!(*n, 0.0);
+            } else {
+                assert!((o - n).abs() <= 0.1 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_tap_ignores_unclaimed_nodes() {
+        let mut tap = UniformNoiseTap::single(NodeId(1), 0.5, SeededRng::new(3));
+        assert!(!tap.wants(NodeId(2)));
+        let mut t = Tensor::from_vec(&[2], vec![1.0, 2.0]);
+        tap.apply(NodeId(2), &mut t);
+        assert_eq!(t.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn zero_delta_means_no_tap() {
+        let tap = UniformNoiseTap::single(NodeId(1), 0.0, SeededRng::new(3));
+        assert!(!tap.wants(NodeId(1)));
+    }
+
+    #[test]
+    fn uniform_tap_noise_statistics() {
+        let node = NodeId(0);
+        let delta = 0.3;
+        let mut tap = UniformNoiseTap::single(node, delta, SeededRng::new(8));
+        let n = 50_000;
+        let mut t = Tensor::filled(&[n], 1.0);
+        tap.apply(node, &mut t);
+        let errors: Vec<f64> = t.data().iter().map(|&v| (v - 1.0) as f64).collect();
+        let sd = population_std(&errors);
+        let expected = delta / 3.0f64.sqrt();
+        assert!((sd - expected).abs() / expected < 0.03, "sd {sd}");
+        let mut s = RunningStats::new();
+        s.extend(errors);
+        assert!(s.mean().abs() < 5e-3);
+    }
+
+    #[test]
+    fn quantize_tap_rounds_to_grid() {
+        let node = NodeId(2);
+        let fmt = FixedPointFormat::new(4, 2); // step 0.25
+        let mut tap = QuantizeTap::new([(node, fmt)].into_iter().collect());
+        assert!(tap.wants(node));
+        assert!(!tap.wants(NodeId(3)));
+        let mut t = Tensor::from_vec(&[3], vec![1.1, -0.9, 0.0]);
+        tap.apply(node, &mut t);
+        assert_eq!(t.data(), &[1.0, -1.0, 0.0]);
+        assert_eq!(tap.format(node), Some(fmt));
+    }
+
+    #[test]
+    fn stochastic_tap_rounds_to_grid_unbiased() {
+        let node = NodeId(1);
+        let fmt = FixedPointFormat::new(6, 2); // step 0.25
+        let mut tap = StochasticQuantizeTap::new(
+            [(node, fmt)].into_iter().collect(),
+            SeededRng::new(4),
+        );
+        assert!(tap.wants(node));
+        let n = 20_000;
+        let mut t = Tensor::filled(&[n], 0.6); // 0.4 of the way 0.5 -> 0.75
+        tap.apply(node, &mut t);
+        let mut mean = 0.0;
+        for &v in t.data() {
+            assert!(v == 0.5 || v == 0.75, "off grid: {v}");
+            mean += v as f64;
+        }
+        mean /= n as f64;
+        assert!((mean - 0.6).abs() < 5e-3, "biased: {mean}");
+    }
+
+    #[test]
+    fn gaussian_output_noise_statistics() {
+        let mut rng = SeededRng::new(10);
+        let mut t = Tensor::zeros(&[100_000]);
+        gaussian_output_noise(&mut t, 0.5, &mut rng);
+        let vals: Vec<f64> = t.data().iter().map(|&v| v as f64).collect();
+        let sd = population_std(&vals);
+        assert!((sd - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn gaussian_output_noise_zero_sigma_is_identity() {
+        let mut rng = SeededRng::new(10);
+        let mut t = Tensor::from_vec(&[2], vec![1.0, 2.0]);
+        gaussian_output_noise(&mut t, 0.0, &mut rng);
+        assert_eq!(t.data(), &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Objective functions over the simplex.
+
+/// An objective `F(ξ)` to minimize over the probability simplex.
+///
+/// Implementors may override [`SimplexObjective::gradient`] with an
+/// analytic gradient; the default is a central finite difference that
+/// never leaves the feasible region's neighborhood (the solvers project
+/// afterwards anyway).
+pub trait SimplexObjective {
+    /// Dimension of `ξ` (number of layers in the paper's use).
+    fn dim(&self) -> usize;
+
+    /// Objective value at `xi`.
+    fn value(&self, xi: &[f64]) -> f64;
+
+    /// Gradient at `xi`; default is central finite differences.
+    fn gradient(&self, xi: &[f64]) -> Vec<f64> {
+        let h = 1e-7;
+        let mut g = vec![0.0; xi.len()];
+        let mut probe = xi.to_vec();
+        for i in 0..xi.len() {
+            let orig = probe[i];
+            probe[i] = orig + h;
+            let up = self.value(&probe);
+            probe[i] = orig - h;
+            let down = self.value(&probe);
+            probe[i] = orig;
+            g[i] = (up - down) / (2.0 * h);
+        }
+        g
+    }
+}
+
+/// Adapts a closure into a [`SimplexObjective`] (finite-difference
+/// gradient).
+///
+/// # Example
+///
+/// ```
+/// use mupod_optim::{FnObjective, SimplexObjective};
+/// let obj = FnObjective::new(2, |xi: &[f64]| xi[0] * xi[0] + xi[1]);
+/// assert_eq!(obj.dim(), 2);
+/// let g = obj.gradient(&[0.5, 0.5]);
+/// assert!((g[0] - 1.0).abs() < 1e-4);
+/// assert!((g[1] - 1.0).abs() < 1e-4);
+/// ```
+pub struct FnObjective<F> {
+    dim: usize,
+    f: F,
+}
+
+impl<F: Fn(&[f64]) -> f64> FnObjective<F> {
+    /// Wraps a closure of the given dimension.
+    pub fn new(dim: usize, f: F) -> Self {
+        Self { dim, f }
+    }
+}
+
+impl<F: Fn(&[f64]) -> f64> SimplexObjective for FnObjective<F> {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn value(&self, xi: &[f64]) -> f64 {
+        (self.f)(xi)
+    }
+}
+
+impl<F> std::fmt::Debug for FnObjective<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnObjective").field("dim", &self.dim).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_difference_gradient_of_quadratic() {
+        let obj = FnObjective::new(3, |x: &[f64]| {
+            x.iter().map(|v| v * v).sum::<f64>()
+        });
+        let g = obj.gradient(&[0.1, 0.5, 0.4]);
+        for (gi, xi) in g.iter().zip(&[0.1, 0.5, 0.4]) {
+            assert!((gi - 2.0 * xi).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn value_delegates_to_closure() {
+        let obj = FnObjective::new(2, |x: &[f64]| x[0] - x[1]);
+        assert_eq!(obj.value(&[3.0, 1.0]), 2.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Per-layer bitwidth allocations and the effective-bitwidth metric.
+
+use crate::FixedPointFormat;
+
+/// The fixed-point format chosen for one layer's input tensor, together
+/// with the measurements that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerFormat {
+    /// Name of the layer (e.g. `conv3`).
+    pub layer: String,
+    /// Chosen format.
+    pub format: FixedPointFormat,
+    /// The error half-width `Δ_{X_K}` the optimizer granted this layer.
+    pub delta: f64,
+    /// Observed `max|X_K|` used for the integer part.
+    pub max_abs: f64,
+}
+
+impl LayerFormat {
+    /// Builds a layer format from the optimizer's `Δ` grant and the
+    /// profiled dynamic range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is not positive finite or `max_abs` is negative.
+    pub fn from_delta(layer: impl Into<String>, delta: f64, max_abs: f64) -> Self {
+        Self {
+            layer: layer.into(),
+            format: FixedPointFormat::for_range_and_delta(max_abs, delta),
+            delta,
+            max_abs,
+        }
+    }
+
+    /// Hardware word length of this layer's input operand.
+    ///
+    /// Clamped below at 1 bit: even a layer granted an enormous error
+    /// budget still reads *something*.
+    pub fn bits(&self) -> u32 {
+        self.format.total_bits().max(1)
+    }
+}
+
+/// A complete per-layer bitwidth assignment for a network.
+///
+/// # Example
+///
+/// ```
+/// use mupod_quant::{BitwidthAllocation, LayerFormat};
+/// let alloc = BitwidthAllocation::new(vec![
+///     LayerFormat::from_delta("conv1", 0.01, 100.0),
+///     LayerFormat::from_delta("conv2", 0.05, 50.0),
+/// ]);
+/// assert_eq!(alloc.len(), 2);
+/// let bits = alloc.bits();
+/// assert!(bits[0] > bits[1]); // tighter Δ ⇒ more fraction bits
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitwidthAllocation {
+    layers: Vec<LayerFormat>,
+}
+
+impl BitwidthAllocation {
+    /// Creates an allocation from per-layer formats.
+    pub fn new(layers: Vec<LayerFormat>) -> Self {
+        Self { layers }
+    }
+
+    /// Builds an allocation with a uniform bitwidth: each layer gets
+    /// `bits` total, with the fraction part filling whatever the integer
+    /// part (from `max_abs`) leaves over.
+    ///
+    /// This is the paper's fallback baseline ("the smallest possible
+    /// uniform bitwidth for all layers").
+    pub fn uniform(names: &[&str], max_abs: &[f64], bits: u32) -> Self {
+        assert_eq!(names.len(), max_abs.len(), "name/range length mismatch");
+        let layers = names
+            .iter()
+            .zip(max_abs)
+            .map(|(&name, &ma)| {
+                let int_bits = FixedPointFormat::int_bits_for_max_abs(ma);
+                let frac_bits = bits as i32 - int_bits;
+                let format = FixedPointFormat::new(int_bits, frac_bits);
+                LayerFormat {
+                    layer: name.to_string(),
+                    format,
+                    delta: format.delta(),
+                    max_abs: ma,
+                }
+            })
+            .collect();
+        Self { layers }
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the allocation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Per-layer formats.
+    pub fn layers(&self) -> &[LayerFormat] {
+        &self.layers
+    }
+
+    /// Per-layer word lengths.
+    pub fn bits(&self) -> Vec<u32> {
+        self.layers.iter().map(LayerFormat::bits).collect()
+    }
+
+    /// Weighted mean bitwidth `Σ ρ_K B_K / Σ ρ_K` (paper §V-D).
+    ///
+    /// With `rho` = per-layer input counts this is the bandwidth-effective
+    /// bitwidth; with `rho` = per-layer MAC counts it is the
+    /// energy-effective bitwidth of Table III.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` has the wrong length or sums to zero.
+    pub fn effective_bitwidth(&self, rho: &[f64]) -> f64 {
+        let bits = self.bits();
+        effective_bitwidth(&bits, rho)
+    }
+
+    /// Total weighted bits `Σ ρ_K B_K` (e.g. the `#Input_bits` row of
+    /// Table II when `rho` is the per-layer input element count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` has the wrong length.
+    pub fn total_weighted_bits(&self, rho: &[f64]) -> f64 {
+        assert_eq!(rho.len(), self.layers.len(), "rho length mismatch");
+        self.bits()
+            .iter()
+            .zip(rho)
+            .map(|(&b, &r)| b as f64 * r)
+            .sum()
+    }
+}
+
+impl FromIterator<LayerFormat> for BitwidthAllocation {
+    fn from_iter<I: IntoIterator<Item = LayerFormat>>(iter: I) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+/// Weighted mean bitwidth `Σ ρ_K B_K / Σ ρ_K` over raw bit counts.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or `rho` sums to zero.
+pub fn effective_bitwidth(bits: &[u32], rho: &[f64]) -> f64 {
+    assert_eq!(bits.len(), rho.len(), "bits/rho length mismatch");
+    let denom: f64 = rho.iter().sum();
+    assert!(denom > 0.0, "rho must have positive total weight");
+    bits.iter()
+        .zip(rho)
+        .map(|(&b, &r)| b as f64 * r)
+        .sum::<f64>()
+        / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_bitwidth_matches_paper_example() {
+        // Paper §V-D: AlexNet baseline 2833e3 bits / 397.6e3 inputs ≈ 7.1.
+        let bits = [9u32, 7, 4, 5, 7];
+        let rho = [154.6e3, 70e3, 43.2e3, 64.9e3, 64.9e3];
+        let eff = effective_bitwidth(&bits, &rho);
+        assert!((eff - 7.125).abs() < 0.01, "got {eff}");
+    }
+
+    #[test]
+    fn uniform_allocation_has_constant_bits() {
+        let alloc = BitwidthAllocation::uniform(
+            &["a", "b", "c"],
+            &[100.0, 10.0, 1000.0],
+            8,
+        );
+        assert_eq!(alloc.bits(), vec![8, 8, 8]);
+        // Layers with larger range spend more integer bits, so their Δ is
+        // coarser.
+        assert!(alloc.layers()[2].delta > alloc.layers()[1].delta);
+    }
+
+    #[test]
+    fn from_delta_respects_error_bound() {
+        let lf = LayerFormat::from_delta("conv1", 0.02, 161.0);
+        assert!(lf.format.delta() <= 0.02);
+        assert_eq!(lf.format.int_bits(), 9);
+        assert!(lf.bits() >= 1);
+    }
+
+    #[test]
+    fn bits_clamped_to_one() {
+        // Giant delta, tiny range: raw total bits would be <= 0.
+        let lf = LayerFormat::from_delta("x", 100.0, 0.5);
+        assert_eq!(lf.bits(), 1);
+    }
+
+    #[test]
+    fn total_weighted_bits_table2_shape() {
+        // Paper Table II baseline: per-layer bits × #inputs sums to 2833e3.
+        let alloc = BitwidthAllocation::uniform(
+            &["conv1", "conv2", "conv3", "conv4", "conv5"],
+            &[161.0, 139.0, 139.0, 443.0, 415.0],
+            8,
+        );
+        let rho = [154.6e3, 70e3, 43.2e3, 64.9e3, 64.9e3];
+        let total = alloc.total_weighted_bits(&rho);
+        assert!((total - 8.0 * rho.iter().sum::<f64>()).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn effective_bitwidth_rejects_zero_weight() {
+        effective_bitwidth(&[4], &[0.0]);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let alloc: BitwidthAllocation = (0..3)
+            .map(|i| LayerFormat::from_delta(format!("l{i}"), 0.1, 10.0))
+            .collect();
+        assert_eq!(alloc.len(), 3);
+        assert!(!alloc.is_empty());
+    }
+}

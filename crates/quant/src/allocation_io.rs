@@ -1,0 +1,180 @@
+//! CSV persistence for [`BitwidthAllocation`]s.
+//!
+//! An allocation is the framework's deliverable — the per-layer formats
+//! a hardware team consumes. Persisting it decouples the optimization
+//! run from downstream use (RTL parameterization, accelerator
+//! configuration, documentation).
+
+use crate::{BitwidthAllocation, FixedPointFormat, LayerFormat};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors from allocation persistence.
+#[derive(Debug)]
+pub enum AllocationIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed CSV; payload is line number and message.
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for AllocationIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocationIoError::Io(e) => write!(f, "allocation io error: {e}"),
+            AllocationIoError::Parse(line, msg) => {
+                write!(f, "allocation parse error at line {line}: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocationIoError {}
+
+impl From<std::io::Error> for AllocationIoError {
+    fn from(e: std::io::Error) -> Self {
+        AllocationIoError::Io(e)
+    }
+}
+
+const HEADER: &str = "layer,int_bits,frac_bits,total_bits,delta,max_abs";
+
+impl BitwidthAllocation {
+    /// Writes the allocation as CSV (header + one row per layer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn save_csv<W: Write>(&self, mut w: W) -> Result<(), AllocationIoError> {
+        writeln!(w, "{HEADER}")?;
+        for lf in self.layers() {
+            writeln!(
+                w,
+                "{},{},{},{},{},{}",
+                lf.layer,
+                lf.format.int_bits(),
+                lf.format.frac_bits(),
+                lf.bits(),
+                lf.delta,
+                lf.max_abs
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Reads an allocation previously written by
+    /// [`BitwidthAllocation::save_csv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocationIoError::Parse`] on malformed rows and
+    /// [`AllocationIoError::Io`] on reader failures.
+    pub fn load_csv<R: Read>(r: R) -> Result<BitwidthAllocation, AllocationIoError> {
+        let reader = BufReader::new(r);
+        let mut lines = reader.lines().enumerate();
+        match lines.next() {
+            Some((_, Ok(h))) if h.trim() == HEADER => {}
+            Some((_, Ok(h))) => {
+                return Err(AllocationIoError::Parse(1, format!("bad header `{h}`")))
+            }
+            Some((_, Err(e))) => return Err(e.into()),
+            None => return Err(AllocationIoError::Parse(1, "empty file".into())),
+        }
+        let mut layers = Vec::new();
+        for (i, line) in lines {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 6 {
+                return Err(AllocationIoError::Parse(
+                    i + 1,
+                    format!("expected 6 fields, got {}", fields.len()),
+                ));
+            }
+            let int_bits: i32 = fields[1].parse().map_err(|_| {
+                AllocationIoError::Parse(i + 1, format!("bad int_bits `{}`", fields[1]))
+            })?;
+            let frac_bits: i32 = fields[2].parse().map_err(|_| {
+                AllocationIoError::Parse(i + 1, format!("bad frac_bits `{}`", fields[2]))
+            })?;
+            let delta: f64 = fields[4].parse().map_err(|_| {
+                AllocationIoError::Parse(i + 1, format!("bad delta `{}`", fields[4]))
+            })?;
+            let max_abs: f64 = fields[5].parse().map_err(|_| {
+                AllocationIoError::Parse(i + 1, format!("bad max_abs `{}`", fields[5]))
+            })?;
+            layers.push(LayerFormat {
+                layer: fields[0].to_string(),
+                format: FixedPointFormat::new(int_bits, frac_bits),
+                delta,
+                max_abs,
+            });
+        }
+        Ok(BitwidthAllocation::new(layers))
+    }
+
+    /// Renders the allocation as a markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from("| layer | format | bits | Δ | max|x| |\n");
+        out.push_str("|---|---|---|---|---|\n");
+        for lf in self.layers() {
+            out.push_str(&format!(
+                "| {} | {} | {} | {:.5} | {:.1} |\n",
+                lf.layer,
+                lf.format,
+                lf.bits(),
+                lf.delta,
+                lf.max_abs
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BitwidthAllocation {
+        BitwidthAllocation::new(vec![
+            LayerFormat::from_delta("conv1", 0.01, 161.0),
+            LayerFormat::from_delta("conv2", 0.5, 139.0),
+        ])
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let a = sample();
+        let mut buf = Vec::new();
+        a.save_csv(&mut buf).unwrap();
+        let b = BitwidthAllocation::load_csv(buf.as_slice()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_header_and_rows() {
+        assert!(matches!(
+            BitwidthAllocation::load_csv("nope".as_bytes()).unwrap_err(),
+            AllocationIoError::Parse(1, _)
+        ));
+        let text = format!("{HEADER}\nconv1,9\n");
+        assert!(matches!(
+            BitwidthAllocation::load_csv(text.as_bytes()).unwrap_err(),
+            AllocationIoError::Parse(2, _)
+        ));
+        let text = format!("{HEADER}\nconv1,nine,3,12,0.1,100\n");
+        assert!(matches!(
+            BitwidthAllocation::load_csv(text.as_bytes()).unwrap_err(),
+            AllocationIoError::Parse(2, _)
+        ));
+    }
+
+    #[test]
+    fn markdown_contains_every_layer() {
+        let md = sample().to_markdown();
+        assert!(md.contains("conv1"));
+        assert!(md.contains("conv2"));
+        assert_eq!(md.lines().count(), 4);
+    }
+}

@@ -1,0 +1,326 @@
+//! The `I.F` fixed-point format.
+
+use mupod_tensor::Tensor;
+
+/// A signed fixed-point format with `int_bits` integer bits and
+/// `frac_bits` fraction bits (paper §II-A).
+///
+/// Both fields may be negative: `frac_bits < 0` drops useless low-order
+/// integer bits when the tolerable rounding error exceeds 1 (realized in
+/// hardware with an implicit shift), while `int_bits < 1` describes
+/// purely fractional data whose magnitude never reaches 0.5. The word
+/// length charged to hardware is [`FixedPointFormat::total_bits`] =
+/// `max(int_bits + frac_bits, 0)`.
+///
+/// # Example
+///
+/// ```
+/// use mupod_quant::FixedPointFormat;
+/// // Tolerate an absolute error of 0.1 on values up to 6.0 in magnitude.
+/// let fmt = FixedPointFormat::for_range_and_delta(6.0, 0.1);
+/// assert_eq!(fmt.int_bits(), 4); // ⌈log2 6⌉ + 1
+/// assert!(fmt.delta() <= 0.1);
+/// let q = fmt.quantize(1.234);
+/// assert!((q - 1.234).abs() <= fmt.delta());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FixedPointFormat {
+    int_bits: i32,
+    frac_bits: i32,
+}
+
+impl FixedPointFormat {
+    /// Creates a format from explicit integer and fraction bit counts.
+    pub fn new(int_bits: i32, frac_bits: i32) -> Self {
+        Self {
+            int_bits,
+            frac_bits,
+        }
+    }
+
+    /// Number of fraction bits needed so the worst-case rounding error
+    /// `2^{-(F+1)}` does not exceed `delta`.
+    ///
+    /// This is the paper's `F = ⌈−log2(2Δ)⌉` rule. The result may be
+    /// negative (Δ > 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is not a positive finite number.
+    pub fn frac_bits_for_delta(delta: f64) -> i32 {
+        assert!(
+            delta.is_finite() && delta > 0.0,
+            "delta must be positive and finite, got {delta}"
+        );
+        (-(2.0 * delta).log2()).ceil() as i32
+    }
+
+    /// Number of signed integer bits needed to represent magnitudes up to
+    /// `max_abs` without overflow: `I = ⌈log2 max|x|⌉ + 1` (§II-A).
+    ///
+    /// Returns 1 (just a sign bit) when `max_abs` is zero. Exact powers
+    /// of two get one extra bit so the value itself remains representable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_abs` is negative or non-finite.
+    pub fn int_bits_for_max_abs(max_abs: f64) -> i32 {
+        assert!(
+            max_abs.is_finite() && max_abs >= 0.0,
+            "max_abs must be non-negative and finite, got {max_abs}"
+        );
+        if max_abs == 0.0 {
+            return 1;
+        }
+        let log = max_abs.log2();
+        let ceil = log.ceil();
+        // A power of two needs ⌈log2⌉ + 1 magnitude bits (e.g. 8 -> 4).
+        let magnitude_bits = if (ceil - log).abs() < 1e-12 {
+            ceil as i32 + 1
+        } else {
+            ceil as i32
+        };
+        magnitude_bits + 1
+    }
+
+    /// Builds the smallest format covering magnitude `max_abs` with
+    /// worst-case rounding error at most `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid `max_abs` or `delta` (see the constructors it
+    /// delegates to).
+    pub fn for_range_and_delta(max_abs: f64, delta: f64) -> Self {
+        Self::new(
+            Self::int_bits_for_max_abs(max_abs),
+            Self::frac_bits_for_delta(delta),
+        )
+    }
+
+    /// Integer bit count `I`.
+    pub fn int_bits(&self) -> i32 {
+        self.int_bits
+    }
+
+    /// Fraction bit count `F` (may be negative).
+    pub fn frac_bits(&self) -> i32 {
+        self.frac_bits
+    }
+
+    /// Hardware word length `max(I + F, 0)`.
+    pub fn total_bits(&self) -> u32 {
+        (self.int_bits + self.frac_bits).max(0) as u32
+    }
+
+    /// Grid step `2^{-F}`.
+    pub fn step(&self) -> f64 {
+        (-self.frac_bits as f64).exp2()
+    }
+
+    /// Worst-case rounding error `Δ = 2^{-(F+1)}` = half the grid step.
+    pub fn delta(&self) -> f64 {
+        0.5 * self.step()
+    }
+
+    /// Largest representable magnitude, `2^{I−1}` (saturation bound).
+    pub fn max_magnitude(&self) -> f64 {
+        ((self.int_bits - 1) as f64).exp2()
+    }
+
+    /// Rounds `x` to the nearest grid point, saturating at the format's
+    /// range.
+    ///
+    /// Exact zeros stay exactly zero for every format — the property the
+    /// paper leans on when arguing ReLU scales error standard deviation
+    /// (§III-C).
+    pub fn quantize(&self, x: f64) -> f64 {
+        let step = self.step();
+        let (lo, hi) = self.grid_index_range();
+        (x / step).round().clamp(lo, hi) * step
+    }
+
+    /// Smallest and largest representable grid indices (`value = k·step`).
+    ///
+    /// Saturation clamps the *index*, not the value, so saturated results
+    /// are always on the grid and quantization is idempotent — including
+    /// degenerate formats whose word length is zero (they represent only
+    /// zero).
+    fn grid_index_range(&self) -> (f64, f64) {
+        let step = self.step();
+        let bound = self.max_magnitude();
+        let lo = (-bound / step).ceil();
+        let hi = ((bound - step.min(bound)) / step).floor();
+        (lo, hi.max(0.0))
+    }
+
+    /// Quantizes an `f32` value (convenience for tensor data).
+    pub fn quantize_f32(&self, x: f32) -> f32 {
+        self.quantize(x as f64) as f32
+    }
+
+    /// Rounds `x` to the grid *stochastically*: up with probability
+    /// equal to the fractional position, down otherwise, then saturates.
+    ///
+    /// Stochastic rounding is unbiased — `E[q(x)] = x` inside the range
+    /// — at the price of doubling the error variance relative to nearest
+    /// rounding (`step²/6` vs `step²/12`). Hardware implements it with an
+    /// LFSR per rounder; the reproduction offers it as an ablation
+    /// against the paper's nearest rounding (which the ablation finds
+    /// preferable at these scales).
+    pub fn quantize_stochastic(&self, x: f64, rng: &mut mupod_stats::SeededRng) -> f64 {
+        let step = self.step();
+        let (lo_idx, hi_idx) = self.grid_index_range();
+        let pos = x / step;
+        let below = pos.floor();
+        let frac = pos - below;
+        let k = if rng.unit() < frac { below + 1.0 } else { below };
+        k.clamp(lo_idx, hi_idx) * step
+    }
+
+    /// Stochastically quantizes every element of a tensor in place.
+    pub fn quantize_tensor_stochastic(
+        &self,
+        t: &mut Tensor,
+        rng: &mut mupod_stats::SeededRng,
+    ) {
+        for v in t.data_mut() {
+            *v = self.quantize_stochastic(*v as f64, rng) as f32;
+        }
+    }
+
+    /// Quantizes every element of a tensor in place.
+    pub fn quantize_tensor(&self, t: &mut Tensor) {
+        let step = self.step() as f32;
+        let (lo, hi) = self.grid_index_range();
+        let (lo, hi) = (lo as f32, hi as f32);
+        for v in t.data_mut() {
+            *v = (*v / step).round().clamp(lo, hi) * step;
+        }
+    }
+}
+
+impl std::fmt::Display for FixedPointFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.int_bits, self.frac_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frac_bits_rule_matches_paper() {
+        // Δ = 2^-(F+1): F=3 gives Δ=1/16; asking for Δ=1/16 returns F=3.
+        assert_eq!(FixedPointFormat::frac_bits_for_delta(1.0 / 16.0), 3);
+        // Slightly tighter tolerance bumps F.
+        assert_eq!(FixedPointFormat::frac_bits_for_delta(0.9 / 16.0), 4);
+        // Δ > 1 yields negative F (drop integer LSBs).
+        assert_eq!(FixedPointFormat::frac_bits_for_delta(4.0), -3);
+        assert_eq!(FixedPointFormat::frac_bits_for_delta(0.5), 0);
+    }
+
+    #[test]
+    fn int_bits_rule_matches_paper() {
+        // Table II: max|X| = 161 -> 9 signed bits (⌈log2 161⌉ = 8).
+        assert_eq!(FixedPointFormat::int_bits_for_max_abs(161.0), 9);
+        assert_eq!(FixedPointFormat::int_bits_for_max_abs(443.0), 10);
+        assert_eq!(FixedPointFormat::int_bits_for_max_abs(0.0), 1);
+        assert_eq!(FixedPointFormat::int_bits_for_max_abs(0.4), 0);
+        // Power of two needs the extra bit: representing 8 requires 4+1.
+        assert_eq!(FixedPointFormat::int_bits_for_max_abs(8.0), 5);
+    }
+
+    #[test]
+    fn quantize_rounds_to_grid() {
+        let fmt = FixedPointFormat::new(4, 2); // step 0.25
+        assert_eq!(fmt.quantize(1.1), 1.0);
+        assert_eq!(fmt.quantize(1.13), 1.25);
+        assert_eq!(fmt.quantize(-0.95), -1.0);
+        assert_eq!(fmt.quantize(0.0), 0.0);
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        let fmt = FixedPointFormat::new(3, 1); // range [-4, 3.5], step 0.5
+        assert_eq!(fmt.quantize(100.0), 3.5);
+        assert_eq!(fmt.quantize(-100.0), -4.0);
+    }
+
+    #[test]
+    fn negative_frac_bits_coarse_grid() {
+        let fmt = FixedPointFormat::new(8, -2); // step 4
+        assert_eq!(fmt.step(), 4.0);
+        assert_eq!(fmt.delta(), 2.0);
+        assert_eq!(fmt.quantize(5.0), 4.0);
+        assert_eq!(fmt.quantize(6.1), 8.0);
+        assert_eq!(fmt.total_bits(), 6);
+    }
+
+    #[test]
+    fn total_bits_never_negative() {
+        let fmt = FixedPointFormat::new(2, -5);
+        assert_eq!(fmt.total_bits(), 0);
+    }
+
+    #[test]
+    fn for_range_and_delta_error_bound_holds() {
+        let fmt = FixedPointFormat::for_range_and_delta(10.0, 0.03);
+        for i in 0..1000 {
+            let x = -10.0 + i as f64 * 0.02;
+            let q = fmt.quantize(x);
+            assert!(
+                (q - x).abs() <= 0.03 + 1e-12,
+                "error too large at {x}: {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantize_tensor_matches_scalar() {
+        let fmt = FixedPointFormat::new(4, 2);
+        let mut t = Tensor::from_vec(&[4], vec![1.1, -0.95, 0.0, 7.9]);
+        fmt.quantize_tensor(&mut t);
+        for (i, &x) in [1.1f64, -0.95, 0.0, 7.9].iter().enumerate() {
+            assert_eq!(t.data()[i], fmt.quantize(x) as f32);
+        }
+    }
+
+    #[test]
+    fn display_shows_if_format() {
+        assert_eq!(FixedPointFormat::new(9, 3).to_string(), "9.3");
+        assert_eq!(FixedPointFormat::new(8, -2).to_string(), "8.-2");
+    }
+
+    #[test]
+    fn stochastic_rounding_is_unbiased() {
+        let fmt = FixedPointFormat::new(6, 2); // step 0.25
+        let mut rng = mupod_stats::SeededRng::new(5);
+        let x = 1.1; // 0.4 of the way from 1.0 to 1.25
+        let mut sum = 0.0;
+        let n = 40_000;
+        for _ in 0..n {
+            let q = fmt.quantize_stochastic(x, &mut rng);
+            assert!(q == 1.0 || q == 1.25, "off-grid result {q}");
+            sum += q;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - x).abs() < 5e-3, "biased: {mean}");
+    }
+
+    #[test]
+    fn stochastic_rounding_exact_on_grid_and_saturates() {
+        let fmt = FixedPointFormat::new(3, 1); // range [-4, 3.5], step .5
+        let mut rng = mupod_stats::SeededRng::new(6);
+        assert_eq!(fmt.quantize_stochastic(1.5, &mut rng), 1.5);
+        assert_eq!(fmt.quantize_stochastic(100.0, &mut rng), 3.5);
+        assert_eq!(fmt.quantize_stochastic(-100.0, &mut rng), -4.0);
+    }
+
+    #[test]
+    fn zero_always_exact() {
+        for (i, f) in [(1, 7), (9, -3), (0, 4), (16, 16)] {
+            assert_eq!(FixedPointFormat::new(i, f).quantize(0.0), 0.0);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Fixed-point formats and uniform quantization (paper §II-A).
+//!
+//! A fixed-point format `I.F` has `I` integer bits (signed, two's
+//! complement) and `F` fraction bits. Rounding a value to the `I.F` grid
+//! with correct rounding incurs a worst-case error of `Δ = 2^{-(F+1)}`;
+//! over a large population the error is modelled as additive white noise,
+//! uniform on `[-Δ, Δ]` with variance `(2Δ)²/12` (Widrow's statistical
+//! theory of quantization, the paper's reference \[8\]).
+//!
+//! Two non-obvious conventions from the paper are implemented faithfully:
+//!
+//! * **Negative fraction bits.** When the tolerable `Δ` exceeds 1, the
+//!   low-order *integer* bits are also useless, so `F < 0` deletes them
+//!   ("saving the integer bitwidth when Δ is greater than 1", §II-A). The
+//!   effective word length is still `I + F`.
+//! * **Integer bits from the observed range.** `I = ⌈log2 max|x|⌉ + 1`
+//!   for a signed format, measured with a forward pass over the dataset.
+//!
+//! # Example
+//!
+//! ```
+//! use mupod_quant::FixedPointFormat;
+//!
+//! // A 4.3 format: values in [-8, 8) on a 1/8 grid.
+//! let fmt = FixedPointFormat::new(4, 3);
+//! assert_eq!(fmt.quantize(1.30), 1.25);
+//! assert_eq!(fmt.total_bits(), 7);
+//! assert!((fmt.delta() - 1.0 / 16.0).abs() < 1e-12);
+//! ```
+
+mod allocation;
+mod allocation_io;
+mod format;
+
+pub use allocation::{effective_bitwidth, BitwidthAllocation, LayerFormat};
+pub use allocation_io::AllocationIoError;
+pub use format::FixedPointFormat;
+
+/// Standard deviation of the quantization noise for half-width `delta`.
+///
+/// The noise is uniform on `[-Δ, Δ]`, so `σ = 2Δ/√12 = Δ/√3` (paper
+/// §II-A, citing Widrow).
+///
+/// ```
+/// let sd = mupod_quant::noise_std_for_delta(0.5);
+/// assert!((sd - 0.5 / 3.0_f64.sqrt()).abs() < 1e-12);
+/// ```
+pub fn noise_std_for_delta(delta: f64) -> f64 {
+    delta / 3.0_f64.sqrt()
+}
+
+/// Half-width `Δ` of the uniform noise with standard deviation `sigma`.
+///
+/// Inverse of [`noise_std_for_delta`]: `Δ = σ·√12/2 = σ·√3` (the paper
+/// writes `Δ_{X_K} = σ_{X_K}·√12/2` in §IV).
+pub fn delta_for_noise_std(sigma: f64) -> f64 {
+    sigma * 3.0_f64.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_std_roundtrip() {
+        for delta in [1e-4, 0.1, 1.0, 37.5] {
+            let sigma = noise_std_for_delta(delta);
+            assert!((delta_for_noise_std(sigma) - delta).abs() < 1e-12 * delta.max(1.0));
+        }
+    }
+
+    #[test]
+    fn noise_std_matches_uniform_variance_formula() {
+        // Var(U[-Δ, Δ]) = (2Δ)² / 12.
+        let delta = 0.75;
+        let sigma = noise_std_for_delta(delta);
+        assert!((sigma * sigma - (2.0 * delta).powi(2) / 12.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the fixed-point format rules of §II-A.
+
+use mupod_quant::{delta_for_noise_std, noise_std_for_delta, FixedPointFormat};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `frac_bits_for_delta` always delivers a format whose worst-case
+    /// error is within the requested Δ, and never wastes more than one
+    /// extra bit.
+    #[test]
+    fn frac_bits_rule_is_tight(delta in 1e-9f64..1e6) {
+        let f = FixedPointFormat::frac_bits_for_delta(delta);
+        let achieved = FixedPointFormat::new(32, f).delta();
+        prop_assert!(achieved <= delta * (1.0 + 1e-12), "error bound violated");
+        // One fewer fraction bit would violate the bound.
+        let coarser = FixedPointFormat::new(32, f - 1).delta();
+        prop_assert!(coarser > delta * (1.0 - 1e-12), "wasted a bit");
+    }
+
+    /// `int_bits_for_max_abs` covers the range and is minimal.
+    #[test]
+    fn int_bits_rule_is_tight(max_abs in 1e-6f64..1e9) {
+        let i = FixedPointFormat::int_bits_for_max_abs(max_abs);
+        let fmt = FixedPointFormat::new(i, 40);
+        prop_assert!(fmt.max_magnitude() >= max_abs * (1.0 - 1e-12));
+        // One fewer integer bit could not represent the magnitude.
+        let smaller = FixedPointFormat::new(i - 1, 40);
+        prop_assert!(smaller.max_magnitude() < max_abs * (1.0 + 1e-9));
+    }
+
+    /// Quantization is idempotent: q(q(x)) == q(x).
+    #[test]
+    fn quantize_idempotent(
+        x in -1e5f64..1e5,
+        int_bits in 2i32..20,
+        frac_bits in -4i32..16,
+    ) {
+        let fmt = FixedPointFormat::new(int_bits, frac_bits);
+        let q = fmt.quantize(x);
+        prop_assert_eq!(fmt.quantize(q), q);
+    }
+
+    /// Saturation clamps to the representable range, preserving sign.
+    #[test]
+    fn quantize_saturates_in_range(
+        x in -1e9f64..1e9,
+        int_bits in 2i32..16,
+        frac_bits in 0i32..8,
+    ) {
+        let fmt = FixedPointFormat::new(int_bits, frac_bits);
+        let q = fmt.quantize(x);
+        prop_assert!(q.abs() <= fmt.max_magnitude());
+        if x.abs() > fmt.max_magnitude() {
+            prop_assert_eq!(q.signum(), x.signum());
+        }
+    }
+
+    /// Δ ↔ σ conversions are mutually inverse.
+    #[test]
+    fn delta_sigma_inverse(delta in 1e-9f64..1e9) {
+        let s = noise_std_for_delta(delta);
+        let d = delta_for_noise_std(s);
+        prop_assert!((d - delta).abs() < 1e-9 * delta.max(1.0));
+    }
+
+    /// Larger Δ tolerance never yields a *longer* word.
+    #[test]
+    fn coarser_delta_never_longer_word(
+        max_abs in 0.1f64..1e6,
+        d1 in 1e-6f64..1e3,
+        factor in 1.0f64..1e3,
+    ) {
+        let fine = FixedPointFormat::for_range_and_delta(max_abs, d1);
+        let coarse = FixedPointFormat::for_range_and_delta(max_abs, d1 * factor);
+        prop_assert!(coarse.total_bits() <= fine.total_bits());
+    }
+}

@@ -1,0 +1,206 @@
+//! Fixed-bin histograms.
+//!
+//! Used to regenerate the error-shape panels of the paper: the uniform
+//! input-error histogram and the approximately Gaussian output-error
+//! histogram of Fig. 1, and the `N(0, 1)` comparison of Fig. 3 (right).
+
+/// A histogram with uniformly spaced bins over `[low, high)`.
+///
+/// Out-of-range values are counted in saturating edge bins so no
+/// observation is silently dropped.
+///
+/// # Example
+///
+/// ```
+/// use mupod_stats::Histogram;
+/// let mut h = Histogram::new(-1.0, 1.0, 4);
+/// for v in [-0.9, -0.1, 0.1, 0.9, 0.95] {
+///     h.push(v);
+/// }
+/// assert_eq!(h.total(), 5);
+/// assert_eq!(h.counts()[3], 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    low: f64,
+    high: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[low, high)` with `bins` uniform bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high` or `bins == 0`.
+    pub fn new(low: f64, high: f64, bins: usize) -> Self {
+        assert!(low < high, "histogram range must be non-empty");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Self {
+            low,
+            high,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Adds one observation; values outside the range clamp to edge bins.
+    pub fn push(&mut self, value: f64) {
+        let bins = self.counts.len();
+        let t = (value - self.low) / (self.high - self.low);
+        let idx = ((t * bins as f64).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Adds every observation from an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.push(v);
+        }
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Center coordinate of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let width = (self.high - self.low) / self.counts.len() as f64;
+        self.low + (i as f64 + 0.5) * width
+    }
+
+    /// Probability-density estimate per bin (integrates to ~1).
+    pub fn density(&self) -> Vec<f64> {
+        let width = (self.high - self.low) / self.counts.len() as f64;
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / (self.total as f64 * width))
+            .collect()
+    }
+
+    /// Total-variation distance between this histogram's density and a
+    /// reference density function, evaluated at bin centers.
+    ///
+    /// Low values mean the sampled distribution matches the reference —
+    /// this is how the reproduction quantifies the "output error is almost
+    /// `N(0, 1)`" claim under Fig. 3.
+    pub fn total_variation_vs<F: Fn(f64) -> f64>(&self, pdf: F) -> f64 {
+        let width = (self.high - self.low) / self.counts.len() as f64;
+        let dens = self.density();
+        0.5 * dens
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (d - pdf(self.bin_center(i))).abs() * width)
+            .sum::<f64>()
+    }
+
+    /// Renders a compact ASCII bar chart, one row per bin.
+    pub fn render_ascii(&self, max_width: usize) -> String {
+        let peak = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = (c as usize * max_width) / peak as usize;
+            out.push_str(&format!(
+                "{:>9.4} | {}{}\n",
+                self.bin_center(i),
+                "#".repeat(bar),
+                if c > 0 && bar == 0 { "." } else { "" }
+            ));
+        }
+        out
+    }
+}
+
+/// Standard normal probability density function.
+pub fn standard_normal_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Probability density function of `N(mean, std²)`.
+pub fn normal_pdf(x: f64, mean: f64, std: f64) -> f64 {
+    if std <= 0.0 {
+        return 0.0;
+    }
+    standard_normal_pdf((x - mean) / std) / std
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeededRng;
+
+    #[test]
+    fn bins_and_centers() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        h.extend([0.5, 1.5, 1.6, 3.9]);
+        assert_eq!(h.counts(), &[1, 2, 0, 1]);
+        assert_eq!(h.bin_center(0), 0.5);
+        assert_eq!(h.bin_center(3), 3.5);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.extend([-5.0, 5.0]);
+        assert_eq!(h.counts(), &[1, 1]);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let mut h = Histogram::new(-2.0, 2.0, 16);
+        let mut rng = SeededRng::new(2);
+        for _ in 0..10_000 {
+            h.push(rng.uniform(-2.0, 2.0));
+        }
+        let width = 4.0 / 16.0;
+        let integral: f64 = h.density().iter().map(|d| d * width).sum();
+        assert!((integral - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gaussian_sample_matches_normal_pdf() {
+        let mut h = Histogram::new(-4.0, 4.0, 40);
+        let mut rng = SeededRng::new(8);
+        for _ in 0..100_000 {
+            h.push(rng.standard_gaussian());
+        }
+        let tv = h.total_variation_vs(standard_normal_pdf);
+        assert!(tv < 0.03, "total variation too high: {tv}");
+    }
+
+    #[test]
+    fn uniform_sample_is_far_from_normal() {
+        let mut h = Histogram::new(-4.0, 4.0, 40);
+        let mut rng = SeededRng::new(8);
+        for _ in 0..50_000 {
+            h.push(rng.uniform(-1.0, 1.0));
+        }
+        assert!(h.total_variation_vs(standard_normal_pdf) > 0.2);
+    }
+
+    #[test]
+    fn ascii_render_is_nonempty() {
+        let mut h = Histogram::new(0.0, 1.0, 3);
+        h.push(0.5);
+        let art = h.render_ascii(20);
+        assert_eq!(art.lines().count(), 3);
+        assert!(art.contains('#'));
+    }
+}

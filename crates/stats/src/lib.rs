@@ -1,0 +1,91 @@
+//! Statistical substrate for the MUPOD precision-optimization framework.
+//!
+//! The DATE 2019 method is built almost entirely out of elementary
+//! statistics: standard deviations of rounding-error populations, linear
+//! regressions between injected noise magnitude and observed output error
+//! (Eq. 5 of the paper), histograms used to validate the Gaussian shape of
+//! the propagated error (Fig. 3), and a ridge-regression solve used by the
+//! model zoo to calibrate classifier heads. This crate implements all of
+//! that from scratch so the numeric core of the reproduction is auditable
+//! and free of heavyweight dependencies.
+//!
+//! # Example
+//!
+//! ```
+//! use mupod_stats::{RunningStats, regression::LinearFit};
+//!
+//! let mut stats = RunningStats::new();
+//! for x in [1.0_f64, 2.0, 3.0, 4.0] {
+//!     stats.push(x);
+//! }
+//! assert_eq!(stats.mean(), 2.5);
+//!
+//! // Fit y = 2x + 1 exactly.
+//! let xs = [0.0, 1.0, 2.0, 3.0];
+//! let ys = [1.0, 3.0, 5.0, 7.0];
+//! let fit = LinearFit::fit(&xs, &ys).unwrap();
+//! assert!((fit.slope - 2.0).abs() < 1e-12);
+//! assert!((fit.intercept - 1.0).abs() < 1e-12);
+//! ```
+
+pub mod histogram;
+pub mod linalg;
+pub mod moments;
+pub mod regression;
+pub mod rng;
+
+pub use histogram::Histogram;
+pub use moments::RunningStats;
+pub use regression::LinearFit;
+pub use rng::SeededRng;
+
+/// Computes the population standard deviation of a slice in one pass.
+///
+/// This is the estimator used throughout the paper when measuring the
+/// standard deviation of error tensors (`σ_{Y_{K→Ł}}`): the error
+/// population over *all* output elements of *all* images is treated as one
+/// sample. Returns `0.0` for slices with fewer than two elements.
+///
+/// ```
+/// let sd = mupod_stats::population_std(&[1.0, 1.0, 1.0]);
+/// assert_eq!(sd, 0.0);
+/// ```
+pub fn population_std(values: &[f64]) -> f64 {
+    let mut stats = RunningStats::new();
+    for &v in values {
+        stats.push(v);
+    }
+    stats.population_std()
+}
+
+/// Computes the mean of a slice. Returns `0.0` for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_std_matches_hand_computation() {
+        // Values 1, 2, 3: mean 2, population variance (1 + 0 + 1) / 3.
+        let sd = population_std(&[1.0, 2.0, 3.0]);
+        assert!((sd - (2.0_f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn population_std_degenerate_inputs() {
+        assert_eq!(population_std(&[]), 0.0);
+        assert_eq!(population_std(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn mean_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}

@@ -1,0 +1,415 @@
+//! Minimal dense linear algebra: symmetric solves and ridge regression.
+//!
+//! The model zoo calibrates each network's classifier head with a linear
+//! probe — ridge regression of one-hot labels onto penultimate features
+//! (see `DESIGN.md`, substitution table). That needs nothing more than a
+//! Cholesky factorization of `XᵀX + αI`, implemented here without external
+//! dependencies.
+
+/// A dense row-major matrix of `f64`.
+///
+/// # Example
+///
+/// ```
+/// use mupod_stats::linalg::Matrix;
+/// let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// assert_eq!(m[(1, 0)], 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are empty or ragged.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix needs at least one column");
+        let mut m = Self::zeros(rows.len(), cols);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), cols, "ragged rows");
+            m.data[i * cols..(i + 1) * cols].copy_from_slice(row);
+        }
+        m
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index out of range");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row index out of range");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Gram matrix `selfᵀ · self` (symmetric, cols × cols).
+    pub fn gram(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.cols);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..self.cols {
+                let ri = row[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                for j in i..self.cols {
+                    out[(i, j)] += ri * row[j];
+                }
+            }
+        }
+        for i in 0..self.cols {
+            for j in 0..i {
+                out[(i, j)] = out[(j, i)];
+            }
+        }
+        out
+    }
+
+    /// Transposed product `selfᵀ · other` (cols × other.cols).
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ.
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "row counts must agree");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let b_row = other.row(r);
+            for i in 0..self.cols {
+                let a = a_row[i];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * b_row[j];
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of range");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of range");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Errors from the symmetric positive-definite solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// The matrix is not positive definite (or too ill-conditioned).
+    NotPositiveDefinite,
+    /// Dimension mismatch between the system matrix and right-hand side.
+    DimensionMismatch,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::NotPositiveDefinite => {
+                write!(f, "matrix is not positive definite")
+            }
+            SolveError::DimensionMismatch => write!(f, "dimension mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite
+/// matrix, stored as lower-triangular `L`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::NotPositiveDefinite`] if a non-positive pivot
+    /// is encountered and [`SolveError::DimensionMismatch`] if `a` is not
+    /// square. Only the lower triangle of `a` is read.
+    pub fn factor(a: &Matrix) -> Result<Self, SolveError> {
+        if a.rows() != a.cols() {
+            return Err(SolveError::DimensionMismatch);
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut diag = a[(j, j)];
+            for k in 0..j {
+                diag -= l[(j, k)] * l[(j, k)];
+            }
+            if diag <= 0.0 || !diag.is_finite() {
+                return Err(SolveError::NotPositiveDefinite);
+            }
+            let dj = diag.sqrt();
+            l[(j, j)] = dj;
+            for i in (j + 1)..n {
+                let mut v = a[(i, j)];
+                for k in 0..j {
+                    v -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = v / dj;
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// Solves `A·x = b` for a single right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::DimensionMismatch`] if `b` has the wrong
+    /// length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(SolveError::DimensionMismatch);
+        }
+        // Forward substitution L·y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut v = b[i];
+            for (k, &yk) in y.iter().enumerate().take(i) {
+                v -= self.l[(i, k)] * yk;
+            }
+            y[i] = v / self.l[(i, i)];
+        }
+        // Back substitution Lᵀ·x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut v = y[i];
+            for (k, &xk) in x.iter().enumerate().take(n).skip(i + 1) {
+                v -= self.l[(k, i)] * xk;
+            }
+            x[i] = v / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A·X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::DimensionMismatch`] if `b.rows() != n`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix, SolveError> {
+        let n = self.l.rows();
+        if b.rows() != n {
+            return Err(SolveError::DimensionMismatch);
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        let mut col = vec![0.0; n];
+        for j in 0..b.cols() {
+            for i in 0..n {
+                col[i] = b[(i, j)];
+            }
+            let x = self.solve(&col)?;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Solves the ridge regression `min ‖X·W − Y‖² + alpha·‖W‖²`.
+///
+/// Returns `W` with shape `(X.cols, Y.cols)`. This is the linear-probe
+/// calibration primitive used by `mupod-models`.
+///
+/// # Errors
+///
+/// Returns [`SolveError::DimensionMismatch`] if `X` and `Y` disagree on
+/// row count, and [`SolveError::NotPositiveDefinite`] if `alpha` is too
+/// small to regularize a rank-deficient `X`.
+pub fn ridge_regression(x: &Matrix, y: &Matrix, alpha: f64) -> Result<Matrix, SolveError> {
+    if x.rows() != y.rows() {
+        return Err(SolveError::DimensionMismatch);
+    }
+    let mut gram = x.gram();
+    for i in 0..gram.rows() {
+        gram[(i, i)] += alpha;
+    }
+    let chol = Cholesky::factor(&gram)?;
+    let xty = x.t_matmul(y);
+    chol.solve_matrix(&xty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeededRng;
+
+    #[test]
+    fn matmul_hand_example() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn gram_matches_explicit_transpose_product() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let g = x.gram();
+        let gt = x.t_matmul(&x);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((g[(i, j)] - gt[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        // A = [[4, 2], [2, 3]] is SPD; solve A x = [8, 7] -> x = [1.25, 1.5].
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        let x = Cholesky::factor(&a).unwrap().solve(&[8.0, 7.0]).unwrap();
+        assert!((x[0] - 1.25).abs() < 1e-12);
+        assert!((x[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert_eq!(
+            Cholesky::factor(&a).unwrap_err(),
+            SolveError::NotPositiveDefinite
+        );
+    }
+
+    #[test]
+    fn cholesky_rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert_eq!(
+            Cholesky::factor(&a).unwrap_err(),
+            SolveError::DimensionMismatch
+        );
+    }
+
+    #[test]
+    fn ridge_recovers_planted_weights() {
+        let mut rng = SeededRng::new(17);
+        let n = 200;
+        let d = 6;
+        let mut x = Matrix::zeros(n, d);
+        for i in 0..n {
+            for j in 0..d {
+                x[(i, j)] = rng.gaussian(0.0, 1.0);
+            }
+        }
+        let w_true = [0.5, -1.0, 2.0, 0.0, 3.0, -0.5];
+        let mut y = Matrix::zeros(n, 1);
+        for i in 0..n {
+            let v: f64 = (0..d).map(|j| x[(i, j)] * w_true[j]).sum();
+            y[(i, 0)] = v + rng.gaussian(0.0, 0.01);
+        }
+        let w = ridge_regression(&x, &y, 1e-6).unwrap();
+        for j in 0..d {
+            assert!(
+                (w[(j, 0)] - w_true[j]).abs() < 0.01,
+                "weight {j}: {} vs {}",
+                w[(j, 0)],
+                w_true[j]
+            );
+        }
+    }
+
+    #[test]
+    fn ridge_regularizes_rank_deficient_design() {
+        // Two identical columns: OLS is singular, ridge is not.
+        let x = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let y = Matrix::from_rows(&[&[2.0], &[4.0], &[6.0]]);
+        let w = ridge_regression(&x, &y, 1e-3).unwrap();
+        // Symmetry: both columns get the same weight, summing to ~2.
+        assert!((w[(0, 0)] - w[(1, 0)]).abs() < 1e-9);
+        assert!((w[(0, 0)] + w[(1, 0)] - 2.0).abs() < 1e-2);
+    }
+}

@@ -1,0 +1,226 @@
+//! Streaming moment accumulators (Welford's algorithm).
+//!
+//! Error populations in the profiler can be large (every output element of
+//! every image for every injected noise magnitude), so the standard
+//! deviation is accumulated in a single numerically stable streaming pass
+//! instead of materializing the error vector.
+
+/// Numerically stable streaming accumulator for mean, variance, extrema.
+///
+/// Uses Welford's online algorithm; pushing `n` values costs `O(n)` with no
+/// allocation. Both the *population* and the *sample* standard deviation
+/// are exposed — the paper's error-tensor measurements use the population
+/// estimator over very large populations where the two coincide.
+///
+/// # Example
+///
+/// ```
+/// use mupod_stats::RunningStats;
+/// let mut s = RunningStats::new();
+/// s.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+/// assert_eq!(s.mean(), 5.0);
+/// assert_eq!(s.population_std(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for RunningStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = value - self.mean;
+        self.m2 += delta * delta2;
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Adds every observation from an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.push(v);
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    ///
+    /// Uses the Chan et al. parallel update so that partial accumulators
+    /// produced by worker threads combine into exactly the same moments a
+    /// sequential pass would produce (up to rounding).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations pushed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; `0.0` if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (`m2 / n`); `0.0` with fewer than two values.
+    pub fn population_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (`m2 / (n - 1)`); `0.0` with fewer than two values.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn population_std(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest observation; `+∞` if empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `-∞` if empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Largest absolute observation; `0.0` if empty.
+    ///
+    /// Used to derive the signed integer bitwidth `I = ⌈log2 max|x|⌉ + 1`
+    /// (paper §II-A).
+    pub fn max_abs(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min.abs().max(self.max.abs())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_two_pass_computation() {
+        let values = [0.3, -1.2, 4.5, 2.2, -0.7, 3.3, 1.1];
+        let mut s = RunningStats::new();
+        s.extend(values);
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var =
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.population_variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let a_vals = [1.0, 2.0, 3.0];
+        let b_vals = [10.0, -5.0, 0.5, 2.5];
+        let mut a = RunningStats::new();
+        a.extend(a_vals);
+        let mut b = RunningStats::new();
+        b.extend(b_vals);
+        a.merge(&b);
+
+        let mut seq = RunningStats::new();
+        seq.extend(a_vals.into_iter().chain(b_vals));
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean() - seq.mean()).abs() < 1e-12);
+        assert!((a.population_variance() - seq.population_variance()).abs() < 1e-12);
+        assert_eq!(a.min(), seq.min());
+        assert_eq!(a.max(), seq.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.extend([1.0, 2.0]);
+        let before = a;
+        a.merge(&RunningStats::new());
+        assert_eq!(a, before);
+
+        let mut empty = RunningStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn extrema_and_max_abs() {
+        let mut s = RunningStats::new();
+        s.extend([-3.0, 2.0, 1.0]);
+        assert_eq!(s.min(), -3.0);
+        assert_eq!(s.max(), 2.0);
+        assert_eq!(s.max_abs(), 3.0);
+        assert_eq!(RunningStats::new().max_abs(), 0.0);
+    }
+
+    #[test]
+    fn sample_vs_population_variance() {
+        let mut s = RunningStats::new();
+        s.extend([1.0, 3.0]);
+        assert!((s.population_variance() - 1.0).abs() < 1e-12);
+        assert!((s.sample_variance() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the statistics substrate.
+
+use mupod_stats::histogram::{normal_pdf, standard_normal_pdf};
+use mupod_stats::linalg::{ridge_regression, Cholesky, Matrix};
+use mupod_stats::{Histogram, LinearFit, RunningStats, SeededRng};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Forked RNG streams are independent of sibling consumption order.
+    #[test]
+    fn rng_forks_order_independent(seed in 0u64..10_000, s1 in 0u64..64, s2 in 0u64..64) {
+        prop_assume!(s1 != s2);
+        let root = SeededRng::new(seed);
+        let take = |stream: u64| -> Vec<f64> {
+            let mut r = root.fork(stream);
+            (0..4).map(|_| r.unit()).collect()
+        };
+        let a_first = take(s1);
+        let _ = take(s2);
+        let a_again = take(s1);
+        prop_assert_eq!(a_first, a_again);
+    }
+
+    /// Gaussian sampler matches its nominal moments on aggregate.
+    #[test]
+    fn gaussian_moments(seed in 0u64..5_000, mean in -10.0f64..10.0, std in 0.1f64..10.0) {
+        let mut rng = SeededRng::new(seed);
+        let mut s = RunningStats::new();
+        for _ in 0..4_000 {
+            s.push(rng.gaussian(mean, std));
+        }
+        prop_assert!((s.mean() - mean).abs() < 0.15 * std + 0.05);
+        prop_assert!((s.population_std() - std).abs() / std < 0.1);
+    }
+
+    /// Weighted regression with uniform weights equals plain OLS.
+    #[test]
+    fn weighted_fit_with_unit_weights_is_ols(
+        pts in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 3..20),
+    ) {
+        let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+        let spread = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assume!(spread > 1e-6);
+        let w = vec![1.0; xs.len()];
+        let plain = LinearFit::fit(&xs, &ys).unwrap();
+        let weighted = LinearFit::fit_weighted(&xs, &ys, &w).unwrap();
+        prop_assert!((plain.slope - weighted.slope).abs() < 1e-9 * (1.0 + plain.slope.abs()));
+        prop_assert!((plain.intercept - weighted.intercept).abs() < 1e-9 * (1.0 + plain.intercept.abs()));
+    }
+
+    /// Cholesky solves random SPD systems: A = BᵀB + I is always SPD.
+    #[test]
+    fn cholesky_solves_random_spd(seed in 0u64..10_000, n in 1usize..8) {
+        let mut rng = SeededRng::new(seed);
+        let mut b = Matrix::zeros(n + 1, n);
+        for i in 0..(n + 1) {
+            for j in 0..n {
+                b[(i, j)] = rng.gaussian(0.0, 1.0);
+            }
+        }
+        let mut a = b.gram();
+        for i in 0..n {
+            a[(i, i)] += 1.0;
+        }
+        let rhs: Vec<f64> = (0..n).map(|_| rng.gaussian(0.0, 1.0)).collect();
+        let x = Cholesky::factor(&a).unwrap().solve(&rhs).unwrap();
+        // Residual check: A·x ≈ rhs.
+        for i in 0..n {
+            let ax: f64 = (0..n).map(|j| a[(i, j)] * x[j]).sum();
+            prop_assert!((ax - rhs[i]).abs() < 1e-7 * (1.0 + rhs[i].abs()));
+        }
+    }
+
+    /// Ridge shrinks toward zero as alpha grows.
+    #[test]
+    fn ridge_shrinks_with_alpha(seed in 0u64..10_000) {
+        let mut rng = SeededRng::new(seed);
+        let n = 30;
+        let d = 4;
+        let mut x = Matrix::zeros(n, d);
+        let mut y = Matrix::zeros(n, 1);
+        for i in 0..n {
+            for j in 0..d {
+                x[(i, j)] = rng.gaussian(0.0, 1.0);
+            }
+            y[(i, 0)] = rng.gaussian(0.0, 1.0);
+        }
+        let small = ridge_regression(&x, &y, 1e-3).unwrap();
+        let large = ridge_regression(&x, &y, 1e3).unwrap();
+        let norm = |m: &Matrix| -> f64 {
+            (0..d).map(|j| m[(j, 0)] * m[(j, 0)]).sum::<f64>().sqrt()
+        };
+        prop_assert!(norm(&large) <= norm(&small) + 1e-12);
+    }
+
+    /// Histogram density integrates to one regardless of data.
+    #[test]
+    fn histogram_density_normalized(
+        values in prop::collection::vec(-10.0f64..10.0, 1..200),
+        bins in 1usize..40,
+    ) {
+        let mut h = Histogram::new(-10.0, 10.0, bins);
+        h.extend(values.iter().copied());
+        let width = 20.0 / bins as f64;
+        let total: f64 = h.density().iter().map(|d| d * width).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// The normal pdf family is consistent with its standard form.
+    #[test]
+    fn normal_pdf_scaling(x in -5.0f64..5.0, mean in -3.0f64..3.0, std in 0.1f64..5.0) {
+        let direct = normal_pdf(x, mean, std);
+        let via_standard = standard_normal_pdf((x - mean) / std) / std;
+        prop_assert!((direct - via_standard).abs() < 1e-12);
+    }
+}

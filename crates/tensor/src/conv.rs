@@ -1,0 +1,360 @@
+//! Convolution kernels: im2col + GEMM fast path and a direct reference.
+//!
+//! The fast path lowers each convolution to one GEMM per group via
+//! [`im2col`]; [`conv2d_direct`] is a deliberately naive seven-loop
+//! implementation kept for cross-validation in tests and ablation
+//! benchmarks. Grouped convolution covers both AlexNet's two-group layers
+//! and MobileNet's depthwise layers (`groups == in_channels`).
+
+use crate::gemm::gemm;
+use crate::Tensor;
+
+/// Geometry of a 2-D convolution.
+///
+/// # Example
+///
+/// ```
+/// use mupod_tensor::conv::Conv2dParams;
+/// let p = Conv2dParams::new(3, 16, 3, 1, 1);
+/// assert_eq!(p.out_spatial(32, 32), (32, 32));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dParams {
+    /// Input channel count.
+    pub in_channels: usize,
+    /// Output channel count.
+    pub out_channels: usize,
+    /// Square kernel extent.
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding in both spatial dimensions.
+    pub pad: usize,
+    /// Channel groups (1 = dense, `in_channels` = depthwise).
+    pub groups: usize,
+}
+
+impl Conv2dParams {
+    /// Creates dense (single-group) convolution geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of channel counts, kernel, or stride is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        Self::grouped(in_channels, out_channels, kernel, stride, pad, 1)
+    }
+
+    /// Creates grouped convolution geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if channel counts are not divisible by `groups`, or any of
+    /// the channel counts, kernel, stride or groups is zero.
+    pub fn grouped(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        groups: usize,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0, "channels must be positive");
+        assert!(kernel > 0, "kernel must be positive");
+        assert!(stride > 0, "stride must be positive");
+        assert!(groups > 0, "groups must be positive");
+        assert_eq!(in_channels % groups, 0, "in_channels must divide by groups");
+        assert_eq!(out_channels % groups, 0, "out_channels must divide by groups");
+        Self {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            pad,
+            groups,
+        }
+    }
+
+    /// Output spatial size for an `h×w` input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the padded input is smaller than the kernel.
+    pub fn out_spatial(&self, h: usize, w: usize) -> (usize, usize) {
+        let ph = h + 2 * self.pad;
+        let pw = w + 2 * self.pad;
+        assert!(
+            ph >= self.kernel && pw >= self.kernel,
+            "kernel {k} larger than padded input {ph}x{pw}",
+            k = self.kernel
+        );
+        (
+            (ph - self.kernel) / self.stride + 1,
+            (pw - self.kernel) / self.stride + 1,
+        )
+    }
+
+    /// Number of multiply–accumulate operations for an `h×w` input.
+    ///
+    /// This is the `#MAC` quantity of Table II: every output element of
+    /// every output channel consumes `kernel² · in_channels/groups` MACs.
+    pub fn mac_count(&self, h: usize, w: usize) -> u64 {
+        let (oh, ow) = self.out_spatial(h, w);
+        (self.out_channels * oh * ow) as u64
+            * (self.kernel * self.kernel * self.in_channels / self.groups) as u64
+    }
+}
+
+/// Lowers a CHW input into im2col layout for one channel group.
+///
+/// The result is a `(group_in_c · k²) × (oh · ow)` row-major matrix whose
+/// columns are flattened receptive fields.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank 3 or `group` is out of range.
+pub fn im2col(input: &Tensor, params: &Conv2dParams, group: usize) -> Vec<f32> {
+    assert_eq!(input.dims().len(), 3, "im2col expects a CHW tensor");
+    assert!(group < params.groups, "group index out of range");
+    let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    assert_eq!(c, params.in_channels, "input channel mismatch");
+    let gc = params.in_channels / params.groups;
+    let (oh, ow) = params.out_spatial(h, w);
+    let k = params.kernel;
+    let mut out = vec![0.0f32; gc * k * k * oh * ow];
+    let data = input.data();
+    let cols = oh * ow;
+    for gci in 0..gc {
+        let ci = group * gc + gci;
+        let chan = &data[ci * h * w..(ci + 1) * h * w];
+        for ky in 0..k {
+            for kx in 0..k {
+                let row_idx = (gci * k + ky) * k + kx;
+                let row = &mut out[row_idx * cols..(row_idx + 1) * cols];
+                for oy in 0..oh {
+                    let iy = (oy * params.stride + ky) as isize - params.pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let src_row = &chan[iy as usize * w..(iy as usize + 1) * w];
+                    for ox in 0..ow {
+                        let ix = (ox * params.stride + kx) as isize - params.pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        row[oy * ow + ox] = src_row[ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn check_conv_args(input: &Tensor, weight: &Tensor, bias: Option<&[f32]>, p: &Conv2dParams) {
+    assert_eq!(input.dims().len(), 3, "conv2d expects a CHW input");
+    assert_eq!(input.dims()[0], p.in_channels, "input channel mismatch");
+    assert_eq!(
+        weight.dims(),
+        &[
+            p.out_channels,
+            p.in_channels / p.groups,
+            p.kernel,
+            p.kernel
+        ],
+        "weight shape mismatch"
+    );
+    if let Some(b) = bias {
+        assert_eq!(b.len(), p.out_channels, "bias length mismatch");
+    }
+}
+
+/// 2-D convolution via im2col + GEMM (the fast path).
+///
+/// `input` is CHW, `weight` is `[OutC, InC/groups, K, K]`, output is CHW.
+///
+/// # Panics
+///
+/// Panics on any shape mismatch (see [`Conv2dParams`]).
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&[f32]>, p: &Conv2dParams) -> Tensor {
+    check_conv_args(input, weight, bias, p);
+    let (h, w) = (input.dims()[1], input.dims()[2]);
+    let (oh, ow) = p.out_spatial(h, w);
+    let cols = oh * ow;
+    let gc_in = p.in_channels / p.groups;
+    let gc_out = p.out_channels / p.groups;
+    let kk = p.kernel * p.kernel;
+    let mut out = vec![0.0f32; p.out_channels * cols];
+    for g in 0..p.groups {
+        let patches = im2col(input, p, g);
+        let w_group = &weight.data()[g * gc_out * gc_in * kk..(g + 1) * gc_out * gc_in * kk];
+        let c_group = &mut out[g * gc_out * cols..(g + 1) * gc_out * cols];
+        gemm(gc_out, gc_in * kk, cols, w_group, &patches, c_group);
+    }
+    if let Some(b) = bias {
+        for (oc, &bv) in b.iter().enumerate() {
+            for v in &mut out[oc * cols..(oc + 1) * cols] {
+                *v += bv;
+            }
+        }
+    }
+    Tensor::from_vec(&[p.out_channels, oh, ow], out)
+}
+
+/// Naive direct 2-D convolution (reference implementation).
+///
+/// Semantically identical to [`conv2d`]; kept for cross-validation in
+/// tests and for the im2col ablation benchmark.
+///
+/// # Panics
+///
+/// Panics on any shape mismatch.
+pub fn conv2d_direct(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    p: &Conv2dParams,
+) -> Tensor {
+    check_conv_args(input, weight, bias, p);
+    let (h, w) = (input.dims()[1], input.dims()[2]);
+    let (oh, ow) = p.out_spatial(h, w);
+    let gc_in = p.in_channels / p.groups;
+    let gc_out = p.out_channels / p.groups;
+    let mut out = Tensor::zeros(&[p.out_channels, oh, ow]);
+    for oc in 0..p.out_channels {
+        let g = oc / gc_out;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = bias.map_or(0.0, |b| b[oc]);
+                for ic in 0..gc_in {
+                    let in_c = g * gc_in + ic;
+                    for ky in 0..p.kernel {
+                        let iy = (oy * p.stride + ky) as isize - p.pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..p.kernel {
+                            let ix = (ox * p.stride + kx) as isize - p.pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            acc += input.at(&[in_c, iy as usize, ix as usize])
+                                * weight.at(&[oc, ic, ky, kx]);
+                        }
+                    }
+                }
+                *out.at_mut(&[oc, oy, ox]) = acc;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mupod_stats::SeededRng;
+
+    fn random_tensor(rng: &mut SeededRng, dims: &[usize]) -> Tensor {
+        let n: usize = dims.iter().product();
+        let data = (0..n).map(|_| rng.gaussian(0.0, 1.0) as f32).collect();
+        Tensor::from_vec(dims, data)
+    }
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        // 3x3 kernel with 1 at center, pad 1: output == input.
+        let input = Tensor::from_vec(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let mut w = Tensor::zeros(&[1, 1, 3, 3]);
+        *w.at_mut(&[0, 0, 1, 1]) = 1.0;
+        let p = Conv2dParams::new(1, 1, 3, 1, 1);
+        let out = conv2d(&input, &w, None, &p);
+        assert_eq!(out.data(), input.data());
+    }
+
+    #[test]
+    fn hand_computed_3x3_valid_conv() {
+        // Input 1x3x3 = 1..9, kernel all-ones 3x3, no pad: sum = 45.
+        let input = Tensor::from_vec(&[1, 3, 3], (1..=9).map(|v| v as f32).collect());
+        let w = Tensor::filled(&[1, 1, 3, 3], 1.0);
+        let p = Conv2dParams::new(1, 1, 3, 1, 0);
+        let out = conv2d(&input, &w, Some(&[0.5]), &p);
+        assert_eq!(out.dims(), &[1, 1, 1]);
+        assert_eq!(out.data()[0], 45.5);
+    }
+
+    #[test]
+    fn stride_two_geometry() {
+        let p = Conv2dParams::new(1, 1, 3, 2, 1);
+        assert_eq!(p.out_spatial(7, 7), (4, 4));
+        assert_eq!(p.out_spatial(8, 8), (4, 4));
+    }
+
+    #[test]
+    fn fast_path_matches_direct_dense() {
+        let mut rng = SeededRng::new(41);
+        let p = Conv2dParams::new(3, 5, 3, 2, 1);
+        let input = random_tensor(&mut rng, &[3, 9, 7]);
+        let weight = random_tensor(&mut rng, &[5, 3, 3, 3]);
+        let bias: Vec<f32> = (0..5).map(|_| rng.gaussian(0.0, 0.5) as f32).collect();
+        let fast = conv2d(&input, &weight, Some(&bias), &p);
+        let slow = conv2d_direct(&input, &weight, Some(&bias), &p);
+        assert_eq!(fast.dims(), slow.dims());
+        for (a, b) in fast.data().iter().zip(slow.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_direct_grouped() {
+        let mut rng = SeededRng::new(43);
+        let p = Conv2dParams::grouped(4, 6, 3, 1, 1, 2);
+        let input = random_tensor(&mut rng, &[4, 6, 6]);
+        let weight = random_tensor(&mut rng, &[6, 2, 3, 3]);
+        let fast = conv2d(&input, &weight, None, &p);
+        let slow = conv2d_direct(&input, &weight, None, &p);
+        for (a, b) in fast.data().iter().zip(slow.data()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn depthwise_matches_direct() {
+        let mut rng = SeededRng::new(47);
+        let p = Conv2dParams::grouped(4, 4, 3, 1, 1, 4);
+        let input = random_tensor(&mut rng, &[4, 5, 5]);
+        let weight = random_tensor(&mut rng, &[4, 1, 3, 3]);
+        let fast = conv2d(&input, &weight, None, &p);
+        let slow = conv2d_direct(&input, &weight, None, &p);
+        for (a, b) in fast.data().iter().zip(slow.data()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn one_by_one_conv_is_channel_mix() {
+        let input = Tensor::from_vec(&[2, 1, 1], vec![3.0, 4.0]);
+        let weight = Tensor::from_vec(&[1, 2, 1, 1], vec![2.0, 0.5]);
+        let p = Conv2dParams::new(2, 1, 1, 1, 0);
+        let out = conv2d(&input, &weight, None, &p);
+        assert_eq!(out.data(), &[8.0]);
+    }
+
+    #[test]
+    fn mac_count_alexnet_like() {
+        // 3->16 channels, 5x5 kernel, on 16x16: 16*16*16 outputs * 5*5*3.
+        let p = Conv2dParams::new(3, 16, 5, 1, 2);
+        assert_eq!(p.mac_count(16, 16), 16 * 16 * 16 * 75);
+    }
+
+    #[test]
+    #[should_panic(expected = "in_channels must divide")]
+    fn grouped_rejects_indivisible() {
+        Conv2dParams::grouped(3, 4, 3, 1, 1, 2);
+    }
+}

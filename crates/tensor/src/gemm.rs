@@ -1,0 +1,128 @@
+//! General matrix–matrix and matrix–vector products.
+//!
+//! Convolution lowers to GEMM through im2col (see [`crate::conv`]); the
+//! fully-connected layers of every network in the model zoo call
+//! [`matvec`] directly. The loops use the `i-k-j` order so the innermost
+//! loop streams both `b` and `c` rows sequentially, which is the main
+//! thing that matters for a scalar CPU kernel.
+
+/// Computes `c += a · b` where `a` is `m×k`, `b` is `k×n`, `c` is `m×n`,
+/// all row-major.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given dimensions.
+pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "lhs size mismatch");
+    assert_eq!(b.len(), k * n, "rhs size mismatch");
+    assert_eq!(c.len(), m * n, "output size mismatch");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (kk, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// Computes `out = w · x + bias` where `w` is `out_dim×in_dim` row-major.
+///
+/// `bias` may be `None` for a bias-free product.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the dimensions.
+pub fn matvec(
+    out_dim: usize,
+    in_dim: usize,
+    w: &[f32],
+    x: &[f32],
+    bias: Option<&[f32]>,
+) -> Vec<f32> {
+    assert_eq!(w.len(), out_dim * in_dim, "weight size mismatch");
+    assert_eq!(x.len(), in_dim, "input size mismatch");
+    if let Some(b) = bias {
+        assert_eq!(b.len(), out_dim, "bias size mismatch");
+    }
+    let mut out = vec![0.0f32; out_dim];
+    for (o, out_v) in out.iter_mut().enumerate() {
+        let row = &w[o * in_dim..(o + 1) * in_dim];
+        let mut acc = 0.0f32;
+        for (wv, xv) in row.iter().zip(x) {
+            acc += wv * xv;
+        }
+        *out_v = acc + bias.map_or(0.0, |b| b[o]);
+    }
+    out
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_hand_example() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut c = [0.0; 4];
+        gemm(2, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn gemm_accumulates_into_c() {
+        let a = [1.0];
+        let b = [2.0];
+        let mut c = [10.0];
+        gemm(1, 1, 1, &a, &b, &mut c);
+        assert_eq!(c, [12.0]);
+    }
+
+    #[test]
+    fn gemm_non_square() {
+        // (2x3) * (3x1)
+        let a = [1.0, 0.0, 2.0, 0.0, 3.0, 0.0];
+        let b = [4.0, 5.0, 6.0];
+        let mut c = [0.0; 2];
+        gemm(2, 3, 1, &a, &b, &mut c);
+        assert_eq!(c, [16.0, 15.0]);
+    }
+
+    #[test]
+    fn matvec_with_and_without_bias() {
+        let w = [1.0, 2.0, 3.0, 4.0]; // 2x2
+        let x = [1.0, 1.0];
+        assert_eq!(matvec(2, 2, &w, &x, None), vec![3.0, 7.0]);
+        assert_eq!(matvec(2, 2, &w, &x, Some(&[10.0, 20.0])), vec![13.0, 27.0]);
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lhs size mismatch")]
+    fn gemm_rejects_bad_sizes() {
+        let mut c = [0.0; 1];
+        gemm(1, 2, 1, &[1.0], &[1.0, 2.0], &mut c);
+    }
+}

@@ -1,0 +1,34 @@
+//! Dense tensor and CNN arithmetic kernels.
+//!
+//! This crate is the numeric substrate under the MUPOD inference engine:
+//! a row-major `f32` tensor plus the kernels a convolutional network needs
+//! in inference mode — im2col + GEMM convolution (with a naive direct
+//! convolution kept as a cross-checked reference), grouped/depthwise
+//! convolution, fully-connected products, max/average pooling and local
+//! response normalization.
+//!
+//! The paper treats a CNN as "a chain of dot product operations between
+//! large tensors of inputs and weights" (§II-B); everything here exists to
+//! execute those dot products quickly enough that error-injection
+//! profiling over hundreds of layers is practical on one CPU core.
+//!
+//! # Example
+//!
+//! ```
+//! use mupod_tensor::{Tensor, conv::{Conv2dParams, conv2d}};
+//!
+//! // 1×4×4 input, one 3×3 filter, stride 1, pad 1 -> 1×4×4 output.
+//! let input = Tensor::zeros(&[1, 4, 4]);
+//! let weight = Tensor::zeros(&[1, 1, 3, 3]);
+//! let params = Conv2dParams::new(1, 1, 3, 1, 1);
+//! let out = conv2d(&input, &weight, Some(&[0.5]), &params);
+//! assert_eq!(out.dims(), &[1, 4, 4]);
+//! assert!(out.data().iter().all(|&v| v == 0.5));
+//! ```
+
+pub mod conv;
+pub mod gemm;
+pub mod pool;
+mod tensor;
+
+pub use tensor::Tensor;

@@ -1,0 +1,275 @@
+//! Pooling and normalization kernels.
+//!
+//! Max pooling leaves rounding-error statistics untouched (the output
+//! error is a sub-sample of the input error, §III-C); average pooling is
+//! a dot product with constant weights `1/N`; LRN appears in AlexNet and
+//! GoogleNet. All three are provided so the model zoo matches the paper's
+//! topologies.
+
+use crate::Tensor;
+
+/// Geometry of a 2-D pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool2dParams {
+    /// Square window extent.
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding (max pooling pads with `-∞`, average with `0`).
+    pub pad: usize,
+}
+
+impl Pool2dParams {
+    /// Creates pooling geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(kernel: usize, stride: usize, pad: usize) -> Self {
+        assert!(kernel > 0, "kernel must be positive");
+        assert!(stride > 0, "stride must be positive");
+        Self {
+            kernel,
+            stride,
+            pad,
+        }
+    }
+
+    /// Output spatial size for an `h×w` input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the padded input is smaller than the window.
+    pub fn out_spatial(&self, h: usize, w: usize) -> (usize, usize) {
+        let ph = h + 2 * self.pad;
+        let pw = w + 2 * self.pad;
+        assert!(
+            ph >= self.kernel && pw >= self.kernel,
+            "window larger than padded input"
+        );
+        (
+            (ph - self.kernel) / self.stride + 1,
+            (pw - self.kernel) / self.stride + 1,
+        )
+    }
+}
+
+fn pool_with<F: Fn(&mut f32, f32, &mut usize)>(
+    input: &Tensor,
+    p: &Pool2dParams,
+    init: f32,
+    fold: F,
+    finish: fn(f32, usize, usize) -> f32,
+) -> Tensor {
+    assert_eq!(input.dims().len(), 3, "pooling expects a CHW tensor");
+    let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    let (oh, ow) = p.out_spatial(h, w);
+    let mut out = Tensor::zeros(&[c, oh, ow]);
+    for ci in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = init;
+                let mut count = 0usize;
+                for ky in 0..p.kernel {
+                    let iy = (oy * p.stride + ky) as isize - p.pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kx in 0..p.kernel {
+                        let ix = (ox * p.stride + kx) as isize - p.pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        fold(&mut acc, input.at(&[ci, iy as usize, ix as usize]), &mut count);
+                    }
+                }
+                *out.at_mut(&[ci, oy, ox]) = finish(acc, count, p.kernel * p.kernel);
+            }
+        }
+    }
+    out
+}
+
+/// Max pooling over a CHW tensor.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank 3 or the window exceeds the padded
+/// input.
+pub fn max_pool2d(input: &Tensor, p: &Pool2dParams) -> Tensor {
+    pool_with(
+        input,
+        p,
+        f32::NEG_INFINITY,
+        |acc, v, _| {
+            if v > *acc {
+                *acc = v;
+            }
+        },
+        |acc, _, _| acc,
+    )
+}
+
+/// Average pooling over a CHW tensor.
+///
+/// Divides by the *full* window area (Caffe's default, matching the
+/// paper's `1/N` constant-weight dot-product view), counting padded
+/// positions as zeros.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank 3 or the window exceeds the padded
+/// input.
+pub fn avg_pool2d(input: &Tensor, p: &Pool2dParams) -> Tensor {
+    pool_with(
+        input,
+        p,
+        0.0,
+        |acc, v, count| {
+            *acc += v;
+            *count += 1;
+        },
+        |acc, _, window| acc / window as f32,
+    )
+}
+
+/// Global average pooling: collapses each channel to its mean.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank 3.
+pub fn global_avg_pool(input: &Tensor) -> Tensor {
+    assert_eq!(input.dims().len(), 3, "pooling expects a CHW tensor");
+    let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    let area = (h * w) as f32;
+    let mut out = Tensor::zeros(&[c]);
+    for ci in 0..c {
+        let chan = &input.data()[ci * h * w..(ci + 1) * h * w];
+        out.data_mut()[ci] = chan.iter().sum::<f32>() / area;
+    }
+    out
+}
+
+/// Local response normalization across channels (AlexNet-style).
+///
+/// `out[c] = in[c] / (k + α/n · Σ_{c'∈window} in[c']²)^β` with a window of
+/// `local_size` channels centered on `c`.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank 3 or `local_size` is zero.
+pub fn lrn_across_channels(
+    input: &Tensor,
+    local_size: usize,
+    alpha: f32,
+    beta: f32,
+    k: f32,
+) -> Tensor {
+    assert_eq!(input.dims().len(), 3, "LRN expects a CHW tensor");
+    assert!(local_size > 0, "local_size must be positive");
+    let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    let half = local_size / 2;
+    let mut out = Tensor::zeros(&[c, h, w]);
+    for y in 0..h {
+        for x in 0..w {
+            for ci in 0..c {
+                let lo = ci.saturating_sub(half);
+                let hi = (ci + half).min(c - 1);
+                let mut ssq = 0.0f32;
+                for cj in lo..=hi {
+                    let v = input.at(&[cj, y, x]);
+                    ssq += v * v;
+                }
+                let scale = (k + alpha / local_size as f32 * ssq).powf(beta);
+                *out.at_mut(&[ci, y, x]) = input.at(&[ci, y, x]) / scale;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_hand_example() {
+        let input = Tensor::from_vec(
+            &[1, 4, 4],
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 10.0, 11.0, 12.0, //
+                13.0, 14.0, 15.0, 16.0,
+            ],
+        );
+        let out = max_pool2d(&input, &Pool2dParams::new(2, 2, 0));
+        assert_eq!(out.dims(), &[1, 2, 2]);
+        assert_eq!(out.data(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn avg_pool_hand_example() {
+        let input = Tensor::from_vec(&[1, 2, 2], vec![1.0, 3.0, 5.0, 7.0]);
+        let out = avg_pool2d(&input, &Pool2dParams::new(2, 2, 0));
+        assert_eq!(out.data(), &[4.0]);
+    }
+
+    #[test]
+    fn avg_pool_pads_with_zeros_full_window() {
+        // 1x1 input, 3x3 window, pad 1: sum = value, divided by 9.
+        let input = Tensor::from_vec(&[1, 1, 1], vec![9.0]);
+        let out = avg_pool2d(&input, &Pool2dParams::new(3, 1, 1));
+        assert_eq!(out.data(), &[1.0]);
+    }
+
+    #[test]
+    fn max_pool_ignores_padding() {
+        // Negative values: padding must not introduce zeros.
+        let input = Tensor::from_vec(&[1, 1, 1], vec![-5.0]);
+        let out = max_pool2d(&input, &Pool2dParams::new(3, 1, 1));
+        assert_eq!(out.data(), &[-5.0]);
+    }
+
+    #[test]
+    fn overlapping_pool_geometry() {
+        // AlexNet-style 3x3 stride-2 pooling.
+        let p = Pool2dParams::new(3, 2, 0);
+        assert_eq!(p.out_spatial(13, 13), (6, 6));
+    }
+
+    #[test]
+    fn global_avg_pool_per_channel_means() {
+        let input = Tensor::from_vec(&[2, 1, 2], vec![1.0, 3.0, 10.0, 20.0]);
+        let out = global_avg_pool(&input);
+        assert_eq!(out.dims(), &[2]);
+        assert_eq!(out.data(), &[2.0, 15.0]);
+    }
+
+    #[test]
+    fn lrn_unit_params_identity_when_alpha_zero() {
+        let input = Tensor::from_vec(&[2, 1, 1], vec![2.0, -3.0]);
+        let out = lrn_across_channels(&input, 5, 0.0, 0.75, 1.0);
+        assert_eq!(out.data(), input.data());
+    }
+
+    #[test]
+    fn lrn_shrinks_large_activations() {
+        let input = Tensor::from_vec(&[1, 1, 1], vec![10.0]);
+        let out = lrn_across_channels(&input, 5, 1e-1, 0.75, 1.0);
+        assert!(out.data()[0] < 10.0);
+        assert!(out.data()[0] > 0.0);
+    }
+
+    #[test]
+    fn max_pool_error_subsample_property() {
+        // The paper's §III-C claim: max pooling passes errors through
+        // unchanged when the max location is stable.
+        let clean = Tensor::from_vec(&[1, 2, 2], vec![1.0, 2.0, 3.0, 10.0]);
+        let mut noisy = clean.clone();
+        noisy.data_mut()[3] += 0.25;
+        let p = Pool2dParams::new(2, 2, 0);
+        let diff = max_pool2d(&noisy, &p).sub(&max_pool2d(&clean, &p));
+        assert_eq!(diff.data(), &[0.25]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests: the fast convolution path agrees with the naive
+//! reference on arbitrary geometry, and pooling kernels obey their
+//! defining inequalities.
+
+use mupod_stats::SeededRng;
+use mupod_tensor::conv::{conv2d, conv2d_direct, Conv2dParams};
+use mupod_tensor::pool::{avg_pool2d, max_pool2d, Pool2dParams};
+use mupod_tensor::Tensor;
+use proptest::prelude::*;
+
+fn random_tensor(seed: u64, dims: &[usize]) -> Tensor {
+    let mut rng = SeededRng::new(seed);
+    let n: usize = dims.iter().product();
+    Tensor::from_vec(
+        dims,
+        (0..n).map(|_| rng.gaussian(0.0, 1.0) as f32).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn conv_fast_equals_direct(
+        seed in 0u64..10_000,
+        in_c in 1usize..5,
+        out_mult in 1usize..4,
+        k in prop::sample::select(vec![1usize, 3, 5]),
+        stride in 1usize..3,
+        pad in 0usize..3,
+        hw in 5usize..11,
+        grouped in any::<bool>(),
+    ) {
+        let groups = if grouped { in_c } else { 1 };
+        let out_c = out_mult * groups;
+        prop_assume!(hw + 2 * pad >= k);
+        let p = Conv2dParams::grouped(in_c, out_c, k, stride, pad, groups);
+        let input = random_tensor(seed, &[in_c, hw, hw]);
+        let weight = random_tensor(seed ^ 1, &[out_c, in_c / groups, k, k]);
+        let mut rng = SeededRng::new(seed ^ 2);
+        let bias: Vec<f32> = (0..out_c).map(|_| rng.gaussian(0.0, 0.1) as f32).collect();
+
+        let fast = conv2d(&input, &weight, Some(&bias), &p);
+        let slow = conv2d_direct(&input, &weight, Some(&bias), &p);
+        prop_assert_eq!(fast.dims(), slow.dims());
+        for (a, b) in fast.data().iter().zip(slow.data()) {
+            prop_assert!((a - b).abs() < 1e-3, "fast {a} vs direct {b}");
+        }
+    }
+
+    #[test]
+    fn max_pool_dominates_avg_pool(
+        seed in 0u64..10_000,
+        c in 1usize..4,
+        hw in 4usize..10,
+        k in 2usize..4,
+    ) {
+        prop_assume!(hw >= k);
+        let input = random_tensor(seed, &[c, hw, hw]);
+        let p = Pool2dParams::new(k, k, 0);
+        let mx = max_pool2d(&input, &p);
+        let av = avg_pool2d(&input, &p);
+        for (m, a) in mx.data().iter().zip(av.data()) {
+            prop_assert!(m + 1e-6 >= *a, "max {m} below avg {a}");
+        }
+    }
+
+    #[test]
+    fn max_pool_output_subset_of_input(
+        seed in 0u64..10_000,
+        hw in 4usize..10,
+    ) {
+        let input = random_tensor(seed, &[2, hw, hw]);
+        let p = Pool2dParams::new(2, 2, 0);
+        let out = max_pool2d(&input, &p);
+        for &v in out.data() {
+            prop_assert!(
+                input.data().iter().any(|&x| (x - v).abs() < 1e-12),
+                "pooled value {v} not present in input"
+            );
+        }
+    }
+
+    #[test]
+    fn conv_is_linear_in_input(
+        seed in 0u64..10_000,
+        scale in 0.25f32..4.0,
+    ) {
+        // conv(αx) == α·conv(x) for bias-free convolution.
+        let p = Conv2dParams::new(2, 3, 3, 1, 1);
+        let input = random_tensor(seed, &[2, 6, 6]);
+        let weight = random_tensor(seed ^ 9, &[3, 2, 3, 3]);
+        let mut scaled = input.clone();
+        scaled.map_inplace(|v| v * scale);
+        let y1 = conv2d(&scaled, &weight, None, &p);
+        let mut y2 = conv2d(&input, &weight, None, &p);
+        y2.map_inplace(|v| v * scale);
+        for (a, b) in y1.data().iter().zip(y2.data()) {
+            prop_assert!((a - b).abs() < 1e-3 * (1.0 + b.abs()));
+        }
+    }
+}

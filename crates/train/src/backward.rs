@@ -1,0 +1,578 @@
+//! Vector–Jacobian products for the inference ops.
+//!
+//! For each supported [`Op`], [`backward_op`] takes the op's forward
+//! inputs and the gradient of the loss with respect to the op's output,
+//! and produces (a) the gradient with respect to each input and (b) the
+//! parameter gradients for dot-product layers. Everything is written
+//! directly against the layouts of `mupod-tensor` — no autodiff tape.
+
+use mupod_nn::Op;
+use mupod_tensor::conv::Conv2dParams;
+use mupod_tensor::pool::Pool2dParams;
+use mupod_tensor::Tensor;
+
+/// Parameter gradients of a dot-product layer.
+#[derive(Debug, Clone)]
+pub struct ParamGrads {
+    /// Gradient w.r.t. the weight tensor (same shape as the weight).
+    pub weight: Tensor,
+    /// Gradient w.r.t. the bias.
+    pub bias: Vec<f32>,
+}
+
+/// Errors from the backward pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackwardError {
+    /// The op has no implemented gradient (LRN, Softmax-as-layer).
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for BackwardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackwardError::Unsupported(op) => {
+                write!(f, "no gradient implemented for op `{op}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BackwardError {}
+
+/// Computes input gradients (one per op input, in order) and parameter
+/// gradients for one op.
+///
+/// `inputs` are the forward-time input tensors; `grad_out` is ∂loss/∂output.
+///
+/// # Errors
+///
+/// [`BackwardError::Unsupported`] for LRN and Softmax (frozen in
+/// training).
+///
+/// # Panics
+///
+/// Panics on shape mismatches between `inputs`, the op and `grad_out`.
+pub fn backward_op(
+    op: &Op,
+    inputs: &[&Tensor],
+    grad_out: &Tensor,
+) -> Result<(Vec<Tensor>, Option<ParamGrads>), BackwardError> {
+    match op {
+        Op::Input => Ok((vec![], None)),
+        Op::Conv2d { params, weight, .. } => {
+            let (gi, gp) = conv2d_backward(inputs[0], weight, params, grad_out);
+            Ok((vec![gi], Some(gp)))
+        }
+        Op::FullyConnected { weight, .. } => {
+            let (gi, gp) = fc_backward(inputs[0], weight, grad_out);
+            Ok((vec![gi], Some(gp)))
+        }
+        Op::ReLU => {
+            let mut g = grad_out.clone();
+            for (gv, &x) in g.data_mut().iter_mut().zip(inputs[0].data()) {
+                if x <= 0.0 {
+                    *gv = 0.0;
+                }
+            }
+            Ok((vec![g], None))
+        }
+        Op::MaxPool(p) => Ok((vec![max_pool_backward(inputs[0], p, grad_out)], None)),
+        Op::AvgPool(p) => Ok((vec![avg_pool_backward(inputs[0], p, grad_out)], None)),
+        Op::GlobalAvgPool => {
+            let (c, h, w) = (
+                inputs[0].dims()[0],
+                inputs[0].dims()[1],
+                inputs[0].dims()[2],
+            );
+            assert_eq!(grad_out.dims(), &[c], "gap gradient shape");
+            let mut g = Tensor::zeros(&[c, h, w]);
+            let area = (h * w) as f32;
+            for ci in 0..c {
+                let gv = grad_out.data()[ci] / area;
+                for v in &mut g.data_mut()[ci * h * w..(ci + 1) * h * w] {
+                    *v = gv;
+                }
+            }
+            Ok((vec![g], None))
+        }
+        Op::ChannelAffine { scale, .. } => {
+            let (c, h, w) = (
+                inputs[0].dims()[0],
+                inputs[0].dims()[1],
+                inputs[0].dims()[2],
+            );
+            let mut g = grad_out.clone();
+            for (ci, &s) in scale.iter().enumerate().take(c) {
+                for v in &mut g.data_mut()[ci * h * w..(ci + 1) * h * w] {
+                    *v *= s;
+                }
+            }
+            Ok((vec![g], None))
+        }
+        Op::Add => Ok((
+            inputs.iter().map(|_| grad_out.clone()).collect(),
+            None,
+        )),
+        Op::Concat => {
+            let (h, w) = (grad_out.dims()[1], grad_out.dims()[2]);
+            let mut grads = Vec::with_capacity(inputs.len());
+            let mut offset = 0usize;
+            for inp in inputs {
+                let c = inp.dims()[0];
+                let slice = &grad_out.data()[offset * h * w..(offset + c) * h * w];
+                grads.push(Tensor::from_vec(&[c, h, w], slice.to_vec()));
+                offset += c;
+            }
+            Ok((grads, None))
+        }
+        Op::Flatten => Ok((vec![grad_out.reshaped(inputs[0].dims())], None)),
+        Op::Lrn { .. } => Err(BackwardError::Unsupported("lrn")),
+        Op::Softmax => Err(BackwardError::Unsupported("softmax")),
+    }
+}
+
+fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    p: &Conv2dParams,
+    grad_out: &Tensor,
+) -> (Tensor, ParamGrads) {
+    let (h, w) = (input.dims()[1], input.dims()[2]);
+    let (oh, ow) = p.out_spatial(h, w);
+    assert_eq!(
+        grad_out.dims(),
+        &[p.out_channels, oh, ow],
+        "conv gradient shape"
+    );
+    let gc_in = p.in_channels / p.groups;
+    let gc_out = p.out_channels / p.groups;
+
+    let mut grad_in = Tensor::zeros(input.dims());
+    let mut grad_w = Tensor::zeros(weight.dims());
+    let mut grad_b = vec![0.0f32; p.out_channels];
+
+    #[allow(clippy::needless_range_loop)] // oc indexes four structures at once
+    for oc in 0..p.out_channels {
+        let g = oc / gc_out;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let go = grad_out.at(&[oc, oy, ox]);
+                if go == 0.0 {
+                    continue;
+                }
+                grad_b[oc] += go;
+                for ic in 0..gc_in {
+                    let in_c = g * gc_in + ic;
+                    for ky in 0..p.kernel {
+                        let iy = (oy * p.stride + ky) as isize - p.pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..p.kernel {
+                            let ix = (ox * p.stride + kx) as isize - p.pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let (iyu, ixu) = (iy as usize, ix as usize);
+                            *grad_w.at_mut(&[oc, ic, ky, kx]) +=
+                                go * input.at(&[in_c, iyu, ixu]);
+                            *grad_in.at_mut(&[in_c, iyu, ixu]) +=
+                                go * weight.at(&[oc, ic, ky, kx]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (
+        grad_in,
+        ParamGrads {
+            weight: grad_w,
+            bias: grad_b,
+        },
+    )
+}
+
+fn fc_backward(input: &Tensor, weight: &Tensor, grad_out: &Tensor) -> (Tensor, ParamGrads) {
+    let out_d = weight.dims()[0];
+    let in_d = weight.dims()[1];
+    assert_eq!(input.dims(), &[in_d], "fc input shape");
+    assert_eq!(grad_out.dims(), &[out_d], "fc gradient shape");
+    let mut grad_in = Tensor::zeros(&[in_d]);
+    let mut grad_w = Tensor::zeros(&[out_d, in_d]);
+    let grad_b: Vec<f32> = grad_out.data().to_vec();
+    for o in 0..out_d {
+        let go = grad_out.data()[o];
+        if go == 0.0 {
+            continue;
+        }
+        let w_row = &weight.data()[o * in_d..(o + 1) * in_d];
+        let gw_row = &mut grad_w.data_mut()[o * in_d..(o + 1) * in_d];
+        for (gw, &xv) in gw_row.iter_mut().zip(input.data()) {
+            *gw = go * xv;
+        }
+        for (gi, &wv) in grad_in.data_mut().iter_mut().zip(w_row) {
+            *gi += go * wv;
+        }
+    }
+    (
+        grad_in,
+        ParamGrads {
+            weight: grad_w,
+            bias: grad_b,
+        },
+    )
+}
+
+fn max_pool_backward(input: &Tensor, p: &Pool2dParams, grad_out: &Tensor) -> Tensor {
+    let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    let (oh, ow) = p.out_spatial(h, w);
+    let mut g = Tensor::zeros(input.dims());
+    for ci in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                // Recompute the argmax of the window (first max wins).
+                let mut best = f32::NEG_INFINITY;
+                let mut best_pos = None;
+                for ky in 0..p.kernel {
+                    let iy = (oy * p.stride + ky) as isize - p.pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kx in 0..p.kernel {
+                        let ix = (ox * p.stride + kx) as isize - p.pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        let v = input.at(&[ci, iy as usize, ix as usize]);
+                        if v > best {
+                            best = v;
+                            best_pos = Some((iy as usize, ix as usize));
+                        }
+                    }
+                }
+                if let Some((iy, ix)) = best_pos {
+                    *g.at_mut(&[ci, iy, ix]) += grad_out.at(&[ci, oy, ox]);
+                }
+            }
+        }
+    }
+    g
+}
+
+fn avg_pool_backward(input: &Tensor, p: &Pool2dParams, grad_out: &Tensor) -> Tensor {
+    let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    let (oh, ow) = p.out_spatial(h, w);
+    let window = (p.kernel * p.kernel) as f32;
+    let mut g = Tensor::zeros(input.dims());
+    for ci in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let share = grad_out.at(&[ci, oy, ox]) / window;
+                for ky in 0..p.kernel {
+                    let iy = (oy * p.stride + ky) as isize - p.pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kx in 0..p.kernel {
+                        let ix = (ox * p.stride + kx) as isize - p.pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        *g.at_mut(&[ci, iy as usize, ix as usize]) += share;
+                    }
+                }
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mupod_nn::Op;
+    use mupod_stats::SeededRng;
+
+    fn random_tensor(rng: &mut SeededRng, dims: &[usize]) -> Tensor {
+        let n: usize = dims.iter().product();
+        Tensor::from_vec(
+            dims,
+            (0..n).map(|_| rng.gaussian(0.0, 0.8) as f32).collect(),
+        )
+    }
+
+    /// Numerically checks ∂(sum of outputs · mask)/∂input against the
+    /// analytic gradient for a single-input op.
+    fn check_input_gradient(op: &Op, input: &Tensor, tol: f32) {
+        let mut rng = SeededRng::new(99);
+        let out = forward(op, &[input]);
+        // Random projection vector defines a scalar loss L = Σ m·y.
+        let mask: Vec<f32> = (0..out.numel())
+            .map(|_| rng.gaussian(0.0, 1.0) as f32)
+            .collect();
+        let grad_out = Tensor::from_vec(out.dims(), mask.clone());
+        let (grads, _) = backward_op(op, &[input], &grad_out).unwrap();
+        let analytic = &grads[0];
+
+        let eps = 1e-3f32;
+        let mut probe = input.clone();
+        for i in 0..input.numel().min(40) {
+            let orig = probe.data()[i];
+            probe.data_mut()[i] = orig + eps;
+            let up: f32 = forward(op, &[&probe])
+                .data()
+                .iter()
+                .zip(&mask)
+                .map(|(y, m)| y * m)
+                .sum();
+            probe.data_mut()[i] = orig - eps;
+            let down: f32 = forward(op, &[&probe])
+                .data()
+                .iter()
+                .zip(&mask)
+                .map(|(y, m)| y * m)
+                .sum();
+            probe.data_mut()[i] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            let a = analytic.data()[i];
+            assert!(
+                (a - numeric).abs() < tol * (1.0 + numeric.abs()),
+                "grad[{i}]: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    fn forward(op: &Op, inputs: &[&Tensor]) -> Tensor {
+        // Use the nn executor via a throwaway graph is heavyweight; the
+        // exec evaluator is private, so reimplement through the public
+        // network API with a two-node graph.
+        use mupod_nn::NetworkBuilder;
+        match op {
+            Op::Conv2d {
+                params,
+                weight,
+                bias,
+            } => {
+                let mut b = NetworkBuilder::new(inputs[0].dims());
+                let i = b.input();
+                let c = b.conv2d("c", i, *params, weight.clone(), bias.clone());
+                let net = b.build(c).unwrap();
+                let acts = net.forward(inputs[0]);
+                net.output(&acts).clone()
+            }
+            Op::FullyConnected { weight, bias } => {
+                let mut b = NetworkBuilder::new(&[1, 1, inputs[0].numel()]);
+                let i = b.input();
+                let fl = b.flatten("f", i);
+                let fc = b.fully_connected("fc", fl, weight.clone(), bias.clone());
+                let net = b.build(fc).unwrap();
+                let img = inputs[0].reshaped(&[1, 1, inputs[0].numel()]);
+                let acts = net.forward(&img);
+                net.output(&acts).clone()
+            }
+            Op::ReLU => {
+                let mut t = inputs[0].clone();
+                t.map_inplace(|v| v.max(0.0));
+                t
+            }
+            Op::MaxPool(p) => mupod_tensor::pool::max_pool2d(inputs[0], p),
+            Op::AvgPool(p) => mupod_tensor::pool::avg_pool2d(inputs[0], p),
+            Op::GlobalAvgPool => mupod_tensor::pool::global_avg_pool(inputs[0]),
+            _ => unreachable!("unsupported in test forward"),
+        }
+    }
+
+    #[test]
+    fn conv_input_gradient_matches_numeric() {
+        let mut rng = SeededRng::new(1);
+        let p = Conv2dParams::new(2, 3, 3, 1, 1);
+        let input = random_tensor(&mut rng, &[2, 5, 5]);
+        let op = Op::Conv2d {
+            params: p,
+            weight: random_tensor(&mut rng, &[3, 2, 3, 3]),
+            bias: vec![0.1, -0.1, 0.0],
+        };
+        check_input_gradient(&op, &input, 2e-2);
+    }
+
+    #[test]
+    fn conv_weight_gradient_matches_numeric() {
+        let mut rng = SeededRng::new(2);
+        let p = Conv2dParams::new(2, 2, 3, 2, 1);
+        let input = random_tensor(&mut rng, &[2, 6, 6]);
+        let weight = random_tensor(&mut rng, &[2, 2, 3, 3]);
+        let bias = vec![0.0; 2];
+
+        let out_dims = {
+            let (oh, ow) = p.out_spatial(6, 6);
+            [2, oh, ow]
+        };
+        let n_out: usize = out_dims.iter().product();
+        let mask: Vec<f32> = (0..n_out).map(|_| rng.gaussian(0.0, 1.0) as f32).collect();
+        let grad_out = Tensor::from_vec(&out_dims, mask.clone());
+        let op = Op::Conv2d {
+            params: p,
+            weight: weight.clone(),
+            bias: bias.clone(),
+        };
+        let (_, grads) = backward_op(&op, &[&input], &grad_out).unwrap();
+        let pg = grads.unwrap();
+
+        let eps = 1e-3f32;
+        for wi in 0..weight.numel().min(24) {
+            let mut wp = weight.clone();
+            wp.data_mut()[wi] += eps;
+            let up: f32 = mupod_tensor::conv::conv2d(&input, &wp, Some(&bias), &p)
+                .data()
+                .iter()
+                .zip(&mask)
+                .map(|(y, m)| y * m)
+                .sum();
+            wp.data_mut()[wi] -= 2.0 * eps;
+            let down: f32 = mupod_tensor::conv::conv2d(&input, &wp, Some(&bias), &p)
+                .data()
+                .iter()
+                .zip(&mask)
+                .map(|(y, m)| y * m)
+                .sum();
+            let numeric = (up - down) / (2.0 * eps);
+            let a = pg.weight.data()[wi];
+            assert!(
+                (a - numeric).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "weight grad {wi}: {a} vs {numeric}"
+            );
+        }
+        // Bias gradient is the sum of output gradients per channel.
+        let per_chan: usize = out_dims[1] * out_dims[2];
+        for oc in 0..2 {
+            let expect: f32 = mask[oc * per_chan..(oc + 1) * per_chan].iter().sum();
+            assert!((pg.bias[oc] - expect).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn grouped_conv_input_gradient_matches_numeric() {
+        let mut rng = SeededRng::new(11);
+        let p = Conv2dParams::grouped(4, 4, 3, 1, 1, 2);
+        let input = random_tensor(&mut rng, &[4, 5, 5]);
+        let op = Op::Conv2d {
+            params: p,
+            weight: random_tensor(&mut rng, &[4, 2, 3, 3]),
+            bias: vec![0.0; 4],
+        };
+        check_input_gradient(&op, &input, 2e-2);
+    }
+
+    #[test]
+    fn depthwise_conv_input_gradient_matches_numeric() {
+        let mut rng = SeededRng::new(12);
+        let p = Conv2dParams::grouped(3, 3, 3, 1, 1, 3);
+        let input = random_tensor(&mut rng, &[3, 5, 5]);
+        let op = Op::Conv2d {
+            params: p,
+            weight: random_tensor(&mut rng, &[3, 1, 3, 3]),
+            bias: vec![0.1, 0.0, -0.1],
+        };
+        check_input_gradient(&op, &input, 2e-2);
+    }
+
+    #[test]
+    fn strided_conv_input_gradient_matches_numeric() {
+        let mut rng = SeededRng::new(13);
+        let p = Conv2dParams::new(2, 3, 3, 2, 1);
+        let input = random_tensor(&mut rng, &[2, 7, 7]);
+        let op = Op::Conv2d {
+            params: p,
+            weight: random_tensor(&mut rng, &[3, 2, 3, 3]),
+            bias: vec![0.0; 3],
+        };
+        check_input_gradient(&op, &input, 2e-2);
+    }
+
+    #[test]
+    fn fc_gradients_match_numeric() {
+        let mut rng = SeededRng::new(3);
+        let input = random_tensor(&mut rng, &[6]);
+        let op = Op::FullyConnected {
+            weight: random_tensor(&mut rng, &[4, 6]),
+            bias: vec![0.0; 4],
+        };
+        check_input_gradient(&op, &input, 1e-2);
+    }
+
+    #[test]
+    fn relu_gradient_masks_negatives() {
+        let input = Tensor::from_vec(&[4], vec![-1.0, 2.0, 0.0, 3.0]);
+        let grad_out = Tensor::from_vec(&[4], vec![1.0, 1.0, 1.0, 1.0]);
+        let (g, _) = backward_op(&Op::ReLU, &[&input], &grad_out).unwrap();
+        assert_eq!(g[0].data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn max_pool_gradient_matches_numeric() {
+        let mut rng = SeededRng::new(4);
+        let input = random_tensor(&mut rng, &[2, 4, 4]);
+        check_input_gradient(&Op::MaxPool(Pool2dParams::new(2, 2, 0)), &input, 1e-2);
+    }
+
+    #[test]
+    fn avg_pool_gradient_matches_numeric() {
+        let mut rng = SeededRng::new(5);
+        let input = random_tensor(&mut rng, &[2, 4, 4]);
+        check_input_gradient(&Op::AvgPool(Pool2dParams::new(2, 2, 0)), &input, 1e-2);
+    }
+
+    #[test]
+    fn gap_gradient_matches_numeric() {
+        let mut rng = SeededRng::new(6);
+        let input = random_tensor(&mut rng, &[3, 4, 4]);
+        check_input_gradient(&Op::GlobalAvgPool, &input, 1e-2);
+    }
+
+    #[test]
+    fn add_and_concat_gradients_route_correctly() {
+        let a = Tensor::filled(&[1, 2, 2], 1.0);
+        let b = Tensor::filled(&[2, 2, 2], 2.0);
+        let go_add = Tensor::from_vec(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let (g, _) = backward_op(&Op::Add, &[&a, &a], &go_add).unwrap();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g[0].data(), go_add.data());
+        assert_eq!(g[1].data(), go_add.data());
+
+        let go_cat = Tensor::from_vec(&[3, 2, 2], (0..12).map(|v| v as f32).collect());
+        let (g, _) = backward_op(&Op::Concat, &[&a, &b], &go_cat).unwrap();
+        assert_eq!(g[0].dims(), &[1, 2, 2]);
+        assert_eq!(g[1].dims(), &[2, 2, 2]);
+        assert_eq!(g[0].data(), &go_cat.data()[..4]);
+        assert_eq!(g[1].data(), &go_cat.data()[4..]);
+    }
+
+    #[test]
+    fn channel_affine_gradient_scales() {
+        let input = Tensor::filled(&[2, 1, 1], 1.0);
+        let go = Tensor::from_vec(&[2, 1, 1], vec![1.0, 1.0]);
+        let op = Op::ChannelAffine {
+            scale: vec![2.0, -0.5],
+            shift: vec![0.0, 0.0],
+        };
+        let (g, _) = backward_op(&op, &[&input], &go).unwrap();
+        assert_eq!(g[0].data(), &[2.0, -0.5]);
+    }
+
+    #[test]
+    fn lrn_reports_unsupported() {
+        let input = Tensor::zeros(&[1, 1, 1]);
+        let go = Tensor::zeros(&[1, 1, 1]);
+        let op = Op::Lrn {
+            local_size: 5,
+            alpha: 1e-4,
+            beta: 0.75,
+            k: 2.0,
+        };
+        assert_eq!(
+            backward_op(&op, &[&input], &go).unwrap_err(),
+            BackwardError::Unsupported("lrn")
+        );
+    }
+}

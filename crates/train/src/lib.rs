@@ -1,0 +1,53 @@
+//! SGD training substrate for the MUPOD inference graph.
+//!
+//! The paper's method operates on *trained* networks. The model zoo's
+//! default stand-in for training is a ridge-regression linear probe on
+//! the classifier head (`mupod-models`); this crate provides the
+//! stronger substitute: genuine end-to-end stochastic gradient descent
+//! through the inference graph, with hand-written backward passes for
+//! every op the zoo architectures use except LRN (AlexNet's and
+//! GoogleNet's LRN layers are the one op trained networks keep frozen —
+//! see [`backward::BackwardError`]).
+//!
+//! The trainer deliberately mirrors the execution model of `mupod-nn`:
+//! single-image forward/backward with gradient accumulation over
+//! mini-batches, so the code that computes activations during training
+//! is the *same* code the profiler later injects noise into.
+//!
+//! # Example
+//!
+//! ```
+//! use mupod_data::{Dataset, DatasetSpec};
+//! use mupod_nn::NetworkBuilder;
+//! use mupod_tensor::{conv::Conv2dParams, Tensor};
+//! use mupod_train::{train, SgdConfig};
+//!
+//! // A one-conv classifier on a 2-class synthetic task.
+//! let mut b = NetworkBuilder::new(&[1, 8, 8]);
+//! let input = b.input();
+//! let conv = b.conv2d(
+//!     "conv",
+//!     input,
+//!     Conv2dParams::new(1, 4, 3, 1, 1),
+//!     Tensor::filled(&[4, 1, 3, 3], 0.05),
+//!     vec![0.0; 4],
+//! );
+//! let relu = b.relu("relu", conv);
+//! let gap = b.global_avg_pool("gap", relu);
+//! let fc = b.fully_connected("fc", gap, Tensor::filled(&[2, 4], 0.01), vec![0.0; 2]);
+//! let mut net = b.build(fc).unwrap();
+//!
+//! let spec = DatasetSpec::new(2, 1, 8, 8);
+//! let data = Dataset::generate(&spec, 3, 32);
+//! let report = train(&mut net, &data, &SgdConfig { epochs: 4, ..Default::default() })
+//!     .unwrap();
+//! assert!(report.final_loss < report.initial_loss);
+//! ```
+
+pub mod backward;
+mod loss;
+mod sgd;
+
+pub use backward::BackwardError;
+pub use loss::{softmax_cross_entropy, LossAndGrad};
+pub use sgd::{train, SgdConfig, TrainReport};

@@ -1,0 +1,101 @@
+//! Softmax cross-entropy loss.
+
+use mupod_tensor::Tensor;
+
+/// Loss value and its gradient with respect to the logits.
+#[derive(Debug, Clone)]
+pub struct LossAndGrad {
+    /// Cross-entropy loss (nats).
+    pub loss: f64,
+    /// ∂loss/∂logits (the classic `softmax − onehot`).
+    pub grad: Tensor,
+}
+
+/// Numerically stable softmax cross-entropy against an integer label.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 1 or `label` is out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, label: usize) -> LossAndGrad {
+    assert_eq!(logits.dims().len(), 1, "logits must be rank 1");
+    let n = logits.numel();
+    assert!(label < n, "label {label} out of range for {n} classes");
+    let max = logits
+        .data()
+        .iter()
+        .fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+    let exps: Vec<f64> = logits
+        .data()
+        .iter()
+        .map(|&v| ((v - max) as f64).exp())
+        .collect();
+    let sum: f64 = exps.iter().sum();
+    let log_sum = sum.ln() + max as f64;
+    let loss = log_sum - logits.data()[label] as f64;
+
+    let mut grad = Tensor::zeros(&[n]);
+    for (g, &e) in grad.data_mut().iter_mut().zip(&exps) {
+        *g = (e / sum) as f32;
+    }
+    grad.data_mut()[label] -= 1.0;
+    LossAndGrad { loss, grad }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_is_log_classes_for_uniform_logits() {
+        let logits = Tensor::zeros(&[4]);
+        let lg = softmax_cross_entropy(&logits, 2);
+        assert!((lg.loss - (4.0f64).ln()).abs() < 1e-9);
+        // Gradient sums to zero.
+        let sum: f32 = lg.grad.data().iter().sum();
+        assert!(sum.abs() < 1e-6);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_small_loss() {
+        let logits = Tensor::from_vec(&[3], vec![10.0, -10.0, -10.0]);
+        let lg = softmax_cross_entropy(&logits, 0);
+        assert!(lg.loss < 1e-6);
+        assert!(lg.grad.data()[0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn confident_wrong_prediction_has_large_loss() {
+        let logits = Tensor::from_vec(&[3], vec![10.0, -10.0, -10.0]);
+        let lg = softmax_cross_entropy(&logits, 1);
+        assert!(lg.loss > 10.0);
+        assert!((lg.grad.data()[1] + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_numeric() {
+        let logits = Tensor::from_vec(&[4], vec![0.3, -0.7, 1.2, 0.0]);
+        let lg = softmax_cross_entropy(&logits, 1);
+        let eps = 1e-3f32;
+        for i in 0..4 {
+            let mut up = logits.clone();
+            up.data_mut()[i] += eps;
+            let mut down = logits.clone();
+            down.data_mut()[i] -= eps;
+            let numeric = (softmax_cross_entropy(&up, 1).loss
+                - softmax_cross_entropy(&down, 1).loss)
+                / (2.0 * eps as f64);
+            assert!(
+                (lg.grad.data()[i] as f64 - numeric).abs() < 1e-4,
+                "grad[{i}]"
+            );
+        }
+    }
+
+    #[test]
+    fn stable_for_huge_logits() {
+        let logits = Tensor::from_vec(&[2], vec![1e4, -1e4]);
+        let lg = softmax_cross_entropy(&logits, 0);
+        assert!(lg.loss.is_finite());
+        assert!(lg.grad.data().iter().all(|v| v.is_finite()));
+    }
+}

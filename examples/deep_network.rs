@@ -1,0 +1,83 @@
+//! Layer-granular precision on a 156-layer network.
+//!
+//! The paper's headline scalability claim: the analytical method
+//! "allocat[es] precision at the granularity of layers for very deep
+//! networks such as Resnet-152, which hitherto was not achievable" with
+//! search-based approaches. This example profiles all 156 analyzable
+//! layers of the scaled ResNet-152, times each pipeline stage, and
+//! prints the per-stage bitwidth pattern the optimizer discovers.
+//!
+//! ```sh
+//! cargo run --release --example deep_network
+//! ```
+
+use mupod::core::{Objective, PrecisionOptimizer, ProfileConfig};
+use mupod::data::{Dataset, DatasetSpec};
+use mupod::models::{calibrate::calibrate_head, ModelKind, ModelScale};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = ModelScale::tiny(); // 156 layers is the point, not width
+    let mut net = ModelKind::ResNet152.build(&scale, 3);
+    let spec = DatasetSpec::new(scale.classes, 3, scale.input_hw, scale.input_hw);
+    let calib = Dataset::generate(&spec, 31, 128);
+    let eval = Dataset::generate(&spec, 32, 64);
+    calibrate_head(&mut net, &calib, 0.1)?;
+
+    let layers = ModelKind::ResNet152.analyzable_layers(&net);
+    println!(
+        "ResNet-152 (scaled): {} analyzable layers, {} parameters",
+        layers.len(),
+        net.parameter_count()
+    );
+
+    let t0 = Instant::now();
+    let result = PrecisionOptimizer::new(&net, &eval)
+        .layers(layers.clone())
+        .relative_accuracy_loss(0.05)
+        .profile_config(ProfileConfig {
+            n_deltas: 10,
+            repeats: 1,
+            ..Default::default()
+        })
+        .profile_images(6)
+        .run(Objective::MacEnergy)?;
+    let elapsed = t0.elapsed();
+
+    println!(
+        "profile + search + allocate + validate: {:.1}s total",
+        elapsed.as_secs_f64()
+    );
+    println!(
+        "σ_YŁ = {:.4}; σ search took {} accuracy evaluations",
+        result.sigma.sigma, result.sigma.evaluations
+    );
+    println!(
+        "validated accuracy {:.3} (fp {:.3})",
+        result.validated_accuracy, result.fp_accuracy
+    );
+
+    // Summarize the 156 per-layer bitwidths by residual stage.
+    let bits = result.allocation.bits();
+    println!();
+    println!("bitwidth by layer position:");
+    let chunk = bits.len().div_ceil(8);
+    for (i, window) in bits.chunks(chunk).enumerate() {
+        let min = window.iter().min().unwrap();
+        let max = window.iter().max().unwrap();
+        let mean = window.iter().sum::<u32>() as f64 / window.len() as f64;
+        println!(
+            "  layers {:>3}-{:>3}: min {min:>2}, mean {mean:>5.1}, max {max:>2}",
+            i * chunk + 1,
+            (i * chunk + window.len()),
+        );
+    }
+    println!();
+    println!(
+        "A search-based method would need hundreds of full evaluations to touch\n\
+         each of the {} layers even once; the analytical pipeline spent {}.",
+        bits.len(),
+        result.sigma.evaluations
+    );
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! Multi-objective optimization: one profile, many hardware criteria.
+//!
+//! Demonstrates the workflow the paper highlights in §VI-A: profiling is
+//! done once, then "changing the user constraints only requires
+//! re-running the last optimization step". The example optimizes NiN for
+//! three different criteria — input bandwidth, MAC energy, and a custom
+//! objective that only weights the expensive spatial convolutions — and
+//! compares the resulting allocations on both cost models.
+//!
+//! ```sh
+//! cargo run --release --example multi_objective
+//! ```
+
+use mupod::core::{Objective, PrecisionOptimizer};
+use mupod::data::{Dataset, DatasetSpec};
+use mupod::hw::{bandwidth, MacEnergyModel};
+use mupod::models::{calibrate::calibrate_head, ModelKind, ModelScale};
+use mupod::nn::inventory::LayerInventory;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = ModelScale::small();
+    let mut net = ModelKind::Nin.build(&scale, 7);
+    let spec = DatasetSpec::new(scale.classes, 3, scale.input_hw, scale.input_hw);
+    let calib = Dataset::generate(&spec, 11, 192);
+    let eval = Dataset::generate(&spec, 12, 96);
+    calibrate_head(&mut net, &calib, 0.1)?;
+
+    let layers = ModelKind::Nin.analyzable_layers(&net);
+    let inventory = LayerInventory::measure(&net, eval.images().iter().cloned());
+    let macs: Vec<u64> = layers
+        .iter()
+        .map(|&id| inventory.find(id).unwrap().macs)
+        .collect();
+    let inputs: Vec<u64> = layers
+        .iter()
+        .map(|&id| inventory.find(id).unwrap().input_elems)
+        .collect();
+
+    // Profile once (the expensive stage)...
+    let first = PrecisionOptimizer::new(&net, &eval)
+        .layers(layers.clone())
+        .relative_accuracy_loss(0.035)
+        .run(Objective::Bandwidth)?;
+    println!("profiled {} layers; σ_YŁ = {:.4}", layers.len(), first.sigma.sigma);
+
+    // ...then re-optimize for each criterion from the cached profile.
+    // A custom ρ: only spatial (non-1x1) convolutions matter.
+    let custom_rho: Vec<f64> = layers
+        .iter()
+        .zip(&macs)
+        .map(|(&id, &m)| match &net.node(id).op {
+            mupod::nn::Op::Conv2d { params, .. } if params.kernel > 1 => m as f64,
+            _ => 1.0,
+        })
+        .collect();
+    let objectives = vec![
+        ("bandwidth", Objective::Bandwidth),
+        ("mac-energy", Objective::MacEnergy),
+        ("spatial-only", Objective::Custom(custom_rho)),
+    ];
+
+    let model = MacEnergyModel::dwip_40nm();
+    println!();
+    println!("{:<14} {:<40} {:>12} {:>12}", "objective", "bits per layer", "input kbits", "energy µJ");
+    for (name, objective) in objectives {
+        let result = PrecisionOptimizer::new(&net, &eval)
+            .layers(layers.clone())
+            .relative_accuracy_loss(0.035)
+            .with_profile(first.profile.clone())
+            .run(objective)?;
+        let bits = result.allocation.bits();
+        let traffic = bandwidth::total_input_bits(&inputs, &bits) / 1e3;
+        let energy = model.network_energy(&macs, &bits, 8) / 1e6;
+        println!(
+            "{:<14} {:<40} {:>12.1} {:>12.3}",
+            name,
+            format!("{bits:?}"),
+            traffic,
+            energy
+        );
+    }
+    println!();
+    println!(
+        "Each criterion shifts bits toward the layers it cares about — the\n\
+         trade-off of the paper's Fig. 4."
+    );
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Quickstart: optimize the input bitwidths of a small CNN in one call.
+//!
+//! Builds AlexNet from the model zoo, calibrates its classifier on the
+//! synthetic dataset, then runs the full MUPOD pipeline (profile →
+//! σ-search → allocate → validate) for the bandwidth objective at a 1 %
+//! relative accuracy budget.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mupod::core::{Objective, PrecisionOptimizer};
+use mupod::data::{Dataset, DatasetSpec};
+use mupod::models::{calibrate::calibrate_head, ModelKind, ModelScale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A trained-like network: zoo topology + He init + linear-probe
+    //    calibration of the classifier head.
+    let scale = ModelScale::small();
+    let mut net = ModelKind::AlexNet.build(&scale, 42);
+    let spec = DatasetSpec::new(scale.classes, 3, scale.input_hw, scale.input_hw);
+    let calib = Dataset::generate(&spec, 1, 192);
+    let eval = Dataset::generate(&spec, 2, 96);
+    let report = calibrate_head(&mut net, &calib, 0.1)?;
+    println!(
+        "calibrated `{}` (feature dim {}): train accuracy {:.1}%",
+        report.head_layer,
+        report.feature_dim,
+        report.accuracy_after * 100.0
+    );
+
+    // 2. One call: profile λ/θ per layer, binary-search σ_YŁ, solve
+    //    Eq. 8 for the bandwidth objective, validate under rounding.
+    let result = PrecisionOptimizer::new(&net, &eval)
+        .layers(ModelKind::AlexNet.analyzable_layers(&net))
+        .relative_accuracy_loss(0.01)
+        .run(Objective::Bandwidth)?;
+
+    println!();
+    println!("searched output budget σ_YŁ = {:.4}", result.sigma.sigma);
+    println!("layer    format   bits  Δ granted   ξ share");
+    for ((lf, bits), xi) in result
+        .allocation
+        .layers()
+        .iter()
+        .zip(result.allocation.bits())
+        .zip(&result.xi)
+    {
+        println!(
+            "{:<8} {:>6}  {:>5}  {:>9.5}  {:>8.3}",
+            lf.layer,
+            lf.format.to_string(),
+            bits,
+            lf.delta,
+            xi
+        );
+    }
+    println!();
+    println!(
+        "full-precision accuracy {:.3} -> quantized {:.3} (budget allowed {:.3})",
+        result.fp_accuracy,
+        result.validated_accuracy,
+        result.fp_accuracy * 0.99
+    );
+    Ok(())
+}

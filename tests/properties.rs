@@ -1,0 +1,150 @@
+//! Cross-crate property-based tests (proptest).
+
+use mupod::optim::{
+    is_in_simplex, project_to_simplex_lb, FnObjective, ProjectedGradient,
+};
+use mupod::quant::{effective_bitwidth, FixedPointFormat};
+use mupod::stats::{LinearFit, RunningStats, SeededRng};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Rounding never errs by more than Δ for in-range values.
+    #[test]
+    fn quantize_error_bounded_by_delta(
+        x in -1000.0f64..1000.0,
+        int_bits in 11i32..16,
+        frac_bits in -2i32..12,
+    ) {
+        let fmt = FixedPointFormat::new(int_bits, frac_bits);
+        prop_assume!(x.abs() < fmt.max_magnitude() - fmt.step());
+        let q = fmt.quantize(x);
+        prop_assert!((q - x).abs() <= fmt.delta() + 1e-12);
+        // Quantized values lie on the grid.
+        let steps = q / fmt.step();
+        prop_assert!((steps - steps.round()).abs() < 1e-9);
+    }
+
+    /// Quantization is monotone: x ≤ y ⇒ q(x) ≤ q(y).
+    #[test]
+    fn quantize_is_monotone(
+        a in -500.0f64..500.0,
+        b in -500.0f64..500.0,
+        frac_bits in -2i32..10,
+    ) {
+        let fmt = FixedPointFormat::new(12, frac_bits);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(fmt.quantize(lo) <= fmt.quantize(hi) + 1e-12);
+    }
+
+    /// Simplex projection always lands on the constraint set and is
+    /// idempotent.
+    #[test]
+    fn simplex_projection_feasible_and_idempotent(
+        v in prop::collection::vec(-10.0f64..10.0, 1..12),
+        lb_scale in 0.0f64..0.9,
+    ) {
+        let lb = lb_scale / v.len() as f64;
+        let mut p = v.clone();
+        project_to_simplex_lb(&mut p, lb);
+        prop_assert!(is_in_simplex(&p, lb, 1e-7), "not feasible: {p:?}");
+        let mut q = p.clone();
+        project_to_simplex_lb(&mut q, lb);
+        for (x, y) in p.iter().zip(&q) {
+            prop_assert!((x - y).abs() < 1e-9, "not idempotent");
+        }
+    }
+
+    /// The PGD solution never exceeds the uniform point's objective.
+    #[test]
+    fn pgd_no_worse_than_uniform(
+        targets in prop::collection::vec(0.0f64..1.0, 2..8),
+    ) {
+        let dim = targets.len();
+        let t = targets.clone();
+        let obj = FnObjective::new(dim, move |xi: &[f64]| {
+            xi.iter().zip(&t).map(|(x, t)| (x - t).powi(2)).sum()
+        });
+        let uniform = vec![1.0 / dim as f64; dim];
+        let uniform_value: f64 = uniform
+            .iter()
+            .zip(&targets)
+            .map(|(x, t)| (x - t).powi(2))
+            .sum();
+        let sol = ProjectedGradient::default().minimize(&obj);
+        prop_assert!(sol.value <= uniform_value + 1e-9);
+        prop_assert!(is_in_simplex(&sol.xi, 0.0, 1e-6));
+    }
+
+    /// Effective bitwidth is a weighted mean: bounded by min/max bits.
+    #[test]
+    fn effective_bitwidth_bounded(
+        bits in prop::collection::vec(1u32..24, 1..20),
+        weights in prop::collection::vec(0.1f64..100.0, 1..20),
+    ) {
+        let n = bits.len().min(weights.len());
+        let bits = &bits[..n];
+        let weights = &weights[..n];
+        let eff = effective_bitwidth(bits, weights);
+        let lo = *bits.iter().min().unwrap() as f64;
+        let hi = *bits.iter().max().unwrap() as f64;
+        prop_assert!(eff >= lo - 1e-9 && eff <= hi + 1e-9);
+    }
+
+    /// Uniform-noise samples respect their half-width and have the
+    /// Widrow variance (on aggregate).
+    #[test]
+    fn uniform_noise_bounds(seed in 0u64..1000, delta in 1e-6f64..100.0) {
+        let mut rng = SeededRng::new(seed);
+        let mut s = RunningStats::new();
+        for _ in 0..2000 {
+            let v = rng.symmetric_uniform(delta);
+            prop_assert!(v.abs() <= delta);
+            s.push(v);
+        }
+        let expected = delta / 3.0f64.sqrt();
+        prop_assert!((s.population_std() - expected).abs() / expected < 0.15);
+    }
+
+    /// Regression through noiseless collinear points is exact.
+    #[test]
+    fn regression_recovers_exact_line(
+        slope in -100.0f64..100.0,
+        intercept in -100.0f64..100.0,
+        xs in prop::collection::vec(-50.0f64..50.0, 3..30),
+    ) {
+        // Need spread in x.
+        let spread = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assume!(spread > 1e-3);
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+        let fit = LinearFit::fit(&xs, &ys).unwrap();
+        prop_assert!((fit.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        prop_assert!(
+            (fit.intercept - intercept).abs() < 1e-6 * (1.0 + intercept.abs())
+        );
+    }
+
+    /// Streaming merge equals sequential accumulation.
+    #[test]
+    fn running_stats_merge_associative(
+        a in prop::collection::vec(-1e3f64..1e3, 0..50),
+        b in prop::collection::vec(-1e3f64..1e3, 0..50),
+    ) {
+        let mut sa = RunningStats::new();
+        sa.extend(a.iter().copied());
+        let mut sb = RunningStats::new();
+        sb.extend(b.iter().copied());
+        sa.merge(&sb);
+
+        let mut seq = RunningStats::new();
+        seq.extend(a.iter().chain(b.iter()).copied());
+        prop_assert_eq!(sa.count(), seq.count());
+        prop_assert!((sa.mean() - seq.mean()).abs() < 1e-6);
+        prop_assert!(
+            (sa.population_variance() - seq.population_variance()).abs()
+                < 1e-6 * (1.0 + seq.population_variance())
+        );
+    }
+}
