@@ -55,6 +55,9 @@ pub struct ProfileArgs {
     pub out: String,
     /// Noise magnitudes per layer.
     pub n_deltas: usize,
+    /// Optional checkpoint journal: completed layers are appended here
+    /// and skipped on re-runs after an interruption.
+    pub journal: Option<String>,
 }
 
 /// `optimize` options.
@@ -98,7 +101,8 @@ mupod — multi-objective precision optimization (DATE 2019 reproduction)
 
 USAGE:
   mupod inspect  --model <name> [--scale tiny|small] [--seed N] [--images N]
-  mupod profile  --model <name> --out <file.csv> [--deltas N] [common flags]
+  mupod profile  --model <name> --out <file.csv> [--deltas N]
+                 [--journal <file.journal>] [common flags]
   mupod optimize --model <name> --objective <bandwidth|mac|unweighted>
                  [--loss <percent>] [--profile <file.csv>]
                  [--scheme equal|gaussian] [--save <alloc.csv>]
@@ -158,6 +162,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut images = 160usize;
     let mut out = None;
     let mut n_deltas = 20usize;
+    let mut journal = None;
     let mut objective = None;
     let mut loss = 0.01f64;
     let mut profile = None;
@@ -188,6 +193,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     .map_err(|_| CliError::Usage("bad --images".into()))?
             }
             "--out" => out = Some(take_value(args, &mut i, "--out")?.to_string()),
+            "--journal" => {
+                journal = Some(take_value(args, &mut i, "--journal")?.to_string())
+            }
             "--deltas" => {
                 n_deltas = take_value(args, &mut i, "--deltas")?
                     .parse()
@@ -242,6 +250,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             ProfileArgs {
                 out: out.ok_or_else(|| CliError::Usage("--out is required".into()))?,
                 n_deltas,
+                journal,
             },
         )),
         "optimize" => Ok(Command::Optimize(
@@ -303,7 +312,9 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 "layer", "#inputs", "#MACs", "max|X|"
             );
             for &id in &layers {
-                let info = inventory.find(id).expect("layer in inventory");
+                let info = inventory.find(id).ok_or_else(|| {
+                    CliError::Run(format!("layer {id} missing from inventory"))
+                })?;
                 let _ = writeln!(
                     out,
                     "{:<14} {:>10} {:>12} {:>10.1}",
@@ -315,13 +326,33 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             let (net, eval) = prepare(common)?;
             let layers = common.model.analyzable_layers(&net);
             let images = &eval.images()[..eval.len().min(24)];
-            let profile = mupod_core::Profiler::new(&net, images)
-                .with_config(ProfileConfig {
-                    n_deltas: pargs.n_deltas,
-                    ..Default::default()
-                })
-                .profile(&layers)
-                .map_err(|e| CliError::Run(format!("profiling failed: {e}")))?;
+            let profiler = mupod_core::Profiler::new(&net, images).with_config(ProfileConfig {
+                n_deltas: pargs.n_deltas,
+                ..Default::default()
+            });
+            let profile = if let Some(journal) = &pargs.journal {
+                let (profile, summary) = profiler
+                    .profile_journaled(&layers, std::path::Path::new(journal))
+                    .map_err(|e| CliError::Run(format!("profiling failed: {e}")))?;
+                if summary.resumed > 0 {
+                    let _ = writeln!(
+                        out,
+                        "resumed {} of {} layers from {journal}{}",
+                        summary.resumed,
+                        profile.len(),
+                        if summary.dropped_partial_record {
+                            " (dropped one interrupted record)"
+                        } else {
+                            ""
+                        },
+                    );
+                }
+                profile
+            } else {
+                profiler
+                    .profile(&layers)
+                    .map_err(|e| CliError::Run(format!("profiling failed: {e}")))?
+            };
             let file = std::fs::File::create(&pargs.out)
                 .map_err(|e| CliError::Run(format!("cannot create {}: {e}", pargs.out)))?;
             profile
@@ -335,6 +366,12 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 profile.max_relative_error() * 100.0,
                 pargs.out
             );
+            for (name, reason) in profile.fallback_layers() {
+                let _ = writeln!(
+                    out,
+                    "warning: layer `{name}` uses the conservative fallback ({reason})"
+                );
+            }
         }
         Command::Optimize(common, oargs) => {
             let (net, eval) = prepare(common)?;
@@ -375,6 +412,12 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                     lf.layer,
                     lf.format.to_string(),
                     bits
+                );
+            }
+            for (name, reason) in result.profile.fallback_layers() {
+                let _ = writeln!(
+                    out,
+                    "warning: layer `{name}` uses the conservative fallback ({reason})"
                 );
             }
             if let Some(path) = &oargs.save {
@@ -511,6 +554,44 @@ mod tests {
         )
         .unwrap();
         assert_eq!(reloaded.len(), 5);
+    }
+
+    #[test]
+    fn parses_profile_journal_flag() {
+        let cmd = parse(&argv(
+            "profile --model alexnet --out p.csv --journal p.journal",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Profile(_, p) => assert_eq!(p.journal.as_deref(), Some("p.journal")),
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn journaled_profile_resumes_and_matches() {
+        let dir = std::env::temp_dir().join("mupod_cli_journal_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("p.csv").to_string_lossy().to_string();
+        let journal = dir.join("p.journal").to_string_lossy().to_string();
+        let _ = std::fs::remove_file(&journal);
+        let line = format!(
+            "profile --model alexnet --scale tiny --images 24 --deltas 6 --out {csv} --journal {journal}"
+        );
+        let first = run(&parse(&argv(&line)).unwrap()).unwrap();
+        assert!(first.contains("profiled 5 layers"), "{first}");
+        let first_csv = std::fs::read_to_string(&csv).unwrap();
+
+        // Chop the last journal record mid-line, simulating a kill during
+        // the final append; the re-run must resume the intact layers and
+        // regenerate a bit-identical CSV.
+        let text = std::fs::read_to_string(&journal).unwrap();
+        let keep = text.trim_end().rfind('\n').unwrap() + 20;
+        std::fs::write(&journal, &text[..keep]).unwrap();
+
+        let second = run(&parse(&argv(&line)).unwrap()).unwrap();
+        assert!(second.contains("resumed 4 of 5 layers"), "{second}");
+        assert_eq!(std::fs::read_to_string(&csv).unwrap(), first_csv);
     }
 
     #[test]

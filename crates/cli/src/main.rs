@@ -1,14 +1,23 @@
 //! The `mupod` command-line tool. See [`mupod_cli::USAGE`].
 
+use mupod_cli::CliError;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match mupod_cli::parse(&args).and_then(|cmd| mupod_cli::run(&cmd)) {
         Ok(text) => print!("{text}"),
-        Err(e) => {
-            eprintln!("{e}");
+        // Bad invocation: explain and show usage (exit 2). Runtime
+        // failure: one-line diagnostic only (exit 1) — the arguments
+        // were fine, repeating the usage text would bury the error.
+        Err(CliError::Usage(msg)) => {
+            eprintln!("usage error: {msg}");
             eprintln!();
             eprintln!("{}", mupod_cli::USAGE);
             std::process::exit(2);
+        }
+        Err(e @ CliError::Run(_)) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
         }
     }
 }

@@ -263,6 +263,7 @@ mod tests {
             input_elems: inputs,
             macs,
             sweep: vec![],
+            fallback: None,
         };
         let (a, b) = if rho_heavy_first {
             (mk(1, 1000, 1000), mk(2, 10, 10))

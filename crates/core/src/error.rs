@@ -1,0 +1,116 @@
+//! The workspace-level error hierarchy.
+//!
+//! Every failure mode of the profile → search → allocate → validate
+//! pipeline is a typed error; [`CoreError`] is the top of the hierarchy,
+//! unifying the per-stage enums so callers (the CLI, integration
+//! harnesses) can hold one error type while still matching on the
+//! specific failure. The design rule throughout: **panics are reserved
+//! for programmer errors** (shape mismatches, out-of-range ids built by
+//! hand); everything reachable from bad *data* — poisoned tensors,
+//! degenerate fits, corrupt journals, failed validation — is a `Result`.
+
+use crate::optimizer::OptimizeError;
+use crate::profile::ProfileError;
+use crate::profile_io::{JournalError, ProfileIoError};
+use mupod_nn::ExecError;
+use mupod_stats::regression::FitError;
+
+/// Any failure of the MUPOD pipeline.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Error-injection profiling failed (empty inputs, numerical fault,
+    /// strict-mode degenerate fit, …).
+    Profile(ProfileError),
+    /// The end-to-end optimization failed (profiling, no layers, or the
+    /// final quantized validation missed the accuracy target).
+    Optimize(OptimizeError),
+    /// Profile CSV persistence failed.
+    ProfileIo(ProfileIoError),
+    /// The profiling journal was unreadable, corrupt or incompatible.
+    Journal(JournalError),
+    /// A regression over sweep points failed.
+    Fit(FitError),
+    /// A forward pass produced (or was given) non-finite values.
+    Exec(ExecError),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Profile(e) => write!(f, "{e}"),
+            CoreError::Optimize(e) => write!(f, "{e}"),
+            CoreError::ProfileIo(e) => write!(f, "{e}"),
+            CoreError::Journal(e) => write!(f, "{e}"),
+            CoreError::Fit(e) => write!(f, "{e}"),
+            CoreError::Exec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Profile(e) => Some(e),
+            CoreError::Optimize(e) => Some(e),
+            CoreError::ProfileIo(e) => Some(e),
+            CoreError::Journal(e) => Some(e),
+            CoreError::Fit(e) => Some(e),
+            CoreError::Exec(e) => Some(e),
+        }
+    }
+}
+
+impl From<ProfileError> for CoreError {
+    fn from(e: ProfileError) -> Self {
+        CoreError::Profile(e)
+    }
+}
+
+impl From<OptimizeError> for CoreError {
+    fn from(e: OptimizeError) -> Self {
+        CoreError::Optimize(e)
+    }
+}
+
+impl From<ProfileIoError> for CoreError {
+    fn from(e: ProfileIoError) -> Self {
+        CoreError::ProfileIo(e)
+    }
+}
+
+impl From<JournalError> for CoreError {
+    fn from(e: JournalError) -> Self {
+        CoreError::Journal(e)
+    }
+}
+
+impl From<FitError> for CoreError {
+    fn from(e: FitError) -> Self {
+        CoreError::Fit(e)
+    }
+}
+
+impl From<ExecError> for CoreError {
+    fn from(e: ExecError) -> Self {
+        CoreError::Exec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display_chain() {
+        let e: CoreError = ProfileError::NoImages.into();
+        assert!(e.to_string().contains("image"));
+        let e: CoreError = FitError::DegenerateX.into();
+        assert!(e.to_string().contains("identical"));
+        let e: CoreError = JournalError::UnsupportedVersion("v9".into()).into();
+        assert!(e.to_string().contains("v9"));
+        // source() exposes the wrapped error for downcasting callers.
+        let e: CoreError = ProfileError::NoLayers.into();
+        let src = std::error::Error::source(&e).unwrap();
+        assert!(src.downcast_ref::<ProfileError>().is_some());
+    }
+}

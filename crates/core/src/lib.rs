@@ -45,6 +45,7 @@
 //! ```
 
 mod allocate;
+mod error;
 mod eval;
 mod optimizer;
 mod profile;
@@ -54,10 +55,14 @@ mod weight_profile;
 mod weights;
 
 pub use allocate::{allocate, allocate_equal, AllocateConfig, AllocationOutcome, Objective};
+pub use error::CoreError;
 pub use eval::{AccuracyEvaluator, AccuracyMode};
 pub use optimizer::{OptimizeError, OptimizeResult, PrecisionOptimizer};
-pub use profile::{LayerProfile, Profile, ProfileConfig, ProfileError, Profiler};
-pub use profile_io::ProfileIoError;
+pub use profile::{
+    FallbackReason, GuardConfig, LayerProfile, Profile, ProfileConfig, ProfileError,
+    Profiler,
+};
+pub use profile_io::{JournalError, JournalSummary, ProfileIoError};
 pub use search::{SearchOutcome, SearchScheme, SigmaSearch};
 pub use weight_profile::profile_weights;
 pub use weights::search_weight_bits;

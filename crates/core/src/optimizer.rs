@@ -321,7 +321,7 @@ impl<'a> PrecisionOptimizer<'a> {
                 sigma_for_alloc *= 0.6;
             }
         }
-        let (_, acc) = last.expect("at least one allocation attempted");
+        let acc = last.map_or(f64::NAN, |(_, acc)| acc);
         Err(OptimizeError::ValidationFailed(acc, target))
     }
 }
@@ -400,13 +400,17 @@ mod tests {
         // III at experiment scale shows the objectives diverging.)
         let rho_bw = Objective::Bandwidth.rho(&bw.profile);
         let rho_mac = Objective::MacEnergy.rho(&bw.profile);
+        // Dominance holds exactly for the continuous ξ optimum; the final
+        // allocation rounds each layer to integer bits, which can shift
+        // either side by one bit in one layer. Allow exactly that much.
+        let bit_slack = |rho: &[f64]| rho.iter().fold(0.0f64, |a, &b| a.max(b));
         assert!(
             bw.allocation.total_weighted_bits(&rho_bw)
-                <= mac.allocation.total_weighted_bits(&rho_bw) + 1e-9
+                <= mac.allocation.total_weighted_bits(&rho_bw) + bit_slack(&rho_bw)
         );
         assert!(
             mac.allocation.total_weighted_bits(&rho_mac)
-                <= bw.allocation.total_weighted_bits(&rho_mac) + 1e-9
+                <= bw.allocation.total_weighted_bits(&rho_mac) + bit_slack(&rho_mac)
         );
     }
 

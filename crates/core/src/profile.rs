@@ -12,7 +12,7 @@
 
 use mupod_nn::inventory::LayerInventory;
 use mupod_nn::tap::UniformNoiseTap;
-use mupod_nn::{Network, NodeId};
+use mupod_nn::{ExecError, Network, NodeId, ValidateConfig};
 use mupod_stats::regression::FitError;
 use mupod_stats::{LinearFit, RunningStats, SeededRng};
 use mupod_tensor::Tensor;
@@ -40,6 +40,8 @@ pub struct ProfileConfig {
     /// any thread count: each layer's noise streams are keyed by its
     /// position, not by execution order.
     pub threads: usize,
+    /// Numerical guardrails applied during the sweep.
+    pub guard: GuardConfig,
 }
 
 impl Default for ProfileConfig {
@@ -52,6 +54,78 @@ impl Default for ProfileConfig {
             seed: 0x9E37,
             full_replay: false,
             threads: 0,
+            guard: GuardConfig::default(),
+        }
+    }
+}
+
+/// Numerical guardrails for the profiling sweep.
+///
+/// Two independent protections:
+///
+/// * **Finiteness sweeps** (`validate_activations`): every forward pass
+///   is checked at each layer boundary; a NaN/Inf is a hard typed error
+///   ([`ProfileError::NumericalFault`]) — a poisoned activation can never
+///   be "degraded around", because every statistic downstream of it is
+///   garbage.
+/// * **Fit rejection**: a layer whose Eq. 5 regression is degenerate —
+///   negative `λ_K`, R² below `min_r_squared`, or fewer than
+///   `min_points` usable sweep points — is either replaced by a flagged
+///   conservative fallback (default) or, with `strict`, reported as a
+///   typed error. Degenerate fits are recoverable: the fallback simply
+///   grants that layer no quantization-noise budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardConfig {
+    /// Sweep every activation boundary for NaN/Inf (cheap; default on).
+    pub validate_activations: bool,
+    /// Minimum acceptable R² of a layer's Eq. 5 fit.
+    pub min_r_squared: f64,
+    /// Minimum usable `(σ, Δ)` sweep points (σ finite and positive).
+    pub min_points: usize,
+    /// Treat a degenerate fit as a hard error instead of falling back.
+    pub strict: bool,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        Self {
+            validate_activations: true,
+            min_r_squared: 0.5,
+            min_points: 3,
+            strict: false,
+        }
+    }
+}
+
+/// Why a layer's Eq. 5 fit was rejected and replaced by the conservative
+/// fallback (or reported as an error under [`GuardConfig::strict`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FallbackReason {
+    /// Fitted `λ_K ≤ 0`: the output error did not grow with the injected
+    /// noise, so the line cannot be inverted into a noise budget.
+    NegativeSlope,
+    /// R² below [`GuardConfig::min_r_squared`]; payload is the fitted R².
+    LowRSquared(f64),
+    /// Fewer than [`GuardConfig::min_points`] usable sweep points;
+    /// payload is the usable count.
+    TooFewPoints(usize),
+    /// The regression itself failed.
+    FitFailed(FitError),
+}
+
+impl std::fmt::Display for FallbackReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FallbackReason::NegativeSlope => {
+                write!(f, "fitted slope λ ≤ 0 (output error did not grow with noise)")
+            }
+            FallbackReason::LowRSquared(r2) => {
+                write!(f, "fit quality too low (R² = {r2:.4})")
+            }
+            FallbackReason::TooFewPoints(n) => {
+                write!(f, "only {n} usable sweep points")
+            }
+            FallbackReason::FitFailed(e) => write!(f, "regression failed: {e}"),
         }
     }
 }
@@ -80,6 +154,10 @@ pub struct LayerProfile {
     pub macs: u64,
     /// The raw sweep points `(σ_{Y_{K→Ł}}, Δ_{X_K})` behind the fit.
     pub sweep: Vec<(f64, f64)>,
+    /// `Some(reason)` when the Eq. 5 fit was rejected and this profile is
+    /// the conservative fallback (`λ = θ = 0`, so [`LayerProfile::delta_for`]
+    /// grants only the f32 floor — i.e. maximum precision for this layer).
+    pub fallback: Option<FallbackReason>,
 }
 
 impl LayerProfile {
@@ -103,9 +181,17 @@ pub enum ProfileError {
     NoImages,
     /// No layers were requested.
     NoLayers,
-    /// A layer's regression failed (e.g. the network output never
-    /// responded to injected noise).
-    DegenerateLayer(String, FitError),
+    /// A layer's Eq. 5 fit was degenerate and [`GuardConfig::strict`]
+    /// forbade the fallback.
+    DegenerateLayer(String, FallbackReason),
+    /// A NaN/Inf was detected during a profiling forward pass. Unlike a
+    /// degenerate fit this is never degradable: every statistic computed
+    /// from the poisoned pass would be silently wrong.
+    NumericalFault(ExecError),
+    /// A requested layer is not a dot-product layer (nothing to profile).
+    NotAnalyzable(NodeId),
+    /// A profiling worker thread panicked.
+    WorkerPanicked,
 }
 
 impl std::fmt::Display for ProfileError {
@@ -113,14 +199,108 @@ impl std::fmt::Display for ProfileError {
         match self {
             ProfileError::NoImages => write!(f, "profiling needs at least one image"),
             ProfileError::NoLayers => write!(f, "profiling needs at least one layer"),
-            ProfileError::DegenerateLayer(name, e) => {
-                write!(f, "regression failed for layer `{name}`: {e}")
+            ProfileError::DegenerateLayer(name, reason) => {
+                write!(f, "degenerate Eq. 5 fit for layer `{name}`: {reason}")
             }
+            ProfileError::NumericalFault(e) => {
+                write!(f, "numerical fault during profiling: {e}")
+            }
+            ProfileError::NotAnalyzable(node) => {
+                write!(f, "node {node} is not a dot-product layer")
+            }
+            ProfileError::WorkerPanicked => write!(f, "a profiling worker panicked"),
         }
     }
 }
 
-impl std::error::Error for ProfileError {}
+impl std::error::Error for ProfileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProfileError::NumericalFault(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ExecError> for ProfileError {
+    fn from(e: ExecError) -> Self {
+        ProfileError::NumericalFault(e)
+    }
+}
+
+/// Fits one layer's sweep under the guardrails, producing either the
+/// Eq. 5 coefficients or the flagged conservative fallback.
+///
+/// Shared by the input and weight profilers so degenerate-fit policy is
+/// identical in both.
+pub(crate) fn fit_sweep_guarded(
+    name: &str,
+    sigmas: &[f64],
+    deltas: &[f64],
+    guard: &GuardConfig,
+) -> Result<SweepFit, ProfileError> {
+    let usable: Vec<(f64, f64)> = sigmas
+        .iter()
+        .zip(deltas)
+        .filter(|(&s, &d)| s.is_finite() && s > 0.0 && d.is_finite() && d > 0.0)
+        .map(|(&s, &d)| (s, d))
+        .collect();
+    let degenerate = |reason: FallbackReason| {
+        if guard.strict {
+            Err(ProfileError::DegenerateLayer(name.to_string(), reason))
+        } else {
+            Ok(SweepFit::fallback(reason))
+        }
+    };
+    if usable.len() < guard.min_points.max(2) {
+        return degenerate(FallbackReason::TooFewPoints(usable.len()));
+    }
+    let xs: Vec<f64> = usable.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = usable.iter().map(|p| p.1).collect();
+    // Relative (1/Δ²-weighted) least squares: the sweep spans two decades
+    // of Δ, and the paper's quality metric is *relative* prediction
+    // error (§IV).
+    let weights: Vec<f64> = ys.iter().map(|d| 1.0 / (d * d)).collect();
+    let fit = match LinearFit::fit_weighted(&xs, &ys, &weights) {
+        Ok(fit) => fit,
+        Err(e) => return degenerate(FallbackReason::FitFailed(e)),
+    };
+    if fit.slope <= 0.0 {
+        return degenerate(FallbackReason::NegativeSlope);
+    }
+    if fit.r_squared < guard.min_r_squared {
+        return degenerate(FallbackReason::LowRSquared(fit.r_squared));
+    }
+    Ok(SweepFit {
+        lambda: fit.slope,
+        theta: fit.intercept,
+        r_squared: fit.r_squared,
+        max_relative_error: fit.max_relative_error(&xs, &ys),
+        fallback: None,
+    })
+}
+
+/// Outcome of [`fit_sweep_guarded`]: Eq. 5 coefficients or a fallback.
+#[derive(Debug)]
+pub(crate) struct SweepFit {
+    pub lambda: f64,
+    pub theta: f64,
+    pub r_squared: f64,
+    pub max_relative_error: f64,
+    pub fallback: Option<FallbackReason>,
+}
+
+impl SweepFit {
+    fn fallback(reason: FallbackReason) -> Self {
+        Self {
+            lambda: 0.0,
+            theta: 0.0,
+            r_squared: 0.0,
+            max_relative_error: 0.0,
+            fallback: Some(reason),
+        }
+    }
+}
 
 /// A complete network profile: every layer's Eq. 5 coefficients.
 #[derive(Debug, Clone, PartialEq)]
@@ -151,6 +331,18 @@ impl Profile {
     /// The node ids in profile order.
     pub fn nodes(&self) -> Vec<NodeId> {
         self.layers.iter().map(|l| l.node).collect()
+    }
+
+    /// Layers whose Eq. 5 fit was rejected, with the rejection reason.
+    ///
+    /// These carry the conservative fallback (`λ = θ = 0` → maximum
+    /// precision); surfaced so reports can flag them instead of letting
+    /// a silently over-provisioned layer masquerade as a measured one.
+    pub fn fallback_layers(&self) -> Vec<(&str, FallbackReason)> {
+        self.layers
+            .iter()
+            .filter_map(|l| l.fallback.map(|r| (l.name.as_str(), r)))
+            .collect()
     }
 
     /// Worst regression R² across layers.
@@ -197,9 +389,9 @@ impl Profile {
 /// See the module docs; construct with a network and the images to
 /// profile over (the paper found 50–200 images give stable regressions).
 pub struct Profiler<'a> {
-    net: &'a Network,
-    images: &'a [Tensor],
-    config: ProfileConfig,
+    pub(crate) net: &'a Network,
+    pub(crate) images: &'a [Tensor],
+    pub(crate) config: ProfileConfig,
 }
 
 impl std::fmt::Debug for Profiler<'_> {
@@ -231,8 +423,10 @@ impl<'a> Profiler<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`ProfileError`] if no images/layers are supplied or a
-    /// layer's regression is degenerate.
+    /// Returns [`ProfileError`] if no images/layers are supplied, a
+    /// requested layer is not analyzable, a NaN/Inf surfaces during a
+    /// pass, or (under [`GuardConfig::strict`]) a layer's regression is
+    /// degenerate.
     pub fn profile(&self, layers: &[NodeId]) -> Result<Profile, ProfileError> {
         if self.images.is_empty() {
             return Err(ProfileError::NoImages);
@@ -240,25 +434,13 @@ impl<'a> Profiler<'a> {
         if layers.is_empty() {
             return Err(ProfileError::NoLayers);
         }
-        // Clean passes, cached once.
-        let clean: Vec<_> = self.images.iter().map(|img| self.net.forward(img)).collect();
-        let inventory = LayerInventory::measure(self.net, self.images.iter().cloned());
+        // Clean passes, cached once — validated up front so a poisoned
+        // image or weight set fails fast, before the sweep begins.
+        let (clean, inventory) = self.sweep_inputs()?;
         let rng = SeededRng::new(self.config.seed);
 
-        let finish = |li: usize, layer: NodeId| -> Result<LayerProfile, ProfileError> {
-            let info = inventory
-                .find(layer)
-                .expect("profiled layer must be a dot-product layer");
-            let profile = self.profile_layer(layer, &clean, info.max_abs, &rng, li)?;
-            Ok(LayerProfile {
-                node: layer,
-                name: info.name.clone(),
-                max_abs: info.max_abs,
-                input_elems: info.input_elems,
-                macs: info.macs,
-                ..profile
-            })
-        };
+        let finish =
+            |li: usize, layer: NodeId| self.profile_one(li, layer, &clean, &inventory, &rng);
 
         let threads = if self.config.threads == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -275,45 +457,94 @@ impl<'a> Profiler<'a> {
             return Ok(Profile::from_layers(out));
         }
 
-        // Layer-parallel profiling: workers pull (index, layer) jobs off
-        // a channel; results are reassembled in layer order. Determinism
-        // holds because each layer's RNG stream depends only on its
-        // index.
-        let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, NodeId)>();
-        for job in layers.iter().copied().enumerate() {
-            job_tx.send(job).expect("queue jobs");
-        }
-        drop(job_tx);
+        // Layer-parallel profiling: workers claim (index, layer) jobs off
+        // a shared atomic cursor; results are reassembled in layer order.
+        // Determinism holds because each layer's RNG stream depends only
+        // on its index.
+        let next_job = std::sync::atomic::AtomicUsize::new(0);
         let results: Vec<Result<(usize, LayerProfile), ProfileError>> =
             std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(threads);
                 for _ in 0..threads {
-                    let job_rx = job_rx.clone();
+                    let next_job = &next_job;
                     let finish = &finish;
                     handles.push(scope.spawn(move || {
                         let mut local = Vec::new();
-                        while let Ok((li, layer)) = job_rx.recv() {
+                        loop {
+                            let li = next_job.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some(&layer) = layers.get(li) else {
+                                break;
+                            };
                             local.push(finish(li, layer).map(|p| (li, p)));
                         }
                         local
                     }));
                 }
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("profiler worker panicked"))
-                    .collect()
+                let mut collected = Vec::new();
+                for h in handles {
+                    match h.join() {
+                        Ok(local) => collected.extend(local),
+                        Err(_) => collected.push(Err(ProfileError::WorkerPanicked)),
+                    }
+                }
+                collected
             });
         let mut slots: Vec<Option<LayerProfile>> = vec![None; layers.len()];
         for r in results {
             let (li, profile) = r?;
             slots[li] = Some(profile);
         }
-        Ok(Profile::from_layers(
-            slots
-                .into_iter()
-                .map(|s| s.expect("every layer profiled"))
-                .collect(),
-        ))
+        let mut out = Vec::with_capacity(layers.len());
+        for s in slots {
+            // A missing slot means a worker died between claiming the job
+            // and reporting it; surface that as the panic it was.
+            out.push(s.ok_or(ProfileError::WorkerPanicked)?);
+        }
+        Ok(Profile::from_layers(out))
+    }
+
+    /// Computes the clean (validated, if configured) activation cache and
+    /// the layer inventory — the shared setup of every profiling entry
+    /// point, including the journaled one.
+    pub(crate) fn sweep_inputs(
+        &self,
+    ) -> Result<(Vec<mupod_nn::Activations>, LayerInventory), ProfileError> {
+        let clean: Vec<_> = if self.config.guard.validate_activations {
+            self.images
+                .iter()
+                .map(|img| self.net.forward_checked(img))
+                .collect::<Result<_, _>>()?
+        } else {
+            self.images.iter().map(|img| self.net.forward(img)).collect()
+        };
+        let inventory = LayerInventory::measure(self.net, self.images.iter().cloned());
+        Ok((clean, inventory))
+    }
+
+    /// Profiles a single layer at its position `li` in the request order
+    /// (the position keys the layer's RNG streams, so a layer profiled in
+    /// isolation — e.g. during a journal resume — is bit-identical to the
+    /// same layer profiled in a full run).
+    pub(crate) fn profile_one(
+        &self,
+        li: usize,
+        layer: NodeId,
+        clean: &[mupod_nn::Activations],
+        inventory: &LayerInventory,
+        rng: &SeededRng,
+    ) -> Result<LayerProfile, ProfileError> {
+        let info = inventory
+            .find(layer)
+            .ok_or(ProfileError::NotAnalyzable(layer))?;
+        let profile = self.profile_layer(layer, clean, info.max_abs, rng, li)?;
+        Ok(LayerProfile {
+            node: layer,
+            name: info.name.clone(),
+            max_abs: info.max_abs,
+            input_elems: info.input_elems,
+            macs: info.macs,
+            ..profile
+        })
     }
 
     fn profile_layer(
@@ -325,6 +556,7 @@ impl<'a> Profiler<'a> {
         layer_index: usize,
     ) -> Result<LayerProfile, ProfileError> {
         let cfg = &self.config;
+        let validate = cfg.guard.validate_activations;
         let scale = if max_abs > 0.0 { max_abs } else { 1.0 };
         let mut sigmas = Vec::with_capacity(cfg.n_deltas);
         let mut deltas = Vec::with_capacity(cfg.n_deltas);
@@ -341,11 +573,26 @@ impl<'a> Profiler<'a> {
                         ^ i as u64;
                     let mut tap =
                         UniformNoiseTap::single(layer, delta, rng.fork(stream));
-                    let noisy = if cfg.full_replay {
-                        let acts = self.net.forward_tapped(img, &mut tap);
-                        self.net.output(&acts).clone()
-                    } else {
-                        self.net.forward_suffix(base, layer, &mut tap)
+                    let noisy = match (cfg.full_replay, validate) {
+                        (true, true) => {
+                            let acts = self.net.forward_tapped_checked(
+                                img,
+                                &mut tap,
+                                ValidateConfig::default(),
+                            )?;
+                            self.net.output(&acts).clone()
+                        }
+                        (true, false) => {
+                            let acts = self.net.forward_tapped(img, &mut tap);
+                            self.net.output(&acts).clone()
+                        }
+                        (false, true) => self.net.forward_suffix_checked(
+                            base,
+                            layer,
+                            &mut tap,
+                            ValidateConfig::default(),
+                        )?,
+                        (false, false) => self.net.forward_suffix(base, layer, &mut tap),
                     };
                     let ref_out = self.net.output(base);
                     for (a, b) in noisy.data().iter().zip(ref_out.data()) {
@@ -357,23 +604,19 @@ impl<'a> Profiler<'a> {
             deltas.push(delta);
         }
         let name = self.net.node(layer).name.clone();
-        // Relative (1/Δ²-weighted) least squares: the sweep spans two
-        // decades of Δ, and the paper's quality metric is *relative*
-        // prediction error (§IV).
-        let weights: Vec<f64> = deltas.iter().map(|d| 1.0 / (d * d)).collect();
-        let fit = LinearFit::fit_weighted(&sigmas, &deltas, &weights)
-            .map_err(|e| ProfileError::DegenerateLayer(name.clone(), e))?;
+        let fit = fit_sweep_guarded(&name, &sigmas, &deltas, &cfg.guard)?;
         Ok(LayerProfile {
             node: layer,
             name,
-            lambda: fit.slope,
-            theta: fit.intercept,
+            lambda: fit.lambda,
+            theta: fit.theta,
             r_squared: fit.r_squared,
-            max_relative_error: fit.max_relative_error(&sigmas, &deltas),
+            max_relative_error: fit.max_relative_error,
             max_abs,
             input_elems: 0,
             macs: 0,
             sweep: sigmas.into_iter().zip(deltas).collect(),
+            fallback: fit.fallback,
         })
     }
 }
@@ -486,6 +729,7 @@ mod tests {
             input_elems: 1,
             macs: 1,
             sweep: vec![],
+            fallback: None,
         };
         // Δ = λ σ √ξ + θ = 2·0.5·√0.25 + 0.1 = 0.6.
         assert!((lp.delta_for(0.5, 0.25) - 0.6).abs() < 1e-12);
@@ -548,5 +792,113 @@ mod tests {
             Profiler::new(&net, &images).profile(&[]).unwrap_err(),
             ProfileError::NoLayers
         );
+    }
+
+    #[test]
+    fn healthy_profiles_carry_no_fallback() {
+        let (net, images) = setup();
+        let layers = ModelKind::AlexNet.analyzable_layers(&net);
+        let profile = Profiler::new(&net, &images[..4])
+            .with_config(ProfileConfig {
+                n_deltas: 6,
+                ..Default::default()
+            })
+            .profile(&layers[..2])
+            .unwrap();
+        assert!(profile.fallback_layers().is_empty());
+        assert!(profile.layers().iter().all(|l| l.fallback.is_none()));
+    }
+
+    #[test]
+    fn guarded_fit_rejects_flat_response() {
+        // A layer whose output never responds to noise: all σ zero.
+        let sigmas = vec![0.0; 6];
+        let deltas: Vec<f64> = (1..=6).map(|i| i as f64 * 0.01).collect();
+        let guard = GuardConfig::default();
+        let fit = fit_sweep_guarded("dead", &sigmas, &deltas, &guard).unwrap();
+        assert!(matches!(fit.fallback, Some(FallbackReason::TooFewPoints(0))));
+        assert_eq!(fit.lambda, 0.0);
+        assert_eq!(fit.theta, 0.0);
+    }
+
+    #[test]
+    fn guarded_fit_rejects_negative_slope() {
+        // σ falls while Δ rises: a nonsense (inverted) response.
+        let sigmas = vec![0.6, 0.5, 0.4, 0.3, 0.2, 0.1];
+        let deltas = vec![0.01, 0.02, 0.03, 0.04, 0.05, 0.06];
+        let fit =
+            fit_sweep_guarded("inv", &sigmas, &deltas, &GuardConfig::default()).unwrap();
+        assert!(matches!(fit.fallback, Some(FallbackReason::NegativeSlope)));
+    }
+
+    #[test]
+    fn guarded_fit_drops_non_finite_points() {
+        // Two poisoned σ among six: fit proceeds on the remaining four.
+        let sigmas = vec![0.1, f64::NAN, 0.3, f64::INFINITY, 0.5, 0.6];
+        let deltas = vec![0.01, 0.02, 0.03, 0.04, 0.05, 0.06];
+        let fit =
+            fit_sweep_guarded("holey", &sigmas, &deltas, &GuardConfig::default()).unwrap();
+        assert!(fit.fallback.is_none(), "four clean points should fit");
+        assert!(fit.lambda > 0.0);
+    }
+
+    #[test]
+    fn strict_guard_turns_fallback_into_error() {
+        let sigmas = vec![0.0; 6];
+        let deltas: Vec<f64> = (1..=6).map(|i| i as f64 * 0.01).collect();
+        let guard = GuardConfig {
+            strict: true,
+            ..Default::default()
+        };
+        match fit_sweep_guarded("dead", &sigmas, &deltas, &guard).unwrap_err() {
+            ProfileError::DegenerateLayer(name, FallbackReason::TooFewPoints(0)) => {
+                assert_eq!(name, "dead");
+            }
+            e => panic!("unexpected error {e:?}"),
+        }
+    }
+
+    #[test]
+    fn fallback_profile_grants_only_the_floor() {
+        let lp = LayerProfile {
+            node: NodeId::from_index_for_tests(1),
+            name: "fb".into(),
+            lambda: 0.0,
+            theta: 0.0,
+            r_squared: 0.0,
+            max_relative_error: 0.0,
+            max_abs: 8.0,
+            input_elems: 1,
+            macs: 1,
+            sweep: vec![],
+            fallback: Some(FallbackReason::NegativeSlope),
+        };
+        let floor = 8.0 * (-20.0f64).exp2();
+        // Whatever budget arrives, the fallback grants only the f32
+        // floor — i.e. this layer gets maximum precision.
+        assert_eq!(lp.delta_for(10.0, 1.0), floor);
+        assert_eq!(lp.delta_for(0.0, 0.0), floor);
+    }
+
+    #[test]
+    fn profiling_rejects_non_finite_image() {
+        let (net, images) = setup();
+        let layers = ModelKind::AlexNet.analyzable_layers(&net);
+        let mut poisoned = images[..2].to_vec();
+        poisoned[1].data_mut()[0] = f32::NAN;
+        let err = Profiler::new(&net, &poisoned)
+            .profile(&layers[..1])
+            .unwrap_err();
+        assert!(matches!(err, ProfileError::NumericalFault(_)), "{err:?}");
+    }
+
+    #[test]
+    fn profiling_rejects_non_analyzable_node() {
+        let (net, images) = setup();
+        // Node 0 is the input placeholder, never a dot-product layer.
+        let err = Profiler::new(&net, &images[..2])
+            .profile(&[NodeId::from_index_for_tests(0)])
+            .unwrap_err();
+        assert!(matches!(err, ProfileError::NotAnalyzable(_)), "{err:?}");
     }
 }

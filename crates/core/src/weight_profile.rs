@@ -23,30 +23,23 @@
 //! sample count of each σ estimate — use ≥ 8 repeats here where the
 //! input profiler is happy with 2.
 
-use crate::profile::{LayerProfile, Profile, ProfileConfig, ProfileError};
+use crate::profile::{
+    fit_sweep_guarded, LayerProfile, Profile, ProfileConfig, ProfileError,
+};
 use mupod_nn::inventory::LayerInventory;
 use mupod_nn::tap::NoTap;
 use mupod_nn::{Network, NodeId, Op};
-use mupod_stats::{LinearFit, RunningStats, SeededRng};
+use mupod_stats::{RunningStats, SeededRng};
 use mupod_tensor::Tensor;
 
-/// Largest absolute weight of a dot-product layer.
-fn weight_max_abs(net: &Network, id: NodeId) -> f64 {
+/// Largest absolute weight and weight count of a dot-product layer, or
+/// `None` for any other node kind.
+fn weight_stats(net: &Network, id: NodeId) -> Option<(f64, u64)> {
     match &net.node(id).op {
         Op::Conv2d { weight, .. } | Op::FullyConnected { weight, .. } => {
-            weight.max_abs() as f64
+            Some((weight.max_abs() as f64, weight.numel() as u64))
         }
-        _ => panic!("node {id} is not a dot-product layer"),
-    }
-}
-
-/// Number of weight elements of a dot-product layer.
-fn weight_count(net: &Network, id: NodeId) -> u64 {
-    match &net.node(id).op {
-        Op::Conv2d { weight, .. } | Op::FullyConnected { weight, .. } => {
-            weight.numel() as u64
-        }
-        _ => panic!("node {id} is not a dot-product layer"),
+        _ => None,
     }
 }
 
@@ -75,13 +68,23 @@ pub fn profile_weights(
     if layers.is_empty() {
         return Err(ProfileError::NoLayers);
     }
-    let clean: Vec<_> = images.iter().map(|img| net.forward(img)).collect();
+    // Validated up front, same policy as the input profiler: poisoned
+    // weights or images must fail fast with a typed error.
+    let clean: Vec<_> = if config.guard.validate_activations {
+        images
+            .iter()
+            .map(|img| net.forward_checked(img))
+            .collect::<Result<_, _>>()?
+    } else {
+        images.iter().map(|img| net.forward(img)).collect()
+    };
     let inventory = LayerInventory::measure(net, images.iter().cloned());
     let rng = SeededRng::new(config.seed ^ 0x77EE);
 
     let mut out = Vec::with_capacity(layers.len());
     for (li, &layer) in layers.iter().enumerate() {
-        let w_max = weight_max_abs(net, layer);
+        let (w_max, w_count) =
+            weight_stats(net, layer).ok_or(ProfileError::NotAnalyzable(layer))?;
         let scale = if w_max > 0.0 { w_max } else { 1.0 };
         let mut sigmas = Vec::with_capacity(config.n_deltas);
         let mut deltas = Vec::with_capacity(config.n_deltas);
@@ -98,7 +101,16 @@ pub fn profile_weights(
                 let mut noise_rng = rng.fork(stream);
                 let noisy = net.with_perturbed_weights(layer, delta, &mut noise_rng);
                 for base in &clean {
-                    let out_t = noisy.forward_suffix(base, layer, &mut NoTap);
+                    let out_t = if config.guard.validate_activations {
+                        noisy.forward_suffix_checked(
+                            base,
+                            layer,
+                            &mut NoTap,
+                            mupod_nn::ValidateConfig::default(),
+                        )?
+                    } else {
+                        noisy.forward_suffix(base, layer, &mut NoTap)
+                    };
                     let ref_out = net.output(base);
                     for (a, b) in out_t.data().iter().zip(ref_out.data()) {
                         stats.push((a - b) as f64);
@@ -109,23 +121,22 @@ pub fn profile_weights(
             deltas.push(delta);
         }
         let name = net.node(layer).name.clone();
-        let weights: Vec<f64> = deltas.iter().map(|d| 1.0 / (d * d)).collect();
-        let fit = LinearFit::fit_weighted(&sigmas, &deltas, &weights)
-            .map_err(|e| ProfileError::DegenerateLayer(name.clone(), e))?;
+        let fit = fit_sweep_guarded(&name, &sigmas, &deltas, &config.guard)?;
         let info = inventory
             .find(layer)
-            .expect("profiled layer must be a dot-product layer");
+            .ok_or(ProfileError::NotAnalyzable(layer))?;
         out.push(LayerProfile {
             node: layer,
             name,
-            lambda: fit.slope,
-            theta: fit.intercept,
+            lambda: fit.lambda,
+            theta: fit.theta,
             r_squared: fit.r_squared,
-            max_relative_error: fit.max_relative_error(&sigmas, &deltas),
+            max_relative_error: fit.max_relative_error,
             max_abs: w_max,
-            input_elems: weight_count(net, layer),
+            input_elems: w_count,
             macs: info.macs,
             sweep: sigmas.into_iter().zip(deltas).collect(),
+            fallback: fit.fallback,
         });
     }
     Ok(Profile::from_layers(out))

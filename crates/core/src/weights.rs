@@ -108,7 +108,7 @@ mod tests {
             2,
             16,
         );
-        assert!(bits <= 16 && bits >= 2);
+        assert!((2..=16).contains(&bits));
         assert!(
             acc >= 0.9 || bits == 16,
             "reported accuracy {acc} at {bits} bits"

@@ -1,0 +1,113 @@
+//! Property tests for journal robustness, in the style of
+//! `crates/data/tests/dataset_props.rs`: for *any* truncation point and
+//! *any* single-bit flip, resuming from a damaged journal must either
+//! fail with a typed journal error or produce a profile bit-identical
+//! to the undamaged run — never a panic, never a silently wrong answer.
+
+use mupod_core::{CoreError, Profile, ProfileConfig, Profiler};
+use mupod_data::{Dataset, DatasetSpec};
+use mupod_models::{calibrate::calibrate_head, ModelKind, ModelScale};
+use mupod_nn::{Network, NodeId};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+struct Fixture {
+    net: Network,
+    data: Dataset,
+    layers: Vec<NodeId>,
+    journal: Vec<u8>,
+    reference: Profile,
+}
+
+fn quick() -> ProfileConfig {
+    ProfileConfig {
+        n_deltas: 4,
+        repeats: 2,
+        ..Default::default()
+    }
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("mupod_journal_props");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// One profiled run shared by every generated case: the pristine journal
+/// bytes plus the profile they encode.
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let scale = ModelScale::tiny();
+        let mut net = ModelKind::AlexNet.build(&scale, 0xA11);
+        let spec = DatasetSpec::new(scale.classes, 3, scale.input_hw, scale.input_hw)
+            .with_class_seed(0xA11);
+        let data = Dataset::generate(&spec, 0xA11 ^ 3, 8);
+        calibrate_head(&mut net, &data, 0.1).unwrap();
+        let layers = ModelKind::AlexNet.analyzable_layers(&net)[..3].to_vec();
+        let path = scratch("pristine.journal");
+        let _ = std::fs::remove_file(&path);
+        let (reference, _) = Profiler::new(&net, &data.images()[..3])
+            .with_config(quick())
+            .profile_journaled(&layers, &path)
+            .unwrap();
+        let journal = std::fs::read(&path).unwrap();
+        Fixture {
+            net,
+            data,
+            layers,
+            journal,
+            reference,
+        }
+    })
+}
+
+/// Re-runs the sweep against `bytes` as the on-disk journal and returns
+/// the outcome, using a per-test scratch file.
+fn resume_from(name: &str, bytes: &[u8]) -> Result<Profile, CoreError> {
+    let fx = fixture();
+    let path = scratch(name);
+    std::fs::write(&path, bytes).unwrap();
+    Profiler::new(&fx.net, &fx.data.images()[..3])
+        .with_config(quick())
+        .profile_journaled(&fx.layers, &path)
+        .map(|(p, _)| p)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A journal cut anywhere — mid-header, mid-record, at a record
+    /// boundary, or to nothing — resumes to the reference profile or
+    /// fails typed. (A clean cut merely drops the unterminated tail.)
+    #[test]
+    fn any_truncation_resumes_or_fails_typed(frac in 0.0f64..1.0) {
+        let fx = fixture();
+        let cut = (frac * fx.journal.len() as f64) as usize;
+        match resume_from("truncated.journal", &fx.journal[..cut]) {
+            Ok(profile) => prop_assert_eq!(&profile, &fx.reference),
+            Err(CoreError::Journal(_)) => {}
+            Err(e) => prop_assert!(false, "non-journal error from truncation: {e}"),
+        }
+    }
+
+    /// Flipping any single bit anywhere in the journal is either caught
+    /// (checksum, header validation, unterminated tail) or harmless —
+    /// it can never smuggle in different profiling results.
+    #[test]
+    fn any_bit_flip_is_caught_or_harmless(frac in 0.0f64..1.0, bit in 0usize..8) {
+        let fx = fixture();
+        let idx = ((frac * fx.journal.len() as f64) as usize).min(fx.journal.len() - 1);
+        let mut bytes = fx.journal.clone();
+        bytes[idx] ^= 1 << bit;
+        // `read_to_string` on the resumed run requires UTF-8; a flip that
+        // produces invalid UTF-8 surfaces as a typed Io error, which the
+        // invariant also accepts.
+        match resume_from("bitflip.journal", &bytes) {
+            Ok(profile) => prop_assert_eq!(&profile, &fx.reference),
+            Err(CoreError::Journal(_)) => {}
+            Err(e) => prop_assert!(false, "non-journal error from bit flip: {e}"),
+        }
+    }
+}

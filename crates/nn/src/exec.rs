@@ -1,4 +1,5 @@
-//! Forward execution: full passes, tapped passes and suffix replay.
+//! Forward execution: full passes, tapped passes and suffix replay —
+//! plus validated variants that sweep every layer boundary for NaN/Inf.
 
 use crate::graph::Network;
 use crate::layer::{NodeId, Op};
@@ -6,7 +7,79 @@ use crate::tap::InputTap;
 use mupod_tensor::conv::conv2d;
 use mupod_tensor::gemm::matvec;
 use mupod_tensor::pool::{avg_pool2d, global_avg_pool, lrn_across_channels, max_pool2d};
-use mupod_tensor::Tensor;
+use mupod_tensor::{Tensor, TensorError};
+
+/// What the validated forward variants check at each layer boundary.
+///
+/// The sweep is a single `is_finite` pass over each produced activation —
+/// memory-bandwidth cost, negligible next to the dot products that made
+/// the tensor — so enabling it inside long profiling sweeps is cheap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValidateConfig {
+    /// Sweep the input image before execution starts.
+    pub check_input: bool,
+    /// Sweep every node's output activation as it is produced.
+    pub check_activations: bool,
+}
+
+impl Default for ValidateConfig {
+    fn default() -> Self {
+        Self {
+            check_input: true,
+            check_activations: true,
+        }
+    }
+}
+
+impl ValidateConfig {
+    /// A config that checks nothing (the validated passes degenerate to
+    /// the plain ones).
+    pub fn off() -> Self {
+        Self {
+            check_input: false,
+            check_activations: false,
+        }
+    }
+}
+
+/// Errors detected by the validated forward variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The input image contains a non-finite element.
+    NonFiniteInput {
+        /// The underlying tensor diagnosis.
+        source: TensorError,
+    },
+    /// A node produced a non-finite activation. The *first* offending
+    /// node in topological order is reported, i.e. the layer where the
+    /// numerical fault entered the network.
+    NonFiniteActivation {
+        /// The producing node.
+        node: NodeId,
+        /// Its layer name.
+        name: String,
+        /// The underlying tensor diagnosis.
+        source: TensorError,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::NonFiniteInput { source } => {
+                write!(f, "input image is numerically invalid: {source}")
+            }
+            ExecError::NonFiniteActivation { node, name, source } => {
+                write!(
+                    f,
+                    "layer `{name}` (node {node}) produced a numerically invalid activation: {source}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
 
 /// Per-node activation tensors produced by a forward pass.
 ///
@@ -225,6 +298,144 @@ impl Network {
             .unwrap_or_else(|| base.get(self.output).clone())
     }
 
+    /// Runs a clean forward pass with numerical validation at every layer
+    /// boundary (default [`ValidateConfig`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::NonFiniteInput`] for a bad image and
+    /// [`ExecError::NonFiniteActivation`] naming the first layer whose
+    /// output contains NaN/Inf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image` does not match [`Network::input_dims`].
+    pub fn forward_checked(&self, image: &Tensor) -> Result<Activations, ExecError> {
+        self.forward_tapped_checked(image, &mut crate::tap::NoTap, ValidateConfig::default())
+    }
+
+    /// Runs a tapped forward pass with numerical validation.
+    ///
+    /// Equivalent to [`Network::forward_tapped`] plus a finiteness sweep
+    /// over the image (if `cfg.check_input`) and over each produced
+    /// activation (if `cfg.check_activations`). The tap may itself inject
+    /// non-finite values — that is exactly what the fault-injection
+    /// harness does — and the sweep attributes the fault to the first
+    /// layer whose *output* carries it.
+    ///
+    /// # Errors
+    ///
+    /// See [`Network::forward_checked`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image` does not match [`Network::input_dims`].
+    pub fn forward_tapped_checked(
+        &self,
+        image: &Tensor,
+        tap: &mut dyn InputTap,
+        cfg: ValidateConfig,
+    ) -> Result<Activations, ExecError> {
+        assert_eq!(
+            image.dims(),
+            self.input_dims(),
+            "image shape does not match network input"
+        );
+        if cfg.check_input {
+            image
+                .validate_finite()
+                .map_err(|source| ExecError::NonFiniteInput { source })?;
+        }
+        let mut tensors: Vec<Tensor> = Vec::with_capacity(self.nodes.len());
+        tensors.push(image.clone());
+        for (i, node) in self.nodes.iter().enumerate().skip(1) {
+            let id = NodeId(i);
+            let out = if node.op.is_dot_product() && tap.wants(id) {
+                let mut data_in = tensors[node.inputs[0].0].clone();
+                tap.apply(id, &mut data_in);
+                eval_op(&node.op, &[&data_in])
+            } else {
+                let inputs: Vec<&Tensor> =
+                    node.inputs.iter().map(|p| &tensors[p.0]).collect();
+                eval_op(&node.op, &inputs)
+            };
+            if cfg.check_activations {
+                out.validate_finite()
+                    .map_err(|source| ExecError::NonFiniteActivation {
+                        node: id,
+                        name: node.name.clone(),
+                        source,
+                    })?;
+            }
+            tensors.push(out);
+        }
+        Ok(Activations { tensors })
+    }
+
+    /// Suffix replay with numerical validation over the recomputed nodes.
+    ///
+    /// Validated counterpart of [`Network::forward_suffix`]: only the
+    /// affected suffix is swept (the clean prefix in `base` was already
+    /// validated when it was produced).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::NonFiniteActivation`] naming the first
+    /// recomputed layer whose output contains NaN/Inf.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Network::forward_suffix`].
+    pub fn forward_suffix_checked(
+        &self,
+        base: &Activations,
+        start: NodeId,
+        tap: &mut dyn InputTap,
+        cfg: ValidateConfig,
+    ) -> Result<Tensor, ExecError> {
+        assert_eq!(
+            base.len(),
+            self.nodes.len(),
+            "activation cache does not match network"
+        );
+        assert!(
+            self.nodes[start.0].op.is_dot_product(),
+            "suffix replay must start at a dot-product layer"
+        );
+        let affected = self.affected_from(start);
+        let mut fresh: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        for i in start.0..self.nodes.len() {
+            if !affected[i] {
+                continue;
+            }
+            let node = &self.nodes[i];
+            let out = if i == start.0 {
+                let mut data_in = base.get(node.inputs[0]).clone();
+                tap.apply(NodeId(i), &mut data_in);
+                eval_op(&node.op, &[&data_in])
+            } else {
+                let inputs: Vec<&Tensor> = node
+                    .inputs
+                    .iter()
+                    .map(|p| fresh[p.0].as_ref().unwrap_or_else(|| base.get(*p)))
+                    .collect();
+                eval_op(&node.op, &inputs)
+            };
+            if cfg.check_activations {
+                out.validate_finite()
+                    .map_err(|source| ExecError::NonFiniteActivation {
+                        node: NodeId(i),
+                        name: node.name.clone(),
+                        source,
+                    })?;
+            }
+            fresh[i] = Some(out);
+        }
+        Ok(fresh[self.output.0]
+            .take()
+            .unwrap_or_else(|| base.get(self.output).clone()))
+    }
+
     /// Classifies an image: the argmax of the logits after a clean pass.
     pub fn classify(&self, image: &Tensor) -> usize {
         let acts = self.forward(image);
@@ -400,6 +611,85 @@ mod tests {
         let mut rng = SeededRng::new(17);
         let net = full_net(&mut rng);
         net.forward(&Tensor::zeros(&[1, 8, 8]));
+    }
+
+    #[test]
+    fn checked_pass_accepts_clean_network() {
+        let mut rng = SeededRng::new(21);
+        let net = full_net(&mut rng);
+        let image = random_tensor(&mut rng, &[2, 8, 8]);
+        let acts = net.forward_checked(&image).unwrap();
+        let plain = net.forward(&image);
+        assert_eq!(
+            net.output(&acts).data(),
+            net.output(&plain).data(),
+            "validation must not change the numbers"
+        );
+    }
+
+    #[test]
+    fn checked_pass_rejects_non_finite_image() {
+        let mut rng = SeededRng::new(23);
+        let net = full_net(&mut rng);
+        let mut image = random_tensor(&mut rng, &[2, 8, 8]);
+        image.data_mut()[7] = f32::NAN;
+        match net.forward_checked(&image).unwrap_err() {
+            ExecError::NonFiniteInput { .. } => {}
+            e => panic!("expected NonFiniteInput, got {e:?}"),
+        }
+    }
+
+    #[test]
+    fn checked_pass_blames_first_faulty_layer() {
+        use crate::tap::{FaultKind, FaultTap};
+        let mut rng = SeededRng::new(25);
+        let net = full_net(&mut rng);
+        let image = random_tensor(&mut rng, &[2, 8, 8]);
+        let layer = net.dot_product_layers()[1];
+        let mut tap = FaultTap::single_element(layer, FaultKind::Nan);
+        match net
+            .forward_tapped_checked(&image, &mut tap, ValidateConfig::default())
+            .unwrap_err()
+        {
+            // The NaN enters via the tapped layer's input, so the tapped
+            // layer itself is the first to emit a non-finite output.
+            ExecError::NonFiniteActivation { node, .. } => assert_eq!(node, layer),
+            e => panic!("expected NonFiniteActivation, got {e:?}"),
+        }
+    }
+
+    #[test]
+    fn checked_suffix_replay_detects_injected_inf() {
+        use crate::tap::{FaultKind, FaultTap};
+        let mut rng = SeededRng::new(27);
+        let net = full_net(&mut rng);
+        let image = random_tensor(&mut rng, &[2, 8, 8]);
+        let base = net.forward(&image);
+        let layer = net.dot_product_layers()[0];
+        let mut tap = FaultTap::new(layer, FaultKind::PosInf, 1);
+        let err = net
+            .forward_suffix_checked(&base, layer, &mut tap, ValidateConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, ExecError::NonFiniteActivation { .. }));
+        let msg = err.to_string();
+        assert!(msg.contains("numerically invalid"), "{msg}");
+    }
+
+    #[test]
+    fn validation_off_passes_faults_through() {
+        use crate::tap::{FaultKind, FaultTap};
+        let mut rng = SeededRng::new(29);
+        let net = full_net(&mut rng);
+        let image = random_tensor(&mut rng, &[2, 8, 8]);
+        let layer = net.dot_product_layers()[0];
+        let mut tap = FaultTap::single_element(layer, FaultKind::Nan);
+        // With checks off the pass completes without complaint even
+        // though a NaN flowed through it — max-based ops (ReLU, pooling)
+        // can even launder it back into finite-but-wrong values. This is
+        // exactly the silent corruption the guardrails exist to prevent.
+        assert!(net
+            .forward_tapped_checked(&image, &mut tap, ValidateConfig::off())
+            .is_ok());
     }
 
     #[test]

@@ -52,6 +52,6 @@ pub mod inventory;
 mod layer;
 pub mod tap;
 
-pub use exec::Activations;
+pub use exec::{Activations, ExecError, ValidateConfig};
 pub use graph::{BuildError, Network, NetworkBuilder};
 pub use layer::{Node, NodeId, Op};

@@ -169,6 +169,81 @@ impl InputTap for StochasticQuantizeTap {
     }
 }
 
+/// The kind of numerical fault a [`FaultTap`] plants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Plant `NaN`.
+    Nan,
+    /// Plant `+∞`.
+    PosInf,
+    /// Plant `−∞`.
+    NegInf,
+    /// Plant an arbitrary value (e.g. a huge-but-finite outlier).
+    Value(f32),
+}
+
+impl FaultKind {
+    fn value(self) -> f32 {
+        match self {
+            FaultKind::Nan => f32::NAN,
+            FaultKind::PosInf => f32::INFINITY,
+            FaultKind::NegInf => f32::NEG_INFINITY,
+            FaultKind::Value(v) => v,
+        }
+    }
+}
+
+/// Plants numerical faults in the data input of one dot-product layer.
+///
+/// This tap exists for the fault-injection test harness: it simulates a
+/// corrupted activation (bit-flip, overflow, poisoned upstream kernel)
+/// arriving at layer `K`, so tests can assert the pipeline surfaces a
+/// typed error instead of silently propagating NaN into the statistics.
+/// It is not part of the paper's method — production passes never use it.
+#[derive(Debug, Clone)]
+pub struct FaultTap {
+    node: NodeId,
+    kind: FaultKind,
+    stride: usize,
+}
+
+impl FaultTap {
+    /// Poison every `stride`-th element (starting at flat index 0) of
+    /// `node`'s data input with `kind`. `stride` is clamped to ≥ 1.
+    pub fn new(node: NodeId, kind: FaultKind, stride: usize) -> Self {
+        Self {
+            node,
+            kind,
+            stride: stride.max(1),
+        }
+    }
+
+    /// Poison a single element (flat index 0).
+    pub fn single_element(node: NodeId, kind: FaultKind) -> Self {
+        Self {
+            node,
+            kind,
+            stride: usize::MAX,
+        }
+    }
+}
+
+impl InputTap for FaultTap {
+    fn wants(&self, node: NodeId) -> bool {
+        node == self.node
+    }
+
+    fn apply(&mut self, node: NodeId, input: &mut Tensor) {
+        if node != self.node {
+            return;
+        }
+        let v = self.kind.value();
+        for x in input.data_mut().iter_mut().step_by(self.stride) {
+            *x = v;
+        }
+    }
+}
+
 /// Adds Gaussian noise `N(0, σ²)` to a logits tensor in place — the
 /// paper's Scheme 2 (`gaussian_approx`), which models the aggregate
 /// output error of all layers as a single normal source at layer `Ł`.
@@ -292,6 +367,38 @@ mod tests {
         let vals: Vec<f64> = t.data().iter().map(|&v| v as f64).collect();
         let sd = population_std(&vals);
         assert!((sd - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn fault_tap_plants_requested_fault() {
+        let node = NodeId(3);
+        let mut tap = FaultTap::single_element(node, FaultKind::Nan);
+        assert!(tap.wants(node));
+        assert!(!tap.wants(NodeId(4)));
+        let mut t = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+        tap.apply(node, &mut t);
+        assert!(t.data()[0].is_nan());
+        assert_eq!(&t.data()[1..], &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn fault_tap_stride_poisons_every_nth() {
+        let node = NodeId(1);
+        let mut tap = FaultTap::new(node, FaultKind::PosInf, 2);
+        let mut t = Tensor::from_vec(&[4], vec![1.0, 1.0, 1.0, 1.0]);
+        tap.apply(node, &mut t);
+        assert_eq!(t.data()[0], f32::INFINITY);
+        assert_eq!(t.data()[1], 1.0);
+        assert_eq!(t.data()[2], f32::INFINITY);
+        assert_eq!(t.data()[3], 1.0);
+    }
+
+    #[test]
+    fn fault_tap_ignores_other_nodes() {
+        let mut tap = FaultTap::new(NodeId(1), FaultKind::NegInf, 1);
+        let mut t = Tensor::from_vec(&[2], vec![1.0, 2.0]);
+        tap.apply(NodeId(2), &mut t);
+        assert_eq!(t.data(), &[1.0, 2.0]);
     }
 
     #[test]

@@ -38,6 +38,9 @@ pub enum FitError {
     NotEnoughData,
     /// All x values identical — slope is undefined.
     DegenerateX,
+    /// A NaN/Inf crept into the points or weights; a fit over such data
+    /// would silently return NaN coefficients.
+    NonFiniteInput,
 }
 
 impl std::fmt::Display for FitError {
@@ -45,6 +48,9 @@ impl std::fmt::Display for FitError {
         match self {
             FitError::NotEnoughData => write!(f, "need at least two (x, y) points"),
             FitError::DegenerateX => write!(f, "all x values identical, slope undefined"),
+            FitError::NonFiniteInput => {
+                write!(f, "non-finite value among regression points or weights")
+            }
         }
     }
 }
@@ -81,8 +87,11 @@ impl LinearFit {
         if xs.len() != ys.len() || xs.len() != weights.len() || xs.len() < 2 {
             return Err(FitError::NotEnoughData);
         }
+        if xs.iter().chain(ys).chain(weights).any(|v| !v.is_finite()) {
+            return Err(FitError::NonFiniteInput);
+        }
         let sw: f64 = weights.iter().sum();
-        if sw <= 0.0 || weights.iter().any(|&w| w < 0.0 || !w.is_finite()) {
+        if sw <= 0.0 || weights.iter().any(|&w| w < 0.0) {
             return Err(FitError::NotEnoughData);
         }
         let mean_x = xs.iter().zip(weights).map(|(&x, &w)| w * x).sum::<f64>() / sw;
@@ -203,6 +212,36 @@ mod tests {
         );
         assert_eq!(
             LinearFit::fit(&[3.0, 3.0, 3.0], &[1.0, 2.0, 3.0]).unwrap_err(),
+            FitError::DegenerateX
+        );
+    }
+
+    #[test]
+    fn rejects_non_finite_points() {
+        assert_eq!(
+            LinearFit::fit(&[1.0, f64::NAN, 3.0], &[1.0, 2.0, 3.0]).unwrap_err(),
+            FitError::NonFiniteInput
+        );
+        assert_eq!(
+            LinearFit::fit(&[1.0, 2.0, 3.0], &[1.0, f64::INFINITY, 3.0]).unwrap_err(),
+            FitError::NonFiniteInput
+        );
+        assert_eq!(
+            LinearFit::fit_weighted(&[1.0, 2.0], &[1.0, 2.0], &[1.0, f64::NAN]).unwrap_err(),
+            FitError::NonFiniteInput
+        );
+    }
+
+    #[test]
+    fn single_point_and_zero_variance_stay_typed() {
+        // The profiler's degenerate-layer fallback keys off these exact
+        // variants; they must not be conflated with NaN poisoning.
+        assert_eq!(
+            LinearFit::fit(&[1.0], &[1.0]).unwrap_err(),
+            FitError::NotEnoughData
+        );
+        assert_eq!(
+            LinearFit::fit(&[2.0, 2.0], &[1.0, 3.0]).unwrap_err(),
             FitError::DegenerateX
         );
     }

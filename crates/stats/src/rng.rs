@@ -4,16 +4,16 @@
 //! weight initialization, uniform noise injection `U[-Δ, Δ]`, Gaussian
 //! output noise `N(0, σ²)` (Scheme 2 of §V-C) — flows through
 //! [`SeededRng`] so that experiments are bit-reproducible from a single
-//! `u64` seed. The Gaussian sampler is a self-contained Box–Muller
-//! implementation, which keeps the workspace off `rand_distr`.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//! `u64` seed. The generator is a self-contained xoshiro256++ (seeded
+//! through SplitMix64) and the Gaussian sampler a self-contained
+//! Box–Muller implementation, which keeps the workspace dependency-free:
+//! the build container has no registry access, so `rand` cannot be
+//! fetched.
 
 /// Deterministic random source used across the workspace.
 ///
-/// Wraps [`rand::rngs::StdRng`] and adds the samplers the paper's method
-/// needs. Child generators can be split off deterministically with
+/// A self-contained xoshiro256++ generator plus the samplers the paper's
+/// method needs. Child generators can be split off deterministically with
 /// [`SeededRng::fork`], which lets per-layer or per-image work draw from
 /// independent streams regardless of evaluation order.
 ///
@@ -29,16 +29,35 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SeededRng {
-    inner: StdRng,
+    /// xoshiro256++ state words.
+    state: [u64; 4],
+    /// The creation seed, kept so [`SeededRng::fork`] derives children
+    /// from the seed rather than the evolving stream position.
+    seed: u64,
     /// Cached second Box–Muller variate.
     gauss_spare: Option<f64>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SeededRng {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
         Self {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+            seed,
             gauss_spare: None,
         }
     }
@@ -54,17 +73,23 @@ impl SeededRng {
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
-        Self::new(self.base_seed() ^ z)
+        Self::new(self.seed ^ z)
     }
 
-    /// A stable 64-bit fingerprint of the creation seed used by `fork`.
-    ///
-    /// `StdRng` does not expose its seed, so forks are derived from a hash
-    /// of a cloned generator's first output, which is a pure function of
-    /// the seed.
-    fn base_seed(&self) -> u64 {
-        let mut probe = self.inner.clone();
-        probe.next_u64()
+    /// Next raw 64-bit output (xoshiro256++).
+    fn next_u64(&mut self) -> u64 {
+        let out = self.state[0]
+            .wrapping_add(self.state[3])
+            .rotate_left(23)
+            .wrapping_add(self.state[0]);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        out
     }
 
     /// Samples uniformly from `[low, high)`.
@@ -77,7 +102,15 @@ impl SeededRng {
             low.is_finite() && high.is_finite() && low < high,
             "invalid uniform bounds [{low}, {high})"
         );
-        self.inner.gen_range(low..high)
+        // `low + u·(high-low)` can round up to exactly `high` for u close
+        // to 1; redraw in that (astronomically rare) case to keep the
+        // half-open contract.
+        loop {
+            let v = low + self.unit() * (high - low);
+            if v < high {
+                return v;
+            }
+        }
     }
 
     /// Samples from the symmetric uniform distribution `U[-delta, delta]`.
@@ -98,7 +131,7 @@ impl SeededRng {
         if delta == 0.0 {
             0.0
         } else {
-            self.inner.gen_range(-delta..delta)
+            self.uniform(-delta, delta)
         }
     }
 
@@ -121,8 +154,8 @@ impl SeededRng {
             return z;
         }
         // Box–Muller: u1 in (0, 1] avoids ln(0).
-        let u1: f64 = 1.0 - self.inner.gen::<f64>();
-        let u2: f64 = self.inner.gen::<f64>();
+        let u1: f64 = 1.0 - self.unit();
+        let u2: f64 = self.unit();
         let r = (-2.0 * u1.ln()).sqrt();
         let (s, c) = (2.0 * std::f64::consts::PI * u2).sin_cos();
         self.gauss_spare = Some(r * s);
@@ -136,18 +169,26 @@ impl SeededRng {
     /// Panics if `bound == 0`.
     pub fn index(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "index bound must be positive");
-        self.inner.gen_range(0..bound)
+        // Lemire's multiply-and-reject method: unbiased for any bound.
+        let bound = bound as u64;
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let m = (self.next_u64() as u128) * (bound as u128);
+            if m as u64 >= threshold {
+                return (m >> 64) as usize;
+            }
+        }
     }
 
     /// Returns a uniformly random `f64` in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Fisher–Yates shuffles a slice in place.
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.index(i + 1);
             slice.swap(i, j);
         }
     }

@@ -30,5 +30,7 @@ pub mod conv;
 pub mod gemm;
 pub mod pool;
 mod tensor;
+mod validate;
 
 pub use tensor::Tensor;
+pub use validate::TensorError;

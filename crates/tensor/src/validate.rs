@@ -1,0 +1,100 @@
+//! Numerical guardrails: cheap finiteness sweeps over tensors.
+//!
+//! Error-injection profiling runs millions of dot products; one NaN
+//! produced by an overflow or a poisoned weight silently corrupts every
+//! statistic computed downstream of it (NaN compares false, so even the
+//! `max`-based range inventory passes it through). These helpers make the
+//! failure loud and typed at the layer boundary where it first appears.
+
+use crate::Tensor;
+
+/// Numerical-validity errors detected on tensor data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// A non-finite (NaN or ±Inf) element; payload is the flat index and
+    /// offending value.
+    NonFinite {
+        /// Flat (row-major) index of the first offending element.
+        index: usize,
+        /// The offending value (NaN or ±Inf).
+        value: f32,
+    },
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::NonFinite { index, value } => {
+                write!(f, "non-finite value {value} at flat index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+impl Tensor {
+    /// The first non-finite element, if any, as `(flat_index, value)`.
+    ///
+    /// A single branch-friendly pass; ~memory-bandwidth cost, which is why
+    /// the profiler can afford it at every layer boundary.
+    pub fn first_non_finite(&self) -> Option<(usize, f32)> {
+        self.data()
+            .iter()
+            .position(|v| !v.is_finite())
+            .map(|i| (i, self.data()[i]))
+    }
+
+    /// Checks every element is finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::NonFinite`] with the first offending
+    /// element's index and value.
+    pub fn validate_finite(&self) -> Result<(), TensorError> {
+        match self.first_non_finite() {
+            None => Ok(()),
+            Some((index, value)) => Err(TensorError::NonFinite { index, value }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_tensor_validates() {
+        let t = Tensor::from_vec(&[4], vec![0.0, -1.5, f32::MAX, f32::MIN_POSITIVE]);
+        assert!(t.validate_finite().is_ok());
+        assert_eq!(t.first_non_finite(), None);
+    }
+
+    #[test]
+    fn nan_is_detected_with_position() {
+        let t = Tensor::from_vec(&[4], vec![1.0, f32::NAN, 2.0, f32::NAN]);
+        let (i, v) = t.first_non_finite().unwrap();
+        assert_eq!(i, 1);
+        assert!(v.is_nan());
+        match t.validate_finite().unwrap_err() {
+            TensorError::NonFinite { index: 1, value } => assert!(value.is_nan()),
+            e => panic!("unexpected error {e:?}"),
+        }
+    }
+
+    #[test]
+    fn infinities_are_detected() {
+        for bad in [f32::INFINITY, f32::NEG_INFINITY] {
+            let t = Tensor::from_vec(&[3], vec![0.0, 0.0, bad]);
+            assert_eq!(t.first_non_finite(), Some((2, bad)));
+        }
+    }
+
+    #[test]
+    fn error_message_names_index_and_value() {
+        let t = Tensor::from_vec(&[2], vec![f32::INFINITY, 0.0]);
+        let msg = t.validate_finite().unwrap_err().to_string();
+        assert!(msg.contains("inf"), "{msg}");
+        assert!(msg.contains("index 0"), "{msg}");
+    }
+}

@@ -363,7 +363,7 @@ mod tests {
         let pgs = backward_pass(&net, &acts, lg.grad).unwrap();
         // Every dot-product layer received a parameter gradient.
         assert_eq!(pgs.len(), net.dot_product_layers().len());
-        for (_, pg) in &pgs {
+        for pg in pgs.values() {
             assert!(pg.weight.data().iter().any(|&v| v != 0.0));
         }
     }

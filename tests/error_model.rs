@@ -26,19 +26,27 @@ fn injected_output_sigma(
     deltas: &HashMap<NodeId, f64>,
     seed: u64,
 ) -> f64 {
+    // Several independent noise draws per image: per-image logit errors
+    // are correlated (one injected noise field propagates to all logits),
+    // so extra repeats — not just extra logits — are what actually shrink
+    // the σ estimator's variance.
+    const REPEATS: u64 = 6;
     let root = SeededRng::new(seed);
     let mut stats = RunningStats::new();
     for (i, img) in data.images().iter().enumerate() {
         let base = net.forward(img);
-        let mut tap = UniformNoiseTap::new(deltas.clone(), root.fork(i as u64));
-        let noisy = net.forward_tapped(img, &mut tap);
-        for (a, b) in net
-            .output(&noisy)
-            .data()
-            .iter()
-            .zip(net.output(&base).data())
-        {
-            stats.push((a - b) as f64);
+        for rep in 0..REPEATS {
+            let mut tap =
+                UniformNoiseTap::new(deltas.clone(), root.fork(i as u64 * REPEATS + rep));
+            let noisy = net.forward_tapped(img, &mut tap);
+            for (a, b) in net
+                .output(&noisy)
+                .data()
+                .iter()
+                .zip(net.output(&base).data())
+            {
+                stats.push((a - b) as f64);
+            }
         }
     }
     stats.population_std()
