@@ -12,6 +12,12 @@
 //! `profile` is the expensive stage; its CSV can be fed to any number of
 //! later `optimize` invocations with different constraints — the
 //! workflow §VI-A of the paper describes.
+//!
+//! Every subcommand also accepts the observability flags: `--log-level`
+//! controls structured stderr events, `--metrics-out` writes the final
+//! counter/histogram/span snapshot as JSON, and `--trace-out` writes a
+//! Chrome `trace_event` timeline loadable in `chrome://tracing` (see
+//! DESIGN.md §8).
 
 use mupod_core::{
     Objective, PrecisionOptimizer, Profile, ProfileConfig, SearchScheme,
@@ -46,6 +52,12 @@ pub struct CommonArgs {
     pub seed: u64,
     /// Dataset size for calibration + evaluation.
     pub images: usize,
+    /// Verbosity of structured stderr events.
+    pub log_level: mupod_obs::Level,
+    /// Optional path for the final metrics snapshot (JSON).
+    pub metrics_out: Option<String>,
+    /// Optional path for the Chrome `trace_event` timeline (JSON).
+    pub trace_out: Option<String>,
 }
 
 /// `profile` options.
@@ -109,6 +121,14 @@ USAGE:
                  [common flags]
   mupod help
 
+COMMON FLAGS (observability):
+  --log-level off|error|warn|info|debug|trace   stderr event verbosity
+                                                (default warn; info adds
+                                                per-layer progress lines)
+  --metrics-out <file.json>   write final counters/histograms/span timings
+  --trace-out <file.json>     write a Chrome trace_event timeline
+                              (open in chrome://tracing or Perfetto)
+
 MODELS: alexnet nin googlenet vgg19 resnet50 resnet152 squeezenet mobilenet
 ";
 
@@ -168,6 +188,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut profile = None;
     let mut scheme = SearchScheme::EqualScheme;
     let mut save = None;
+    let mut log_level = mupod_obs::Level::Warn;
+    let mut metrics_out = None;
+    let mut trace_out = None;
 
     let mut i = 1;
     while i < args.len() {
@@ -223,6 +246,16 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 profile = Some(take_value(args, &mut i, "--profile")?.to_string())
             }
             "--save" => save = Some(take_value(args, &mut i, "--save")?.to_string()),
+            "--log-level" => {
+                log_level = mupod_obs::Level::parse(take_value(args, &mut i, "--log-level")?)
+                    .map_err(CliError::Usage)?
+            }
+            "--metrics-out" => {
+                metrics_out = Some(take_value(args, &mut i, "--metrics-out")?.to_string())
+            }
+            "--trace-out" => {
+                trace_out = Some(take_value(args, &mut i, "--trace-out")?.to_string())
+            }
             "--scheme" => {
                 scheme = match take_value(args, &mut i, "--scheme")? {
                     "equal" | "scheme1" => SearchScheme::EqualScheme,
@@ -242,6 +275,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         scale,
         seed,
         images,
+        log_level,
+        metrics_out,
+        trace_out,
     };
     match sub.as_str() {
         "inspect" => Ok(Command::Inspect(common)),
@@ -268,7 +304,52 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     }
 }
 
+/// Emits one structured warn event per fallback layer — the single
+/// place the fallback warning is formatted, shared by `profile` and
+/// `optimize`. The events reach stderr when `--log-level` is `warn` or
+/// higher and land in the `--trace-out` timeline either way.
+fn warn_fallback_layers(profile: &Profile) {
+    for (name, reason) in profile.fallback_layers() {
+        mupod_obs::event(
+            mupod_obs::Level::Warn,
+            "profile.fallback",
+            &[("layer", name), ("reason", &reason.to_string())],
+        );
+    }
+}
+
+/// Forwards per-layer profiling progress as info-level events; the
+/// recorder prints them to stderr when `--log-level` is `info`+.
+fn progress_event(done: usize, total: usize, layer: &str) {
+    mupod_obs::event(
+        mupod_obs::Level::Info,
+        "profile.progress",
+        &[
+            ("done", &done.to_string()),
+            ("total", &total.to_string()),
+            ("layer", layer),
+        ],
+    );
+}
+
+/// Writes `--metrics-out` / `--trace-out` files from the run's recorder.
+fn write_observability(common: &CommonArgs, recorder: &mupod_obs::Recorder) -> Result<(), CliError> {
+    if let Some(path) = &common.metrics_out {
+        std::fs::write(path, recorder.snapshot().to_json())
+            .map_err(|e| CliError::Run(format!("cannot write {path}: {e}")))?;
+    }
+    if let Some(path) = &common.trace_out {
+        let file = std::fs::File::create(path)
+            .map_err(|e| CliError::Run(format!("cannot create {path}: {e}")))?;
+        recorder
+            .write_chrome_trace(std::io::BufWriter::new(file))
+            .map_err(|e| CliError::Run(format!("cannot write {path}: {e}")))?;
+    }
+    Ok(())
+}
+
 fn prepare(common: &CommonArgs) -> Result<(Network, Dataset), CliError> {
+    let _span = mupod_obs::span("cli.prepare");
     let mut net = common.model.build(&common.scale, common.seed);
     let spec = DatasetSpec::new(
         common.scale.classes,
@@ -291,10 +372,32 @@ fn prepare(common: &CommonArgs) -> Result<(Network, Dataset), CliError> {
 /// Returns [`CliError::Run`] when a pipeline stage fails (with the
 /// underlying message).
 pub fn run(cmd: &Command) -> Result<String, CliError> {
+    let common = match cmd {
+        Command::Help => return Ok(USAGE.to_string()),
+        Command::Inspect(c) | Command::Profile(c, _) | Command::Optimize(c, _) => c,
+    };
+    // One recorder per invocation. Installing serializes concurrent
+    // `run` calls in one process (the facade is process-global); the
+    // guard is dropped before the exporters read the snapshot so every
+    // span has closed.
+    let recorder = mupod_obs::Recorder::new(common.log_level);
+    let guard = recorder.install();
+    let result = run_inner(cmd);
+    drop(guard);
+    // Export even when the pipeline failed — a trace of a failed run is
+    // exactly what one wants to look at — but report the run error first.
+    let exported = write_observability(common, &recorder);
+    let text = result?;
+    exported?;
+    Ok(text)
+}
+
+fn run_inner(cmd: &Command) -> Result<String, CliError> {
     let mut out = String::new();
     match cmd {
         Command::Help => out.push_str(USAGE),
         Command::Inspect(common) => {
+            let _span = mupod_obs::span("cli.inspect");
             let (net, eval) = prepare(common)?;
             let layers = common.model.analyzable_layers(&net);
             let inventory = LayerInventory::measure(&net, eval.images().iter().cloned());
@@ -323,13 +426,16 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             }
         }
         Command::Profile(common, pargs) => {
+            let _span = mupod_obs::span("cli.profile");
             let (net, eval) = prepare(common)?;
             let layers = common.model.analyzable_layers(&net);
             let images = &eval.images()[..eval.len().min(24)];
-            let profiler = mupod_core::Profiler::new(&net, images).with_config(ProfileConfig {
-                n_deltas: pargs.n_deltas,
-                ..Default::default()
-            });
+            let profiler = mupod_core::Profiler::new(&net, images)
+                .with_config(ProfileConfig {
+                    n_deltas: pargs.n_deltas,
+                    ..Default::default()
+                })
+                .with_progress(progress_event);
             let profile = if let Some(journal) = &pargs.journal {
                 let (profile, summary) = profiler
                     .profile_journaled(&layers, std::path::Path::new(journal))
@@ -366,14 +472,10 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 profile.max_relative_error() * 100.0,
                 pargs.out
             );
-            for (name, reason) in profile.fallback_layers() {
-                let _ = writeln!(
-                    out,
-                    "warning: layer `{name}` uses the conservative fallback ({reason})"
-                );
-            }
+            warn_fallback_layers(&profile);
         }
         Command::Optimize(common, oargs) => {
+            let _span = mupod_obs::span("cli.optimize");
             let (net, eval) = prepare(common)?;
             let layers = common.model.analyzable_layers(&net);
             let mut optimizer = PrecisionOptimizer::new(&net, &eval)
@@ -414,12 +516,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                     bits
                 );
             }
-            for (name, reason) in result.profile.fallback_layers() {
-                let _ = writeln!(
-                    out,
-                    "warning: layer `{name}` uses the conservative fallback ({reason})"
-                );
-            }
+            warn_fallback_layers(&result.profile);
             if let Some(path) = &oargs.save {
                 let file = std::fs::File::create(path)
                     .map_err(|e| CliError::Run(format!("cannot create {path}: {e}")))?;
@@ -486,6 +583,33 @@ mod tests {
             }
             _ => panic!("wrong command"),
         }
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        let cmd = parse(&argv(
+            "inspect --model alexnet --log-level debug --metrics-out m.json --trace-out t.json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Inspect(c) => {
+                assert_eq!(c.log_level, mupod_obs::Level::Debug);
+                assert_eq!(c.metrics_out.as_deref(), Some("m.json"));
+                assert_eq!(c.trace_out.as_deref(), Some("t.json"));
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse(&argv("inspect --model alexnet")).unwrap() {
+            Command::Inspect(c) => {
+                assert_eq!(c.log_level, mupod_obs::Level::Warn);
+                assert!(c.metrics_out.is_none() && c.trace_out.is_none());
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(matches!(
+            parse(&argv("inspect --model alexnet --log-level loud")),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
@@ -592,6 +716,63 @@ mod tests {
         let second = run(&parse(&argv(&line)).unwrap()).unwrap();
         assert!(second.contains("resumed 4 of 5 layers"), "{second}");
         assert_eq!(std::fs::read_to_string(&csv).unwrap(), first_csv);
+    }
+
+    /// Asserts through the exported files only: `run` installs its own
+    /// recorder, so the test must not install one of its own around it.
+    #[test]
+    fn metrics_and_trace_exports_are_deterministic() {
+        let dir = std::env::temp_dir().join("mupod_cli_obs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run_once = |tag: &str| {
+            let csv = dir.join(format!("p{tag}.csv"));
+            let metrics = dir.join(format!("m{tag}.json"));
+            let trace = dir.join(format!("t{tag}.json"));
+            let line = format!(
+                "profile --model alexnet --scale tiny --images 24 --deltas 6 --out {} --metrics-out {} --trace-out {}",
+                csv.display(),
+                metrics.display(),
+                trace.display()
+            );
+            run(&parse(&argv(&line)).unwrap()).unwrap();
+            (
+                std::fs::read_to_string(metrics).unwrap(),
+                std::fs::read_to_string(trace).unwrap(),
+            )
+        };
+        let (metrics_a, trace_a) = run_once("a");
+        let (metrics_b, _) = run_once("b");
+
+        let counters = |text: &str| {
+            let value = mupod_obs::json::parse(text).expect("metrics parse");
+            value.as_object().unwrap()["counters"].clone()
+        };
+        let counters_a = counters(&metrics_a);
+        assert_eq!(
+            counters_a,
+            counters(&metrics_b),
+            "counters must be bit-identical across identically-seeded runs"
+        );
+        let map = counters_a.as_object().unwrap();
+        for key in [
+            "nn.forward_passes",
+            "profile.deltas_injected",
+            "profile.layers_profiled",
+        ] {
+            assert!(map[key].as_f64().unwrap() > 0.0, "{key} missing");
+        }
+
+        let trace = mupod_obs::json::parse(&trace_a).expect("trace parse");
+        let events = trace.as_object().unwrap()["traceEvents"].as_array().unwrap();
+        let phase_count = |ph: &str| {
+            events
+                .iter()
+                .filter(|e| e.as_object().unwrap()["ph"].as_str() == Some(ph))
+                .count()
+        };
+        assert!(!events.is_empty());
+        assert_eq!(phase_count("B"), phase_count("E"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

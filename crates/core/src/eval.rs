@@ -102,6 +102,7 @@ impl<'a> AccuracyEvaluator<'a> {
         &self,
         mut predict: F,
     ) -> f64 {
+        mupod_obs::counter_add("eval.images", self.dataset.len() as u64);
         let correct = self
             .dataset
             .images()

@@ -60,7 +60,7 @@ pub use eval::{AccuracyEvaluator, AccuracyMode};
 pub use optimizer::{OptimizeError, OptimizeResult, PrecisionOptimizer};
 pub use profile::{
     FallbackReason, GuardConfig, LayerProfile, Profile, ProfileConfig, ProfileError,
-    Profiler,
+    Profiler, ProgressFn,
 };
 pub use profile_io::{JournalError, JournalSummary, ProfileIoError};
 pub use search::{SearchOutcome, SearchScheme, SigmaSearch};

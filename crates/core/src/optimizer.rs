@@ -242,16 +242,20 @@ impl<'a> PrecisionOptimizer<'a> {
         if layers.is_empty() {
             return Err(OptimizeError::NoLayers);
         }
+        let _run_span = mupod_obs::span("optimize.run");
 
         // 1. Profile (or reuse).
-        let mut profile = match &self.reuse_profile {
-            Some(p) => p.clone(),
-            None => {
-                let n = self.profile_images.min(self.dataset.len()).max(1);
-                let images = &self.dataset.images()[..n];
-                Profiler::new(self.net, images)
-                    .with_config(self.profile_config)
-                    .profile(&layers)?
+        let mut profile = {
+            let _span = mupod_obs::span("optimize.profile");
+            match &self.reuse_profile {
+                Some(p) => p.clone(),
+                None => {
+                    let n = self.profile_images.min(self.dataset.len()).max(1);
+                    let images = &self.dataset.images()[..n];
+                    Profiler::new(self.net, images)
+                        .with_config(self.profile_config)
+                        .profile(&layers)?
+                }
             }
         };
         // Re-measure the dynamic ranges over the FULL dataset (cheap —
@@ -267,6 +271,7 @@ impl<'a> PrecisionOptimizer<'a> {
         );
 
         // 2. Binary search for σ_{Y_Ł}.
+        let _search_span = mupod_obs::span("optimize.search");
         let evaluator = AccuracyEvaluator::new(self.net, self.dataset, self.mode);
         let fp_accuracy = evaluator.fp_accuracy();
         let target = fp_accuracy * (1.0 - self.relative_loss);
@@ -275,6 +280,7 @@ impl<'a> PrecisionOptimizer<'a> {
             ..Default::default()
         };
         let sigma = search.search(&profile, &evaluator, target);
+        drop(_search_span);
 
         // 3 + 4. Allocate for the objective, validate under true
         // rounding, and refine: real rounding error on deep, narrow
@@ -289,8 +295,10 @@ impl<'a> PrecisionOptimizer<'a> {
         let mut sigma_for_alloc = sigma.sigma.max(1e-6);
         let mut last: Option<(AllocationOutcome, f64)> = None;
         for attempt in 0..4 {
-            let outcome =
-                allocate(&profile, sigma_for_alloc, &objective, &self.allocate_config);
+            let outcome = {
+                let _span = mupod_obs::span("optimize.allocate");
+                allocate(&profile, sigma_for_alloc, &objective, &self.allocate_config)
+            };
             if !self.validate {
                 return Ok(OptimizeResult {
                     allocation: outcome.allocation,
@@ -303,7 +311,10 @@ impl<'a> PrecisionOptimizer<'a> {
                     layers,
                 });
             }
-            let acc = evaluator.accuracy_of_allocation(&layers, &outcome.allocation);
+            let acc = {
+                let _span = mupod_obs::span("optimize.validate");
+                evaluator.accuracy_of_allocation(&layers, &outcome.allocation)
+            };
             if acc + 1e-9 >= target - slack {
                 return Ok(OptimizeResult {
                     allocation: outcome.allocation,

@@ -392,7 +392,14 @@ pub struct Profiler<'a> {
     pub(crate) net: &'a Network,
     pub(crate) images: &'a [Tensor],
     pub(crate) config: ProfileConfig,
+    pub(crate) progress: Option<ProgressFn<'a>>,
 }
+
+/// Progress callback: `(layers_done, layers_total, last_layer_name)`.
+///
+/// Called after each layer completes, from whichever thread finished it —
+/// hence `Send + Sync`. Journal resumes count restored layers as done.
+pub type ProgressFn<'a> = Box<dyn Fn(usize, usize, &str) + Send + Sync + 'a>;
 
 impl std::fmt::Debug for Profiler<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -410,6 +417,7 @@ impl<'a> Profiler<'a> {
             net,
             images,
             config: ProfileConfig::default(),
+            progress: None,
         }
     }
 
@@ -417,6 +425,22 @@ impl<'a> Profiler<'a> {
     pub fn with_config(mut self, config: ProfileConfig) -> Self {
         self.config = config;
         self
+    }
+
+    /// Installs a progress callback (see [`ProgressFn`]).
+    pub fn with_progress<F>(mut self, f: F) -> Self
+    where
+        F: Fn(usize, usize, &str) + Send + Sync + 'a,
+    {
+        self.progress = Some(Box::new(f));
+        self
+    }
+
+    /// Reports `done` of `total` layers finished, `name` most recently.
+    pub(crate) fn report_progress(&self, done: usize, total: usize, name: &str) {
+        if let Some(cb) = &self.progress {
+            cb(done, total, name);
+        }
     }
 
     /// Profiles the given layers.
@@ -434,13 +458,22 @@ impl<'a> Profiler<'a> {
         if layers.is_empty() {
             return Err(ProfileError::NoLayers);
         }
+        let _sweep_span = mupod_obs::span("profile.sweep");
         // Clean passes, cached once — validated up front so a poisoned
         // image or weight set fails fast, before the sweep begins.
         let (clean, inventory) = self.sweep_inputs()?;
         let rng = SeededRng::new(self.config.seed);
 
-        let finish =
-            |li: usize, layer: NodeId| self.profile_one(li, layer, &clean, &inventory, &rng);
+        let done = std::sync::atomic::AtomicUsize::new(0);
+        let total = layers.len();
+        let finish = |li: usize, layer: NodeId| {
+            let r = self.profile_one(li, layer, &clean, &inventory, &rng);
+            if let Ok(p) = &r {
+                let d = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                self.report_progress(d, total, &p.name);
+            }
+            r
+        };
 
         let threads = if self.config.threads == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -509,6 +542,7 @@ impl<'a> Profiler<'a> {
     pub(crate) fn sweep_inputs(
         &self,
     ) -> Result<(Vec<mupod_nn::Activations>, LayerInventory), ProfileError> {
+        let _span = mupod_obs::span("profile.clean_pass");
         let clean: Vec<_> = if self.config.guard.validate_activations {
             self.images
                 .iter()
@@ -536,7 +570,14 @@ impl<'a> Profiler<'a> {
         let info = inventory
             .find(layer)
             .ok_or(ProfileError::NotAnalyzable(layer))?;
+        let _span = mupod_obs::span_fields("profile.layer", &[("layer", &info.name)]);
         let profile = self.profile_layer(layer, clean, info.max_abs, rng, li)?;
+        mupod_obs::counter_add("profile.layers_profiled", 1);
+        mupod_obs::counter_add("profile.deltas_injected", self.config.n_deltas as u64);
+        mupod_obs::histogram_record("profile.r_squared", profile.r_squared);
+        if profile.fallback.is_some() {
+            mupod_obs::counter_add("profile.fallbacks", 1);
+        }
         Ok(LayerProfile {
             node: layer,
             name: info.name.clone(),
@@ -604,7 +645,10 @@ impl<'a> Profiler<'a> {
             deltas.push(delta);
         }
         let name = self.net.node(layer).name.clone();
-        let fit = fit_sweep_guarded(&name, &sigmas, &deltas, &cfg.guard)?;
+        let fit = {
+            let _span = mupod_obs::span("profile.fit");
+            fit_sweep_guarded(&name, &sigmas, &deltas, &cfg.guard)?
+        };
         Ok(LayerProfile {
             node: layer,
             name,

@@ -519,15 +519,23 @@ impl<'a> Profiler<'a> {
         if layers.is_empty() {
             return Err(ProfileError::NoLayers.into());
         }
+        let _sweep_span = mupod_obs::span("profile.sweep");
         let fp = journal_fingerprint(&self.config, layers, self.images.len());
 
         let (mut done, dropped_partial) = if path.exists() {
+            let _span = mupod_obs::span("journal.load");
             let text = std::fs::read_to_string(path).map_err(JournalError::Io)?;
             parse_journal(&text, &fp, layers.len())?
         } else {
             (BTreeMap::new(), false)
         };
         let resumed = done.len();
+        if resumed > 0 {
+            mupod_obs::counter_add("journal.layers_resumed", resumed as u64);
+            if let Some(last) = done.values().next_back() {
+                self.report_progress(resumed, layers.len(), &last.name);
+            }
+        }
 
         let remaining: Vec<(usize, NodeId)> = layers
             .iter()
@@ -574,6 +582,7 @@ impl<'a> Profiler<'a> {
                 for &(li, layer) in &remaining {
                     let p = self.profile_one(li, layer, &clean, &inventory, &rng)?;
                     append_record(&mut file, li, &p)?;
+                    self.report_progress(resumed + out.len() + 1, layers.len(), &p.name);
                     out.push((li, p));
                 }
                 out
@@ -585,6 +594,8 @@ impl<'a> Profiler<'a> {
                     &inventory,
                     &rng,
                     &mut file,
+                    resumed,
+                    layers.len(),
                 )?
             };
             for (li, p) in computed_profiles {
@@ -610,6 +621,9 @@ impl<'a> Profiler<'a> {
     /// jobs off an atomic cursor, results stream back over a channel, and
     /// the journal is appended strictly in request order so its contents
     /// stay deterministic (and resumable prefixes stay meaningful).
+    /// `resumed`/`total` feed the progress callback, which fires in
+    /// commit order.
+    #[allow(clippy::too_many_arguments)]
     fn profile_parallel_journaled(
         &self,
         jobs: &[(usize, NodeId)],
@@ -618,6 +632,8 @@ impl<'a> Profiler<'a> {
         inventory: &mupod_nn::inventory::LayerInventory,
         rng: &SeededRng,
         file: &mut std::fs::File,
+        resumed: usize,
+        total: usize,
     ) -> Result<Vec<(usize, LayerProfile)>, crate::CoreError> {
         use std::sync::atomic::{AtomicUsize, Ordering};
         use std::sync::mpsc;
@@ -651,6 +667,7 @@ impl<'a> Profiler<'a> {
                 while let Some(p) = buffer.remove(&next_commit) {
                     let li = jobs[next_commit].0;
                     append_record(file, li, &p)?;
+                    self.report_progress(resumed + committed.len() + 1, total, &p.name);
                     committed.push((li, p));
                     next_commit += 1;
                 }
@@ -675,6 +692,8 @@ fn append_record(
     let line = format!("{:016x} {payload}\n", fnv1a64(payload.as_bytes()));
     file.write_all(line.as_bytes())?;
     file.flush()?;
+    mupod_obs::counter_add("journal.records_appended", 1);
+    mupod_obs::counter_add("journal.bytes_written", line.len() as u64);
     Ok(())
 }
 

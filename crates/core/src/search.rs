@@ -125,9 +125,12 @@ impl SigmaSearch {
             "target accuracy must be in (0, 1]"
         );
         assert!(!profile.is_empty(), "profile must not be empty");
+        let _span = mupod_obs::span("search.sigma");
         let mut evaluations = 0usize;
         let mut eval_at = |sigma: f64| {
             evaluations += 1;
+            let _span = mupod_obs::span("search.evaluate");
+            mupod_obs::counter_add("search.evaluations", 1);
             self.accuracy_at(sigma, profile, evaluator)
         };
         let threshold = target_accuracy - self.slack_images / evaluator.len() as f64;

@@ -210,6 +210,8 @@ impl Network {
             self.input_dims(),
             "image shape does not match network input"
         );
+        mupod_obs::counter_add("nn.forward_passes", 1);
+        mupod_obs::counter_add("nn.node_evals", self.nodes.len() as u64 - 1);
         let mut tensors: Vec<Tensor> = Vec::with_capacity(self.nodes.len());
         tensors.push(image.clone());
         for (i, node) in self.nodes.iter().enumerate().skip(1) {
@@ -273,6 +275,11 @@ impl Network {
             "suffix replay must start at a dot-product layer"
         );
         let affected = self.affected_from(start);
+        mupod_obs::counter_add("nn.suffix_replays", 1);
+        mupod_obs::counter_add(
+            "nn.node_evals",
+            affected.iter().filter(|&&a| a).count() as u64,
+        );
         let mut fresh: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         for i in start.0..self.nodes.len() {
             if !affected[i] {
@@ -346,6 +353,8 @@ impl Network {
                 .validate_finite()
                 .map_err(|source| ExecError::NonFiniteInput { source })?;
         }
+        mupod_obs::counter_add("nn.forward_passes", 1);
+        mupod_obs::counter_add("nn.node_evals", self.nodes.len() as u64 - 1);
         let mut tensors: Vec<Tensor> = Vec::with_capacity(self.nodes.len());
         tensors.push(image.clone());
         for (i, node) in self.nodes.iter().enumerate().skip(1) {
@@ -403,6 +412,11 @@ impl Network {
             "suffix replay must start at a dot-product layer"
         );
         let affected = self.affected_from(start);
+        mupod_obs::counter_add("nn.suffix_replays", 1);
+        mupod_obs::counter_add(
+            "nn.node_evals",
+            affected.iter().filter(|&&a| a).count() as u64,
+        );
         let mut fresh: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         for i in start.0..self.nodes.len() {
             if !affected[i] {

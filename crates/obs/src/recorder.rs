@@ -1,0 +1,491 @@
+//! The [`Recorder`]: collects spans, counters, histograms and events,
+//! plus the global facade the instrumented crates talk to.
+
+use crate::snapshot::{HistogramSummary, MetricsSnapshot, SpanSummary};
+use crate::trace::{Phase, TraceEvent};
+use crate::Level;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// Global facade
+// ---------------------------------------------------------------------
+
+/// Fast-path gate: `false` means every facade call returns after one
+/// relaxed load.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// The installed recorder, if any.
+static CURRENT: RwLock<Option<Recorder>> = RwLock::new(None);
+
+/// Serializes installations: only one recorder can be live at a time,
+/// and a second installer blocks until the first guard drops. This is
+/// what lets concurrently running tests each observe only their own
+/// work.
+static INSTALL_LOCK: Mutex<()> = Mutex::new(());
+
+/// Monotonic process-wide thread-id source for trace events (OS thread
+/// ids are neither small nor stable across platforms).
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+fn current_tid() -> u64 {
+    TID.with(|t| *t)
+}
+
+fn with_recorder<F: FnOnce(&Recorder)>(f: F) {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return;
+    }
+    let guard = CURRENT.read().unwrap_or_else(|e| e.into_inner());
+    if let Some(r) = guard.as_ref() {
+        f(r);
+    }
+}
+
+/// Keeps the paired [`Recorder`] installed; uninstalls on drop.
+///
+/// Holds the global installation lock, so a second `install` anywhere
+/// in the process blocks until this guard drops. Do not call `install`
+/// again from the same thread while a guard is live — that deadlocks
+/// (by design: nested recorders would silently split the data).
+#[derive(Debug)]
+pub struct InstallGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        ACTIVE.store(false, Ordering::Relaxed);
+        *CURRENT.write().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+}
+
+/// Starts a timing span; the span ends when the returned guard drops.
+///
+/// Equivalent to [`span_fields`] with no fields.
+pub fn span(name: &'static str) -> SpanGuard {
+    span_fields(name, &[])
+}
+
+/// Starts a timing span annotated with key/value fields (they appear as
+/// `args` on the Chrome trace's begin event).
+pub fn span_fields(name: &'static str, fields: &[(&str, &str)]) -> SpanGuard {
+    let mut active = false;
+    with_recorder(|r| {
+        r.begin_span(name, fields);
+        active = true;
+    });
+    SpanGuard {
+        name,
+        start: active.then(Instant::now),
+    }
+}
+
+/// Adds `n` to the named monotonic counter.
+pub fn counter_add(name: &'static str, n: u64) {
+    with_recorder(|r| r.counter_add(name, n));
+}
+
+/// Records one observation into the named histogram.
+pub fn histogram_record(name: &'static str, value: f64) {
+    with_recorder(|r| r.histogram_record(name, value));
+}
+
+/// Whether an event at `level` would currently be recorded.
+///
+/// Callers that build event fields expensively can gate on this; plain
+/// [`event`] calls do not need it.
+pub fn level_enabled(level: Level) -> bool {
+    let mut enabled = false;
+    with_recorder(|r| enabled = level != Level::Off && level <= r.inner.level);
+    enabled
+}
+
+/// Emits a structured log event: a name plus key/value fields.
+///
+/// When a recorder is installed and `level` is within its maximum, the
+/// event is appended to the trace (as a Chrome *instant* event) and —
+/// unless the recorder is [`Recorder::quiet`] — printed to stderr as
+/// one `[level] name key=value …` line. Without a recorder the event is
+/// dropped, like `tracing` without a subscriber.
+pub fn event(level: Level, name: &'static str, fields: &[(&str, &str)]) {
+    with_recorder(|r| r.event(level, name, fields));
+}
+
+/// Timing guard returned by [`span`]; records the span end on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    /// `None` when no recorder was installed at span entry — the drop
+    /// then does nothing, keeping begin/end events paired even if a
+    /// recorder is installed mid-span.
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let elapsed = start.elapsed();
+        with_recorder(|r| r.end_span(self.name, elapsed.as_nanos() as u64));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Recorder
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct SpanStat {
+    count: u64,
+    total_ns: u64,
+}
+
+#[derive(Debug, Default)]
+struct HistAcc {
+    /// Raw observations; sorted at snapshot time so aggregate statistics
+    /// do not depend on the (thread-scheduling-dependent) arrival order.
+    values: Vec<f64>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    level: Level,
+    print_events: bool,
+    start: Instant,
+    counters: RwLock<BTreeMap<&'static str, AtomicU64>>,
+    histograms: Mutex<BTreeMap<&'static str, HistAcc>>,
+    span_stats: Mutex<BTreeMap<&'static str, SpanStat>>,
+    trace: Mutex<Vec<TraceEvent>>,
+}
+
+/// Collects instrumentation from everything that runs while it is
+/// installed.
+///
+/// Clone-cheap handle (internally `Arc`): keep one clone to read the
+/// [`Recorder::snapshot`] / [`Recorder::trace_events`] after the
+/// [`InstallGuard`] drops.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    inner: Arc<Inner>,
+}
+
+impl Recorder {
+    /// Creates a recorder that records events up to `level` and prints
+    /// them to stderr.
+    pub fn new(level: Level) -> Self {
+        Recorder {
+            inner: Arc::new(Inner {
+                level,
+                print_events: true,
+                start: Instant::now(),
+                counters: RwLock::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+                span_stats: Mutex::new(BTreeMap::new()),
+                trace: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Disables stderr printing (events are still recorded in the
+    /// trace). For tests.
+    #[must_use]
+    pub fn quiet(self) -> Self {
+        let inner = Inner {
+            level: self.inner.level,
+            print_events: false,
+            start: self.inner.start,
+            counters: RwLock::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            span_stats: Mutex::new(BTreeMap::new()),
+            trace: Mutex::new(Vec::new()),
+        };
+        Recorder {
+            inner: Arc::new(inner),
+        }
+    }
+
+    /// The maximum event level this recorder records.
+    pub fn level(&self) -> Level {
+        self.inner.level
+    }
+
+    /// Installs this recorder as the process-global collector.
+    ///
+    /// Blocks until any previously installed recorder's guard drops;
+    /// see [`InstallGuard`] for the reentrancy caveat.
+    pub fn install(&self) -> InstallGuard {
+        let lock = INSTALL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        *CURRENT.write().unwrap_or_else(|e| e.into_inner()) = Some(self.clone());
+        ACTIVE.store(true, Ordering::Relaxed);
+        InstallGuard { _lock: lock }
+    }
+
+    fn now_us(&self) -> f64 {
+        self.inner.start.elapsed().as_nanos() as f64 / 1_000.0
+    }
+
+    fn push_trace(&self, ev: TraceEvent) {
+        self.inner
+            .trace
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(ev);
+    }
+
+    fn begin_span(&self, name: &'static str, fields: &[(&str, &str)]) {
+        self.push_trace(TraceEvent {
+            name,
+            phase: Phase::Begin,
+            ts_us: self.now_us(),
+            tid: current_tid(),
+            args: fields
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+                .collect(),
+        });
+    }
+
+    fn end_span(&self, name: &'static str, duration_ns: u64) {
+        self.push_trace(TraceEvent {
+            name,
+            phase: Phase::End,
+            ts_us: self.now_us(),
+            tid: current_tid(),
+            args: Vec::new(),
+        });
+        let mut stats = self
+            .inner
+            .span_stats
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let stat = stats.entry(name).or_default();
+        stat.count += 1;
+        stat.total_ns += duration_ns;
+    }
+
+    fn counter_add(&self, name: &'static str, n: u64) {
+        {
+            let map = self.inner.counters.read().unwrap_or_else(|e| e.into_inner());
+            if let Some(c) = map.get(name) {
+                c.fetch_add(n, Ordering::Relaxed);
+                return;
+            }
+        }
+        let mut map = self
+            .inner
+            .counters
+            .write()
+            .unwrap_or_else(|e| e.into_inner());
+        map.entry(name)
+            .or_insert_with(|| AtomicU64::new(0))
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn histogram_record(&self, name: &'static str, value: f64) {
+        let mut map = self
+            .inner
+            .histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        map.entry(name).or_default().values.push(value);
+    }
+
+    fn event(&self, level: Level, name: &'static str, fields: &[(&str, &str)]) {
+        if level == Level::Off || level > self.inner.level {
+            return;
+        }
+        self.push_trace(TraceEvent {
+            name,
+            phase: Phase::Instant,
+            ts_us: self.now_us(),
+            tid: current_tid(),
+            args: fields
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+                .collect(),
+        });
+        if self.inner.print_events {
+            let mut line = format!("[{level}] {name}");
+            for (k, v) in fields {
+                line.push(' ');
+                line.push_str(k);
+                line.push('=');
+                if v.contains(' ') {
+                    line.push('"');
+                    line.push_str(v);
+                    line.push('"');
+                } else {
+                    line.push_str(v);
+                }
+            }
+            eprintln!("{line}");
+        }
+    }
+
+    /// A point-in-time aggregate of everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = {
+            let map = self.inner.counters.read().unwrap_or_else(|e| e.into_inner());
+            map.iter()
+                .map(|(k, v)| ((*k).to_string(), v.load(Ordering::Relaxed)))
+                .collect::<BTreeMap<String, u64>>()
+        };
+        let histograms = {
+            let map = self
+                .inner
+                .histograms
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            map.iter()
+                .map(|(k, acc)| ((*k).to_string(), HistogramSummary::from_values(&acc.values)))
+                .collect::<BTreeMap<String, HistogramSummary>>()
+        };
+        let spans = {
+            let map = self
+                .inner
+                .span_stats
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            map.iter()
+                .map(|(k, s)| {
+                    (
+                        (*k).to_string(),
+                        SpanSummary {
+                            count: s.count,
+                            total_ms: s.total_ns as f64 / 1_000_000.0,
+                        },
+                    )
+                })
+                .collect::<BTreeMap<String, SpanSummary>>()
+        };
+        MetricsSnapshot {
+            counters,
+            histograms,
+            spans,
+        }
+    }
+
+    /// A copy of the trace events recorded so far, in arrival order.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.inner
+            .trace
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Writes the trace as Chrome `trace_event` JSON; see
+    /// [`crate::write_chrome_trace`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer I/O errors.
+    pub fn write_chrome_trace<W: std::io::Write>(&self, w: W) -> std::io::Result<()> {
+        crate::write_chrome_trace(&self.trace_events(), w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every scenario touching the process-global recorder lives in this
+    /// one test: cargo runs tests in parallel threads, and interleaved
+    /// install/uninstall from sibling tests would make any individual
+    /// global-state assertion racy. (Other crates' obs tests run in
+    /// separate test processes and are unaffected.)
+    #[test]
+    fn global_facade_scenarios() {
+        // --- inert without a recorder ----------------------------------
+        counter_add("inert.counter", 5);
+        histogram_record("inert.hist", 1.0);
+        event(Level::Error, "inert.event", &[]);
+        drop(span("inert.span"));
+        assert!(!level_enabled(Level::Error));
+
+        // --- records counters / histograms / spans / events ------------
+        let rec = Recorder::new(Level::Info).quiet();
+        {
+            let _g = rec.install();
+            counter_add("c.a", 2);
+            counter_add("c.a", 3);
+            counter_add("c.b", 1);
+            histogram_record("h.x", 2.0);
+            histogram_record("h.x", 1.0);
+            {
+                let _outer = span("outer");
+                let _inner = span("inner");
+            }
+            event(Level::Info, "ev.hello", &[("k", "v")]);
+            event(Level::Debug, "ev.dropped", &[]);
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters["c.a"], 5);
+        assert_eq!(snap.counters["c.b"], 1);
+        assert_eq!(snap.histograms["h.x"].count, 2);
+        assert_eq!(snap.histograms["h.x"].min, 1.0);
+        assert_eq!(snap.histograms["h.x"].max, 2.0);
+        assert_eq!(snap.spans["outer"].count, 1);
+        assert_eq!(snap.spans["inner"].count, 1);
+        let trace = rec.trace_events();
+        let instants: Vec<_> = trace
+            .iter()
+            .filter(|e| e.phase == Phase::Instant)
+            .collect();
+        assert_eq!(instants.len(), 1);
+        assert_eq!(instants[0].name, "ev.hello");
+        assert_eq!(instants[0].args, vec![("k".to_string(), "v".to_string())]);
+        assert_eq!(trace.iter().filter(|e| e.phase == Phase::Begin).count(), 2);
+        assert_eq!(trace.iter().filter(|e| e.phase == Phase::End).count(), 2);
+
+        // --- uninstall stops recording ---------------------------------
+        counter_add("c.a", 100);
+        assert_eq!(rec.snapshot().counters["c.a"], 5);
+
+        // --- level gating ----------------------------------------------
+        let warn_rec = Recorder::new(Level::Warn).quiet();
+        {
+            let _g = warn_rec.install();
+            assert!(level_enabled(Level::Error));
+            assert!(level_enabled(Level::Warn));
+            assert!(!level_enabled(Level::Info));
+            event(Level::Info, "ev.quiet", &[]);
+            event(Level::Warn, "ev.loud", &[]);
+        }
+        let trace = warn_rec.trace_events();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].name, "ev.loud");
+
+        // --- a pre-install span never emits an unmatched End -----------
+        let pre = span("orphan");
+        let off_rec = Recorder::new(Level::Off).quiet();
+        {
+            let _g = off_rec.install();
+            drop(pre);
+        }
+        assert!(off_rec.trace_events().is_empty());
+
+        // --- worker threads get distinct trace tids --------------------
+        let tid_rec = Recorder::new(Level::Off).quiet();
+        {
+            let _g = tid_rec.install();
+            let _outer = span("main-side");
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let _w = span("worker-side");
+                });
+            });
+        }
+        let trace = tid_rec.trace_events();
+        let tid_of = |name: &str| trace.iter().find(|e| e.name == name).map(|e| e.tid);
+        assert_ne!(tid_of("main-side").unwrap(), tid_of("worker-side").unwrap());
+    }
+}

@@ -1,0 +1,203 @@
+//! Aggregated metrics: the `--metrics-out` JSON snapshot.
+
+use crate::json;
+use std::collections::BTreeMap;
+
+/// Order-independent summary of one histogram.
+///
+/// Built from the raw observations *after sorting them*, so `mean` (a
+/// floating-point sum) is bit-identical regardless of the thread
+/// interleaving that produced the observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Median (0 when empty).
+    pub p50: f64,
+}
+
+impl HistogramSummary {
+    /// Summarizes a set of raw observations.
+    pub fn from_values(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return HistogramSummary {
+                count: 0,
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                p50: 0.0,
+            };
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let sum: f64 = sorted.iter().sum();
+        HistogramSummary {
+            count: sorted.len() as u64,
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            mean: sum / sorted.len() as f64,
+            p50: sorted[sorted.len() / 2],
+        }
+    }
+}
+
+/// Aggregate timing of one span name.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanSummary {
+    /// How many spans with this name completed. Seed-stable.
+    pub count: u64,
+    /// Total wall time across them, milliseconds. Varies run to run.
+    pub total_ms: f64,
+}
+
+/// Everything [`crate::Recorder::snapshot`] captures.
+///
+/// Counter values, histogram statistics and span *counts* are
+/// seed-stable (see the crate docs); span durations are not.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Span timing aggregates by name.
+    pub spans: BTreeMap<String, SpanSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a JSON document:
+    ///
+    /// ```json
+    /// {
+    ///   "schema": "mupod-metrics v1",
+    ///   "counters": { "profile.layers_profiled": 5, ... },
+    ///   "histograms": { "profile.r_squared": {"count": 5, "min": ..}, ... },
+    ///   "spans": { "profile.sweep": {"count": 1, "total_ms": ..}, ... }
+    /// }
+    /// ```
+    ///
+    /// Keys are sorted (`BTreeMap`), so two snapshots with equal
+    /// contents render to identical bytes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"mupod-metrics v1\",\n  \"counters\": {");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    ");
+            out.push_str(&json::escape(k));
+            out.push_str(": ");
+            out.push_str(&v.to_string());
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        first = true;
+        for (k, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    ");
+            out.push_str(&json::escape(k));
+            out.push_str(&format!(
+                ": {{\"count\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \"p50\": {}}}",
+                h.count,
+                json::fmt_f64(h.min),
+                json::fmt_f64(h.max),
+                json::fmt_f64(h.mean),
+                json::fmt_f64(h.p50),
+            ));
+        }
+        out.push_str("\n  },\n  \"spans\": {");
+        first = true;
+        for (k, s) in &self.spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    ");
+            out.push_str(&json::escape(k));
+            out.push_str(&format!(
+                ": {{\"count\": {}, \"total_ms\": {}}}",
+                s.count,
+                json::fmt_f64(s.total_ms)
+            ));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_summary_is_order_independent() {
+        let a = HistogramSummary::from_values(&[0.3, 0.1, 0.2, 0.40000000000000013]);
+        let b = HistogramSummary::from_values(&[0.40000000000000013, 0.2, 0.3, 0.1]);
+        assert_eq!(a, b);
+        assert_eq!(a.count, 4);
+        assert_eq!(a.min, 0.1);
+        assert_eq!(a.max, 0.40000000000000013);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = HistogramSummary::from_values(&[]);
+        assert_eq!(h.count, 0);
+        assert_eq!(h.mean, 0.0);
+    }
+
+    #[test]
+    fn snapshot_json_is_valid_and_sorted() {
+        let mut snap = MetricsSnapshot {
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            spans: BTreeMap::new(),
+        };
+        snap.counters.insert("z.last".into(), 2);
+        snap.counters.insert("a.first".into(), 1);
+        snap.histograms
+            .insert("h".into(), HistogramSummary::from_values(&[1.0, 2.0]));
+        snap.spans.insert(
+            "s".into(),
+            SpanSummary {
+                count: 3,
+                total_ms: 1.25,
+            },
+        );
+        let text = snap.to_json();
+        let value = json::parse(&text).expect("snapshot must be valid JSON");
+        let obj = value.as_object().unwrap();
+        assert_eq!(
+            obj["schema"].as_str(),
+            Some("mupod-metrics v1"),
+            "{text}"
+        );
+        let counters = obj["counters"].as_object().unwrap();
+        assert_eq!(counters["a.first"].as_f64(), Some(1.0));
+        assert_eq!(counters["z.last"].as_f64(), Some(2.0));
+        assert!(text.find("a.first").unwrap() < text.find("z.last").unwrap());
+        let h = obj["histograms"].as_object().unwrap()["h"].as_object().unwrap();
+        assert_eq!(h["count"].as_f64(), Some(2.0));
+        assert_eq!(h["mean"].as_f64(), Some(1.5));
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json() {
+        let snap = MetricsSnapshot {
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            spans: BTreeMap::new(),
+        };
+        json::parse(&snap.to_json()).unwrap();
+    }
+}

@@ -1,0 +1,152 @@
+//! Chrome `trace_event` export (the `--trace-out` file).
+//!
+//! The format is the ["Trace Event Format"] consumed by
+//! `chrome://tracing` and [Perfetto]: a JSON object whose
+//! `traceEvents` array holds one record per event, with `ph` naming
+//! the phase (`"B"` begin, `"E"` end, `"i"` instant), `ts` a
+//! timestamp in microseconds, and `pid`/`tid` grouping events into
+//! tracks.
+//!
+//! ["Trace Event Format"]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//! [Perfetto]: https://ui.perfetto.dev
+
+use crate::json;
+use std::io::{self, Write};
+
+/// What kind of trace record an event is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// A span opened (`ph: "B"`).
+    Begin,
+    /// The most recently opened span on the same `tid` closed
+    /// (`ph: "E"`).
+    End,
+    /// A point-in-time log event (`ph: "i"`).
+    Instant,
+}
+
+impl Phase {
+    fn code(self) -> &'static str {
+        match self {
+            Phase::Begin => "B",
+            Phase::End => "E",
+            Phase::Instant => "i",
+        }
+    }
+}
+
+/// One record in the trace buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Span or event name, shown on the timeline.
+    pub name: &'static str,
+    /// Record kind.
+    pub phase: Phase,
+    /// Microseconds since the recorder was created.
+    pub ts_us: f64,
+    /// Logical thread id; begin/end pairs balance per tid.
+    pub tid: u64,
+    /// Structured fields, rendered as the `args` object.
+    pub args: Vec<(String, String)>,
+}
+
+/// Writes `events` as a Chrome-loadable `{"traceEvents": [...]}`
+/// document.
+///
+/// # Errors
+///
+/// Propagates any I/O error from `w`.
+pub fn write_chrome_trace<W: Write>(events: &[TraceEvent], mut w: W) -> io::Result<()> {
+    writeln!(w, "{{\"traceEvents\": [")?;
+    for (i, ev) in events.iter().enumerate() {
+        let comma = if i + 1 == events.len() { "" } else { "," };
+        write!(
+            w,
+            "  {{\"name\": {}, \"cat\": \"mupod\", \"ph\": \"{}\", \"ts\": {}, \"pid\": 1, \"tid\": {}",
+            json::escape(ev.name),
+            ev.phase.code(),
+            json::fmt_f64(ev.ts_us),
+            ev.tid,
+        )?;
+        if ev.phase == Phase::Instant {
+            // Scope "t" (thread) keeps instants attached to their track.
+            write!(w, ", \"s\": \"t\"")?;
+        }
+        if !ev.args.is_empty() {
+            write!(w, ", \"args\": {{")?;
+            for (j, (k, v)) in ev.args.iter().enumerate() {
+                let sep = if j == 0 { "" } else { ", " };
+                write!(w, "{sep}{}: {}", json::escape(k), json::escape(v))?;
+            }
+            write!(w, "}}")?;
+        }
+        writeln!(w, "}}{comma}")?;
+    }
+    writeln!(w, "]}}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                name: "outer",
+                phase: Phase::Begin,
+                ts_us: 0.0,
+                tid: 1,
+                args: vec![],
+            },
+            TraceEvent {
+                name: "note \"quoted\"",
+                phase: Phase::Instant,
+                ts_us: 1.5,
+                tid: 1,
+                args: vec![("layer".into(), "conv1".into())],
+            },
+            TraceEvent {
+                name: "outer",
+                phase: Phase::End,
+                ts_us: 3.0,
+                tid: 1,
+                args: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn trace_output_parses_as_json() {
+        let mut buf = Vec::new();
+        write_chrome_trace(&sample(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let value = json::parse(&text).expect("trace must be valid JSON");
+        let events = value.as_object().unwrap()["traceEvents"]
+            .as_array()
+            .unwrap();
+        assert_eq!(events.len(), 3);
+        let first = events[0].as_object().unwrap();
+        assert_eq!(first["ph"].as_str(), Some("B"));
+        assert_eq!(first["pid"].as_f64(), Some(1.0));
+        let instant = events[1].as_object().unwrap();
+        assert_eq!(instant["ph"].as_str(), Some("i"));
+        assert_eq!(instant["s"].as_str(), Some("t"));
+        assert_eq!(instant["name"].as_str(), Some("note \"quoted\""));
+        assert_eq!(
+            instant["args"].as_object().unwrap()["layer"].as_str(),
+            Some("conv1")
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let mut buf = Vec::new();
+        write_chrome_trace(&[], &mut buf).unwrap();
+        let value = json::parse(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert!(value.as_object().unwrap()["traceEvents"]
+            .as_array()
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -24,6 +24,7 @@
 //! | [`baselines`] | `mupod-baselines` | Stripes-style search baselines |
 //! | [`train`] | `mupod-train` | SGD backprop for genuinely trained networks |
 //! | [`stats`] | `mupod-stats` | moments, regression, histograms, RNG |
+//! | [`obs`] | `mupod-obs` | spans, counters, histograms, Chrome trace export |
 //!
 //! # Quickstart
 //!
@@ -59,6 +60,7 @@ pub use mupod_data as data;
 pub use mupod_hw as hw;
 pub use mupod_models as models;
 pub use mupod_nn as nn;
+pub use mupod_obs as obs;
 pub use mupod_optim as optim;
 pub use mupod_quant as quant;
 pub use mupod_stats as stats;
