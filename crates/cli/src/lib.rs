@@ -26,7 +26,18 @@ use mupod_data::{Dataset, DatasetSpec};
 use mupod_models::{calibrate::calibrate_head, ModelKind, ModelScale};
 use mupod_nn::inventory::LayerInventory;
 use mupod_nn::Network;
+use mupod_runtime::{
+    CancelToken, ErrorClass, RetryPolicy, StageError, StagePolicy, Supervisor,
+};
 use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Test hook: when set to a number of milliseconds, every supervised
+/// pipeline inserts a cancellable delay inside its first stage. This
+/// gives the integration tests a deterministic window in which to
+/// deliver SIGINT or let a `--stage-timeout` watchdog fire, without
+/// depending on how fast profiling happens to run on the host.
+pub const TEST_STAGE_DELAY_ENV: &str = "MUPOD_TEST_STAGE_DELAY_MS";
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,6 +69,11 @@ pub struct CommonArgs {
     pub metrics_out: Option<String>,
     /// Optional path for the Chrome `trace_event` timeline (JSON).
     pub trace_out: Option<String>,
+    /// Watchdog deadline per pipeline stage (`--stage-timeout`);
+    /// `None` means unbounded.
+    pub stage_timeout: Option<Duration>,
+    /// Attempt budget per stage for transient failures (`--retries`).
+    pub retries: u32,
 }
 
 /// `profile` options.
@@ -88,12 +104,23 @@ pub struct OptimizeArgs {
 }
 
 /// Errors from parsing or running a command.
+///
+/// Each variant maps to a distinct process exit status (see `main.rs`
+/// and DESIGN.md §9): `Usage` → 2, `Run` → 1, `StageFailed` → 3,
+/// `StageTimeout` → 4, `Interrupted` → 130.
 #[derive(Debug)]
 pub enum CliError {
     /// Bad command line; payload is the message to show.
     Usage(String),
-    /// Any downstream failure.
+    /// Any downstream failure outside a supervised stage.
     Run(String),
+    /// A supervised stage exhausted its retry budget (and had no
+    /// fallback); partial artifacts on disk are intact.
+    StageFailed(String),
+    /// A stage overran its `--stage-timeout` watchdog and drained.
+    StageTimeout(String),
+    /// SIGINT arrived; the pipeline drained to a graceful stop.
+    Interrupted,
 }
 
 impl std::fmt::Display for CliError {
@@ -101,11 +128,72 @@ impl std::fmt::Display for CliError {
         match self {
             CliError::Usage(m) => write!(f, "usage error: {m}"),
             CliError::Run(m) => write!(f, "{m}"),
+            CliError::StageFailed(m) => write!(f, "{m}"),
+            CliError::StageTimeout(m) => write!(f, "{m}"),
+            CliError::Interrupted => {
+                write!(f, "interrupted; drained to a graceful stop")
+            }
         }
     }
 }
 
 impl std::error::Error for CliError {}
+
+/// A supervised stage's failure, tagged with whether a retry could
+/// plausibly help. Flaky I/O and panicked workers are transient;
+/// deterministic pipeline errors (bad model, failed validation,
+/// malformed input files) are permanent — retrying replays the same
+/// deterministic computation.
+#[derive(Debug)]
+enum StageFault {
+    Transient(String),
+    Permanent(String),
+}
+
+impl std::fmt::Display for StageFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StageFault::Transient(m) | StageFault::Permanent(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+fn classify(fault: &StageFault) -> ErrorClass {
+    match fault {
+        StageFault::Transient(_) => ErrorClass::Transient,
+        StageFault::Permanent(_) => ErrorClass::Permanent,
+    }
+}
+
+/// Lowers a supervisor verdict into the CLI's exit-code-bearing error.
+fn stage_err(e: StageError<StageFault>) -> CliError {
+    match e {
+        StageError::Cancelled { .. } => CliError::Interrupted,
+        StageError::TimedOut { stage, timeout } => CliError::StageTimeout(format!(
+            "stage `{stage}` exceeded its {:.1}s deadline and was drained \
+             (raise --stage-timeout for larger models)",
+            timeout.as_secs_f64()
+        )),
+        StageError::Failed {
+            stage,
+            attempts,
+            error,
+        } => CliError::StageFailed(format!(
+            "stage `{stage}` failed after {attempts} attempt(s): {error}"
+        )),
+    }
+}
+
+/// The cancellable test-hook delay (see [`TEST_STAGE_DELAY_ENV`]).
+fn test_stage_delay(token: &CancelToken) -> Result<(), StageFault> {
+    if let Ok(ms) = std::env::var(TEST_STAGE_DELAY_ENV) {
+        let ms: u64 = ms.parse().unwrap_or(0);
+        token
+            .sleep_cancellable(Duration::from_millis(ms))
+            .map_err(|c| StageFault::Permanent(c.to_string()))?;
+    }
+    Ok(())
+}
 
 /// Usage text shown by `mupod help`.
 pub const USAGE: &str = "\
@@ -128,6 +216,15 @@ COMMON FLAGS (observability):
   --metrics-out <file.json>   write final counters/histograms/span timings
   --trace-out <file.json>     write a Chrome trace_event timeline
                               (open in chrome://tracing or Perfetto)
+
+COMMON FLAGS (robustness):
+  --stage-timeout <secs>      watchdog deadline per pipeline stage; an
+                              overrunning stage drains and exits 4
+  --retries <n>               attempts per stage for transient failures
+                              (default 3; deterministic errors never retry)
+
+EXIT CODES: 0 ok, 1 run error, 2 usage, 3 stage failed after retries,
+            4 stage timeout, 130 interrupted (Ctrl-C)
 
 MODELS: alexnet nin googlenet vgg19 resnet50 resnet152 squeezenet mobilenet
 ";
@@ -191,6 +288,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut log_level = mupod_obs::Level::Warn;
     let mut metrics_out = None;
     let mut trace_out = None;
+    let mut stage_timeout = None;
+    let mut retries = 3u32;
 
     let mut i = 1;
     while i < args.len() {
@@ -256,6 +355,23 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             "--trace-out" => {
                 trace_out = Some(take_value(args, &mut i, "--trace-out")?.to_string())
             }
+            "--stage-timeout" => {
+                let secs: f64 = take_value(args, &mut i, "--stage-timeout")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("bad --stage-timeout".into()))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(CliError::Usage(
+                        "--stage-timeout must be a positive number of seconds".into(),
+                    ));
+                }
+                stage_timeout = Some(Duration::from_secs_f64(secs));
+            }
+            "--retries" => {
+                let n: u32 = take_value(args, &mut i, "--retries")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("bad --retries".into()))?;
+                retries = n.max(1);
+            }
             "--scheme" => {
                 scheme = match take_value(args, &mut i, "--scheme")? {
                     "equal" | "scheme1" => SearchScheme::EqualScheme,
@@ -278,6 +394,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         log_level,
         metrics_out,
         trace_out,
+        stage_timeout,
+        retries,
     };
     match sub.as_str() {
         "inspect" => Ok(Command::Inspect(common)),
@@ -333,16 +451,24 @@ fn progress_event(done: usize, total: usize, layer: &str) {
 }
 
 /// Writes `--metrics-out` / `--trace-out` files from the run's recorder.
+///
+/// Both go through the atomic sealed writer: an export interrupted by a
+/// crash leaves any previous snapshot intact, and a truncated file is
+/// detected on load. The integrity footer starts with `#` — strip
+/// `#mupod-artifact` lines (or use [`mupod_runtime::unseal`]) before
+/// handing the JSON to a strict parser.
 fn write_observability(common: &CommonArgs, recorder: &mupod_obs::Recorder) -> Result<(), CliError> {
     if let Some(path) = &common.metrics_out {
-        std::fs::write(path, recorder.snapshot().to_json())
+        let json = recorder.snapshot().to_json();
+        mupod_runtime::write_atomic(std::path::Path::new(path), json.as_bytes())
             .map_err(|e| CliError::Run(format!("cannot write {path}: {e}")))?;
     }
     if let Some(path) = &common.trace_out {
-        let file = std::fs::File::create(path)
-            .map_err(|e| CliError::Run(format!("cannot create {path}: {e}")))?;
+        let mut buf = Vec::new();
         recorder
-            .write_chrome_trace(std::io::BufWriter::new(file))
+            .write_chrome_trace(&mut buf)
+            .map_err(|e| CliError::Run(format!("cannot render trace: {e}")))?;
+        mupod_runtime::write_atomic(std::path::Path::new(path), &buf)
             .map_err(|e| CliError::Run(format!("cannot write {path}: {e}")))?;
     }
     Ok(())
@@ -365,13 +491,30 @@ fn prepare(common: &CommonArgs) -> Result<(Network, Dataset), CliError> {
     Ok((net, eval))
 }
 
-/// Executes a parsed command, returning the text to print.
+/// Executes a parsed command with a private cancellation token (no
+/// SIGINT wiring), returning the text to print. See [`run_with_token`].
 ///
 /// # Errors
 ///
 /// Returns [`CliError::Run`] when a pipeline stage fails (with the
 /// underlying message).
 pub fn run(cmd: &Command) -> Result<String, CliError> {
+    run_with_token(cmd, &CancelToken::new())
+}
+
+/// Executes a parsed command under supervision.
+///
+/// `token` is the run's cancellation token; `main` wires it to SIGINT
+/// via [`mupod_runtime::install_sigint`] so Ctrl-C drains the pipeline
+/// at the next checkpoint — observability exports still happen, partial
+/// artifacts stay intact — and the process exits 130.
+///
+/// # Errors
+///
+/// [`CliError::Run`] for unsupervised failures, [`CliError::StageFailed`]
+/// / [`CliError::StageTimeout`] / [`CliError::Interrupted`] from the
+/// supervisor (distinct exit codes; see [`CliError`]).
+pub fn run_with_token(cmd: &Command, token: &CancelToken) -> Result<String, CliError> {
     let common = match cmd {
         Command::Help => return Ok(USAGE.to_string()),
         Command::Inspect(c) | Command::Profile(c, _) | Command::Optimize(c, _) => c,
@@ -382,23 +525,56 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
     // span has closed.
     let recorder = mupod_obs::Recorder::new(common.log_level);
     let guard = recorder.install();
-    let result = run_inner(cmd);
+    let result = run_inner(cmd, token);
     drop(guard);
-    // Export even when the pipeline failed — a trace of a failed run is
-    // exactly what one wants to look at — but report the run error first.
+    // Export even when the pipeline failed or was cancelled — a trace of
+    // a failed run is exactly what one wants to look at — but report the
+    // run error first.
     let exported = write_observability(common, &recorder);
     let text = result?;
     exported?;
     Ok(text)
 }
 
-fn run_inner(cmd: &Command) -> Result<String, CliError> {
+/// The per-stage supervision policy from the common flags.
+fn stage_policy(common: &CommonArgs) -> StagePolicy {
+    StagePolicy {
+        timeout: common.stage_timeout,
+        retry: RetryPolicy {
+            max_attempts: common.retries.max(1),
+            ..RetryPolicy::default()
+        },
+    }
+}
+
+fn run_inner(cmd: &Command, token: &CancelToken) -> Result<String, CliError> {
+    let supervisor = Supervisor::new(token.clone());
+    // The model/dataset build is deterministic — no retry — but it still
+    // runs under the watchdog and honors the test-hook delay, so every
+    // subcommand has a cancellable first stage.
+    let supervised_prepare = |common: &CommonArgs| -> Result<(Network, Dataset), CliError> {
+        supervisor
+            .run_stage(
+                "prepare",
+                StagePolicy {
+                    timeout: common.stage_timeout,
+                    retry: RetryPolicy::no_retry(),
+                },
+                classify,
+                |tok| {
+                    test_stage_delay(tok)?;
+                    prepare(common).map_err(|e| StageFault::Permanent(e.to_string()))
+                },
+            )
+            .map(|o| o.value)
+            .map_err(stage_err)
+    };
     let mut out = String::new();
     match cmd {
         Command::Help => out.push_str(USAGE),
         Command::Inspect(common) => {
             let _span = mupod_obs::span("cli.inspect");
-            let (net, eval) = prepare(common)?;
+            let (net, eval) = supervised_prepare(common)?;
             let layers = common.model.analyzable_layers(&net);
             let inventory = LayerInventory::measure(&net, eval.images().iter().cloned());
             let _ = writeln!(
@@ -427,19 +603,44 @@ fn run_inner(cmd: &Command) -> Result<String, CliError> {
         }
         Command::Profile(common, pargs) => {
             let _span = mupod_obs::span("cli.profile");
-            let (net, eval) = prepare(common)?;
+            let (net, eval) = supervised_prepare(common)?;
             let layers = common.model.analyzable_layers(&net);
             let images = &eval.images()[..eval.len().min(24)];
-            let profiler = mupod_core::Profiler::new(&net, images)
-                .with_config(ProfileConfig {
-                    n_deltas: pargs.n_deltas,
-                    ..Default::default()
+            // Journal I/O and panicked workers are worth a retry — a
+            // journaled re-attempt resumes from the layers already
+            // committed. Everything else in the sweep is deterministic.
+            let classify_profile = |e: &mupod_core::CoreError| match e {
+                mupod_core::CoreError::Journal(mupod_core::JournalError::Io(_)) => {
+                    StageFault::Transient(format!("profiling failed: {e}"))
+                }
+                mupod_core::CoreError::Profile(mupod_core::ProfileError::WorkerPanicked) => {
+                    StageFault::Transient(format!("profiling failed: {e}"))
+                }
+                _ => StageFault::Permanent(format!("profiling failed: {e}")),
+            };
+            let outcome = supervisor
+                .run_stage("profile", stage_policy(common), classify, |tok| {
+                    let profiler = mupod_core::Profiler::new(&net, images)
+                        .with_config(ProfileConfig {
+                            n_deltas: pargs.n_deltas,
+                            ..Default::default()
+                        })
+                        .with_progress(progress_event)
+                        .with_cancel(tok.clone());
+                    match &pargs.journal {
+                        Some(journal) => profiler
+                            .profile_journaled(&layers, std::path::Path::new(journal))
+                            .map(|(p, s)| (p, Some(s)))
+                            .map_err(|e| classify_profile(&e)),
+                        None => profiler
+                            .profile(&layers)
+                            .map(|p| (p, None))
+                            .map_err(|e| classify_profile(&e.into())),
+                    }
                 })
-                .with_progress(progress_event);
-            let profile = if let Some(journal) = &pargs.journal {
-                let (profile, summary) = profiler
-                    .profile_journaled(&layers, std::path::Path::new(journal))
-                    .map_err(|e| CliError::Run(format!("profiling failed: {e}")))?;
+                .map_err(stage_err)?;
+            let (profile, summary) = outcome.value;
+            if let (Some(summary), Some(journal)) = (&summary, &pargs.journal) {
                 if summary.resumed > 0 {
                     let _ = writeln!(
                         out,
@@ -453,17 +654,13 @@ fn run_inner(cmd: &Command) -> Result<String, CliError> {
                         },
                     );
                 }
-                profile
-            } else {
-                profiler
-                    .profile(&layers)
-                    .map_err(|e| CliError::Run(format!("profiling failed: {e}")))?
-            };
-            let file = std::fs::File::create(&pargs.out)
-                .map_err(|e| CliError::Run(format!("cannot create {}: {e}", pargs.out)))?;
+            }
+            let mut buf = Vec::new();
             profile
-                .save_csv(file)
+                .save_csv(&mut buf)
                 .map_err(|e| CliError::Run(format!("cannot write profile: {e}")))?;
+            mupod_runtime::write_atomic(std::path::Path::new(&pargs.out), &buf)
+                .map_err(|e| CliError::Run(format!("cannot write {}: {e}", pargs.out)))?;
             let _ = writeln!(
                 out,
                 "profiled {} layers (min R² {:.4}, worst rel err {:.1}%) -> {}",
@@ -476,22 +673,60 @@ fn run_inner(cmd: &Command) -> Result<String, CliError> {
         }
         Command::Optimize(common, oargs) => {
             let _span = mupod_obs::span("cli.optimize");
-            let (net, eval) = prepare(common)?;
+            let (net, eval) = supervised_prepare(common)?;
             let layers = common.model.analyzable_layers(&net);
-            let mut optimizer = PrecisionOptimizer::new(&net, &eval)
-                .layers(layers)
-                .relative_accuracy_loss(oargs.loss)
-                .scheme(oargs.scheme);
-            if let Some(path) = &oargs.profile {
-                let file = std::fs::File::open(path)
-                    .map_err(|e| CliError::Run(format!("cannot open {path}: {e}")))?;
-                let profile = Profile::load_csv(file)
-                    .map_err(|e| CliError::Run(format!("cannot parse {path}: {e}")))?;
-                optimizer = optimizer.with_profile(profile);
+            // A pre-computed profile is validated against its integrity
+            // footer before parsing: corruption is a typed diagnostic
+            // here, never a silently-wrong allocation downstream.
+            let loaded_profile = match &oargs.profile {
+                Some(path) => {
+                    let bytes = mupod_runtime::read_verified(std::path::Path::new(path))
+                        .map_err(|e| CliError::Run(format!("cannot open {path}: {e}")))?;
+                    Some(Profile::load_csv(bytes.as_slice()).map_err(|e| {
+                        CliError::Run(format!("cannot parse {path}: {e}"))
+                    })?)
+                }
+                None => None,
+            };
+            let run_opt = |scheme: SearchScheme, tok: &CancelToken| {
+                let mut optimizer = PrecisionOptimizer::new(&net, &eval)
+                    .layers(layers.clone())
+                    .relative_accuracy_loss(oargs.loss)
+                    .scheme(scheme)
+                    .with_cancel(tok.clone());
+                if let Some(profile) = &loaded_profile {
+                    optimizer = optimizer.with_profile(profile.clone());
+                }
+                optimizer
+                    .run(oargs.objective.clone())
+                    .map_err(|e| StageFault::Permanent(format!("optimization failed: {e}")))
+            };
+            // Degradation ladder: the Gaussian σ-search is the fragile
+            // refinement — if it exhausts its budget, fall back to the
+            // conservative equal-σ scheme and flag the result degraded
+            // rather than ship nothing.
+            let outcome = if oargs.scheme == SearchScheme::GaussianApprox {
+                supervisor.run_stage_with_fallback(
+                    "optimize",
+                    stage_policy(common),
+                    classify,
+                    |tok| run_opt(SearchScheme::GaussianApprox, tok),
+                    |tok| run_opt(SearchScheme::EqualScheme, tok),
+                )
+            } else {
+                supervisor.run_stage("optimize", stage_policy(common), classify, |tok| {
+                    run_opt(oargs.scheme, tok)
+                })
             }
-            let result = optimizer
-                .run(oargs.objective.clone())
-                .map_err(|e| CliError::Run(format!("optimization failed: {e}")))?;
+            .map_err(stage_err)?;
+            if outcome.degraded {
+                let _ = writeln!(
+                    out,
+                    "warning: gaussian σ-search failed; allocation below is the \
+                     conservative equal-scheme fallback (degraded)"
+                );
+            }
+            let result = outcome.value;
             let _ = writeln!(
                 out,
                 "{} | objective {} | σ_YŁ {:.4} | fp acc {:.3} -> quantized {:.3}",
@@ -518,11 +753,12 @@ fn run_inner(cmd: &Command) -> Result<String, CliError> {
             }
             warn_fallback_layers(&result.profile);
             if let Some(path) = &oargs.save {
-                let file = std::fs::File::create(path)
-                    .map_err(|e| CliError::Run(format!("cannot create {path}: {e}")))?;
+                let mut buf = Vec::new();
                 result
                     .allocation
-                    .save_csv(file)
+                    .save_csv(&mut buf)
+                    .map_err(|e| CliError::Run(format!("cannot write {path}: {e}")))?;
+                mupod_runtime::write_atomic(std::path::Path::new(path), &buf)
                     .map_err(|e| CliError::Run(format!("cannot write {path}: {e}")))?;
                 let _ = writeln!(out, "allocation written to {path}");
             }
@@ -609,6 +845,70 @@ mod tests {
         assert!(matches!(
             parse(&argv("inspect --model alexnet --log-level loud")),
             Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parses_supervision_flags() {
+        let cmd = parse(&argv(
+            "inspect --model alexnet --stage-timeout 2.5 --retries 5",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Inspect(c) => {
+                assert_eq!(c.stage_timeout, Some(Duration::from_secs_f64(2.5)));
+                assert_eq!(c.retries, 5);
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse(&argv("inspect --model alexnet")).unwrap() {
+            Command::Inspect(c) => {
+                assert_eq!(c.stage_timeout, None);
+                assert_eq!(c.retries, 3);
+            }
+            _ => panic!("wrong command"),
+        }
+        for bad in [
+            "inspect --model alexnet --stage-timeout 0",
+            "inspect --model alexnet --stage-timeout -3",
+            "inspect --model alexnet --stage-timeout soon",
+            "inspect --model alexnet --retries many",
+        ] {
+            assert!(matches!(parse(&argv(bad)), Err(CliError::Usage(_))), "{bad}");
+        }
+    }
+
+    #[test]
+    fn saved_artifacts_are_sealed_and_verifiable() {
+        let dir = std::env::temp_dir().join("mupod_cli_seal_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("p.csv");
+        let line = format!(
+            "profile --model alexnet --scale tiny --images 24 --deltas 6 --out {}",
+            csv.display()
+        );
+        run(&parse(&argv(&line)).unwrap()).unwrap();
+        mupod_runtime::verify_file(&csv).expect("fresh artifact must verify");
+        // Flip one payload byte: verification must fail with a typed
+        // error, and the profile loader must never see the bad bytes.
+        let mut bytes = std::fs::read(&csv).unwrap();
+        bytes[10] ^= 0x40;
+        std::fs::write(&csv, &bytes).unwrap();
+        assert!(matches!(
+            mupod_runtime::verify_file(&csv),
+            Err(mupod_runtime::ArtifactError::ChecksumMismatch { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pre_cancelled_token_exits_interrupted() {
+        let cmd = parse(&argv("inspect --model alexnet --scale tiny --images 24")).unwrap();
+        let token = CancelToken::new();
+        token.cancel(mupod_runtime::CancelReason::Interrupt);
+        assert!(matches!(
+            run_with_token(&cmd, &token),
+            Err(CliError::Interrupted)
         ));
     }
 
@@ -744,7 +1044,11 @@ mod tests {
         let (metrics_b, _) = run_once("b");
 
         let counters = |text: &str| {
-            let value = mupod_obs::json::parse(text).expect("metrics parse");
+            // Exports are sealed artifacts; drop the `#mupod-artifact`
+            // footer before handing the payload to the strict parser.
+            let payload = mupod_runtime::unseal(text.as_bytes()).expect("footer");
+            let value = mupod_obs::json::parse(std::str::from_utf8(payload).unwrap())
+                .expect("metrics parse");
             value.as_object().unwrap()["counters"].clone()
         };
         let counters_a = counters(&metrics_a);
@@ -762,7 +1066,9 @@ mod tests {
             assert!(map[key].as_f64().unwrap() > 0.0, "{key} missing");
         }
 
-        let trace = mupod_obs::json::parse(&trace_a).expect("trace parse");
+        let trace_payload = mupod_runtime::unseal(trace_a.as_bytes()).expect("footer");
+        let trace = mupod_obs::json::parse(std::str::from_utf8(trace_payload).unwrap())
+            .expect("trace parse");
         let events = trace.as_object().unwrap()["traceEvents"].as_array().unwrap();
         let phase_count = |ph: &str| {
             events

@@ -4,11 +4,19 @@ use mupod_cli::CliError;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match mupod_cli::parse(&args).and_then(|cmd| mupod_cli::run(&cmd)) {
+    // One token for the whole run: SIGINT flips it, every stage drains
+    // at its next checkpoint, observability still exports, and the exit
+    // status tells scripts exactly what happened.
+    let token = mupod_runtime::CancelToken::new();
+    mupod_runtime::install_sigint(&token);
+    match mupod_cli::parse(&args).and_then(|cmd| mupod_cli::run_with_token(&cmd, &token)) {
         Ok(text) => print!("{text}"),
         // Bad invocation: explain and show usage (exit 2). Runtime
         // failure: one-line diagnostic only (exit 1) — the arguments
         // were fine, repeating the usage text would bury the error.
+        // Supervised failures get their own codes so unattended sweeps
+        // can tell "raise the deadline" (4) from "investigate" (3) from
+        // "the user hit Ctrl-C" (130).
         Err(CliError::Usage(msg)) => {
             eprintln!("usage error: {msg}");
             eprintln!();
@@ -18,6 +26,18 @@ fn main() {
         Err(e @ CliError::Run(_)) => {
             eprintln!("error: {e}");
             std::process::exit(1);
+        }
+        Err(e @ CliError::StageFailed(_)) => {
+            eprintln!("error: {e}");
+            std::process::exit(3);
+        }
+        Err(e @ CliError::StageTimeout(_)) => {
+            eprintln!("error: {e}");
+            std::process::exit(4);
+        }
+        Err(e @ CliError::Interrupted) => {
+            eprintln!("error: {e}");
+            std::process::exit(130);
         }
     }
 }

@@ -1,0 +1,151 @@
+//! Corruption matrix: every on-disk artifact format × every damage
+//! kind must yield a typed `Err` from its loader — never a panic, never
+//! a silently-wrong value.
+//!
+//! Formats: profile CSV, allocation CSV, metrics JSON, trace JSON (all
+//! sealed by the atomic writer), plus the raw sealed-artifact layer
+//! itself. Damage kinds: truncation at several depths, single-bit
+//! flips, random garbage, stale schema, empty file. The journal format
+//! has its own corruption suite in `mupod-core`'s fault-injection tests
+//! (per-record checksums, not a whole-file footer).
+
+use std::path::{Path, PathBuf};
+
+fn argv(s: &str) -> Vec<String> {
+    s.split_whitespace().map(|x| x.to_string()).collect()
+}
+
+fn run_cli(line: &str) -> String {
+    mupod_cli::run(&mupod_cli::parse(&argv(line)).unwrap()).unwrap()
+}
+
+/// Generates one genuine copy of every artifact format.
+fn generate_artifacts(dir: &Path) -> Vec<(&'static str, PathBuf)> {
+    let profile = dir.join("p.csv");
+    let alloc = dir.join("a.csv");
+    let metrics = dir.join("m.json");
+    let trace = dir.join("t.json");
+    run_cli(&format!(
+        "profile --model alexnet --scale tiny --images 24 --deltas 6 --out {} --metrics-out {} --trace-out {}",
+        profile.display(),
+        metrics.display(),
+        trace.display()
+    ));
+    run_cli(&format!(
+        "optimize --model alexnet --scale tiny --images 24 --objective mac --loss 5 --profile {} --save {}",
+        profile.display(),
+        alloc.display()
+    ));
+    vec![
+        ("profile-csv", profile),
+        ("alloc-csv", alloc),
+        ("metrics-json", metrics),
+        ("trace-json", trace),
+    ]
+}
+
+/// Damage kinds applied to each pristine artifact.
+fn damaged_variants(pristine: &[u8]) -> Vec<(&'static str, Vec<u8>)> {
+    let mut out = vec![
+        ("empty", Vec::new()),
+        ("truncate-head", pristine[..pristine.len().min(3)].to_vec()),
+        ("truncate-half", pristine[..pristine.len() / 2].to_vec()),
+        (
+            "truncate-tail",
+            pristine[..pristine.len().saturating_sub(5)].to_vec(),
+        ),
+        (
+            "garbage",
+            b"\x00\xff\x13\x37 not any kind of artifact \x7f\x80".to_vec(),
+        ),
+        ("stale-schema", {
+            // A plausible-looking but wrong header ahead of real rows.
+            let mut b = b"col_a,col_b\n".to_vec();
+            b.extend_from_slice(pristine);
+            b
+        }),
+    ];
+    // Bit flips at several depths, including inside the footer.
+    for (tag, frac) in [
+        ("bitflip-early", 0.1),
+        ("bitflip-mid", 0.5),
+        ("bitflip-late", 0.9),
+    ] {
+        let mut b = pristine.to_vec();
+        let idx = ((b.len() as f64 * frac) as usize).min(b.len() - 1);
+        b[idx] ^= 0x10;
+        out.push((tag, b));
+    }
+    out
+}
+
+/// Every damaged variant must fail closed at the integrity layer.
+#[test]
+fn sealed_artifact_layer_rejects_all_damage() {
+    let dir = std::env::temp_dir().join(format!("mupod_matrix_seal_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for (format, path) in generate_artifacts(&dir) {
+        let pristine = std::fs::read(&path).unwrap();
+        mupod_runtime::verify_file(&path)
+            .unwrap_or_else(|e| panic!("{format}: pristine artifact must verify: {e}"));
+        for (damage, bytes) in damaged_variants(&pristine) {
+            let bad = dir.join(format!("{format}_{damage}"));
+            std::fs::write(&bad, &bytes).unwrap();
+            let verdict = mupod_runtime::verify_file(&bad);
+            assert!(
+                verdict.is_err(),
+                "{format} × {damage}: damaged file must not verify"
+            );
+            let read = mupod_runtime::read_verified(&bad);
+            assert!(
+                read.is_err(),
+                "{format} × {damage}: read_verified must fail closed"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The format parsers themselves must return typed errors (not panic)
+/// even when handed damaged bytes directly, bypassing the footer check
+/// — e.g. a file produced by an older unsealed version and then
+/// corrupted.
+#[test]
+fn format_parsers_never_panic_on_damage() {
+    let dir = std::env::temp_dir().join(format!("mupod_matrix_parse_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for (format, path) in generate_artifacts(&dir) {
+        let pristine = std::fs::read(&path).unwrap();
+        for (damage, bytes) in damaged_variants(&pristine) {
+            let outcome = std::panic::catch_unwind(|| match format {
+                "profile-csv" => mupod_core::Profile::load_csv(bytes.as_slice())
+                    .err()
+                    .map(|e| e.to_string()),
+                "alloc-csv" => mupod_quant::BitwidthAllocation::load_csv(bytes.as_slice())
+                    .err()
+                    .map(|e| e.to_string()),
+                "metrics-json" | "trace-json" => match std::str::from_utf8(&bytes) {
+                    // Lossy damage may break UTF-8 itself; that is a
+                    // typed failure upstream of the parser.
+                    Err(e) => Some(e.to_string()),
+                    Ok(text) => mupod_obs::json::parse(text).err(),
+                },
+                other => panic!("unknown format {other}"),
+            });
+            let parsed = outcome
+                .unwrap_or_else(|_| panic!("{format} × {damage}: parser panicked"));
+            // Some damage is syntactically survivable (a bit flip inside
+            // a numeric literal still parses); the integrity footer
+            // exists precisely to catch those. The parser's only
+            // obligation here is: no panic. But wholesale damage must
+            // still be a typed error.
+            if matches!(damage, "empty" | "garbage" | "truncate-head") {
+                assert!(
+                    parsed.is_some(),
+                    "{format} × {damage}: expected a typed parse error"
+                );
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

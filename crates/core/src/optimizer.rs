@@ -18,6 +18,9 @@ pub enum OptimizeError {
     /// The final fixed-point validation violated the accuracy target;
     /// payload is `(measured, target)`.
     ValidationFailed(f64, f64),
+    /// The pipeline was cancelled (SIGINT or a supervisor deadline) and
+    /// drained between stages.
+    Cancelled(mupod_runtime::CancelReason),
 }
 
 impl std::fmt::Display for OptimizeError {
@@ -29,6 +32,9 @@ impl std::fmt::Display for OptimizeError {
                 f,
                 "final validation accuracy {got:.4} below target {want:.4}"
             ),
+            OptimizeError::Cancelled(reason) => {
+                write!(f, "optimization cancelled ({reason})")
+            }
         }
     }
 }
@@ -131,6 +137,7 @@ pub struct PrecisionOptimizer<'a> {
     allocate_config: AllocateConfig,
     reuse_profile: Option<Profile>,
     validate: bool,
+    cancel: Option<mupod_runtime::CancelToken>,
 }
 
 impl std::fmt::Debug for PrecisionOptimizer<'_> {
@@ -159,6 +166,7 @@ impl<'a> PrecisionOptimizer<'a> {
             allocate_config: AllocateConfig::default(),
             reuse_profile: None,
             validate: true,
+            cancel: None,
         }
     }
 
@@ -227,6 +235,23 @@ impl<'a> PrecisionOptimizer<'a> {
         self
     }
 
+    /// Installs a cooperative cancellation token, polled between
+    /// pipeline stages (and inside the profiling sweep). A cancelled
+    /// run drains and returns [`OptimizeError::Cancelled`].
+    pub fn with_cancel(mut self, token: mupod_runtime::CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    fn cancel_checkpoint(&self) -> Result<(), OptimizeError> {
+        match &self.cancel {
+            Some(token) => token
+                .checkpoint()
+                .map_err(|c| OptimizeError::Cancelled(c.reason)),
+            None => Ok(()),
+        }
+    }
+
     /// Runs the pipeline for one objective.
     ///
     /// # Errors
@@ -245,6 +270,7 @@ impl<'a> PrecisionOptimizer<'a> {
         let _run_span = mupod_obs::span("optimize.run");
 
         // 1. Profile (or reuse).
+        self.cancel_checkpoint()?;
         let mut profile = {
             let _span = mupod_obs::span("optimize.profile");
             match &self.reuse_profile {
@@ -252,9 +278,12 @@ impl<'a> PrecisionOptimizer<'a> {
                 None => {
                     let n = self.profile_images.min(self.dataset.len()).max(1);
                     let images = &self.dataset.images()[..n];
-                    Profiler::new(self.net, images)
-                        .with_config(self.profile_config)
-                        .profile(&layers)?
+                    let mut profiler =
+                        Profiler::new(self.net, images).with_config(self.profile_config);
+                    if let Some(token) = &self.cancel {
+                        profiler = profiler.with_cancel(token.clone());
+                    }
+                    profiler.profile(&layers)?
                 }
             }
         };
@@ -271,6 +300,7 @@ impl<'a> PrecisionOptimizer<'a> {
         );
 
         // 2. Binary search for σ_{Y_Ł}.
+        self.cancel_checkpoint()?;
         let _search_span = mupod_obs::span("optimize.search");
         let evaluator = AccuracyEvaluator::new(self.net, self.dataset, self.mode);
         let fp_accuracy = evaluator.fp_accuracy();
@@ -295,6 +325,7 @@ impl<'a> PrecisionOptimizer<'a> {
         let mut sigma_for_alloc = sigma.sigma.max(1e-6);
         let mut last: Option<(AllocationOutcome, f64)> = None;
         for attempt in 0..4 {
+            self.cancel_checkpoint()?;
             let outcome = {
                 let _span = mupod_obs::span("optimize.allocate");
                 allocate(&profile, sigma_for_alloc, &objective, &self.allocate_config)

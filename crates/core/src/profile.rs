@@ -192,6 +192,10 @@ pub enum ProfileError {
     NotAnalyzable(NodeId),
     /// A profiling worker thread panicked.
     WorkerPanicked,
+    /// The sweep was cancelled (SIGINT or a supervisor deadline) and
+    /// drained at a safe point. Journaled runs keep every completed
+    /// layer on disk; resuming re-profiles only the rest.
+    Cancelled(mupod_runtime::CancelReason),
 }
 
 impl std::fmt::Display for ProfileError {
@@ -209,6 +213,9 @@ impl std::fmt::Display for ProfileError {
                 write!(f, "node {node} is not a dot-product layer")
             }
             ProfileError::WorkerPanicked => write!(f, "a profiling worker panicked"),
+            ProfileError::Cancelled(reason) => {
+                write!(f, "profiling sweep cancelled ({reason})")
+            }
         }
     }
 }
@@ -393,6 +400,7 @@ pub struct Profiler<'a> {
     pub(crate) images: &'a [Tensor],
     pub(crate) config: ProfileConfig,
     pub(crate) progress: Option<ProgressFn<'a>>,
+    pub(crate) cancel: Option<mupod_runtime::CancelToken>,
 }
 
 /// Progress callback: `(layers_done, layers_total, last_layer_name)`.
@@ -418,6 +426,7 @@ impl<'a> Profiler<'a> {
             images,
             config: ProfileConfig::default(),
             progress: None,
+            cancel: None,
         }
     }
 
@@ -436,10 +445,30 @@ impl<'a> Profiler<'a> {
         self
     }
 
+    /// Installs a cooperative cancellation token. The sweep polls it
+    /// between layers and between `Δ` magnitudes; on cancellation it
+    /// drains and returns [`ProfileError::Cancelled`]. The token is not
+    /// part of the journal fingerprint — an interrupted journaled run
+    /// resumes bit-identically.
+    pub fn with_cancel(mut self, token: mupod_runtime::CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Reports `done` of `total` layers finished, `name` most recently.
     pub(crate) fn report_progress(&self, done: usize, total: usize, name: &str) {
         if let Some(cb) = &self.progress {
             cb(done, total, name);
+        }
+    }
+
+    /// Polls the cancellation token (no-op without one).
+    pub(crate) fn cancel_checkpoint(&self) -> Result<(), ProfileError> {
+        match &self.cancel {
+            Some(token) => token
+                .checkpoint()
+                .map_err(|c| ProfileError::Cancelled(c.reason)),
+            None => Ok(()),
         }
     }
 
@@ -567,6 +596,7 @@ impl<'a> Profiler<'a> {
         inventory: &LayerInventory,
         rng: &SeededRng,
     ) -> Result<LayerProfile, ProfileError> {
+        self.cancel_checkpoint()?;
         let info = inventory
             .find(layer)
             .ok_or(ProfileError::NotAnalyzable(layer))?;
@@ -602,6 +632,9 @@ impl<'a> Profiler<'a> {
         let mut sigmas = Vec::with_capacity(cfg.n_deltas);
         let mut deltas = Vec::with_capacity(cfg.n_deltas);
         for j in 0..cfg.n_deltas {
+            // Drain point: a cancelled sweep abandons the layer between
+            // Δ magnitudes, never mid-statistic.
+            self.cancel_checkpoint()?;
             let delta = scale
                 * cfg.delta_max_fraction
                 * (-(j as f64) * cfg.delta_step_octaves).exp2();
@@ -677,6 +710,59 @@ mod tests {
         let spec = DatasetSpec::new(scale.classes, 3, scale.input_hw, scale.input_hw);
         let data = Dataset::generate(&spec, 92, 12);
         (net, data.images().to_vec())
+    }
+
+    #[test]
+    fn pre_cancelled_token_drains_before_first_layer() {
+        let (net, images) = setup();
+        let layers = ModelKind::AlexNet.analyzable_layers(&net);
+        let token = mupod_runtime::CancelToken::new();
+        token.cancel(mupod_runtime::CancelReason::Interrupt);
+        let err = Profiler::new(&net, &images)
+            .with_cancel(token)
+            .profile(&layers)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ProfileError::Cancelled(mupod_runtime::CancelReason::Interrupt)
+            ),
+            "expected Cancelled, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn cancel_mid_sweep_drains_between_layers() {
+        let (net, images) = setup();
+        let layers = ModelKind::AlexNet.analyzable_layers(&net);
+        let token = mupod_runtime::CancelToken::new();
+        let seen = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let profiler = Profiler::new(&net, &images)
+            .with_config(ProfileConfig {
+                threads: 1, // sequential: deterministic drain point
+                ..Default::default()
+            })
+            .with_cancel(token.clone())
+            .with_progress({
+                let token = token.clone();
+                let seen = seen.clone();
+                move |done, _total, _name| {
+                    seen.store(done, std::sync::atomic::Ordering::SeqCst);
+                    if done == 1 {
+                        token.cancel(mupod_runtime::CancelReason::Timeout);
+                    }
+                }
+            });
+        let err = profiler.profile(&layers).unwrap_err();
+        assert!(matches!(
+            err,
+            ProfileError::Cancelled(mupod_runtime::CancelReason::Timeout)
+        ));
+        let done = seen.load(std::sync::atomic::Ordering::SeqCst);
+        assert!(
+            done < layers.len(),
+            "sweep should drain early, but completed all {done} layers"
+        );
     }
 
     #[test]

@@ -187,7 +187,10 @@ impl Profile {
         let mut layers = Vec::new();
         for (i, line) in lines {
             let line = line?;
-            if line.trim().is_empty() {
+            // `#` lines: comments and the sealed-artifact integrity
+            // footer (`#mupod-artifact v1 ...`) appended by the atomic
+            // writer.
+            if line.trim().is_empty() || line.starts_with('#') {
                 continue;
             }
             layers.push(
@@ -297,16 +300,9 @@ impl From<std::io::Error> for JournalError {
 const JOURNAL_MAGIC: &str = "mupod-journal";
 const JOURNAL_VERSION: &str = "v1";
 
-/// FNV-1a 64-bit hash — tiny, dependency-free, and plenty to catch
-/// truncation and bit flips in a line-oriented text file.
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// FNV-1a 64-bit — the same hash the sealed-artifact footer uses, so
+/// journal records and final artifacts share one integrity primitive.
+use mupod_runtime::artifact::fnv1a64;
 
 /// Fingerprint of every profiling input that affects the journal's
 /// contents. Thread count and replay mode are excluded: results are
@@ -546,18 +542,23 @@ impl<'a> Profiler<'a> {
 
         // Rewrite the file when starting fresh or when a partial trailing
         // record must be dropped; otherwise append. The rewrite replays
-        // the already-valid records verbatim.
+        // the already-valid records verbatim and goes through the atomic
+        // writer so a crash mid-rewrite can never lose the old journal —
+        // the per-record checksums (not a whole-file footer) remain the
+        // integrity mechanism because the file is append-mostly.
         let mut file = if resumed == 0 || dropped_partial {
-            let mut f = std::fs::File::create(path).map_err(JournalError::Io)?;
             let mut contents = journal_header(&fp);
             contents.push('\n');
             for (li, l) in &done {
                 let payload = record_payload(*li, l);
                 contents.push_str(&format!("{:016x} {payload}\n", fnv1a64(payload.as_bytes())));
             }
-            f.write_all(contents.as_bytes()).map_err(JournalError::Io)?;
-            f.flush().map_err(JournalError::Io)?;
-            f
+            mupod_runtime::artifact::write_atomic_unsealed(path, contents.as_bytes())
+                .map_err(|e| JournalError::Io(e.into_io()))?;
+            std::fs::OpenOptions::new()
+                .append(true)
+                .open(path)
+                .map_err(JournalError::Io)?
         } else {
             std::fs::OpenOptions::new()
                 .append(true)

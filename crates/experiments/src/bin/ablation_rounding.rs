@@ -19,6 +19,7 @@ use mupod_quant::FixedPointFormat;
 use std::collections::HashMap;
 
 fn main() {
+    let mut rep = mupod_experiments::Report::from_args();
     let size = RunSize::from_args();
     let prepared = prepare(ModelKind::ResNet152, &size);
     let net = &prepared.net;
@@ -26,8 +27,8 @@ fn main() {
     let inventory = LayerInventory::measure(net, prepared.eval.images().iter().cloned());
     let ev = AccuracyEvaluator::new(net, &prepared.eval, AccuracyMode::FpAgreement);
 
-    println!("# EXP-ABL3: nearest vs stochastic rounding (ResNet-152, {} layers)", layers.len());
-    println!();
+    mupod_experiments::report!(rep, "# EXP-ABL3: nearest vs stochastic rounding (ResNet-152, {} layers)", layers.len());
+    mupod_experiments::report!(rep);
     let mut rows = Vec::new();
     for bits in [14u32, 12, 10, 9, 8, 7, 6] {
         let formats: HashMap<_, _> = layers
@@ -47,17 +48,18 @@ fn main() {
             f(stochastic - nearest, 3),
         ]);
     }
-    println!(
+    mupod_experiments::report!(rep, 
         "{}",
         markdown_table(
             &["uniform bits", "nearest", "stochastic", "Δ(stoch − nearest)"],
             &rows
         )
     );
-    println!();
-    println!(
+    mupod_experiments::report!(rep);
+    mupod_experiments::report!(rep, 
         "Negative Δ means nearest rounding wins: its correlated bias costs less\n\
          than stochastic rounding's doubled error variance (step²/6 vs step²/12).\n\
          This supports the paper's use of correct (nearest) rounding."
     );
+    rep.finish();
 }

@@ -18,6 +18,7 @@ use mupod_models::ModelKind;
 use mupod_stats::LinearFit;
 
 fn main() {
+    let mut rep = mupod_experiments::Report::from_args();
     let size = RunSize::from_args();
     let prepared = prepare(ModelKind::AlexNet, &size);
     let net = &prepared.net;
@@ -32,8 +33,8 @@ fn main() {
         .profile(&layers)
         .expect("profiling succeeds");
 
-    println!("# EXP-ABL1: the θ intercept ablation (vs Lin et al. [4])");
-    println!();
+    mupod_experiments::report!(rep, "# EXP-ABL1: the θ intercept ablation (vs Lin et al. [4])");
+    mupod_experiments::report!(rep);
 
     // (a) Fit quality with and without the intercept, per layer.
     let rows: Vec<Vec<String>> = profile
@@ -69,7 +70,7 @@ fn main() {
             ]
         })
         .collect();
-    println!(
+    mupod_experiments::report!(rep, 
         "{}",
         markdown_table(
             &["layer", "theta", "max rel err (with θ)", "max rel err (θ=0)"],
@@ -91,22 +92,22 @@ fn main() {
     );
     let acc_with = ev.accuracy_of_allocation(&layers, &with_theta.allocation);
     let acc_zero = ev.accuracy_of_allocation(&layers, &zero_theta.allocation);
-    println!();
-    println!("At the searched σ = {:.3} (1% loss target {:.3}):", sigma, target);
-    println!(
+    mupod_experiments::report!(rep);
+    mupod_experiments::report!(rep, "At the searched σ = {:.3} (1% loss target {:.3}):", sigma, target);
+    mupod_experiments::report!(rep, 
         "  with θ: bits {:?}, validated accuracy {:.3}",
         with_theta.allocation.bits(),
         acc_with
     );
-    println!(
+    mupod_experiments::report!(rep, 
         "  θ = 0 : bits {:?}, validated accuracy {:.3}",
         zero_theta.allocation.bits(),
         acc_zero
     );
     let bits_with: u32 = with_theta.allocation.bits().iter().sum();
     let bits_zero: u32 = zero_theta.allocation.bits().iter().sum();
-    println!();
-    println!(
+    mupod_experiments::report!(rep);
+    mupod_experiments::report!(rep, 
         "θ=0 shifts the allocation by {} total bits and {} accuracy; a positive θ\n\
          grants coarser formats at the same output budget, a negative θ guards\n\
          against over-coarsening. Forcing θ=0 degrades the Δ prediction (table\n\
@@ -114,4 +115,5 @@ fn main() {
         bits_zero as i64 - bits_with as i64,
         f(acc_zero - acc_with, 3)
     );
+    rep.finish();
 }

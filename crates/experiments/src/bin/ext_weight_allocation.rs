@@ -19,6 +19,7 @@ use mupod_quant::FixedPointFormat;
 use std::collections::HashMap;
 
 fn main() {
+    let mut rep = mupod_experiments::Report::from_args();
     let size = RunSize::from_args();
     let prepared = prepare(ModelKind::Nin, &size);
     let net = &prepared.net;
@@ -117,8 +118,8 @@ fn main() {
         .map(|(&n, &b)| n as f64 * b as f64)
         .sum();
 
-    println!("# EXP-EXT1: analytical per-layer weight bitwidths (extension)");
-    println!();
+    mupod_experiments::report!(rep, "# EXP-EXT1: analytical per-layer weight bitwidths (extension)");
+    mupod_experiments::report!(rep);
     let rows: Vec<Vec<String>> = w_profile
         .layers()
         .iter()
@@ -134,26 +135,27 @@ fn main() {
             ]
         })
         .collect();
-    println!(
+    mupod_experiments::report!(rep, 
         "{}",
         markdown_table(
             &["layer", "#weights", "lambda_w", "max|W|", "uniform W", "analytic W"],
             &rows
         )
     );
-    println!();
-    println!(
+    mupod_experiments::report!(rep);
+    mupod_experiments::report!(rep, 
         "weight storage: uniform {} kbit -> analytic {} kbit ({}% saving)",
         f(total_uniform / 1e3, 1),
         f(total_analytic / 1e3, 1),
         pct((1.0 - total_analytic / total_uniform) * 100.0)
     );
-    println!(
+    mupod_experiments::report!(rep, 
         "accuracy at floor {:.3}: uniform {:.3}, analytic {:.3}",
         target, uniform_acc, analytic_acc
     );
-    println!(
+    mupod_experiments::report!(rep, 
         "(the paper's uniform W plus its own Eq. 2 imply this generalization; it\n\
          trades storage between layers exactly like the input allocation does)"
     );
+    rep.finish();
 }

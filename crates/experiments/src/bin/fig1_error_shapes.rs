@@ -16,6 +16,7 @@ use mupod_stats::histogram::normal_pdf;
 use mupod_stats::{Histogram, RunningStats, SeededRng};
 
 fn main() {
+    let mut rep = mupod_experiments::Report::from_args();
     let size = RunSize::from_args();
     let prepared = prepare(ModelKind::AlexNet, &size);
     let net = &prepared.net;
@@ -56,33 +57,33 @@ fn main() {
         }
     }
 
-    println!("# EXP-F1: error shapes (Fig. 1)");
-    println!();
-    println!(
+    mupod_experiments::report!(rep, "# EXP-F1: error shapes (Fig. 1)");
+    mupod_experiments::report!(rep);
+    mupod_experiments::report!(rep, 
         "Injected U[-{delta}, {delta}] at layer `{}` over {} images.",
         net.node(layer).name,
         prepared.eval.len()
     );
-    println!();
-    println!(
+    mupod_experiments::report!(rep);
+    mupod_experiments::report!(rep, 
         "Input error:  mean {} | s.d. {} (theory: Δ/√3 = {})",
         f(input_errors.mean(), 5),
         f(input_errors.population_std(), 5),
         f(delta / 3.0f64.sqrt(), 5),
     );
     let out_sd = output_errors.population_std();
-    println!(
+    mupod_experiments::report!(rep, 
         "Output error: mean {} | s.d. {}",
         f(output_errors.mean(), 5),
         f(out_sd, 5),
     );
-    println!();
-    println!("Input-error histogram (should be flat / uniform):");
-    println!("{}", in_hist.render_ascii(48));
+    mupod_experiments::report!(rep);
+    mupod_experiments::report!(rep, "Input-error histogram (should be flat / uniform):");
+    mupod_experiments::report!(rep, "{}", in_hist.render_ascii(48));
     let mut out_hist = Histogram::new(-4.0 * out_sd, 4.0 * out_sd, 41);
     out_hist.extend(out_samples.iter().copied());
-    println!("Output-error histogram (should be bell-shaped / Gaussian):");
-    println!("{}", out_hist.render_ascii(48));
+    mupod_experiments::report!(rep, "Output-error histogram (should be bell-shaped / Gaussian):");
+    mupod_experiments::report!(rep, "{}", out_hist.render_ascii(48));
 
     let tv_gauss = out_hist.total_variation_vs(|x| normal_pdf(x, 0.0, out_sd));
     let uniform_halfwidth = out_sd * 3.0f64.sqrt();
@@ -93,12 +94,12 @@ fn main() {
             0.0
         }
     });
-    println!(
+    mupod_experiments::report!(rep, 
         "Output-error TV distance: vs N(0, σ²) = {} | vs uniform = {}",
         f(tv_gauss, 4),
         f(tv_unif, 4)
     );
-    println!(
+    mupod_experiments::report!(rep, 
         "=> output error is {} (paper: output error ≈ Gaussian)",
         if tv_gauss < tv_unif {
             "closer to Gaussian"
@@ -106,4 +107,5 @@ fn main() {
             "NOT Gaussian-shaped — check the model"
         }
     );
+    rep.finish();
 }

@@ -13,8 +13,9 @@ use mupod_experiments::{f, markdown_table, prepare, RunSize};
 use mupod_models::ModelKind;
 
 fn main() {
+    let mut rep = mupod_experiments::Report::from_args();
     let size = RunSize::from_args();
-    println!("# EXP-F2: Δ vs σ cross-layer linearity (Fig. 2)");
+    mupod_experiments::report!(rep, "# EXP-F2: Δ vs σ cross-layer linearity (Fig. 2)");
     for kind in [ModelKind::Vgg19, ModelKind::GoogleNet] {
         let prepared = prepare(kind, &size);
         let net = &prepared.net;
@@ -29,15 +30,15 @@ fn main() {
             .profile(&layers)
             .expect("profiling succeeds");
 
-        println!();
-        println!(
+        mupod_experiments::report!(rep);
+        mupod_experiments::report!(rep, 
             "## {kind} — {} layers, {} images × {} logits × {} repeats per point",
             layers.len(),
             images.len(),
             prepared.scale.classes,
             size.repeats
         );
-        println!();
+        mupod_experiments::report!(rep);
         let rows: Vec<Vec<String>> = profile
             .layers()
             .iter()
@@ -51,7 +52,7 @@ fn main() {
                 ]
             })
             .collect();
-        println!(
+        mupod_experiments::report!(rep, 
             "{}",
             markdown_table(&["layer", "lambda", "theta", "R^2", "max rel err"], &rows)
         );
@@ -60,15 +61,16 @@ fn main() {
             .iter()
             .filter(|l| l.max_relative_error < 0.10)
             .count();
-        println!(
+        mupod_experiments::report!(rep, 
             "layers with < 10% worst-case prediction error: {}/{} | worst overall: {:.1}% | min R² {:.4}",
             n_ok,
             profile.len(),
             profile.max_relative_error() * 100.0,
             profile.min_r_squared(),
         );
-        println!(
+        mupod_experiments::report!(rep, 
             "(paper: mostly < 5%, worst ~10%, on 500 ImageNet images × 1000 logits)"
         );
     }
+    rep.finish();
 }

@@ -21,6 +21,7 @@ use mupod_stats::{Histogram, RunningStats, SeededRng};
 use std::collections::HashMap;
 
 fn main() {
+    let mut rep = mupod_experiments::Report::from_args();
     let size = RunSize::from_args();
     let prepared = prepare(ModelKind::AlexNet, &size);
     let net = &prepared.net;
@@ -37,13 +38,13 @@ fn main() {
     let ev = AccuracyEvaluator::new(net, &prepared.eval, AccuracyMode::FpAgreement);
     let l = layers.len() as f64;
 
-    println!("# EXP-F3: σ_YŁ vs accuracy (Fig. 3)");
-    println!();
-    println!(
+    mupod_experiments::report!(rep, "# EXP-F3: σ_YŁ vs accuracy (Fig. 3)");
+    mupod_experiments::report!(rep);
+    mupod_experiments::report!(rep, 
         "AlexNet, {} eval images, fp-agreement accuracy (relative accuracy).",
         prepared.eval.len()
     );
-    println!();
+    mupod_experiments::report!(rep);
 
     // Anchor the sweep on the clean logit scale: the paper's absolute σ
     // axis (0..1.5) presumes ImageNet-scale logits; sweeping relative to
@@ -54,8 +55,8 @@ fn main() {
         logit_stats.extend(net.output(&acts).data().iter().map(|&v| v as f64));
     }
     let logit_sd = logit_stats.population_std();
-    println!("clean logit s.d. = {} (sweep is relative to it)", f(logit_sd, 3));
-    println!();
+    mupod_experiments::report!(rep, "clean logit s.d. = {} (sweep is relative to it)", f(logit_sd, 3));
+    mupod_experiments::report!(rep);
     let sigmas: Vec<f64> = [0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 3.2]
         .iter()
         .map(|m| m * logit_sd)
@@ -106,18 +107,18 @@ fn main() {
             f(worst_dev, 3),
         ]);
     }
-    println!(
+    mupod_experiments::report!(rep, 
         "{}",
         markdown_table(
             &["sigma_YL", "equal_scheme", "gaussian_approx", "xi=0.8 max dev"],
             &rows
         )
     );
-    println!(
+    mupod_experiments::report!(rep, 
         "(paper: the two series track each other; corner-case variation is\n\
          tolerable while accuracy loss stays below ~5%)"
     );
-    println!();
+    mupod_experiments::report!(rep);
 
     // Output-error histogram vs N(0,1): inject with equal scheme at a
     // mid-sweep σ, collect normalized output errors.
@@ -143,21 +144,22 @@ fn main() {
     let sd = stats.population_std();
     let mut hist = Histogram::new(-4.0, 4.0, 41);
     hist.extend(samples.iter().map(|e| e / sd));
-    println!(
+    mupod_experiments::report!(rep, 
         "Output error at σ target {}: measured s.d. = {}, mean = {:.2e} on {} values",
         f(sigma, 3),
         f(sd, 3),
         stats.mean(),
         stats.count()
     );
-    println!(
+    mupod_experiments::report!(rep, 
         "(paper: s.d. 0.99, mean 7e-5 on 5×10⁵ values — i.e. the injected σ is realized)"
     );
-    println!();
-    println!("Normalized output-error histogram vs N(0,1):");
-    println!("{}", hist.render_ascii(48));
-    println!(
+    mupod_experiments::report!(rep);
+    mupod_experiments::report!(rep, "Normalized output-error histogram vs N(0,1):");
+    mupod_experiments::report!(rep, "{}", hist.render_ascii(48));
+    mupod_experiments::report!(rep, 
         "TV distance vs N(0,1): {}",
         f(hist.total_variation_vs(standard_normal_pdf), 4)
     );
+    rep.finish();
 }

@@ -17,6 +17,7 @@ use mupod_models::ModelKind;
 use mupod_nn::inventory::LayerInventory;
 
 fn main() {
+    let mut rep = mupod_experiments::Report::from_args();
     let size = RunSize::from_args();
     let prepared = prepare(ModelKind::Nin, &size);
     let net = &prepared.net;
@@ -54,8 +55,8 @@ fn main() {
     let base_bits = base.allocation.bits();
     let opt_bits = opt.allocation.bits();
 
-    println!("# EXP-F4: NiN per-layer MAC energy (Fig. 4)");
-    println!();
+    mupod_experiments::report!(rep, "# EXP-F4: NiN per-layer MAC energy (Fig. 4)");
+    mupod_experiments::report!(rep);
     let rows: Vec<Vec<String>> = (0..layers.len())
         .map(|k| {
             vec![
@@ -69,7 +70,7 @@ fn main() {
             ]
         })
         .collect();
-    println!(
+    mupod_experiments::report!(rep, 
         "{}",
         markdown_table(
             &[
@@ -83,14 +84,14 @@ fn main() {
     let e_opt = model.network_energy(&macs, &opt_bits, weight_bits);
     let bw_base = bandwidth::total_input_bits(&inputs, &base_bits);
     let bw_opt = bandwidth::total_input_bits(&inputs, &opt_bits);
-    println!();
-    println!(
+    mupod_experiments::report!(rep);
+    mupod_experiments::report!(rep, 
         "Total MAC energy: baseline {} µJ -> optimized {} µJ  ({}% saving; paper: 22.8%)",
         f(e_base / 1e6, 3),
         f(e_opt / 1e6, 3),
         pct(MacEnergyModel::saving_percent(e_base, e_opt))
     );
-    println!(
+    mupod_experiments::report!(rep, 
         "Bandwidth cost of the energy objective: {}% (paper: 5.6% WORSE than baseline)",
         pct(bandwidth::saving_percent(bw_base, bw_opt))
     );
@@ -98,8 +99,9 @@ fn main() {
         .filter(|&k| macs[k] as f64 > 1.5 * macs.iter().sum::<u64>() as f64 / macs.len() as f64)
         .map(|k| k + 1)
         .collect();
-    println!(
+    mupod_experiments::report!(rep, 
         "Power-hungry layers (above 1.5x mean MACs): {heavy:?} — these should have\n\
          opt bits <= base bits while cheap layers may gain bits."
     );
+    rep.finish();
 }

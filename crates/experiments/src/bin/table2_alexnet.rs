@@ -18,6 +18,7 @@ use mupod_models::ModelKind;
 use mupod_nn::inventory::LayerInventory;
 
 fn main() {
+    let mut rep = mupod_experiments::Report::from_args();
     let size = RunSize::from_args();
     let prepared = prepare(ModelKind::AlexNet, &size);
     let net = &prepared.net;
@@ -75,15 +76,15 @@ fn main() {
     let in_opt = input_bits_of(&opt_input.allocation.bits());
     let mac_opt = mac_bits_of(&opt_mac.allocation.bits());
 
-    println!("# EXP-T2: AlexNet multi-objective optimization (Table II)");
-    println!();
-    println!(
+    mupod_experiments::report!(rep, "# EXP-T2: AlexNet multi-objective optimization (Table II)");
+    mupod_experiments::report!(rep);
+    mupod_experiments::report!(rep, 
         "σ_YŁ = {:.4} (paper: ≈0.32 on ImageNet-scale AlexNet), fp-agreement\n\
          accuracy, 1% relative loss, {} eval images.",
         opt_input.sigma.sigma,
         prepared.eval.len()
     );
-    println!();
+    mupod_experiments::report!(rep);
 
     let mut header = vec!["row"];
     let names: Vec<String> = infos.iter().map(|i| i.name.clone()).collect();
@@ -167,25 +168,26 @@ fn main() {
             format!("{:.1}", total(&mac_opt) / 1e6),
         ),
     ];
-    println!("{}", markdown_table(&header, &rows));
+    mupod_experiments::report!(rep, "{}", markdown_table(&header, &rows));
 
     let input_saving = (1.0 - total(&in_opt) / total(&in_base)) * 100.0;
     let mac_saving = (1.0 - total(&mac_opt) / total(&mac_base)) * 100.0;
-    println!();
-    println!(
+    mupod_experiments::report!(rep);
+    mupod_experiments::report!(rep, 
         "Input-traffic saving vs baseline: {}%  (paper: 15% vs Stripes baseline)",
         pct(input_saving)
     );
-    println!(
+    mupod_experiments::report!(rep, 
         "MAC-bits saving vs baseline:      {}%  (paper: 9.5%)",
         pct(mac_saving)
     );
-    println!(
+    mupod_experiments::report!(rep, 
         "Validated accuracies: opt-input {:.3}, opt-mac {:.3} (target {:.3}; baseline {:.3})",
         opt_input.validated_accuracy, opt_mac.validated_accuracy, target, baseline.accuracy
     );
-    println!(
+    mupod_experiments::report!(rep, 
         "Baseline search spent {} accuracy evaluations; analytical method spent {} (σ search only).",
         baseline.evaluations, opt_input.sigma.evaluations
     );
+    rep.finish();
 }

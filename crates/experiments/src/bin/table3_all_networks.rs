@@ -183,17 +183,18 @@ fn row_for(ctx: &NetContext, loss: f64, size: &RunSize, energy_model: &MacEnergy
 }
 
 fn main() {
+    let mut rep = mupod_experiments::Report::from_args();
     let size = RunSize::from_args();
     let (kinds, losses) = parse_filter();
     let energy_model = MacEnergyModel::dwip_40nm();
 
-    println!("# EXP-T3: effective bitwidths across networks (Table III)");
+    mupod_experiments::report!(rep, "# EXP-T3: effective bitwidths across networks (Table III)");
     let contexts: Vec<NetContext> = kinds.iter().map(|&k| build_context(k, &size)).collect();
 
     for loss in &losses {
-        println!();
-        println!("## {:.0}% relative accuracy drop", loss * 100.0);
-        println!();
+        mupod_experiments::report!(rep);
+        mupod_experiments::report!(rep, "## {:.0}% relative accuracy drop", loss * 100.0);
+        mupod_experiments::report!(rep);
         let rows: Vec<Row> = contexts
             .iter()
             .map(|ctx| row_for(ctx, *loss, &size, &energy_model))
@@ -217,7 +218,7 @@ fn main() {
                 ]
             })
             .collect();
-        println!(
+        mupod_experiments::report!(rep, 
             "{}",
             markdown_table(
                 &[
@@ -230,13 +231,14 @@ fn main() {
         let avg = |get: &dyn Fn(&Row) -> f64| -> f64 {
             rows.iter().map(get).sum::<f64>() / rows.len() as f64
         };
-        println!(
+        mupod_experiments::report!(rep, 
             "Average BW saving: {}%  |  Average energy saving: {}%",
             pct(avg(&|r| r.bw_save)),
             pct(avg(&|r| r.energy_save))
         );
-        println!(
+        mupod_experiments::report!(rep, 
             "(paper averages: 12.3% BW / 23.8% energy at 1%; 8.8% BW / 17.8% energy at 5%)"
         );
     }
+    rep.finish();
 }

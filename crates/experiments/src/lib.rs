@@ -133,6 +133,69 @@ pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// Buffered experiment output.
+///
+/// Every [`Report::line`] goes to stdout immediately (the binaries stay
+/// pipe-friendly) and accumulates in a buffer; when the process was
+/// started with `--out <path>`, [`Report::finish`] writes the whole
+/// buffer through the crash-safe atomic writer
+/// ([`mupod_runtime::write_atomic`]), so a regenerated table/figure
+/// deliverable on disk is always either the complete old version or the
+/// complete new one — never a truncated mix.
+pub struct Report {
+    buffer: String,
+    out: Option<std::path::PathBuf>,
+}
+
+impl Report {
+    /// Builds a report, reading `--out <path>` from the process args.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .map(std::path::PathBuf::from);
+        Self {
+            buffer: String::new(),
+            out,
+        }
+    }
+
+    /// Prints one line to stdout and appends it to the buffer. Use via
+    /// the [`report!`] macro.
+    pub fn line(&mut self, args: std::fmt::Arguments<'_>) {
+        use std::fmt::Write as _;
+        let _ = writeln!(self.buffer, "{args}");
+        println!("{args}");
+    }
+
+    /// Flushes the buffered report to `--out` (atomic, sealed). Exits
+    /// the process with status 1 on a write failure — a half-written
+    /// deliverable would defeat the point of buffering.
+    pub fn finish(self) {
+        if let Some(path) = &self.out {
+            if let Err(e) = mupod_runtime::write_atomic(path, self.buffer.as_bytes()) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("[report written to {}]", path.display());
+        }
+    }
+}
+
+/// `println!` that also lands in a [`Report`] buffer:
+/// `report!(rep, "fmt {}", x)` or `report!(rep)` for a blank line.
+#[macro_export]
+macro_rules! report {
+    ($r:expr) => {
+        $r.line(::std::format_args!(""))
+    };
+    ($r:expr, $($arg:tt)*) => {
+        $r.line(::std::format_args!($($arg)*))
+    };
+}
+
 /// Formats a float with fixed decimals.
 pub fn f(v: f64, decimals: usize) -> String {
     format!("{v:.decimals$}")
@@ -163,6 +226,23 @@ mod tests {
     #[should_panic(expected = "ragged")]
     fn markdown_table_rejects_ragged() {
         markdown_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn report_buffers_lines_and_seals_on_finish() {
+        let dir = std::env::temp_dir().join(format!("mupod_report_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.md");
+        let mut rep = Report {
+            buffer: String::new(),
+            out: Some(path.clone()),
+        };
+        crate::report!(rep, "value {}", 41 + 1);
+        crate::report!(rep);
+        rep.finish();
+        let payload = mupod_runtime::read_verified(&path).expect("sealed report verifies");
+        assert_eq!(payload, b"value 42\n\n");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

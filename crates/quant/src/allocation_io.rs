@@ -80,9 +80,12 @@ impl BitwidthAllocation {
             None => return Err(AllocationIoError::Parse(1, "empty file".into())),
         }
         let mut layers = Vec::new();
+        let mut seen = std::collections::HashSet::new();
         for (i, line) in lines {
             let line = line?;
-            if line.trim().is_empty() {
+            // `#` lines: comments and the sealed-artifact integrity
+            // footer appended by `mupod_runtime::artifact::write_atomic`.
+            if line.trim().is_empty() || line.starts_with('#') {
                 continue;
             }
             let fields: Vec<&str> = line.split(',').collect();
@@ -98,15 +101,38 @@ impl BitwidthAllocation {
             let frac_bits: i32 = fields[2].parse().map_err(|_| {
                 AllocationIoError::Parse(i + 1, format!("bad frac_bits `{}`", fields[2]))
             })?;
+            let total_bits: i32 = fields[3].parse().map_err(|_| {
+                AllocationIoError::Parse(i + 1, format!("bad total_bits `{}`", fields[3]))
+            })?;
             let delta: f64 = fields[4].parse().map_err(|_| {
                 AllocationIoError::Parse(i + 1, format!("bad delta `{}`", fields[4]))
             })?;
             let max_abs: f64 = fields[5].parse().map_err(|_| {
                 AllocationIoError::Parse(i + 1, format!("bad max_abs `{}`", fields[5]))
             })?;
+            // Semantic validation: a hand-edited or spliced file whose
+            // redundant column disagrees, or which names a layer twice,
+            // would otherwise silently configure wrong hardware widths.
+            let format = FixedPointFormat::new(int_bits, frac_bits);
+            if total_bits < 0 || total_bits as u32 != format.total_bits() {
+                return Err(AllocationIoError::Parse(
+                    i + 1,
+                    format!(
+                        "total_bits {total_bits} inconsistent with int_bits \
+                         {int_bits} + frac_bits {frac_bits} (= {})",
+                        format.total_bits()
+                    ),
+                ));
+            }
+            if !seen.insert(fields[0].to_string()) {
+                return Err(AllocationIoError::Parse(
+                    i + 1,
+                    format!("duplicate layer `{}`", fields[0]),
+                ));
+            }
             layers.push(LayerFormat {
                 layer: fields[0].to_string(),
-                format: FixedPointFormat::new(int_bits, frac_bits),
+                format,
                 delta,
                 max_abs,
             });
@@ -168,6 +194,40 @@ mod tests {
             BitwidthAllocation::load_csv(text.as_bytes()).unwrap_err(),
             AllocationIoError::Parse(2, _)
         ));
+    }
+
+    #[test]
+    fn rejects_duplicate_layer_rows() {
+        let text = format!("{HEADER}\nconv1,9,3,12,0.1,100\nconv1,9,3,12,0.1,100\n");
+        let err = BitwidthAllocation::load_csv(text.as_bytes()).unwrap_err();
+        match err {
+            AllocationIoError::Parse(3, msg) => assert!(msg.contains("duplicate layer")),
+            other => panic!("expected Parse(3, duplicate), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_inconsistent_total_bits() {
+        let text = format!("{HEADER}\nconv1,9,3,13,0.1,100\n");
+        let err = BitwidthAllocation::load_csv(text.as_bytes()).unwrap_err();
+        match err {
+            AllocationIoError::Parse(2, msg) => assert!(msg.contains("inconsistent")),
+            other => panic!("expected Parse(2, total_bits), got {other:?}"),
+        }
+        // Negative frac_bits (Δ > 1 formats) clamp the word length at 0;
+        // the stored column must match the clamped value.
+        let text = format!("{HEADER}\nconv1,1,-3,0,2.0,0.5\n");
+        assert!(BitwidthAllocation::load_csv(text.as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn skips_comment_and_footer_lines() {
+        let a = sample();
+        let mut buf = Vec::new();
+        a.save_csv(&mut buf).unwrap();
+        let sealed = mupod_runtime::seal(&buf);
+        let b = BitwidthAllocation::load_csv(sealed.as_slice()).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

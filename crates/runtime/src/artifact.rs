@@ -1,0 +1,436 @@
+//! Crash-safe, checksummed artifact persistence.
+//!
+//! Every final on-disk artifact (allocation CSV, profile CSV,
+//! metrics/trace JSON, experiment reports) goes through two layers of
+//! protection:
+//!
+//! * **Atomic replacement** ([`write_atomic`]): content is written to a
+//!   temporary file in the destination directory, fsynced, then
+//!   `rename(2)`d over the target, and the directory is fsynced. A
+//!   crash at any point leaves either the complete old artifact or the
+//!   complete new one — never a truncated hybrid. Stray temp files from
+//!   a killed run are ignored by every reader and overwritten by the
+//!   next run.
+//! * **Checksum footer** ([`seal`]/[`unseal`]): the last line of the
+//!   file is `#mupod-artifact v1 fnv1a64=<16 hex> len=<bytes>`, covering
+//!   everything before it. [`read_verified`] validates the footer and
+//!   returns the payload; truncation, bit flips, appended garbage and
+//!   foreign files each produce a distinct typed [`ArtifactError`] —
+//!   never a panic, never silently-wrong data.
+//!
+//! The footer starts with `#`, so CSV consumers that skip comment lines
+//! read sealed files unchanged. For strict-JSON consumers
+//! (`chrome://tracing`, `python3 -m json.tool`) strip it first:
+//! `grep -v '^#mupod-artifact' trace.json`.
+//!
+//! The profiling *journal* is the one artifact not sealed with a
+//! footer: it is append-only (a whole-file checksum would be
+//! invalidated by every append), and instead carries a checksum per
+//! record (see `mupod-core`). Its full rewrites do use
+//! [`write_atomic_unsealed`].
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Errors from artifact persistence and validation.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file has no integrity footer: it was truncated past the
+    /// footer, or predates (or never came from) the sealed-artifact
+    /// writer.
+    MissingFooter(PathBuf),
+    /// The footer line exists but cannot be parsed; payload is a
+    /// description.
+    BadFooter(String),
+    /// The footer's recorded payload length disagrees with the file.
+    LengthMismatch {
+        /// Length recorded in the footer.
+        stored: usize,
+        /// Payload bytes actually present.
+        actual: usize,
+    },
+    /// The payload does not hash to the footer's checksum.
+    ChecksumMismatch {
+        /// Checksum recorded in the footer.
+        stored: u64,
+        /// Checksum of the bytes on disk.
+        computed: u64,
+    },
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "artifact io error: {e}"),
+            ArtifactError::MissingFooter(p) => write!(
+                f,
+                "{}: no integrity footer (truncated, foreign, or written \
+                 by a pre-footer version; regenerate the artifact)",
+                p.display()
+            ),
+            ArtifactError::BadFooter(d) => write!(f, "malformed artifact footer: {d}"),
+            ArtifactError::LengthMismatch { stored, actual } => write!(
+                f,
+                "artifact length mismatch: footer says {stored} payload \
+                 bytes, file has {actual} (truncated or spliced)"
+            ),
+            ArtifactError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "artifact checksum mismatch (stored {stored:016x}, \
+                 computed {computed:016x}): content corrupted"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArtifactError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> Self {
+        ArtifactError::Io(e)
+    }
+}
+
+impl ArtifactError {
+    /// Lowers into an [`std::io::Error`] for callers whose error types
+    /// only carry I/O failures. Validation failures map to
+    /// [`std::io::ErrorKind::InvalidData`].
+    pub fn into_io(self) -> std::io::Error {
+        match self {
+            ArtifactError::Io(e) => e,
+            other => std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+/// First bytes of the integrity footer line.
+pub const FOOTER_PREFIX: &str = "#mupod-artifact v1 ";
+
+/// FNV-1a 64-bit hash — tiny, dependency-free, and plenty to catch
+/// truncation and bit flips. Shared with the journal's per-record
+/// checksums in `mupod-core`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Appends the integrity footer to `content`, returning the sealed
+/// bytes. A separating newline is inserted when the content does not
+/// end with one (the footer's `len` field records the exact payload
+/// length either way).
+pub fn seal(content: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(content.len() + 64);
+    out.extend_from_slice(content);
+    if !content.is_empty() && !content.ends_with(b"\n") {
+        out.push(b'\n');
+    }
+    out.extend_from_slice(
+        format!(
+            "{FOOTER_PREFIX}fnv1a64={:016x} len={}\n",
+            fnv1a64(content),
+            content.len()
+        )
+        .as_bytes(),
+    );
+    out
+}
+
+/// Validates sealed bytes and returns the payload (footer stripped).
+///
+/// # Errors
+///
+/// [`ArtifactError::MissingFooter`] when no footer line is present
+/// (reported against an empty path — prefer [`read_verified`] for a
+/// path-qualified message), [`ArtifactError::BadFooter`] /
+/// [`ArtifactError::LengthMismatch`] / [`ArtifactError::ChecksumMismatch`]
+/// for the corruption cases.
+pub fn unseal(bytes: &[u8]) -> Result<&[u8], ArtifactError> {
+    // The footer is the last newline-terminated line.
+    let end = match bytes.last() {
+        Some(b'\n') => bytes.len() - 1,
+        _ => return Err(ArtifactError::MissingFooter(PathBuf::new())),
+    };
+    let footer_start = bytes[..end]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(0, |p| p + 1);
+    let footer = &bytes[footer_start..end];
+    let footer = std::str::from_utf8(footer)
+        .map_err(|_| ArtifactError::MissingFooter(PathBuf::new()))?;
+    let Some(fields) = footer.strip_prefix(FOOTER_PREFIX) else {
+        return Err(ArtifactError::MissingFooter(PathBuf::new()));
+    };
+    let mut stored_sum = None;
+    let mut stored_len = None;
+    for field in fields.split_whitespace() {
+        if let Some(v) = field.strip_prefix("fnv1a64=") {
+            stored_sum = Some(u64::from_str_radix(v, 16).map_err(|_| {
+                ArtifactError::BadFooter(format!("bad checksum `{v}`"))
+            })?);
+        } else if let Some(v) = field.strip_prefix("len=") {
+            stored_len = Some(v.parse::<usize>().map_err(|_| {
+                ArtifactError::BadFooter(format!("bad length `{v}`"))
+            })?);
+        }
+    }
+    let stored_sum =
+        stored_sum.ok_or_else(|| ArtifactError::BadFooter("missing fnv1a64 field".into()))?;
+    let stored_len =
+        stored_len.ok_or_else(|| ArtifactError::BadFooter("missing len field".into()))?;
+    // The payload is everything before the footer, minus the separator
+    // newline `seal` may have added. `len` is authoritative.
+    let before_footer = &bytes[..footer_start];
+    let payload = match stored_len {
+        n if n == before_footer.len() => before_footer,
+        n if n + 1 == before_footer.len() && before_footer.ends_with(b"\n") => {
+            &before_footer[..n]
+        }
+        _ => {
+            return Err(ArtifactError::LengthMismatch {
+                stored: stored_len,
+                actual: before_footer.len(),
+            })
+        }
+    };
+    let computed = fnv1a64(payload);
+    if computed != stored_sum {
+        return Err(ArtifactError::ChecksumMismatch {
+            stored: stored_sum,
+            computed,
+        });
+    }
+    Ok(payload)
+}
+
+/// Temp-file name used by the atomic writers: unique per process so two
+/// concurrent runs cannot clobber each other's staging file.
+fn temp_path(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .map_or_else(|| "artifact".into(), |n| n.to_string_lossy().into_owned());
+    path.with_file_name(format!(".{name}.tmp.{}", std::process::id()))
+}
+
+/// Kill-switch for crash-window tests: when this environment variable is
+/// set, the atomic writers abort the process *after* staging the temp
+/// file but *before* the rename — the exact window a crash-safety test
+/// needs to probe.
+pub const TEST_DIE_BEFORE_RENAME_ENV: &str = "MUPOD_TEST_DIE_BEFORE_RENAME";
+
+fn write_atomic_bytes(path: &Path, bytes: &[u8]) -> Result<(), ArtifactError> {
+    let tmp = temp_path(path);
+    let result = (|| -> Result<(), ArtifactError> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        if std::env::var_os(TEST_DIE_BEFORE_RENAME_ENV).is_some() {
+            // See TEST_DIE_BEFORE_RENAME_ENV: simulate dying in the
+            // crash window. abort() skips destructors and exit handlers,
+            // like a real kill.
+            std::process::abort();
+        }
+        std::fs::rename(&tmp, path)?;
+        // Persist the rename itself: fsync the containing directory.
+        // Failure here is ignorable on filesystems that refuse to open
+        // directories; the data file itself is already synced.
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    } else {
+        mupod_obs::counter_add("artifact.writes", 1);
+        mupod_obs::counter_add("artifact.bytes_written", bytes.len() as u64);
+    }
+    result
+}
+
+/// Atomically replaces `path` with `content` sealed under an integrity
+/// footer. See the module docs for the crash-safety contract.
+///
+/// # Errors
+///
+/// [`ArtifactError::Io`] on any filesystem failure; the staging temp
+/// file is removed and the previous artifact (if any) is untouched.
+pub fn write_atomic(path: &Path, content: &[u8]) -> Result<(), ArtifactError> {
+    write_atomic_bytes(path, &seal(content))
+}
+
+/// Atomically replaces `path` with `content` as-is (no footer). For
+/// artifacts with their own integrity scheme, like the per-record
+/// checksummed profiling journal.
+///
+/// # Errors
+///
+/// As [`write_atomic`].
+pub fn write_atomic_unsealed(path: &Path, content: &[u8]) -> Result<(), ArtifactError> {
+    write_atomic_bytes(path, content)
+}
+
+/// Reads `path` and validates its integrity footer, returning the
+/// payload with the footer stripped.
+///
+/// # Errors
+///
+/// [`ArtifactError::Io`] if the file cannot be read, otherwise the
+/// typed corruption errors of [`unseal`] (with [`ArtifactError::
+/// MissingFooter`] carrying the offending path).
+pub fn read_verified(path: &Path) -> Result<Vec<u8>, ArtifactError> {
+    let bytes = std::fs::read(path)?;
+    match unseal(&bytes) {
+        Ok(payload) => Ok(payload.to_vec()),
+        Err(ArtifactError::MissingFooter(_)) => {
+            mupod_obs::counter_add("artifact.verify_failures", 1);
+            Err(ArtifactError::MissingFooter(path.to_path_buf()))
+        }
+        Err(e) => {
+            mupod_obs::counter_add("artifact.verify_failures", 1);
+            Err(e)
+        }
+    }
+}
+
+/// Validates `path`'s integrity footer without returning the payload.
+///
+/// # Errors
+///
+/// As [`read_verified`].
+pub fn verify_file(path: &Path) -> Result<(), ArtifactError> {
+    read_verified(path).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_unseal_roundtrip() {
+        for content in [
+            &b""[..],
+            b"a,b,c\n1,2,3\n",
+            b"{\"k\": 1}",              // no trailing newline
+            b"line with no newline end", // separator path
+        ] {
+            let sealed = seal(content);
+            assert_eq!(unseal(&sealed).unwrap(), content, "{content:?}");
+        }
+    }
+
+    #[test]
+    fn unseal_rejects_bitflip() {
+        let mut sealed = seal(b"payload,1,2\nmore,3,4\n");
+        sealed[3] ^= 0x40;
+        assert!(matches!(
+            unseal(&sealed).unwrap_err(),
+            ArtifactError::ChecksumMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn unseal_rejects_truncation() {
+        let sealed = seal(b"0123456789\n0123456789\n");
+        // Chop mid-payload: the footer is gone entirely.
+        assert!(matches!(
+            unseal(&sealed[..8]).unwrap_err(),
+            ArtifactError::MissingFooter(_)
+        ));
+        // Chop payload bytes but keep the footer: length mismatch.
+        let mut spliced = sealed.clone();
+        spliced.drain(2..6);
+        assert!(matches!(
+            unseal(&spliced).unwrap_err(),
+            ArtifactError::LengthMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn unseal_rejects_garbage_and_missing_footer() {
+        assert!(matches!(
+            unseal(b"complete garbage\n").unwrap_err(),
+            ArtifactError::MissingFooter(_)
+        ));
+        assert!(matches!(
+            unseal(b"").unwrap_err(),
+            ArtifactError::MissingFooter(_)
+        ));
+        assert!(matches!(
+            unseal(&[0xFF, 0xFE, 0x00, b'\n']).unwrap_err(),
+            ArtifactError::MissingFooter(_)
+        ));
+        // A well-prefixed but mangled footer is BadFooter, not a panic.
+        let text = format!("data\n{FOOTER_PREFIX}fnv1a64=zzzz len=5\n");
+        assert!(matches!(
+            unseal(text.as_bytes()).unwrap_err(),
+            ArtifactError::BadFooter(_)
+        ));
+        let text = format!("data\n{FOOTER_PREFIX}nonsense\n");
+        assert!(matches!(
+            unseal(text.as_bytes()).unwrap_err(),
+            ArtifactError::BadFooter(_)
+        ));
+    }
+
+    #[test]
+    fn write_read_roundtrip_and_no_temp_left() {
+        let dir = std::env::temp_dir().join("mupod_artifact_rw_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("alloc.csv");
+        write_atomic(&path, b"layer,bits\nconv1,9\n").unwrap();
+        assert_eq!(read_verified(&path).unwrap(), b"layer,bits\nconv1,9\n");
+        verify_file(&path).unwrap();
+        // Overwrite is atomic too.
+        write_atomic(&path, b"layer,bits\nconv1,7\n").unwrap();
+        assert_eq!(read_verified(&path).unwrap(), b"layer,bits\nconv1,7\n");
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .contains(".tmp.")
+            })
+            .collect();
+        assert!(stray.is_empty(), "staging file left behind: {stray:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_verified_names_the_path_on_missing_footer() {
+        let dir = std::env::temp_dir().join("mupod_artifact_legacy_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.csv");
+        std::fs::write(&path, "old,format\n1,2\n").unwrap();
+        match read_verified(&path).unwrap_err() {
+            ArtifactError::MissingFooter(p) => assert_eq!(p, path),
+            e => panic!("unexpected {e}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn csv_payload_may_contain_hash_lines() {
+        // Only the *last* line is treated as the footer; a payload line
+        // that merely starts with '#' survives the roundtrip.
+        let content = b"# a comment\ndata,1\n";
+        assert_eq!(unseal(&seal(content)).unwrap(), content);
+    }
+}

@@ -1,0 +1,31 @@
+//! Run supervision and durable artifacts for long MUPOD pipelines.
+//!
+//! The profiling sweeps behind Table III run for minutes to hours per
+//! network; an unattended multi-network run must survive hangs, flaky
+//! I/O, Ctrl-C and outright crashes without producing a truncated
+//! deliverable. This crate provides the two halves of that contract,
+//! dependency-free (only `mupod-obs` for counters/events):
+//!
+//! * **Supervision** ([`Supervisor`]): wraps each pipeline stage with a
+//!   watchdog-thread deadline, bounded retry with exponential backoff
+//!   and deterministic jitter ([`RetryPolicy`]), and a cooperative
+//!   [`CancelToken`] that SIGINT ([`install_sigint`]) or a deadline
+//!   flips — stages drain at their next checkpoint, artifacts are
+//!   flushed, and the process exits with a distinct status code.
+//! * **Durable artifacts** ([`artifact`]): atomic temp-file + fsync +
+//!   rename replacement with a checksum footer on every final artifact,
+//!   validated on load with typed errors ([`ArtifactError`]) — a
+//!   corrupted file is always a clean diagnostic, never a panic or a
+//!   silently-wrong allocation.
+//!
+//! See `DESIGN.md` §9 for the full failure model.
+
+pub mod artifact;
+mod cancel;
+mod retry;
+mod supervisor;
+
+pub use artifact::{read_verified, seal, unseal, verify_file, write_atomic, ArtifactError};
+pub use cancel::{install_sigint, CancelReason, CancelToken, Cancelled};
+pub use retry::{ErrorClass, RetryPolicy};
+pub use supervisor::{StageError, StageOutcome, StagePolicy, Supervisor};

@@ -25,6 +25,7 @@
 //! | [`train`] | `mupod-train` | SGD backprop for genuinely trained networks |
 //! | [`stats`] | `mupod-stats` | moments, regression, histograms, RNG |
 //! | [`obs`] | `mupod-obs` | spans, counters, histograms, Chrome trace export |
+//! | [`runtime`] | `mupod-runtime` | stage supervision (deadlines, retry, cancellation), crash-safe checksummed artifacts |
 //!
 //! # Quickstart
 //!
@@ -63,6 +64,7 @@ pub use mupod_nn as nn;
 pub use mupod_obs as obs;
 pub use mupod_optim as optim;
 pub use mupod_quant as quant;
+pub use mupod_runtime as runtime;
 pub use mupod_stats as stats;
 pub use mupod_tensor as tensor;
 pub use mupod_train as train;
