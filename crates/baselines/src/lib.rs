@@ -110,8 +110,7 @@ pub fn uniform_search(
     for b in (1..max_bits).rev() {
         let bits = vec![b; layers.len()];
         evaluations += 1;
-        let acc =
-            evaluator.accuracy_quantized(&formats_for_bits(layers, inventory, &bits));
+        let acc = evaluator.accuracy_quantized(&formats_for_bits(layers, inventory, &bits));
         if acc >= target_accuracy {
             best_bits = b;
             best_acc = acc;
@@ -172,8 +171,7 @@ pub fn greedy_search(
             }
             bits[k] -= 1;
             evaluations += 1;
-            let acc =
-                evaluator.accuracy_quantized(&formats_for_bits(layers, inventory, &bits));
+            let acc = evaluator.accuracy_quantized(&formats_for_bits(layers, inventory, &bits));
             if acc >= target_accuracy {
                 accuracy = acc;
                 improved = true;

@@ -10,8 +10,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mupod_baselines::uniform_search;
 use mupod_bench::setup;
 use mupod_core::{
-    allocate, AccuracyEvaluator, AccuracyMode, AllocateConfig, Objective, ProfileConfig,
-    Profiler, SearchScheme, SigmaSearch,
+    allocate, AccuracyEvaluator, AccuracyMode, AllocateConfig, Objective, ProfileConfig, Profiler,
+    SearchScheme, SigmaSearch,
 };
 use mupod_models::ModelKind;
 use mupod_nn::inventory::LayerInventory;
@@ -33,9 +33,7 @@ fn bench_allocate(c: &mut Criterion) {
             BenchmarkId::from_parameter(objective.name()),
             &objective,
             |b, objective| {
-                b.iter(|| {
-                    allocate(&profile, 0.1, objective, &AllocateConfig::default())
-                })
+                b.iter(|| allocate(&profile, 0.1, objective, &AllocateConfig::default()))
             },
         );
     }

@@ -19,16 +19,12 @@
 //! Chrome `trace_event` timeline loadable in `chrome://tracing` (see
 //! DESIGN.md §8).
 
-use mupod_core::{
-    Objective, PrecisionOptimizer, Profile, ProfileConfig, SearchScheme,
-};
+use mupod_core::{Objective, PrecisionOptimizer, Profile, ProfileConfig, SearchScheme};
 use mupod_data::{Dataset, DatasetSpec};
 use mupod_models::{calibrate::calibrate_head, ModelKind, ModelScale};
 use mupod_nn::inventory::LayerInventory;
 use mupod_nn::Network;
-use mupod_runtime::{
-    CancelToken, ErrorClass, RetryPolicy, StageError, StagePolicy, Supervisor,
-};
+use mupod_runtime::{CancelToken, ErrorClass, RetryPolicy, StageError, StagePolicy, Supervisor};
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -249,11 +245,7 @@ fn parse_model(name: &str) -> Result<ModelKind, CliError> {
         .ok_or_else(|| CliError::Usage(format!("unknown model `{name}`")))
 }
 
-fn take_value<'a>(
-    args: &'a [String],
-    i: &mut usize,
-    flag: &str,
-) -> Result<&'a str, CliError> {
+fn take_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, CliError> {
     *i += 1;
     args.get(*i)
         .map(|s| s.as_str())
@@ -299,9 +291,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 scale = match take_value(args, &mut i, "--scale")? {
                     "tiny" => ModelScale::tiny(),
                     "small" => ModelScale::small(),
-                    other => {
-                        return Err(CliError::Usage(format!("unknown scale `{other}`")))
-                    }
+                    other => return Err(CliError::Usage(format!("unknown scale `{other}`"))),
                 }
             }
             "--seed" => {
@@ -315,9 +305,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     .map_err(|_| CliError::Usage("bad --images".into()))?
             }
             "--out" => out = Some(take_value(args, &mut i, "--out")?.to_string()),
-            "--journal" => {
-                journal = Some(take_value(args, &mut i, "--journal")?.to_string())
-            }
+            "--journal" => journal = Some(take_value(args, &mut i, "--journal")?.to_string()),
             "--deltas" => {
                 n_deltas = take_value(args, &mut i, "--deltas")?
                     .parse()
@@ -328,11 +316,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "bandwidth" | "bw" | "input" => Objective::Bandwidth,
                     "mac" | "energy" | "mac-energy" => Objective::MacEnergy,
                     "unweighted" => Objective::Unweighted,
-                    other => {
-                        return Err(CliError::Usage(format!(
-                            "unknown objective `{other}`"
-                        )))
-                    }
+                    other => return Err(CliError::Usage(format!("unknown objective `{other}`"))),
                 })
             }
             "--loss" => {
@@ -341,9 +325,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     .map_err(|_| CliError::Usage("bad --loss".into()))?;
                 loss = pct / 100.0;
             }
-            "--profile" => {
-                profile = Some(take_value(args, &mut i, "--profile")?.to_string())
-            }
+            "--profile" => profile = Some(take_value(args, &mut i, "--profile")?.to_string()),
             "--save" => save = Some(take_value(args, &mut i, "--save")?.to_string()),
             "--log-level" => {
                 log_level = mupod_obs::Level::parse(take_value(args, &mut i, "--log-level")?)
@@ -352,9 +334,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             "--metrics-out" => {
                 metrics_out = Some(take_value(args, &mut i, "--metrics-out")?.to_string())
             }
-            "--trace-out" => {
-                trace_out = Some(take_value(args, &mut i, "--trace-out")?.to_string())
-            }
+            "--trace-out" => trace_out = Some(take_value(args, &mut i, "--trace-out")?.to_string()),
             "--stage-timeout" => {
                 let secs: f64 = take_value(args, &mut i, "--stage-timeout")?
                     .parse()
@@ -376,9 +356,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 scheme = match take_value(args, &mut i, "--scheme")? {
                     "equal" | "scheme1" => SearchScheme::EqualScheme,
                     "gaussian" | "scheme2" => SearchScheme::GaussianApprox,
-                    other => {
-                        return Err(CliError::Usage(format!("unknown scheme `{other}`")))
-                    }
+                    other => return Err(CliError::Usage(format!("unknown scheme `{other}`"))),
                 }
             }
             other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
@@ -457,7 +435,10 @@ fn progress_event(done: usize, total: usize, layer: &str) {
 /// detected on load. The integrity footer starts with `#` — strip
 /// `#mupod-artifact` lines (or use [`mupod_runtime::unseal`]) before
 /// handing the JSON to a strict parser.
-fn write_observability(common: &CommonArgs, recorder: &mupod_obs::Recorder) -> Result<(), CliError> {
+fn write_observability(
+    common: &CommonArgs,
+    recorder: &mupod_obs::Recorder,
+) -> Result<(), CliError> {
     if let Some(path) = &common.metrics_out {
         let json = recorder.snapshot().to_json();
         mupod_runtime::write_atomic(std::path::Path::new(path), json.as_bytes())
@@ -591,9 +572,9 @@ fn run_inner(cmd: &Command, token: &CancelToken) -> Result<String, CliError> {
                 "layer", "#inputs", "#MACs", "max|X|"
             );
             for &id in &layers {
-                let info = inventory.find(id).ok_or_else(|| {
-                    CliError::Run(format!("layer {id} missing from inventory"))
-                })?;
+                let info = inventory
+                    .find(id)
+                    .ok_or_else(|| CliError::Run(format!("layer {id} missing from inventory")))?;
                 let _ = writeln!(
                     out,
                     "{:<14} {:>10} {:>12} {:>10.1}",
@@ -682,9 +663,10 @@ fn run_inner(cmd: &Command, token: &CancelToken) -> Result<String, CliError> {
                 Some(path) => {
                     let bytes = mupod_runtime::read_verified(std::path::Path::new(path))
                         .map_err(|e| CliError::Run(format!("cannot open {path}: {e}")))?;
-                    Some(Profile::load_csv(bytes.as_slice()).map_err(|e| {
-                        CliError::Run(format!("cannot parse {path}: {e}"))
-                    })?)
+                    Some(
+                        Profile::load_csv(bytes.as_slice())
+                            .map_err(|e| CliError::Run(format!("cannot parse {path}: {e}")))?,
+                    )
                 }
                 None => None,
             };
@@ -874,7 +856,10 @@ mod tests {
             "inspect --model alexnet --stage-timeout soon",
             "inspect --model alexnet --retries many",
         ] {
-            assert!(matches!(parse(&argv(bad)), Err(CliError::Usage(_))), "{bad}");
+            assert!(
+                matches!(parse(&argv(bad)), Err(CliError::Usage(_))),
+                "{bad}"
+            );
         }
     }
 
@@ -922,10 +907,7 @@ mod tests {
             parse(&argv("profile --model alexnet")),
             Err(CliError::Usage(_))
         ));
-        assert!(matches!(
-            parse(&argv("inspect")),
-            Err(CliError::Usage(_))
-        ));
+        assert!(matches!(parse(&argv("inspect")), Err(CliError::Usage(_))));
     }
 
     #[test]
@@ -953,10 +935,7 @@ mod tests {
 
     #[test]
     fn inspect_runs_end_to_end() {
-        let cmd = parse(&argv(
-            "inspect --model squeezenet --scale tiny --images 24",
-        ))
-        .unwrap();
+        let cmd = parse(&argv("inspect --model squeezenet --scale tiny --images 24")).unwrap();
         let text = run(&cmd).unwrap();
         assert!(text.contains("26 analyzable layers"), "{text}");
         assert!(text.contains("conv10"));
@@ -973,10 +952,9 @@ mod tests {
         .unwrap();
         let text = run(&cmd).unwrap();
         assert!(text.contains("allocation written"), "{text}");
-        let reloaded = mupod_quant::BitwidthAllocation::load_csv(
-            std::fs::File::open(&out_csv).unwrap(),
-        )
-        .unwrap();
+        let reloaded =
+            mupod_quant::BitwidthAllocation::load_csv(std::fs::File::open(&out_csv).unwrap())
+                .unwrap();
         assert_eq!(reloaded.len(), 5);
     }
 
@@ -1069,7 +1047,9 @@ mod tests {
         let trace_payload = mupod_runtime::unseal(trace_a.as_bytes()).expect("footer");
         let trace = mupod_obs::json::parse(std::str::from_utf8(trace_payload).unwrap())
             .expect("trace parse");
-        let events = trace.as_object().unwrap()["traceEvents"].as_array().unwrap();
+        let events = trace.as_object().unwrap()["traceEvents"]
+            .as_array()
+            .unwrap();
         let phase_count = |ph: &str| {
             events
                 .iter()

@@ -30,15 +30,7 @@ fn tmp_dir(tag: &str) -> PathBuf {
 
 fn profile_args(out: &Path) -> Vec<String> {
     [
-        "profile",
-        "--model",
-        "alexnet",
-        "--scale",
-        "tiny",
-        "--images",
-        "24",
-        "--deltas",
-        "6",
+        "profile", "--model", "alexnet", "--scale", "tiny", "--images", "24", "--deltas", "6",
         "--out",
     ]
     .iter()
@@ -52,6 +44,8 @@ fn send_sigint(child: &Child) {
     extern "C" {
         fn kill(pid: i32, sig: i32) -> i32;
     }
+    // SAFETY: plain syscall wrapper with scalar arguments; the pid comes
+    // from a live `Child` handle owned by this test.
     let rc = unsafe { kill(child.id() as i32, 2) };
     assert_eq!(rc, 0, "kill(SIGINT) failed");
 }
@@ -157,15 +151,12 @@ max_abs,input_elems,macs\n1,conv1,0.5,0.0,1.0,0.0,1.0,1,1\n"
         .to_vec();
     let cases: Vec<(&str, Vec<u8>)> = vec![
         ("truncate", pristine[..pristine.len() / 2].to_vec()),
-        (
-            "bitflip",
-            {
-                let mut b = pristine.clone();
-                let mid = b.len() / 2;
-                b[mid] ^= 0x08;
-                b
-            },
-        ),
+        ("bitflip", {
+            let mut b = pristine.clone();
+            let mid = b.len() / 2;
+            b[mid] ^= 0x08;
+            b
+        }),
         ("garbage", b"\x00\xff\x13garbage not a csv\x7f".to_vec()),
         ("stale-schema", stale_schema),
         ("empty", Vec::new()),

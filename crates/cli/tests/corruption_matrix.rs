@@ -132,8 +132,7 @@ fn format_parsers_never_panic_on_damage() {
                 },
                 other => panic!("unknown format {other}"),
             });
-            let parsed = outcome
-                .unwrap_or_else(|_| panic!("{format} × {damage}: parser panicked"));
+            let parsed = outcome.unwrap_or_else(|_| panic!("{format} × {damage}: parser panicked"));
             // Some damage is syntactically survivable (a bit flip inside
             // a numeric literal still parses); the integrity footer
             // exists precisely to catch those. The parser's only

@@ -15,9 +15,7 @@
 //! for Octave's `sqp` (DESIGN.md §4).
 
 use crate::profile::Profile;
-use mupod_optim::{
-    ExponentiatedGradient, FnObjective, ProjectedGradient, SimplexObjective,
-};
+use mupod_optim::{ExponentiatedGradient, FnObjective, ProjectedGradient, SimplexObjective};
 use mupod_quant::{BitwidthAllocation, LayerFormat};
 
 /// The hardware criterion that weights each layer in Eq. 8.
@@ -49,9 +47,7 @@ impl Objective {
                 .iter()
                 .map(|l| l.input_elems as f64)
                 .collect(),
-            Objective::MacEnergy => {
-                profile.layers().iter().map(|l| l.macs as f64).collect()
-            }
+            Objective::MacEnergy => profile.layers().iter().map(|l| l.macs as f64).collect(),
             Objective::Unweighted => vec![1.0; profile.len()],
             Objective::Custom(w) => {
                 assert_eq!(w.len(), profile.len(), "custom rho length mismatch");
@@ -315,7 +311,11 @@ mod tests {
         ] {
             let out = allocate(&profile, 0.3, &objective, &AllocateConfig::default());
             let sum: f64 = out.xi.iter().sum();
-            assert!((sum - 1.0).abs() < 1e-6, "{}: ξ sums to {sum}", objective.name());
+            assert!(
+                (sum - 1.0).abs() < 1e-6,
+                "{}: ξ sums to {sum}",
+                objective.name()
+            );
         }
     }
 

@@ -53,7 +53,11 @@ impl<'a> AccuracyEvaluator<'a> {
     /// Panics if the dataset is empty.
     pub fn new(net: &'a Network, dataset: &'a Dataset, mode: AccuracyMode) -> Self {
         assert!(!dataset.is_empty(), "evaluation dataset must not be empty");
-        let fp_preds: Vec<usize> = dataset.images().iter().map(|img| net.classify(img)).collect();
+        let fp_preds: Vec<usize> = dataset
+            .images()
+            .iter()
+            .map(|img| net.classify(img))
+            .collect();
         let (targets, fp_accuracy) = match mode {
             AccuracyMode::GeneratorLabels => {
                 let correct = fp_preds
@@ -158,8 +162,7 @@ impl<'a> AccuracyEvaluator<'a> {
     ) -> f64 {
         let root = SeededRng::new(seed);
         self.fraction_correct(|i, img| {
-            let mut tap =
-                StochasticQuantizeTap::new(formats.clone(), root.fork(i as u64));
+            let mut tap = StochasticQuantizeTap::new(formats.clone(), root.fork(i as u64));
             self.net.classify_tapped(img, &mut tap)
         })
     }

@@ -292,12 +292,10 @@ impl<'a> PrecisionOptimizer<'a> {
         // profiling subset alone can saturate on unseen images, which
         // produces errors far larger than the modelled Δ (§II-A measures
         // max|X_K| with a forward pass over the data).
-        profile.update_ranges(
-            mupod_nn::inventory::LayerInventory::measure(
-                self.net,
-                self.dataset.images().iter().cloned(),
-            ),
-        );
+        profile.update_ranges(mupod_nn::inventory::LayerInventory::measure(
+            self.net,
+            self.dataset.images().iter().cloned(),
+        ));
 
         // 2. Binary search for σ_{Y_Ł}.
         self.cancel_checkpoint()?;

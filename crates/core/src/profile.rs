@@ -117,7 +117,10 @@ impl std::fmt::Display for FallbackReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FallbackReason::NegativeSlope => {
-                write!(f, "fitted slope λ ≤ 0 (output error did not grow with noise)")
+                write!(
+                    f,
+                    "fitted slope λ ≤ 0 (output error did not grow with noise)"
+                )
             }
             FallbackReason::LowRSquared(r2) => {
                 write!(f, "fit quality too low (R² = {r2:.4})")
@@ -578,7 +581,10 @@ impl<'a> Profiler<'a> {
                 .map(|img| self.net.forward_checked(img))
                 .collect::<Result<_, _>>()?
         } else {
-            self.images.iter().map(|img| self.net.forward(img)).collect()
+            self.images
+                .iter()
+                .map(|img| self.net.forward(img))
+                .collect()
         };
         let inventory = LayerInventory::measure(self.net, self.images.iter().cloned());
         Ok((clean, inventory))
@@ -635,9 +641,8 @@ impl<'a> Profiler<'a> {
             // Drain point: a cancelled sweep abandons the layer between
             // Δ magnitudes, never mid-statistic.
             self.cancel_checkpoint()?;
-            let delta = scale
-                * cfg.delta_max_fraction
-                * (-(j as f64) * cfg.delta_step_octaves).exp2();
+            let delta =
+                scale * cfg.delta_max_fraction * (-(j as f64) * cfg.delta_step_octaves).exp2();
             let mut stats = RunningStats::new();
             for (i, (img, base)) in self.images.iter().zip(clean).enumerate() {
                 for rep in 0..cfg.repeats.max(1) {
@@ -645,8 +650,7 @@ impl<'a> Profiler<'a> {
                         ^ ((j as u64) << 28)
                         ^ ((rep as u64) << 14)
                         ^ i as u64;
-                    let mut tap =
-                        UniformNoiseTap::single(layer, delta, rng.fork(stream));
+                    let mut tap = UniformNoiseTap::single(layer, delta, rng.fork(stream));
                     let noisy = match (cfg.full_replay, validate) {
                         (true, true) => {
                             let acts = self.net.forward_tapped_checked(
@@ -864,10 +868,7 @@ mod tests {
         // Δ = λ σ √ξ + θ = 2·0.5·√0.25 + 0.1 = 0.6.
         assert!((lp.delta_for(0.5, 0.25) - 0.6).abs() < 1e-12);
         // Clamped at a positive floor.
-        let neg = LayerProfile {
-            theta: -5.0,
-            ..lp
-        };
+        let neg = LayerProfile { theta: -5.0, ..lp };
         assert!(neg.delta_for(0.1, 0.1) > 0.0);
     }
 
@@ -946,7 +947,10 @@ mod tests {
         let deltas: Vec<f64> = (1..=6).map(|i| i as f64 * 0.01).collect();
         let guard = GuardConfig::default();
         let fit = fit_sweep_guarded("dead", &sigmas, &deltas, &guard).unwrap();
-        assert!(matches!(fit.fallback, Some(FallbackReason::TooFewPoints(0))));
+        assert!(matches!(
+            fit.fallback,
+            Some(FallbackReason::TooFewPoints(0))
+        ));
         assert_eq!(fit.lambda, 0.0);
         assert_eq!(fit.theta, 0.0);
     }
@@ -956,8 +960,7 @@ mod tests {
         // σ falls while Δ rises: a nonsense (inverted) response.
         let sigmas = vec![0.6, 0.5, 0.4, 0.3, 0.2, 0.1];
         let deltas = vec![0.01, 0.02, 0.03, 0.04, 0.05, 0.06];
-        let fit =
-            fit_sweep_guarded("inv", &sigmas, &deltas, &GuardConfig::default()).unwrap();
+        let fit = fit_sweep_guarded("inv", &sigmas, &deltas, &GuardConfig::default()).unwrap();
         assert!(matches!(fit.fallback, Some(FallbackReason::NegativeSlope)));
     }
 
@@ -966,8 +969,7 @@ mod tests {
         // Two poisoned σ among six: fit proceeds on the remaining four.
         let sigmas = vec![0.1, f64::NAN, 0.3, f64::INFINITY, 0.5, 0.6];
         let deltas = vec![0.01, 0.02, 0.03, 0.04, 0.05, 0.06];
-        let fit =
-            fit_sweep_guarded("holey", &sigmas, &deltas, &GuardConfig::default()).unwrap();
+        let fit = fit_sweep_guarded("holey", &sigmas, &deltas, &GuardConfig::default()).unwrap();
         assert!(fit.fallback.is_none(), "four clean points should fit");
         assert!(fit.lambda > 0.0);
     }

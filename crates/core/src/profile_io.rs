@@ -174,13 +174,10 @@ impl Profile {
             Some((_, Ok(h))) if h.trim() == HEADER_V1 => {
                 return Err(ProfileIoError::Parse(
                     1,
-                    "old profile schema (no fallback column); re-profile to regenerate"
-                        .into(),
+                    "old profile schema (no fallback column); re-profile to regenerate".into(),
                 ))
             }
-            Some((_, Ok(h))) => {
-                return Err(ProfileIoError::Parse(1, format!("bad header `{h}`")))
-            }
+            Some((_, Ok(h))) => return Err(ProfileIoError::Parse(1, format!("bad header `{h}`"))),
             Some((_, Err(e))) => return Err(e.into()),
             None => return Err(ProfileIoError::Parse(1, "empty file".into())),
         }
@@ -194,9 +191,7 @@ impl Profile {
                 continue;
             }
             layers.push(
-                parse_layer_fields(&line, &[]).map_err(|msg| {
-                    ProfileIoError::Parse(i + 1, msg)
-                })?,
+                parse_layer_fields(&line, &[]).map_err(|msg| ProfileIoError::Parse(i + 1, msg))?,
             );
         }
         Ok(Profile::from_layers(layers))
@@ -210,12 +205,8 @@ fn parse_layer_fields(line: &str, sweep: &[(f64, f64)]) -> Result<LayerProfile, 
     if fields.len() != 10 {
         return Err(format!("expected 10 fields, got {}", fields.len()));
     }
-    let parse_f = |s: &str, what: &str| {
-        s.parse::<f64>().map_err(|_| format!("bad {what} `{s}`"))
-    };
-    let parse_u = |s: &str, what: &str| {
-        s.parse::<u64>().map_err(|_| format!("bad {what} `{s}`"))
-    };
+    let parse_f = |s: &str, what: &str| s.parse::<f64>().map_err(|_| format!("bad {what} `{s}`"));
+    let parse_u = |s: &str, what: &str| s.parse::<u64>().map_err(|_| format!("bad {what} `{s}`"));
     Ok(LayerProfile {
         node: NodeId::from_index_for_tests(parse_u(fields[0], "node id")? as usize),
         name: fields[1].to_string(),
@@ -641,43 +632,45 @@ impl<'a> Profiler<'a> {
 
         let next_job = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<(usize, Result<LayerProfile, ProfileError>)>();
-        std::thread::scope(|scope| -> Result<Vec<(usize, LayerProfile)>, crate::CoreError> {
-            for _ in 0..threads {
-                let tx = tx.clone();
-                let next_job = &next_job;
-                scope.spawn(move || loop {
-                    let pos = next_job.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(li, layer)) = jobs.get(pos) else {
-                        break;
-                    };
-                    let res = self.profile_one(li, layer, clean, inventory, rng);
-                    // A send failure means the committer bailed on an
-                    // earlier error; just stop working.
-                    if tx.send((pos, res)).is_err() {
-                        break;
-                    }
-                });
-            }
-            drop(tx);
-
-            let mut buffer: BTreeMap<usize, LayerProfile> = BTreeMap::new();
-            let mut committed = Vec::with_capacity(jobs.len());
-            let mut next_commit = 0usize;
-            for (pos, res) in rx {
-                buffer.insert(pos, res?);
-                while let Some(p) = buffer.remove(&next_commit) {
-                    let li = jobs[next_commit].0;
-                    append_record(file, li, &p)?;
-                    self.report_progress(resumed + committed.len() + 1, total, &p.name);
-                    committed.push((li, p));
-                    next_commit += 1;
+        std::thread::scope(
+            |scope| -> Result<Vec<(usize, LayerProfile)>, crate::CoreError> {
+                for _ in 0..threads {
+                    let tx = tx.clone();
+                    let next_job = &next_job;
+                    scope.spawn(move || loop {
+                        let pos = next_job.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(li, layer)) = jobs.get(pos) else {
+                            break;
+                        };
+                        let res = self.profile_one(li, layer, clean, inventory, rng);
+                        // A send failure means the committer bailed on an
+                        // earlier error; just stop working.
+                        if tx.send((pos, res)).is_err() {
+                            break;
+                        }
+                    });
                 }
-            }
-            if committed.len() != jobs.len() {
-                return Err(ProfileError::WorkerPanicked.into());
-            }
-            Ok(committed)
-        })
+                drop(tx);
+
+                let mut buffer: BTreeMap<usize, LayerProfile> = BTreeMap::new();
+                let mut committed = Vec::with_capacity(jobs.len());
+                let mut next_commit = 0usize;
+                for (pos, res) in rx {
+                    buffer.insert(pos, res?);
+                    while let Some(p) = buffer.remove(&next_commit) {
+                        let li = jobs[next_commit].0;
+                        append_record(file, li, &p)?;
+                        self.report_progress(resumed + committed.len() + 1, total, &p.name);
+                        committed.push((li, p));
+                        next_commit += 1;
+                    }
+                }
+                if committed.len() != jobs.len() {
+                    return Err(ProfileError::WorkerPanicked.into());
+                }
+                Ok(committed)
+            },
+        )
     }
 }
 
@@ -948,7 +941,10 @@ mod tests {
     #[test]
     fn fingerprint_tracks_profiling_inputs() {
         use crate::profile::ProfileConfig;
-        let layers = [NodeId::from_index_for_tests(1), NodeId::from_index_for_tests(4)];
+        let layers = [
+            NodeId::from_index_for_tests(1),
+            NodeId::from_index_for_tests(4),
+        ];
         let base = ProfileConfig::default();
         let fp = journal_fingerprint(&base, &layers, 10);
         assert_eq!(fp, journal_fingerprint(&base, &layers, 10));

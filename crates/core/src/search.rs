@@ -96,9 +96,7 @@ impl SigmaSearch {
                     .collect();
                 evaluator.accuracy_uniform_noise(&deltas, self.seed)
             }
-            SearchScheme::GaussianApprox => {
-                evaluator.accuracy_gaussian_output(sigma, self.seed)
-            }
+            SearchScheme::GaussianApprox => evaluator.accuracy_gaussian_output(sigma, self.seed),
         }
     }
 

@@ -23,9 +23,7 @@
 //! sample count of each σ estimate — use ≥ 8 repeats here where the
 //! input profiler is happy with 2.
 
-use crate::profile::{
-    fit_sweep_guarded, LayerProfile, Profile, ProfileConfig, ProfileError,
-};
+use crate::profile::{fit_sweep_guarded, LayerProfile, Profile, ProfileConfig, ProfileError};
 use mupod_nn::inventory::LayerInventory;
 use mupod_nn::tap::NoTap;
 use mupod_nn::{Network, NodeId, Op};
@@ -152,8 +150,8 @@ mod tests {
     fn setup() -> (Network, Dataset) {
         let scale = ModelScale::tiny();
         let mut net = ModelKind::Nin.build(&scale, 0x3E1);
-        let spec = DatasetSpec::new(scale.classes, 3, scale.input_hw, scale.input_hw)
-            .with_class_seed(1);
+        let spec =
+            DatasetSpec::new(scale.classes, 3, scale.input_hw, scale.input_hw).with_class_seed(1);
         let data = Dataset::generate(&spec, 2, 16);
         calibrate_head(&mut net, &data, 0.1).unwrap();
         (net, data)

@@ -55,6 +55,7 @@ pub fn search_weight_bits(
             break;
         }
     }
+    // lint:allow(no-float-eq) reason=0.0 is the never-assigned sentinel, not a computed accuracy; any measured accuracy overwrites it
     if chosen_acc == 0.0 {
         // Even max_bits failed; report its measured accuracy.
         let quantized = net.with_quantized_weights(max_bits);
@@ -99,15 +100,8 @@ mod tests {
             .into_iter()
             .map(|l| (l, FixedPointFormat::new(12, 10)))
             .collect();
-        let (bits, acc) = search_weight_bits(
-            &net,
-            &data,
-            AccuracyMode::FpAgreement,
-            &formats,
-            0.9,
-            2,
-            16,
-        );
+        let (bits, acc) =
+            search_weight_bits(&net, &data, AccuracyMode::FpAgreement, &formats, 0.9, 2, 16);
         assert!((2..=16).contains(&bits));
         assert!(
             acc >= 0.9 || bits == 16,
@@ -130,15 +124,8 @@ mod tests {
             .into_iter()
             .map(|l| (l, FixedPointFormat::new(12, 10)))
             .collect();
-        let (loose_bits, _) = search_weight_bits(
-            &net,
-            &data,
-            AccuracyMode::FpAgreement,
-            &formats,
-            0.7,
-            1,
-            16,
-        );
+        let (loose_bits, _) =
+            search_weight_bits(&net, &data, AccuracyMode::FpAgreement, &formats, 0.7, 1, 16);
         let (tight_bits, _) = search_weight_bits(
             &net,
             &data,

@@ -20,8 +20,8 @@ use std::path::PathBuf;
 fn setup(seed: u64) -> (Network, Dataset) {
     let scale = ModelScale::tiny();
     let mut net = ModelKind::AlexNet.build(&scale, seed);
-    let spec = DatasetSpec::new(scale.classes, 3, scale.input_hw, scale.input_hw)
-        .with_class_seed(seed);
+    let spec =
+        DatasetSpec::new(scale.classes, 3, scale.input_hw, scale.input_hw).with_class_seed(seed);
     let data = Dataset::generate(&spec, seed ^ 3, 24);
     calibrate_head(&mut net, &data, 0.1).unwrap();
     (net, data)
@@ -73,10 +73,11 @@ fn poisoned_weight_is_blamed_on_its_layer() {
             .profile(&layers)
             .unwrap_err();
         match err {
-            ProfileError::NumericalFault(ExecError::NonFiniteActivation {
-                node, ..
-            }) => {
-                assert_eq!(node, victim, "fault must be attributed to the poisoned layer")
+            ProfileError::NumericalFault(ExecError::NonFiniteActivation { node, .. }) => {
+                assert_eq!(
+                    node, victim,
+                    "fault must be attributed to the poisoned layer"
+                )
             }
             e => panic!("expected NonFiniteActivation, got {e:?}"),
         }
@@ -111,7 +112,10 @@ fn fault_tap_on_checked_pass_never_panics() {
             let mut tap = FaultTap::single_element(layer, kind);
             let res = net.forward_tapped_checked(image, &mut tap, ValidateConfig::default());
             let err = res.expect_err("fault must be detected");
-            assert!(matches!(err, ExecError::NonFiniteActivation { .. }), "{err:?}");
+            assert!(
+                matches!(err, ExecError::NonFiniteActivation { .. }),
+                "{err:?}"
+            );
         }
     }
 }
@@ -133,7 +137,12 @@ node,name,lambda,theta,r_squared,max_relative_error,max_abs,input_elems,macs,fal
     assert_eq!(profile.fallback_layers().len(), 1);
     assert_eq!(profile.fallback_layers()[0].0, "broken");
 
-    let outcome = allocate(&profile, 0.1, &Objective::Bandwidth, &AllocateConfig::default());
+    let outcome = allocate(
+        &profile,
+        0.1,
+        &Objective::Bandwidth,
+        &AllocateConfig::default(),
+    );
     let bits = outcome.allocation.bits();
     assert_eq!(bits.len(), 2);
     // The fallback layer's Δ is clamped to the f32 floor, so it must be
@@ -153,7 +162,10 @@ node,name,lambda,theta,r_squared,max_relative_error,max_abs,input_elems,macs,fal
 
 /// Produces a completed journal plus the reference profile, shared by the
 /// corruption tests below.
-fn journaled_run(name: &str, seed: u64) -> (Network, Dataset, Vec<mupod_nn::NodeId>, PathBuf, Profile) {
+fn journaled_run(
+    name: &str,
+    seed: u64,
+) -> (Network, Dataset, Vec<mupod_nn::NodeId>, PathBuf, Profile) {
     let (net, data) = setup(seed);
     let layers = ModelKind::AlexNet.analyzable_layers(&net);
     let path = temp_path(name);
@@ -216,7 +228,10 @@ fn flipped_byte_in_journal_is_corrupt_not_wrong() {
         .unwrap_err();
     match err {
         CoreError::Journal(JournalError::Corrupt { reason, .. }) => {
-            assert!(reason.contains("checksum") || reason.contains("bad"), "{reason}")
+            assert!(
+                reason.contains("checksum") || reason.contains("bad"),
+                "{reason}"
+            )
         }
         e => panic!("expected Corrupt, got {e:?}"),
     }

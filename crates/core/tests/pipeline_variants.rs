@@ -2,9 +2,7 @@
 //! end, generator-label accuracy, unweighted objectives, and the
 //! refinement bookkeeping.
 
-use mupod_core::{
-    AccuracyMode, Objective, PrecisionOptimizer, ProfileConfig, SearchScheme,
-};
+use mupod_core::{AccuracyMode, Objective, PrecisionOptimizer, ProfileConfig, SearchScheme};
 use mupod_data::{Dataset, DatasetSpec};
 use mupod_models::{calibrate::calibrate_head, ModelKind, ModelScale};
 use mupod_nn::Network;
@@ -12,8 +10,8 @@ use mupod_nn::Network;
 fn setup(seed: u64) -> (Network, Dataset) {
     let scale = ModelScale::tiny();
     let mut net = ModelKind::AlexNet.build(&scale, seed);
-    let spec = DatasetSpec::new(scale.classes, 3, scale.input_hw, scale.input_hw)
-        .with_class_seed(seed);
+    let spec =
+        DatasetSpec::new(scale.classes, 3, scale.input_hw, scale.input_hw).with_class_seed(seed);
     let data = Dataset::generate(&spec, seed ^ 3, 48);
     calibrate_head(&mut net, &data, 0.1).unwrap();
     (net, data)

@@ -12,33 +12,39 @@
 //! supports the paper's choice of correct rounding.)
 
 use mupod_core::{AccuracyEvaluator, AccuracyMode};
-use mupod_experiments::{f, markdown_table, prepare, RunSize};
+use mupod_experiments::{f, find_layer, markdown_table, prepare, ExperimentError, RunSize};
 use mupod_models::ModelKind;
 use mupod_nn::inventory::LayerInventory;
 use mupod_quant::FixedPointFormat;
 use std::collections::HashMap;
 
 fn main() {
+    mupod_experiments::exit_on_error(run());
+}
+
+fn run() -> Result<(), ExperimentError> {
     let mut rep = mupod_experiments::Report::from_args();
     let size = RunSize::from_args();
-    let prepared = prepare(ModelKind::ResNet152, &size);
+    let prepared = prepare(ModelKind::ResNet152, &size)?;
     let net = &prepared.net;
     let layers = ModelKind::ResNet152.analyzable_layers(net);
     let inventory = LayerInventory::measure(net, prepared.eval.images().iter().cloned());
     let ev = AccuracyEvaluator::new(net, &prepared.eval, AccuracyMode::FpAgreement);
 
-    mupod_experiments::report!(rep, "# EXP-ABL3: nearest vs stochastic rounding (ResNet-152, {} layers)", layers.len());
+    mupod_experiments::report!(
+        rep,
+        "# EXP-ABL3: nearest vs stochastic rounding (ResNet-152, {} layers)",
+        layers.len()
+    );
     mupod_experiments::report!(rep);
     let mut rows = Vec::new();
     for bits in [14u32, 12, 10, 9, 8, 7, 6] {
-        let formats: HashMap<_, _> = layers
-            .iter()
-            .map(|&id| {
-                let info = inventory.find(id).expect("layer in inventory");
-                let i = FixedPointFormat::int_bits_for_max_abs(info.max_abs);
-                (id, FixedPointFormat::new(i, bits as i32 - i))
-            })
-            .collect();
+        let mut formats = HashMap::new();
+        for &id in &layers {
+            let info = find_layer(&inventory, id)?;
+            let i = FixedPointFormat::int_bits_for_max_abs(info.max_abs);
+            formats.insert(id, FixedPointFormat::new(i, bits as i32 - i));
+        }
         let nearest = ev.accuracy_quantized(&formats);
         let stochastic = ev.accuracy_quantized_stochastic(&formats, 0xAB3);
         rows.push(vec![
@@ -48,18 +54,26 @@ fn main() {
             f(stochastic - nearest, 3),
         ]);
     }
-    mupod_experiments::report!(rep, 
+    mupod_experiments::report!(
+        rep,
         "{}",
         markdown_table(
-            &["uniform bits", "nearest", "stochastic", "Δ(stoch − nearest)"],
+            &[
+                "uniform bits",
+                "nearest",
+                "stochastic",
+                "Δ(stoch − nearest)"
+            ],
             &rows
         )
     );
     mupod_experiments::report!(rep);
-    mupod_experiments::report!(rep, 
+    mupod_experiments::report!(
+        rep,
         "Negative Δ means nearest rounding wins: its correlated bias costs less\n\
          than stochastic rounding's doubled error variance (step²/6 vs step²/12).\n\
          This supports the paper's use of correct (nearest) rounding."
     );
     rep.finish();
+    Ok(())
 }

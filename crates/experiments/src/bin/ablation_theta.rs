@@ -10,17 +10,21 @@
 //! realized accuracy of the resulting allocations.
 
 use mupod_core::{
-    allocate, AccuracyEvaluator, AccuracyMode, AllocateConfig, Objective, ProfileConfig,
-    Profiler, SigmaSearch,
+    allocate, AccuracyEvaluator, AccuracyMode, AllocateConfig, Objective, ProfileConfig, Profiler,
+    SigmaSearch,
 };
-use mupod_experiments::{f, markdown_table, prepare, RunSize};
+use mupod_experiments::{f, markdown_table, prepare, ExperimentError, RunSize};
 use mupod_models::ModelKind;
 use mupod_stats::LinearFit;
 
 fn main() {
+    mupod_experiments::exit_on_error(run());
+}
+
+fn run() -> Result<(), ExperimentError> {
     let mut rep = mupod_experiments::Report::from_args();
     let size = RunSize::from_args();
-    let prepared = prepare(ModelKind::AlexNet, &size);
+    let prepared = prepare(ModelKind::AlexNet, &size)?;
     let net = &prepared.net;
     let layers = ModelKind::AlexNet.analyzable_layers(net);
     let images = &prepared.eval.images()[..size.profile_images.min(prepared.eval.len())];
@@ -31,9 +35,12 @@ fn main() {
             ..Default::default()
         })
         .profile(&layers)
-        .expect("profiling succeeds");
+        .map_err(|e| ExperimentError::Profile(e.to_string()))?;
 
-    mupod_experiments::report!(rep, "# EXP-ABL1: the θ intercept ablation (vs Lin et al. [4])");
+    mupod_experiments::report!(
+        rep,
+        "# EXP-ABL1: the θ intercept ablation (vs Lin et al. [4])"
+    );
     mupod_experiments::report!(rep);
 
     // (a) Fit quality with and without the intercept, per layer.
@@ -70,10 +77,16 @@ fn main() {
             ]
         })
         .collect();
-    mupod_experiments::report!(rep, 
+    mupod_experiments::report!(
+        rep,
         "{}",
         markdown_table(
-            &["layer", "theta", "max rel err (with θ)", "max rel err (θ=0)"],
+            &[
+                "layer",
+                "theta",
+                "max rel err (with θ)",
+                "max rel err (θ=0)"
+            ],
             &rows
         )
     );
@@ -93,13 +106,20 @@ fn main() {
     let acc_with = ev.accuracy_of_allocation(&layers, &with_theta.allocation);
     let acc_zero = ev.accuracy_of_allocation(&layers, &zero_theta.allocation);
     mupod_experiments::report!(rep);
-    mupod_experiments::report!(rep, "At the searched σ = {:.3} (1% loss target {:.3}):", sigma, target);
-    mupod_experiments::report!(rep, 
+    mupod_experiments::report!(
+        rep,
+        "At the searched σ = {:.3} (1% loss target {:.3}):",
+        sigma,
+        target
+    );
+    mupod_experiments::report!(
+        rep,
         "  with θ: bits {:?}, validated accuracy {:.3}",
         with_theta.allocation.bits(),
         acc_with
     );
-    mupod_experiments::report!(rep, 
+    mupod_experiments::report!(
+        rep,
         "  θ = 0 : bits {:?}, validated accuracy {:.3}",
         zero_theta.allocation.bits(),
         acc_zero
@@ -107,7 +127,8 @@ fn main() {
     let bits_with: u32 = with_theta.allocation.bits().iter().sum();
     let bits_zero: u32 = zero_theta.allocation.bits().iter().sum();
     mupod_experiments::report!(rep);
-    mupod_experiments::report!(rep, 
+    mupod_experiments::report!(
+        rep,
         "θ=0 shifts the allocation by {} total bits and {} accuracy; a positive θ\n\
          grants coarser formats at the same output budget, a negative θ guards\n\
          against over-coarsening. Forcing θ=0 degrades the Δ prediction (table\n\
@@ -116,4 +137,5 @@ fn main() {
         f(acc_zero - acc_with, 3)
     );
     rep.finish();
+    Ok(())
 }

@@ -12,16 +12,20 @@ use mupod_core::{
     profile_weights, search_weight_bits, AccuracyEvaluator, AccuracyMode, Objective,
     PrecisionOptimizer, ProfileConfig,
 };
-use mupod_experiments::{f, markdown_table, pct, prepare, RunSize};
+use mupod_experiments::{f, markdown_table, pct, prepare, ExperimentError, RunSize};
 use mupod_models::ModelKind;
 use mupod_nn::Network;
 use mupod_quant::FixedPointFormat;
 use std::collections::HashMap;
 
 fn main() {
+    mupod_experiments::exit_on_error(run());
+}
+
+fn run() -> Result<(), ExperimentError> {
     let mut rep = mupod_experiments::Report::from_args();
     let size = RunSize::from_args();
-    let prepared = prepare(ModelKind::Nin, &size);
+    let prepared = prepare(ModelKind::Nin, &size)?;
     let net = &prepared.net;
     let layers = ModelKind::Nin.analyzable_layers(net);
     let ev = AccuracyEvaluator::new(net, &prepared.eval, AccuracyMode::FpAgreement);
@@ -39,7 +43,7 @@ fn main() {
         })
         .profile_images(size.profile_images)
         .run(Objective::Bandwidth)
-        .expect("input optimization");
+        .map_err(|e| ExperimentError::Optimize(format!("input optimization: {e}")))?;
     let input_formats: HashMap<_, _> = layers
         .iter()
         .zip(input_opt.allocation.layers())
@@ -69,7 +73,7 @@ fn main() {
             ..Default::default()
         },
     )
-    .expect("weight profiling");
+    .map_err(|e| ExperimentError::Profile(format!("weight profiling: {e}")))?;
 
     // Give the weights the σ budget the input search found, scaled down:
     // inputs and weights share the output-error variance, so grant each
@@ -88,10 +92,12 @@ fn main() {
         for (&id, lf) in layers.iter().zip(outcome.allocation.layers()) {
             let (weight, bias) = match &net.node(id).op {
                 mupod_nn::Op::Conv2d { weight, bias, .. }
-                | mupod_nn::Op::FullyConnected { weight, bias } => {
-                    (weight.clone(), bias.clone())
+                | mupod_nn::Op::FullyConnected { weight, bias } => (weight.clone(), bias.clone()),
+                _ => {
+                    return Err(ExperimentError::Invariant(format!(
+                        "layer {id} is not a dot-product layer"
+                    )))
                 }
-                _ => unreachable!(),
             };
             let mut w = weight;
             lf.format.quantize_tensor(&mut w);
@@ -118,7 +124,10 @@ fn main() {
         .map(|(&n, &b)| n as f64 * b as f64)
         .sum();
 
-    mupod_experiments::report!(rep, "# EXP-EXT1: analytical per-layer weight bitwidths (extension)");
+    mupod_experiments::report!(
+        rep,
+        "# EXP-EXT1: analytical per-layer weight bitwidths (extension)"
+    );
     mupod_experiments::report!(rep);
     let rows: Vec<Vec<String>> = w_profile
         .layers()
@@ -135,27 +144,41 @@ fn main() {
             ]
         })
         .collect();
-    mupod_experiments::report!(rep, 
+    mupod_experiments::report!(
+        rep,
         "{}",
         markdown_table(
-            &["layer", "#weights", "lambda_w", "max|W|", "uniform W", "analytic W"],
+            &[
+                "layer",
+                "#weights",
+                "lambda_w",
+                "max|W|",
+                "uniform W",
+                "analytic W"
+            ],
             &rows
         )
     );
     mupod_experiments::report!(rep);
-    mupod_experiments::report!(rep, 
+    mupod_experiments::report!(
+        rep,
         "weight storage: uniform {} kbit -> analytic {} kbit ({}% saving)",
         f(total_uniform / 1e3, 1),
         f(total_analytic / 1e3, 1),
         pct((1.0 - total_analytic / total_uniform) * 100.0)
     );
-    mupod_experiments::report!(rep, 
+    mupod_experiments::report!(
+        rep,
         "accuracy at floor {:.3}: uniform {:.3}, analytic {:.3}",
-        target, uniform_acc, analytic_acc
+        target,
+        uniform_acc,
+        analytic_acc
     );
-    mupod_experiments::report!(rep, 
+    mupod_experiments::report!(
+        rep,
         "(the paper's uniform W plus its own Eq. 2 imply this generalization; it\n\
          trades storage between layers exactly like the input allocation does)"
     );
     rep.finish();
+    Ok(())
 }

@@ -9,16 +9,20 @@
 //! (total-variation distance against the matching uniform / normal
 //! reference densities).
 
-use mupod_experiments::{f, prepare, RunSize};
+use mupod_experiments::{f, prepare, ExperimentError, RunSize};
 use mupod_models::ModelKind;
 use mupod_nn::tap::{InputTap, UniformNoiseTap};
 use mupod_stats::histogram::normal_pdf;
 use mupod_stats::{Histogram, RunningStats, SeededRng};
 
 fn main() {
+    mupod_experiments::exit_on_error(run());
+}
+
+fn run() -> Result<(), ExperimentError> {
     let mut rep = mupod_experiments::Report::from_args();
     let size = RunSize::from_args();
-    let prepared = prepare(ModelKind::AlexNet, &size);
+    let prepared = prepare(ModelKind::AlexNet, &size)?;
     let net = &prepared.net;
     let layers = ModelKind::AlexNet.analyzable_layers(net);
     let layer = layers[2]; // conv3: a middle layer, as in the figure
@@ -40,6 +44,7 @@ fn main() {
         let mut noisy_in = clean_in.clone();
         tap.apply(layer, &mut noisy_in);
         for (a, b) in noisy_in.data().iter().zip(clean_in.data()) {
+            // lint:allow(no-float-eq) reason=the noise tap skips exactly-zero activations, so only nonzero entries carry an injected error worth sampling
             if *b != 0.0 {
                 let e = (a - b) as f64;
                 input_errors.push(e);
@@ -59,20 +64,23 @@ fn main() {
 
     mupod_experiments::report!(rep, "# EXP-F1: error shapes (Fig. 1)");
     mupod_experiments::report!(rep);
-    mupod_experiments::report!(rep, 
+    mupod_experiments::report!(
+        rep,
         "Injected U[-{delta}, {delta}] at layer `{}` over {} images.",
         net.node(layer).name,
         prepared.eval.len()
     );
     mupod_experiments::report!(rep);
-    mupod_experiments::report!(rep, 
+    mupod_experiments::report!(
+        rep,
         "Input error:  mean {} | s.d. {} (theory: Δ/√3 = {})",
         f(input_errors.mean(), 5),
         f(input_errors.population_std(), 5),
         f(delta / 3.0f64.sqrt(), 5),
     );
     let out_sd = output_errors.population_std();
-    mupod_experiments::report!(rep, 
+    mupod_experiments::report!(
+        rep,
         "Output error: mean {} | s.d. {}",
         f(output_errors.mean(), 5),
         f(out_sd, 5),
@@ -82,7 +90,10 @@ fn main() {
     mupod_experiments::report!(rep, "{}", in_hist.render_ascii(48));
     let mut out_hist = Histogram::new(-4.0 * out_sd, 4.0 * out_sd, 41);
     out_hist.extend(out_samples.iter().copied());
-    mupod_experiments::report!(rep, "Output-error histogram (should be bell-shaped / Gaussian):");
+    mupod_experiments::report!(
+        rep,
+        "Output-error histogram (should be bell-shaped / Gaussian):"
+    );
     mupod_experiments::report!(rep, "{}", out_hist.render_ascii(48));
 
     let tv_gauss = out_hist.total_variation_vs(|x| normal_pdf(x, 0.0, out_sd));
@@ -94,12 +105,14 @@ fn main() {
             0.0
         }
     });
-    mupod_experiments::report!(rep, 
+    mupod_experiments::report!(
+        rep,
         "Output-error TV distance: vs N(0, σ²) = {} | vs uniform = {}",
         f(tv_gauss, 4),
         f(tv_unif, 4)
     );
-    mupod_experiments::report!(rep, 
+    mupod_experiments::report!(
+        rep,
         "=> output error is {} (paper: output error ≈ Gaussian)",
         if tv_gauss < tv_unif {
             "closer to Gaussian"
@@ -108,4 +121,5 @@ fn main() {
         }
     );
     rep.finish();
+    Ok(())
 }

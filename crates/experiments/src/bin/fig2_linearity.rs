@@ -9,15 +9,19 @@
 //! `EXPERIMENTS.md`).
 
 use mupod_core::{ProfileConfig, Profiler};
-use mupod_experiments::{f, markdown_table, prepare, RunSize};
+use mupod_experiments::{f, markdown_table, prepare, ExperimentError, RunSize};
 use mupod_models::ModelKind;
 
 fn main() {
+    mupod_experiments::exit_on_error(run());
+}
+
+fn run() -> Result<(), ExperimentError> {
     let mut rep = mupod_experiments::Report::from_args();
     let size = RunSize::from_args();
     mupod_experiments::report!(rep, "# EXP-F2: Δ vs σ cross-layer linearity (Fig. 2)");
     for kind in [ModelKind::Vgg19, ModelKind::GoogleNet] {
-        let prepared = prepare(kind, &size);
+        let prepared = prepare(kind, &size)?;
         let net = &prepared.net;
         let layers = kind.analyzable_layers(net);
         let images = &prepared.eval.images()[..size.profile_images.min(prepared.eval.len())];
@@ -28,10 +32,11 @@ fn main() {
                 ..Default::default()
             })
             .profile(&layers)
-            .expect("profiling succeeds");
+            .map_err(|e| ExperimentError::Profile(format!("{kind}: {e}")))?;
 
         mupod_experiments::report!(rep);
-        mupod_experiments::report!(rep, 
+        mupod_experiments::report!(
+            rep,
             "## {kind} — {} layers, {} images × {} logits × {} repeats per point",
             layers.len(),
             images.len(),
@@ -52,7 +57,8 @@ fn main() {
                 ]
             })
             .collect();
-        mupod_experiments::report!(rep, 
+        mupod_experiments::report!(
+            rep,
             "{}",
             markdown_table(&["layer", "lambda", "theta", "R^2", "max rel err"], &rows)
         );
@@ -61,16 +67,18 @@ fn main() {
             .iter()
             .filter(|l| l.max_relative_error < 0.10)
             .count();
-        mupod_experiments::report!(rep, 
+        mupod_experiments::report!(rep,
             "layers with < 10% worst-case prediction error: {}/{} | worst overall: {:.1}% | min R² {:.4}",
             n_ok,
             profile.len(),
             profile.max_relative_error() * 100.0,
             profile.min_r_squared(),
         );
-        mupod_experiments::report!(rep, 
+        mupod_experiments::report!(
+            rep,
             "(paper: mostly < 5%, worst ~10%, on 500 ImageNet images × 1000 logits)"
         );
     }
     rep.finish();
+    Ok(())
 }

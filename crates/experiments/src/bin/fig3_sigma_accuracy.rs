@@ -13,7 +13,7 @@
 //!   measures s.d. 0.99, mean 7e-5 on 5×10⁵ values).
 
 use mupod_core::{AccuracyEvaluator, AccuracyMode, ProfileConfig, Profiler};
-use mupod_experiments::{f, markdown_table, prepare, RunSize};
+use mupod_experiments::{f, markdown_table, prepare, ExperimentError, RunSize};
 use mupod_models::ModelKind;
 use mupod_nn::NodeId;
 use mupod_stats::histogram::standard_normal_pdf;
@@ -21,9 +21,13 @@ use mupod_stats::{Histogram, RunningStats, SeededRng};
 use std::collections::HashMap;
 
 fn main() {
+    mupod_experiments::exit_on_error(run());
+}
+
+fn run() -> Result<(), ExperimentError> {
     let mut rep = mupod_experiments::Report::from_args();
     let size = RunSize::from_args();
-    let prepared = prepare(ModelKind::AlexNet, &size);
+    let prepared = prepare(ModelKind::AlexNet, &size)?;
     let net = &prepared.net;
     let layers = ModelKind::AlexNet.analyzable_layers(net);
     let images = &prepared.eval.images()[..size.profile_images.min(prepared.eval.len())];
@@ -34,13 +38,14 @@ fn main() {
             ..Default::default()
         })
         .profile(&layers)
-        .expect("profiling succeeds");
+        .map_err(|e| ExperimentError::Profile(e.to_string()))?;
     let ev = AccuracyEvaluator::new(net, &prepared.eval, AccuracyMode::FpAgreement);
     let l = layers.len() as f64;
 
     mupod_experiments::report!(rep, "# EXP-F3: σ_YŁ vs accuracy (Fig. 3)");
     mupod_experiments::report!(rep);
-    mupod_experiments::report!(rep, 
+    mupod_experiments::report!(
+        rep,
         "AlexNet, {} eval images, fp-agreement accuracy (relative accuracy).",
         prepared.eval.len()
     );
@@ -55,7 +60,11 @@ fn main() {
         logit_stats.extend(net.output(&acts).data().iter().map(|&v| v as f64));
     }
     let logit_sd = logit_stats.population_std();
-    mupod_experiments::report!(rep, "clean logit s.d. = {} (sweep is relative to it)", f(logit_sd, 3));
+    mupod_experiments::report!(
+        rep,
+        "clean logit s.d. = {} (sweep is relative to it)",
+        f(logit_sd, 3)
+    );
     mupod_experiments::report!(rep);
     let sigmas: Vec<f64> = [0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 3.2]
         .iter()
@@ -78,8 +87,7 @@ fn main() {
         // Scheme 2 (gaussian_approx), averaged over 3 seeds.
         let mut gauss_acc = 0.0;
         for rep in 0..3u64 {
-            gauss_acc +=
-                ev.accuracy_gaussian_output(sigma, 0x6A + rep + 100 * si as u64);
+            gauss_acc += ev.accuracy_gaussian_output(sigma, 0x6A + rep + 100 * si as u64);
         }
         gauss_acc /= 3.0;
 
@@ -107,14 +115,21 @@ fn main() {
             f(worst_dev, 3),
         ]);
     }
-    mupod_experiments::report!(rep, 
+    mupod_experiments::report!(
+        rep,
         "{}",
         markdown_table(
-            &["sigma_YL", "equal_scheme", "gaussian_approx", "xi=0.8 max dev"],
+            &[
+                "sigma_YL",
+                "equal_scheme",
+                "gaussian_approx",
+                "xi=0.8 max dev"
+            ],
             &rows
         )
     );
-    mupod_experiments::report!(rep, 
+    mupod_experiments::report!(
+        rep,
         "(paper: the two series track each other; corner-case variation is\n\
          tolerable while accuracy loss stays below ~5%)"
     );
@@ -135,7 +150,12 @@ fn main() {
         let base = net.forward(img);
         let mut tap = mupod_nn::tap::UniformNoiseTap::new(deltas.clone(), rng.fork(i as u64));
         let noisy = net.forward_tapped(img, &mut tap);
-        for (a, b) in net.output(&noisy).data().iter().zip(net.output(&base).data()) {
+        for (a, b) in net
+            .output(&noisy)
+            .data()
+            .iter()
+            .zip(net.output(&base).data())
+        {
             let e = (a - b) as f64;
             stats.push(e);
             samples.push(e);
@@ -144,22 +164,26 @@ fn main() {
     let sd = stats.population_std();
     let mut hist = Histogram::new(-4.0, 4.0, 41);
     hist.extend(samples.iter().map(|e| e / sd));
-    mupod_experiments::report!(rep, 
+    mupod_experiments::report!(
+        rep,
         "Output error at σ target {}: measured s.d. = {}, mean = {:.2e} on {} values",
         f(sigma, 3),
         f(sd, 3),
         stats.mean(),
         stats.count()
     );
-    mupod_experiments::report!(rep, 
+    mupod_experiments::report!(
+        rep,
         "(paper: s.d. 0.99, mean 7e-5 on 5×10⁵ values — i.e. the injected σ is realized)"
     );
     mupod_experiments::report!(rep);
     mupod_experiments::report!(rep, "Normalized output-error histogram vs N(0,1):");
     mupod_experiments::report!(rep, "{}", hist.render_ascii(48));
-    mupod_experiments::report!(rep, 
+    mupod_experiments::report!(
+        rep,
         "TV distance vs N(0,1): {}",
         f(hist.total_variation_vs(standard_normal_pdf), 4)
     );
     rep.finish();
+    Ok(())
 }

@@ -8,18 +8,20 @@
 //! per-layer energies, and both totals.
 
 use mupod_baselines::uniform_search;
-use mupod_core::{
-    AccuracyEvaluator, AccuracyMode, Objective, PrecisionOptimizer, ProfileConfig,
-};
-use mupod_experiments::{f, markdown_table, pct, prepare, RunSize};
+use mupod_core::{AccuracyEvaluator, AccuracyMode, Objective, PrecisionOptimizer, ProfileConfig};
+use mupod_experiments::{f, find_layer, markdown_table, pct, prepare, ExperimentError, RunSize};
 use mupod_hw::{bandwidth, MacEnergyModel};
 use mupod_models::ModelKind;
 use mupod_nn::inventory::LayerInventory;
 
 fn main() {
+    mupod_experiments::exit_on_error(run());
+}
+
+fn run() -> Result<(), ExperimentError> {
     let mut rep = mupod_experiments::Report::from_args();
     let size = RunSize::from_args();
-    let prepared = prepare(ModelKind::Nin, &size);
+    let prepared = prepare(ModelKind::Nin, &size)?;
     let net = &prepared.net;
     let layers = ModelKind::Nin.analyzable_layers(net);
     let inventory = LayerInventory::measure(net, prepared.eval.images().iter().cloned());
@@ -40,41 +42,52 @@ fn main() {
         })
         .profile_images(size.profile_images)
         .run(Objective::MacEnergy)
-        .expect("mac optimization");
+        .map_err(|e| ExperimentError::Optimize(format!("mac optimization: {e}")))?;
 
     let model = MacEnergyModel::dwip_40nm();
     let weight_bits = 8;
-    let macs: Vec<u64> = layers
-        .iter()
-        .map(|&id| inventory.find(id).unwrap().macs)
-        .collect();
-    let inputs: Vec<u64> = layers
-        .iter()
-        .map(|&id| inventory.find(id).unwrap().input_elems)
-        .collect();
+    let mut macs: Vec<u64> = Vec::with_capacity(layers.len());
+    let mut inputs: Vec<u64> = Vec::with_capacity(layers.len());
+    for &id in &layers {
+        let info = find_layer(&inventory, id)?;
+        macs.push(info.macs);
+        inputs.push(info.input_elems);
+    }
     let base_bits = base.allocation.bits();
     let opt_bits = opt.allocation.bits();
 
     mupod_experiments::report!(rep, "# EXP-F4: NiN per-layer MAC energy (Fig. 4)");
     mupod_experiments::report!(rep);
-    let rows: Vec<Vec<String>> = (0..layers.len())
-        .map(|k| {
-            vec![
-                format!("{}", k + 1),
-                inventory.find(layers[k]).unwrap().name.clone(),
-                format!("{:.2}", macs[k] as f64 / 1e6),
-                base_bits[k].to_string(),
-                opt_bits[k].to_string(),
-                f(model.layer_energy(macs[k], base_bits[k], weight_bits) / 1e6, 3),
-                f(model.layer_energy(macs[k], opt_bits[k], weight_bits) / 1e6, 3),
-            ]
-        })
-        .collect();
-    mupod_experiments::report!(rep, 
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(layers.len());
+    for k in 0..layers.len() {
+        rows.push(vec![
+            format!("{}", k + 1),
+            find_layer(&inventory, layers[k])?.name.clone(),
+            format!("{:.2}", macs[k] as f64 / 1e6),
+            base_bits[k].to_string(),
+            opt_bits[k].to_string(),
+            f(
+                model.layer_energy(macs[k], base_bits[k], weight_bits) / 1e6,
+                3,
+            ),
+            f(
+                model.layer_energy(macs[k], opt_bits[k], weight_bits) / 1e6,
+                3,
+            ),
+        ]);
+    }
+    mupod_experiments::report!(
+        rep,
         "{}",
         markdown_table(
             &[
-                "#", "layer", "MAC(x10^6)", "base bits", "opt bits", "base uJ", "opt uJ",
+                "#",
+                "layer",
+                "MAC(x10^6)",
+                "base bits",
+                "opt bits",
+                "base uJ",
+                "opt uJ",
             ],
             &rows
         )
@@ -85,13 +98,15 @@ fn main() {
     let bw_base = bandwidth::total_input_bits(&inputs, &base_bits);
     let bw_opt = bandwidth::total_input_bits(&inputs, &opt_bits);
     mupod_experiments::report!(rep);
-    mupod_experiments::report!(rep, 
+    mupod_experiments::report!(
+        rep,
         "Total MAC energy: baseline {} µJ -> optimized {} µJ  ({}% saving; paper: 22.8%)",
         f(e_base / 1e6, 3),
         f(e_opt / 1e6, 3),
         pct(MacEnergyModel::saving_percent(e_base, e_opt))
     );
-    mupod_experiments::report!(rep, 
+    mupod_experiments::report!(
+        rep,
         "Bandwidth cost of the energy objective: {}% (paper: 5.6% WORSE than baseline)",
         pct(bandwidth::saving_percent(bw_base, bw_opt))
     );
@@ -99,9 +114,11 @@ fn main() {
         .filter(|&k| macs[k] as f64 > 1.5 * macs.iter().sum::<u64>() as f64 / macs.len() as f64)
         .map(|k| k + 1)
         .collect();
-    mupod_experiments::report!(rep, 
+    mupod_experiments::report!(
+        rep,
         "Power-hungry layers (above 1.5x mean MACs): {heavy:?} — these should have\n\
          opt bits <= base bits while cheap layers may gain bits."
     );
     rep.finish();
+    Ok(())
 }

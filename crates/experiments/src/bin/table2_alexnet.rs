@@ -10,24 +10,26 @@
 //! traffic saving and 9.5 % MAC-bit saving over its baseline.
 
 use mupod_baselines::greedy_search;
-use mupod_core::{
-    AccuracyEvaluator, AccuracyMode, Objective, PrecisionOptimizer, ProfileConfig,
-};
-use mupod_experiments::{markdown_table, pct, prepare, RunSize};
+use mupod_core::{AccuracyEvaluator, AccuracyMode, Objective, PrecisionOptimizer, ProfileConfig};
+use mupod_experiments::{find_layer, markdown_table, pct, prepare, ExperimentError, RunSize};
 use mupod_models::ModelKind;
 use mupod_nn::inventory::LayerInventory;
 
 fn main() {
+    mupod_experiments::exit_on_error(run());
+}
+
+fn run() -> Result<(), ExperimentError> {
     let mut rep = mupod_experiments::Report::from_args();
     let size = RunSize::from_args();
-    let prepared = prepare(ModelKind::AlexNet, &size);
+    let prepared = prepare(ModelKind::AlexNet, &size)?;
     let net = &prepared.net;
     let layers = ModelKind::AlexNet.analyzable_layers(net);
     let inventory = LayerInventory::measure(net, prepared.eval.images().iter().cloned());
     let infos: Vec<_> = layers
         .iter()
-        .map(|&id| inventory.find(id).expect("layer in inventory").clone())
-        .collect();
+        .map(|&id| find_layer(&inventory, id).cloned())
+        .collect::<Result<_, _>>()?;
     let ev = AccuracyEvaluator::new(net, &prepared.eval, AccuracyMode::FpAgreement);
     let target = ev.fp_accuracy() * 0.99;
 
@@ -47,13 +49,15 @@ fn main() {
             ..Default::default()
         })
         .profile_images(size.profile_images);
-    let opt_input = optimizer.run(Objective::Bandwidth).expect("input opt");
+    let opt_input = optimizer
+        .run(Objective::Bandwidth)
+        .map_err(|e| ExperimentError::Optimize(format!("input objective: {e}")))?;
     let opt_mac = PrecisionOptimizer::new(net, &prepared.eval)
         .layers(layers.clone())
         .relative_accuracy_loss(0.01)
         .with_profile(opt_input.profile.clone())
         .run(Objective::MacEnergy)
-        .expect("mac opt");
+        .map_err(|e| ExperimentError::Optimize(format!("mac objective: {e}")))?;
 
     let input_bits_of = |bits: &[u32]| -> Vec<f64> {
         infos
@@ -76,9 +80,13 @@ fn main() {
     let in_opt = input_bits_of(&opt_input.allocation.bits());
     let mac_opt = mac_bits_of(&opt_mac.allocation.bits());
 
-    mupod_experiments::report!(rep, "# EXP-T2: AlexNet multi-objective optimization (Table II)");
+    mupod_experiments::report!(
+        rep,
+        "# EXP-T2: AlexNet multi-objective optimization (Table II)"
+    );
     mupod_experiments::report!(rep);
-    mupod_experiments::report!(rep, 
+    mupod_experiments::report!(
+        rep,
         "σ_YŁ = {:.4} (paper: ≈0.32 on ImageNet-scale AlexNet), fp-agreement\n\
          accuracy, 1% relative loss, {} eval images.",
         opt_input.sigma.sigma,
@@ -115,7 +123,10 @@ fn main() {
                 .iter()
                 .map(|i| format!("{:.2}", i.macs as f64 / 1e6))
                 .collect(),
-            format!("{:.2}", infos.iter().map(|i| i.macs).sum::<u64>() as f64 / 1e6),
+            format!(
+                "{:.2}",
+                infos.iter().map(|i| i.macs).sum::<u64>() as f64 / 1e6
+            ),
         ),
         row(
             "max|X_K|",
@@ -173,21 +184,28 @@ fn main() {
     let input_saving = (1.0 - total(&in_opt) / total(&in_base)) * 100.0;
     let mac_saving = (1.0 - total(&mac_opt) / total(&mac_base)) * 100.0;
     mupod_experiments::report!(rep);
-    mupod_experiments::report!(rep, 
+    mupod_experiments::report!(
+        rep,
         "Input-traffic saving vs baseline: {}%  (paper: 15% vs Stripes baseline)",
         pct(input_saving)
     );
-    mupod_experiments::report!(rep, 
+    mupod_experiments::report!(
+        rep,
         "MAC-bits saving vs baseline:      {}%  (paper: 9.5%)",
         pct(mac_saving)
     );
-    mupod_experiments::report!(rep, 
+    mupod_experiments::report!(
+        rep,
         "Validated accuracies: opt-input {:.3}, opt-mac {:.3} (target {:.3}; baseline {:.3})",
-        opt_input.validated_accuracy, opt_mac.validated_accuracy, target, baseline.accuracy
+        opt_input.validated_accuracy,
+        opt_mac.validated_accuracy,
+        target,
+        baseline.accuracy
     );
-    mupod_experiments::report!(rep, 
+    mupod_experiments::report!(rep,
         "Baseline search spent {} accuracy evaluations; analytical method spent {} (σ search only).",
         baseline.evaluations, opt_input.sigma.evaluations
     );
     rep.finish();
+    Ok(())
 }

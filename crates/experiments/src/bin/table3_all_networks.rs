@@ -19,10 +19,12 @@
 
 use mupod_baselines::uniform_search;
 use mupod_core::{
-    search_weight_bits, AccuracyEvaluator, AccuracyMode, Objective, PrecisionOptimizer,
-    Profile, ProfileConfig, Profiler,
+    search_weight_bits, AccuracyEvaluator, AccuracyMode, Objective, PrecisionOptimizer, Profile,
+    ProfileConfig, Profiler,
 };
-use mupod_experiments::{f, markdown_table, pct, prepare, Prepared, RunSize};
+use mupod_experiments::{
+    f, find_layer, markdown_table, pct, prepare, ExperimentError, Prepared, RunSize,
+};
 use mupod_hw::{bandwidth, MacEnergyModel};
 use mupod_models::ModelKind;
 use mupod_nn::inventory::LayerInventory;
@@ -43,7 +45,7 @@ struct Row {
     energy_save: f64,
 }
 
-fn parse_filter() -> (Vec<ModelKind>, Vec<f64>) {
+fn parse_filter() -> Result<(Vec<ModelKind>, Vec<f64>), ExperimentError> {
     let args: Vec<String> = std::env::args().collect();
     let mut kinds: Vec<ModelKind> = ModelKind::ALL.to_vec();
     let mut losses = vec![0.01, 0.05];
@@ -56,16 +58,20 @@ fn parse_filter() -> (Vec<ModelKind>, Vec<f64>) {
                         .iter()
                         .copied()
                         .find(|k| k.name().eq_ignore_ascii_case(n.trim()))
-                        .unwrap_or_else(|| panic!("unknown network `{n}`"))
+                        .ok_or_else(|| {
+                            ExperimentError::Usage(format!("unknown network `{}`", n.trim()))
+                        })
                 })
-                .collect();
+                .collect::<Result<_, _>>()?;
         }
         if args[i] == "--loss" && i + 1 < args.len() {
-            let v: f64 = args[i + 1].parse().expect("numeric loss");
+            let v: f64 = args[i + 1].parse().map_err(|_| {
+                ExperimentError::Usage(format!("--loss wants a number, got `{}`", args[i + 1]))
+            })?;
             losses = vec![v / 100.0];
         }
     }
-    (kinds, losses)
+    Ok((kinds, losses))
 }
 
 /// One prepared network plus everything loss-independent.
@@ -79,20 +85,18 @@ struct NetContext {
     profile: Profile,
 }
 
-fn build_context(kind: ModelKind, size: &RunSize) -> NetContext {
+fn build_context(kind: ModelKind, size: &RunSize) -> Result<NetContext, ExperimentError> {
     eprintln!("[{kind}: preparing]");
-    let prepared = prepare(kind, size);
+    let prepared = prepare(kind, size)?;
     let layers = kind.analyzable_layers(&prepared.net);
-    let inventory =
-        LayerInventory::measure(&prepared.net, prepared.eval.images().iter().cloned());
-    let inputs: Vec<u64> = layers
-        .iter()
-        .map(|&id| inventory.find(id).unwrap().input_elems)
-        .collect();
-    let macs: Vec<u64> = layers
-        .iter()
-        .map(|&id| inventory.find(id).unwrap().macs)
-        .collect();
+    let inventory = LayerInventory::measure(&prepared.net, prepared.eval.images().iter().cloned());
+    let mut inputs: Vec<u64> = Vec::with_capacity(layers.len());
+    let mut macs: Vec<u64> = Vec::with_capacity(layers.len());
+    for &id in &layers {
+        let info = find_layer(&inventory, id)?;
+        inputs.push(info.input_elems);
+        macs.push(info.macs);
+    }
     eprintln!("[{kind}: profiling {} layers]", layers.len());
     let n_images = size.profile_images.min(prepared.eval.len());
     let mut profile = Profiler::new(&prepared.net, &prepared.eval.images()[..n_images])
@@ -102,9 +106,9 @@ fn build_context(kind: ModelKind, size: &RunSize) -> NetContext {
             ..Default::default()
         })
         .profile(&layers)
-        .expect("profiling succeeds");
+        .map_err(|e| ExperimentError::Profile(format!("{kind}: {e}")))?;
     profile.update_ranges(inventory);
-    NetContext {
+    Ok(NetContext {
         rho_in: inputs.iter().map(|&v| v as f64).collect(),
         rho_mac: macs.iter().map(|&v| v as f64).collect(),
         prepared,
@@ -112,10 +116,15 @@ fn build_context(kind: ModelKind, size: &RunSize) -> NetContext {
         inputs,
         macs,
         profile,
-    }
+    })
 }
 
-fn row_for(ctx: &NetContext, loss: f64, size: &RunSize, energy_model: &MacEnergyModel) -> Row {
+fn row_for(
+    ctx: &NetContext,
+    loss: f64,
+    size: &RunSize,
+    energy_model: &MacEnergyModel,
+) -> Result<Row, ExperimentError> {
     let kind = ctx.prepared.kind;
     let net = &ctx.prepared.net;
     let inventory = LayerInventory::measure(net, ctx.prepared.eval.images().iter().cloned());
@@ -133,13 +142,13 @@ fn row_for(ctx: &NetContext, loss: f64, size: &RunSize, energy_model: &MacEnergy
         .with_profile(ctx.profile.clone())
         .profile_images(size.profile_images)
         .run(Objective::Bandwidth)
-        .expect("bandwidth optimization");
+        .map_err(|e| ExperimentError::Optimize(format!("{kind} bandwidth: {e}")))?;
     let om = PrecisionOptimizer::new(net, &ctx.prepared.eval)
         .layers(ctx.layers.clone())
         .relative_accuracy_loss(loss)
         .with_profile(ctx.profile.clone())
         .run(Objective::MacEnergy)
-        .expect("mac optimization");
+        .map_err(|e| ExperimentError::Optimize(format!("{kind} mac energy: {e}")))?;
 
     eprintln!("[{kind}: weight search @ {:.0}%]", loss * 100.0);
     let formats: HashMap<_, FixedPointFormat> = ctx
@@ -167,7 +176,7 @@ fn row_for(ctx: &NetContext, loss: f64, size: &RunSize, energy_model: &MacEnergy
     let e_base = energy_model.network_energy(&ctx.macs, &base_bits, weight_bits);
     let e_opt = energy_model.network_energy(&ctx.macs, &om_bits, weight_bits);
 
-    Row {
+    Ok(Row {
         name: kind.name().to_string(),
         layers: ctx.layers.len(),
         weight_bits,
@@ -179,17 +188,27 @@ fn row_for(ctx: &NetContext, loss: f64, size: &RunSize, energy_model: &MacEnergy
         om_input_eff: eff(&om_bits, &ctx.rho_in),
         om_mac_eff: eff(&om_bits, &ctx.rho_mac),
         energy_save: MacEnergyModel::saving_percent(e_base, e_opt),
-    }
+    })
 }
 
 fn main() {
+    mupod_experiments::exit_on_error(run());
+}
+
+fn run() -> Result<(), ExperimentError> {
     let mut rep = mupod_experiments::Report::from_args();
     let size = RunSize::from_args();
-    let (kinds, losses) = parse_filter();
+    let (kinds, losses) = parse_filter()?;
     let energy_model = MacEnergyModel::dwip_40nm();
 
-    mupod_experiments::report!(rep, "# EXP-T3: effective bitwidths across networks (Table III)");
-    let contexts: Vec<NetContext> = kinds.iter().map(|&k| build_context(k, &size)).collect();
+    mupod_experiments::report!(
+        rep,
+        "# EXP-T3: effective bitwidths across networks (Table III)"
+    );
+    let contexts: Vec<NetContext> = kinds
+        .iter()
+        .map(|&k| build_context(k, &size))
+        .collect::<Result<_, _>>()?;
 
     for loss in &losses {
         mupod_experiments::report!(rep);
@@ -198,7 +217,7 @@ fn main() {
         let rows: Vec<Row> = contexts
             .iter()
             .map(|ctx| row_for(ctx, *loss, &size, &energy_model))
-            .collect();
+            .collect::<Result<_, _>>()?;
 
         let table: Vec<Vec<String>> = rows
             .iter()
@@ -218,12 +237,22 @@ fn main() {
                 ]
             })
             .collect();
-        mupod_experiments::report!(rep, 
+        mupod_experiments::report!(
+            rep,
             "{}",
             markdown_table(
                 &[
-                    "network", "#layers", "W", "Base In", "Base MAC", "OptIn In",
-                    "OptIn MAC", "BW save%", "OptMAC In", "OptMAC MAC", "Ener save%",
+                    "network",
+                    "#layers",
+                    "W",
+                    "Base In",
+                    "Base MAC",
+                    "OptIn In",
+                    "OptIn MAC",
+                    "BW save%",
+                    "OptMAC In",
+                    "OptMAC MAC",
+                    "Ener save%",
                 ],
                 &table
             )
@@ -231,14 +260,17 @@ fn main() {
         let avg = |get: &dyn Fn(&Row) -> f64| -> f64 {
             rows.iter().map(get).sum::<f64>() / rows.len() as f64
         };
-        mupod_experiments::report!(rep, 
+        mupod_experiments::report!(
+            rep,
             "Average BW saving: {}%  |  Average energy saving: {}%",
             pct(avg(&|r| r.bw_save)),
             pct(avg(&|r| r.energy_save))
         );
-        mupod_experiments::report!(rep, 
+        mupod_experiments::report!(
+            rep,
             "(paper averages: 12.3% BW / 23.8% energy at 1%; 8.8% BW / 17.8% energy at 5%)"
         );
     }
     rep.finish();
+    Ok(())
 }

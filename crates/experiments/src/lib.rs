@@ -8,7 +8,63 @@
 
 use mupod_data::{Dataset, DatasetSpec};
 use mupod_models::{calibrate::calibrate_head, ModelKind, ModelScale};
-use mupod_nn::Network;
+use mupod_nn::inventory::{LayerInfo, LayerInventory};
+use mupod_nn::{Network, NodeId};
+
+/// Typed failure of an experiment binary.
+///
+/// The experiment drivers sit on the same profile→optimize→evaluate
+/// path as the CLI (DESIGN.md §7): failures surface as diagnostics and
+/// exit status 1, never as panics.
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// Model preparation (build + calibration) failed.
+    Prepare(String),
+    /// A profiling sweep failed.
+    Profile(String),
+    /// An optimizer or search run failed.
+    Optimize(String),
+    /// Invalid experiment command-line arguments.
+    Usage(String),
+    /// An internal cross-reference broke (e.g. a layer missing from a
+    /// freshly measured inventory).
+    Invariant(String),
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::Prepare(m) => write!(f, "preparation failed: {m}"),
+            ExperimentError::Profile(m) => write!(f, "profiling failed: {m}"),
+            ExperimentError::Optimize(m) => write!(f, "optimization failed: {m}"),
+            ExperimentError::Usage(m) => write!(f, "usage error: {m}"),
+            ExperimentError::Invariant(m) => write!(f, "internal invariant broken: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+/// Standard tail of every experiment `main`: print the typed error and
+/// exit 1, mirroring the CLI's run-error status.
+pub fn exit_on_error(result: Result<(), ExperimentError>) {
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Looks up a layer in a measured inventory, converting the "cannot
+/// happen" miss into a typed error instead of an unwrap.
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Invariant`] when `id` is missing.
+pub fn find_layer(inventory: &LayerInventory, id: NodeId) -> Result<&LayerInfo, ExperimentError> {
+    inventory.find(id).ok_or_else(|| {
+        ExperimentError::Invariant(format!("layer {id} missing from measured inventory"))
+    })
+}
 
 /// Workload sizing for an experiment run.
 #[derive(Debug, Clone, Copy)]
@@ -79,23 +135,29 @@ pub struct Prepared {
 ///
 /// Seeds are derived from the model kind so every experiment sees the
 /// same network for the same kind.
-pub fn prepare(kind: ModelKind, size: &RunSize) -> Prepared {
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Prepare`] when head calibration fails
+/// (degenerate synthetic data or a guardrail trip).
+pub fn prepare(kind: ModelKind, size: &RunSize) -> Result<Prepared, ExperimentError> {
     let scale = ModelScale::small();
     let seed = 0xC0FFEE ^ (kind as u64);
     let mut net = kind.build(&scale, seed);
-    let spec = DatasetSpec::new(scale.classes, 3, scale.input_hw, scale.input_hw)
-        .with_class_seed(seed);
+    let spec =
+        DatasetSpec::new(scale.classes, 3, scale.input_hw, scale.input_hw).with_class_seed(seed);
     let calib = Dataset::generate(&spec, seed ^ 0xA, size.calibration_images);
     let eval = Dataset::generate(&spec, seed ^ 0xB, size.eval_images);
-    calibrate_head(&mut net, &calib, 0.1).expect("calibration succeeds");
+    calibrate_head(&mut net, &calib, 0.1)
+        .map_err(|e| ExperimentError::Prepare(format!("{kind} calibration: {e}")))?;
     let eval_accuracy = eval.accuracy_of(|img| net.classify(img));
-    Prepared {
+    Ok(Prepared {
         net,
         eval,
         kind,
         scale,
         eval_accuracy,
-    }
+    })
 }
 
 /// Renders a markdown table.

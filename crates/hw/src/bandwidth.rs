@@ -37,10 +37,7 @@ pub fn per_layer_input_bits(input_counts: &[u64], bits: &[u32]) -> Vec<f64> {
 /// # Panics
 ///
 /// Panics if the allocation and inventory disagree on layer count.
-pub fn allocation_input_bits(
-    inventory: &LayerInventory,
-    allocation: &BitwidthAllocation,
-) -> f64 {
+pub fn allocation_input_bits(inventory: &LayerInventory, allocation: &BitwidthAllocation) -> f64 {
     assert_eq!(
         inventory.len(),
         allocation.len(),

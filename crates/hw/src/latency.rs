@@ -85,9 +85,7 @@ impl RooflineModel {
         macs.iter()
             .zip(input_counts)
             .zip(bits)
-            .map(|((&m, &n), &b)| {
-                self.layer_latency(m, n as f64 * b as f64, b, weight_bits)
-            })
+            .map(|((&m, &n), &b)| self.layer_latency(m, n as f64 * b as f64, b, weight_bits))
             .sum()
     }
 }
@@ -130,8 +128,7 @@ mod tests {
     fn network_latency_sums_layers() {
         let m = RooflineModel::edge_stripes();
         let total = m.network_latency(&[1000, 2000], &[100, 200], &[8, 8], 16);
-        let by_hand = m.layer_latency(1000, 800.0, 8, 16)
-            + m.layer_latency(2000, 1600.0, 8, 16);
+        let by_hand = m.layer_latency(1000, 800.0, 8, 16) + m.layer_latency(2000, 1600.0, 8, 16);
         assert!((total - by_hand).abs() < 1e-15);
     }
 }

@@ -42,8 +42,7 @@ impl MemoryEnergyModel {
             (0.0..=1.0).contains(&sram_hit_rate),
             "hit rate must be in [0, 1]"
         );
-        bits * (sram_hit_rate * self.sram_pj_per_bit
-            + (1.0 - sram_hit_rate) * self.dram_pj_per_bit)
+        bits * (sram_hit_rate * self.sram_pj_per_bit + (1.0 - sram_hit_rate) * self.dram_pj_per_bit)
     }
 }
 

@@ -112,10 +112,7 @@ mod tests {
     #[test]
     fn stripes_ignores_weight_bits() {
         let m = BitSerialModel::stripes();
-        assert_eq!(
-            m.layer_cycle_fraction(8, 4),
-            m.layer_cycle_fraction(8, 16)
-        );
+        assert_eq!(m.layer_cycle_fraction(8, 4), m.layer_cycle_fraction(8, 16));
     }
 
     #[test]

@@ -1,0 +1,500 @@
+//! A lightweight Rust lexer for the invariant checker.
+//!
+//! This is not a full grammar — it tokenizes just well enough that the
+//! rules never fire on text inside string literals, character literals
+//! or comments, and can reason about adjacency (`.unwrap(`,
+//! `File::create`, `== 0.0`). Comments are captured separately because
+//! two of them carry meaning for the checker: `// SAFETY:` justifications
+//! and `// lint:allow(rule) reason=...` escapes.
+//!
+//! Handled: line and (nested) block comments, doc comments, regular /
+//! raw / byte string literals, char literals vs. lifetimes, integer vs.
+//! float literals (including exponents and `f32`/`f64` suffixes), raw
+//! identifiers, and multi-character operators.
+
+/// What kind of token was lexed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `unsafe`, `File`, ...).
+    Ident,
+    /// Operator or delimiter (`::`, `==`, `{`, `#`, ...).
+    Punct,
+    /// Integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// Floating-point literal (`0.0`, `1e-9`, `2.5f32`).
+    Float,
+    /// String literal of any flavour (`"..."`, `r#"..."#`, `b"..."`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One significant token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// Token class.
+    pub kind: TokKind,
+    /// Verbatim text (operators normalized to their full spelling).
+    pub text: String,
+}
+
+/// A captured comment (line, block or doc).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (same as `line` for `//`).
+    pub end_line: u32,
+    /// Comment body, excluding the `//` / `/*` markers.
+    pub text: String,
+    /// True when no code token precedes the comment on its start line —
+    /// such a comment attaches to the *next* line of code, a trailing
+    /// comment attaches to its own line.
+    pub own_line: bool,
+}
+
+/// Lexer output: significant tokens plus captured comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Significant tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so lexing is greedy.
+const OPS: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "==", "!=", "<=", ">=", "::", "->", "=>", "..", "&&", "||", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Tokenizes `src`, separating significant tokens from comments.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    // Line of the most recently emitted code token, for `own_line`.
+    let mut last_tok_line = 0u32;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if b.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    end_line: line,
+                    text: src[start..i].to_string(),
+                    own_line: last_tok_line != line,
+                });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                let text_start = i + 2;
+                let mut depth = 1u32;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let text_end = i.saturating_sub(2).max(text_start);
+                out.comments.push(Comment {
+                    line: start_line,
+                    end_line: line,
+                    text: src[text_start..text_end].to_string(),
+                    own_line: last_tok_line != start_line,
+                });
+            }
+            b'"' => {
+                i = skip_string(bytes, i, &mut line);
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Str,
+                    text: String::new(),
+                });
+                last_tok_line = line;
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(bytes, i) => {
+                let start_line = line;
+                i = skip_raw_or_byte_string(bytes, i, &mut line);
+                out.toks.push(Tok {
+                    line: start_line,
+                    kind: TokKind::Str,
+                    text: String::new(),
+                });
+                last_tok_line = line;
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'\'') => {
+                i = skip_char_literal(bytes, i + 1);
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Char,
+                    text: String::new(),
+                });
+                last_tok_line = line;
+            }
+            b'\'' => {
+                let (next, kind) = lex_quote(bytes, src, i);
+                out.toks.push(Tok {
+                    line,
+                    kind,
+                    text: String::new(),
+                });
+                last_tok_line = line;
+                i = next;
+            }
+            _ if is_ident_start(b) => {
+                // Raw identifier r#type lexes as the ident `type`.
+                let mut start = i;
+                if b == b'r'
+                    && bytes.get(i + 1) == Some(&b'#')
+                    && bytes.get(i + 2).copied().is_some_and(is_ident_start)
+                {
+                    start = i + 2;
+                    i += 2;
+                }
+                while i < bytes.len() && is_ident_cont(bytes[i]) {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    line,
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                });
+                last_tok_line = line;
+            }
+            _ if b.is_ascii_digit() => {
+                let (next, kind, text) = lex_number(bytes, src, i);
+                out.toks.push(Tok { line, kind, text });
+                last_tok_line = line;
+                i = next;
+            }
+            _ => {
+                let mut matched = false;
+                for op in OPS {
+                    if bytes[i..].starts_with(op.as_bytes()) {
+                        out.toks.push(Tok {
+                            line,
+                            kind: TokKind::Punct,
+                            text: (*op).to_string(),
+                        });
+                        last_tok_line = line;
+                        i += op.len();
+                        matched = true;
+                        break;
+                    }
+                }
+                if !matched {
+                    if b.is_ascii() {
+                        out.toks.push(Tok {
+                            line,
+                            kind: TokKind::Punct,
+                            text: (b as char).to_string(),
+                        });
+                        last_tok_line = line;
+                    }
+                    // Non-ASCII outside strings/comments: skip the byte.
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `'...'` char literal or `'a` lifetime, starting at the quote.
+/// Returns (next index, kind).
+fn lex_quote(bytes: &[u8], _src: &str, i: usize) -> (usize, TokKind) {
+    // 'x' / '\n' / '\'' are char literals; 'ident not followed by a
+    // closing quote is a lifetime.
+    match bytes.get(i + 1) {
+        Some(b'\\') => (skip_char_literal(bytes, i), TokKind::Char),
+        Some(&c) if is_ident_start(c) => {
+            let mut j = i + 1;
+            while j < bytes.len() && is_ident_cont(bytes[j]) {
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'\'') {
+                (j + 1, TokKind::Char)
+            } else {
+                (j, TokKind::Lifetime)
+            }
+        }
+        Some(_) => (skip_char_literal(bytes, i), TokKind::Char),
+        None => (i + 1, TokKind::Char),
+    }
+}
+
+/// Skips a char/byte literal body starting at the opening quote.
+fn skip_char_literal(bytes: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Skips a regular `"..."` string starting at the opening quote,
+/// counting embedded newlines into `line`.
+fn skip_string(bytes: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Whether position `i` starts `r"`, `r#"`, `b"`, `br"` or `br#"`.
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        while bytes.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        return bytes.get(j) == Some(&b'"');
+    }
+    // Plain byte string b"..."
+    bytes[i] == b'b' && bytes.get(i + 1) == Some(&b'"')
+}
+
+/// Skips any raw/byte string flavour; `i` points at the `r`/`b` prefix.
+fn skip_raw_or_byte_string(bytes: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    let raw = bytes.get(j) == Some(&b'r');
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert_eq!(bytes.get(j), Some(&b'"'));
+    j += 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            b'\\' if !raw => j += 2,
+            b'"' => {
+                let mut k = j + 1;
+                let mut seen = 0usize;
+                while seen < hashes && bytes.get(k) == Some(&b'#') {
+                    seen += 1;
+                    k += 1;
+                }
+                if seen == hashes {
+                    return k;
+                }
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Lexes a numeric literal starting at a digit. Returns
+/// (next index, Int|Float, text).
+fn lex_number(bytes: &[u8], src: &str, i: usize) -> (usize, TokKind, String) {
+    let start = i;
+    let mut j = i;
+    let mut float = false;
+
+    if bytes[j] == b'0'
+        && matches!(
+            bytes.get(j + 1),
+            Some(b'x' | b'o' | b'b' | b'X' | b'O' | b'B')
+        )
+    {
+        j += 2;
+        while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+        return (j, TokKind::Int, src[start..j].to_string());
+    }
+
+    while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+        j += 1;
+    }
+    // A `.` continues the literal only when it is not `..` (range) and
+    // not a method call like `2.max(3)`.
+    if bytes.get(j) == Some(&b'.')
+        && bytes.get(j + 1) != Some(&b'.')
+        && !bytes.get(j + 1).copied().is_some_and(is_ident_start)
+    {
+        float = true;
+        j += 1;
+        while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+            j += 1;
+        }
+    }
+    if matches!(bytes.get(j), Some(b'e' | b'E')) {
+        let mut k = j + 1;
+        if matches!(bytes.get(k), Some(b'+' | b'-')) {
+            k += 1;
+        }
+        if bytes.get(k).copied().is_some_and(|c| c.is_ascii_digit()) {
+            float = true;
+            j = k;
+            while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+                j += 1;
+            }
+        }
+    }
+    // Type suffix: f32/f64 force Float, integer suffixes keep Int.
+    let suffix_start = j;
+    while j < bytes.len() && is_ident_cont(bytes[j]) {
+        j += 1;
+    }
+    let suffix = &src[suffix_start..j];
+    if suffix.starts_with("f32") || suffix.starts_with("f64") {
+        float = true;
+    }
+    let kind = if float { TokKind::Float } else { TokKind::Int };
+    (j, kind, src[start..j].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn no_tokens_inside_strings_or_comments() {
+        let src = r###"
+            let a = "unwrap() File::create"; // unwrap() in comment
+            /* panic! in /* nested */ block */
+            let b = r#"fs::write"#;
+            let c = 'u';
+        "###;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"File".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(!ids.contains(&"fs".to_string()));
+        assert_eq!(lex(src).comments.len(), 2);
+    }
+
+    #[test]
+    fn float_vs_int_vs_range_vs_method() {
+        let lexed = lex("let x = 1.5 + 2 + 1e-9 + 3f64; for i in 0..10 { 2.max(3); }");
+        let floats: Vec<String> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Float)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(floats, ["1.5", "1e-9", "3f64"]);
+        let ints: Vec<String> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Int)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(ints, ["2", "0", "10", "2", "3"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn comment_line_numbers_and_ownership() {
+        let src = "let x = 1; // trailing\n// own line\nlet y = 2;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(!lexed.comments[0].own_line);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(lexed.comments[1].own_line);
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn multi_char_operators_lex_whole() {
+        let texts: Vec<String> = lex("a == b != c :: d .. e")
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(texts, ["==", "!=", "::", ".."]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_plain() {
+        assert_eq!(idents("let r#type = 1;"), ["let", "type"]);
+    }
+}

@@ -1,0 +1,327 @@
+//! `mupod-lint` — the workspace invariant checker.
+//!
+//! PRs 1–3 established hard invariants (no panics on the pipeline path,
+//! all final artifacts sealed through the atomic writer, SAFETY-audited
+//! unsafe); this crate makes them machine-checked. It walks every crate
+//! in the workspace with a lightweight Rust lexer (no rule ever fires on
+//! text inside a string literal or comment) and enforces five named,
+//! allowlistable rules with `file:line` diagnostics:
+//!
+//! | rule | contract |
+//! |------|----------|
+//! | `no-panic-path` | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!` in non-test code of the pipeline crates |
+//! | `atomic-artifact-io` | no `File::create`/`fs::write` outside `mupod-runtime` |
+//! | `unsafe-needs-safety-comment` | every `unsafe` carries a `// SAFETY:` justification |
+//! | `no-float-eq` | no `==`/`!=` against float operands outside `mupod-stats` |
+//! | `error-enum-contract` | every `pub enum *Error` implements `Display` + `Error` |
+//!
+//! Escape hatch: `// lint:allow(rule-name) reason=why` on (or directly
+//! above) the offending line. Escapes without a reason are themselves
+//! violations; all escapes are counted in the summary. See DESIGN.md §10.
+
+pub mod lexer;
+pub mod rules;
+
+use rules::{check_file, FileContext, FileReport, RULE_NAMES};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// A violation tagged with the file it occurred in.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Path relative to the workspace root.
+    pub path: String,
+    /// Rule name.
+    pub rule: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Aggregated result of linting a workspace.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Violations across all files, in walk order.
+    pub violations: Vec<Diagnostic>,
+    /// Escapes that suppressed at least one violation, per rule.
+    pub escapes_used: BTreeMap<String, usize>,
+    /// Well-formed escapes that matched nothing (stale hatches); these
+    /// are reported as warnings, not failures.
+    pub escapes_unused: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of crates (directories) visited.
+    pub crates_scanned: usize,
+}
+
+impl LintReport {
+    /// Whether the workspace satisfies every invariant.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders diagnostics, the per-rule summary table and the verdict.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for v in &self.violations {
+            let _ = writeln!(out, "{v}");
+        }
+        for w in &self.escapes_unused {
+            let _ = writeln!(
+                out,
+                "{}:{}: warning: unused lint:allow({}) — nothing to suppress here",
+                w.path, w.line, w.rule
+            );
+        }
+        let mut per_rule: BTreeMap<&str, usize> = BTreeMap::new();
+        for name in RULE_NAMES {
+            per_rule.insert(name, 0);
+        }
+        let mut malformed = 0usize;
+        for v in &self.violations {
+            if v.rule == "malformed-escape" {
+                malformed += 1;
+            } else {
+                *per_rule.entry(v.rule.as_str()).or_insert(0) += 1;
+            }
+        }
+        let _ = writeln!(
+            out,
+            "\nmupod-lint: scanned {} files across {} crates",
+            self.files_scanned, self.crates_scanned
+        );
+        let _ = writeln!(
+            out,
+            "  {:<30} {:>10} {:>10}",
+            "rule", "violations", "escapes"
+        );
+        for name in RULE_NAMES {
+            let _ = writeln!(
+                out,
+                "  {:<30} {:>10} {:>10}",
+                name,
+                per_rule.get(name).copied().unwrap_or(0),
+                self.escapes_used.get(*name).copied().unwrap_or(0)
+            );
+        }
+        if malformed > 0 {
+            let _ = writeln!(
+                out,
+                "  {:<30} {:>10} {:>10}",
+                "malformed-escape", malformed, "-"
+            );
+        }
+        let total_escapes: usize = self.escapes_used.values().sum();
+        if self.is_clean() {
+            let _ = writeln!(
+                out,
+                "mupod-lint: PASS ({} violations, {} explained escapes)",
+                self.violations.len(),
+                total_escapes
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "mupod-lint: FAIL ({} violations, {} explained escapes)",
+                self.violations.len(),
+                total_escapes
+            );
+        }
+        out
+    }
+}
+
+/// Errors from walking and reading the workspace.
+#[derive(Debug)]
+pub enum LintError {
+    /// `root` is not a workspace (no `crates/` and no `src/`).
+    NotAWorkspace(PathBuf),
+    /// An I/O failure while walking or reading sources.
+    Io(PathBuf, std::io::Error),
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::NotAWorkspace(p) => write!(
+                f,
+                "{} does not look like the workspace root (no crates/ or src/)",
+                p.display()
+            ),
+            LintError::Io(p, e) => write!(f, "cannot read {}: {e}", p.display()),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// One source file scheduled for checking.
+struct SourceFile {
+    abs: PathBuf,
+    rel: String,
+    ctx: FileContext,
+}
+
+/// Lints the workspace rooted at `root`.
+///
+/// Layout expectations match this repository: member crates under
+/// `crates/<name>/{src,tests,examples,benches}`, plus the facade crate's
+/// root `src/`, `tests/` and `examples/`. Fixture trees (any path
+/// component named `fixtures`) and `target/` are skipped.
+///
+/// # Errors
+///
+/// Returns [`LintError`] when `root` has no workspace layout or a file
+/// cannot be read.
+pub fn lint_workspace(root: &Path) -> Result<LintReport, LintError> {
+    let mut files: Vec<SourceFile> = Vec::new();
+    let mut crates_scanned = 0usize;
+
+    let crates_dir = root.join("crates");
+    let root_src = root.join("src");
+    if !crates_dir.is_dir() && !root_src.is_dir() {
+        return Err(LintError::NotAWorkspace(root.to_path_buf()));
+    }
+
+    if crates_dir.is_dir() {
+        let mut names: Vec<PathBuf> = read_dir_sorted(&crates_dir)?;
+        names.retain(|p| p.is_dir());
+        for crate_dir in names {
+            let key = crate_dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            crates_scanned += 1;
+            collect_crate(root, &crate_dir, &key, &mut files)?;
+        }
+    }
+    // The facade crate at the workspace root.
+    if root_src.is_dir() {
+        crates_scanned += 1;
+        collect_tree(root, &root_src, "mupod", false, &mut files)?;
+        for (dir, test) in [("tests", true), ("examples", true)] {
+            let d = root.join(dir);
+            if d.is_dir() {
+                collect_tree(root, &d, "workspace", test, &mut files)?;
+            }
+        }
+    }
+
+    let mut report = LintReport {
+        crates_scanned,
+        ..LintReport::default()
+    };
+    for file in &files {
+        let src =
+            std::fs::read_to_string(&file.abs).map_err(|e| LintError::Io(file.abs.clone(), e))?;
+        let FileReport {
+            violations,
+            escapes,
+        } = check_file(&file.ctx, &src);
+        report.files_scanned += 1;
+        for v in violations {
+            report.violations.push(Diagnostic {
+                path: file.rel.clone(),
+                rule: v.rule,
+                line: v.line,
+                message: v.message,
+            });
+        }
+        for e in escapes {
+            if e.used {
+                *report.escapes_used.entry(e.rule).or_insert(0) += 1;
+            } else if e.has_reason {
+                report.escapes_unused.push(Diagnostic {
+                    path: file.rel.clone(),
+                    rule: e.rule,
+                    line: e.comment_line,
+                    message: String::new(),
+                });
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Collects the scannable trees of one member crate.
+fn collect_crate(
+    root: &Path,
+    crate_dir: &Path,
+    key: &str,
+    files: &mut Vec<SourceFile>,
+) -> Result<(), LintError> {
+    for (sub, test) in [
+        ("src", false),
+        ("tests", true),
+        ("benches", true),
+        ("examples", true),
+    ] {
+        let dir = crate_dir.join(sub);
+        if dir.is_dir() {
+            collect_tree(root, &dir, key, test, files)?;
+        }
+    }
+    Ok(())
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn collect_tree(
+    root: &Path,
+    dir: &Path,
+    crate_key: &str,
+    is_test_code: bool,
+    files: &mut Vec<SourceFile>,
+) -> Result<(), LintError> {
+    for entry in read_dir_sorted(dir)? {
+        let name = entry
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if name == "fixtures" || name == "target" {
+            continue;
+        }
+        if entry.is_dir() {
+            collect_tree(root, &entry, crate_key, is_test_code, files)?;
+        } else if name.ends_with(".rs") {
+            let rel = entry
+                .strip_prefix(root)
+                .unwrap_or(&entry)
+                .to_string_lossy()
+                .into_owned();
+            files.push(SourceFile {
+                abs: entry.clone(),
+                rel,
+                ctx: FileContext {
+                    crate_key: crate_key.to_string(),
+                    is_test_code,
+                },
+            });
+        }
+    }
+    Ok(())
+}
+
+/// `read_dir` with deterministic (sorted) order, so diagnostics and
+/// summaries are stable across platforms and runs.
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let rd = std::fs::read_dir(dir).map_err(|e| LintError::Io(dir.to_path_buf(), e))?;
+    let mut entries = Vec::new();
+    for entry in rd {
+        let entry = entry.map_err(|e| LintError::Io(dir.to_path_buf(), e))?;
+        entries.push(entry.path());
+    }
+    entries.sort();
+    Ok(entries)
+}

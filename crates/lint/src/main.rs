@@ -1,0 +1,66 @@
+//! The `mupod-lint` binary: `cargo run -p mupod-lint [-- --root DIR]`.
+//!
+//! Exit codes: 0 — every invariant holds (all escapes explained);
+//! 1 — violations found; 2 — usage or I/O error.
+
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("usage error: missing value for --root");
+                    std::process::exit(2);
+                };
+                root = Some(PathBuf::from(value));
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "mupod-lint — workspace invariant checker (DESIGN.md §10)\n\n\
+                     USAGE: mupod-lint [--root DIR]\n\n\
+                     Scans every crate for violations of the project's five\n\
+                     invariant rules and exits non-zero on any violation or\n\
+                     unexplained `lint:allow` escape."
+                );
+                return;
+            }
+            other => {
+                eprintln!("usage error: unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(find_workspace_root);
+    match mupod_lint::lint_workspace(&root) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if !report.is_clean() {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Walks upward from the current directory to the first ancestor that
+/// has a `crates/` directory, so the tool works from any crate dir
+/// (`cargo run -p mupod-lint` sets cwd to the invocation dir).
+fn find_workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}

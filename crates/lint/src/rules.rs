@@ -1,0 +1,743 @@
+//! The invariant rules and the per-file checking engine.
+//!
+//! Every rule is named, allowlistable via
+//! `// lint:allow(rule-name) reason=...` and reports `path:line`
+//! diagnostics. Scoping (which crates a rule patrols) is encoded here —
+//! DESIGN.md §10 is the human-readable contract this module enforces.
+
+use crate::lexer::{lex, Comment, Tok, TokKind};
+
+/// All rule names, in the order they are reported.
+pub const RULE_NAMES: &[&str] = &[
+    "no-panic-path",
+    "atomic-artifact-io",
+    "unsafe-needs-safety-comment",
+    "no-float-eq",
+    "error-enum-contract",
+];
+
+/// Crates whose non-test code sits on the panic-free
+/// profile→optimize→evaluate path (DESIGN.md §7): `unwrap`/`expect`/
+/// `panic!`/`unreachable!`/`todo!` are forbidden there.
+const PANIC_PATH_CRATES: &[&str] = &[
+    "core",
+    "nn",
+    "quant",
+    "cli",
+    "runtime",
+    "obs",
+    "experiments",
+];
+
+/// The only crate allowed to open files for writing directly — it owns
+/// the sealed temp+fsync+rename writer everything else must use.
+const ATOMIC_IO_OWNER: &str = "runtime";
+
+/// The crate holding the approved float tolerance helpers; exact float
+/// comparison is a deliberate tool there, a bug everywhere else.
+const FLOAT_EQ_OWNER: &str = "stats";
+
+/// One diagnostic: a rule fired at a location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule name (one of [`RULE_NAMES`], or `malformed-escape`).
+    pub rule: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// A parsed `lint:allow` escape comment.
+#[derive(Debug, Clone)]
+pub struct Escape {
+    /// Rule the escape targets.
+    pub rule: String,
+    /// Line of code the escape covers.
+    pub effective_line: u32,
+    /// Line the comment itself sits on (for diagnostics).
+    pub comment_line: u32,
+    /// Whether a non-empty `reason=` was given.
+    pub has_reason: bool,
+    /// Whether the escape suppressed at least one violation.
+    pub used: bool,
+}
+
+/// Result of checking one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Violations that survived the escape filter.
+    pub violations: Vec<Violation>,
+    /// All well-formed escapes found, with usage marked.
+    pub escapes: Vec<Escape>,
+}
+
+/// Where a file sits in the workspace, for rule scoping.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Directory name under `crates/` (`core`, `cli`, ...), `mupod` for
+    /// the root facade, or `workspace` for root-level tests/examples.
+    pub crate_key: String,
+    /// True for files under a `tests/` or `benches/` directory, and for
+    /// examples: integration-test style code where the panic/IO/float
+    /// rules do not apply (the unsafe rule still does).
+    pub is_test_code: bool,
+}
+
+/// Checks one file's source against every rule.
+pub fn check_file(ctx: &FileContext, src: &str) -> FileReport {
+    let lexed = lex(src);
+    let toks = &lexed.toks;
+    let exempt = test_exempt_mask(toks);
+    let mut escapes = collect_escapes(&lexed.comments, toks);
+    let mut raw: Vec<Violation> = Vec::new();
+
+    // Malformed escapes are violations in their own right: an escape
+    // hatch that names an unknown rule or omits its reason is exactly
+    // the kind of drift this tool exists to stop.
+    for c in &lexed.comments {
+        for (rule, _) in parse_allow(&c.text) {
+            if !RULE_NAMES.contains(&rule.as_str()) {
+                raw.push(Violation {
+                    rule: "malformed-escape".into(),
+                    line: c.line,
+                    message: format!("lint:allow names unknown rule `{rule}`"),
+                });
+            }
+        }
+    }
+    for e in &escapes {
+        if !e.has_reason {
+            raw.push(Violation {
+                rule: "malformed-escape".into(),
+                line: e.comment_line,
+                message: format!(
+                    "lint:allow({}) is missing its `reason=`; every escape must be explained",
+                    e.rule
+                ),
+            });
+        }
+    }
+
+    let in_scope = |rule: &str| -> bool {
+        match rule {
+            "no-panic-path" => {
+                !ctx.is_test_code && PANIC_PATH_CRATES.contains(&ctx.crate_key.as_str())
+            }
+            "atomic-artifact-io" => !ctx.is_test_code && ctx.crate_key != ATOMIC_IO_OWNER,
+            "unsafe-needs-safety-comment" => true,
+            "no-float-eq" => !ctx.is_test_code && ctx.crate_key != FLOAT_EQ_OWNER,
+            "error-enum-contract" => !ctx.is_test_code,
+            _ => false,
+        }
+    };
+
+    if in_scope("no-panic-path") {
+        rule_no_panic_path(toks, &exempt, &mut raw);
+    }
+    if in_scope("atomic-artifact-io") {
+        rule_atomic_artifact_io(toks, &exempt, &mut raw);
+    }
+    if in_scope("unsafe-needs-safety-comment") {
+        rule_unsafe_safety_comment(toks, &lexed.comments, &mut raw);
+    }
+    if in_scope("no-float-eq") {
+        rule_no_float_eq(toks, &exempt, &mut raw);
+    }
+    if in_scope("error-enum-contract") {
+        rule_error_enum_contract(toks, &exempt, &mut raw);
+    }
+
+    // Apply escapes: a violation on an escaped (rule, line) is
+    // suppressed; escapes without a reason never suppress anything.
+    let mut surviving = Vec::new();
+    for v in raw {
+        let escaped = escapes
+            .iter_mut()
+            .find(|e| e.has_reason && e.rule == v.rule && e.effective_line == v.line);
+        match escaped {
+            Some(e) => e.used = true,
+            None => surviving.push(v),
+        }
+    }
+    surviving.sort_by_key(|v| v.line);
+    FileReport {
+        violations: surviving,
+        escapes,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Test-code exemption
+// ---------------------------------------------------------------------
+
+/// Marks tokens covered by a `#[test]` / `#[cfg(test)]` item (typically
+/// a `mod tests { ... }` block) as exempt. Heuristic: an attribute whose
+/// token list contains the identifier `test` (outside a `not(...)`)
+/// exempts the item that follows, up to its matching closing brace or
+/// terminating semicolon.
+fn test_exempt_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut exempt = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].text == "#" && toks.get(i + 1).is_some_and(|t| t.text == "[") {
+            let close = match matching(toks, i + 1, "[", "]") {
+                Some(c) => c,
+                None => break,
+            };
+            if attr_is_test(&toks[i + 2..close]) {
+                // Skip any further attributes stacked on the same item.
+                let mut k = close + 1;
+                while toks.get(k).is_some_and(|t| t.text == "#")
+                    && toks.get(k + 1).is_some_and(|t| t.text == "[")
+                {
+                    match matching(toks, k + 1, "[", "]") {
+                        Some(c) => k = c + 1,
+                        None => break,
+                    }
+                }
+                // The item body: first `{ ... }` at this level, or a
+                // `;` for braceless items.
+                let mut end = toks.len() - 1;
+                let mut j = k;
+                while j < toks.len() {
+                    if toks[j].text == ";" {
+                        end = j;
+                        break;
+                    }
+                    if toks[j].text == "{" {
+                        end = matching(toks, j, "{", "}").unwrap_or(toks.len() - 1);
+                        break;
+                    }
+                    j += 1;
+                }
+                for slot in exempt.iter_mut().take(end + 1).skip(i) {
+                    *slot = true;
+                }
+                i = end + 1;
+                continue;
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    exempt
+}
+
+/// Whether an attribute token list means "test-only code":
+/// `test`, `cfg(test)`, `cfg(all(test, ...))` — but not `cfg(not(test))`.
+fn attr_is_test(attr: &[Tok]) -> bool {
+    for (idx, t) in attr.iter().enumerate() {
+        if t.kind == TokKind::Ident && t.text == "test" {
+            let negated = idx >= 2 && attr[idx - 1].text == "(" && attr[idx - 2].text == "not";
+            if !negated {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Index of the delimiter matching `toks[open]`.
+fn matching(toks: &[Tok], open: usize, open_s: &str, close_s: &str) -> Option<usize> {
+    let mut depth = 0i64;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.text == open_s {
+            depth += 1;
+        } else if t.text == close_s {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Escapes
+// ---------------------------------------------------------------------
+
+/// Whether a captured comment body is a doc comment (`///`, `//!`,
+/// `/**`, `/*!`). Doc comments *describe* the escape syntax (this very
+/// crate's docs do); only plain comments can *be* escapes.
+fn is_doc_comment(text: &str) -> bool {
+    matches!(text.bytes().next(), Some(b'/' | b'!' | b'*'))
+}
+
+/// Parses every `lint:allow(rule, ...)` in a comment body, returning
+/// (rule, has_reason) pairs.
+fn parse_allow(text: &str) -> Vec<(String, bool)> {
+    let mut out = Vec::new();
+    if is_doc_comment(text) {
+        return out;
+    }
+    let Some(pos) = text.find("lint:allow(") else {
+        return out;
+    };
+    let rest = &text[pos + "lint:allow(".len()..];
+    let Some(close) = rest.find(')') else {
+        return out;
+    };
+    let after = &rest[close + 1..];
+    let has_reason = after
+        .find("reason=")
+        .is_some_and(|p| !after[p + "reason=".len()..].trim().is_empty());
+    for rule in rest[..close].split(',') {
+        let rule = rule.trim();
+        if !rule.is_empty() {
+            out.push((rule.to_string(), has_reason));
+        }
+    }
+    out
+}
+
+/// Resolves each allow comment to the code line it covers: its own line
+/// for trailing comments, the next code line for standalone ones.
+fn collect_escapes(comments: &[Comment], toks: &[Tok]) -> Vec<Escape> {
+    let mut escapes = Vec::new();
+    for c in comments {
+        for (rule, has_reason) in parse_allow(&c.text) {
+            if !RULE_NAMES.contains(&rule.as_str()) {
+                continue; // reported as malformed-escape by the caller
+            }
+            let effective_line = if c.own_line {
+                toks.iter()
+                    .map(|t| t.line)
+                    .find(|&l| l > c.end_line)
+                    .unwrap_or(c.end_line + 1)
+            } else {
+                c.line
+            };
+            escapes.push(Escape {
+                rule,
+                effective_line,
+                comment_line: c.line,
+                has_reason,
+                used: false,
+            });
+        }
+    }
+    escapes
+}
+
+// ---------------------------------------------------------------------
+// Rule 1: no-panic-path
+// ---------------------------------------------------------------------
+
+fn rule_no_panic_path(toks: &[Tok], exempt: &[bool], out: &mut Vec<Violation>) {
+    for (i, t) in toks.iter().enumerate() {
+        if exempt[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let next = toks.get(i + 1).map(|t| t.text.as_str());
+        let prev = i.checked_sub(1).map(|p| toks[p].text.as_str());
+        let hit = match t.text.as_str() {
+            // `.unwrap()` / `.expect(` — method calls only, so
+            // `unwrap_or` and free functions named `expect` don't trip.
+            "unwrap" | "expect" => prev == Some(".") && next == Some("("),
+            "panic" | "unreachable" | "todo" => next == Some("!"),
+            _ => false,
+        };
+        if hit {
+            let display = match t.text.as_str() {
+                "unwrap" => "`.unwrap()`".to_string(),
+                "expect" => "`.expect(..)`".to_string(),
+                other => format!("`{other}!`"),
+            };
+            out.push(Violation {
+                rule: "no-panic-path".into(),
+                line: t.line,
+                message: format!(
+                    "{display} on the panic-free path; return a typed error \
+                     (DESIGN.md §7) or add `// lint:allow(no-panic-path) reason=...`"
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 2: atomic-artifact-io
+// ---------------------------------------------------------------------
+
+fn rule_atomic_artifact_io(toks: &[Tok], exempt: &[bool], out: &mut Vec<Violation>) {
+    for i in 0..toks.len() {
+        if exempt[i] {
+            continue;
+        }
+        let tri = |a: &str, b: &str, c: &str| -> bool {
+            toks[i].text == a
+                && toks.get(i + 1).is_some_and(|t| t.text == b)
+                && toks.get(i + 2).is_some_and(|t| t.text == c)
+        };
+        let call = if tri("File", "::", "create") {
+            Some(("File::create", toks[i + 2].line))
+        } else if tri("fs", "::", "write") {
+            Some(("fs::write", toks[i + 2].line))
+        } else {
+            None
+        };
+        if let Some((what, line)) = call {
+            out.push(Violation {
+                rule: "atomic-artifact-io".into(),
+                line,
+                message: format!(
+                    "`{what}` bypasses the sealed atomic writer; route artifacts \
+                     through `mupod_runtime::write_atomic` (DESIGN.md §9)"
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 3: unsafe-needs-safety-comment
+// ---------------------------------------------------------------------
+
+/// How many lines above an `unsafe` token a `SAFETY:` comment may end
+/// and still count as attached to it.
+const SAFETY_COMMENT_REACH: u32 = 4;
+
+fn rule_unsafe_safety_comment(toks: &[Tok], comments: &[Comment], out: &mut Vec<Violation>) {
+    for t in toks {
+        if t.kind != TokKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        let justified = comments.iter().any(|c| {
+            (c.text.contains("SAFETY:") || c.text.contains("# Safety"))
+                && (c.line == t.line
+                    || (c.end_line < t.line && t.line - c.end_line <= SAFETY_COMMENT_REACH))
+        });
+        if !justified {
+            out.push(Violation {
+                rule: "unsafe-needs-safety-comment".into(),
+                line: t.line,
+                message: "`unsafe` without an adjacent `// SAFETY:` comment \
+                          explaining why the invariants hold"
+                    .into(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 4: no-float-eq
+// ---------------------------------------------------------------------
+
+fn rule_no_float_eq(toks: &[Tok], exempt: &[bool], out: &mut Vec<Violation>) {
+    for (i, t) in toks.iter().enumerate() {
+        if exempt[i] || (t.text != "==" && t.text != "!=") {
+            continue;
+        }
+        // Lexical heuristic: flag a comparison when either operand is
+        // visibly floating-point — a float literal, or an `as f32/f64`
+        // cast on the left. Deeper type inference is out of scope; the
+        // rule exists to catch `x == 0.0`-style drift.
+        let floaty = |j: Option<usize>| -> bool {
+            j.and_then(|j| toks.get(j)).is_some_and(|n| {
+                n.kind == TokKind::Float
+                    || (n.kind == TokKind::Ident && (n.text == "f32" || n.text == "f64"))
+            })
+        };
+        if floaty(i.checked_sub(1)) || floaty(Some(i + 1)) {
+            out.push(Violation {
+                rule: "no-float-eq".into(),
+                line: t.line,
+                message: format!(
+                    "exact float comparison `{}`; use a tolerance helper from \
+                     `mupod_stats` or justify with a lint:allow escape",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 5: error-enum-contract
+// ---------------------------------------------------------------------
+
+fn rule_error_enum_contract(toks: &[Tok], exempt: &[bool], out: &mut Vec<Violation>) {
+    // Pass 1: public enums named `*Error` declared in this file.
+    let mut error_enums: Vec<(String, u32)> = Vec::new();
+    for i in 0..toks.len() {
+        if exempt[i] || toks[i].text != "enum" {
+            continue;
+        }
+        let is_pub = i >= 1 && toks[i - 1].text == "pub"
+            || i >= 4 && toks[i - 4].text == "pub" && toks[i - 3].text == "(";
+        if !is_pub {
+            continue;
+        }
+        if let Some(name) = toks.get(i + 1) {
+            if name.kind == TokKind::Ident && name.text.ends_with("Error") {
+                error_enums.push((name.text.clone(), name.line));
+            }
+        }
+    }
+    if error_enums.is_empty() {
+        return;
+    }
+    // Pass 2: `impl <TraitPath> for <Target>` headers anywhere in the
+    // file; the trait's last path segment identifies Display / Error.
+    let mut display_for: Vec<String> = Vec::new();
+    let mut error_for: Vec<String> = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].text != "impl" || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let mut j = i + 1;
+        // Skip generic parameters `impl<T: ...>`.
+        if toks.get(j).is_some_and(|t| t.text == "<") {
+            let mut depth = 0i64;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "<" | "<<" => depth += 1,
+                    ">" | ">>" => {
+                        depth -= if toks[j].text == ">>" { 2 } else { 1 };
+                        if depth <= 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // Collect trait path idents until `for` (or give up at `{`).
+        let mut trait_last: Option<String> = None;
+        let mut target_first: Option<String> = None;
+        let mut seen_for = false;
+        let mut angle = 0i64;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "{" | "where" | ";" if angle == 0 => break,
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "for" if angle == 0 => seen_for = true,
+                _ => {
+                    if toks[j].kind == TokKind::Ident && angle == 0 {
+                        if seen_for {
+                            // First path segment after `for` may be a
+                            // path; keep the last ident seen.
+                            target_first = Some(toks[j].text.clone());
+                        } else {
+                            trait_last = Some(toks[j].text.clone());
+                        }
+                    }
+                }
+            }
+            j += 1;
+        }
+        if let (Some(trait_name), Some(target)) = (trait_last, target_first) {
+            match trait_name.as_str() {
+                "Display" => display_for.push(target),
+                "Error" => error_for.push(target),
+                _ => {}
+            }
+        }
+    }
+    for (name, line) in error_enums {
+        if !display_for.contains(&name) {
+            out.push(Violation {
+                rule: "error-enum-contract".into(),
+                line,
+                message: format!(
+                    "public enum `{name}` has no `Display` impl in this file; \
+                     error types must render for operators"
+                ),
+            });
+        }
+        if !error_for.contains(&name) {
+            out.push(Violation {
+                rule: "error-enum-contract".into(),
+                line,
+                message: format!(
+                    "public enum `{name}` has no `std::error::Error` impl in \
+                     this file; error types must compose with `?` and `dyn Error`"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(crate_key: &str) -> FileContext {
+        FileContext {
+            crate_key: crate_key.into(),
+            is_test_code: false,
+        }
+    }
+
+    fn rules_fired(report: &FileReport) -> Vec<(String, u32)> {
+        report
+            .violations
+            .iter()
+            .map(|v| (v.rule.clone(), v.line))
+            .collect()
+    }
+
+    #[test]
+    fn panic_path_fires_only_in_scoped_crates() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert_eq!(
+            rules_fired(&check_file(&ctx("core"), src)),
+            [("no-panic-path".to_string(), 1)]
+        );
+        assert!(check_file(&ctx("stats"), src).violations.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let src = "\
+fn ok() {}\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    #[test]\n\
+    fn t() { None::<u8>.unwrap(); panic!(\"x\"); }\n\
+}\n";
+        assert!(check_file(&ctx("core"), src).violations.is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src = "#[cfg(not(test))]\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert_eq!(check_file(&ctx("core"), src).violations.len(), 1);
+    }
+
+    #[test]
+    fn unwrap_or_does_not_trip() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n";
+        assert!(check_file(&ctx("core"), src).violations.is_empty());
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_and_counts() {
+        let src = "\
+fn f(x: Option<u8>) -> u8 {\n\
+    // lint:allow(no-panic-path) reason=bounded by construction\n\
+    x.unwrap()\n\
+}\n";
+        let r = check_file(&ctx("core"), src);
+        assert!(r.violations.is_empty());
+        assert_eq!(r.escapes.len(), 1);
+        assert!(r.escapes[0].used);
+    }
+
+    #[test]
+    fn trailing_allow_covers_its_own_line() {
+        let src =
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() } // lint:allow(no-panic-path) reason=demo\n";
+        let r = check_file(&ctx("core"), src);
+        assert!(r.violations.is_empty());
+        assert!(r.escapes[0].used);
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_violation_and_does_not_suppress() {
+        let src = "\
+// lint:allow(no-panic-path)\n\
+fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let r = check_file(&ctx("core"), src);
+        let rules: Vec<&str> = r.violations.iter().map(|v| v.rule.as_str()).collect();
+        assert!(rules.contains(&"malformed-escape"));
+        assert!(rules.contains(&"no-panic-path"));
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_malformed() {
+        let src = "// lint:allow(no-such-rule) reason=oops\nfn f() {}\n";
+        let r = check_file(&ctx("core"), src);
+        assert_eq!(r.violations[0].rule, "malformed-escape");
+    }
+
+    #[test]
+    fn doc_comments_are_never_escapes() {
+        let src = "\
+/// Escape with `// lint:allow(rule-name) reason=...` on the line.\n\
+//! Module docs may say lint:allow(whatever) too.\n\
+fn f() {}\n";
+        assert!(check_file(&ctx("core"), src).violations.is_empty());
+    }
+
+    #[test]
+    fn atomic_io_fires_outside_runtime_only() {
+        let src = "fn f() { let _ = std::fs::write(\"x\", b\"y\"); }\n";
+        assert_eq!(
+            check_file(&ctx("core"), src).violations[0].rule,
+            "atomic-artifact-io"
+        );
+        assert!(check_file(&ctx("runtime"), src).violations.is_empty());
+        let src2 = "fn f() { let _ = std::fs::File::create(\"x\"); }\n";
+        assert_eq!(
+            check_file(&ctx("cli"), src2).violations[0].rule,
+            "atomic-artifact-io"
+        );
+    }
+
+    #[test]
+    fn create_dir_all_is_not_artifact_io() {
+        let src = "fn f() { std::fs::create_dir_all(\"x\").ok(); }\n";
+        assert!(check_file(&ctx("core"), src).violations.is_empty());
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let bad = "fn f() { unsafe { core::hint::unreachable_unchecked() } }\n";
+        let r = check_file(&ctx("tensor"), bad);
+        assert_eq!(r.violations[0].rule, "unsafe-needs-safety-comment");
+
+        let good = "\
+fn f() {\n\
+    // SAFETY: guarded by the bounds check above.\n\
+    unsafe { do_thing() }\n\
+}\n";
+        assert!(check_file(&ctx("tensor"), good).violations.is_empty());
+    }
+
+    #[test]
+    fn float_eq_flags_literal_comparisons() {
+        let src = "fn f(x: f64) -> bool { x == 0.0 }\n";
+        assert_eq!(
+            check_file(&ctx("core"), src).violations[0].rule,
+            "no-float-eq"
+        );
+        assert!(check_file(&ctx("stats"), src).violations.is_empty());
+        let int_src = "fn f(x: u8) -> bool { x == 0 }\n";
+        assert!(check_file(&ctx("core"), int_src).violations.is_empty());
+    }
+
+    #[test]
+    fn error_enum_contract_requires_both_impls() {
+        let bad = "pub enum FooError { A }\n";
+        let r = check_file(&ctx("core"), bad);
+        assert_eq!(r.violations.len(), 2);
+        assert!(r.violations.iter().all(|v| v.rule == "error-enum-contract"));
+
+        let good = "\
+pub enum FooError { A }\n\
+impl std::fmt::Display for FooError {\n\
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { Ok(()) }\n\
+}\n\
+impl std::error::Error for FooError {}\n";
+        assert!(check_file(&ctx("core"), good).violations.is_empty());
+    }
+
+    #[test]
+    fn test_code_files_only_get_unsafe_rule() {
+        let test_ctx = FileContext {
+            crate_key: "cli".into(),
+            is_test_code: true,
+        };
+        let src = "fn f(x: Option<u8>) { x.unwrap(); unsafe { g() } }\n";
+        let r = check_file(&test_ctx, src);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, "unsafe-needs-safety-comment");
+    }
+}

@@ -1,0 +1,130 @@
+//! Fixture-driven tests for the five invariant rules: each rule
+//! demonstrably fires with its exact rule name and line, the green-path
+//! fixture stays silent, the escape hatch suppresses (and is counted),
+//! and a miniature workspace walk produces full `path:line` diagnostics.
+
+use mupod_lint::rules::{check_file, FileContext, FileReport};
+use std::path::{Path, PathBuf};
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run_fixture(name: &str, crate_key: &str) -> FileReport {
+    let path = fixture_path(name);
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name}: {e}"));
+    check_file(
+        &FileContext {
+            crate_key: crate_key.to_string(),
+            is_test_code: false,
+        },
+        &src,
+    )
+}
+
+#[test]
+fn no_panic_path_fires_with_exact_line() {
+    let rep = run_fixture("panic_path.rs", "core");
+    assert_eq!(rep.violations.len(), 1, "{:?}", rep.violations);
+    assert_eq!(rep.violations[0].rule, "no-panic-path");
+    assert_eq!(rep.violations[0].line, 6);
+}
+
+#[test]
+fn atomic_artifact_io_fires_with_exact_line() {
+    let rep = run_fixture("artifact_io.rs", "cli");
+    assert_eq!(rep.violations.len(), 1, "{:?}", rep.violations);
+    assert_eq!(rep.violations[0].rule, "atomic-artifact-io");
+    assert_eq!(rep.violations[0].line, 6);
+}
+
+#[test]
+fn unsafe_needs_safety_comment_fires_with_exact_line() {
+    let rep = run_fixture("unsafe_no_comment.rs", "tensor");
+    assert_eq!(rep.violations.len(), 1, "{:?}", rep.violations);
+    assert_eq!(rep.violations[0].rule, "unsafe-needs-safety-comment");
+    assert_eq!(rep.violations[0].line, 5);
+}
+
+#[test]
+fn no_float_eq_fires_with_exact_line() {
+    let rep = run_fixture("float_eq.rs", "nn");
+    assert_eq!(rep.violations.len(), 1, "{:?}", rep.violations);
+    assert_eq!(rep.violations[0].rule, "no-float-eq");
+    assert_eq!(rep.violations[0].line, 5);
+}
+
+#[test]
+fn error_enum_contract_fires_for_both_missing_impls() {
+    let rep = run_fixture("error_enum.rs", "core");
+    assert_eq!(rep.violations.len(), 2, "{:?}", rep.violations);
+    for v in &rep.violations {
+        assert_eq!(v.rule, "error-enum-contract");
+        assert_eq!(v.line, 6);
+    }
+}
+
+#[test]
+fn green_path_stays_silent() {
+    let rep = run_fixture("green.rs", "core");
+    assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+}
+
+#[test]
+fn escape_hatch_suppresses_and_is_counted() {
+    let rep = run_fixture("escape_hatch.rs", "core");
+    assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+    let used: Vec<_> = rep.escapes.iter().filter(|e| e.used).collect();
+    assert_eq!(used.len(), 1, "{:?}", rep.escapes);
+    assert_eq!(used[0].rule, "no-panic-path");
+    assert!(used[0].has_reason);
+}
+
+#[test]
+fn rules_respect_their_owner_crates() {
+    // The same sources are legal inside the crates that own the
+    // behavior: mupod-stats holds the tolerance helpers, mupod-runtime
+    // holds the atomic writer.
+    let stats = run_fixture("float_eq.rs", "stats");
+    assert!(stats.violations.is_empty(), "{:?}", stats.violations);
+    let runtime = run_fixture("artifact_io.rs", "runtime");
+    assert!(runtime.violations.is_empty(), "{:?}", runtime.violations);
+}
+
+#[test]
+fn panic_rule_skips_declared_test_code() {
+    let src = std::fs::read_to_string(fixture_path("panic_path.rs")).unwrap();
+    let rep = check_file(
+        &FileContext {
+            crate_key: "core".into(),
+            is_test_code: true,
+        },
+        &src,
+    );
+    assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+}
+
+#[test]
+fn workspace_walk_reports_full_path_line_rule() {
+    let dir = std::env::temp_dir().join(format!("mupod_lint_fixture_{}", std::process::id()));
+    let src_dir = dir.join("crates/core/src");
+    std::fs::create_dir_all(&src_dir).unwrap();
+    std::fs::copy(fixture_path("panic_path.rs"), src_dir.join("lib.rs")).unwrap();
+
+    let report = mupod_lint::lint_workspace(&dir).expect("walk succeeds");
+    assert!(!report.is_clean());
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    let d = &report.violations[0];
+    assert_eq!(d.rule, "no-panic-path");
+    assert_eq!(d.line, 6);
+    assert_eq!(d.path, "crates/core/src/lib.rs");
+    assert!(
+        d.to_string()
+            .starts_with("crates/core/src/lib.rs:6: no-panic-path:"),
+        "{d}"
+    );
+    assert!(report.render().contains("mupod-lint: FAIL"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,7 @@
+//! Fixture: raw `File::create` outside mupod-runtime. Expected: one
+//! atomic-artifact-io violation on line 6.
+
+pub fn save(path: &std::path::Path) -> std::io::Result<std::fs::File> {
+    use std::fs::File;
+    File::create(path)
+}

@@ -1,0 +1,9 @@
+//! Fixture: a public error enum without Display/Error impls.
+//! Expected: two error-enum-contract violations on line 6.
+
+/// What broke.
+#[derive(Debug)]
+pub enum FixtureError {
+    /// Nothing worked.
+    Broken,
+}

@@ -1,0 +1,9 @@
+//! Fixture: a violation suppressed by a well-formed escape. Expected:
+//! zero violations and one used, explained no-panic-path escape.
+
+/// Always-Some by construction.
+pub fn forced() -> u32 {
+    let v: Option<u32> = Some(3);
+    // lint:allow(no-panic-path) reason=v is Some by construction one line up
+    v.unwrap()
+}

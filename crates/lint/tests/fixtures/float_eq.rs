@@ -1,0 +1,6 @@
+//! Fixture: exact float equality outside mupod-stats. Expected: one
+//! no-float-eq violation on line 5.
+
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0
+}

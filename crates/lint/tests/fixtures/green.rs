@@ -1,0 +1,42 @@
+//! Fixture: a clean file. Every construct here looks like a violation
+//! to a text grep but is fine to the lexer: panics inside string
+//! literals and comments, unwraps in test code, justified unsafe, and a
+//! fully implemented error enum. Expected: zero violations.
+
+/// Renders instructions. The string mentions .unwrap() and panic!()
+/// but the lexer never fires inside literals.
+pub fn help_text() -> &'static str {
+    "never call .unwrap() or panic!() on the pipeline path"
+}
+
+// A comment saying x == 0.0 and File::create is not code either.
+
+/// Reads the first byte.
+pub fn first(p: *const u8) -> u8 {
+    // SAFETY: callers pass a valid, aligned, initialized pointer.
+    unsafe { *p }
+}
+
+/// A well-behaved public error enum.
+#[derive(Debug)]
+pub enum GreenError {
+    /// The only failure.
+    Oops,
+}
+
+impl std::fmt::Display for GreenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "oops")
+    }
+}
+
+impl std::error::Error for GreenError {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

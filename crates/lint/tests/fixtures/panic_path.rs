@@ -1,0 +1,7 @@
+//! Fixture: `.unwrap()` on the pipeline path. Expected: one
+//! no-panic-path violation on line 6.
+
+pub fn read_value() -> u32 {
+    let v: Option<u32> = None;
+    v.unwrap()
+}

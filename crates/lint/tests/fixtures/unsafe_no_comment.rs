@@ -1,0 +1,6 @@
+//! Fixture: `unsafe` with no safety justification. Expected: one
+//! unsafe-needs-safety-comment violation on line 5.
+
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -163,11 +163,9 @@ impl ArchBuilder {
         let b3 = self.conv_relu(&format!("{prefix}_3x3"), b3r, r3, o3, 3, 1, 1, 1);
         let b5r = self.conv_relu(&format!("{prefix}_5x5r"), input, in_c, r5, 1, 1, 0, 1);
         let b5 = self.conv_relu(&format!("{prefix}_5x5"), b5r, r5, o5, 5, 1, 2, 1);
-        let pool = self.b.max_pool(
-            format!("{prefix}_pool"),
-            input,
-            Pool2dParams::new(3, 1, 1),
-        );
+        let pool = self
+            .b
+            .max_pool(format!("{prefix}_pool"), input, Pool2dParams::new(3, 1, 1));
         let bp = self.conv_relu(&format!("{prefix}_pp"), pool, in_c, pp, 1, 1, 0, 1);
         let cat = self.b.concat(format!("{prefix}_cat"), &[b1, b3, b5, bp]);
         (cat, o1 + o3 + o5 + pp)
@@ -204,7 +202,16 @@ impl ArchBuilder {
             branch_gain,
         );
         let shortcut = if project {
-            self.conv_bn(&format!("{prefix}_proj"), input, in_c, out_c, 1, stride, 0, 1)
+            self.conv_bn(
+                &format!("{prefix}_proj"),
+                input,
+                in_c,
+                out_c,
+                1,
+                stride,
+                0,
+                1,
+            )
         } else {
             assert_eq!(in_c, out_c, "identity shortcut requires equal channels");
             assert_eq!(stride, 1, "identity shortcut requires stride 1");

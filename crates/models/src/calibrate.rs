@@ -105,7 +105,11 @@ fn features(net: &Network, head: &Head, image: &Tensor) -> Vec<f64> {
     match head {
         Head::Fc(fc) => {
             let producer = net.node(*fc).inputs[0];
-            acts.get(producer).data().iter().map(|&v| v as f64).collect()
+            acts.get(producer)
+                .data()
+                .iter()
+                .map(|&v| v as f64)
+                .collect()
         }
         Head::ConvGap(conv) => {
             let producer = net.node(*conv).inputs[0];
@@ -154,7 +158,11 @@ pub fn calibrate_head(
         row[d] = 1.0;
         // Centered one-hot targets give zero-mean logits.
         for c in 0..classes {
-            y[(i, c)] = if c == label { 1.0 } else { -1.0 / (classes as f64 - 1.0) };
+            y[(i, c)] = if c == label {
+                1.0
+            } else {
+                -1.0 / (classes as f64 - 1.0)
+            };
         }
     }
     let w = ridge_regression(&x, &y, alpha)?;
@@ -247,8 +255,8 @@ mod tests {
         // chance: the probe learns the classes, not the samples.
         let scale = ModelScale::tiny();
         let mut net = ModelKind::SqueezeNet.build(&scale, 57);
-        let spec = DatasetSpec::new(scale.classes, 3, scale.input_hw, scale.input_hw)
-            .with_class_seed(77);
+        let spec =
+            DatasetSpec::new(scale.classes, 3, scale.input_hw, scale.input_hw).with_class_seed(77);
         let train = Dataset::generate(&spec, 300, 128);
         let test = Dataset::generate(&spec, 301, 64);
         calibrate_head(&mut net, &train, 1e-1).unwrap();

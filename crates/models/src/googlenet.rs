@@ -28,14 +28,14 @@ pub(crate) fn build(scale: &ModelScale, seed: u64) -> Network {
     // following the original's pattern, scaled by the base channel count.
     // Each tuple is (o1, r3, o3, r5, o5, pp) in units of b/4.
     let widths: [(f64, f64, f64, f64, f64, f64); 9] = [
-        (2.0, 3.0, 4.0, 0.5, 1.0, 1.0), // 3a
-        (4.0, 4.0, 6.0, 1.0, 3.0, 2.0), // 3b
-        (6.0, 3.0, 6.5, 0.5, 1.5, 2.0), // 4a
-        (5.0, 3.5, 7.0, 1.0, 2.0, 2.0), // 4b
-        (4.0, 4.0, 8.0, 1.0, 2.0, 2.0), // 4c
-        (3.5, 4.5, 9.0, 1.0, 2.0, 2.0), // 4d
-        (8.0, 5.0, 10.0, 1.0, 4.0, 4.0), // 4e
-        (8.0, 5.0, 10.0, 1.0, 4.0, 4.0), // 5a
+        (2.0, 3.0, 4.0, 0.5, 1.0, 1.0),   // 3a
+        (4.0, 4.0, 6.0, 1.0, 3.0, 2.0),   // 3b
+        (6.0, 3.0, 6.5, 0.5, 1.5, 2.0),   // 4a
+        (5.0, 3.5, 7.0, 1.0, 2.0, 2.0),   // 4b
+        (4.0, 4.0, 8.0, 1.0, 2.0, 2.0),   // 4c
+        (3.5, 4.5, 9.0, 1.0, 2.0, 2.0),   // 4d
+        (8.0, 5.0, 10.0, 1.0, 4.0, 4.0),  // 4e
+        (8.0, 5.0, 10.0, 1.0, 4.0, 4.0),  // 5a
         (12.0, 6.0, 12.0, 1.5, 4.0, 4.0), // 5b
     ];
     let names = ["3a", "3b", "4a", "4b", "4c", "4d", "4e", "5a", "5b"];

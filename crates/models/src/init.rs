@@ -33,7 +33,9 @@ pub fn he_fc(rng: &mut SeededRng, out: usize, inp: usize, gain: f64) -> Tensor {
     let std = gain * (2.0 / inp as f64).sqrt();
     Tensor::from_vec(
         &[out, inp],
-        (0..out * inp).map(|_| rng.gaussian(0.0, std) as f32).collect(),
+        (0..out * inp)
+            .map(|_| rng.gaussian(0.0, std) as f32)
+            .collect(),
     )
 }
 
@@ -49,7 +51,9 @@ pub fn bn_affine(rng: &mut SeededRng, channels: usize) -> (Vec<f32>, Vec<f32>) {
     let scale = (0..channels)
         .map(|_| (1.0 + rng.gaussian(0.0, 0.05)) as f32)
         .collect();
-    let shift = (0..channels).map(|_| rng.gaussian(0.0, 0.02) as f32).collect();
+    let shift = (0..channels)
+        .map(|_| rng.gaussian(0.0, 0.02) as f32)
+        .collect();
     (scale, shift)
 }
 

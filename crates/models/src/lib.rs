@@ -128,9 +128,7 @@ impl ModelKind {
     pub fn analyzable_layers(&self, net: &Network) -> Vec<NodeId> {
         net.dot_product_layers()
             .into_iter()
-            .filter(|&id| {
-                !self.ignores_fc() || matches!(net.node(id).op, Op::Conv2d { .. })
-            })
+            .filter(|&id| !self.ignores_fc() || matches!(net.node(id).op, Op::Conv2d { .. }))
             .collect()
     }
 }

@@ -32,9 +32,7 @@ fn build_resnet(scale: &ModelScale, seed: u64, stages: &[usize; 4]) -> Network {
 
     // Stem: one convolution (7x7/2 in the original; 3x3 here) + pool.
     let stem = a.conv_bn_relu("conv1", input, 3, ch(b, 1.0), 3, 1, 1, 1);
-    let mut node = a
-        .b
-        .max_pool("pool1", stem, Pool2dParams::new(2, 2, 0));
+    let mut node = a.b.max_pool("pool1", stem, Pool2dParams::new(2, 2, 0));
 
     // Branch gain bounding activation growth with depth (see
     // `ArchBuilder::conv_bn_gain`).
@@ -104,10 +102,7 @@ mod tests {
     #[test]
     fn residual_additions_present() {
         let net = build_resnet50(&ModelScale::tiny(), 21);
-        let adds = net
-            .iter()
-            .filter(|(_, n)| matches!(n.op, Op::Add))
-            .count();
+        let adds = net.iter().filter(|(_, n)| matches!(n.op, Op::Add)).count();
         assert_eq!(adds, 16); // one per bottleneck block
     }
 

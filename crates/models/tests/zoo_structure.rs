@@ -27,7 +27,10 @@ fn alexnet_has_lrn_and_overlapping_pools() {
 #[test]
 fn nin_is_fully_convolutional() {
     let net = ModelKind::Nin.build(&ModelScale::tiny(), 2);
-    assert_eq!(count_op(&net, |o| matches!(o, Op::FullyConnected { .. })), 0);
+    assert_eq!(
+        count_op(&net, |o| matches!(o, Op::FullyConnected { .. })),
+        0
+    );
     assert_eq!(count_op(&net, |o| matches!(o, Op::GlobalAvgPool)), 1);
     // Eight of the twelve convs are 1x1 mlpconvs.
     let one_by_one = net

@@ -81,10 +81,7 @@ impl Network {
 
     /// Looks a node up by name.
     pub fn find(&self, name: &str) -> Option<NodeId> {
-        self.nodes
-            .iter()
-            .position(|n| n.name == name)
-            .map(NodeId)
+        self.nodes.iter().position(|n| n.name == name).map(NodeId)
     }
 
     /// Ids of the dot-product layers (convolutional and fully-connected),
@@ -160,6 +157,7 @@ impl Network {
                 *w = weight;
                 *b = bias;
             }
+            // lint:allow(no-panic-path) reason=documented `# Panics` contract for builder-API misuse, a programming bug rather than a runtime condition
             _ => panic!("node {id} is not a dot-product layer"),
         }
     }
@@ -190,6 +188,7 @@ impl Network {
                     *v += rng.symmetric_uniform(delta) as f32;
                 }
             }
+            // lint:allow(no-panic-path) reason=documented `# Panics` contract for builder-API misuse, a programming bug rather than a runtime condition
             _ => panic!("node {id} is not a dot-product layer"),
         }
         out
@@ -205,17 +204,14 @@ impl Network {
     /// # Panics
     ///
     /// Panics if `id` is not a dot-product layer.
-    pub fn update_layer_weights<F: FnOnce(&mut Tensor, &mut [f32])>(
-        &mut self,
-        id: NodeId,
-        f: F,
-    ) {
+    pub fn update_layer_weights<F: FnOnce(&mut Tensor, &mut [f32])>(&mut self, id: NodeId, f: F) {
         let node = &mut self.nodes[id.0];
         match &mut node.op {
             Op::Conv2d {
                 weight: w, bias: b, ..
             }
             | Op::FullyConnected { weight: w, bias: b } => f(w, b),
+            // lint:allow(no-panic-path) reason=documented `# Panics` contract for builder-API misuse, a programming bug rather than a runtime condition
             _ => panic!("node {id} is not a dot-product layer"),
         }
     }
@@ -460,9 +456,7 @@ impl NetworkBuilder {
         // Dry run to validate shapes; tensor kernels panic on mismatch,
         // so trap the panic and convert it into a build error.
         let zero = Tensor::zeros(&net.input_dims.clone());
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            net.forward(&zero)
-        }));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| net.forward(&zero)));
         match result {
             Ok(acts) => {
                 net.out_dims = (0..net.nodes.len())
@@ -544,12 +538,7 @@ mod tests {
         let mut b = NetworkBuilder::new(&[1, 2, 2]);
         let input = b.input();
         // FC expects rank-1 input, but receives CHW.
-        let fc = b.fully_connected(
-            "fc",
-            input,
-            Tensor::zeros(&[2, 4]),
-            vec![0.0, 0.0],
-        );
+        let fc = b.fully_connected("fc", input, Tensor::zeros(&[2, 4]), vec![0.0, 0.0]);
         match b.build(fc).unwrap_err() {
             BuildError::ShapeMismatch(_, _) => {}
             e => panic!("expected shape mismatch, got {e:?}"),

@@ -82,6 +82,7 @@ impl LayerInventory {
                     Op::FullyConnected { weight, .. } => {
                         (weight.dims()[0] * weight.dims()[1]) as u64
                     }
+                    // lint:allow(no-panic-path) reason=iterating dot_product_layers(), whose filter admits only Conv2d and FullyConnected
                     _ => unreachable!("dot_product_layers returned a non-dot layer"),
                 };
                 LayerInfo {
@@ -224,10 +225,7 @@ mod tests {
     #[test]
     fn int_bits_follow_measured_range() {
         let net = two_layer_net();
-        let inv = LayerInventory::measure(
-            &net,
-            std::iter::once(Tensor::filled(&[1, 8, 8], 100.0)),
-        );
+        let inv = LayerInventory::measure(&net, std::iter::once(Tensor::filled(&[1, 8, 8], 100.0)));
         // max 100 -> ceil(log2 100)=7 -> 8 signed bits.
         assert_eq!(inv.layers()[0].int_bits(), 8);
     }

@@ -98,6 +98,7 @@ impl InputTap for UniformNoiseTap {
             return;
         }
         for v in input.data_mut() {
+            // lint:allow(no-float-eq) reason=deliberate exact test: post-ReLU structural zeros carry no rounding error and must stay exactly zero
             if *v != 0.0 {
                 *v += self.rng.symmetric_uniform(delta) as f32;
             }
@@ -342,10 +343,8 @@ mod tests {
     fn stochastic_tap_rounds_to_grid_unbiased() {
         let node = NodeId(1);
         let fmt = FixedPointFormat::new(6, 2); // step 0.25
-        let mut tap = StochasticQuantizeTap::new(
-            [(node, fmt)].into_iter().collect(),
-            SeededRng::new(4),
-        );
+        let mut tap =
+            StochasticQuantizeTap::new([(node, fmt)].into_iter().collect(), SeededRng::new(4));
         assert!(tap.wants(node));
         let n = 20_000;
         let mut t = Tensor::filled(&[n], 0.6); // 0.4 of the way 0.5 -> 0.75

@@ -59,12 +59,7 @@ fn random_net(seed: u64) -> Network {
     );
     let cat = b.concat("cat", &[c3a, c3b]);
     let gap = b.global_avg_pool("gap", cat);
-    let fc = b.fully_connected(
-        "fc",
-        gap,
-        random_tensor(&mut rng, &[5, 4]),
-        vec![0.0; 5],
-    );
+    let fc = b.fully_connected("fc", gap, random_tensor(&mut rng, &[5, 4]), vec![0.0; 5]);
     b.build(fc).expect("random net builds")
 }
 

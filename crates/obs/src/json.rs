@@ -146,12 +146,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
     }
 }
 
-fn parse_keyword(
-    bytes: &[u8],
-    pos: &mut usize,
-    word: &str,
-    value: Value,
-) -> Result<Value, String> {
+fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Value) -> Result<Value, String> {
     if bytes[*pos..].starts_with(word.as_bytes()) {
         *pos += word.len();
         Ok(value)
@@ -235,8 +230,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                             .get(*pos + 1..*pos + 5)
                             .ok_or("truncated \\u escape")?;
                         let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
-                        let code =
-                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
                         // Surrogate pairs are not needed for our own output;
                         // map them to the replacement character.
                         out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
@@ -250,7 +244,9 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 // Consume one UTF-8 scalar (the input is a &str, so
                 // slicing on a char boundary is safe).
                 let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().unwrap();
+                let Some(c) = rest.chars().next() else {
+                    return Err(format!("unterminated string at byte {pos}"));
+                };
                 out.push(c);
                 *pos += c.len_utf8();
             }
@@ -289,7 +285,13 @@ mod tests {
 
     #[test]
     fn escaped_strings_roundtrip_through_parse() {
-        for s in ["plain", "a\"b\\c", "line\nbreak\ttab", "uni π∆", "\u{1}\u{1f}"] {
+        for s in [
+            "plain",
+            "a\"b\\c",
+            "line\nbreak\ttab",
+            "uni π∆",
+            "\u{1}\u{1f}",
+        ] {
             let parsed = parse(&escape(s)).unwrap();
             assert_eq!(parsed.as_str(), Some(s));
         }

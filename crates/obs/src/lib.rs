@@ -40,8 +40,8 @@ mod snapshot;
 mod trace;
 
 pub use recorder::{
-    counter_add, event, histogram_record, level_enabled, span, span_fields, InstallGuard,
-    Recorder, SpanGuard,
+    counter_add, event, histogram_record, level_enabled, span, span_fields, InstallGuard, Recorder,
+    SpanGuard,
 };
 pub use snapshot::{HistogramSummary, MetricsSnapshot, SpanSummary};
 pub use trace::{write_chrome_trace, Phase, TraceEvent};

@@ -273,7 +273,11 @@ impl Recorder {
 
     fn counter_add(&self, name: &'static str, n: u64) {
         {
-            let map = self.inner.counters.read().unwrap_or_else(|e| e.into_inner());
+            let map = self
+                .inner
+                .counters
+                .read()
+                .unwrap_or_else(|e| e.into_inner());
             if let Some(c) = map.get(name) {
                 c.fetch_add(n, Ordering::Relaxed);
                 return;
@@ -333,7 +337,11 @@ impl Recorder {
     /// A point-in-time aggregate of everything recorded so far.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let counters = {
-            let map = self.inner.counters.read().unwrap_or_else(|e| e.into_inner());
+            let map = self
+                .inner
+                .counters
+                .read()
+                .unwrap_or_else(|e| e.into_inner());
             map.iter()
                 .map(|(k, v)| ((*k).to_string(), v.load(Ordering::Relaxed)))
                 .collect::<BTreeMap<String, u64>>()
@@ -436,10 +444,7 @@ mod tests {
         assert_eq!(snap.spans["outer"].count, 1);
         assert_eq!(snap.spans["inner"].count, 1);
         let trace = rec.trace_events();
-        let instants: Vec<_> = trace
-            .iter()
-            .filter(|e| e.phase == Phase::Instant)
-            .collect();
+        let instants: Vec<_> = trace.iter().filter(|e| e.phase == Phase::Instant).collect();
         assert_eq!(instants.len(), 1);
         assert_eq!(instants[0].name, "ev.hello");
         assert_eq!(instants[0].args, vec![("k".to_string(), "v".to_string())]);

@@ -177,16 +177,14 @@ mod tests {
         let text = snap.to_json();
         let value = json::parse(&text).expect("snapshot must be valid JSON");
         let obj = value.as_object().unwrap();
-        assert_eq!(
-            obj["schema"].as_str(),
-            Some("mupod-metrics v1"),
-            "{text}"
-        );
+        assert_eq!(obj["schema"].as_str(), Some("mupod-metrics v1"), "{text}");
         let counters = obj["counters"].as_object().unwrap();
         assert_eq!(counters["a.first"].as_f64(), Some(1.0));
         assert_eq!(counters["z.last"].as_f64(), Some(2.0));
         assert!(text.find("a.first").unwrap() < text.find("z.last").unwrap());
-        let h = obj["histograms"].as_object().unwrap()["h"].as_object().unwrap();
+        let h = obj["histograms"].as_object().unwrap()["h"]
+            .as_object()
+            .unwrap();
         assert_eq!(h["count"].as_f64(), Some(2.0));
         assert_eq!(h["mean"].as_f64(), Some(1.5));
     }

@@ -68,7 +68,9 @@ impl<F: Fn(&[f64]) -> f64> SimplexObjective for FnObjective<F> {
 
 impl<F> std::fmt::Debug for FnObjective<F> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FnObjective").field("dim", &self.dim).finish()
+        f.debug_struct("FnObjective")
+            .field("dim", &self.dim)
+            .finish()
     }
 }
 
@@ -78,9 +80,7 @@ mod tests {
 
     #[test]
     fn finite_difference_gradient_of_quadratic() {
-        let obj = FnObjective::new(3, |x: &[f64]| {
-            x.iter().map(|v| v * v).sum::<f64>()
-        });
+        let obj = FnObjective::new(3, |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>());
         let g = obj.gradient(&[0.1, 0.5, 0.4]);
         for (gi, xi) in g.iter().zip(&[0.1, 0.5, 0.4]) {
             assert!((gi - 2.0 * xi).abs() < 1e-5);

@@ -75,9 +75,7 @@ pub fn project_to_simplex_lb(v: &mut [f64], lb: f64) {
 
 /// Whether `v` lies on the simplex `{x : Σx = 1, x ≥ lb}` within `tol`.
 pub fn is_in_simplex(v: &[f64], lb: f64, tol: f64) -> bool {
-    !v.is_empty()
-        && v.iter().all(|&x| x >= lb - tol)
-        && (v.iter().sum::<f64>() - 1.0).abs() <= tol
+    !v.is_empty() && v.iter().all(|&x| x >= lb - tol) && (v.iter().sum::<f64>() - 1.0).abs() <= tol
 }
 
 /// The uniform point `(1/n, …, 1/n)` — the paper's `equal_scheme`.

@@ -63,11 +63,7 @@ impl ProjectedGradient {
     /// # Panics
     ///
     /// Panics if `start.len() != obj.dim()`.
-    pub fn minimize_from<O: SimplexObjective + ?Sized>(
-        &self,
-        obj: &O,
-        start: &[f64],
-    ) -> Solution {
+    pub fn minimize_from<O: SimplexObjective + ?Sized>(&self, obj: &O, start: &[f64]) -> Solution {
         assert_eq!(start.len(), obj.dim(), "start point dimension mismatch");
         let mut xi = start.to_vec();
         project_to_simplex_lb(&mut xi, self.lower_bound);
@@ -82,11 +78,7 @@ impl ProjectedGradient {
             let mut accepted = false;
             // Armijo backtracking on the projected step.
             for _ in 0..40 {
-                let mut cand: Vec<f64> = xi
-                    .iter()
-                    .zip(&grad)
-                    .map(|(x, g)| x - step * g)
-                    .collect();
+                let mut cand: Vec<f64> = xi.iter().zip(&grad).map(|(x, g)| x - step * g).collect();
                 project_to_simplex_lb(&mut cand, self.lower_bound);
                 let cand_value = obj.value(&cand);
                 let decrease: f64 = xi
@@ -170,11 +162,10 @@ impl ExponentiatedGradient {
             // near the boundary), so the step is taken on the unit-scaled
             // gradient direction.
             let mean_g = grad.iter().sum::<f64>() / grad.len() as f64;
-            let scale = grad
-                .iter()
-                .map(|g| (g - mean_g).abs())
-                .fold(0.0, f64::max);
+            let scale = grad.iter().map(|g| (g - mean_g).abs()).fold(0.0, f64::max);
+            // lint:allow(no-float-eq) reason=exact test of a fold over abs values; a gradient that is identically zero means converged, not approximately zero
             if scale == 0.0 || !scale.is_finite() {
+                // lint:allow(no-float-eq) reason=same exact identically-zero-gradient test as the line above
                 converged = scale == 0.0;
                 break;
             }
@@ -222,10 +213,7 @@ mod tests {
     fn quadratic_to(target: Vec<f64>) -> FnObjective<impl Fn(&[f64]) -> f64> {
         let dim = target.len();
         FnObjective::new(dim, move |xi: &[f64]| {
-            xi.iter()
-                .zip(&target)
-                .map(|(x, t)| (x - t).powi(2))
-                .sum()
+            xi.iter().zip(&target).map(|(x, t)| (x - t).powi(2)).sum()
         })
     }
 
@@ -252,9 +240,7 @@ mod tests {
     #[test]
     fn pgd_linear_objective_hits_vertex() {
         // min c·ξ picks the coordinate with smallest c.
-        let obj = FnObjective::new(3, |xi: &[f64]| {
-            3.0 * xi[0] + 1.0 * xi[1] + 2.0 * xi[2]
-        });
+        let obj = FnObjective::new(3, |xi: &[f64]| 3.0 * xi[0] + 1.0 * xi[1] + 2.0 * xi[2]);
         let pg = ProjectedGradient {
             lower_bound: 0.0,
             ..Default::default()
@@ -292,16 +278,20 @@ mod tests {
         let a = ProjectedGradient::default().minimize(&obj);
         let b = ExponentiatedGradient::default().minimize(&obj);
         assert!(a.value.is_finite() && b.value.is_finite());
-        assert!((a.value - b.value).abs() < 1e-4, "{} vs {}", a.value, b.value);
+        assert!(
+            (a.value - b.value).abs() < 1e-4,
+            "{} vs {}",
+            a.value,
+            b.value
+        );
         // The heaviest-ρ layer should get the largest share (it profits
         // most from a coarse Δ).
-        let amax = a
-            .xi
-            .iter()
-            .enumerate()
-            .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
-            .unwrap()
-            .0;
+        let amax =
+            a.xi.iter()
+                .enumerate()
+                .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
+                .unwrap()
+                .0;
         assert_eq!(amax, 0, "{:?}", a.xi);
     }
 

@@ -2,9 +2,7 @@
 //! deliver feasible, non-degrading solutions — the cross-validation that
 //! substitutes for Octave's `sqp` (DESIGN.md §4).
 
-use mupod_optim::{
-    is_in_simplex, ExponentiatedGradient, FnObjective, ProjectedGradient,
-};
+use mupod_optim::{is_in_simplex, ExponentiatedGradient, FnObjective, ProjectedGradient};
 use proptest::prelude::*;
 
 proptest! {

@@ -136,6 +136,8 @@ pub mod test_runner {
         }
     }
 
+    impl std::error::Error for TestCaseError {}
+
     /// Drives the per-test case loop; seeded from the test name so every
     /// run of every build generates identical inputs.
     #[derive(Debug)]

@@ -179,11 +179,7 @@ mod tests {
 
     #[test]
     fn uniform_allocation_has_constant_bits() {
-        let alloc = BitwidthAllocation::uniform(
-            &["a", "b", "c"],
-            &[100.0, 10.0, 1000.0],
-            8,
-        );
+        let alloc = BitwidthAllocation::uniform(&["a", "b", "c"], &[100.0, 10.0, 1000.0], 8);
         assert_eq!(alloc.bits(), vec![8, 8, 8]);
         // Layers with larger range spend more integer bits, so their Δ is
         // coarser.

@@ -69,6 +69,7 @@ impl FixedPointFormat {
             max_abs.is_finite() && max_abs >= 0.0,
             "max_abs must be non-negative and finite, got {max_abs}"
         );
+        // lint:allow(no-float-eq) reason=exact zero means an all-zero tensor, which gets the 1-bit degenerate format; near-zero values need real magnitude bits
         if max_abs == 0.0 {
             return 1;
         }
@@ -173,16 +174,16 @@ impl FixedPointFormat {
         let pos = x / step;
         let below = pos.floor();
         let frac = pos - below;
-        let k = if rng.unit() < frac { below + 1.0 } else { below };
+        let k = if rng.unit() < frac {
+            below + 1.0
+        } else {
+            below
+        };
         k.clamp(lo_idx, hi_idx) * step
     }
 
     /// Stochastically quantizes every element of a tensor in place.
-    pub fn quantize_tensor_stochastic(
-        &self,
-        t: &mut Tensor,
-        rng: &mut mupod_stats::SeededRng,
-    ) {
+    pub fn quantize_tensor_stochastic(&self, t: &mut Tensor, rng: &mut mupod_stats::SeededRng) {
         for v in t.data_mut() {
             *v = self.quantize_stochastic(*v as f64, rng) as f32;
         }
@@ -269,10 +270,7 @@ mod tests {
         for i in 0..1000 {
             let x = -10.0 + i as f64 * 0.02;
             let q = fmt.quantize(x);
-            assert!(
-                (q - x).abs() <= 0.03 + 1e-12,
-                "error too large at {x}: {q}"
-            );
+            assert!((q - x).abs() <= 0.03 + 1e-12, "error too large at {x}: {q}");
         }
     }
 

@@ -168,8 +168,8 @@ pub fn unseal(bytes: &[u8]) -> Result<&[u8], ArtifactError> {
         .rposition(|&b| b == b'\n')
         .map_or(0, |p| p + 1);
     let footer = &bytes[footer_start..end];
-    let footer = std::str::from_utf8(footer)
-        .map_err(|_| ArtifactError::MissingFooter(PathBuf::new()))?;
+    let footer =
+        std::str::from_utf8(footer).map_err(|_| ArtifactError::MissingFooter(PathBuf::new()))?;
     let Some(fields) = footer.strip_prefix(FOOTER_PREFIX) else {
         return Err(ArtifactError::MissingFooter(PathBuf::new()));
     };
@@ -177,13 +177,15 @@ pub fn unseal(bytes: &[u8]) -> Result<&[u8], ArtifactError> {
     let mut stored_len = None;
     for field in fields.split_whitespace() {
         if let Some(v) = field.strip_prefix("fnv1a64=") {
-            stored_sum = Some(u64::from_str_radix(v, 16).map_err(|_| {
-                ArtifactError::BadFooter(format!("bad checksum `{v}`"))
-            })?);
+            stored_sum = Some(
+                u64::from_str_radix(v, 16)
+                    .map_err(|_| ArtifactError::BadFooter(format!("bad checksum `{v}`")))?,
+            );
         } else if let Some(v) = field.strip_prefix("len=") {
-            stored_len = Some(v.parse::<usize>().map_err(|_| {
-                ArtifactError::BadFooter(format!("bad length `{v}`"))
-            })?);
+            stored_len = Some(
+                v.parse::<usize>()
+                    .map_err(|_| ArtifactError::BadFooter(format!("bad length `{v}`")))?,
+            );
         }
     }
     let stored_sum =
@@ -195,9 +197,7 @@ pub fn unseal(bytes: &[u8]) -> Result<&[u8], ArtifactError> {
     let before_footer = &bytes[..footer_start];
     let payload = match stored_len {
         n if n == before_footer.len() => before_footer,
-        n if n + 1 == before_footer.len() && before_footer.ends_with(b"\n") => {
-            &before_footer[..n]
-        }
+        n if n + 1 == before_footer.len() && before_footer.ends_with(b"\n") => &before_footer[..n],
         _ => {
             return Err(ArtifactError::LengthMismatch {
                 stored: stored_len,
@@ -326,7 +326,7 @@ mod tests {
         for content in [
             &b""[..],
             b"a,b,c\n1,2,3\n",
-            b"{\"k\": 1}",              // no trailing newline
+            b"{\"k\": 1}",               // no trailing newline
             b"line with no newline end", // separator path
         ] {
             let sealed = seal(content);

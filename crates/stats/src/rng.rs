@@ -141,10 +141,7 @@ impl SeededRng {
     ///
     /// Panics if `std` is negative or non-finite.
     pub fn gaussian(&mut self, mean: f64, std: f64) -> f64 {
-        assert!(
-            std.is_finite() && std >= 0.0,
-            "invalid gaussian std {std}"
-        );
+        assert!(std.is_finite() && std >= 0.0, "invalid gaussian std {std}");
         mean + std * self.standard_gaussian()
     }
 

@@ -64,12 +64,19 @@ impl Conv2dParams {
         pad: usize,
         groups: usize,
     ) -> Self {
-        assert!(in_channels > 0 && out_channels > 0, "channels must be positive");
+        assert!(
+            in_channels > 0 && out_channels > 0,
+            "channels must be positive"
+        );
         assert!(kernel > 0, "kernel must be positive");
         assert!(stride > 0, "stride must be positive");
         assert!(groups > 0, "groups must be positive");
         assert_eq!(in_channels % groups, 0, "in_channels must divide by groups");
-        assert_eq!(out_channels % groups, 0, "out_channels must divide by groups");
+        assert_eq!(
+            out_channels % groups,
+            0,
+            "out_channels must divide by groups"
+        );
         Self {
             in_channels,
             out_channels,
@@ -161,12 +168,7 @@ fn check_conv_args(input: &Tensor, weight: &Tensor, bias: Option<&[f32]>, p: &Co
     assert_eq!(input.dims()[0], p.in_channels, "input channel mismatch");
     assert_eq!(
         weight.dims(),
-        &[
-            p.out_channels,
-            p.in_channels / p.groups,
-            p.kernel,
-            p.kernel
-        ],
+        &[p.out_channels, p.in_channels / p.groups, p.kernel, p.kernel],
         "weight shape mismatch"
     );
     if let Some(b) = bias {

@@ -20,6 +20,7 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
         let a_row = &a[i * k..(i + 1) * k];
         let c_row = &mut c[i * n..(i + 1) * n];
         for (kk, &av) in a_row.iter().enumerate() {
+            // lint:allow(no-float-eq) reason=sparsity fast path: only exactly-zero operands may skip the inner product without changing the result
             if av == 0.0 {
                 continue;
             }

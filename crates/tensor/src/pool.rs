@@ -80,7 +80,11 @@ fn pool_with<F: Fn(&mut f32, f32, &mut usize)>(
                         if ix < 0 || ix >= w as isize {
                             continue;
                         }
-                        fold(&mut acc, input.at(&[ci, iy as usize, ix as usize]), &mut count);
+                        fold(
+                            &mut acc,
+                            input.at(&[ci, iy as usize, ix as usize]),
+                            &mut count,
+                        );
                     }
                 }
                 *out.at_mut(&[ci, oy, ox]) = finish(acc, count, p.kernel * p.kernel);

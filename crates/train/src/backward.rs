@@ -109,10 +109,7 @@ pub fn backward_op(
             }
             Ok((vec![g], None))
         }
-        Op::Add => Ok((
-            inputs.iter().map(|_| grad_out.clone()).collect(),
-            None,
-        )),
+        Op::Add => Ok((inputs.iter().map(|_| grad_out.clone()).collect(), None)),
         Op::Concat => {
             let (h, w) = (grad_out.dims()[1], grad_out.dims()[2]);
             let mut grads = Vec::with_capacity(inputs.len());
@@ -157,6 +154,7 @@ fn conv2d_backward(
         for oy in 0..oh {
             for ox in 0..ow {
                 let go = grad_out.at(&[oc, oy, ox]);
+                // lint:allow(no-float-eq) reason=sparsity fast path: an exactly-zero upstream gradient contributes nothing to any accumulation below
                 if go == 0.0 {
                     continue;
                 }
@@ -174,10 +172,8 @@ fn conv2d_backward(
                                 continue;
                             }
                             let (iyu, ixu) = (iy as usize, ix as usize);
-                            *grad_w.at_mut(&[oc, ic, ky, kx]) +=
-                                go * input.at(&[in_c, iyu, ixu]);
-                            *grad_in.at_mut(&[in_c, iyu, ixu]) +=
-                                go * weight.at(&[oc, ic, ky, kx]);
+                            *grad_w.at_mut(&[oc, ic, ky, kx]) += go * input.at(&[in_c, iyu, ixu]);
+                            *grad_in.at_mut(&[in_c, iyu, ixu]) += go * weight.at(&[oc, ic, ky, kx]);
                         }
                     }
                 }
@@ -203,6 +199,7 @@ fn fc_backward(input: &Tensor, weight: &Tensor, grad_out: &Tensor) -> (Tensor, P
     let grad_b: Vec<f32> = grad_out.data().to_vec();
     for o in 0..out_d {
         let go = grad_out.data()[o];
+        // lint:allow(no-float-eq) reason=sparsity fast path: an exactly-zero upstream gradient contributes nothing to any accumulation below
         if go == 0.0 {
             continue;
         }

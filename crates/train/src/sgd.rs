@@ -183,9 +183,9 @@ fn apply_update(
             continue;
         };
         net.update_layer_weights(id, |w, b| {
-            let (vw, vb) = velocity.entry(id).or_insert_with(|| {
-                (Tensor::zeros(w.dims()), vec![0.0; b.len()])
-            });
+            let (vw, vb) = velocity
+                .entry(id)
+                .or_insert_with(|| (Tensor::zeros(w.dims()), vec![0.0; b.len()]));
             for ((wv, vv), &gv) in w
                 .data_mut()
                 .iter_mut()

@@ -61,9 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         2,
         16,
     );
-    println!(
-        "weight bitwidth W = {weight_bits} (accuracy with W and inputs reduced: {w_acc:.3})"
-    );
+    println!("weight bitwidth W = {weight_bits} (accuracy with W and inputs reduced: {w_acc:.3})");
 
     let macs: Vec<u64> = layers
         .iter()
@@ -80,10 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let energy = MacEnergyModel::dwip_40nm();
 
     println!();
-    println!(
-        "{:<22} {:>14} {:>14}",
-        "metric", "baseline", "optimized"
-    );
+    println!("{:<22} {:>14} {:>14}", "metric", "baseline", "optimized");
     let rows: Vec<(&str, f64, f64)> = vec![
         (
             "Stripes speedup (x)",

@@ -41,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .layers(layers.clone())
         .relative_accuracy_loss(0.035)
         .run(Objective::Bandwidth)?;
-    println!("profiled {} layers; σ_YŁ = {:.4}", layers.len(), first.sigma.sigma);
+    println!(
+        "profiled {} layers; σ_YŁ = {:.4}",
+        layers.len(),
+        first.sigma.sigma
+    );
 
     // ...then re-optimize for each criterion from the cached profile.
     // A custom ρ: only spatial (non-1x1) convolutions matter.
@@ -61,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let model = MacEnergyModel::dwip_40nm();
     println!();
-    println!("{:<14} {:<40} {:>12} {:>12}", "objective", "bits per layer", "input kbits", "energy µJ");
+    println!(
+        "{:<14} {:<40} {:>12} {:>12}",
+        "objective", "bits per layer", "input kbits", "energy µJ"
+    );
     for (name, objective) in objectives {
         let result = PrecisionOptimizer::new(&net, &eval)
             .layers(layers.clone())

@@ -26,8 +26,8 @@ use mupod::nn::inventory::LayerInventory;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = ModelScale::small();
     let mut net = ModelKind::SqueezeNet.build(&scale, 77);
-    let spec = DatasetSpec::new(scale.classes, 3, scale.input_hw, scale.input_hw)
-        .with_class_seed(77);
+    let spec =
+        DatasetSpec::new(scale.classes, 3, scale.input_hw, scale.input_hw).with_class_seed(77);
     let calib = Dataset::generate(&spec, 78, 192);
     let eval = Dataset::generate(&spec, 79, 96);
     calibrate_head(&mut net, &calib, 0.1)?;
@@ -81,7 +81,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<18} {:>12} {:>12} {:>12} {:>10}",
         "allocation", "MAC µJ", "memory µJ", "total µJ", "accuracy"
     );
-    for (name, result) in [("opt-bandwidth", &bw), ("opt-mac", &mac), ("opt-system", &sys)] {
+    for (name, result) in [
+        ("opt-bandwidth", &bw),
+        ("opt-mac", &mac),
+        ("opt-system", &sys),
+    ] {
         let cb = system_energy(
             &mac_model,
             &mem_model,

@@ -117,7 +117,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .zip(result.allocation.bits())
     {
-        println!("{:<8} {:>6}  ({bits} bits)", lf.layer, lf.format.to_string());
+        println!(
+            "{:<8} {:>6}  ({bits} bits)",
+            lf.layer,
+            lf.format.to_string()
+        );
     }
     println!(
         "quantized accuracy {:.3} (fp {:.3}, budget allowed {:.3})",

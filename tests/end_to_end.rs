@@ -2,8 +2,7 @@
 
 use mupod::baselines::uniform_search;
 use mupod::core::{
-    AccuracyEvaluator, AccuracyMode, Objective, PrecisionOptimizer, Profile,
-    ProfileConfig,
+    AccuracyEvaluator, AccuracyMode, Objective, PrecisionOptimizer, Profile, ProfileConfig,
 };
 use mupod::data::{Dataset, DatasetSpec};
 use mupod::hw::{bandwidth, MacEnergyModel};
@@ -14,8 +13,8 @@ use mupod::nn::Network;
 fn prepared(kind: ModelKind, seed: u64) -> (Network, Dataset, Dataset) {
     let scale = ModelScale::tiny();
     let mut net = kind.build(&scale, seed);
-    let spec = DatasetSpec::new(scale.classes, 3, scale.input_hw, scale.input_hw)
-        .with_class_seed(seed);
+    let spec =
+        DatasetSpec::new(scale.classes, 3, scale.input_hw, scale.input_hw).with_class_seed(seed);
     let calib = Dataset::generate(&spec, seed ^ 1, 96);
     let eval = Dataset::generate(&spec, seed ^ 2, 48);
     calibrate_head(&mut net, &calib, 0.1).expect("calibration");

@@ -12,8 +12,8 @@ use std::collections::HashMap;
 fn setup(kind: ModelKind, seed: u64) -> (Network, Dataset) {
     let scale = ModelScale::tiny();
     let mut net = kind.build(&scale, seed);
-    let spec = DatasetSpec::new(scale.classes, 3, scale.input_hw, scale.input_hw)
-        .with_class_seed(seed);
+    let spec =
+        DatasetSpec::new(scale.classes, 3, scale.input_hw, scale.input_hw).with_class_seed(seed);
     let data = Dataset::generate(&spec, seed ^ 5, 24);
     calibrate_head(&mut net, &data, 0.1).expect("calibration");
     (net, data)
@@ -36,8 +36,7 @@ fn injected_output_sigma(
     for (i, img) in data.images().iter().enumerate() {
         let base = net.forward(img);
         for rep in 0..REPEATS {
-            let mut tap =
-                UniformNoiseTap::new(deltas.clone(), root.fork(i as u64 * REPEATS + rep));
+            let mut tap = UniformNoiseTap::new(deltas.clone(), root.fork(i as u64 * REPEATS + rep));
             let noisy = net.forward_tapped(img, &mut tap);
             for (a, b) in net
                 .output(&noisy)
@@ -62,10 +61,8 @@ fn variance_additivity_across_layers_eq6() {
     let (a, b) = (layers[1], layers[3]);
     let delta = 0.4;
 
-    let sigma_a =
-        injected_output_sigma(&net, &data, &[(a, delta)].into_iter().collect(), 11);
-    let sigma_b =
-        injected_output_sigma(&net, &data, &[(b, delta)].into_iter().collect(), 22);
+    let sigma_a = injected_output_sigma(&net, &data, &[(a, delta)].into_iter().collect(), 11);
+    let sigma_b = injected_output_sigma(&net, &data, &[(b, delta)].into_iter().collect(), 22);
     let sigma_ab = injected_output_sigma(
         &net,
         &data,
@@ -120,10 +117,8 @@ fn relu_preserves_linear_error_scaling() {
     let (net, data) = setup(ModelKind::AlexNet, 0x4E1);
     let layers = ModelKind::AlexNet.analyzable_layers(&net);
     let layer = layers[0];
-    let s1 =
-        injected_output_sigma(&net, &data, &[(layer, 0.05)].into_iter().collect(), 7);
-    let s2 =
-        injected_output_sigma(&net, &data, &[(layer, 0.10)].into_iter().collect(), 7);
+    let s1 = injected_output_sigma(&net, &data, &[(layer, 0.05)].into_iter().collect(), 7);
+    let s2 = injected_output_sigma(&net, &data, &[(layer, 0.10)].into_iter().collect(), 7);
     let ratio = s2 / s1;
     assert!(
         (ratio - 2.0).abs() < 0.3,
@@ -147,10 +142,8 @@ fn residual_network_error_model_holds() {
     let layers = ModelKind::ResNet50.analyzable_layers(&net);
     let (a, b) = (layers[2], layers[20]);
     let delta = 0.5;
-    let sigma_a =
-        injected_output_sigma(&net, &data, &[(a, delta)].into_iter().collect(), 1);
-    let sigma_b =
-        injected_output_sigma(&net, &data, &[(b, delta)].into_iter().collect(), 2);
+    let sigma_a = injected_output_sigma(&net, &data, &[(a, delta)].into_iter().collect(), 1);
+    let sigma_b = injected_output_sigma(&net, &data, &[(b, delta)].into_iter().collect(), 2);
     let sigma_ab = injected_output_sigma(
         &net,
         &data,

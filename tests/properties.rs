@@ -1,8 +1,6 @@
 //! Cross-crate property-based tests (proptest).
 
-use mupod::optim::{
-    is_in_simplex, project_to_simplex_lb, FnObjective, ProjectedGradient,
-};
+use mupod::optim::{is_in_simplex, project_to_simplex_lb, FnObjective, ProjectedGradient};
 use mupod::quant::{effective_bitwidth, FixedPointFormat};
 use mupod::stats::{LinearFit, RunningStats, SeededRng};
 use proptest::prelude::*;
