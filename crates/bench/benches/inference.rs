@@ -8,8 +8,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mupod_bench::setup;
 use mupod_models::ModelKind;
+use mupod_nn::ExecArena;
 use mupod_stats::SeededRng;
 use mupod_tensor::conv::{conv2d, conv2d_direct, Conv2dParams};
+use mupod_tensor::gemm::{gemm, gemm_tiled};
 use mupod_tensor::Tensor;
 
 fn bench_forward(c: &mut Criterion) {
@@ -60,5 +62,55 @@ fn bench_conv_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_forward, bench_conv_kernels);
+fn bench_gemm_kernels(c: &mut Criterion) {
+    // Conv-shaped GEMMs from the AlexNet hot path: conv1 (few rows, wide
+    // columns) and conv3 (more rows, narrow columns). The tiled kernel
+    // must win here while staying bit-identical to the scalar reference.
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(30);
+    for (m, k, n) in [(16usize, 75usize, 1024usize), (32, 216, 64)] {
+        let mut rng = SeededRng::new(23);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gaussian(0.0, 1.0) as f32).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.gaussian(0.0, 1.0) as f32).collect();
+        let shape = format!("{m}x{k}x{n}");
+        let mut out = vec![0.0f32; m * n];
+        group.bench_with_input(BenchmarkId::new("scalar", &shape), &(), |bch, ()| {
+            bch.iter(|| {
+                out.fill(0.0);
+                gemm(m, k, n, &a, &b, &mut out);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tiled", &shape), &(), |bch, ()| {
+            bch.iter(|| {
+                out.fill(0.0);
+                gemm_tiled(m, k, n, &a, &b, &mut out);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_arena_forward(c: &mut Criterion) {
+    // The allocating executor vs the zero-alloc arena path used by the
+    // profiler's inner loop; outputs are bit-identical by construction.
+    let s = setup(ModelKind::AlexNet, 1);
+    let (img, _) = s.data.sample(0);
+    let img = img.clone();
+    let mut group = c.benchmark_group("classify");
+    group.sample_size(30);
+    group.bench_function("alloc", |b| b.iter(|| s.net.classify(&img)));
+    let mut arena = ExecArena::for_network(&s.net);
+    group.bench_function("arena", |b| {
+        b.iter(|| s.net.classify_arena(&img, &mut arena))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_forward,
+    bench_conv_kernels,
+    bench_gemm_kernels,
+    bench_arena_forward
+);
 criterion_main!(benches);

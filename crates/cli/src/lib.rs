@@ -21,7 +21,7 @@
 
 use mupod_core::{Objective, PrecisionOptimizer, Profile, ProfileConfig, SearchScheme};
 use mupod_data::{Dataset, DatasetSpec};
-use mupod_models::{calibrate::calibrate_head, ModelKind, ModelScale};
+use mupod_models::{calibrate::calibrate_head_quick, ModelKind, ModelScale};
 use mupod_nn::inventory::LayerInventory;
 use mupod_nn::Network;
 use mupod_runtime::{CancelToken, ErrorClass, RetryPolicy, StageError, StagePolicy, Supervisor};
@@ -70,6 +70,10 @@ pub struct CommonArgs {
     pub stage_timeout: Option<Duration>,
     /// Attempt budget per stage for transient failures (`--retries`).
     pub retries: u32,
+    /// Worker threads for the profiling sweep and parallel evaluators
+    /// (`--threads`); `0` means "use the machine's available
+    /// parallelism". Results are bit-identical for any value.
+    pub threads: usize,
 }
 
 /// `profile` options.
@@ -213,6 +217,11 @@ COMMON FLAGS (observability):
   --trace-out <file.json>     write a Chrome trace_event timeline
                               (open in chrome://tracing or Perfetto)
 
+COMMON FLAGS (performance):
+  --threads <n>               worker threads for the profiling sweep and
+                              accuracy evaluation (default 0 = all cores;
+                              results are identical for any value)
+
 COMMON FLAGS (robustness):
   --stage-timeout <secs>      watchdog deadline per pipeline stage; an
                               overrunning stage drains and exits 4
@@ -282,6 +291,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut trace_out = None;
     let mut stage_timeout = None;
     let mut retries = 3u32;
+    let mut threads = 0usize;
 
     let mut i = 1;
     while i < args.len() {
@@ -352,6 +362,11 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     .map_err(|_| CliError::Usage("bad --retries".into()))?;
                 retries = n.max(1);
             }
+            "--threads" => {
+                threads = take_value(args, &mut i, "--threads")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("bad --threads".into()))?
+            }
             "--scheme" => {
                 scheme = match take_value(args, &mut i, "--scheme")? {
                     "equal" | "scheme1" => SearchScheme::EqualScheme,
@@ -374,6 +389,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         trace_out,
         stage_timeout,
         retries,
+        threads,
     };
     match sub.as_str() {
         "inspect" => Ok(Command::Inspect(common)),
@@ -467,7 +483,7 @@ fn prepare(common: &CommonArgs) -> Result<(Network, Dataset), CliError> {
     .with_class_seed(common.seed);
     let calib = Dataset::generate(&spec, common.seed ^ 0xA, common.images);
     let eval = Dataset::generate(&spec, common.seed ^ 0xB, common.images / 2);
-    calibrate_head(&mut net, &calib, 0.1)
+    calibrate_head_quick(&mut net, &calib, 0.1)
         .map_err(|e| CliError::Run(format!("calibration failed: {e}")))?;
     Ok((net, eval))
 }
@@ -604,6 +620,7 @@ fn run_inner(cmd: &Command, token: &CancelToken) -> Result<String, CliError> {
                     let profiler = mupod_core::Profiler::new(&net, images)
                         .with_config(ProfileConfig {
                             n_deltas: pargs.n_deltas,
+                            threads: common.threads,
                             ..Default::default()
                         })
                         .with_progress(progress_event)
@@ -675,6 +692,10 @@ fn run_inner(cmd: &Command, token: &CancelToken) -> Result<String, CliError> {
                     .layers(layers.clone())
                     .relative_accuracy_loss(oargs.loss)
                     .scheme(scheme)
+                    .profile_config(ProfileConfig {
+                        threads: common.threads,
+                        ..Default::default()
+                    })
                     .with_cancel(tok.clone());
                 if let Some(profile) = &loaded_profile {
                     optimizer = optimizer.with_profile(profile.clone());
@@ -861,6 +882,45 @@ mod tests {
                 "{bad}"
             );
         }
+    }
+
+    #[test]
+    fn parses_threads_flag() {
+        match parse(&argv("profile --model alexnet --out p.csv --threads 4")).unwrap() {
+            Command::Profile(c, _) => assert_eq!(c.threads, 4),
+            _ => panic!("wrong command"),
+        }
+        // Default is 0: "use the machine's available parallelism".
+        match parse(&argv("inspect --model alexnet")).unwrap() {
+            Command::Inspect(c) => assert_eq!(c.threads, 0),
+            _ => panic!("wrong command"),
+        }
+        assert!(matches!(
+            parse(&argv("inspect --model alexnet --threads lots")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(USAGE.contains("--threads"), "--threads missing from help");
+    }
+
+    #[test]
+    fn threads_flag_does_not_change_profile_artifact() {
+        let dir = std::env::temp_dir().join("mupod_cli_threads_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = format!(
+            "profile --model alexnet --scale tiny --images 24 --deltas 4 --out {}",
+            dir.join("t.csv").display()
+        );
+        let mut outputs = Vec::new();
+        for threads in [1usize, 3] {
+            let line = format!("{base} --threads {threads}");
+            run(&parse(&argv(&line)).unwrap()).unwrap();
+            outputs.push(std::fs::read(dir.join("t.csv")).unwrap());
+        }
+        assert_eq!(
+            outputs[0], outputs[1],
+            "profile CSV must be byte-identical for any --threads value"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

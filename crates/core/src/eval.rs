@@ -1,11 +1,78 @@
 //! Accuracy evaluation under noise injection and quantization.
+//!
+//! All evaluation paths are **image-parallel**: workers claim image
+//! indices off a shared atomic cursor, each owning one reusable
+//! [`ExecArena`] and one tap clone. Determinism is per-index — every
+//! image's noise stream is forked from the seed by its position, never
+//! by worker schedule — so results are bit-identical for any thread
+//! count, which the test suite asserts.
 
 use mupod_data::Dataset;
 use mupod_nn::tap::{gaussian_output_noise, QuantizeTap, StochasticQuantizeTap, UniformNoiseTap};
-use mupod_nn::{Network, NodeId};
+use mupod_nn::{ExecArena, Network, NodeId};
 use mupod_quant::{BitwidthAllocation, FixedPointFormat};
 use mupod_stats::SeededRng;
+use mupod_tensor::Tensor;
 use std::collections::HashMap;
+
+/// Runs `predict` over every image, parallelized over an atomic cursor.
+///
+/// Each worker builds its own state once via `make_state` (an execution
+/// arena plus any tap template) and reuses it across the images it
+/// claims. `predict` must be deterministic given `(state, index, image)`
+/// — index-keyed, not schedule-keyed — so the output is identical for
+/// any `threads`.
+fn predict_all<S: Send>(
+    images: &[Tensor],
+    threads: usize,
+    make_state: impl Fn() -> S + Sync,
+    predict: impl Fn(&mut S, usize, &Tensor) -> usize + Sync,
+) -> Vec<usize> {
+    let threads = threads.min(images.len()).max(1);
+    if threads <= 1 {
+        let mut state = make_state();
+        return images
+            .iter()
+            .enumerate()
+            .map(|(i, img)| predict(&mut state, i, img))
+            .collect();
+    }
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let locals: Vec<Vec<(usize, usize)>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let make_state = &make_state;
+            let predict = &predict;
+            handles.push(scope.spawn(move || {
+                let mut state = make_state();
+                let mut local = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(img) = images.get(i) else {
+                        break;
+                    };
+                    local.push((i, predict(&mut state, i, img)));
+                }
+                local
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(local) => local,
+                // Propagate a worker panic (e.g. a failed kernel assert)
+                // instead of swallowing it into a wrong accuracy number.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut out = vec![0usize; images.len()];
+    for (i, p) in locals.into_iter().flatten() {
+        out[i] = p;
+    }
+    out
+}
 
 /// What counts as the "correct" label when measuring accuracy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +99,9 @@ pub struct AccuracyEvaluator<'a> {
     targets: Vec<usize>,
     /// Clean accuracy under the chosen mode.
     fp_accuracy: f64,
+    /// Worker threads (`0` = machine parallelism). Results are
+    /// bit-identical for any value.
+    threads: usize,
 }
 
 impl std::fmt::Debug for AccuracyEvaluator<'_> {
@@ -46,18 +116,41 @@ impl std::fmt::Debug for AccuracyEvaluator<'_> {
 
 impl<'a> AccuracyEvaluator<'a> {
     /// Builds an evaluator; runs one clean pass per image to establish
-    /// the reference.
+    /// the reference. Uses the machine's available parallelism; see
+    /// [`AccuracyEvaluator::with_threads`] to pin the worker count.
     ///
     /// # Panics
     ///
     /// Panics if the dataset is empty.
     pub fn new(net: &'a Network, dataset: &'a Dataset, mode: AccuracyMode) -> Self {
+        Self::with_threads(net, dataset, mode, 0)
+    }
+
+    /// [`AccuracyEvaluator::new`] with an explicit worker-thread count
+    /// (`0` = machine parallelism). The thread count never changes any
+    /// result — per-image noise streams are keyed by image index — it
+    /// only changes wall-clock time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn with_threads(
+        net: &'a Network,
+        dataset: &'a Dataset,
+        mode: AccuracyMode,
+        threads: usize,
+    ) -> Self {
         assert!(!dataset.is_empty(), "evaluation dataset must not be empty");
-        let fp_preds: Vec<usize> = dataset
-            .images()
-            .iter()
-            .map(|img| net.classify(img))
-            .collect();
+        let resolved = resolve_threads(threads);
+        // The fp-reference pass goes through the same parallel engine as
+        // every accuracy call: one arena per worker, zero allocation per
+        // image once warm.
+        let fp_preds = predict_all(
+            dataset.images(),
+            resolved,
+            || ExecArena::for_network(net),
+            |arena, _i, img| net.classify_arena(img, arena),
+        );
         let (targets, fp_accuracy) = match mode {
             AccuracyMode::GeneratorLabels => {
                 let correct = fp_preds
@@ -78,6 +171,7 @@ impl<'a> AccuracyEvaluator<'a> {
             mode,
             targets,
             fp_accuracy,
+            threads,
         }
     }
 
@@ -102,17 +196,26 @@ impl<'a> AccuracyEvaluator<'a> {
         self.dataset.is_empty()
     }
 
-    fn fraction_correct<F: FnMut(usize, &mupod_tensor::Tensor) -> usize>(
+    /// Runs a state-based parallel prediction over the dataset and
+    /// scores it against the targets. `make_state` builds one per-worker
+    /// state (arena + tap template); `predict` must be index-keyed
+    /// deterministic.
+    fn fraction_correct_with<S: Send>(
         &self,
-        mut predict: F,
+        make_state: impl Fn() -> S + Sync,
+        predict: impl Fn(&mut S, usize, &Tensor) -> usize + Sync,
     ) -> f64 {
         mupod_obs::counter_add("eval.images", self.dataset.len() as u64);
-        let correct = self
-            .dataset
-            .images()
+        let preds = predict_all(
+            self.dataset.images(),
+            resolve_threads(self.threads),
+            make_state,
+            predict,
+        );
+        let correct = preds
             .iter()
-            .enumerate()
-            .filter(|(i, img)| predict(*i, img) == self.targets[*i])
+            .zip(&self.targets)
+            .filter(|(p, t)| p == t)
             .count();
         correct as f64 / self.dataset.len() as f64
     }
@@ -121,35 +224,51 @@ impl<'a> AccuracyEvaluator<'a> {
     /// listed layer simultaneously (Scheme 1's test, §V-C).
     ///
     /// Each image uses an independent fork of `seed`, so results do not
-    /// depend on evaluation order.
+    /// depend on evaluation order or thread count.
     pub fn accuracy_uniform_noise(&self, deltas: &HashMap<NodeId, f64>, seed: u64) -> f64 {
         let root = SeededRng::new(seed);
-        self.fraction_correct(|i, img| {
-            let mut tap = UniformNoiseTap::new(deltas.clone(), root.fork(i as u64));
-            self.net.classify_tapped(img, &mut tap)
-        })
+        self.fraction_correct_with(
+            || {
+                (
+                    ExecArena::for_network(self.net),
+                    UniformNoiseTap::new(deltas.clone(), root.fork(0)),
+                )
+            },
+            |(arena, tap), i, img| {
+                tap.set_rng(root.fork(i as u64));
+                self.net.classify_tapped_arena(img, tap, arena)
+            },
+        )
     }
 
     /// Accuracy with `N(0, σ²)` added to the logits only (Scheme 2's
     /// test, §V-C).
     pub fn accuracy_gaussian_output(&self, sigma: f64, seed: u64) -> f64 {
         let root = SeededRng::new(seed);
-        self.fraction_correct(|i, img| {
-            let acts = self.net.forward(img);
-            let mut logits = self.net.output(&acts).clone();
-            let mut rng = root.fork(i as u64);
-            gaussian_output_noise(&mut logits, sigma, &mut rng);
-            logits.argmax()
-        })
+        self.fraction_correct_with(
+            || ExecArena::for_network(self.net),
+            |arena, i, img| {
+                let acts = self.net.forward_arena(img, arena);
+                let mut logits = self.net.output(acts).clone();
+                let mut rng = root.fork(i as u64);
+                gaussian_output_noise(&mut logits, sigma, &mut rng);
+                logits.argmax()
+            },
+        )
     }
 
     /// Accuracy with each listed layer's input rounded to its format —
     /// the final validation under true fixed-point arithmetic.
     pub fn accuracy_quantized(&self, formats: &HashMap<NodeId, FixedPointFormat>) -> f64 {
-        self.fraction_correct(|_, img| {
-            let mut tap = QuantizeTap::new(formats.clone());
-            self.net.classify_tapped(img, &mut tap)
-        })
+        self.fraction_correct_with(
+            || {
+                (
+                    ExecArena::for_network(self.net),
+                    QuantizeTap::new(formats.clone()),
+                )
+            },
+            |(arena, tap), _i, img| self.net.classify_tapped_arena(img, tap, arena),
+        )
     }
 
     /// Accuracy with each listed layer's input rounded *stochastically*
@@ -161,10 +280,18 @@ impl<'a> AccuracyEvaluator<'a> {
         seed: u64,
     ) -> f64 {
         let root = SeededRng::new(seed);
-        self.fraction_correct(|i, img| {
-            let mut tap = StochasticQuantizeTap::new(formats.clone(), root.fork(i as u64));
-            self.net.classify_tapped(img, &mut tap)
-        })
+        self.fraction_correct_with(
+            || {
+                (
+                    ExecArena::for_network(self.net),
+                    StochasticQuantizeTap::new(formats.clone(), root.fork(0)),
+                )
+            },
+            |(arena, tap), i, img| {
+                tap.set_rng(root.fork(i as u64));
+                self.net.classify_tapped_arena(img, tap, arena)
+            },
+        )
     }
 
     /// Accuracy of a [`BitwidthAllocation`] whose entries correspond to
@@ -198,7 +325,10 @@ impl<'a> AccuracyEvaluator<'a> {
     ///
     /// Panics if the other network's input shape differs.
     pub fn accuracy_of_network(&self, other: &Network) -> f64 {
-        self.fraction_correct(|_, img| other.classify(img))
+        self.fraction_correct_with(
+            || ExecArena::for_network(other),
+            |arena, _i, img| other.classify_arena(img, arena),
+        )
     }
 
     /// Accuracy of a different network with per-layer input quantization
@@ -212,10 +342,25 @@ impl<'a> AccuracyEvaluator<'a> {
         other: &Network,
         formats: &HashMap<NodeId, FixedPointFormat>,
     ) -> f64 {
-        self.fraction_correct(|_, img| {
-            let mut tap = QuantizeTap::new(formats.clone());
-            other.classify_tapped(img, &mut tap)
-        })
+        self.fraction_correct_with(
+            || {
+                (
+                    ExecArena::for_network(other),
+                    QuantizeTap::new(formats.clone()),
+                )
+            },
+            |(arena, tap), _i, img| other.classify_tapped_arena(img, tap, arena),
+        )
+    }
+}
+
+/// Resolves a `threads` knob (`0` = machine parallelism) to a concrete
+/// worker count.
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
     }
 }
 
@@ -298,5 +443,38 @@ mod tests {
         let (net, data) = setup();
         let ev = AccuracyEvaluator::new(&net, &data, AccuracyMode::FpAgreement);
         assert_eq!(ev.accuracy_of_network(&net), 1.0);
+    }
+
+    #[test]
+    fn thread_count_never_changes_results() {
+        // Per-image RNG streams are index-keyed, so every accuracy number
+        // must be byte-identical at 1 and N worker threads.
+        let (net, data) = setup();
+        let ev1 = AccuracyEvaluator::with_threads(&net, &data, AccuracyMode::FpAgreement, 1);
+        let ev4 = AccuracyEvaluator::with_threads(&net, &data, AccuracyMode::FpAgreement, 4);
+        assert_eq!(ev1.fp_accuracy(), ev4.fp_accuracy());
+
+        let layers = net.dot_product_layers();
+        let deltas: HashMap<NodeId, f64> = layers.iter().map(|&l| (l, 0.05)).collect();
+        assert_eq!(
+            ev1.accuracy_uniform_noise(&deltas, 7).to_bits(),
+            ev4.accuracy_uniform_noise(&deltas, 7).to_bits()
+        );
+        assert_eq!(
+            ev1.accuracy_gaussian_output(0.3, 7).to_bits(),
+            ev4.accuracy_gaussian_output(0.3, 7).to_bits()
+        );
+        let formats: HashMap<NodeId, FixedPointFormat> = layers
+            .iter()
+            .map(|&l| (l, FixedPointFormat::new(4, 4)))
+            .collect();
+        assert_eq!(
+            ev1.accuracy_quantized(&formats).to_bits(),
+            ev4.accuracy_quantized(&formats).to_bits()
+        );
+        assert_eq!(
+            ev1.accuracy_quantized_stochastic(&formats, 9).to_bits(),
+            ev4.accuracy_quantized_stochastic(&formats, 9).to_bits()
+        );
     }
 }

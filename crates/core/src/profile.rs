@@ -12,7 +12,7 @@
 
 use mupod_nn::inventory::LayerInventory;
 use mupod_nn::tap::UniformNoiseTap;
-use mupod_nn::{ExecError, Network, NodeId, ValidateConfig};
+use mupod_nn::{ExecArena, ExecError, Network, NodeId, ValidateConfig};
 use mupod_stats::regression::FitError;
 use mupod_stats::{LinearFit, RunningStats, SeededRng};
 use mupod_tensor::Tensor;
@@ -498,8 +498,8 @@ impl<'a> Profiler<'a> {
 
         let done = std::sync::atomic::AtomicUsize::new(0);
         let total = layers.len();
-        let finish = |li: usize, layer: NodeId| {
-            let r = self.profile_one(li, layer, &clean, &inventory, &rng);
+        let finish = |li: usize, layer: NodeId, arena: &mut ExecArena| {
+            let r = self.profile_one(li, layer, &clean, &inventory, &rng, arena);
             if let Ok(p) = &r {
                 let d = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
                 self.report_progress(d, total, &p.name);
@@ -515,9 +515,10 @@ impl<'a> Profiler<'a> {
         let threads = threads.min(layers.len());
 
         if threads <= 1 {
+            let mut arena = ExecArena::for_network(self.net);
             let mut out = Vec::with_capacity(layers.len());
             for (li, &layer) in layers.iter().enumerate() {
-                out.push(finish(li, layer)?);
+                out.push(finish(li, layer, &mut arena)?);
             }
             return Ok(Profile::from_layers(out));
         }
@@ -525,7 +526,7 @@ impl<'a> Profiler<'a> {
         // Layer-parallel profiling: workers claim (index, layer) jobs off
         // a shared atomic cursor; results are reassembled in layer order.
         // Determinism holds because each layer's RNG stream depends only
-        // on its index.
+        // on its index. Each worker owns one reusable execution arena.
         let next_job = std::sync::atomic::AtomicUsize::new(0);
         let results: Vec<Result<(usize, LayerProfile), ProfileError>> =
             std::thread::scope(|scope| {
@@ -534,13 +535,14 @@ impl<'a> Profiler<'a> {
                     let next_job = &next_job;
                     let finish = &finish;
                     handles.push(scope.spawn(move || {
+                        let mut arena = ExecArena::for_network(self.net);
                         let mut local = Vec::new();
                         loop {
                             let li = next_job.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             let Some(&layer) = layers.get(li) else {
                                 break;
                             };
-                            local.push(finish(li, layer).map(|p| (li, p)));
+                            local.push(finish(li, layer, &mut arena).map(|p| (li, p)));
                         }
                         local
                     }));
@@ -601,13 +603,14 @@ impl<'a> Profiler<'a> {
         clean: &[mupod_nn::Activations],
         inventory: &LayerInventory,
         rng: &SeededRng,
+        arena: &mut ExecArena,
     ) -> Result<LayerProfile, ProfileError> {
         self.cancel_checkpoint()?;
         let info = inventory
             .find(layer)
             .ok_or(ProfileError::NotAnalyzable(layer))?;
         let _span = mupod_obs::span_fields("profile.layer", &[("layer", &info.name)]);
-        let profile = self.profile_layer(layer, clean, info.max_abs, rng, li)?;
+        let profile = self.profile_layer(layer, clean, info.max_abs, rng, li, arena)?;
         mupod_obs::counter_add("profile.layers_profiled", 1);
         mupod_obs::counter_add("profile.deltas_injected", self.config.n_deltas as u64);
         mupod_obs::histogram_record("profile.r_squared", profile.r_squared);
@@ -631,6 +634,7 @@ impl<'a> Profiler<'a> {
         max_abs: f64,
         rng: &SeededRng,
         layer_index: usize,
+        arena: &mut ExecArena,
     ) -> Result<LayerProfile, ProfileError> {
         let cfg = &self.config;
         let validate = cfg.guard.validate_activations;
@@ -651,26 +655,33 @@ impl<'a> Profiler<'a> {
                         ^ ((rep as u64) << 14)
                         ^ i as u64;
                     let mut tap = UniformNoiseTap::single(layer, delta, rng.fork(stream));
-                    let noisy = match (cfg.full_replay, validate) {
+                    // All four paths run on the per-worker arena: zero
+                    // heap allocation per replay, bit-identical numerics
+                    // (asserted by the mupod-nn arena test suite).
+                    let noisy: &Tensor = match (cfg.full_replay, validate) {
                         (true, true) => {
-                            let acts = self.net.forward_tapped_checked(
+                            let acts = self.net.forward_tapped_checked_arena(
                                 img,
                                 &mut tap,
                                 ValidateConfig::default(),
+                                arena,
                             )?;
-                            self.net.output(&acts).clone()
+                            self.net.output(acts)
                         }
                         (true, false) => {
-                            let acts = self.net.forward_tapped(img, &mut tap);
-                            self.net.output(&acts).clone()
+                            let acts = self.net.forward_tapped_arena(img, &mut tap, arena);
+                            self.net.output(acts)
                         }
-                        (false, true) => self.net.forward_suffix_checked(
+                        (false, true) => self.net.forward_suffix_checked_arena(
                             base,
                             layer,
                             &mut tap,
                             ValidateConfig::default(),
+                            arena,
                         )?,
-                        (false, false) => self.net.forward_suffix(base, layer, &mut tap),
+                        (false, false) => {
+                            self.net.forward_suffix_arena(base, layer, &mut tap, arena)
+                        }
                     };
                     let ref_out = self.net.output(base);
                     for (a, b) in noisy.data().iter().zip(ref_out.data()) {

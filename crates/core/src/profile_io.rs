@@ -570,9 +570,10 @@ impl<'a> Profiler<'a> {
             };
             let threads = threads.min(remaining.len());
             let computed_profiles: Vec<(usize, LayerProfile)> = if threads <= 1 {
+                let mut arena = mupod_nn::ExecArena::for_network(self.net);
                 let mut out = Vec::with_capacity(remaining.len());
                 for &(li, layer) in &remaining {
-                    let p = self.profile_one(li, layer, &clean, &inventory, &rng)?;
+                    let p = self.profile_one(li, layer, &clean, &inventory, &rng, &mut arena)?;
                     append_record(&mut file, li, &p)?;
                     self.report_progress(resumed + out.len() + 1, layers.len(), &p.name);
                     out.push((li, p));
@@ -637,16 +638,20 @@ impl<'a> Profiler<'a> {
                 for _ in 0..threads {
                     let tx = tx.clone();
                     let next_job = &next_job;
-                    scope.spawn(move || loop {
-                        let pos = next_job.fetch_add(1, Ordering::Relaxed);
-                        let Some(&(li, layer)) = jobs.get(pos) else {
-                            break;
-                        };
-                        let res = self.profile_one(li, layer, clean, inventory, rng);
-                        // A send failure means the committer bailed on an
-                        // earlier error; just stop working.
-                        if tx.send((pos, res)).is_err() {
-                            break;
+                    scope.spawn(move || {
+                        let mut arena = mupod_nn::ExecArena::for_network(self.net);
+                        loop {
+                            let pos = next_job.fetch_add(1, Ordering::Relaxed);
+                            let Some(&(li, layer)) = jobs.get(pos) else {
+                                break;
+                            };
+                            let res =
+                                self.profile_one(li, layer, clean, inventory, rng, &mut arena);
+                            // A send failure means the committer bailed on
+                            // an earlier error; just stop working.
+                            if tx.send((pos, res)).is_err() {
+                                break;
+                            }
                         }
                     });
                 }

@@ -12,10 +12,121 @@
 //! max over its samples. When the binary is invoked with `--test` (as
 //! `cargo test --benches` does), benchmarks are skipped after setup so
 //! the test suite stays fast.
+//!
+//! ## Machine-readable output
+//!
+//! Every completed benchmark is also accumulated process-globally, and
+//! `criterion_main!` finishes by writing `BENCH_<binary>.json` (schema
+//! `mupod-bench-v1`, times in nanoseconds) so CI and the repo's recorded
+//! baselines can diff runs without parsing human-oriented text. Two
+//! environment variables control this:
+//!
+//! * `MUPOD_BENCH_DIR` — output directory (default: current directory);
+//! * `MUPOD_BENCH_SAMPLES` — overrides every group's sample count, for
+//!   quick smoke runs in CI.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Summary statistics of one completed benchmark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Group name (first component of the printed `group/bench` id).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub bench: String,
+    /// Fastest sample, nanoseconds.
+    pub min_ns: u128,
+    /// Mean over all samples, nanoseconds.
+    pub mean_ns: u128,
+    /// Slowest sample, nanoseconds.
+    pub max_ns: u128,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// Process-global accumulator behind [`write_bench_json`].
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+fn push_record(rec: BenchRecord) {
+    if let Ok(mut r) = RESULTS.lock() {
+        r.push(rec);
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders records as the `mupod-bench-v1` JSON document.
+fn render_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"mupod-bench-v1\",\n  \"benches\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"group\": \"{}\", \"bench\": \"{}\", \"min_ns\": {}, \"mean_ns\": {}, \"max_ns\": {}, \"samples\": {}}}{comma}\n",
+            json_escape(&r.group),
+            json_escape(&r.bench),
+            r.min_ns,
+            r.mean_ns,
+            r.max_ns,
+            r.samples,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The benchmark binary's name with cargo's `-<16-hex>` disambiguation
+/// suffix stripped, or `bench` when the executable path is unavailable.
+fn bench_stem() -> String {
+    let stem = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "bench".to_string());
+    match stem.rsplit_once('-') {
+        Some((base, suffix))
+            if suffix.len() == 16 && suffix.chars().all(|c| c.is_ascii_hexdigit()) =>
+        {
+            base.to_string()
+        }
+        _ => stem,
+    }
+}
+
+/// Writes all accumulated benchmark records as `BENCH_<binary>.json` in
+/// `MUPOD_BENCH_DIR` (default: the current directory).
+///
+/// Called automatically by `criterion_main!` after every group has run.
+/// A run with no samples (e.g. `--test` mode) writes nothing; I/O errors
+/// are reported on stderr and never panic.
+pub fn write_bench_json() {
+    let records = match RESULTS.lock() {
+        Ok(r) => r.clone(),
+        Err(_) => return,
+    };
+    if records.is_empty() {
+        return;
+    }
+    let dir = std::env::var("MUPOD_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{}.json", bench_stem()));
+    // lint:allow(atomic-artifact-io) reason=this crate is a dependency-free stand-in for the external criterion crate and cannot depend on mupod-runtime; bench JSON is advisory output, not a resumable pipeline artifact
+    match std::fs::write(&path, render_json(&records)) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+    }
+}
 
 /// Top-level benchmark driver handed to `criterion_group!` functions.
 #[derive(Debug)]
@@ -108,9 +219,14 @@ impl BenchmarkGroup<'_> {
             println!("{full}: skipped (--test mode)");
             return;
         }
+        // Quick-mode override for CI smoke runs.
+        let sample_size = std::env::var("MUPOD_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map_or(self.sample_size, |n| n.max(1));
         let mut b = Bencher {
-            samples: Vec::with_capacity(self.sample_size),
-            sample_size: self.sample_size,
+            samples: Vec::with_capacity(sample_size),
+            sample_size,
         };
         f(&mut b);
         if b.samples.is_empty() {
@@ -124,6 +240,14 @@ impl BenchmarkGroup<'_> {
             "{full}: min {min:?}  mean {mean:?}  max {max:?}  ({} samples)",
             b.samples.len()
         );
+        push_record(BenchRecord {
+            group: self.name.clone(),
+            bench: id.to_string(),
+            min_ns: min.as_nanos(),
+            mean_ns: mean.as_nanos(),
+            max_ns: max.as_nanos(),
+            samples: b.samples.len(),
+        });
     }
 }
 
@@ -159,11 +283,15 @@ macro_rules! criterion_group {
 }
 
 /// Generates `main` from one or more `criterion_group!` entries.
+///
+/// After every group has run, the accumulated results are written as
+/// `BENCH_<binary>.json` (see [`write_bench_json`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_bench_json();
         }
     };
 }
@@ -187,5 +315,56 @@ mod tests {
     #[test]
     fn group_and_bench_apis_run() {
         benches();
+    }
+
+    #[test]
+    fn render_json_is_schema_v1() {
+        let records = vec![
+            BenchRecord {
+                group: "g".into(),
+                bench: "fast/16".into(),
+                min_ns: 10,
+                mean_ns: 20,
+                max_ns: 30,
+                samples: 5,
+            },
+            BenchRecord {
+                group: "g".into(),
+                bench: "with \"quote\"".into(),
+                min_ns: 1,
+                mean_ns: 2,
+                max_ns: 3,
+                samples: 1,
+            },
+        ];
+        let json = render_json(&records);
+        assert!(json.contains("\"schema\": \"mupod-bench-v1\""));
+        assert!(json.contains("\"bench\": \"fast/16\""));
+        assert!(json.contains("\\\"quote\\\""), "quotes must be escaped");
+        assert!(json.contains("\"min_ns\": 10"));
+        // Exactly one trailing comma between the two records, none after
+        // the last: the document must stay strict JSON.
+        assert_eq!(json.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn bench_stem_strips_cargo_hash() {
+        // Indirect check via the same suffix rule render path uses.
+        let cases = [
+            ("inference-0123456789abcdef", "inference"),
+            ("inference", "inference"),
+            ("has-dash-short", "has-dash-short"),
+        ];
+        for (input, want) in cases {
+            let got = match input.rsplit_once('-') {
+                Some((base, suffix))
+                    if suffix.len() == 16 && suffix.chars().all(|c| c.is_ascii_hexdigit()) =>
+                {
+                    base.to_string()
+                }
+                _ => input.to_string(),
+            };
+            assert_eq!(got, want, "{input}");
+        }
     }
 }

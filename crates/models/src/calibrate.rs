@@ -18,7 +18,7 @@
 //!   the convolution.
 
 use mupod_data::Dataset;
-use mupod_nn::{Network, NodeId, Op};
+use mupod_nn::{ExecArena, Network, NodeId, Op};
 use mupod_stats::linalg::{ridge_regression, Matrix, SolveError};
 use mupod_tensor::pool::global_avg_pool;
 use mupod_tensor::Tensor;
@@ -100,8 +100,12 @@ fn identify_head(net: &Network) -> Result<Head, CalibrateError> {
 }
 
 /// Extracts the probe feature vector for one image.
-fn features(net: &Network, head: &Head, image: &Tensor) -> Vec<f64> {
-    let acts = net.forward(image);
+///
+/// Runs on a caller-owned [`ExecArena`] so the per-image forward pass
+/// allocates nothing; results are bit-identical to the allocating
+/// executor.
+fn features(net: &Network, head: &Head, image: &Tensor, arena: &mut ExecArena) -> Vec<f64> {
+    let acts = net.forward_arena(image, arena);
     match head {
         Head::Fc(fc) => {
             let producer = net.node(*fc).inputs[0];
@@ -142,17 +146,59 @@ pub fn calibrate_head(
     if dataset.is_empty() {
         return Err(CalibrateError::EmptyDataset);
     }
+    let mut arena = ExecArena::for_network(net);
+    let accuracy_before = dataset.accuracy_of(|img| net.classify_arena(img, &mut arena));
+    let (head_layer, feature_dim) = fit_head(net, dataset, alpha, &mut arena)?;
+    let accuracy_after = dataset.accuracy_of(|img| net.classify_arena(img, &mut arena));
+    Ok(CalibrationReport {
+        head_layer,
+        accuracy_before,
+        accuracy_after,
+        feature_dim,
+    })
+}
+
+/// [`calibrate_head`] without the before/after accuracy sweeps.
+///
+/// The sweeps exist only to fill [`CalibrationReport`]; they cost two
+/// full passes over the dataset, which dominates pipeline start-up when
+/// the caller discards the report (as the CLI's prepare stage does). The
+/// fitted weights are bit-identical to [`calibrate_head`]'s.
+///
+/// # Errors
+///
+/// As for [`calibrate_head`].
+pub fn calibrate_head_quick(
+    net: &mut Network,
+    dataset: &Dataset,
+    alpha: f64,
+) -> Result<(), CalibrateError> {
+    if dataset.is_empty() {
+        return Err(CalibrateError::EmptyDataset);
+    }
+    let mut arena = ExecArena::for_network(net);
+    fit_head(net, dataset, alpha, &mut arena).map(|_| ())
+}
+
+/// Shared core of the calibrators: fits the ridge probe and writes the
+/// head weights back, returning the head layer's name and the feature
+/// dimensionality.
+fn fit_head(
+    net: &mut Network,
+    dataset: &Dataset,
+    alpha: f64,
+    arena: &mut ExecArena,
+) -> Result<(String, usize), CalibrateError> {
     let head = identify_head(net)?;
     let classes = dataset.spec().classes;
-    let accuracy_before = dataset.accuracy_of(|img| net.classify(img));
 
     // Design matrix with a trailing bias column of ones.
     let n = dataset.len();
-    let d = features(net, &head, dataset.sample(0).0).len();
+    let d = features(net, &head, dataset.sample(0).0, arena).len();
     let mut x = Matrix::zeros(n, d + 1);
     let mut y = Matrix::zeros(n, classes);
     for (i, (img, label)) in dataset.iter().enumerate() {
-        let f = features(net, &head, img);
+        let f = features(net, &head, img, arena);
         let row = x.row_mut(i);
         row[..d].copy_from_slice(&f);
         row[d] = 1.0;
@@ -197,14 +243,7 @@ pub fn calibrate_head(
         _ => unreachable!("head is a dot-product layer by construction"),
     };
     net.set_layer_weights(head_id, weight, bias);
-
-    let accuracy_after = dataset.accuracy_of(|img| net.classify(img));
-    Ok(CalibrationReport {
-        head_layer: head_name,
-        accuracy_before,
-        accuracy_after,
-        feature_dim: d,
-    })
+    Ok((head_name, d))
 }
 
 #[cfg(test)]

@@ -4,9 +4,11 @@
 use crate::graph::Network;
 use crate::layer::{NodeId, Op};
 use crate::tap::InputTap;
-use mupod_tensor::conv::conv2d;
-use mupod_tensor::gemm::matvec;
-use mupod_tensor::pool::{avg_pool2d, global_avg_pool, lrn_across_channels, max_pool2d};
+use mupod_tensor::conv::conv2d_into;
+use mupod_tensor::gemm::matvec_into;
+use mupod_tensor::pool::{
+    avg_pool2d_into, global_avg_pool_into, lrn_across_channels_into, max_pool2d_into,
+};
 use mupod_tensor::{Tensor, TensorError};
 
 /// What the validated forward variants check at each layer boundary.
@@ -90,6 +92,16 @@ pub struct Activations {
 }
 
 impl Activations {
+    /// Wraps pre-built per-node tensors (arena construction).
+    pub(crate) fn from_tensors(tensors: Vec<Tensor>) -> Self {
+        Self { tensors }
+    }
+
+    /// Mutable access to the slot vector (arena execution).
+    pub(crate) fn tensors_mut(&mut self) -> &mut Vec<Tensor> {
+        &mut self.tensors
+    }
+
     /// Activation of a node.
     ///
     /// # Panics
@@ -110,12 +122,64 @@ impl Activations {
     }
 }
 
-/// Evaluates one operator given its input tensors.
+/// Output shape of one operator given its input tensors.
+///
+/// The single source of truth shared by the allocating and arena
+/// executors; [`crate::ExecArena`] slots are pre-shaped from the same
+/// dimensions the build-time dry run records.
+///
+/// # Panics
+///
+/// Panics on operand-shape mismatches gross enough to make the output
+/// shape undefined (finer mismatches are caught by [`eval_op_into`]).
+pub(crate) fn op_output_dims(op: &Op, inputs: &[&Tensor]) -> Vec<usize> {
+    match op {
+        // lint:allow(no-panic-path) reason=executor seeds Input nodes from the image and never schedules them for evaluation
+        Op::Input => unreachable!("input placeholder is never evaluated"),
+        Op::Conv2d { params, .. } => {
+            assert_eq!(inputs[0].dims().len(), 3, "conv2d expects a CHW input");
+            let (oh, ow) = params.out_spatial(inputs[0].dims()[1], inputs[0].dims()[2]);
+            vec![params.out_channels, oh, ow]
+        }
+        Op::FullyConnected { weight, .. } => vec![weight.dims()[0]],
+        Op::ReLU | Op::Lrn { .. } | Op::ChannelAffine { .. } | Op::Add => inputs[0].dims().to_vec(),
+        Op::MaxPool(p) | Op::AvgPool(p) => {
+            assert_eq!(inputs[0].dims().len(), 3, "pooling expects a CHW tensor");
+            let (oh, ow) = p.out_spatial(inputs[0].dims()[1], inputs[0].dims()[2]);
+            vec![inputs[0].dims()[0], oh, ow]
+        }
+        Op::GlobalAvgPool => {
+            assert_eq!(inputs[0].dims().len(), 3, "pooling expects a CHW tensor");
+            vec![inputs[0].dims()[0]]
+        }
+        Op::Concat => {
+            let h = inputs[0].dims()[1];
+            let w = inputs[0].dims()[2];
+            let mut total_c = 0;
+            for p in inputs {
+                assert_eq!(p.dims().len(), 3, "concat expects CHW tensors");
+                assert_eq!(p.dims()[1], h, "spatial height mismatch in concat");
+                assert_eq!(p.dims()[2], w, "spatial width mismatch in concat");
+                total_c += p.dims()[0];
+            }
+            vec![total_c, h, w]
+        }
+        Op::Flatten | Op::Softmax => vec![inputs[0].numel()],
+    }
+}
+
+/// Evaluates one operator into a pre-shaped output tensor.
+///
+/// `out` must already have the shape [`op_output_dims`] reports; its
+/// contents are fully overwritten. `patches` is the reusable im2col
+/// scratch (grown on demand, never shrunk). Both the allocating
+/// [`eval_op`] and the arena executor route through this function, so
+/// the two paths cannot diverge numerically.
 ///
 /// # Panics
 ///
 /// Panics on operand-shape mismatches (the tensor kernels validate).
-pub(crate) fn eval_op(op: &Op, inputs: &[&Tensor]) -> Tensor {
+pub(crate) fn eval_op_into(op: &Op, inputs: &[&Tensor], out: &mut Tensor, patches: &mut Vec<f32>) {
     match op {
         // lint:allow(no-panic-path) reason=executor seeds Input nodes from the image and never schedules them for evaluation
         Op::Input => unreachable!("input placeholder is never evaluated"),
@@ -123,70 +187,119 @@ pub(crate) fn eval_op(op: &Op, inputs: &[&Tensor]) -> Tensor {
             params,
             weight,
             bias,
-        } => conv2d(inputs[0], weight, Some(bias), params),
+        } => conv2d_into(
+            inputs[0],
+            weight,
+            Some(bias),
+            params,
+            patches,
+            out.data_mut(),
+        ),
         Op::FullyConnected { weight, bias } => {
             assert_eq!(
                 inputs[0].dims().len(),
                 1,
                 "fully-connected input must be rank 1 (insert a flatten)"
             );
-            let out_dim = weight.dims()[0];
-            let in_dim = weight.dims()[1];
-            let out = matvec(out_dim, in_dim, weight.data(), inputs[0].data(), Some(bias));
-            Tensor::from_vec(&[out_dim], out)
+            matvec_into(
+                weight.dims()[0],
+                weight.dims()[1],
+                weight.data(),
+                inputs[0].data(),
+                Some(bias),
+                out.data_mut(),
+            );
         }
         Op::ReLU => {
-            let mut t = inputs[0].clone();
-            t.map_inplace(|v| v.max(0.0));
-            t
+            assert_eq!(out.numel(), inputs[0].numel(), "relu output size mismatch");
+            for (o, &v) in out.data_mut().iter_mut().zip(inputs[0].data()) {
+                *o = v.max(0.0);
+            }
         }
-        Op::MaxPool(p) => max_pool2d(inputs[0], p),
-        Op::AvgPool(p) => avg_pool2d(inputs[0], p),
-        Op::GlobalAvgPool => global_avg_pool(inputs[0]),
+        Op::MaxPool(p) => max_pool2d_into(inputs[0], p, out.data_mut()),
+        Op::AvgPool(p) => avg_pool2d_into(inputs[0], p, out.data_mut()),
+        Op::GlobalAvgPool => global_avg_pool_into(inputs[0], out.data_mut()),
         Op::Lrn {
             local_size,
             alpha,
             beta,
             k,
-        } => lrn_across_channels(inputs[0], *local_size, *alpha, *beta, *k),
+        } => lrn_across_channels_into(inputs[0], *local_size, *alpha, *beta, *k, out.data_mut()),
         Op::ChannelAffine { scale, shift } => {
             let t = inputs[0];
             assert_eq!(t.dims().len(), 3, "channel affine expects CHW");
             let (c, h, w) = (t.dims()[0], t.dims()[1], t.dims()[2]);
             assert_eq!(scale.len(), c, "affine channel count mismatch");
-            let mut out = t.clone();
+            assert_eq!(out.numel(), t.numel(), "affine output size mismatch");
             let data = out.data_mut();
             for ci in 0..c {
                 let (s, b) = (scale[ci], shift[ci]);
-                for v in &mut data[ci * h * w..(ci + 1) * h * w] {
-                    *v = s * *v + b;
+                let src = &t.data()[ci * h * w..(ci + 1) * h * w];
+                for (o, &v) in data[ci * h * w..(ci + 1) * h * w].iter_mut().zip(src) {
+                    *o = s * v + b;
                 }
             }
-            out
         }
         Op::Add => {
-            let mut out = inputs[0].clone();
+            assert_eq!(out.dims(), inputs[0].dims(), "add output shape mismatch");
+            out.data_mut().copy_from_slice(inputs[0].data());
             for t in &inputs[1..] {
-                out.add_assign(t);
+                assert_eq!(t.dims(), inputs[0].dims(), "shape mismatch in add_assign");
+                for (o, &v) in out.data_mut().iter_mut().zip(t.data()) {
+                    *o += v;
+                }
             }
-            out
         }
-        Op::Concat => Tensor::concat_channels(inputs),
-        Op::Flatten => inputs[0].reshaped(&[inputs[0].numel()]),
+        Op::Concat => {
+            let total: usize = inputs.iter().map(|t| t.numel()).sum();
+            assert_eq!(out.numel(), total, "concat output size mismatch");
+            let mut off = 0;
+            for p in inputs {
+                out.data_mut()[off..off + p.numel()].copy_from_slice(p.data());
+                off += p.numel();
+            }
+        }
+        Op::Flatten => {
+            assert_eq!(
+                out.numel(),
+                inputs[0].numel(),
+                "flatten output size mismatch"
+            );
+            out.data_mut().copy_from_slice(inputs[0].data());
+        }
         Op::Softmax => {
             assert_eq!(inputs[0].dims().len(), 1, "softmax expects rank 1");
+            assert_eq!(
+                out.numel(),
+                inputs[0].numel(),
+                "softmax output size mismatch"
+            );
             let max = inputs[0]
                 .data()
                 .iter()
                 .fold(f32::NEG_INFINITY, |m, &v| m.max(v));
-            let exp: Vec<f32> = inputs[0].data().iter().map(|&v| (v - max).exp()).collect();
-            let sum: f32 = exp.iter().sum();
-            Tensor::from_vec(
-                &[inputs[0].numel()],
-                exp.into_iter().map(|v| v / sum).collect(),
-            )
+            for (o, &v) in out.data_mut().iter_mut().zip(inputs[0].data()) {
+                *o = (v - max).exp();
+            }
+            let sum: f32 = out.data().iter().sum();
+            for o in out.data_mut() {
+                *o /= sum;
+            }
         }
     }
+}
+
+/// Evaluates one operator given its input tensors, allocating the output.
+///
+/// # Panics
+///
+/// Panics on operand-shape mismatches (the tensor kernels validate).
+pub(crate) fn eval_op(op: &Op, inputs: &[&Tensor]) -> Tensor {
+    let dims = op_output_dims(op, inputs);
+    let mut out = Tensor::zeros(&dims);
+    let mut patches = Vec::new();
+    eval_op_into(op, inputs, &mut out, &mut patches);
+    out
 }
 
 impl Network {

@@ -45,6 +45,7 @@
 //! assert_eq!(net.output(&acts).dims(), &[2]);
 //! ```
 
+mod arena;
 mod describe;
 mod exec;
 mod graph;
@@ -52,6 +53,7 @@ pub mod inventory;
 mod layer;
 pub mod tap;
 
+pub use arena::ExecArena;
 pub use exec::{Activations, ExecError, ValidateConfig};
 pub use graph::{BuildError, Network, NetworkBuilder};
 pub use layer::{Node, NodeId, Op};

@@ -83,6 +83,15 @@ impl UniformNoiseTap {
     pub fn delta(&self, node: NodeId) -> Option<f64> {
         self.deltas.get(&node).copied()
     }
+
+    /// Replaces the noise source, keeping the per-layer half-widths.
+    ///
+    /// Parallel evaluators clone one template tap per worker and re-seed
+    /// it with a per-image forked stream, so determinism is keyed to the
+    /// image index rather than the worker schedule.
+    pub fn set_rng(&mut self, rng: SeededRng) {
+        self.rng = rng;
+    }
 }
 
 impl InputTap for UniformNoiseTap {
@@ -155,6 +164,12 @@ impl StochasticQuantizeTap {
     /// Builds a tap from per-layer formats and a seeded noise source.
     pub fn new(formats: HashMap<NodeId, FixedPointFormat>, rng: SeededRng) -> Self {
         Self { formats, rng }
+    }
+
+    /// Replaces the rounding-noise source, keeping the formats (see
+    /// [`UniformNoiseTap::set_rng`]).
+    pub fn set_rng(&mut self, rng: SeededRng) {
+        self.rng = rng;
     }
 }
 

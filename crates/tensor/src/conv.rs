@@ -6,7 +6,7 @@
 //! benchmarks. Grouped convolution covers both AlexNet's two-group layers
 //! and MobileNet's depthwise layers (`groups == in_channels`).
 
-use crate::gemm::gemm;
+use crate::gemm::gemm_tiled;
 use crate::Tensor;
 
 /// Geometry of a 2-D convolution.
@@ -126,6 +126,24 @@ impl Conv2dParams {
 ///
 /// Panics if `input` is not rank 3 or `group` is out of range.
 pub fn im2col(input: &Tensor, params: &Conv2dParams, group: usize) -> Vec<f32> {
+    let (h, w) = (input.dims()[1], input.dims()[2]);
+    let gc = params.in_channels / params.groups;
+    let (oh, ow) = params.out_spatial(h, w);
+    let k = params.kernel;
+    let mut out = vec![0.0f32; gc * k * k * oh * ow];
+    im2col_into(input, params, group, &mut out);
+    out
+}
+
+/// [`im2col`] writing into a caller-owned scratch slice (the arena fast
+/// path). `out` must hold exactly `(group_in_c · k²) · (oh · ow)`
+/// elements; it is fully overwritten, including the zero padding.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank 3, `group` is out of range, or `out`
+/// has the wrong length.
+pub fn im2col_into(input: &Tensor, params: &Conv2dParams, group: usize, out: &mut [f32]) {
     assert_eq!(input.dims().len(), 3, "im2col expects a CHW tensor");
     assert!(group < params.groups, "group index out of range");
     let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
@@ -133,7 +151,10 @@ pub fn im2col(input: &Tensor, params: &Conv2dParams, group: usize) -> Vec<f32> {
     let gc = params.in_channels / params.groups;
     let (oh, ow) = params.out_spatial(h, w);
     let k = params.kernel;
-    let mut out = vec![0.0f32; gc * k * k * oh * ow];
+    assert_eq!(out.len(), gc * k * k * oh * ow, "im2col scratch mismatch");
+    // Padding positions are never written below, so a reused buffer must
+    // be cleared first.
+    out.fill(0.0);
     let data = input.data();
     let cols = oh * ow;
     for gci in 0..gc {
@@ -160,7 +181,6 @@ pub fn im2col(input: &Tensor, params: &Conv2dParams, group: usize) -> Vec<f32> {
             }
         }
     }
-    out
 }
 
 fn check_conv_args(input: &Tensor, weight: &Tensor, bias: Option<&[f32]>, p: &Conv2dParams) {
@@ -176,7 +196,7 @@ fn check_conv_args(input: &Tensor, weight: &Tensor, bias: Option<&[f32]>, p: &Co
     }
 }
 
-/// 2-D convolution via im2col + GEMM (the fast path).
+/// 2-D convolution via im2col + tiled GEMM (the fast path).
 ///
 /// `input` is CHW, `weight` is `[OutC, InC/groups, K, K]`, output is CHW.
 ///
@@ -184,6 +204,33 @@ fn check_conv_args(input: &Tensor, weight: &Tensor, bias: Option<&[f32]>, p: &Co
 ///
 /// Panics on any shape mismatch (see [`Conv2dParams`]).
 pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&[f32]>, p: &Conv2dParams) -> Tensor {
+    let (h, w) = (input.dims()[1], input.dims()[2]);
+    let (oh, ow) = p.out_spatial(h, w);
+    let mut out = vec![0.0f32; p.out_channels * oh * ow];
+    let mut patches = Vec::new();
+    conv2d_into(input, weight, bias, p, &mut patches, &mut out);
+    Tensor::from_vec(&[p.out_channels, oh, ow], out)
+}
+
+/// [`conv2d`] writing into caller-owned buffers (the arena fast path).
+///
+/// `patches` is the reusable im2col scratch — grown on demand, never
+/// shrunk, so a warm caller performs zero heap allocation. `out` must
+/// hold exactly `out_channels · oh · ow` elements and is fully
+/// overwritten. Numerics are bit-identical to [`conv2d`]: both run the
+/// same im2col + [`gemm_tiled`] + bias sequence.
+///
+/// # Panics
+///
+/// Panics on any shape mismatch.
+pub fn conv2d_into(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    p: &Conv2dParams,
+    patches: &mut Vec<f32>,
+    out: &mut [f32],
+) {
     check_conv_args(input, weight, bias, p);
     let (h, w) = (input.dims()[1], input.dims()[2]);
     let (oh, ow) = p.out_spatial(h, w);
@@ -191,12 +238,22 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&[f32]>, p: &Conv2dP
     let gc_in = p.in_channels / p.groups;
     let gc_out = p.out_channels / p.groups;
     let kk = p.kernel * p.kernel;
-    let mut out = vec![0.0f32; p.out_channels * cols];
+    assert_eq!(
+        out.len(),
+        p.out_channels * cols,
+        "conv output size mismatch"
+    );
+    out.fill(0.0);
+    let patch_len = gc_in * kk * cols;
+    if patches.len() < patch_len {
+        patches.resize(patch_len, 0.0);
+    }
+    let patch = &mut patches[..patch_len];
     for g in 0..p.groups {
-        let patches = im2col(input, p, g);
+        im2col_into(input, p, g, patch);
         let w_group = &weight.data()[g * gc_out * gc_in * kk..(g + 1) * gc_out * gc_in * kk];
         let c_group = &mut out[g * gc_out * cols..(g + 1) * gc_out * cols];
-        gemm(gc_out, gc_in * kk, cols, w_group, &patches, c_group);
+        gemm_tiled(gc_out, gc_in * kk, cols, w_group, patch, c_group);
     }
     if let Some(b) = bias {
         for (oc, &bv) in b.iter().enumerate() {
@@ -205,7 +262,6 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&[f32]>, p: &Conv2dP
             }
         }
     }
-    Tensor::from_vec(&[p.out_channels, oh, ow], out)
 }
 
 /// Naive direct 2-D convolution (reference implementation).

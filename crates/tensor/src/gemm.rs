@@ -2,12 +2,32 @@
 //!
 //! Convolution lowers to GEMM through im2col (see [`crate::conv`]); the
 //! fully-connected layers of every network in the model zoo call
-//! [`matvec`] directly. The loops use the `i-k-j` order so the innermost
-//! loop streams both `b` and `c` rows sequentially, which is the main
-//! thing that matters for a scalar CPU kernel.
+//! [`matvec`] directly. Two GEMM kernels are provided:
+//!
+//! * [`gemm`] — the plain scalar `i-k-j` kernel, kept as the
+//!   cross-validation reference.
+//! * [`gemm_tiled`] — the production kernel: cache-blocked over `j` and
+//!   `k` so a `KB×NB` panel of `b` stays resident in L1 while every row
+//!   of `a` streams over it. The blocking only reorders *which* output
+//!   elements are touched when; for any single `c[i][j]` the additions
+//!   still happen in ascending-`k` order, accumulating directly into the
+//!   output — so the result is **bit-identical** to [`gemm`] (floats
+//!   reassociate nowhere), which the proptest suite asserts.
+
+/// Column-block width of [`gemm_tiled`]: `KB·NB` f32 = 128 KiB, sized to
+/// keep one `b` panel resident in a typical L2 cache while the register
+/// tiles stream through L1.
+const NB: usize = 128;
+/// Depth-block height of [`gemm_tiled`] (see [`NB`]).
+const KB: usize = 256;
+/// Register-tile width of [`gemm_tiled`]: one row of `c` is accumulated
+/// in a `[f32; JR]` local (kept in SIMD registers by the autovectorizer)
+/// across a whole `k` block, so `c` traffic drops from once per `k` step
+/// to once per block. Must divide [`NB`].
+const JR: usize = 16;
 
 /// Computes `c += a · b` where `a` is `m×k`, `b` is `k×n`, `c` is `m×n`,
-/// all row-major.
+/// all row-major. Scalar reference kernel.
 ///
 /// # Panics
 ///
@@ -32,6 +52,76 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     }
 }
 
+/// Computes `c += a · b` like [`gemm`], but cache-blocked — the
+/// production kernel behind [`crate::conv::conv2d`].
+///
+/// Bit-identical to [`gemm`]: per output element the `k`-accumulation
+/// order and the exact-zero skip are preserved; only the traversal of
+/// `(j, k)` blocks changes. See the module docs for the argument.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given dimensions.
+pub fn gemm_tiled(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "lhs size mismatch");
+    assert_eq!(b.len(), k * n, "rhs size mismatch");
+    assert_eq!(c.len(), m * n, "output size mismatch");
+    mupod_obs::counter_add("tensor.gemm_calls", 1);
+    mupod_obs::counter_add("tensor.gemm_macs", (m * k * n) as u64);
+    let mut j0 = 0;
+    while j0 < n {
+        let jb = NB.min(n - j0);
+        let mut k0 = 0;
+        while k0 < k {
+            let kb = KB.min(k - k0);
+            for i in 0..m {
+                let a_blk = &a[i * k + k0..i * k + k0 + kb];
+                // Full-width register tiles: accumulate `JR` outputs in a
+                // local array across the whole `k` block, then write back
+                // once. Per output element the additions still run in
+                // ascending-`k` order, so this is bit-identical to the
+                // scalar kernel.
+                let mut jt = 0;
+                while jt + JR <= jb {
+                    let c_off = i * n + j0 + jt;
+                    let mut acc = [0.0f32; JR];
+                    acc.copy_from_slice(&c[c_off..c_off + JR]);
+                    for (dk, &av) in a_blk.iter().enumerate() {
+                        // lint:allow(no-float-eq) reason=sparsity fast path: only exactly-zero operands may skip the inner product without changing the result
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let b_off = (k0 + dk) * n + j0 + jt;
+                        let b_row = &b[b_off..b_off + JR];
+                        for (av_c, &bv) in acc.iter_mut().zip(b_row) {
+                            *av_c += av * bv;
+                        }
+                    }
+                    c[c_off..c_off + JR].copy_from_slice(&acc);
+                    jt += JR;
+                }
+                // Ragged tail narrower than a register tile: plain axpy.
+                if jt < jb {
+                    let c_row = &mut c[i * n + j0 + jt..i * n + j0 + jb];
+                    for (dk, &av) in a_blk.iter().enumerate() {
+                        // lint:allow(no-float-eq) reason=sparsity fast path: only exactly-zero operands may skip the inner product without changing the result
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let b_off = (k0 + dk) * n + j0 + jt;
+                        let b_row = &b[b_off..b_off + (jb - jt)];
+                        for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                            *cv += av * bv;
+                        }
+                    }
+                }
+            }
+            k0 += kb;
+        }
+        j0 += jb;
+    }
+}
+
 /// Computes `out = w · x + bias` where `w` is `out_dim×in_dim` row-major.
 ///
 /// `bias` may be `None` for a bias-free product.
@@ -46,12 +136,32 @@ pub fn matvec(
     x: &[f32],
     bias: Option<&[f32]>,
 ) -> Vec<f32> {
+    let mut out = vec![0.0f32; out_dim];
+    matvec_into(out_dim, in_dim, w, x, bias, &mut out);
+    out
+}
+
+/// Computes `out = w · x + bias` like [`matvec`], writing into
+/// caller-owned scratch instead of allocating — the arena fast path.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the dimensions.
+pub fn matvec_into(
+    out_dim: usize,
+    in_dim: usize,
+    w: &[f32],
+    x: &[f32],
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+) {
     assert_eq!(w.len(), out_dim * in_dim, "weight size mismatch");
     assert_eq!(x.len(), in_dim, "input size mismatch");
+    assert_eq!(out.len(), out_dim, "output size mismatch");
     if let Some(b) = bias {
         assert_eq!(b.len(), out_dim, "bias size mismatch");
     }
-    let mut out = vec![0.0f32; out_dim];
+    mupod_obs::counter_add("tensor.matvec_macs", (out_dim * in_dim) as u64);
     for (o, out_v) in out.iter_mut().enumerate() {
         let row = &w[o * in_dim..(o + 1) * in_dim];
         let mut acc = 0.0f32;
@@ -60,7 +170,6 @@ pub fn matvec(
         }
         *out_v = acc + bias.map_or(0.0, |b| b[o]);
     }
-    out
 }
 
 /// Dot product of two equal-length slices.
@@ -125,5 +234,43 @@ mod tests {
     fn gemm_rejects_bad_sizes() {
         let mut c = [0.0; 1];
         gemm(1, 2, 1, &[1.0], &[1.0, 2.0], &mut c);
+    }
+
+    #[test]
+    fn tiled_matches_scalar_bitwise_across_block_boundaries() {
+        // Dimensions straddle the NB/KB block edges so every tiling
+        // branch (full block, ragged tail, single element) executes.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, KB - 1, NB - 1),
+            (4, KB, NB),
+            (5, KB + 3, NB + 7),
+            (2, 3 * KB + 1, 2 * NB + 5),
+        ] {
+            let a: Vec<f32> = (0..m * k)
+                .map(|i| if i % 7 == 0 { 0.0 } else { (i as f32).sin() })
+                .collect();
+            let b: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.37).cos()).collect();
+            let mut c_ref: Vec<f32> = (0..m * n).map(|i| i as f32 * 0.01).collect();
+            let mut c_tiled = c_ref.clone();
+            gemm(m, k, n, &a, &b, &mut c_ref);
+            gemm_tiled(m, k, n, &a, &b, &mut c_tiled);
+            assert_eq!(
+                c_ref.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                c_tiled.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "tiled GEMM diverged at m={m} k={k} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec() {
+        let w: Vec<f32> = (0..12).map(|i| i as f32 * 0.5 - 3.0).collect();
+        let x = [1.0, -2.0, 0.5];
+        let bias = [0.25; 4];
+        let expect = matvec(4, 3, &w, &x, Some(&bias));
+        let mut out = [0.0f32; 4];
+        matvec_into(4, 3, &w, &x, Some(&bias), &mut out);
+        assert_eq!(expect, out);
     }
 }

@@ -54,18 +54,22 @@ impl Pool2dParams {
     }
 }
 
-fn pool_with<F: Fn(&mut f32, f32, &mut usize)>(
+fn pool_with_into<F: Fn(&mut f32, f32, &mut usize)>(
     input: &Tensor,
     p: &Pool2dParams,
     init: f32,
     fold: F,
     finish: fn(f32, usize, usize) -> f32,
-) -> Tensor {
+    out: &mut [f32],
+) {
     assert_eq!(input.dims().len(), 3, "pooling expects a CHW tensor");
     let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
     let (oh, ow) = p.out_spatial(h, w);
-    let mut out = Tensor::zeros(&[c, oh, ow]);
+    assert_eq!(out.len(), c * oh * ow, "pool output size mismatch");
+    let data = input.data();
     for ci in 0..c {
+        let chan = &data[ci * h * w..(ci + 1) * h * w];
+        let out_chan = &mut out[ci * oh * ow..(ci + 1) * oh * ow];
         for oy in 0..oh {
             for ox in 0..ow {
                 let mut acc = init;
@@ -75,23 +79,19 @@ fn pool_with<F: Fn(&mut f32, f32, &mut usize)>(
                     if iy < 0 || iy >= h as isize {
                         continue;
                     }
+                    let row = &chan[iy as usize * w..(iy as usize + 1) * w];
                     for kx in 0..p.kernel {
                         let ix = (ox * p.stride + kx) as isize - p.pad as isize;
                         if ix < 0 || ix >= w as isize {
                             continue;
                         }
-                        fold(
-                            &mut acc,
-                            input.at(&[ci, iy as usize, ix as usize]),
-                            &mut count,
-                        );
+                        fold(&mut acc, row[ix as usize], &mut count);
                     }
                 }
-                *out.at_mut(&[ci, oy, ox]) = finish(acc, count, p.kernel * p.kernel);
+                out_chan[oy * ow + ox] = finish(acc, count, p.kernel * p.kernel);
             }
         }
     }
-    out
 }
 
 /// Max pooling over a CHW tensor.
@@ -101,7 +101,20 @@ fn pool_with<F: Fn(&mut f32, f32, &mut usize)>(
 /// Panics if `input` is not rank 3 or the window exceeds the padded
 /// input.
 pub fn max_pool2d(input: &Tensor, p: &Pool2dParams) -> Tensor {
-    pool_with(
+    let (oh, ow) = p.out_spatial(input.dims()[1], input.dims()[2]);
+    let mut out = Tensor::zeros(&[input.dims()[0], oh, ow]);
+    max_pool2d_into(input, p, out.data_mut());
+    out
+}
+
+/// [`max_pool2d`] writing into a caller-owned slice (the arena fast
+/// path). `out` must hold exactly `c · oh · ow` elements.
+///
+/// # Panics
+///
+/// Panics like [`max_pool2d`], plus on an `out` length mismatch.
+pub fn max_pool2d_into(input: &Tensor, p: &Pool2dParams, out: &mut [f32]) {
+    pool_with_into(
         input,
         p,
         f32::NEG_INFINITY,
@@ -111,7 +124,8 @@ pub fn max_pool2d(input: &Tensor, p: &Pool2dParams) -> Tensor {
             }
         },
         |acc, _, _| acc,
-    )
+        out,
+    );
 }
 
 /// Average pooling over a CHW tensor.
@@ -125,7 +139,20 @@ pub fn max_pool2d(input: &Tensor, p: &Pool2dParams) -> Tensor {
 /// Panics if `input` is not rank 3 or the window exceeds the padded
 /// input.
 pub fn avg_pool2d(input: &Tensor, p: &Pool2dParams) -> Tensor {
-    pool_with(
+    let (oh, ow) = p.out_spatial(input.dims()[1], input.dims()[2]);
+    let mut out = Tensor::zeros(&[input.dims()[0], oh, ow]);
+    avg_pool2d_into(input, p, out.data_mut());
+    out
+}
+
+/// [`avg_pool2d`] writing into a caller-owned slice (the arena fast
+/// path). `out` must hold exactly `c · oh · ow` elements.
+///
+/// # Panics
+///
+/// Panics like [`avg_pool2d`], plus on an `out` length mismatch.
+pub fn avg_pool2d_into(input: &Tensor, p: &Pool2dParams, out: &mut [f32]) {
+    pool_with_into(
         input,
         p,
         0.0,
@@ -134,7 +161,8 @@ pub fn avg_pool2d(input: &Tensor, p: &Pool2dParams) -> Tensor {
             *count += 1;
         },
         |acc, _, window| acc / window as f32,
-    )
+        out,
+    );
 }
 
 /// Global average pooling: collapses each channel to its mean.
@@ -143,15 +171,25 @@ pub fn avg_pool2d(input: &Tensor, p: &Pool2dParams) -> Tensor {
 ///
 /// Panics if `input` is not rank 3.
 pub fn global_avg_pool(input: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(&[input.dims()[0]]);
+    global_avg_pool_into(input, out.data_mut());
+    out
+}
+
+/// [`global_avg_pool`] writing into a caller-owned slice of `c` elements.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank 3 or `out` has the wrong length.
+pub fn global_avg_pool_into(input: &Tensor, out: &mut [f32]) {
     assert_eq!(input.dims().len(), 3, "pooling expects a CHW tensor");
     let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    assert_eq!(out.len(), c, "pool output size mismatch");
     let area = (h * w) as f32;
-    let mut out = Tensor::zeros(&[c]);
-    for ci in 0..c {
+    for (ci, o) in out.iter_mut().enumerate() {
         let chan = &input.data()[ci * h * w..(ci + 1) * h * w];
-        out.data_mut()[ci] = chan.iter().sum::<f32>() / area;
+        *o = chan.iter().sum::<f32>() / area;
     }
-    out
 }
 
 /// Local response normalization across channels (AlexNet-style).
@@ -169,27 +207,64 @@ pub fn lrn_across_channels(
     beta: f32,
     k: f32,
 ) -> Tensor {
+    let mut out = Tensor::zeros(input.dims());
+    lrn_across_channels_into(input, local_size, alpha, beta, k, out.data_mut());
+    out
+}
+
+/// [`lrn_across_channels`] writing into a caller-owned slice (the arena
+/// fast path). `out` must hold exactly `c · h · w` elements.
+///
+/// The per-element sum over the channel window runs in the same
+/// ascending-channel order as the allocating version, so results are
+/// bit-identical.
+///
+/// # Panics
+///
+/// Panics like [`lrn_across_channels`], plus on an `out` length mismatch.
+pub fn lrn_across_channels_into(
+    input: &Tensor,
+    local_size: usize,
+    alpha: f32,
+    beta: f32,
+    k: f32,
+    out: &mut [f32],
+) {
     assert_eq!(input.dims().len(), 3, "LRN expects a CHW tensor");
     assert!(local_size > 0, "local_size must be positive");
     let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    assert_eq!(out.len(), c * h * w, "LRN output size mismatch");
+    let data = input.data();
     let half = local_size / 2;
-    let mut out = Tensor::zeros(&[c, h, w]);
-    for y in 0..h {
-        for x in 0..w {
-            for ci in 0..c {
-                let lo = ci.saturating_sub(half);
-                let hi = (ci + half).min(c - 1);
-                let mut ssq = 0.0f32;
-                for cj in lo..=hi {
-                    let v = input.at(&[cj, y, x]);
-                    ssq += v * v;
-                }
-                let scale = (k + alpha / local_size as f32 * ssq).powf(beta);
-                *out.at_mut(&[ci, y, x]) = input.at(&[ci, y, x]) / scale;
+    let plane = h * w;
+    let coef = alpha / local_size as f32;
+    // Phase 1: accumulate the window sum of squares plane-wise into
+    // `out`, one vectorizable pass per window channel. Each element's sum
+    // runs in the same ascending-channel order as a scalar window loop,
+    // so the result is bit-identical (the first term is written, not
+    // added to zero — `0.0 + v²` equals `v²` exactly because squares are
+    // never negative zero).
+    for ci in 0..c {
+        let lo = ci.saturating_sub(half);
+        let hi = (ci + half).min(c - 1);
+        let o = &mut out[ci * plane..(ci + 1) * plane];
+        let first = &data[lo * plane..(lo + 1) * plane];
+        for (ov, &v) in o.iter_mut().zip(first) {
+            *ov = v * v;
+        }
+        for cj in lo + 1..=hi {
+            let dv = &data[cj * plane..(cj + 1) * plane];
+            for (ov, &v) in o.iter_mut().zip(dv) {
+                *ov += v * v;
             }
         }
     }
-    out
+    // Phase 2: the scalar `powf` pass — the irreducible cost; `powf`
+    // results must match the reference kernel bit-for-bit, so no
+    // vectorized approximation is admissible here.
+    for (ov, &v) in out.iter_mut().zip(data) {
+        *ov = v / (k + coef * *ov).powf(beta);
+    }
 }
 
 #[cfg(test)]

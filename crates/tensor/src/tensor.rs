@@ -147,6 +147,17 @@ impl Tensor {
         }
     }
 
+    /// Copies `other`'s contents into this tensor without reallocating —
+    /// the arena counterpart of `clone` for pre-shaped slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn copy_from(&mut self, other: &Tensor) {
+        assert_eq!(self.dims, other.dims, "shape mismatch in copy_from");
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// Element-wise `self += other`.
     ///
     /// # Panics

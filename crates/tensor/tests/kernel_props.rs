@@ -3,7 +3,8 @@
 //! defining inequalities.
 
 use mupod_stats::SeededRng;
-use mupod_tensor::conv::{conv2d, conv2d_direct, Conv2dParams};
+use mupod_tensor::conv::{conv2d, conv2d_direct, conv2d_into, Conv2dParams};
+use mupod_tensor::gemm::{gemm, gemm_tiled};
 use mupod_tensor::pool::{avg_pool2d, max_pool2d, Pool2dParams};
 use mupod_tensor::Tensor;
 use proptest::prelude::*;
@@ -45,6 +46,84 @@ proptest! {
         prop_assert_eq!(fast.dims(), slow.dims());
         for (a, b) in fast.data().iter().zip(slow.data()) {
             prop_assert!((a - b).abs() < 1e-3, "fast {a} vs direct {b}");
+        }
+    }
+
+    #[test]
+    fn tiled_gemm_bitwise_equals_scalar(
+        seed in 0u64..10_000,
+        m in 1usize..8,
+        k in 1usize..300,
+        n in 1usize..300,
+        sparsity in 0.0f64..0.9,
+    ) {
+        // The tiled kernel must be bit-identical to the scalar reference
+        // for every shape (full blocks, ragged tails, single elements),
+        // sparsity level (the exact-zero skip), and non-zero initial `c`
+        // (GEMM accumulates, it does not overwrite).
+        let mut rng = SeededRng::new(seed);
+        let a: Vec<f32> = (0..m * k)
+            .map(|_| {
+                if rng.uniform(0.0, 1.0) < sparsity {
+                    0.0
+                } else {
+                    rng.gaussian(0.0, 1.0) as f32
+                }
+            })
+            .collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.gaussian(0.0, 1.0) as f32).collect();
+        let init: Vec<f32> = (0..m * n).map(|_| rng.gaussian(0.0, 1.0) as f32).collect();
+        let mut c_ref = init.clone();
+        let mut c_tiled = init;
+        gemm(m, k, n, &a, &b, &mut c_ref);
+        gemm_tiled(m, k, n, &a, &b, &mut c_tiled);
+        for (x, y) in c_ref.iter().zip(&c_tiled) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "tiled {} != scalar {}", y, x);
+        }
+    }
+
+    #[test]
+    fn conv_into_bitwise_equals_alloc_conv(
+        seed in 0u64..10_000,
+        in_c in 1usize..5,
+        out_mult in 1usize..4,
+        k in prop::sample::select(vec![1usize, 3, 5]),
+        stride in 1usize..3,
+        pad in 0usize..3,
+        hw in 5usize..11,
+        grouped in any::<bool>(),
+    ) {
+        // The arena fast path (caller-owned scratch, including a dirty,
+        // wrongly-sized patch buffer) must reproduce the allocating
+        // kernel bit-for-bit, and stay within tolerance of the naive
+        // direct convolution.
+        let groups = if grouped { in_c } else { 1 };
+        let out_c = out_mult * groups;
+        prop_assume!(hw + 2 * pad >= k);
+        let p = Conv2dParams::grouped(in_c, out_c, k, stride, pad, groups);
+        let input = random_tensor(seed, &[in_c, hw, hw]);
+        let weight = random_tensor(seed ^ 1, &[out_c, in_c / groups, k, k]);
+        let mut rng = SeededRng::new(seed ^ 2);
+        let bias: Vec<f32> = (0..out_c).map(|_| rng.gaussian(0.0, 0.1) as f32).collect();
+
+        let alloc = conv2d(&input, &weight, Some(&bias), &p);
+        let (oh, ow) = p.out_spatial(hw, hw);
+        // Deliberately dirty scratch: `conv2d_into` must fully overwrite.
+        let mut patches = vec![f32::NAN; 7];
+        let mut out = vec![f32::NAN; out_c * oh * ow];
+        conv2d_into(&input, &weight, Some(&bias), &p, &mut patches, &mut out);
+        for (a, b) in alloc.data().iter().zip(&out) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "into {} != alloc {}", b, a);
+        }
+        // Second pass on the now-oversized, stale buffers: reuse must not
+        // leak state between calls.
+        conv2d_into(&input, &weight, Some(&bias), &p, &mut patches, &mut out);
+        for (a, b) in alloc.data().iter().zip(&out) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "reused {} != alloc {}", b, a);
+        }
+        let direct = conv2d_direct(&input, &weight, Some(&bias), &p);
+        for (a, b) in direct.data().iter().zip(&out) {
+            prop_assert!((a - b).abs() < 1e-3, "into {b} vs direct {a}");
         }
     }
 
