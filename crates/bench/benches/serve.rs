@@ -1,0 +1,112 @@
+//! Sustained-load serving benchmark: drives a real in-process
+//! `mupod-serve` instance over loopback TCP at fixed concurrency and
+//! records latency percentiles plus throughput.
+//!
+//! This is a harness-free bench (`harness = false` with a custom
+//! `main`): `Bencher::iter` measures one closure at a time, but a
+//! serving SLO is a property of the whole system under load — queueing,
+//! batching and admission control only show up when many connections
+//! push concurrently. Records land in `BENCH_serve.json` via
+//! [`criterion::record_manual`], joining the perf trajectory with
+//! `p50_ns` / `p99_ns` / `throughput_rps` filled in.
+//!
+//! `MUPOD_BENCH_SAMPLES` shortens the measurement window for CI smoke
+//! runs (window ≈ samples × 500 ms); the default window is 4 s per load
+//! point.
+
+use std::time::Duration;
+
+use criterion::BenchRecord;
+use mupod_bench::setup;
+use mupod_models::ModelKind;
+use mupod_runtime::{CancelReason, CancelToken};
+use mupod_serve::{percentiles_us, run, run_load, ServeConfig};
+
+/// One load point: `concurrency` client connections at full tilt.
+fn bench_load_point(image: &[f32], concurrency: usize, window: Duration) {
+    let token = CancelToken::new();
+    let cfg = ServeConfig {
+        workers: 2,
+        queue_depth: 64,
+        max_batch: 8,
+        default_deadline: Duration::from_secs(5),
+        ..ServeConfig::default()
+    };
+    let (tx, rx) = std::sync::mpsc::channel();
+    let server = {
+        let token = token.clone();
+        let net = setup(ModelKind::SqueezeNet, 1).net;
+        std::thread::spawn(move || {
+            run(&net, &cfg, &token, move |addr| {
+                tx.send(addr).expect("ready receiver alive")
+            })
+        })
+    };
+    let addr = rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("server binds");
+
+    // Warm-up: fill caches and let every worker build its arena before
+    // the timed window starts.
+    run_load(addr, image, concurrency, Duration::from_millis(300), 0);
+    let report = run_load(addr, image, concurrency, window, 0);
+
+    token.cancel(CancelReason::Interrupt);
+    server
+        .join()
+        .expect("server thread")
+        .expect("server drains cleanly");
+
+    assert!(
+        report.ok > 0,
+        "load sweep at c{concurrency} produced no OK replies \
+         (busy={} errors={})",
+        report.busy,
+        report.transport_errors
+    );
+    let mut lat = report.latencies_us.clone();
+    let (p50_us, p99_us) = percentiles_us(&mut lat);
+    let min_us = *lat.first().expect("non-empty after ok>0 check");
+    let max_us = *lat.last().expect("non-empty");
+    let mean_us = lat.iter().sum::<u64>() / lat.len() as u64;
+    let rps = (report.ok as f64 / window.as_secs_f64()).round() as u64;
+    criterion::record_manual(BenchRecord {
+        group: "serve".to_string(),
+        bench: format!("sustained/c{concurrency}"),
+        min_ns: u128::from(min_us) * 1000,
+        mean_ns: u128::from(mean_us) * 1000,
+        max_ns: u128::from(max_us) * 1000,
+        samples: lat.len(),
+        p50_ns: Some(u128::from(p50_us) * 1000),
+        p99_ns: Some(u128::from(p99_us) * 1000),
+        throughput_rps: Some(rps),
+    });
+    println!(
+        "serve/sustained/c{concurrency}: {} ok, {} rps, p50 {} µs, p99 {} µs",
+        report.ok, rps, p50_us, p99_us
+    );
+}
+
+fn main() {
+    // `cargo test` runs bench targets with `--test`; there is nothing
+    // meaningful to measure in that mode, only that the binary links.
+    if criterion::is_test_mode() {
+        return;
+    }
+    let window = match std::env::var("MUPOD_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        Some(samples) => Duration::from_millis((samples.max(1) * 500).min(10_000)),
+        None => Duration::from_secs(4),
+    };
+    let image: Vec<f32> = {
+        let s = setup(ModelKind::SqueezeNet, 1);
+        let (img, _) = s.data.sample(0);
+        img.data().to_vec()
+    };
+    for concurrency in [4usize, 16] {
+        bench_load_point(&image, concurrency, window);
+    }
+    criterion::write_bench_json();
+}

@@ -1,17 +1,22 @@
 //! Argument parsing and command implementations for the `mupod` CLI.
 //!
-//! The binary exposes the paper's workflow as three subcommands:
+//! The binary exposes the paper's workflow as three subcommands, plus a
+//! serving pair:
 //!
 //! ```text
 //! mupod inspect  --model alexnet [--scale tiny|small]
 //! mupod profile  --model alexnet --out profile.csv [--images N]
 //! mupod optimize --model alexnet --objective bandwidth --loss 1
 //!                [--profile profile.csv] [--scheme equal|gaussian]
+//! mupod serve    --model alexnet [--addr 127.0.0.1:0] [--workers N]
+//! mupod query    --model alexnet --addr 127.0.0.1:PORT [--count N]
 //! ```
 //!
 //! `profile` is the expensive stage; its CSV can be fed to any number of
 //! later `optimize` invocations with different constraints — the
-//! workflow §VI-A of the paper describes.
+//! workflow §VI-A of the paper describes. `serve` runs the calibrated
+//! model behind the fault-tolerant batched TCP server in `mupod-serve`
+//! (DESIGN.md §12) and `query` is its loopback client.
 //!
 //! Every subcommand also accepts the observability flags: `--log-level`
 //! controls structured stderr events, `--metrics-out` writes the final
@@ -35,6 +40,12 @@ use std::time::Duration;
 /// depending on how fast profiling happens to run on the host.
 pub const TEST_STAGE_DELAY_ENV: &str = "MUPOD_TEST_STAGE_DELAY_MS";
 
+/// Test hook: when set to a number of milliseconds, `mupod serve`
+/// workers sleep that long before executing each batch. The chaos tests
+/// use it to hold a batch in flight while they deliver SIGINT or let a
+/// request deadline expire, without guessing at host speed.
+pub const SERVE_TEST_SLOW_ENV: &str = "MUPOD_SERVE_TEST_SLOW_MS";
+
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -44,6 +55,10 @@ pub enum Command {
     Profile(CommonArgs, ProfileArgs),
     /// Run the optimizer and print the allocation.
     Optimize(CommonArgs, OptimizeArgs),
+    /// Serve the calibrated model over TCP until SIGINT drains it.
+    Serve(CommonArgs, ServeArgs),
+    /// Send classify requests to a running `mupod serve`.
+    Query(CommonArgs, QueryArgs),
     /// Print usage.
     Help,
 }
@@ -103,10 +118,46 @@ pub struct OptimizeArgs {
     pub save: Option<String>,
 }
 
+/// `serve` options; defaults mirror [`mupod_serve::ServeConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Bind address (`--addr`); port 0 picks an ephemeral port, printed
+    /// on the "serving on ..." line once the listener is live.
+    pub addr: String,
+    /// Worker threads, each with its own batch arena (`--workers`).
+    pub workers: usize,
+    /// Bounded admission queue capacity (`--queue-depth`).
+    pub queue_depth: usize,
+    /// Largest batch gathered per forward pass (`--max-batch`).
+    pub max_batch: usize,
+    /// Default per-request deadline, ms (`--deadline-ms`).
+    pub deadline_ms: u64,
+    /// Worker panics tolerated before the server drains
+    /// (`--restart-budget`).
+    pub restart_budget: u32,
+    /// Honor fault-injection frames (`--chaos`; tests only).
+    pub chaos: bool,
+}
+
+/// `query` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryArgs {
+    /// Server address (`--addr`, required).
+    pub addr: String,
+    /// Number of sequential requests to send (`--count`).
+    pub count: usize,
+    /// Per-request deadline, ms; 0 uses the server default
+    /// (`--deadline-ms`).
+    pub deadline_ms: u32,
+    /// Mark requests sheddable under load (`--low-priority`).
+    pub low_priority: bool,
+}
+
 /// Errors from parsing or running a command.
 ///
-/// Each variant maps to a distinct process exit status (see `main.rs`
-/// and DESIGN.md §9): `Usage` → 2, `Run` → 1, `StageFailed` → 3,
+/// Each variant maps to a distinct process exit status drawn from the
+/// shared [`mupod_runtime::StatusCode`] table (see `main.rs` and
+/// DESIGN.md §9): `Usage` → 2, `Run` → 1, `StageFailed` → 3,
 /// `StageTimeout` → 4, `Interrupted` → 130.
 #[derive(Debug)]
 pub enum CliError {
@@ -207,6 +258,11 @@ USAGE:
                  [--loss <percent>] [--profile <file.csv>]
                  [--scheme equal|gaussian] [--save <alloc.csv>]
                  [common flags]
+  mupod serve    --model <name> [--addr 127.0.0.1:0] [--workers N]
+                 [--queue-depth N] [--max-batch N] [--deadline-ms MS]
+                 [--restart-budget N] [--chaos] [common flags]
+  mupod query    --model <name> --addr <host:port> [--count N]
+                 [--deadline-ms MS] [--low-priority]
   mupod help
 
 COMMON FLAGS (observability):
@@ -228,8 +284,18 @@ COMMON FLAGS (robustness):
   --retries <n>               attempts per stage for transient failures
                               (default 3; deterministic errors never retry)
 
-EXIT CODES: 0 ok, 1 run error, 2 usage, 3 stage failed after retries,
-            4 stage timeout, 130 interrupted (Ctrl-C)
+SERVING (see DESIGN.md §12):
+  `serve` prints `serving on <addr>` once live and runs until SIGINT,
+  then drains: in-flight requests finish, queued ones are answered
+  `13 draining`, metrics flush, and the process exits 0. Admission
+  rejects with `10 server busy` when the queue is full; expired
+  requests get `11 deadline exceeded`; a crashed worker answers its
+  batch `14 worker crashed` and restarts under --restart-budget.
+
+EXIT CODES: 0 ok (incl. a drained `serve`), 1 run error, 2 usage,
+            3 stage failed after retries / serve restart budget
+            exhausted, 4 stage timeout, 130 interrupted (Ctrl-C;
+            `serve` only on a forced second Ctrl-C)
 
 MODELS: alexnet nin googlenet vgg19 resnet50 resnet152 squeezenet mobilenet
 ";
@@ -252,6 +318,13 @@ fn parse_model(name: &str) -> Result<ModelKind, CliError> {
                 == normalized
         })
         .ok_or_else(|| CliError::Usage(format!("unknown model `{name}`")))
+}
+
+/// Validates `--addr` at parse time so a typo is a usage error (exit
+/// 2), not a runtime bind failure.
+fn parse_sock_addr(addr: &str) -> Result<std::net::SocketAddr, CliError> {
+    addr.parse()
+        .map_err(|_| CliError::Usage(format!("bad --addr `{addr}` (want host:port)")))
 }
 
 fn take_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, CliError> {
@@ -292,6 +365,15 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut stage_timeout = None;
     let mut retries = 3u32;
     let mut threads = 0usize;
+    let mut addr = None;
+    let mut workers = 2usize;
+    let mut queue_depth = 32usize;
+    let mut max_batch = 4usize;
+    let mut deadline_ms = None;
+    let mut restart_budget = 8u32;
+    let mut chaos = false;
+    let mut count = 1usize;
+    let mut low_priority = false;
 
     let mut i = 1;
     while i < args.len() {
@@ -367,6 +449,45 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     .parse()
                     .map_err(|_| CliError::Usage("bad --threads".into()))?
             }
+            "--addr" => addr = Some(take_value(args, &mut i, "--addr")?.to_string()),
+            "--workers" => {
+                let n: usize = take_value(args, &mut i, "--workers")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("bad --workers".into()))?;
+                workers = n.max(1);
+            }
+            "--queue-depth" => {
+                let n: usize = take_value(args, &mut i, "--queue-depth")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("bad --queue-depth".into()))?;
+                queue_depth = n.max(1);
+            }
+            "--max-batch" => {
+                let n: usize = take_value(args, &mut i, "--max-batch")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("bad --max-batch".into()))?;
+                max_batch = n.max(1);
+            }
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    take_value(args, &mut i, "--deadline-ms")?
+                        .parse::<u64>()
+                        .map_err(|_| CliError::Usage("bad --deadline-ms".into()))?,
+                )
+            }
+            "--restart-budget" => {
+                restart_budget = take_value(args, &mut i, "--restart-budget")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("bad --restart-budget".into()))?
+            }
+            "--chaos" => chaos = true,
+            "--count" => {
+                let n: usize = take_value(args, &mut i, "--count")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("bad --count".into()))?;
+                count = n.max(1);
+            }
+            "--low-priority" => low_priority = true,
             "--scheme" => {
                 scheme = match take_value(args, &mut i, "--scheme")? {
                     "equal" | "scheme1" => SearchScheme::EqualScheme,
@@ -412,6 +533,38 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 save,
             },
         )),
+        "serve" => {
+            let addr = addr.unwrap_or_else(|| "127.0.0.1:0".to_string());
+            parse_sock_addr(&addr)?;
+            Ok(Command::Serve(
+                common,
+                ServeArgs {
+                    addr,
+                    workers,
+                    queue_depth,
+                    max_batch,
+                    deadline_ms: deadline_ms.unwrap_or(1_000),
+                    restart_budget,
+                    chaos,
+                },
+            ))
+        }
+        "query" => {
+            let addr = addr.ok_or_else(|| CliError::Usage("--addr is required".into()))?;
+            parse_sock_addr(&addr)?;
+            let deadline_ms = deadline_ms.unwrap_or(0);
+            let deadline_ms = u32::try_from(deadline_ms)
+                .map_err(|_| CliError::Usage("bad --deadline-ms".into()))?;
+            Ok(Command::Query(
+                common,
+                QueryArgs {
+                    addr,
+                    count,
+                    deadline_ms,
+                    low_priority,
+                },
+            ))
+        }
         other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
     }
 }
@@ -514,7 +667,11 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
 pub fn run_with_token(cmd: &Command, token: &CancelToken) -> Result<String, CliError> {
     let common = match cmd {
         Command::Help => return Ok(USAGE.to_string()),
-        Command::Inspect(c) | Command::Profile(c, _) | Command::Optimize(c, _) => c,
+        Command::Inspect(c)
+        | Command::Profile(c, _)
+        | Command::Optimize(c, _)
+        | Command::Serve(c, _)
+        | Command::Query(c, _) => c,
     };
     // One recorder per invocation. Installing serializes concurrent
     // `run` calls in one process (the facade is process-global); the
@@ -766,6 +923,112 @@ fn run_inner(cmd: &Command, token: &CancelToken) -> Result<String, CliError> {
                 let _ = writeln!(out, "allocation written to {path}");
             }
         }
+        Command::Serve(common, sargs) => {
+            let _span = mupod_obs::span("cli.serve");
+            let (net, _eval) = supervised_prepare(common)?;
+            let slow_batch = std::env::var(SERVE_TEST_SLOW_ENV)
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .map(Duration::from_millis);
+            let cfg = mupod_serve::ServeConfig {
+                addr: sargs.addr.clone(),
+                workers: sargs.workers,
+                queue_depth: sargs.queue_depth,
+                max_batch: sargs.max_batch,
+                default_deadline: Duration::from_millis(sargs.deadline_ms),
+                restart_budget: sargs.restart_budget,
+                chaos: sargs.chaos,
+                slow_batch,
+            };
+            // The serve stage is not retried: its internal supervisor
+            // (worker restarts under the budget) is the retry layer, and
+            // the exit mapping must distinguish a bind failure (run
+            // error, 1) from an exhausted restart budget (stage failed,
+            // 3) — see `mupod_runtime::StatusCode`.
+            let report = mupod_serve::run(&net, &cfg, token, |local| {
+                println!("serving on {local}");
+                let _ = std::io::Write::flush(&mut std::io::stdout());
+            })
+            .map_err(|e| match &e {
+                mupod_serve::ServeError::Bind { .. } => CliError::Run(e.to_string()),
+                mupod_serve::ServeError::RestartBudgetExhausted { .. } => {
+                    CliError::StageFailed(format!("serve: {e}"))
+                }
+            })?;
+            let _ = writeln!(
+                out,
+                "drained: {} ok, {} busy, {} deadline-expired, {} draining, \
+                 {} bad frames, {} crashes, {} disconnects",
+                report.requests_ok,
+                report.rejected_busy,
+                report.deadline_expired,
+                report.rejected_draining,
+                report.bad_frames,
+                report.worker_crashes,
+                report.client_disconnects,
+            );
+            let _ = writeln!(
+                out,
+                "{} batches served {} requests; latency p50 {} µs, p99 {} µs",
+                report.batches,
+                report.batched_requests,
+                report.p50_latency_us,
+                report.p99_latency_us,
+            );
+        }
+        Command::Query(common, qargs) => {
+            let _span = mupod_obs::span("cli.query");
+            let addr = parse_sock_addr(&qargs.addr)?;
+            // Deterministic query images from the same generator the
+            // pipeline uses; --model/--scale/--seed pick the input shape
+            // the server expects (a mismatch is answered BadRequest).
+            let spec = DatasetSpec::new(
+                common.scale.classes,
+                3,
+                common.scale.input_hw,
+                common.scale.input_hw,
+            )
+            .with_class_seed(common.seed);
+            let data = Dataset::generate(&spec, common.seed ^ 0xC, qargs.count);
+            let mut conn = mupod_serve::Connection::connect(addr, Duration::from_secs(10))
+                .map_err(|e| CliError::Run(format!("cannot reach {addr}: {e}")))?;
+            let priority = if qargs.low_priority {
+                mupod_serve::Priority::Low
+            } else {
+                mupod_serve::Priority::High
+            };
+            let mut ok = 0u64;
+            for i in 0..qargs.count {
+                token.checkpoint().map_err(|_| CliError::Interrupted)?;
+                let (img, _) = data.sample(i);
+                let reply = conn
+                    .classify(img.data(), qargs.deadline_ms, priority)
+                    .map_err(|e| CliError::Run(format!("request {i} failed: {e}")))?;
+                match reply.status {
+                    mupod_runtime::StatusCode::Ok => {
+                        ok += 1;
+                        let _ = writeln!(
+                            out,
+                            "#{i}: class {} in {} µs",
+                            reply.class.unwrap_or(0),
+                            reply.latency.as_micros()
+                        );
+                    }
+                    status => {
+                        let _ = writeln!(
+                            out,
+                            "#{i}: rejected with status {status}{}",
+                            reply
+                                .message
+                                .as_deref()
+                                .map(|m| format!(" — {m}"))
+                                .unwrap_or_default()
+                        );
+                    }
+                }
+            }
+            let _ = writeln!(out, "{ok}/{} ok", qargs.count);
+        }
     }
     Ok(out)
 }
@@ -955,6 +1218,74 @@ mod tests {
             run_with_token(&cmd, &token),
             Err(CliError::Interrupted)
         ));
+    }
+
+    #[test]
+    fn parses_serve_defaults_and_flags() {
+        match parse(&argv("serve --model alexnet")).unwrap() {
+            Command::Serve(c, s) => {
+                assert_eq!(c.model, ModelKind::AlexNet);
+                assert_eq!(s.addr, "127.0.0.1:0");
+                assert_eq!(s.workers, 2);
+                assert_eq!(s.queue_depth, 32);
+                assert_eq!(s.max_batch, 4);
+                assert_eq!(s.deadline_ms, 1_000);
+                assert_eq!(s.restart_budget, 8);
+                assert!(!s.chaos);
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse(&argv(
+            "serve --model nin --addr 0.0.0.0:7700 --workers 4 --queue-depth 64 \
+             --max-batch 8 --deadline-ms 250 --restart-budget 2 --chaos",
+        ))
+        .unwrap()
+        {
+            Command::Serve(_, s) => {
+                assert_eq!(s.addr, "0.0.0.0:7700");
+                assert_eq!(s.workers, 4);
+                assert_eq!(s.queue_depth, 64);
+                assert_eq!(s.max_batch, 8);
+                assert_eq!(s.deadline_ms, 250);
+                assert_eq!(s.restart_budget, 2);
+                assert!(s.chaos);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(matches!(
+            parse(&argv("serve --model alexnet --addr not-an-addr")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parses_query_flags() {
+        match parse(&argv(
+            "query --model alexnet --addr 127.0.0.1:7700 --count 3 \
+             --deadline-ms 50 --low-priority",
+        ))
+        .unwrap()
+        {
+            Command::Query(_, q) => {
+                assert_eq!(q.addr, "127.0.0.1:7700");
+                assert_eq!(q.count, 3);
+                assert_eq!(q.deadline_ms, 50);
+                assert!(q.low_priority);
+            }
+            _ => panic!("wrong command"),
+        }
+        // --addr is required for query (there is no sensible default
+        // port), and it must be a parseable socket address.
+        assert!(matches!(
+            parse(&argv("query --model alexnet")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv("query --model alexnet --addr localhost")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(USAGE.contains("serve"), "serve missing from help");
+        assert!(USAGE.contains("query"), "query missing from help");
     }
 
     #[test]

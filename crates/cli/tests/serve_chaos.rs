@@ -1,0 +1,305 @@
+//! Chaos harness for `mupod serve`: process-level fault injection
+//! against the real binary — worker panics, client disconnects,
+//! malformed frames, deadline expiry, SIGINT drain under load, and the
+//! forced second-SIGINT hard exit.
+//!
+//! Everything here spawns `CARGO_BIN_EXE_mupod`, so the signal handler,
+//! the exit-code table and the TCP surface are the production ones. The
+//! `MUPOD_SERVE_TEST_SLOW_MS` hook holds batches in flight for a known
+//! window, making every race in these tests deterministic.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use mupod_models::ModelScale;
+use mupod_runtime::StatusCode;
+use mupod_serve::{frame, Connection, Priority};
+
+/// Sends SIGINT to a child process (raw FFI; no external crates).
+fn send_sigint(child: &Child) {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    // SAFETY: plain syscall wrapper with scalar arguments; the pid comes
+    // from a live `Child` handle owned by this test.
+    let rc = unsafe { kill(child.id() as i32, 2) };
+    assert_eq!(rc, 0, "kill(SIGINT) failed");
+}
+
+fn wait_with_deadline(mut child: Child, deadline: Duration) -> std::process::ExitStatus {
+    let start = Instant::now();
+    loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            return status;
+        }
+        assert!(
+            start.elapsed() < deadline,
+            "child did not exit within {deadline:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Spawns `mupod serve` on an ephemeral port and blocks until its
+/// "serving on ..." line announces the address. The returned reader
+/// holds the rest of the child's stdout (the drain summary).
+fn start_serve(
+    extra_args: &[&str],
+    envs: &[(&str, &str)],
+) -> (Child, SocketAddr, BufReader<ChildStdout>) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_mupod"));
+    cmd.args([
+        "serve", "--model", "alexnet", "--scale", "tiny", "--images", "24",
+    ])
+    .args(extra_args)
+    .stdout(Stdio::piped())
+    .stderr(Stdio::null());
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let mut child = cmd.spawn().unwrap();
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("serving on ")
+        .unwrap_or_else(|| panic!("unexpected first line: {line:?}"))
+        .parse()
+        .unwrap();
+    (child, addr, reader)
+}
+
+/// Drains the child's remaining stdout (the post-drain summary).
+fn read_summary(reader: &mut BufReader<ChildStdout>) -> String {
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).unwrap();
+    rest
+}
+
+/// A correctly-sized input for the tiny-scale alexnet the server runs.
+fn image() -> Vec<f32> {
+    let hw = ModelScale::tiny().input_hw;
+    (0..3 * hw * hw)
+        .map(|i| (i % 7) as f32 * 0.1 - 0.3)
+        .collect()
+}
+
+fn connect(addr: SocketAddr) -> Connection {
+    Connection::connect(addr, Duration::from_secs(10)).expect("loopback connect")
+}
+
+#[test]
+fn worker_panic_mid_request_recovers_and_drains_clean() {
+    let (child, addr, mut reader) = start_serve(&["--chaos"], &[]);
+    let mut conn = connect(addr);
+    let crash = conn.chaos_panic().expect("reply");
+    assert_eq!(crash.status, StatusCode::WorkerCrashed);
+    // The worker restarted: a normal request on the same connection
+    // succeeds.
+    let ok = conn
+        .classify(&image(), 0, Priority::High)
+        .expect("reply after restart");
+    assert_eq!(ok.status, StatusCode::Ok);
+    send_sigint(&child);
+    let status = wait_with_deadline(child, Duration::from_secs(20));
+    assert_eq!(
+        status.code(),
+        Some(StatusCode::Ok.exit_code()),
+        "{status:?}"
+    );
+    let summary = read_summary(&mut reader);
+    assert!(summary.contains("1 crashes"), "summary: {summary}");
+    assert!(summary.contains("1 ok"), "summary: {summary}");
+}
+
+#[test]
+fn exhausted_restart_budget_exits_stage_failed() {
+    let (child, addr, _reader) = start_serve(&["--chaos", "--restart-budget", "0"], &[]);
+    let mut conn = connect(addr);
+    let crash = conn.chaos_panic().expect("reply");
+    assert_eq!(crash.status, StatusCode::WorkerCrashed);
+    // No SIGINT: the server must shut itself down and report the typed
+    // terminal error through the shared exit-code table.
+    let status = wait_with_deadline(child, Duration::from_secs(20));
+    assert_eq!(
+        status.code(),
+        Some(StatusCode::StageFailed.exit_code()),
+        "{status:?}"
+    );
+}
+
+#[test]
+fn client_disconnect_mid_response_leaves_server_healthy() {
+    let (child, addr, mut reader) = start_serve(&[], &[("MUPOD_SERVE_TEST_SLOW_MS", "300")]);
+    // Send a full valid request, then vanish while the worker is still
+    // executing the batch: the server's response write hits a dead peer.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let req = frame::encode_request(frame::ReqKind::Classify, Priority::High, 0, &image());
+        raw.write_all(&req).unwrap();
+        raw.flush().unwrap();
+    } // dropped: RST or FIN before the 300 ms batch completes
+    std::thread::sleep(Duration::from_millis(500));
+    // The server took the hit and still serves.
+    let mut conn = connect(addr);
+    let ok = conn.classify(&image(), 0, Priority::High).expect("reply");
+    assert_eq!(ok.status, StatusCode::Ok);
+    send_sigint(&child);
+    let status = wait_with_deadline(child, Duration::from_secs(20));
+    assert_eq!(
+        status.code(),
+        Some(StatusCode::Ok.exit_code()),
+        "{status:?}"
+    );
+    let summary = read_summary(&mut reader);
+    assert!(summary.contains("drained:"), "summary: {summary}");
+}
+
+#[test]
+fn deadline_expiry_is_reported_not_served() {
+    let (child, addr, mut reader) = start_serve(&[], &[("MUPOD_SERVE_TEST_SLOW_MS", "400")]);
+    let mut conn = connect(addr);
+    // 50 ms deadline against a 400 ms batch: the request must come back
+    // DeadlineExceeded, never a fabricated class.
+    let reply = conn.classify(&image(), 50, Priority::High).expect("reply");
+    assert_eq!(reply.status, StatusCode::DeadlineExceeded);
+    assert_eq!(reply.class, None);
+    send_sigint(&child);
+    let status = wait_with_deadline(child, Duration::from_secs(20));
+    assert_eq!(
+        status.code(),
+        Some(StatusCode::Ok.exit_code()),
+        "{status:?}"
+    );
+    let summary = read_summary(&mut reader);
+    assert!(summary.contains("1 deadline-expired"), "summary: {summary}");
+}
+
+#[test]
+fn malformed_frames_are_rejected_without_taking_the_server_down() {
+    let (child, addr, _reader) = start_serve(&[], &[]);
+    let good = frame::encode_request(frame::ReqKind::Classify, Priority::High, 0, &image());
+
+    let expect_bad_request = |bytes: &[u8], tag: &str| {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        raw.write_all(bytes).unwrap();
+        raw.flush().unwrap();
+        let mut header = [0u8; frame::HEADER_LEN];
+        raw.read_exact(&mut header)
+            .unwrap_or_else(|e| panic!("{tag}: no reply: {e}"));
+        let h = frame::parse_response_header(&header).unwrap_or_else(|e| panic!("{tag}: {e}"));
+        assert_eq!(h.status, StatusCode::BadRequest, "{tag}");
+    };
+
+    // Bad magic.
+    let mut bad_magic = good.clone();
+    bad_magic[..4].copy_from_slice(b"oops");
+    expect_bad_request(&bad_magic, "bad magic");
+
+    // Oversized payload_len (32 MiB, over the 16 MiB cap) — rejected
+    // from the header alone, before any allocation.
+    let mut oversized = good[..frame::HEADER_LEN].to_vec();
+    oversized[8..12].copy_from_slice(&(32u32 << 20).to_le_bytes());
+    expect_bad_request(&oversized, "oversized");
+
+    // Payload length that cannot be a whole f32 image.
+    let mut short_payload = good[..frame::HEADER_LEN].to_vec();
+    short_payload[8..12].copy_from_slice(&6u32.to_le_bytes());
+    short_payload.extend_from_slice(&[0u8; 6]);
+    expect_bad_request(&short_payload, "short payload");
+
+    // Truncated header then hang up: no reply owed, but no crash either.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(&good[..7]).unwrap();
+        raw.flush().unwrap();
+    }
+
+    // After all that abuse a fresh connection still gets served.
+    let mut conn = connect(addr);
+    let ok = conn.classify(&image(), 0, Priority::High).expect("reply");
+    assert_eq!(ok.status, StatusCode::Ok);
+    send_sigint(&child);
+    let status = wait_with_deadline(child, Duration::from_secs(20));
+    assert_eq!(
+        status.code(),
+        Some(StatusCode::Ok.exit_code()),
+        "{status:?}"
+    );
+}
+
+#[test]
+fn sigint_under_load_drains_and_exits_zero() {
+    let (child, addr, mut reader) = start_serve(
+        &["--workers", "1", "--max-batch", "1"],
+        &[("MUPOD_SERVE_TEST_SLOW_MS", "300")],
+    );
+    // Keep requests in flight while the signal lands.
+    let clients: Vec<_> = (0..3)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut conn = connect(addr);
+                conn.classify(&image(), 0, Priority::High)
+                    .expect("reply")
+                    .status
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(150));
+    send_sigint(&child);
+    let statuses: Vec<StatusCode> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread"))
+        .collect();
+    // Every in-flight request got a definitive answer: served before the
+    // drain finished, or an honest Draining rejection — never a hang.
+    for s in &statuses {
+        assert!(
+            *s == StatusCode::Ok || *s == StatusCode::Draining,
+            "unexpected status {s}"
+        );
+    }
+    assert!(statuses.contains(&StatusCode::Ok));
+    let status = wait_with_deadline(child, Duration::from_secs(20));
+    assert_eq!(
+        status.code(),
+        Some(StatusCode::Ok.exit_code()),
+        "{status:?}"
+    );
+    let summary = read_summary(&mut reader);
+    assert!(summary.contains("drained:"), "summary: {summary}");
+}
+
+#[test]
+fn second_sigint_hard_exits_130_with_batch_in_flight() {
+    // A 20 s batch means the graceful drain cannot finish on its own;
+    // the second Ctrl-C must take the hard-exit path immediately.
+    let (child, addr, _reader) = start_serve(&[], &[("MUPOD_SERVE_TEST_SLOW_MS", "20000")]);
+    let _client = std::thread::spawn(move || {
+        let mut conn = connect(addr);
+        // The reply never comes; the transport error on hard exit is
+        // expected and discarded.
+        let _ = conn.classify(&image(), 0, Priority::High);
+    });
+    std::thread::sleep(Duration::from_millis(300));
+    send_sigint(&child); // graceful drain starts, blocked on the batch
+    std::thread::sleep(Duration::from_millis(300));
+    let hard_exit_start = Instant::now();
+    send_sigint(&child); // forced
+    let status = wait_with_deadline(child, Duration::from_secs(10));
+    assert_eq!(
+        status.code(),
+        Some(StatusCode::Interrupted.exit_code()),
+        "{status:?}"
+    );
+    assert!(
+        hard_exit_start.elapsed() < Duration::from_secs(5),
+        "second SIGINT must not wait for the in-flight batch"
+    );
+}

@@ -1,0 +1,136 @@
+//! Sustained-load soak for `mupod serve`: ~30 s of full-tilt loopback
+//! traffic with a worker panic injected mid-run, ended by a SIGINT
+//! drain. Ignored by default (it holds a CPU for half a minute); CI's
+//! `serve-soak` job runs it explicitly with `-- --ignored`.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Read};
+use std::net::SocketAddr;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use mupod_models::ModelScale;
+use mupod_serve::{run_load, Connection};
+
+/// Soak duration; `MUPOD_SOAK_SECS` overrides for local experiments.
+fn soak_window() -> Duration {
+    let secs = std::env::var("MUPOD_SOAK_SECS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(30);
+    Duration::from_secs(secs.max(1))
+}
+
+#[test]
+#[ignore = "30s sustained-load soak; run explicitly (CI serve-soak job)"]
+fn soak_survives_load_chaos_and_drains_clean() {
+    // CI sets MUPOD_SOAK_DIR to keep (and upload) the metrics artifact;
+    // unset, everything lands in a scratch dir that is removed on pass.
+    let (dir, keep) = match std::env::var("MUPOD_SOAK_DIR") {
+        Ok(d) => (std::path::PathBuf::from(d), true),
+        Err(_) => (
+            std::env::temp_dir().join(format!("mupod_soak_{}", std::process::id())),
+            false,
+        ),
+    };
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics = dir.join("serve_metrics.json");
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mupod"))
+        .args([
+            "serve",
+            "--model",
+            "alexnet",
+            "--scale",
+            "tiny",
+            "--images",
+            "24",
+            "--chaos",
+            "--workers",
+            "2",
+            "--queue-depth",
+            "64",
+            "--max-batch",
+            "8",
+            "--deadline-ms",
+            "5000",
+            "--metrics-out",
+        ])
+        .arg(&metrics)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let addr: SocketAddr = line
+        .trim()
+        .strip_prefix("serving on ")
+        .unwrap_or_else(|| panic!("unexpected first line: {line:?}"))
+        .parse()
+        .unwrap();
+
+    let hw = ModelScale::tiny().input_hw;
+    let image: Vec<f32> = (0..3 * hw * hw)
+        .map(|i| (i % 7) as f32 * 0.1 - 0.3)
+        .collect();
+    let window = soak_window();
+
+    // Chaos injector: one worker panic halfway through the window, while
+    // the load generator below keeps hammering the server.
+    let injector = std::thread::spawn(move || {
+        std::thread::sleep(window / 2);
+        let mut conn = Connection::connect(addr, Duration::from_secs(10)).expect("chaos connect");
+        conn.chaos_panic().expect("chaos reply")
+    });
+
+    let report = run_load(addr, &image, 8, window, 0);
+    let crash = injector.join().expect("injector thread");
+    assert_eq!(
+        crash.status,
+        mupod_runtime::StatusCode::WorkerCrashed,
+        "chaos frame must be answered honestly"
+    );
+
+    // Drain under the tail of the load.
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    // SAFETY: plain syscall wrapper with scalar arguments; the pid comes
+    // from a live `Child` handle owned by this test.
+    let rc = unsafe { kill(child.id() as i32, 2) };
+    assert_eq!(rc, 0, "kill(SIGINT) failed");
+    let start = Instant::now();
+    let status = loop {
+        if let Some(s) = child.try_wait().unwrap() {
+            break s;
+        }
+        assert!(start.elapsed() < Duration::from_secs(30), "drain hung");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert_eq!(status.code(), Some(0), "{status:?}");
+
+    let mut summary = String::new();
+    reader.read_to_string(&mut summary).unwrap();
+    assert!(summary.contains("drained:"), "summary: {summary}");
+
+    // The soak must have actually served traffic and survived the crash.
+    assert!(
+        report.ok > 1_000,
+        "expected sustained throughput, got {} ok ({} transport errors)",
+        report.ok,
+        report.transport_errors
+    );
+    // Metrics flushed atomically on drain and verify against their
+    // checksum footer.
+    mupod_runtime::verify_file(&metrics).expect("sealed metrics artifact");
+    let bytes = std::fs::read(&metrics).unwrap();
+    let payload = mupod_runtime::unseal(&bytes).expect("footer");
+    let text = std::str::from_utf8(payload).unwrap();
+    assert!(text.contains("serve.requests_ok"), "metrics: {text}");
+    if !keep {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

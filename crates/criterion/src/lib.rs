@@ -45,6 +45,13 @@ pub struct BenchRecord {
     pub max_ns: u128,
     /// Number of timed samples.
     pub samples: usize,
+    /// Median, nanoseconds — only benches that track a latency
+    /// distribution (e.g. the serving bench) report it.
+    pub p50_ns: Option<u128>,
+    /// 99th percentile, nanoseconds (see `p50_ns`).
+    pub p99_ns: Option<u128>,
+    /// Sustained requests per second, for throughput-style benches.
+    pub throughput_rps: Option<u64>,
 }
 
 /// Process-global accumulator behind [`write_bench_json`].
@@ -54,6 +61,22 @@ fn push_record(rec: BenchRecord) {
     if let Ok(mut r) = RESULTS.lock() {
         r.push(rec);
     }
+}
+
+/// Records a hand-built [`BenchRecord`] into the process-global
+/// accumulator — for harness-free benches (`harness = false` with a
+/// custom `main`) that measure something `Bencher::iter` cannot, like
+/// sustained-load latency percentiles.
+pub fn record_manual(rec: BenchRecord) {
+    push_record(rec);
+}
+
+/// Whether the binary was invoked with `--test` (as `cargo test
+/// --benches` does) and should skip real measurement. Harness-free
+/// benches check this themselves; `Criterion`-driven ones get it
+/// automatically.
+pub fn is_test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
 }
 
 fn json_escape(s: &str) -> String {
@@ -74,8 +97,18 @@ fn render_json(records: &[BenchRecord]) -> String {
     let mut out = String::from("{\n  \"schema\": \"mupod-bench-v1\",\n  \"benches\": [\n");
     for (i, r) in records.iter().enumerate() {
         let comma = if i + 1 < records.len() { "," } else { "" };
+        let mut extra = String::new();
+        if let Some(p50) = r.p50_ns {
+            extra.push_str(&format!(", \"p50_ns\": {p50}"));
+        }
+        if let Some(p99) = r.p99_ns {
+            extra.push_str(&format!(", \"p99_ns\": {p99}"));
+        }
+        if let Some(rps) = r.throughput_rps {
+            extra.push_str(&format!(", \"throughput_rps\": {rps}"));
+        }
         out.push_str(&format!(
-            "    {{\"group\": \"{}\", \"bench\": \"{}\", \"min_ns\": {}, \"mean_ns\": {}, \"max_ns\": {}, \"samples\": {}}}{comma}\n",
+            "    {{\"group\": \"{}\", \"bench\": \"{}\", \"min_ns\": {}, \"mean_ns\": {}, \"max_ns\": {}, \"samples\": {}{extra}}}{comma}\n",
             json_escape(&r.group),
             json_escape(&r.bench),
             r.min_ns,
@@ -121,8 +154,10 @@ pub fn write_bench_json() {
     }
     let dir = std::env::var("MUPOD_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
     let path = std::path::Path::new(&dir).join(format!("BENCH_{}.json", bench_stem()));
-    // lint:allow(atomic-artifact-io) reason=this crate is a dependency-free stand-in for the external criterion crate and cannot depend on mupod-runtime; bench JSON is advisory output, not a resumable pipeline artifact
-    match std::fs::write(&path, render_json(&records)) {
+    // Atomic temp+fsync+rename with a checksum footer, like every other
+    // final artifact: a crashed or Ctrl-C'd bench run can truncate the
+    // perf trajectory's input otherwise.
+    match mupod_runtime::write_atomic(&path, render_json(&records).as_bytes()) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("cannot write {}: {e}", path.display()),
     }
@@ -247,6 +282,9 @@ impl BenchmarkGroup<'_> {
             mean_ns: mean.as_nanos(),
             max_ns: max.as_nanos(),
             samples: b.samples.len(),
+            p50_ns: None,
+            p99_ns: None,
+            throughput_rps: None,
         });
     }
 }
@@ -327,6 +365,9 @@ mod tests {
                 mean_ns: 20,
                 max_ns: 30,
                 samples: 5,
+                p50_ns: None,
+                p99_ns: None,
+                throughput_rps: None,
             },
             BenchRecord {
                 group: "g".into(),
@@ -335,6 +376,9 @@ mod tests {
                 mean_ns: 2,
                 max_ns: 3,
                 samples: 1,
+                p50_ns: None,
+                p99_ns: None,
+                throughput_rps: None,
             },
         ];
         let json = render_json(&records);
@@ -342,9 +386,32 @@ mod tests {
         assert!(json.contains("\"bench\": \"fast/16\""));
         assert!(json.contains("\\\"quote\\\""), "quotes must be escaped");
         assert!(json.contains("\"min_ns\": 10"));
+        // Optional percentile keys are omitted, not emitted as null.
+        assert!(!json.contains("p50_ns"));
         // Exactly one trailing comma between the two records, none after
         // the last: the document must stay strict JSON.
         assert_eq!(json.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn render_json_emits_percentiles_when_present() {
+        let records = vec![BenchRecord {
+            group: "serve".into(),
+            bench: "sustained/c8".into(),
+            min_ns: 10,
+            mean_ns: 20,
+            max_ns: 30,
+            samples: 100,
+            p50_ns: Some(18),
+            p99_ns: Some(29),
+            throughput_rps: Some(1234),
+        }];
+        let json = render_json(&records);
+        assert!(json.contains("\"p50_ns\": 18"));
+        assert!(json.contains("\"p99_ns\": 29"));
+        assert!(json.contains("\"throughput_rps\": 1234"));
+        // Still one JSON object per line, still strict JSON.
+        assert_eq!(json.matches("},\n").count(), 0);
     }
 
     #[test]

@@ -17,8 +17,10 @@ pub const RULE_NAMES: &[&str] = &[
 ];
 
 /// Crates whose non-test code sits on the panic-free
-/// profile→optimize→evaluate path (DESIGN.md §7): `unwrap`/`expect`/
-/// `panic!`/`unreachable!`/`todo!` are forbidden there.
+/// profile→optimize→evaluate path (DESIGN.md §7) — or, for `serve`, on
+/// the request hot path, where a panic takes a whole worker down:
+/// `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!` are forbidden
+/// there.
 const PANIC_PATH_CRATES: &[&str] = &[
     "core",
     "nn",
@@ -27,6 +29,7 @@ const PANIC_PATH_CRATES: &[&str] = &[
     "runtime",
     "obs",
     "experiments",
+    "serve",
 ];
 
 /// The only crate allowed to open files for writing directly — it owns

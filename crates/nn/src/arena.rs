@@ -58,15 +58,15 @@ const MAX_FANIN: usize = 16;
 #[derive(Debug)]
 pub struct ExecArena {
     /// Per-node activation slots, shaped from the build-time dry run.
-    acts: Activations,
+    pub(crate) acts: Activations,
     /// Shared im2col patch scratch, grown on demand and never shrunk.
-    patches: Vec<f32>,
+    pub(crate) patches: Vec<f32>,
     /// Lazily-cloned per-node tap input scratch.
     tap_scratch: Vec<Option<Tensor>>,
     /// Reusable affected-set buffer for suffix replay.
     affected: Vec<bool>,
     /// Total bytes held by the activation slots (for the obs counter).
-    slot_bytes: u64,
+    pub(crate) slot_bytes: u64,
 }
 
 impl ExecArena {
@@ -97,7 +97,7 @@ impl ExecArena {
 
 /// Gathers a node's input tensors (on the stack for fan-in up to
 /// [`MAX_FANIN`]) and evaluates the op into `out`.
-fn eval_node_into<'t>(
+pub(crate) fn eval_node_into<'t>(
     op: &Op,
     inputs: &[NodeId],
     resolve: impl Fn(NodeId) -> &'t Tensor,

@@ -46,6 +46,7 @@
 //! ```
 
 mod arena;
+mod batch;
 mod describe;
 mod exec;
 mod graph;
@@ -54,6 +55,7 @@ mod layer;
 pub mod tap;
 
 pub use arena::ExecArena;
+pub use batch::BatchArena;
 pub use exec::{Activations, ExecError, ValidateConfig};
 pub use graph::{BuildError, Network, NetworkBuilder};
 pub use layer::{Node, NodeId, Op};

@@ -1,0 +1,145 @@
+//! The one status-code table shared by the CLI and the serving stack.
+//!
+//! Before this module existed the exit codes lived as scattered integer
+//! literals in `mupod`'s `main.rs`, and the inference server would have
+//! grown a second, disjoint set of wire codes. [`StatusCode`] is the
+//! single source of truth for both:
+//!
+//! | code | variant | used as | meaning |
+//! |-----:|---------|---------|---------|
+//! | 0    | [`StatusCode::Ok`]               | exit + wire | success; for `mupod serve`, a clean SIGINT drain |
+//! | 1    | [`StatusCode::RunError`]         | exit | unsupervised runtime failure (bad file, bind failure, …) |
+//! | 2    | [`StatusCode::UsageError`]       | exit | malformed command line |
+//! | 3    | [`StatusCode::StageFailed`]      | exit | a supervised stage exhausted its retry budget; for `serve`, the worker restart budget |
+//! | 4    | [`StatusCode::StageTimeout`]     | exit | a stage overran its `--stage-timeout` watchdog |
+//! | 10   | [`StatusCode::ServerBusy`]       | wire | admission control: bounded queue full, request fast-rejected |
+//! | 11   | [`StatusCode::DeadlineExceeded`] | wire | per-request deadline expired before or during service |
+//! | 12   | [`StatusCode::BadRequest`]       | wire | malformed / truncated / oversized request frame |
+//! | 13   | [`StatusCode::Draining`]         | wire | server is draining; queued request returned unexecuted |
+//! | 14   | [`StatusCode::WorkerCrashed`]    | wire | the worker serving this batch panicked; it was restarted |
+//! | 130  | [`StatusCode::Interrupted`]      | exit | SIGINT before a clean drain (or forced second Ctrl-C) |
+//!
+//! "exit" codes are process exit statuses (`main.rs`); "wire" codes are
+//! the status byte of a `mupod-serve` response frame. The ranges are
+//! disjoint on purpose (10–14 never appear as exit statuses, 130 never
+//! on the wire) so a number in a log is unambiguous.
+
+/// One entry of the shared exit-/wire-status table (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum StatusCode {
+    /// Success. For `mupod serve`: SIGINT arrived, in-flight requests
+    /// finished, queued ones were returned [`StatusCode::Draining`],
+    /// metrics were flushed atomically.
+    Ok = 0,
+    /// Unsupervised runtime failure (I/O, parse, bind, …).
+    RunError = 1,
+    /// Malformed command line.
+    UsageError = 2,
+    /// A supervised stage failed after its full attempt budget; for the
+    /// server, the worker restart budget was exhausted.
+    StageFailed = 3,
+    /// A supervised stage overran its watchdog deadline and drained.
+    StageTimeout = 4,
+    /// Wire: bounded request queue is full; the request was rejected at
+    /// admission without buffering (never queued).
+    ServerBusy = 10,
+    /// Wire: the request's deadline expired before a worker produced a
+    /// response; expired requests are never executed.
+    DeadlineExceeded = 11,
+    /// Wire: the request frame was malformed, truncated, or oversized.
+    BadRequest = 12,
+    /// Wire: the server is draining; this request was dequeued without
+    /// being executed.
+    Draining = 13,
+    /// Wire: the worker serving this request's batch panicked. The
+    /// worker was restarted; retrying the request is safe.
+    WorkerCrashed = 14,
+    /// SIGINT ended the run before a clean drain completed (pipelines
+    /// always exit 130 on SIGINT; `serve` only on a forced second
+    /// Ctrl-C).
+    Interrupted = 130,
+}
+
+/// Every [`StatusCode`] in ascending code order.
+pub const ALL_STATUS_CODES: &[StatusCode] = &[
+    StatusCode::Ok,
+    StatusCode::RunError,
+    StatusCode::UsageError,
+    StatusCode::StageFailed,
+    StatusCode::StageTimeout,
+    StatusCode::ServerBusy,
+    StatusCode::DeadlineExceeded,
+    StatusCode::BadRequest,
+    StatusCode::Draining,
+    StatusCode::WorkerCrashed,
+    StatusCode::Interrupted,
+];
+
+impl StatusCode {
+    /// The code as a process exit status.
+    pub fn exit_code(self) -> i32 {
+        i32::from(self as u8)
+    }
+
+    /// The code as a response-frame status byte.
+    pub fn wire(self) -> u8 {
+        self as u8
+    }
+
+    /// Looks a wire status byte back up in the table.
+    pub fn from_wire(byte: u8) -> Option<StatusCode> {
+        ALL_STATUS_CODES.iter().copied().find(|s| s.wire() == byte)
+    }
+
+    /// Short human-readable meaning, for diagnostics.
+    pub fn describe(self) -> &'static str {
+        match self {
+            StatusCode::Ok => "ok",
+            StatusCode::RunError => "run error",
+            StatusCode::UsageError => "usage error",
+            StatusCode::StageFailed => "stage failed after retries",
+            StatusCode::StageTimeout => "stage deadline exceeded",
+            StatusCode::ServerBusy => "server busy: request queue full",
+            StatusCode::DeadlineExceeded => "request deadline exceeded",
+            StatusCode::BadRequest => "malformed request frame",
+            StatusCode::Draining => "server draining",
+            StatusCode::WorkerCrashed => "worker panicked serving this batch",
+            StatusCode::Interrupted => "interrupted before a clean drain",
+        }
+    }
+}
+
+impl std::fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", *self as u8, self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let codes: Vec<u8> = ALL_STATUS_CODES.iter().map(|s| s.wire()).collect();
+        assert_eq!(codes, vec![0, 1, 2, 3, 4, 10, 11, 12, 13, 14, 130]);
+        for &s in ALL_STATUS_CODES {
+            assert_eq!(StatusCode::from_wire(s.wire()), Some(s));
+            assert_eq!(s.exit_code(), i32::from(s.wire()));
+        }
+    }
+
+    #[test]
+    fn unknown_wire_bytes_are_rejected() {
+        for byte in [5u8, 9, 15, 42, 129, 131, 255] {
+            assert_eq!(StatusCode::from_wire(byte), None, "{byte}");
+        }
+    }
+
+    #[test]
+    fn display_carries_code_and_meaning() {
+        let s = StatusCode::ServerBusy.to_string();
+        assert!(s.contains("10") && s.contains("busy"), "{s}");
+    }
+}

@@ -22,10 +22,12 @@
 
 pub mod artifact;
 mod cancel;
+mod exit;
 mod retry;
 mod supervisor;
 
 pub use artifact::{read_verified, seal, unseal, verify_file, write_atomic, ArtifactError};
 pub use cancel::{install_sigint, CancelReason, CancelToken, Cancelled};
+pub use exit::{StatusCode, ALL_STATUS_CODES};
 pub use retry::{ErrorClass, RetryPolicy};
 pub use supervisor::{StageError, StageOutcome, StagePolicy, Supervisor};

@@ -135,4 +135,67 @@ mod tests {
         let p = RetryPolicy::default();
         assert!(p.delay_for(u32::MAX) <= p.max_delay);
     }
+
+    /// The splitmix64 jitter stream is part of the replay contract: the
+    /// serving stack's supervised worker restarts schedule their backoff
+    /// from it, and the chaos tests replay those schedules exactly. The
+    /// golden nanosecond values below pin the sequence — integer mixing
+    /// and the one f64 scale are both IEEE-exact, so any platform (or
+    /// any accidental reseeding/reordering) that diverges fails here.
+    #[test]
+    fn jitter_sequence_matches_golden_values() {
+        let golden: [(u64, [u64; 5]); 2] = [
+            (
+                0x5EED, // the default seed
+                [
+                    43_578_936,
+                    61_480_453,
+                    184_710_762,
+                    375_404_130,
+                    607_776_492,
+                ],
+            ),
+            (
+                0xC0FFEE,
+                [
+                    45_506_703,
+                    95_160_759,
+                    112_260_858,
+                    241_318_182,
+                    618_866_348,
+                ],
+            ),
+        ];
+        for (seed, delays_ns) in golden {
+            let p = RetryPolicy {
+                jitter_seed: seed,
+                ..RetryPolicy::default()
+            };
+            for (i, &want_ns) in delays_ns.iter().enumerate() {
+                let retry = i as u32 + 1;
+                assert_eq!(
+                    p.delay_for(retry),
+                    Duration::from_nanos(want_ns),
+                    "seed {seed:#x} retry {retry} drifted from the golden schedule"
+                );
+            }
+        }
+    }
+
+    /// `delay_for` must be a pure function of `(policy, retry)`: calling
+    /// it out of order, repeatedly, or from several policies sharing a
+    /// seed never perturbs the stream (no hidden state).
+    #[test]
+    fn jitter_stream_is_stateless() {
+        let p = RetryPolicy::default();
+        let forward: Vec<Duration> = (1..=6).map(|r| p.delay_for(r)).collect();
+        let backward: Vec<Duration> = (1..=6).rev().map(|r| p.delay_for(r)).collect();
+        let twice: Vec<Duration> = (1..=6).map(|r| p.delay_for(r)).collect();
+        assert_eq!(forward, twice);
+        assert_eq!(
+            forward,
+            backward.into_iter().rev().collect::<Vec<_>>(),
+            "evaluation order must not matter"
+        );
+    }
 }

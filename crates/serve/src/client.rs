@@ -1,0 +1,269 @@
+//! Loopback client: single requests for the CLI's `mupod query` and a
+//! fixed-concurrency load generator for the soak test and the
+//! sustained-load bench.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use mupod_runtime::StatusCode;
+
+use crate::frame::{self, FrameError, Priority, ReqKind, HEADER_LEN, MAX_PAYLOAD_BYTES};
+
+/// Client-side failures (server-side rejections arrive as a [`Reply`]
+/// with a non-OK status, not as errors).
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connect / read / write failure.
+    Io(std::io::Error),
+    /// The server's response frame was malformed.
+    Frame(FrameError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Frame(e) => write!(f, "bad response frame: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Frame(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// One decoded server response.
+#[derive(Debug, Clone)]
+pub struct Reply {
+    /// Outcome from the shared status table.
+    pub status: StatusCode,
+    /// The class index, when `status` is OK.
+    pub class: Option<u32>,
+    /// The server's diagnostic, when `status` is an error.
+    pub message: Option<String>,
+    /// Round-trip time as the client saw it.
+    pub latency: Duration,
+}
+
+/// A persistent connection to a `mupod serve` instance.
+pub struct Connection {
+    stream: TcpStream,
+}
+
+impl Connection {
+    /// Connects with `timeout` applied to connect, reads and writes.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] if the server is unreachable.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Sends one classify request and waits for the reply.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport or framing problems; server-side
+    /// rejections come back as a non-OK [`Reply`].
+    pub fn classify(
+        &mut self,
+        image: &[f32],
+        deadline_ms: u32,
+        priority: Priority,
+    ) -> Result<Reply, ClientError> {
+        self.round_trip(ReqKind::Classify, priority, deadline_ms, image)
+    }
+
+    /// Sends a chaos-panic frame (only honored by `--chaos` servers);
+    /// the expected reply is `WorkerCrashed`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Connection::classify`].
+    pub fn chaos_panic(&mut self) -> Result<Reply, ClientError> {
+        self.round_trip(ReqKind::ChaosPanic, Priority::High, 0, &[])
+    }
+
+    fn round_trip(
+        &mut self,
+        kind: ReqKind,
+        priority: Priority,
+        deadline_ms: u32,
+        image: &[f32],
+    ) -> Result<Reply, ClientError> {
+        let start = Instant::now();
+        let req = frame::encode_request(kind, priority, deadline_ms, image);
+        self.stream.write_all(&req)?;
+        self.stream.flush()?;
+        let mut header = [0u8; HEADER_LEN];
+        self.stream.read_exact(&mut header)?;
+        let h = frame::parse_response_header(&header)?;
+        debug_assert!(h.payload_len <= MAX_PAYLOAD_BYTES);
+        let mut payload = vec![0u8; h.payload_len];
+        self.stream.read_exact(&mut payload)?;
+        let latency = start.elapsed();
+        Ok(if h.status == StatusCode::Ok {
+            if payload.len() != 4 {
+                return Err(FrameError::WrongPayloadLen {
+                    got: payload.len(),
+                    want: 4,
+                }
+                .into());
+            }
+            Reply {
+                status: h.status,
+                class: Some(u32::from_le_bytes([
+                    payload[0], payload[1], payload[2], payload[3],
+                ])),
+                message: None,
+                latency,
+            }
+        } else {
+            Reply {
+                status: h.status,
+                class: None,
+                message: Some(String::from_utf8_lossy(&payload).into_owned()),
+                latency,
+            }
+        })
+    }
+}
+
+/// Aggregate outcome of a [`run_load`] sweep.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Requests that got any reply.
+    pub sent: u64,
+    /// OK replies.
+    pub ok: u64,
+    /// `ServerBusy` replies.
+    pub busy: u64,
+    /// `DeadlineExceeded` replies.
+    pub deadline_expired: u64,
+    /// `WorkerCrashed` replies.
+    pub worker_crashed: u64,
+    /// `Draining` replies.
+    pub draining: u64,
+    /// Other reply statuses (e.g. `BadRequest`).
+    pub other: u64,
+    /// Transport errors (connect refused, reset, timeout).
+    pub transport_errors: u64,
+    /// Latency of each OK reply, microseconds, unordered.
+    pub latencies_us: Vec<u64>,
+}
+
+impl LoadReport {
+    fn absorb(&mut self, reply: &Reply) {
+        self.sent += 1;
+        match reply.status {
+            StatusCode::Ok => {
+                self.ok += 1;
+                self.latencies_us
+                    .push(reply.latency.as_micros().min(u128::from(u64::MAX)) as u64);
+            }
+            StatusCode::ServerBusy => self.busy += 1,
+            StatusCode::DeadlineExceeded => self.deadline_expired += 1,
+            StatusCode::WorkerCrashed => self.worker_crashed += 1,
+            StatusCode::Draining => self.draining += 1,
+            _ => self.other += 1,
+        }
+    }
+
+    fn merge(&mut self, other: LoadReport) {
+        self.sent += other.sent;
+        self.ok += other.ok;
+        self.busy += other.busy;
+        self.deadline_expired += other.deadline_expired;
+        self.worker_crashed += other.worker_crashed;
+        self.draining += other.draining;
+        self.other += other.other;
+        self.transport_errors += other.transport_errors;
+        self.latencies_us.extend(other.latencies_us);
+    }
+}
+
+/// Drives `concurrency` persistent loopback connections at full tilt
+/// for `duration`, all sending `image` with `deadline_ms`. Threads
+/// reconnect after transport errors (counted), so a server drain in the
+/// middle of the window is observed as `Draining`/error outcomes, never
+/// as a hang.
+pub fn run_load(
+    addr: SocketAddr,
+    image: &[f32],
+    concurrency: usize,
+    duration: Duration,
+    deadline_ms: u32,
+) -> LoadReport {
+    let stop = AtomicBool::new(false);
+    let total = Mutex::new(LoadReport::default());
+    std::thread::scope(|s| {
+        let stop = &stop;
+        let total = &total;
+        for _ in 0..concurrency.max(1) {
+            s.spawn(move || {
+                let mut local = LoadReport::default();
+                let timeout = Duration::from_secs(5);
+                let mut conn: Option<Connection> = None;
+                while !stop.load(Ordering::SeqCst) {
+                    let c = match conn.as_mut() {
+                        Some(c) => c,
+                        None => match Connection::connect(addr, timeout) {
+                            Ok(c) => {
+                                conn = Some(c);
+                                // A fresh connection; the borrow restarts
+                                // on the next loop turn.
+                                continue;
+                            }
+                            Err(_) => {
+                                local.transport_errors += 1;
+                                std::thread::sleep(Duration::from_millis(20));
+                                continue;
+                            }
+                        },
+                    };
+                    match c.classify(image, deadline_ms, Priority::High) {
+                        Ok(reply) => local.absorb(&reply),
+                        Err(_) => {
+                            local.transport_errors += 1;
+                            conn = None;
+                        }
+                    }
+                }
+                let mut t = total
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                t.merge(local);
+            });
+        }
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::SeqCst);
+    });
+    total
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -1,0 +1,352 @@
+//! The `mupod-serve` wire protocol: fixed 16-byte headers, validated
+//! *before* any payload allocation.
+//!
+//! Both directions use a little-endian binary frame with a 4-byte magic
+//! so a stray connection (HTTP probe, port scanner) is rejected from
+//! the first bytes, never buffered. Request:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  b"mupq"
+//!      4     1  version (1)
+//!      5     1  kind     1 = classify, 2 = chaos-panic (test only)
+//!      6     1  priority 0 = high, 1 = low
+//!      7     1  reserved (0)
+//!      8     4  deadline_ms (u32 LE; 0 = server default)
+//!     12     4  payload_len (u32 LE, bytes)
+//! ```
+//!
+//! The classify payload is the image as raw `f32` LE words; its length
+//! must equal the served model's input element count exactly — anything
+//! else is a [`FrameError`] answered with
+//! [`StatusCode::BadRequest`](mupod_runtime::StatusCode::BadRequest).
+//! Response frames mirror the layout with magic `b"mups"` and a status
+//! byte from the shared [`StatusCode`](mupod_runtime::StatusCode)
+//! table; an OK payload is the class index as one `u32` LE, an error
+//! payload is a UTF-8 diagnostic.
+
+use mupod_runtime::StatusCode;
+
+/// Request-frame magic.
+pub const REQ_MAGIC: [u8; 4] = *b"mupq";
+/// Response-frame magic.
+pub const RESP_MAGIC: [u8; 4] = *b"mups";
+/// Only protocol version in existence.
+pub const PROTOCOL_VERSION: u8 = 1;
+/// Fixed header size, both directions.
+pub const HEADER_LEN: usize = 16;
+/// Absolute payload ceiling — no model served here comes close, and it
+/// bounds what a malicious `payload_len` can make the server allocate.
+pub const MAX_PAYLOAD_BYTES: usize = 16 << 20;
+
+/// What a request asks the server to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqKind {
+    /// Run the image through the model, answer the arg-max class.
+    Classify,
+    /// Panic the worker that picks this up (fault injection; only
+    /// honored when the server runs with `--chaos`).
+    ChaosPanic,
+}
+
+/// Admission priority; the load-shedding ladder rejects `Low` first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Priority {
+    /// Normal traffic.
+    High,
+    /// Best-effort traffic, shed under pressure.
+    Low,
+}
+
+/// A parsed, validated request header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestHeader {
+    /// Requested operation.
+    pub kind: ReqKind,
+    /// Admission priority.
+    pub priority: Priority,
+    /// Per-request deadline in milliseconds; 0 means server default.
+    pub deadline_ms: u32,
+    /// Payload size in bytes (already bounds-checked).
+    pub payload_len: usize,
+}
+
+/// A parsed response header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResponseHeader {
+    /// Outcome from the shared status table.
+    pub status: StatusCode,
+    /// Payload size in bytes (already bounds-checked).
+    pub payload_len: usize,
+}
+
+/// Why a frame was rejected. Every variant maps to
+/// [`StatusCode::BadRequest`] on the wire; the message payload carries
+/// the `Display` text so clients see *which* check failed.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The first four bytes were not the expected magic.
+    BadMagic {
+        /// The bytes actually received.
+        got: [u8; 4],
+    },
+    /// Unknown protocol version byte.
+    BadVersion(u8),
+    /// Unknown request-kind byte.
+    BadKind(u8),
+    /// Unknown priority byte.
+    BadPriority(u8),
+    /// Unknown response status byte.
+    BadStatus(u8),
+    /// `payload_len` exceeds [`MAX_PAYLOAD_BYTES`].
+    Oversized {
+        /// Declared payload length.
+        len: usize,
+    },
+    /// The payload length does not match what the served model needs.
+    WrongPayloadLen {
+        /// Declared payload length in bytes.
+        got: usize,
+        /// Required payload length in bytes.
+        want: usize,
+    },
+    /// The peer closed or stalled mid-frame.
+    Truncated,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic { got } => write!(f, "bad frame magic {got:?}"),
+            FrameError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            FrameError::BadKind(k) => write!(f, "unknown request kind {k}"),
+            FrameError::BadPriority(p) => write!(f, "unknown priority {p}"),
+            FrameError::BadStatus(s) => write!(f, "unknown response status {s}"),
+            FrameError::Oversized { len } => {
+                write!(
+                    f,
+                    "payload of {len} bytes exceeds the {MAX_PAYLOAD_BYTES}-byte cap"
+                )
+            }
+            FrameError::WrongPayloadLen { got, want } => {
+                write!(f, "payload is {got} bytes, model needs exactly {want}")
+            }
+            FrameError::Truncated => write!(f, "frame truncated mid-read"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encodes a classify/chaos request frame.
+pub fn encode_request(
+    kind: ReqKind,
+    priority: Priority,
+    deadline_ms: u32,
+    image: &[f32],
+) -> Vec<u8> {
+    let payload_len = image.len() * 4;
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload_len);
+    buf.extend_from_slice(&REQ_MAGIC);
+    buf.push(PROTOCOL_VERSION);
+    buf.push(match kind {
+        ReqKind::Classify => 1,
+        ReqKind::ChaosPanic => 2,
+    });
+    buf.push(match priority {
+        Priority::High => 0,
+        Priority::Low => 1,
+    });
+    buf.push(0);
+    buf.extend_from_slice(&deadline_ms.to_le_bytes());
+    buf.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    for v in image {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    buf
+}
+
+/// Parses and validates a request header.
+///
+/// # Errors
+///
+/// Any field outside the protocol table returns the matching
+/// [`FrameError`]; the oversize check runs **before** the caller
+/// allocates a payload buffer.
+pub fn parse_request_header(buf: &[u8; HEADER_LEN]) -> Result<RequestHeader, FrameError> {
+    if buf[..4] != REQ_MAGIC {
+        return Err(FrameError::BadMagic {
+            got: [buf[0], buf[1], buf[2], buf[3]],
+        });
+    }
+    if buf[4] != PROTOCOL_VERSION {
+        return Err(FrameError::BadVersion(buf[4]));
+    }
+    let kind = match buf[5] {
+        1 => ReqKind::Classify,
+        2 => ReqKind::ChaosPanic,
+        k => return Err(FrameError::BadKind(k)),
+    };
+    let priority = match buf[6] {
+        0 => Priority::High,
+        1 => Priority::Low,
+        p => return Err(FrameError::BadPriority(p)),
+    };
+    let deadline_ms = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
+    let payload_len = u32::from_le_bytes([buf[12], buf[13], buf[14], buf[15]]) as usize;
+    if payload_len > MAX_PAYLOAD_BYTES {
+        return Err(FrameError::Oversized { len: payload_len });
+    }
+    Ok(RequestHeader {
+        kind,
+        priority,
+        deadline_ms,
+        payload_len,
+    })
+}
+
+/// Decodes a classify payload into `f32` image data.
+///
+/// # Panics
+///
+/// Panics if `payload` is not a multiple of four bytes; the header
+/// validation guarantees it is.
+pub fn decode_image(payload: &[u8]) -> Vec<f32> {
+    assert_eq!(payload.len() % 4, 0, "image payload must be whole f32s");
+    payload
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+/// Encodes a response frame with an arbitrary payload.
+pub fn encode_response(status: StatusCode, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    buf.extend_from_slice(&RESP_MAGIC);
+    buf.push(PROTOCOL_VERSION);
+    buf.push(status.wire());
+    buf.extend_from_slice(&[0, 0]);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&[0, 0, 0, 0]);
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Encodes the OK response carrying a class index.
+pub fn encode_class_response(class: u32) -> Vec<u8> {
+    encode_response(StatusCode::Ok, &class.to_le_bytes())
+}
+
+/// Parses and validates a response header.
+///
+/// # Errors
+///
+/// Returns the matching [`FrameError`] on any malformed field.
+pub fn parse_response_header(buf: &[u8; HEADER_LEN]) -> Result<ResponseHeader, FrameError> {
+    if buf[..4] != RESP_MAGIC {
+        return Err(FrameError::BadMagic {
+            got: [buf[0], buf[1], buf[2], buf[3]],
+        });
+    }
+    if buf[4] != PROTOCOL_VERSION {
+        return Err(FrameError::BadVersion(buf[4]));
+    }
+    let status = StatusCode::from_wire(buf[5]).ok_or(FrameError::BadStatus(buf[5]))?;
+    let payload_len = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]) as usize;
+    if payload_len > MAX_PAYLOAD_BYTES {
+        return Err(FrameError::Oversized { len: payload_len });
+    }
+    Ok(ResponseHeader {
+        status,
+        payload_len,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header_of(frame: &[u8]) -> [u8; HEADER_LEN] {
+        frame[..HEADER_LEN].try_into().expect("frame has a header")
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let image = [0.5f32, -1.25, 3.0];
+        let frame = encode_request(ReqKind::Classify, Priority::Low, 250, &image);
+        let h = parse_request_header(&header_of(&frame)).unwrap();
+        assert_eq!(h.kind, ReqKind::Classify);
+        assert_eq!(h.priority, Priority::Low);
+        assert_eq!(h.deadline_ms, 250);
+        assert_eq!(h.payload_len, 12);
+        assert_eq!(decode_image(&frame[HEADER_LEN..]), image);
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let frame = encode_class_response(7);
+        let h = parse_response_header(&header_of(&frame)).unwrap();
+        assert_eq!(h.status, StatusCode::Ok);
+        assert_eq!(h.payload_len, 4);
+        assert_eq!(&frame[HEADER_LEN..], 7u32.to_le_bytes());
+
+        let err = encode_response(StatusCode::ServerBusy, b"queue full");
+        let h = parse_response_header(&header_of(&err)).unwrap();
+        assert_eq!(h.status, StatusCode::ServerBusy);
+        assert_eq!(&err[HEADER_LEN..], b"queue full");
+    }
+
+    #[test]
+    fn corrupted_headers_are_typed_errors() {
+        let good = encode_request(ReqKind::Classify, Priority::High, 0, &[1.0]);
+        let mut h = header_of(&good);
+        h[0] = b'H'; // an HTTP probe, say
+        assert!(matches!(
+            parse_request_header(&h),
+            Err(FrameError::BadMagic { .. })
+        ));
+
+        let mut h = header_of(&good);
+        h[4] = 9;
+        assert!(matches!(
+            parse_request_header(&h),
+            Err(FrameError::BadVersion(9))
+        ));
+
+        let mut h = header_of(&good);
+        h[5] = 77;
+        assert!(matches!(
+            parse_request_header(&h),
+            Err(FrameError::BadKind(77))
+        ));
+
+        let mut h = header_of(&good);
+        h[6] = 3;
+        assert!(matches!(
+            parse_request_header(&h),
+            Err(FrameError::BadPriority(3))
+        ));
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected_before_allocation() {
+        let good = encode_request(ReqKind::Classify, Priority::High, 0, &[1.0]);
+        let mut h = header_of(&good);
+        h[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            parse_request_header(&h),
+            Err(FrameError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_response_status_is_rejected() {
+        let frame = encode_class_response(0);
+        let mut h = header_of(&frame);
+        h[5] = 99;
+        assert!(matches!(
+            parse_response_header(&h),
+            Err(FrameError::BadStatus(99))
+        ));
+    }
+}

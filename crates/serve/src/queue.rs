@@ -1,0 +1,262 @@
+//! A bounded, two-priority MPMC queue with explicit close semantics.
+//!
+//! This is the server's *only* buffer, and it is the admission-control
+//! point: [`BoundedQueue::try_push`] never blocks and never grows the
+//! queue past its capacity — a full queue is an immediate
+//! [`PushError::Full`], which the connection handler converts to a
+//! typed `ServerBusy` response. Memory is therefore bounded by
+//! `capacity × request size` no matter how fast clients push.
+//!
+//! The close protocol makes draining race-free: [`BoundedQueue::close`]
+//! flips a flag and wakes every waiter. A push after close fails with
+//! [`PushError::Closed`] (the handler answers `Draining` itself), while
+//! [`BoundedQueue::pop_timeout`] keeps returning queued items until the
+//! queue is empty and only then reports [`Pop::Closed`] — so no
+//! accepted request is ever silently dropped: every item is either
+//! executed or explicitly answered `Draining` by the worker that
+//! drained it.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::frame::Priority;
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; reject the request now (`ServerBusy`).
+    Full,
+    /// The queue is closed for drain; answer `Draining`.
+    Closed,
+}
+
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PushError::Full => write!(f, "queue full"),
+            PushError::Closed => write!(f, "queue closed"),
+        }
+    }
+}
+
+impl std::error::Error for PushError {}
+
+/// Outcome of a timed pop.
+#[derive(Debug)]
+pub enum Pop<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The timeout elapsed with the queue open but empty.
+    Empty,
+    /// The queue is closed **and** empty; the worker can exit.
+    Closed,
+}
+
+struct Inner<T> {
+    high: VecDeque<T>,
+    low: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> Inner<T> {
+    fn len(&self) -> usize {
+        self.high.len() + self.low.len()
+    }
+
+    fn take(&mut self) -> Option<T> {
+        self.high.pop_front().or_else(|| self.low.pop_front())
+    }
+}
+
+/// The bounded two-priority queue (see module docs).
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue admitting at most `capacity` items total across
+    /// both priority bands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-capacity queue admits nothing");
+        Self {
+            inner: Mutex::new(Inner {
+                high: VecDeque::new(),
+                low: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        // A panicking worker cannot leave the queue unusable: the data
+        // under the lock is always consistent (no partial mutations), so
+        // poison is safe to clear.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Non-blocking admission. High priority items dequeue first.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`BoundedQueue::close`]; in both cases `item` is handed back so
+    /// the caller can answer the client.
+    pub fn try_push(&self, item: T, priority: Priority) -> Result<(), (PushError, T)> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err((PushError::Closed, item));
+        }
+        if inner.len() >= self.capacity {
+            return Err((PushError::Full, item));
+        }
+        match priority {
+            Priority::High => inner.high.push_back(item),
+            Priority::Low => inner.low.push_back(item),
+        }
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocking dequeue with a bounded wait (see [`Pop`]).
+    pub fn pop_timeout(&self, timeout: Duration) -> Pop<T> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.take() {
+                return Pop::Item(item);
+            }
+            if inner.closed {
+                return Pop::Closed;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Pop::Empty;
+            }
+            let (guard, _timed_out) = self
+                .ready
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            inner = guard;
+        }
+    }
+
+    /// Non-blocking dequeue (used to top up a batch).
+    pub fn try_pop(&self) -> Option<T> {
+        self.lock().take()
+    }
+
+    /// Closes the queue for drain and wakes every waiter. Idempotent.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Items currently queued across both bands.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The admission capacity this queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn full_queue_fast_rejects_without_blocking() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1, Priority::High).unwrap();
+        q.try_push(2, Priority::Low).unwrap();
+        let (err, item) = q.try_push(3, Priority::High).unwrap_err();
+        assert_eq!(err, PushError::Full);
+        assert_eq!(item, 3);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn high_priority_dequeues_first() {
+        let q = BoundedQueue::new(4);
+        q.try_push("low", Priority::Low).unwrap();
+        q.try_push("high", Priority::High).unwrap();
+        assert_eq!(q.try_pop(), Some("high"));
+        assert_eq!(q.try_pop(), Some("low"));
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn close_rejects_pushes_but_drains_items() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1, Priority::High).unwrap();
+        q.try_push(2, Priority::High).unwrap();
+        q.close();
+        let (err, _) = q.try_push(3, Priority::High).unwrap_err();
+        assert_eq!(err, PushError::Closed);
+        // Queued items survive the close...
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(1)),
+            Pop::Item(1)
+        ));
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(1)),
+            Pop::Item(2)
+        ));
+        // ...and only then the drain signal surfaces.
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(1)),
+            Pop::Closed
+        ));
+    }
+
+    #[test]
+    fn pop_timeout_returns_empty_on_open_queue() {
+        let q: BoundedQueue<u8> = BoundedQueue::new(1);
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(5)),
+            Pop::Empty
+        ));
+    }
+
+    #[test]
+    fn close_wakes_blocked_poppers() {
+        let q: Arc<BoundedQueue<u8>> = Arc::new(BoundedQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop_timeout(Duration::from_secs(30)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        let popped = h.join().expect("popper thread joins");
+        assert!(matches!(popped, Pop::Closed));
+    }
+
+    #[test]
+    fn push_wakes_blocked_poppers() {
+        let q: Arc<BoundedQueue<u8>> = Arc::new(BoundedQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop_timeout(Duration::from_secs(30)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.try_push(9, Priority::High).unwrap();
+        match h.join().expect("popper thread joins") {
+            Pop::Item(v) => assert_eq!(v, 9),
+            other => panic!("expected an item, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,686 @@
+//! The serving loop: admission, connection handling, drain, report.
+//!
+//! One listener thread accepts connections and spawns a handler per
+//! connection; handlers parse frames, apply admission control and the
+//! load-shedding ladder, and park on a rendezvous channel while one of
+//! the worker threads ([`crate::worker`]) executes the request as part
+//! of a batch. Every wait in the building is bounded — socket reads and
+//! writes carry timeouts, queue pops time out, response waits time out —
+//! so a drain can never hang on a stuck peer.
+//!
+//! The degradation ladder (level is re-evaluated at every admission):
+//!
+//! | level | trigger               | effect                               |
+//! |------:|-----------------------|--------------------------------------|
+//! | 0     | queue below ½ capacity| normal batching                      |
+//! | 1     | queue ≥ ½ capacity    | max batch shrinks to 1 (lower latency per request) |
+//! | 2     | queue ≥ ¾ capacity    | low-priority requests rejected `ServerBusy` at admission |
+//! | 3     | SIGINT / fatal error  | drain: stop accepting, finish in-flight, answer queued `Draining` |
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use mupod_nn::Network;
+use mupod_runtime::{CancelToken, StatusCode};
+
+use crate::frame::{self, FrameError, Priority, ReqKind, HEADER_LEN};
+use crate::queue::{BoundedQueue, PushError};
+use crate::worker;
+
+/// How often blocked loops (accept, idle connection reads, queue pops)
+/// wake to re-check the drain flag.
+pub(crate) const POLL: Duration = Duration::from_millis(50);
+/// Once a frame's first byte arrives, the rest must follow within this
+/// window or the connection is dropped with `BadRequest`.
+const FRAME_READ_TIMEOUT: Duration = Duration::from_secs(2);
+/// Socket write timeout: a peer that stops reading cannot pin a handler.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+/// Grace on top of a request's deadline for the worker's answer to
+/// arrive before the handler gives up (covers batch execution time).
+const RESPONSE_GRACE: Duration = Duration::from_secs(10);
+
+/// Everything `mupod serve` needs to know.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:0` (0 = ephemeral port).
+    pub addr: String,
+    /// Worker threads, each with its own batch arena.
+    pub workers: usize,
+    /// Bounded queue capacity — the admission-control limit.
+    pub queue_depth: usize,
+    /// Largest batch a worker gathers per forward pass.
+    pub max_batch: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Duration,
+    /// Worker panics tolerated before the server gives up and drains.
+    pub restart_budget: u32,
+    /// Honor `ChaosPanic` frames (fault injection for the chaos tests).
+    pub chaos: bool,
+    /// Test hook: sleep this long before executing each batch, making
+    /// deadline-expiry and drain windows deterministic in tests.
+    pub slow_batch: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_depth: 32,
+            max_batch: 4,
+            default_deadline: Duration::from_secs(1),
+            restart_budget: 8,
+            chaos: false,
+            slow_batch: None,
+        }
+    }
+}
+
+/// What happened over one serving run, computed at drain.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Requests answered `Ok` with a class.
+    pub requests_ok: u64,
+    /// Fast-rejected at admission (queue full or low-priority shed).
+    pub rejected_busy: u64,
+    /// Answered `Draining` (at admission or dequeued unexecuted).
+    pub rejected_draining: u64,
+    /// Low-priority requests shed by ladder level ≥ 2 (subset of
+    /// `rejected_busy`).
+    pub shed_low_priority: u64,
+    /// Requests whose deadline expired before or during service.
+    pub deadline_expired: u64,
+    /// Malformed / truncated / oversized frames answered `BadRequest`.
+    pub bad_frames: u64,
+    /// Worker panics caught and answered `WorkerCrashed`.
+    pub worker_crashes: u64,
+    /// Peers that vanished mid-request or mid-response.
+    pub client_disconnects: u64,
+    /// Batched forward passes executed.
+    pub batches: u64,
+    /// Requests served through those batches.
+    pub batched_requests: u64,
+    /// Median OK-request latency, microseconds (0 if none).
+    pub p50_latency_us: u64,
+    /// 99th-percentile OK-request latency, microseconds (0 if none).
+    pub p99_latency_us: u64,
+}
+
+/// Terminal serving failures (everything else degrades and continues).
+#[derive(Debug)]
+pub enum ServeError {
+    /// The listener could not bind.
+    Bind {
+        /// The requested address.
+        addr: String,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// Workers panicked more often than the restart budget allows;
+    /// the server drained rather than thrash.
+    RestartBudgetExhausted {
+        /// Panics observed.
+        crashes: u32,
+        /// The configured budget.
+        budget: u32,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Bind { addr, source } => write!(f, "cannot bind {addr}: {source}"),
+            ServeError::RestartBudgetExhausted { crashes, budget } => write!(
+                f,
+                "worker restart budget exhausted ({crashes} crashes > budget {budget}); drained"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Bind { source, .. } => Some(source),
+            ServeError::RestartBudgetExhausted { .. } => None,
+        }
+    }
+}
+
+/// One admitted request travelling from handler to worker.
+pub(crate) struct Job {
+    /// Requested operation.
+    pub(crate) kind: ReqKind,
+    /// Raw image data (empty for chaos frames).
+    pub(crate) image: Vec<f32>,
+    /// When the request must be answered by.
+    pub(crate) deadline: Instant,
+    /// When the handler admitted it (latency base).
+    pub(crate) accepted: Instant,
+    /// Rendezvous back to the waiting handler.
+    pub(crate) resp: mpsc::SyncSender<(StatusCode, Vec<u8>)>,
+}
+
+/// Saturating counters backing the [`ServeReport`]; kept as plain
+/// atomics (not only obs counters) so the report works even without an
+/// installed recorder.
+#[derive(Default)]
+pub(crate) struct Stats {
+    pub(crate) requests_ok: AtomicU64,
+    pub(crate) rejected_busy: AtomicU64,
+    pub(crate) rejected_draining: AtomicU64,
+    pub(crate) shed_low_priority: AtomicU64,
+    pub(crate) deadline_expired: AtomicU64,
+    pub(crate) bad_frames: AtomicU64,
+    pub(crate) worker_crashes: AtomicU64,
+    pub(crate) client_disconnects: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) batched_requests: AtomicU64,
+}
+
+/// State shared by the listener, every handler and every worker.
+pub(crate) struct Shared {
+    pub(crate) queue: BoundedQueue<Job>,
+    /// Level-3 flag: set by SIGINT or a fatal worker error.
+    pub(crate) draining: AtomicBool,
+    /// Current ladder level (0–2; 3 is `draining`).
+    pub(crate) degrade: AtomicU8,
+    /// Worker panics so far (restart budget bookkeeping).
+    pub(crate) crashes: AtomicU32,
+    /// First terminal error wins; returned from [`run`].
+    pub(crate) fatal: Mutex<Option<ServeError>>,
+    /// OK-request latencies in microseconds (percentiles at drain).
+    pub(crate) latencies_us: Mutex<Vec<u64>>,
+    pub(crate) stats: Stats,
+}
+
+impl Shared {
+    fn new(cfg: &ServeConfig) -> Self {
+        Self {
+            queue: BoundedQueue::new(cfg.queue_depth.max(1)),
+            draining: AtomicBool::new(false),
+            degrade: AtomicU8::new(0),
+            crashes: AtomicU32::new(0),
+            fatal: Mutex::new(None),
+            latencies_us: Mutex::new(Vec::new()),
+            stats: Stats::default(),
+        }
+    }
+
+    pub(crate) fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Enters ladder level 3: no new admissions, queued work is answered
+    /// `Draining`, workers exit once the queue is dry.
+    pub(crate) fn begin_drain(&self) {
+        if !self.draining.swap(true, Ordering::SeqCst) {
+            mupod_obs::event(
+                mupod_obs::Level::Info,
+                "serve.drain_begin",
+                &[("queued", &self.queue.len().to_string())],
+            );
+        }
+        self.queue.close();
+    }
+
+    pub(crate) fn record_latency(&self, accepted: Instant) {
+        let us = accepted.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        mupod_obs::histogram_record("serve.latency_us", us as f64);
+        self.latencies_us
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(us);
+    }
+}
+
+/// Sends a job's response back to its handler; the handler may already
+/// have timed out and gone, which is fine — the send just fizzles.
+pub(crate) fn respond_job(job: &Job, status: StatusCode, payload: Vec<u8>) {
+    let _ = job.resp.send((status, payload));
+}
+
+/// Sorts `latencies_us` in place and returns `(p50, p99)` in
+/// microseconds — `(0, 0)` for an empty slice. Shared with the
+/// sustained-load bench so `BENCH_serve.json` uses the same definition.
+pub fn percentiles_us(latencies_us: &mut [u64]) -> (u64, u64) {
+    if latencies_us.is_empty() {
+        return (0, 0);
+    }
+    latencies_us.sort_unstable();
+    let n = latencies_us.len();
+    let p50 = latencies_us[n / 2];
+    let p99 = latencies_us[(n * 99 / 100).min(n - 1)];
+    (p50, p99)
+}
+
+/// Runs the server until `token` cancels (graceful drain → `Ok`) or a
+/// terminal error occurs.
+///
+/// `on_ready` fires once with the bound address — with port 0 in the
+/// config this is the only way to learn the real port, and tests use it
+/// to synchronize.
+///
+/// # Errors
+///
+/// [`ServeError::Bind`] if the listener cannot bind;
+/// [`ServeError::RestartBudgetExhausted`] if workers panic more often
+/// than `cfg.restart_budget` tolerates (the server drains first, so
+/// in-flight clients still get answers).
+pub fn run(
+    net: &Network,
+    cfg: &ServeConfig,
+    token: &CancelToken,
+    on_ready: impl FnOnce(SocketAddr),
+) -> Result<ServeReport, ServeError> {
+    let listener = TcpListener::bind(&cfg.addr).map_err(|source| ServeError::Bind {
+        addr: cfg.addr.clone(),
+        source,
+    })?;
+    let local = listener.local_addr().map_err(|source| ServeError::Bind {
+        addr: cfg.addr.clone(),
+        source,
+    })?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|source| ServeError::Bind {
+            addr: cfg.addr.clone(),
+            source,
+        })?;
+    mupod_obs::event(
+        mupod_obs::Level::Info,
+        "serve.listening",
+        &[
+            ("addr", &local.to_string()),
+            ("workers", &cfg.workers.to_string()),
+            ("queue_depth", &cfg.queue_depth.to_string()),
+            ("max_batch", &cfg.max_batch.to_string()),
+        ],
+    );
+    let shared = Shared::new(cfg);
+    on_ready(local);
+    std::thread::scope(|s| {
+        let shared = &shared;
+        for idx in 0..cfg.workers.max(1) {
+            s.spawn(move || worker::worker_loop(idx, net, cfg, shared));
+        }
+        loop {
+            if token.is_cancelled() || shared.is_draining() {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    mupod_obs::counter_add("serve.connections", 1);
+                    s.spawn(move || handle_conn(stream, net, cfg, shared));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL);
+                }
+                Err(e) => {
+                    mupod_obs::event(
+                        mupod_obs::Level::Warn,
+                        "serve.accept_error",
+                        &[("error", &e.to_string())],
+                    );
+                    std::thread::sleep(POLL);
+                }
+            }
+        }
+        shared.begin_drain();
+        // The scope joins every worker and handler before returning:
+        // workers exit when the closed queue runs dry, handlers when
+        // their bounded reads/waits observe the drain flag.
+    });
+    let fatal = shared
+        .fatal
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take();
+    if let Some(e) = fatal {
+        return Err(e);
+    }
+    let mut lat = shared
+        .latencies_us
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    let (p50, p99) = percentiles_us(&mut lat);
+    let st = &shared.stats;
+    let report = ServeReport {
+        requests_ok: st.requests_ok.load(Ordering::SeqCst),
+        rejected_busy: st.rejected_busy.load(Ordering::SeqCst),
+        rejected_draining: st.rejected_draining.load(Ordering::SeqCst),
+        shed_low_priority: st.shed_low_priority.load(Ordering::SeqCst),
+        deadline_expired: st.deadline_expired.load(Ordering::SeqCst),
+        bad_frames: st.bad_frames.load(Ordering::SeqCst),
+        worker_crashes: st.worker_crashes.load(Ordering::SeqCst),
+        client_disconnects: st.client_disconnects.load(Ordering::SeqCst),
+        batches: st.batches.load(Ordering::SeqCst),
+        batched_requests: st.batched_requests.load(Ordering::SeqCst),
+        p50_latency_us: p50,
+        p99_latency_us: p99,
+    };
+    mupod_obs::event(
+        mupod_obs::Level::Info,
+        "serve.drained",
+        &[
+            ("requests_ok", &report.requests_ok.to_string()),
+            ("worker_crashes", &report.worker_crashes.to_string()),
+        ],
+    );
+    Ok(report)
+}
+
+/// The ladder level the current queue depth maps to (0–2).
+fn ladder_level(queue_len: usize, capacity: usize) -> u8 {
+    if queue_len * 4 >= capacity * 3 {
+        2
+    } else if queue_len * 2 >= capacity {
+        1
+    } else {
+        0
+    }
+}
+
+/// Per-connection loop: poll for a frame, serve it, repeat until the
+/// peer leaves, the frame stream goes bad, or the server drains.
+fn handle_conn(mut stream: TcpStream, net: &Network, cfg: &ServeConfig, shared: &Shared) {
+    let expected_elems: usize = net.input_dims().iter().product();
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let mut first = [0u8; 1];
+    loop {
+        if shared.is_draining() {
+            break;
+        }
+        match stream.read(&mut first) {
+            Ok(0) => break,
+            Ok(_) => {
+                if !serve_one(&mut stream, first[0], expected_elems, cfg, shared) {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => {
+                shared
+                    .stats
+                    .client_disconnects
+                    .fetch_add(1, Ordering::SeqCst);
+                mupod_obs::counter_add("serve.client_disconnects", 1);
+                break;
+            }
+        }
+    }
+}
+
+/// Reads exactly `buf` from a stream whose read timeout slices the
+/// wait, giving up at `deadline`. `false` means truncated/disconnected.
+fn read_remaining(stream: &mut TcpStream, buf: &mut [u8], deadline: Instant) -> bool {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return false,
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if Instant::now() >= deadline {
+                    return false;
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+/// Writes a response frame; `false` means the peer vanished.
+fn write_response(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    status: StatusCode,
+    payload: &[u8],
+) -> bool {
+    let frame = frame::encode_response(status, payload);
+    match stream.write_all(&frame).and_then(|()| stream.flush()) {
+        Ok(()) => true,
+        Err(e) => {
+            shared
+                .stats
+                .client_disconnects
+                .fetch_add(1, Ordering::SeqCst);
+            mupod_obs::counter_add("serve.client_disconnects", 1);
+            mupod_obs::event(
+                mupod_obs::Level::Warn,
+                "serve.client_disconnect",
+                &[("during", "response write"), ("error", &e.to_string())],
+            );
+            false
+        }
+    }
+}
+
+/// Answers a frame error with `BadRequest`; the connection then closes
+/// (a malformed binary stream cannot be re-synchronized).
+fn reject_bad_frame(stream: &mut TcpStream, shared: &Shared, err: &FrameError) -> bool {
+    shared.stats.bad_frames.fetch_add(1, Ordering::SeqCst);
+    mupod_obs::counter_add("serve.bad_frames", 1);
+    mupod_obs::event(
+        mupod_obs::Level::Warn,
+        "serve.bad_frame",
+        &[("error", &err.to_string())],
+    );
+    write_response(
+        stream,
+        shared,
+        StatusCode::BadRequest,
+        err.to_string().as_bytes(),
+    );
+    false
+}
+
+/// Serves one request whose first header byte has already arrived.
+/// Returns whether the connection should stay open.
+fn serve_one(
+    stream: &mut TcpStream,
+    first: u8,
+    expected_elems: usize,
+    cfg: &ServeConfig,
+    shared: &Shared,
+) -> bool {
+    let frame_deadline = Instant::now() + FRAME_READ_TIMEOUT;
+    let mut header = [0u8; HEADER_LEN];
+    header[0] = first;
+    if !read_remaining(stream, &mut header[1..], frame_deadline) {
+        return reject_bad_frame(stream, shared, &FrameError::Truncated);
+    }
+    let h = match frame::parse_request_header(&header) {
+        Ok(h) => h,
+        Err(e) => return reject_bad_frame(stream, shared, &e),
+    };
+    let mut payload = vec![0u8; h.payload_len];
+    if !read_remaining(stream, &mut payload, frame_deadline) {
+        return reject_bad_frame(stream, shared, &FrameError::Truncated);
+    }
+    match h.kind {
+        ReqKind::Classify => {
+            let want = expected_elems * 4;
+            if h.payload_len != want {
+                return reject_bad_frame(
+                    stream,
+                    shared,
+                    &FrameError::WrongPayloadLen {
+                        got: h.payload_len,
+                        want,
+                    },
+                );
+            }
+        }
+        ReqKind::ChaosPanic => {
+            if !cfg.chaos {
+                return reject_bad_frame(stream, shared, &FrameError::BadKind(2));
+            }
+        }
+    }
+    if shared.is_draining() {
+        shared
+            .stats
+            .rejected_draining
+            .fetch_add(1, Ordering::SeqCst);
+        mupod_obs::counter_add("serve.rejected_draining", 1);
+        write_response(
+            stream,
+            shared,
+            StatusCode::Draining,
+            b"server draining; not accepting work",
+        );
+        return false;
+    }
+    // Re-evaluate the degradation ladder at every admission.
+    let depth = shared.queue.len();
+    mupod_obs::histogram_record("serve.queue_depth", depth as f64);
+    let level = ladder_level(depth, shared.queue.capacity());
+    let prev = shared.degrade.swap(level, Ordering::SeqCst);
+    if level != prev {
+        mupod_obs::event(
+            mupod_obs::Level::Warn,
+            "serve.degrade_level",
+            &[
+                ("from", &prev.to_string()),
+                ("to", &level.to_string()),
+                ("queue_depth", &depth.to_string()),
+            ],
+        );
+    }
+    if level >= 2 && h.priority == Priority::Low {
+        shared
+            .stats
+            .shed_low_priority
+            .fetch_add(1, Ordering::SeqCst);
+        shared.stats.rejected_busy.fetch_add(1, Ordering::SeqCst);
+        mupod_obs::counter_add("serve.shed_low_priority", 1);
+        return write_response(
+            stream,
+            shared,
+            StatusCode::ServerBusy,
+            b"shedding low-priority traffic",
+        );
+    }
+    let accepted = Instant::now();
+    let deadline = accepted
+        + if h.deadline_ms == 0 {
+            cfg.default_deadline
+        } else {
+            Duration::from_millis(u64::from(h.deadline_ms))
+        };
+    let (tx, rx) = mpsc::sync_channel(1);
+    let job = Job {
+        kind: h.kind,
+        image: frame::decode_image(&payload),
+        deadline,
+        accepted,
+        resp: tx,
+    };
+    match shared.queue.try_push(job, h.priority) {
+        Ok(()) => {}
+        Err((PushError::Full, _)) => {
+            shared.stats.rejected_busy.fetch_add(1, Ordering::SeqCst);
+            mupod_obs::counter_add("serve.rejected_busy", 1);
+            return write_response(
+                stream,
+                shared,
+                StatusCode::ServerBusy,
+                b"request queue full",
+            );
+        }
+        Err((PushError::Closed, _)) => {
+            shared
+                .stats
+                .rejected_draining
+                .fetch_add(1, Ordering::SeqCst);
+            mupod_obs::counter_add("serve.rejected_draining", 1);
+            write_response(
+                stream,
+                shared,
+                StatusCode::Draining,
+                b"server draining; not accepting work",
+            );
+            return false;
+        }
+    }
+    let wait = deadline.saturating_duration_since(Instant::now())
+        + RESPONSE_GRACE
+        + cfg.slow_batch.unwrap_or(Duration::ZERO);
+    match rx.recv_timeout(wait) {
+        Ok((status, body)) => write_response(stream, shared, status, &body),
+        Err(RecvTimeoutError::Timeout) => {
+            shared.stats.deadline_expired.fetch_add(1, Ordering::SeqCst);
+            mupod_obs::counter_add("serve.deadline_expired", 1);
+            write_response(
+                stream,
+                shared,
+                StatusCode::DeadlineExceeded,
+                b"no worker answered in time",
+            )
+        }
+        Err(RecvTimeoutError::Disconnected) => write_response(
+            stream,
+            shared,
+            StatusCode::WorkerCrashed,
+            b"worker dropped the request",
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_levels_follow_queue_pressure() {
+        // Capacity 8: level 1 at 4 queued, level 2 at 6.
+        assert_eq!(ladder_level(0, 8), 0);
+        assert_eq!(ladder_level(3, 8), 0);
+        assert_eq!(ladder_level(4, 8), 1);
+        assert_eq!(ladder_level(5, 8), 1);
+        assert_eq!(ladder_level(6, 8), 2);
+        assert_eq!(ladder_level(8, 8), 2);
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let mut empty: Vec<u64> = vec![];
+        assert_eq!(percentiles_us(&mut empty), (0, 0));
+        let mut one = vec![42];
+        assert_eq!(percentiles_us(&mut one), (42, 42));
+        let mut v: Vec<u64> = (1..=100).rev().collect();
+        let (p50, p99) = percentiles_us(&mut v);
+        assert_eq!(p50, 51);
+        assert_eq!(p99, 100);
+    }
+
+    #[test]
+    fn bind_failure_is_a_typed_error() {
+        let net = crate::test_util::tiny_net();
+        let cfg = ServeConfig {
+            addr: "256.256.256.256:1".to_string(),
+            ..ServeConfig::default()
+        };
+        let token = CancelToken::new();
+        let err = run(&net, &cfg, &token, |_| {}).unwrap_err();
+        assert!(matches!(err, ServeError::Bind { .. }));
+        assert!(err.to_string().contains("cannot bind"));
+    }
+}

@@ -144,6 +144,31 @@ pub fn im2col(input: &Tensor, params: &Conv2dParams, group: usize) -> Vec<f32> {
 /// Panics if `input` is not rank 3, `group` is out of range, or `out`
 /// has the wrong length.
 pub fn im2col_into(input: &Tensor, params: &Conv2dParams, group: usize, out: &mut [f32]) {
+    let (h, w) = (input.dims()[1], input.dims()[2]);
+    let gc = params.in_channels / params.groups;
+    let (oh, ow) = params.out_spatial(h, w);
+    let k = params.kernel;
+    assert_eq!(out.len(), gc * k * k * oh * ow, "im2col scratch mismatch");
+    // Padding positions are never written by the core, so a reused
+    // buffer must be cleared first.
+    out.fill(0.0);
+    im2col_strided(input, params, group, out, oh * ow, 0);
+}
+
+/// The shared im2col loop nest: writes one image's columns into a row-
+/// major matrix whose rows are `row_stride` wide, starting at column
+/// `col_off`. [`im2col_into`] uses `row_stride == cols, col_off == 0`;
+/// the batched convolution packs image `b` at `col_off == b · cols` so
+/// the whole batch lowers to one matrix. Only positions inside the
+/// image are written — the caller zero-fills for the padding.
+fn im2col_strided(
+    input: &Tensor,
+    params: &Conv2dParams,
+    group: usize,
+    out: &mut [f32],
+    row_stride: usize,
+    col_off: usize,
+) {
     assert_eq!(input.dims().len(), 3, "im2col expects a CHW tensor");
     assert!(group < params.groups, "group index out of range");
     let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
@@ -151,19 +176,21 @@ pub fn im2col_into(input: &Tensor, params: &Conv2dParams, group: usize, out: &mu
     let gc = params.in_channels / params.groups;
     let (oh, ow) = params.out_spatial(h, w);
     let k = params.kernel;
-    assert_eq!(out.len(), gc * k * k * oh * ow, "im2col scratch mismatch");
-    // Padding positions are never written below, so a reused buffer must
-    // be cleared first.
-    out.fill(0.0);
-    let data = input.data();
     let cols = oh * ow;
+    assert!(col_off + cols <= row_stride, "column window out of range");
+    assert_eq!(
+        out.len(),
+        gc * k * k * row_stride,
+        "im2col scratch mismatch"
+    );
+    let data = input.data();
     for gci in 0..gc {
         let ci = group * gc + gci;
         let chan = &data[ci * h * w..(ci + 1) * h * w];
         for ky in 0..k {
             for kx in 0..k {
                 let row_idx = (gci * k + ky) * k + kx;
-                let row = &mut out[row_idx * cols..(row_idx + 1) * cols];
+                let row = &mut out[row_idx * row_stride + col_off..][..cols];
                 for oy in 0..oh {
                     let iy = (oy * params.stride + ky) as isize - params.pad as isize;
                     if iy < 0 || iy >= h as isize {
@@ -259,6 +286,105 @@ pub fn conv2d_into(
         for (oc, &bv) in b.iter().enumerate() {
             for v in &mut out[oc * cols..(oc + 1) * cols] {
                 *v += bv;
+            }
+        }
+    }
+}
+
+/// Batch-N 2-D convolution: one im2col over the whole batch, one
+/// [`gemm_tiled`] per group.
+///
+/// Every image's im2col columns are packed side by side into a single
+/// `(group_in_c · k²) × (N · oh · ow)` matrix, so the batch amortizes
+/// the weight-panel traffic of N separate GEMMs into one large product.
+/// `outs[b]` receives image `b`'s CHW output (`out_channels · oh · ow`
+/// elements, fully overwritten).
+///
+/// **Bit-identical to N independent [`conv2d_into`] calls.** Per output
+/// element, [`gemm_tiled`] accumulates in ascending-`k` order with the
+/// exact-zero skip on the weight operand, and neither depends on the
+/// column count — appending other images' columns to the right of the
+/// matrix cannot change any element's addition sequence. The scatter
+/// back to per-image layout is a copy, and the bias add happens last in
+/// the same per-element position as the single-image path. The nn
+/// property suite asserts this across batch sizes and shapes.
+///
+/// `patches` and `gemm_out` are reusable scratch buffers — grown on
+/// demand, never shrunk, zero heap allocation once warm.
+///
+/// # Panics
+///
+/// Panics on any shape mismatch, on an empty batch, or when the images
+/// in the batch disagree on shape.
+pub fn conv2d_batch_into(
+    inputs: &[&Tensor],
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    p: &Conv2dParams,
+    patches: &mut Vec<f32>,
+    gemm_out: &mut Vec<f32>,
+    outs: &mut [&mut [f32]],
+) {
+    let n = inputs.len();
+    assert!(n > 0, "conv2d_batch_into needs a non-empty batch");
+    assert_eq!(n, outs.len(), "batch input/output count mismatch");
+    for input in inputs {
+        check_conv_args(input, weight, bias, p);
+        assert_eq!(
+            input.dims(),
+            inputs[0].dims(),
+            "batch images must share one shape"
+        );
+    }
+    let (h, w) = (inputs[0].dims()[1], inputs[0].dims()[2]);
+    let (oh, ow) = p.out_spatial(h, w);
+    let cols = oh * ow;
+    let total = n * cols;
+    let gc_in = p.in_channels / p.groups;
+    let gc_out = p.out_channels / p.groups;
+    let kk = p.kernel * p.kernel;
+    for out in outs.iter_mut() {
+        assert_eq!(
+            out.len(),
+            p.out_channels * cols,
+            "conv output size mismatch"
+        );
+        out.fill(0.0);
+    }
+    let patch_len = gc_in * kk * total;
+    if patches.len() < patch_len {
+        patches.resize(patch_len, 0.0);
+    }
+    let gemm_len = gc_out * total;
+    if gemm_out.len() < gemm_len {
+        gemm_out.resize(gemm_len, 0.0);
+    }
+    for g in 0..p.groups {
+        let patch = &mut patches[..patch_len];
+        patch.fill(0.0);
+        for (b, input) in inputs.iter().enumerate() {
+            im2col_strided(input, p, g, patch, total, b * cols);
+        }
+        let c_buf = &mut gemm_out[..gemm_len];
+        c_buf.fill(0.0);
+        let w_group = &weight.data()[g * gc_out * gc_in * kk..(g + 1) * gc_out * gc_in * kk];
+        gemm_tiled(gc_out, gc_in * kk, total, w_group, patch, c_buf);
+        // Scatter each image's column block back to its CHW output.
+        for oc in 0..gc_out {
+            let row = &c_buf[oc * total..(oc + 1) * total];
+            let oc_abs = g * gc_out + oc;
+            for (b, out) in outs.iter_mut().enumerate() {
+                out[oc_abs * cols..(oc_abs + 1) * cols]
+                    .copy_from_slice(&row[b * cols..(b + 1) * cols]);
+            }
+        }
+    }
+    if let Some(bvs) = bias {
+        for out in outs.iter_mut() {
+            for (oc, &bv) in bvs.iter().enumerate() {
+                for v in &mut out[oc * cols..(oc + 1) * cols] {
+                    *v += bv;
+                }
             }
         }
     }
@@ -414,5 +540,83 @@ mod tests {
     #[should_panic(expected = "in_channels must divide")]
     fn grouped_rejects_indivisible() {
         Conv2dParams::grouped(3, 4, 3, 1, 1, 2);
+    }
+
+    /// Batched conv must reproduce the single-image fast path bit for
+    /// bit — dense, grouped and depthwise, warm and cold scratch, for
+    /// every batch size including 1.
+    #[test]
+    fn batch_conv_bit_identical_to_sequential() {
+        let mut rng = SeededRng::new(53);
+        let cases = [
+            (Conv2dParams::new(3, 5, 3, 2, 1), [3usize, 9, 7]),
+            (Conv2dParams::grouped(4, 6, 3, 1, 1, 2), [4, 6, 6]),
+            (Conv2dParams::grouped(4, 4, 3, 1, 1, 4), [4, 5, 5]),
+        ];
+        let mut patches = Vec::new();
+        let mut gemm_scratch = Vec::new();
+        for (p, in_dims) in cases {
+            let weight = random_tensor(
+                &mut rng,
+                &[p.out_channels, p.in_channels / p.groups, p.kernel, p.kernel],
+            );
+            let bias: Vec<f32> = (0..p.out_channels)
+                .map(|_| rng.gaussian(0.0, 0.5) as f32)
+                .collect();
+            let (oh, ow) = p.out_spatial(in_dims[1], in_dims[2]);
+            for batch in [1usize, 2, 5] {
+                let images: Vec<Tensor> = (0..batch)
+                    .map(|_| random_tensor(&mut rng, &in_dims))
+                    .collect();
+                let refs: Vec<&Tensor> = images.iter().collect();
+                let mut outs_flat = vec![vec![0.0f32; p.out_channels * oh * ow]; batch];
+                {
+                    let mut outs: Vec<&mut [f32]> =
+                        outs_flat.iter_mut().map(|v| v.as_mut_slice()).collect();
+                    conv2d_batch_into(
+                        &refs,
+                        &weight,
+                        Some(&bias),
+                        &p,
+                        &mut patches,
+                        &mut gemm_scratch,
+                        &mut outs,
+                    );
+                }
+                for (b, img) in images.iter().enumerate() {
+                    let single = conv2d(img, &weight, Some(&bias), &p);
+                    assert_eq!(
+                        single
+                            .data()
+                            .iter()
+                            .map(|v| v.to_bits())
+                            .collect::<Vec<_>>(),
+                        outs_flat[b].iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "batch {batch} image {b} diverged for {p:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must share one shape")]
+    fn batch_conv_rejects_mixed_shapes() {
+        let p = Conv2dParams::new(1, 1, 3, 1, 1);
+        let a = Tensor::zeros(&[1, 4, 4]);
+        let b = Tensor::zeros(&[1, 5, 5]);
+        let w = Tensor::zeros(&[1, 1, 3, 3]);
+        let mut o1 = vec![0.0f32; 16];
+        let mut o2 = vec![0.0f32; 25];
+        let mut outs: Vec<&mut [f32]> = vec![&mut o1, &mut o2];
+        conv2d_batch_into(
+            &[&a, &b],
+            &w,
+            None,
+            &p,
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &mut outs,
+        );
     }
 }

@@ -25,7 +25,8 @@
 //! | [`train`] | `mupod-train` | SGD backprop for genuinely trained networks |
 //! | [`stats`] | `mupod-stats` | moments, regression, histograms, RNG |
 //! | [`obs`] | `mupod-obs` | spans, counters, histograms, Chrome trace export |
-//! | [`runtime`] | `mupod-runtime` | stage supervision (deadlines, retry, cancellation), crash-safe checksummed artifacts |
+//! | [`runtime`] | `mupod-runtime` | stage supervision (deadlines, retry, cancellation), crash-safe checksummed artifacts, the shared status-code table |
+//! | [`serve`] | `mupod-serve` | fault-tolerant batched TCP inference serving: worker pool, admission control, deadlines, graceful drain |
 //!
 //! # Quickstart
 //!
@@ -65,6 +66,7 @@ pub use mupod_obs as obs;
 pub use mupod_optim as optim;
 pub use mupod_quant as quant;
 pub use mupod_runtime as runtime;
+pub use mupod_serve as serve;
 pub use mupod_stats as stats;
 pub use mupod_tensor as tensor;
 pub use mupod_train as train;
