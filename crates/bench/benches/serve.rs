@@ -20,16 +20,23 @@ use criterion::BenchRecord;
 use mupod_bench::setup;
 use mupod_models::ModelKind;
 use mupod_runtime::{CancelReason, CancelToken};
-use mupod_serve::{percentiles_us, run, run_load, ServeConfig};
+use mupod_serve::{http_get, percentiles_us, run, run_load, ServeConfig};
 
 /// One load point: `concurrency` client connections at full tilt.
+///
+/// The telemetry plane is enabled and scraped mid-window by default,
+/// so the recorded numbers are the telemetry-on cost — exactly what a
+/// monitored production node pays. Set `MUPOD_BENCH_NO_TELEMETRY=1`
+/// for a bare run when measuring the plane's own overhead.
 fn bench_load_point(image: &[f32], concurrency: usize, window: Duration) {
+    let telemetry = std::env::var("MUPOD_BENCH_NO_TELEMETRY").is_err();
     let token = CancelToken::new();
     let cfg = ServeConfig {
         workers: 2,
         queue_depth: 64,
         max_batch: 8,
         default_deadline: Duration::from_secs(5),
+        metrics_addr: telemetry.then(|| "127.0.0.1:0".to_string()),
         ..ServeConfig::default()
     };
     let (tx, rx) = std::sync::mpsc::channel();
@@ -37,19 +44,41 @@ fn bench_load_point(image: &[f32], concurrency: usize, window: Duration) {
         let token = token.clone();
         let net = setup(ModelKind::SqueezeNet, 1).net;
         std::thread::spawn(move || {
-            run(&net, &cfg, &token, move |addr| {
-                tx.send(addr).expect("ready receiver alive")
+            run(&net, &cfg, &token, move |bound| {
+                tx.send(bound).expect("ready receiver alive")
             })
         })
     };
-    let addr = rx
+    let bound = rx
         .recv_timeout(Duration::from_secs(10))
         .expect("server binds");
+    let addr = bound.addr;
+    let metrics = bound.metrics_addr;
+    assert_eq!(metrics.is_some(), telemetry, "plane bound iff requested");
 
     // Warm-up: fill caches and let every worker build its arena before
     // the timed window starts.
     run_load(addr, image, concurrency, Duration::from_millis(300), 0);
+    let scraper = metrics.map(|metrics| {
+        std::thread::spawn(move || {
+            // Scrape mid-window the way a Prometheus agent would, and
+            // make the exposition's validity part of the bench contract.
+            std::thread::sleep(window / 2);
+            let (code, body) =
+                http_get(metrics, "/metrics", Duration::from_secs(5)).expect("mid-window scrape");
+            assert_eq!(code, 200, "scrape under load");
+            let text = String::from_utf8(body).expect("utf-8 exposition");
+            mupod_obs::expo::validate(&text).expect("valid exposition under load");
+            assert!(
+                text.contains("mupod_request_latency_window_us"),
+                "rolling window missing from exposition"
+            );
+        })
+    });
     let report = run_load(addr, image, concurrency, window, 0);
+    if let Some(scraper) = scraper {
+        scraper.join().expect("scraper thread");
+    }
 
     token.cancel(CancelReason::Interrupt);
     server

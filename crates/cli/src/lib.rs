@@ -16,7 +16,10 @@
 //! later `optimize` invocations with different constraints — the
 //! workflow §VI-A of the paper describes. `serve` runs the calibrated
 //! model behind the fault-tolerant batched TCP server in `mupod-serve`
-//! (DESIGN.md §12) and `query` is its loopback client.
+//! (DESIGN.md §12) and `query` is its loopback client. With
+//! `--metrics-addr` the server also binds a live telemetry plane
+//! (`/metrics`, `/health`, `/flight`; DESIGN.md §13), and
+//! `query --dump-flight` seals its flight recorder to disk.
 //!
 //! Every subcommand also accepts the observability flags: `--log-level`
 //! controls structured stderr events, `--metrics-out` writes the final
@@ -137,6 +140,13 @@ pub struct ServeArgs {
     pub restart_budget: u32,
     /// Honor fault-injection frames (`--chaos`; tests only).
     pub chaos: bool,
+    /// Bind address for the telemetry plane (`--metrics-addr`);
+    /// `None` disables the `/metrics`, `/health` and `/flight`
+    /// endpoints. Printed on the "metrics on ..." line once live.
+    pub metrics_addr: Option<String>,
+    /// Where worker panics and budget exhaustion seal the flight
+    /// recorder (`--flight-out`); `None` disables automatic dumps.
+    pub flight_out: Option<String>,
 }
 
 /// `query` options.
@@ -151,6 +161,11 @@ pub struct QueryArgs {
     pub deadline_ms: u32,
     /// Mark requests sheddable under load (`--low-priority`).
     pub low_priority: bool,
+    /// Fetch `/flight` from the telemetry plane at `--addr` (the
+    /// server's *metrics* address, not its frame port) and seal it to
+    /// this path instead of sending classify requests
+    /// (`--dump-flight`).
+    pub dump_flight: Option<String>,
 }
 
 /// Errors from parsing or running a command.
@@ -260,9 +275,11 @@ USAGE:
                  [common flags]
   mupod serve    --model <name> [--addr 127.0.0.1:0] [--workers N]
                  [--queue-depth N] [--max-batch N] [--deadline-ms MS]
-                 [--restart-budget N] [--chaos] [common flags]
+                 [--restart-budget N] [--metrics-addr host:port]
+                 [--flight-out <file.json>] [--chaos] [common flags]
   mupod query    --model <name> --addr <host:port> [--count N]
                  [--deadline-ms MS] [--low-priority]
+                 [--dump-flight <file.json>]
   mupod help
 
 COMMON FLAGS (observability):
@@ -291,6 +308,18 @@ SERVING (see DESIGN.md §12):
   rejects with `10 server busy` when the queue is full; expired
   requests get `11 deadline exceeded`; a crashed worker answers its
   batch `14 worker crashed` and restarts under --restart-budget.
+
+TELEMETRY (see DESIGN.md §13):
+  With --metrics-addr the server binds a second, read-only listener:
+  GET /metrics is Prometheus text exposition (counters, gauges, a
+  cumulative latency histogram and a 60 s rolling window with
+  p50/p99), /health is a JSON liveness document (HTTP 503 while
+  draining), and /flight is the bounded in-memory ring of
+  request-lifecycle events (admit/dequeue/exec/reply/shed/crash),
+  each tagged with the client's optional 8-byte trace ID. Worker
+  panics and budget exhaustion seal the ring to --flight-out as a
+  verified artifact; `mupod query --addr <metrics-addr>
+  --dump-flight <file>` fetches and seals it on demand.
 
 EXIT CODES: 0 ok (incl. a drained `serve`), 1 run error, 2 usage,
             3 stage failed after retries / serve restart budget
@@ -372,8 +401,11 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut deadline_ms = None;
     let mut restart_budget = 8u32;
     let mut chaos = false;
+    let mut metrics_addr = None;
+    let mut flight_out = None;
     let mut count = 1usize;
     let mut low_priority = false;
+    let mut dump_flight = None;
 
     let mut i = 1;
     while i < args.len() {
@@ -481,6 +513,15 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     .map_err(|_| CliError::Usage("bad --restart-budget".into()))?
             }
             "--chaos" => chaos = true,
+            "--metrics-addr" => {
+                metrics_addr = Some(take_value(args, &mut i, "--metrics-addr")?.to_string())
+            }
+            "--flight-out" => {
+                flight_out = Some(take_value(args, &mut i, "--flight-out")?.to_string())
+            }
+            "--dump-flight" => {
+                dump_flight = Some(take_value(args, &mut i, "--dump-flight")?.to_string())
+            }
             "--count" => {
                 let n: usize = take_value(args, &mut i, "--count")?
                     .parse()
@@ -536,6 +577,11 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "serve" => {
             let addr = addr.unwrap_or_else(|| "127.0.0.1:0".to_string());
             parse_sock_addr(&addr)?;
+            if let Some(m) = &metrics_addr {
+                parse_sock_addr(m).map_err(|_| {
+                    CliError::Usage(format!("bad --metrics-addr `{m}` (want host:port)"))
+                })?;
+            }
             Ok(Command::Serve(
                 common,
                 ServeArgs {
@@ -546,6 +592,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     deadline_ms: deadline_ms.unwrap_or(1_000),
                     restart_budget,
                     chaos,
+                    metrics_addr,
+                    flight_out,
                 },
             ))
         }
@@ -562,6 +610,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     count,
                     deadline_ms,
                     low_priority,
+                    dump_flight,
                 },
             ))
         }
@@ -595,6 +644,32 @@ fn progress_event(done: usize, total: usize, layer: &str) {
             ("layer", layer),
         ],
     );
+}
+
+/// Renders the post-drain serving summary. The terminal status is part
+/// of the first line, so the summary alone distinguishes a clean drain
+/// (`status 0 (ok)`) from a budget-exhausted one (`status 3 (stage
+/// failed after retries)`).
+fn drain_summary(report: &mupod_serve::ServeReport, status: mupod_runtime::StatusCode) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "drained: {} ok, {} busy, {} deadline-expired, {} draining, \
+         {} bad frames, {} crashes, {} disconnects — status {status}",
+        report.requests_ok,
+        report.rejected_busy,
+        report.deadline_expired,
+        report.rejected_draining,
+        report.bad_frames,
+        report.worker_crashes,
+        report.client_disconnects,
+    );
+    let _ = writeln!(
+        s,
+        "{} batches served {} requests; latency p50 {} µs, p99 {} µs",
+        report.batches, report.batched_requests, report.p50_latency_us, report.p99_latency_us,
+    );
+    s
 }
 
 /// Writes `--metrics-out` / `--trace-out` files from the run's recorder.
@@ -939,46 +1014,68 @@ fn run_inner(cmd: &Command, token: &CancelToken) -> Result<String, CliError> {
                 restart_budget: sargs.restart_budget,
                 chaos: sargs.chaos,
                 slow_batch,
+                metrics_addr: sargs.metrics_addr.clone(),
+                flight_out: sargs.flight_out.clone().map(std::path::PathBuf::from),
             };
             // The serve stage is not retried: its internal supervisor
             // (worker restarts under the budget) is the retry layer, and
             // the exit mapping must distinguish a bind failure (run
             // error, 1) from an exhausted restart budget (stage failed,
             // 3) — see `mupod_runtime::StatusCode`.
-            let report = mupod_serve::run(&net, &cfg, token, |local| {
-                println!("serving on {local}");
+            //
+            // The "serving on" line is the first stdout line by contract
+            // (the chaos harness parses it); "metrics on" follows when
+            // the telemetry plane is up.
+            let report = mupod_serve::run(&net, &cfg, token, |bound| {
+                println!("serving on {}", bound.addr);
+                if let Some(m) = bound.metrics_addr {
+                    println!("metrics on {m}");
+                }
                 let _ = std::io::Write::flush(&mut std::io::stdout());
             })
             .map_err(|e| match &e {
                 mupod_serve::ServeError::Bind { .. } => CliError::Run(e.to_string()),
-                mupod_serve::ServeError::RestartBudgetExhausted { .. } => {
+                mupod_serve::ServeError::RestartBudgetExhausted { report, .. } => {
+                    // The drain still completed; the summary goes to
+                    // stderr (stdout is the success channel) tagged with
+                    // the failure status before the typed error exits 3.
+                    eprint!(
+                        "{}",
+                        drain_summary(report, mupod_runtime::StatusCode::StageFailed)
+                    );
                     CliError::StageFailed(format!("serve: {e}"))
                 }
             })?;
-            let _ = writeln!(
-                out,
-                "drained: {} ok, {} busy, {} deadline-expired, {} draining, \
-                 {} bad frames, {} crashes, {} disconnects",
-                report.requests_ok,
-                report.rejected_busy,
-                report.deadline_expired,
-                report.rejected_draining,
-                report.bad_frames,
-                report.worker_crashes,
-                report.client_disconnects,
-            );
-            let _ = writeln!(
-                out,
-                "{} batches served {} requests; latency p50 {} µs, p99 {} µs",
-                report.batches,
-                report.batched_requests,
-                report.p50_latency_us,
-                report.p99_latency_us,
-            );
+            out.push_str(&drain_summary(&report, mupod_runtime::StatusCode::Ok));
         }
         Command::Query(common, qargs) => {
             let _span = mupod_obs::span("cli.query");
             let addr = parse_sock_addr(&qargs.addr)?;
+            if let Some(path) = &qargs.dump_flight {
+                // `--addr` is the telemetry-plane address in this mode:
+                // one GET against /flight, sealed to disk, no classify
+                // traffic.
+                let (code, body) = mupod_serve::http_get(addr, "/flight", Duration::from_secs(10))
+                    .map_err(|e| CliError::Run(format!("cannot fetch /flight from {addr}: {e}")))?;
+                if code != 200 {
+                    return Err(CliError::Run(format!(
+                        "/flight returned HTTP {code} (is --addr the server's --metrics-addr?)"
+                    )));
+                }
+                let text = std::str::from_utf8(&body)
+                    .map_err(|e| CliError::Run(format!("flight dump is not UTF-8: {e}")))?;
+                let doc = mupod_obs::json::parse(text)
+                    .map_err(|e| CliError::Run(format!("bad flight document: {e}")))?;
+                let events = doc
+                    .as_object()
+                    .and_then(|o| o.get("events"))
+                    .and_then(|v| v.as_array())
+                    .map_or(0, <[mupod_obs::json::Value]>::len);
+                mupod_runtime::write_atomic(std::path::Path::new(path), &body)
+                    .map_err(|e| CliError::Run(format!("cannot write {path}: {e}")))?;
+                let _ = writeln!(out, "flight recorder: {events} events sealed to {path}");
+                return Ok(out);
+            }
             // Deterministic query images from the same generator the
             // pipeline uses; --model/--scale/--seed pick the input shape
             // the server expects (a mismatch is answered BadRequest).
@@ -1232,12 +1329,15 @@ mod tests {
                 assert_eq!(s.deadline_ms, 1_000);
                 assert_eq!(s.restart_budget, 8);
                 assert!(!s.chaos);
+                assert_eq!(s.metrics_addr, None);
+                assert_eq!(s.flight_out, None);
             }
             _ => panic!("wrong command"),
         }
         match parse(&argv(
             "serve --model nin --addr 0.0.0.0:7700 --workers 4 --queue-depth 64 \
-             --max-batch 8 --deadline-ms 250 --restart-budget 2 --chaos",
+             --max-batch 8 --deadline-ms 250 --restart-budget 2 --chaos \
+             --metrics-addr 127.0.0.1:9100 --flight-out flight.json",
         ))
         .unwrap()
         {
@@ -1249,6 +1349,8 @@ mod tests {
                 assert_eq!(s.deadline_ms, 250);
                 assert_eq!(s.restart_budget, 2);
                 assert!(s.chaos);
+                assert_eq!(s.metrics_addr.as_deref(), Some("127.0.0.1:9100"));
+                assert_eq!(s.flight_out.as_deref(), Some("flight.json"));
             }
             _ => panic!("wrong command"),
         }
@@ -1256,6 +1358,12 @@ mod tests {
             parse(&argv("serve --model alexnet --addr not-an-addr")),
             Err(CliError::Usage(_))
         ));
+        // A bad telemetry address is a usage error too, at parse time.
+        assert!(matches!(
+            parse(&argv("serve --model alexnet --metrics-addr nope")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(USAGE.contains("--metrics-addr"), "help lists telemetry");
     }
 
     #[test]
@@ -1271,7 +1379,16 @@ mod tests {
                 assert_eq!(q.count, 3);
                 assert_eq!(q.deadline_ms, 50);
                 assert!(q.low_priority);
+                assert_eq!(q.dump_flight, None);
             }
+            _ => panic!("wrong command"),
+        }
+        match parse(&argv(
+            "query --model alexnet --addr 127.0.0.1:9100 --dump-flight f.json",
+        ))
+        .unwrap()
+        {
+            Command::Query(_, q) => assert_eq!(q.dump_flight.as_deref(), Some("f.json")),
             _ => panic!("wrong command"),
         }
         // --addr is required for query (there is no sensible default

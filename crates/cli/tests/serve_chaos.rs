@@ -134,6 +134,90 @@ fn exhausted_restart_budget_exits_stage_failed() {
 }
 
 #[test]
+fn worker_panic_seals_flight_recorder_with_request_lifecycle() {
+    let dir = std::env::temp_dir().join("mupod_chaos_flight_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let dump = dir.join("flight.json");
+    let _ = std::fs::remove_file(&dump);
+    let dump_arg = dump.to_string_lossy().to_string();
+    let (child, addr, mut reader) = start_serve(
+        &[
+            "--chaos",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--flight-out",
+            &dump_arg,
+        ],
+        &[],
+    );
+    // The telemetry plane announces itself on the second stdout line.
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("metrics on "), "unexpected line: {line:?}");
+
+    // One traced request completes normally, then a traced chaos frame
+    // panics the worker; the panic handler seals the flight recorder,
+    // so the dump must carry both requests' lifecycles.
+    let mut conn = connect(addr);
+    let traced = conn
+        .classify_traced(&image(), 0, Priority::High, 0xABCD01)
+        .expect("traced reply");
+    assert_eq!(traced.status, StatusCode::Ok);
+    assert_eq!(traced.trace_id, Some(0xABCD01));
+    let crash = conn.chaos_panic_traced(0xABCD02).expect("crash reply");
+    assert_eq!(crash.status, StatusCode::WorkerCrashed);
+
+    // The dump is written concurrently with the crash reply; poll until
+    // it exists *and* verifies (a half-written file fails the checksum).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let bytes = loop {
+        match mupod_runtime::read_verified(&dump) {
+            Ok(b) => break b,
+            Err(_) => {
+                assert!(
+                    Instant::now() < deadline,
+                    "sealed flight dump never appeared at {dump:?}"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    };
+    let doc = mupod_obs::json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+    let obj = doc.as_object().unwrap();
+    assert_eq!(obj["schema"].as_str(), Some("mupod-flight v1"));
+    let events = obj["events"].as_array().unwrap();
+    let stages_of = |trace: f64| -> Vec<&str> {
+        events
+            .iter()
+            .map(|e| e.as_object().unwrap())
+            .filter(|e| e["trace_id"].as_f64() == Some(trace))
+            .map(|e| e["stage"].as_str().unwrap())
+            .collect()
+    };
+    assert_eq!(
+        stages_of(0xABCD01_u32 as f64),
+        ["admit", "dequeue", "exec", "reply"],
+    );
+    // The crashed request reached execution and the crash was recorded
+    // before the dump; its WorkerCrashed reply races the dump and may
+    // or may not have landed yet.
+    let crash_stages = stages_of(0xABCD02_u32 as f64);
+    assert!(
+        crash_stages.starts_with(&["admit", "dequeue", "exec", "crash"]),
+        "{crash_stages:?}"
+    );
+
+    send_sigint(&child);
+    let status = wait_with_deadline(child, Duration::from_secs(20));
+    assert_eq!(
+        status.code(),
+        Some(StatusCode::Ok.exit_code()),
+        "{status:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn client_disconnect_mid_response_leaves_server_healthy() {
     let (child, addr, mut reader) = start_serve(&[], &[("MUPOD_SERVE_TEST_SLOW_MS", "300")]);
     // Send a full valid request, then vanish while the worker is still

@@ -1,0 +1,275 @@
+//! End-to-end telemetry-plane tests against the real binary: scraping
+//! `/metrics` under live load, counter monotonicity across scrapes, the
+//! `/health` document, `mupod query --dump-flight`, and the drain
+//! summary printed when the restart budget is exhausted.
+//!
+//! Like the chaos harness, everything spawns `CARGO_BIN_EXE_mupod`, so
+//! the flag parsing, stdout contract and exit codes under test are the
+//! production ones.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use mupod_models::ModelScale;
+use mupod_runtime::StatusCode;
+use mupod_serve::{http_get, Connection, Priority};
+
+/// Sends SIGINT to a child process (raw FFI; no external crates).
+fn send_sigint(child: &Child) {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    // SAFETY: plain syscall wrapper with scalar arguments; the pid comes
+    // from a live `Child` handle owned by this test.
+    let rc = unsafe { kill(child.id() as i32, 2) };
+    assert_eq!(rc, 0, "kill(SIGINT) failed");
+}
+
+fn wait_with_deadline(mut child: Child, deadline: Duration) -> std::process::ExitStatus {
+    let start = Instant::now();
+    loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            return status;
+        }
+        assert!(
+            start.elapsed() < deadline,
+            "child did not exit within {deadline:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Spawns `mupod serve` with the telemetry plane enabled and blocks
+/// until both the "serving on ..." and "metrics on ..." lines arrive.
+fn start_serve_with_metrics(
+    extra_args: &[&str],
+) -> (Child, SocketAddr, SocketAddr, BufReader<ChildStdout>) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_mupod"));
+    cmd.args([
+        "serve",
+        "--model",
+        "alexnet",
+        "--scale",
+        "tiny",
+        "--images",
+        "24",
+        "--metrics-addr",
+        "127.0.0.1:0",
+    ])
+    .args(extra_args)
+    .stdout(Stdio::piped())
+    .stderr(Stdio::null());
+    let mut child = cmd.spawn().unwrap();
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("serving on ")
+        .unwrap_or_else(|| panic!("unexpected first line: {line:?}"))
+        .parse()
+        .unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    let metrics = line
+        .trim()
+        .strip_prefix("metrics on ")
+        .unwrap_or_else(|| panic!("unexpected second line: {line:?}"))
+        .parse()
+        .unwrap();
+    (child, addr, metrics, reader)
+}
+
+/// A correctly-sized input for the tiny-scale alexnet the server runs.
+fn image() -> Vec<f32> {
+    let hw = ModelScale::tiny().input_hw;
+    (0..3 * hw * hw)
+        .map(|i| (i % 7) as f32 * 0.1 - 0.3)
+        .collect()
+}
+
+fn scrape(metrics: SocketAddr, path: &str) -> (u16, String) {
+    let (code, body) = http_get(metrics, path, Duration::from_secs(5)).expect("scrape");
+    (code, String::from_utf8(body).expect("utf-8 body"))
+}
+
+/// Extracts the value of an un-labelled sample line, e.g.
+/// `mupod_requests_ok_total 3`.
+fn sample(text: &str, name: &str) -> f64 {
+    text.lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("{name} missing from exposition:\n{text}"))
+        .trim()
+        .parse()
+        .expect("numeric sample")
+}
+
+#[test]
+fn metrics_scrape_under_load_is_valid_monotonic_and_windowed() {
+    let (child, addr, metrics, _reader) = start_serve_with_metrics(&[]);
+    let mut conn = Connection::connect(addr, Duration::from_secs(10)).expect("connect");
+    for _ in 0..4 {
+        let reply = conn.classify(&image(), 0, Priority::High).expect("reply");
+        assert_eq!(reply.status, StatusCode::Ok);
+    }
+
+    let (code, text) = scrape(metrics, "/metrics");
+    assert_eq!(code, 200);
+    mupod_obs::expo::validate(&text).expect("valid Prometheus exposition");
+    let ok_before = sample(&text, "mupod_requests_ok_total");
+    assert!(ok_before >= 4.0, "{ok_before}");
+    // The rolling window publishes its quantiles; four sub-second
+    // requests all land inside the 60 s window, so both must be live.
+    for q in ["quantile=\"0.5\"", "quantile=\"0.99\""] {
+        assert!(
+            text.lines()
+                .any(|l| l.starts_with("mupod_request_latency_window_us{") && l.contains(q)),
+            "missing {q} in:\n{text}"
+        );
+    }
+    assert!(sample(&text, "mupod_request_latency_us_count") >= 4.0);
+
+    // More load, then a second scrape: counters only move up.
+    for _ in 0..3 {
+        let reply = conn.classify(&image(), 0, Priority::High).expect("reply");
+        assert_eq!(reply.status, StatusCode::Ok);
+    }
+    let (_, text2) = scrape(metrics, "/metrics");
+    let ok_after = sample(&text2, "mupod_requests_ok_total");
+    assert!(
+        ok_after >= ok_before + 3.0,
+        "counter went from {ok_before} to {ok_after}"
+    );
+
+    // The health document agrees the server is live.
+    let (code, health) = scrape(metrics, "/health");
+    assert_eq!(code, 200);
+    let doc = mupod_obs::json::parse(&health).expect("health JSON");
+    let obj = doc.as_object().unwrap();
+    assert_eq!(obj["schema"].as_str(), Some(mupod_serve::HEALTH_SCHEMA));
+    assert_eq!(obj["state"].as_str(), Some("ok"));
+    assert_eq!(obj["worker_crashes"].as_f64(), Some(0.0));
+    assert!(obj["restart_budget_remaining"].as_f64().unwrap() > 0.0);
+
+    send_sigint(&child);
+    let status = wait_with_deadline(child, Duration::from_secs(20));
+    assert_eq!(
+        status.code(),
+        Some(StatusCode::Ok.exit_code()),
+        "{status:?}"
+    );
+}
+
+#[test]
+fn query_dump_flight_seals_the_ring_on_demand() {
+    let dir = std::env::temp_dir().join("mupod_telemetry_dump_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let dump = dir.join("flight.json");
+    let _ = std::fs::remove_file(&dump);
+    let (child, addr, metrics, _reader) = start_serve_with_metrics(&[]);
+
+    // Generate traffic through the production `query` subcommand.
+    let status = Command::new(env!("CARGO_BIN_EXE_mupod"))
+        .args(["query", "--model", "alexnet", "--scale", "tiny", "--addr"])
+        .arg(addr.to_string())
+        .args(["--count", "4"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .unwrap();
+    assert!(status.success(), "query load failed: {status:?}");
+
+    // `query --dump-flight` fetches /flight from the *metrics* address
+    // and seals it; no classify traffic is sent.
+    let out = Command::new(env!("CARGO_BIN_EXE_mupod"))
+        .args(["query", "--model", "alexnet", "--addr"])
+        .arg(metrics.to_string())
+        .arg("--dump-flight")
+        .arg(&dump)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "dump-flight failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("events sealed to"),
+        "unexpected stdout: {stdout}"
+    );
+
+    // The artifact verifies and carries the queries' lifecycle events.
+    let bytes = mupod_runtime::read_verified(&dump).expect("sealed dump verifies");
+    let doc = mupod_obs::json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+    let obj = doc.as_object().unwrap();
+    assert_eq!(obj["schema"].as_str(), Some("mupod-flight v1"));
+    let events = obj["events"].as_array().unwrap();
+    let replies = events
+        .iter()
+        .filter(|e| e.as_object().unwrap()["stage"].as_str() == Some("reply"))
+        .count();
+    assert!(replies >= 4, "only {replies} reply events in {events:?}");
+
+    send_sigint(&child);
+    let status = wait_with_deadline(child, Duration::from_secs(20));
+    assert_eq!(
+        status.code(),
+        Some(StatusCode::Ok.exit_code()),
+        "{status:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn exhausted_budget_prints_drain_summary_with_status_name() {
+    // stderr is captured here: the budget-exhausted path must still
+    // print the drain summary, tagged with the failure status name.
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_mupod"));
+    cmd.args([
+        "serve",
+        "--model",
+        "alexnet",
+        "--scale",
+        "tiny",
+        "--images",
+        "24",
+        "--chaos",
+        "--restart-budget",
+        "0",
+    ])
+    .stdout(Stdio::piped())
+    .stderr(Stdio::piped());
+    let mut child = cmd.spawn().unwrap();
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let addr: SocketAddr = line
+        .trim()
+        .strip_prefix("serving on ")
+        .unwrap_or_else(|| panic!("unexpected first line: {line:?}"))
+        .parse()
+        .unwrap();
+    let stderr = child.stderr.take().unwrap();
+
+    let mut conn = Connection::connect(addr, Duration::from_secs(10)).expect("connect");
+    let crash = conn.chaos_panic().expect("crash reply");
+    assert_eq!(crash.status, StatusCode::WorkerCrashed);
+
+    let status = wait_with_deadline(child, Duration::from_secs(20));
+    assert_eq!(
+        status.code(),
+        Some(StatusCode::StageFailed.exit_code()),
+        "{status:?}"
+    );
+    let err_text: String = std::io::read_to_string(stderr).unwrap();
+    assert!(err_text.contains("drained:"), "stderr: {err_text}");
+    assert!(
+        err_text.contains("status 3 (stage failed after retries)"),
+        "stderr: {err_text}"
+    );
+    assert!(
+        err_text.contains("restart budget exhausted"),
+        "stderr: {err_text}"
+    );
+}

@@ -1,0 +1,259 @@
+//! Prometheus text exposition (format version 0.0.4), hand-assembled.
+//!
+//! The workspace vendors its dependencies, so the scrape endpoint
+//! renders its payload with this small builder instead of a client
+//! library. Only the subset the serving node emits is supported:
+//! `counter`, `gauge`, `histogram` (cumulative `_bucket{le=…}` series
+//! plus `_sum`/`_count`) and `summary` (pre-computed `quantile`
+//! series). [`validate`] is the matching checker the tests and the CI
+//! smoke job run against every scrape.
+
+use crate::json::fmt_f64;
+use crate::rolling::{bucket_le, RollingSummary};
+
+/// Incrementally builds one exposition document.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+}
+
+impl Exposition {
+    /// An empty document.
+    pub fn new() -> Self {
+        Exposition { out: String::new() }
+    }
+
+    fn family(&mut self, name: &str, help: &str, kind: &str) {
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(help);
+        self.out.push('\n');
+        self.out.push_str("# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    fn sample(&mut self, name: &str, labels: &str, value: &str) {
+        self.out.push_str(name);
+        self.out.push_str(labels);
+        self.out.push(' ');
+        self.out.push_str(value);
+        self.out.push('\n');
+    }
+
+    /// Appends a monotonic counter.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.family(name, help, "counter");
+        self.sample(name, "", &value.to_string());
+    }
+
+    /// Appends an integer-valued gauge.
+    pub fn gauge(&mut self, name: &str, help: &str, value: i64) {
+        self.family(name, help, "gauge");
+        self.sample(name, "", &value.to_string());
+    }
+
+    /// Appends a float-valued gauge.
+    pub fn gauge_f64(&mut self, name: &str, help: &str, value: f64) {
+        self.family(name, help, "gauge");
+        self.sample(name, "", &fmt_f64(value));
+    }
+
+    /// Appends a rolling-window histogram as cumulative `_bucket`
+    /// series plus `_sum` and `_count`.
+    pub fn histogram(&mut self, name: &str, help: &str, s: &RollingSummary) {
+        self.family(name, help, "histogram");
+        let mut cumulative = 0u64;
+        for (i, c) in s.buckets.iter().enumerate() {
+            cumulative = cumulative.saturating_add(*c);
+            let le = match bucket_le(i) {
+                Some(b) => b.to_string(),
+                None => "+Inf".to_string(),
+            };
+            self.sample(
+                &format!("{name}_bucket"),
+                &format!("{{le=\"{le}\"}}"),
+                &cumulative.to_string(),
+            );
+        }
+        self.sample(&format!("{name}_sum"), "", &s.sum.to_string());
+        self.sample(&format!("{name}_count"), "", &s.count.to_string());
+    }
+
+    /// Appends a summary with pre-computed quantiles, e.g.
+    /// `&[("0.5", p50), ("0.99", p99)]`.
+    pub fn summary(
+        &mut self,
+        name: &str,
+        help: &str,
+        quantiles: &[(&str, u64)],
+        s: &RollingSummary,
+    ) {
+        self.family(name, help, "summary");
+        for (q, v) in quantiles {
+            self.sample(name, &format!("{{quantile=\"{q}\"}}"), &v.to_string());
+        }
+        self.sample(&format!("{name}_sum"), "", &s.sum.to_string());
+        self.sample(&format!("{name}_count"), "", &s.count.to_string());
+    }
+
+    /// The finished document (always newline-terminated).
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_block(s: &str) -> bool {
+    // `{key="value",key="value"}` — values may contain anything except
+    // an unescaped quote; we only emit plain values, so a simple
+    // quote-state scan suffices.
+    let Some(inner) = s.strip_prefix('{').and_then(|r| r.strip_suffix('}')) else {
+        return false;
+    };
+    for pair in inner.split(',') {
+        let Some((key, value)) = pair.split_once('=') else {
+            return false;
+        };
+        if !valid_metric_name(key) {
+            return false;
+        }
+        if !(value.len() >= 2 && value.starts_with('"') && value.ends_with('"')) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Checks that `text` is syntactically valid Prometheus text
+/// exposition: every line is a `# HELP`/`# TYPE` comment or a
+/// `name[{labels}] value` sample with a well-formed metric name and a
+/// parseable value (`+Inf`/`-Inf`/`NaN` allowed).
+///
+/// # Errors
+///
+/// Returns `line number: problem` for the first offending line.
+pub fn validate(text: &str) -> Result<(), String> {
+    if text.is_empty() {
+        return Err("empty exposition".into());
+    }
+    if !text.ends_with('\n') {
+        return Err("exposition must end with a newline".into());
+    }
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let ok = ["HELP ", "TYPE "].iter().any(|k| rest.starts_with(k));
+            if !ok {
+                return Err(format!("line {n}: unknown comment form"));
+            }
+            continue;
+        }
+        // Sample: name, optional {labels}, space, value.
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {n}: no value"))?;
+        let (name, labels) = match series.find('{') {
+            Some(p) => (&series[..p], &series[p..]),
+            None => (series, ""),
+        };
+        if !valid_metric_name(name) {
+            return Err(format!("line {n}: bad metric name `{name}`"));
+        }
+        if !labels.is_empty() && !valid_label_block(labels) {
+            return Err(format!("line {n}: bad label block `{labels}`"));
+        }
+        let value_ok = matches!(value, "+Inf" | "-Inf" | "NaN") || value.parse::<f64>().is_ok();
+        if !value_ok {
+            return Err(format!("line {n}: bad sample value `{value}`"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rolling::{RollingHistogram, BUCKET_COUNT};
+    use std::time::Duration;
+
+    fn summary_of(values: &[u64]) -> RollingSummary {
+        let h = RollingHistogram::new(Duration::from_secs(60), 4);
+        for &v in values {
+            h.record(v);
+        }
+        h.summarize()
+    }
+
+    #[test]
+    fn counter_and_gauge_render_and_validate() {
+        let mut e = Exposition::new();
+        e.counter("mupod_requests_ok_total", "OK requests", 42);
+        e.gauge("mupod_queue_depth", "queued requests", 3);
+        e.gauge_f64("mupod_uptime_seconds", "uptime", 1.5);
+        let text = e.finish();
+        assert!(text.contains("# TYPE mupod_requests_ok_total counter\n"));
+        assert!(text.contains("mupod_requests_ok_total 42\n"));
+        assert!(text.contains("mupod_uptime_seconds 1.5\n"));
+        validate(&text).unwrap();
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let s = summary_of(&[1, 2, 2, 100]);
+        let mut e = Exposition::new();
+        e.histogram("mupod_latency_us", "request latency", &s);
+        let text = e.finish();
+        validate(&text).unwrap();
+        assert!(text.contains("mupod_latency_us_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("mupod_latency_us_bucket{le=\"2\"} 3\n"));
+        assert!(text.contains("mupod_latency_us_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("mupod_latency_us_sum 105\n"));
+        assert!(text.contains("mupod_latency_us_count 4\n"));
+        // One bucket line per layout slot, no more, no fewer.
+        assert_eq!(text.matches("_bucket{le=").count(), BUCKET_COUNT);
+    }
+
+    #[test]
+    fn summary_quantiles_render() {
+        let s = summary_of(&[10, 20, 30]);
+        let mut e = Exposition::new();
+        e.summary(
+            "mupod_latency_window_us",
+            "windowed latency",
+            &[("0.5", s.quantile(0.5)), ("0.99", s.quantile(0.99))],
+            &s,
+        );
+        let text = e.finish();
+        validate(&text).unwrap();
+        assert!(text.contains("mupod_latency_window_us{quantile=\"0.5\"}"));
+        assert!(text.contains("mupod_latency_window_us{quantile=\"0.99\"}"));
+        assert!(text.contains("mupod_latency_window_us_count 3\n"));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_documents() {
+        assert!(validate("").is_err());
+        assert!(validate("no_newline 1").is_err());
+        assert!(validate("1bad_name 2\n").is_err());
+        assert!(validate("name notanumber\n").is_err());
+        assert!(validate("name{le=\"1\" 2\n").is_err());
+        assert!(validate("# WAT comment\n").is_err());
+        assert!(validate("ok_name 1\n").is_ok());
+        assert!(validate("ok_name{le=\"+Inf\"} 1\n").is_ok());
+    }
+}

@@ -1,0 +1,270 @@
+//! The flight recorder: a bounded ring of request-lifecycle events.
+//!
+//! A long-running server cannot keep a full trace, but the moments
+//! before a failure are exactly what a post-mortem needs. The
+//! [`FlightRecorder`] keeps the last `capacity` lifecycle events
+//! (admit → dequeue → exec → reply/shed, plus crashes) in memory;
+//! the serving layer dumps it as a sealed JSON artifact on worker
+//! panic, restart-budget exhaustion, or an explicit admin request.
+//!
+//! Events carry the request's wire **trace ID** (0 = untraced), so a
+//! dump can be grepped for one request's whole journey through the
+//! queue and workers. Ordering is by a global sequence number — the
+//! ring is multi-producer, and arrival order at the mutex is the
+//! order of record.
+//!
+//! The schema of [`FlightRecorder::to_json`]:
+//!
+//! ```json
+//! {"schema": "mupod-flight v1", "capacity": 4096, "dropped": 0,
+//!  "events": [{"seq": 1, "t_us": 17, "trace_id": 7, "stage": "admit",
+//!              "worker": -1, "status": 0}, …]}
+//! ```
+//!
+//! `worker` is the worker index (−1 for connection-handler events);
+//! `status` is the wire status byte for reply/shed events, 0 elsewhere.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+use crate::json::escape;
+
+/// Schema tag of a flight-recorder dump.
+pub const FLIGHT_SCHEMA: &str = "mupod-flight v1";
+
+/// Where in its lifecycle a request was when the event fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightStage {
+    /// Passed admission control; the push into the bounded queue
+    /// follows (with an immediate `Shed` if the queue turned out full
+    /// or closed).
+    Admit,
+    /// Rejected without service (busy / shed / draining), before or
+    /// after the admit event.
+    Shed,
+    /// Pulled from the queue into a worker's batch.
+    Dequeue,
+    /// Entered batched execution on a worker.
+    Exec,
+    /// A response frame was written back to the client.
+    Reply,
+    /// The worker executing this request's batch panicked.
+    Crash,
+}
+
+impl FlightStage {
+    /// The lowercase name used in dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlightStage::Admit => "admit",
+            FlightStage::Shed => "shed",
+            FlightStage::Dequeue => "dequeue",
+            FlightStage::Exec => "exec",
+            FlightStage::Reply => "reply",
+            FlightStage::Crash => "crash",
+        }
+    }
+}
+
+impl std::fmt::Display for FlightStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One recorded lifecycle event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Global record order (1-based, gap-free until events drop).
+    pub seq: u64,
+    /// Microseconds since the recorder was created.
+    pub t_us: u64,
+    /// The request's wire trace ID; 0 means the client sent none.
+    pub trace_id: u64,
+    /// Lifecycle stage.
+    pub stage: FlightStage,
+    /// Worker index, or −1 for connection-handler events.
+    pub worker: i64,
+    /// Wire status byte for reply/shed events, 0 elsewhere.
+    pub status: u8,
+}
+
+/// The bounded ring (see module docs). All methods are `&self` and
+/// thread-safe; recording under the mutex is a push plus at most one
+/// pop, so the cost stays flat no matter how long the server runs.
+pub struct FlightRecorder {
+    capacity: usize,
+    start: Instant,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    ring: Mutex<VecDeque<FlightEvent>>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the most recent `capacity` events (clamped
+    /// to at least 16).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(16);
+        FlightRecorder {
+            capacity,
+            start: Instant::now(),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Records one lifecycle event, evicting the oldest if full.
+    pub fn record(&self, trace_id: u64, stage: FlightStage, worker: i64, status: u8) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed).saturating_add(1);
+        let t_us = self.start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        let ev = FlightEvent {
+            seq,
+            t_us,
+            trace_id,
+            stage,
+            worker,
+            status,
+        };
+        let mut ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(ev);
+    }
+
+    /// A snapshot of the ring, oldest first.
+    pub fn events(&self) -> Vec<FlightEvent> {
+        self.ring
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Events evicted so far because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Renders the ring as a `mupod-flight v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let events = self.events();
+        let mut out = String::with_capacity(64 + events.len() * 96);
+        out.push_str("{\n  \"schema\": ");
+        out.push_str(&escape(FLIGHT_SCHEMA));
+        out.push_str(",\n  \"capacity\": ");
+        out.push_str(&self.capacity.to_string());
+        out.push_str(",\n  \"dropped\": ");
+        out.push_str(&self.dropped().to_string());
+        out.push_str(",\n  \"events\": [");
+        for (i, ev) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"seq\": ");
+            out.push_str(&ev.seq.to_string());
+            out.push_str(", \"t_us\": ");
+            out.push_str(&ev.t_us.to_string());
+            out.push_str(", \"trace_id\": ");
+            out.push_str(&ev.trace_id.to_string());
+            out.push_str(", \"stage\": ");
+            out.push_str(&escape(ev.stage.name()));
+            out.push_str(", \"worker\": ");
+            out.push_str(&ev.worker.to_string());
+            out.push_str(", \"status\": ");
+            out.push_str(&ev.status.to_string());
+            out.push('}');
+        }
+        if !events.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn records_in_sequence_order() {
+        let fr = FlightRecorder::new(64);
+        fr.record(7, FlightStage::Admit, -1, 0);
+        fr.record(7, FlightStage::Dequeue, 0, 0);
+        fr.record(7, FlightStage::Reply, -1, 0);
+        let evs = fr.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(evs[1].stage, FlightStage::Dequeue);
+        assert_eq!(evs[1].worker, 0);
+        assert!(evs.iter().all(|e| e.trace_id == 7));
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let fr = FlightRecorder::new(16);
+        for i in 0..40 {
+            fr.record(i, FlightStage::Admit, -1, 0);
+        }
+        let evs = fr.events();
+        assert_eq!(evs.len(), 16);
+        assert_eq!(fr.dropped(), 24);
+        // The survivors are the most recent events.
+        assert_eq!(evs.first().map(|e| e.seq), Some(25));
+        assert_eq!(evs.last().map(|e| e.seq), Some(40));
+    }
+
+    #[test]
+    fn to_json_parses_and_carries_every_field() {
+        let fr = FlightRecorder::new(32);
+        fr.record(0xDEAD, FlightStage::Shed, -1, 10);
+        let doc = json::parse(&fr.to_json()).unwrap();
+        let obj = doc.as_object().unwrap();
+        assert_eq!(obj["schema"].as_str(), Some(FLIGHT_SCHEMA));
+        assert_eq!(obj["capacity"].as_f64(), Some(32.0));
+        assert_eq!(obj["dropped"].as_f64(), Some(0.0));
+        let evs = obj["events"].as_array().unwrap();
+        assert_eq!(evs.len(), 1);
+        let ev = evs[0].as_object().unwrap();
+        assert_eq!(ev["trace_id"].as_f64(), Some(0xDEAD as f64));
+        assert_eq!(ev["stage"].as_str(), Some("shed"));
+        assert_eq!(ev["worker"].as_f64(), Some(-1.0));
+        assert_eq!(ev["status"].as_f64(), Some(10.0));
+    }
+
+    #[test]
+    fn empty_recorder_emits_valid_json() {
+        let fr = FlightRecorder::new(16);
+        let doc = json::parse(&fr.to_json()).unwrap();
+        assert_eq!(doc.as_object().unwrap()["events"].as_array(), Some(&[][..]));
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let fr = FlightRecorder::new(128);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let fr = &fr;
+                s.spawn(move || {
+                    for i in 0..100 {
+                        fr.record(t * 1000 + i, FlightStage::Admit, t as i64, 0);
+                    }
+                });
+            }
+        });
+        assert_eq!(fr.events().len(), 128);
+        assert_eq!(fr.dropped(), 400 - 128);
+    }
+}

@@ -109,13 +109,19 @@ impl Value {
 pub fn parse(text: &str) -> Result<Value, String> {
     let bytes = text.as_bytes();
     let mut pos = 0;
-    let value = parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing data at byte {pos}"));
     }
     Ok(value)
 }
+
+/// Maximum container nesting [`parse`] accepts. The parser recurses
+/// per level, so without a cap a hostile document could overflow the
+/// stack; nothing this workspace emits nests beyond a handful of
+/// levels.
+pub const MAX_DEPTH: usize = 128;
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
     while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
@@ -132,12 +138,17 @@ fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
     skip_ws(bytes, pos);
+    if depth > MAX_DEPTH {
+        return Err(format!(
+            "nesting deeper than {MAX_DEPTH} levels at byte {pos}"
+        ));
+    }
     match bytes.get(*pos) {
         None => Err("unexpected end of input".into()),
-        Some(b'{') => parse_object(bytes, pos),
-        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
         Some(b'"') => Ok(Value::String(parse_string(bytes, pos)?)),
         Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
         Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
@@ -155,7 +166,7 @@ fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Value) -> Res
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
     expect(bytes, pos, b'{')?;
     let mut map = BTreeMap::new();
     skip_ws(bytes, pos);
@@ -168,7 +179,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
         let key = parse_string(bytes, pos)?;
         skip_ws(bytes, pos);
         expect(bytes, pos, b':')?;
-        let value = parse_value(bytes, pos)?;
+        let value = parse_value(bytes, pos, depth + 1)?;
         map.insert(key, value);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
@@ -182,7 +193,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
     }
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
     expect(bytes, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -191,7 +202,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
         return Ok(Value::Array(items));
     }
     loop {
-        items.push(parse_value(bytes, pos)?);
+        items.push(parse_value(bytes, pos, depth + 1)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
@@ -226,15 +237,30 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
-                        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
-                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
-                        // Surrogate pairs are not needed for our own output;
-                        // map them to the replacement character.
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        let code = parse_hex4(bytes, *pos + 1)?;
                         *pos += 4;
+                        if (0xD800..0xDC00).contains(&code) {
+                            // High surrogate: valid only when a low
+                            // surrogate escape follows immediately.
+                            let lo = match bytes.get(*pos + 1..*pos + 3) {
+                                Some(br"\u") => parse_hex4(bytes, *pos + 3).ok(),
+                                _ => None,
+                            };
+                            match lo {
+                                Some(lo) if (0xDC00..0xE000).contains(&lo) => {
+                                    let combined =
+                                        0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+                                    out.push(char::from_u32(combined).unwrap_or('\u{fffd}'));
+                                    *pos += 6;
+                                }
+                                // Unpaired high surrogate: replacement
+                                // character, lookahead untouched.
+                                _ => out.push('\u{fffd}'),
+                            }
+                        } else {
+                            // Lone low surrogates fall out of from_u32.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
                     }
                     _ => return Err(format!("bad escape at byte {pos}")),
                 }
@@ -252,6 +278,15 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
             }
         }
     }
+}
+
+/// Reads the four hex digits of a `\u` escape starting at `at`.
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
+    let hex = bytes
+        .get(at..at + 4)
+        .ok_or_else(|| "truncated \\u escape".to_string())?;
+    let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape".to_string())?;
+    u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".to_string())
 }
 
 fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
@@ -326,5 +361,72 @@ mod tests {
         assert!(parse("{} trailing").is_err());
         assert!(parse("\"open").is_err());
         assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded_not_a_stack_overflow() {
+        // At the limit: fine.
+        let ok = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+        // One past the limit: a typed error, not a crash.
+        let deep = format!(
+            "{}0{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        let err = parse(&deep).unwrap_err();
+        assert!(err.contains("nesting deeper"), "got: {err}");
+        // Same for objects, and for a pathological no-closer document.
+        let objs = format!(
+            "{}1{}",
+            "{\"k\":".repeat(MAX_DEPTH + 1),
+            "}".repeat(MAX_DEPTH + 1)
+        );
+        assert!(parse(&objs).unwrap_err().contains("nesting deeper"));
+        assert!(parse(&"[".repeat(100_000)).is_err());
+    }
+
+    #[test]
+    fn long_escape_runs_roundtrip() {
+        let s = "\\\"\n\t".repeat(5_000);
+        let parsed = parse(&escape(&s)).unwrap();
+        assert_eq!(parsed.as_str(), Some(s.as_str()));
+        // A long run of \u escapes parses too.
+        let doc = format!("\"{}\"", "\\u0041".repeat(2_000));
+        assert_eq!(
+            parse(&doc).unwrap().as_str(),
+            Some("A".repeat(2_000).as_str())
+        );
+    }
+
+    #[test]
+    fn surrogate_pairs_combine_and_strays_become_replacement() {
+        // A valid pair combines to the supplementary-plane scalar.
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\"").unwrap().as_str(),
+            Some("\u{1f600}")
+        );
+        assert_eq!(
+            parse("\"\\uD801\\uDC37!\"").unwrap().as_str(),
+            Some("\u{10437}!")
+        );
+        // Unpaired high surrogate: U+FFFD, following text preserved.
+        assert_eq!(parse("\"\\ud800x\"").unwrap().as_str(), Some("\u{fffd}x"));
+        // High surrogate followed by a non-surrogate escape: both kept.
+        assert_eq!(
+            parse("\"\\ud800\\u0041\"").unwrap().as_str(),
+            Some("\u{fffd}A")
+        );
+        // Lone low surrogate: U+FFFD.
+        assert_eq!(parse("\"\\udc00\"").unwrap().as_str(), Some("\u{fffd}"));
+        // Two high surrogates in a row: two replacements.
+        assert_eq!(
+            parse("\"\\ud800\\ud800\"").unwrap().as_str(),
+            Some("\u{fffd}\u{fffd}")
+        );
+        // Truncated / malformed escapes are still hard errors.
+        assert!(parse("\"\\ud83d\\ude0\"").is_err());
+        assert!(parse("\"\\uzzzz\"").is_err());
+        assert!(parse("\"\\u00\"").is_err());
     }
 }

@@ -4,6 +4,13 @@
 //! a metrics snapshot (JSON) and a Chrome `trace_event` trace loadable
 //! in `chrome://tracing` / Perfetto.
 //!
+//! For long-running processes (the serving node) the crate also holds
+//! the live-telemetry primitives: [`rolling`] sliding-window histograms
+//! and gauges readable concurrently with writers, the [`expo`]
+//! Prometheus text-exposition builder the scrape endpoint renders
+//! with, and the [`flight`] recorder ring that preserves the last N
+//! request-lifecycle events for post-mortem dumps.
+//!
 //! Modeled on the `tracing` facade and vendored like the workspace's
 //! `proptest`/`criterion` stand-ins: the instrumented crates call the
 //! free functions below unconditionally; when no [`Recorder`] is
@@ -34,15 +41,21 @@
 //! assert_eq!(snap.spans["work"].count, 1);
 //! ```
 
+pub mod expo;
+pub mod flight;
 pub mod json;
 mod recorder;
+pub mod rolling;
 mod snapshot;
 mod trace;
 
+pub use expo::Exposition;
+pub use flight::{FlightEvent, FlightRecorder, FlightStage, FLIGHT_SCHEMA};
 pub use recorder::{
     counter_add, event, histogram_record, level_enabled, span, span_fields, InstallGuard, Recorder,
     SpanGuard,
 };
+pub use rolling::{Gauge, RollingHistogram, RollingSummary};
 pub use snapshot::{HistogramSummary, MetricsSnapshot, SpanSummary};
 pub use trace::{write_chrome_trace, Phase, TraceEvent};
 

@@ -267,8 +267,10 @@ impl Recorder {
             .lock()
             .unwrap_or_else(|e| e.into_inner());
         let stat = stats.entry(name).or_default();
-        stat.count += 1;
-        stat.total_ns += duration_ns;
+        // Saturating: a server left running for months must pin these
+        // at u64::MAX rather than wrap back through small values.
+        stat.count = stat.count.saturating_add(1);
+        stat.total_ns = stat.total_ns.saturating_add(duration_ns);
     }
 
     fn counter_add(&self, name: &'static str, n: u64) {
@@ -279,7 +281,7 @@ impl Recorder {
                 .read()
                 .unwrap_or_else(|e| e.into_inner());
             if let Some(c) = map.get(name) {
-                c.fetch_add(n, Ordering::Relaxed);
+                crate::rolling::saturating_fetch_add(c, n);
                 return;
             }
         }
@@ -288,9 +290,10 @@ impl Recorder {
             .counters
             .write()
             .unwrap_or_else(|e| e.into_inner());
-        map.entry(name)
-            .or_insert_with(|| AtomicU64::new(0))
-            .fetch_add(n, Ordering::Relaxed);
+        crate::rolling::saturating_fetch_add(
+            map.entry(name).or_insert_with(|| AtomicU64::new(0)),
+            n,
+        );
     }
 
     fn histogram_record(&self, name: &'static str, value: f64) {
@@ -455,6 +458,16 @@ mod tests {
         counter_add("c.a", 100);
         assert_eq!(rec.snapshot().counters["c.a"], 5);
 
+        // --- counter increments saturate instead of wrapping -----------
+        let sat_rec = Recorder::new(Level::Off).quiet();
+        {
+            let _g = sat_rec.install();
+            counter_add("c.sat", u64::MAX - 2);
+            counter_add("c.sat", 10); // would wrap; must pin
+            counter_add("c.sat", 1); // stays pinned
+        }
+        assert_eq!(sat_rec.snapshot().counters["c.sat"], u64::MAX);
+
         // --- level gating ----------------------------------------------
         let warn_rec = Recorder::new(Level::Warn).quiet();
         {
@@ -492,5 +505,18 @@ mod tests {
         let trace = tid_rec.trace_events();
         let tid_of = |name: &str| trace.iter().find(|e| e.name == name).map(|e| e.tid);
         assert_ne!(tid_of("main-side").unwrap(), tid_of("worker-side").unwrap());
+    }
+
+    /// Regression: span totals saturate rather than wrap on a
+    /// long-running server (no global state needed — `end_span` is
+    /// driven directly on an uninstalled recorder).
+    #[test]
+    fn span_totals_saturate_instead_of_wrapping() {
+        let rec = Recorder::new(Level::Off).quiet();
+        rec.end_span("long", u64::MAX - 5);
+        rec.end_span("long", 100);
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans["long"].count, 2);
+        assert!((snap.spans["long"].total_ms - u64::MAX as f64 / 1e6).abs() < 1.0);
     }
 }

@@ -1,0 +1,395 @@
+//! Rolling-window metrics readable concurrently with writers: a
+//! log-bucketed sliding-window histogram and a plain gauge.
+//!
+//! [`RollingHistogram`] answers "what were the p50/p99 over the last
+//! minute" on a live server without stopping writers or accumulating
+//! unbounded state. The design is a striped ring of time slots:
+//!
+//! * The window is divided into `slots` equal time slices. Each slice
+//!   owns a fixed array of [`BUCKET_COUNT`] atomic counters whose
+//!   upper bounds are consecutive powers of two (1, 2, 4, …, +Inf) —
+//!   a *fixed, seed-stable layout*: bucket boundaries never depend on
+//!   the data, so two runs with the same inputs bucket identically and
+//!   scrape output diffs cleanly.
+//! * Writers find their slice from the elapsed time, lazily reset it
+//!   when it is being reused for a new time slice (an epoch CAS picks
+//!   one resetter; losers spin for the handful of stores a reset
+//!   takes), then `fetch_add` into one bucket. No locks anywhere.
+//! * Readers sum the slices whose epoch lies inside the live window.
+//!   A scrape therefore sees a consistent-enough view: each counter is
+//!   individually atomic, and the window-boundary error is at most one
+//!   slice width.
+//!
+//! Observations racing a slice rotation may land in a slice that is
+//! reset an instant later; a rolling window is an estimate over time by
+//! construction, so losing a boundary observation is acceptable and
+//! bounded (at most one slice turnover's worth per window).
+//!
+//! All additions saturate: a counter that would wrap `u64` pins at
+//! `u64::MAX` instead — on a node serving forever, a pinned bucket is
+//! a visible anomaly, a wrapped one is silent data corruption.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Buckets per slot: upper bounds `2^0 … 2^26`, plus one +Inf overflow
+/// bucket. With microsecond latencies that spans 1 µs to ~67 s, far
+/// beyond any admissible request deadline.
+pub const BUCKET_COUNT: usize = 28;
+
+/// Epoch sentinel meaning "a writer is resetting this slot right now".
+const RESETTING: u64 = u64::MAX;
+
+/// Adds `n` to an atomic counter, pinning at `u64::MAX` instead of
+/// wrapping. One CAS in the common case; loops only under contention.
+pub(crate) fn saturating_fetch_add(counter: &AtomicU64, n: u64) {
+    let mut cur = counter.load(Ordering::Relaxed);
+    loop {
+        let next = cur.saturating_add(n);
+        match counter.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// The bucket whose upper bound is the smallest power of two ≥ `value`.
+fn bucket_index(value: u64) -> usize {
+    if value <= 1 {
+        0
+    } else {
+        let b = 64 - (value - 1).leading_zeros() as usize;
+        b.min(BUCKET_COUNT - 1)
+    }
+}
+
+/// The inclusive upper bound of bucket `i`, or `None` for the +Inf
+/// overflow bucket.
+pub fn bucket_le(i: usize) -> Option<u64> {
+    if i + 1 < BUCKET_COUNT {
+        Some(1u64 << i)
+    } else {
+        None
+    }
+}
+
+struct Slot {
+    /// Absolute slice index + 1 this slot currently holds data for;
+    /// 0 = never used, [`RESETTING`] = mid-reset.
+    epoch: AtomicU64,
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKET_COUNT],
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Slot {
+            epoch: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A sliding-window log₂-bucketed histogram (see module docs).
+pub struct RollingHistogram {
+    start: Instant,
+    slot_width: Duration,
+    slots: Box<[Slot]>,
+}
+
+impl RollingHistogram {
+    /// A histogram covering the trailing `window`, striped into `slots`
+    /// time slices (both clamped to sane minimums).
+    pub fn new(window: Duration, slots: usize) -> Self {
+        let slots = slots.clamp(2, 64);
+        let slot_width = (window / slots as u32).max(Duration::from_millis(1));
+        RollingHistogram {
+            start: Instant::now(),
+            slot_width,
+            slots: (0..slots).map(|_| Slot::empty()).collect(),
+        }
+    }
+
+    /// The absolute time-slice index the clock is in right now.
+    fn abs_slice(&self) -> u64 {
+        (self.start.elapsed().as_nanos() / self.slot_width.as_nanos().max(1)) as u64
+    }
+
+    /// Records one observation into the current time slice.
+    pub fn record(&self, value: u64) {
+        self.record_at(self.abs_slice(), value);
+    }
+
+    fn record_at(&self, slice: u64, value: u64) {
+        let slot = &self.slots[(slice % self.slots.len() as u64) as usize];
+        self.activate(slot, slice);
+        saturating_fetch_add(&slot.count, 1);
+        saturating_fetch_add(&slot.sum, value);
+        saturating_fetch_add(&slot.buckets[bucket_index(value)], 1);
+    }
+
+    /// Ensures `slot` belongs to time slice `slice`, resetting stale
+    /// data from a previous lap of the ring. Exactly one writer wins
+    /// the reset CAS; others wait out the few stores a reset takes.
+    fn activate(&self, slot: &Slot, slice: u64) {
+        let want = slice + 1;
+        loop {
+            let cur = slot.epoch.load(Ordering::Acquire);
+            if cur >= want && cur != RESETTING {
+                // Already current (or a slightly newer writer rotated
+                // past us; its slice is at most one width away, so the
+                // observation is still inside the window).
+                return;
+            }
+            if cur == RESETTING {
+                std::hint::spin_loop();
+                continue;
+            }
+            if slot
+                .epoch
+                .compare_exchange(cur, RESETTING, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                slot.count.store(0, Ordering::Relaxed);
+                slot.sum.store(0, Ordering::Relaxed);
+                for b in &slot.buckets {
+                    b.store(0, Ordering::Relaxed);
+                }
+                slot.epoch.store(want, Ordering::Release);
+                return;
+            }
+        }
+    }
+
+    /// Merges every live time slice into one summary; runs concurrently
+    /// with writers.
+    pub fn summarize(&self) -> RollingSummary {
+        self.summarize_at(self.abs_slice())
+    }
+
+    fn summarize_at(&self, now_slice: u64) -> RollingSummary {
+        let n = self.slots.len() as u64;
+        let mut out = RollingSummary::default();
+        for slot in self.slots.iter() {
+            let e = slot.epoch.load(Ordering::Acquire);
+            if e == 0 || e == RESETTING {
+                continue;
+            }
+            let slice = e - 1;
+            if now_slice.saturating_sub(slice) >= n {
+                continue; // a stale lap, outside the window
+            }
+            out.count = out.count.saturating_add(slot.count.load(Ordering::Relaxed));
+            out.sum = out.sum.saturating_add(slot.sum.load(Ordering::Relaxed));
+            for (acc, b) in out.buckets.iter_mut().zip(slot.buckets.iter()) {
+                *acc = acc.saturating_add(b.load(Ordering::Relaxed));
+            }
+        }
+        out
+    }
+
+    /// The window this histogram covers (slot width × slot count).
+    pub fn window(&self) -> Duration {
+        self.slot_width * self.slots.len() as u32
+    }
+}
+
+/// A point-in-time merge of a [`RollingHistogram`]'s live window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RollingSummary {
+    /// Per-bucket observation counts (not cumulative); bucket `i`
+    /// covers values ≤ [`bucket_le`]`(i)`.
+    pub buckets: [u64; BUCKET_COUNT],
+    /// Observations in the window.
+    pub count: u64,
+    /// Saturating sum of observed values.
+    pub sum: u64,
+}
+
+impl Default for RollingSummary {
+    fn default() -> Self {
+        RollingSummary {
+            buckets: [0; BUCKET_COUNT],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl RollingSummary {
+    /// The upper bound of the bucket holding the `q`-quantile
+    /// observation (0 when the window is empty). Deterministic given
+    /// the bucket counts; values in the overflow bucket report the
+    /// largest finite bound doubled.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, c) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(*c);
+            if seen >= target {
+                return bucket_le(i).unwrap_or(1u64 << BUCKET_COUNT);
+            }
+        }
+        1u64 << BUCKET_COUNT
+    }
+
+    /// Mean of the observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A last-write-wins instantaneous value (queue depth, in-flight count).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Sets the value outright.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Decrements by `n`.
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_fixed_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 26), BUCKET_COUNT - 2);
+        assert_eq!(bucket_index((1 << 26) + 1), BUCKET_COUNT - 1);
+        assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT - 1);
+        assert_eq!(bucket_le(0), Some(1));
+        assert_eq!(bucket_le(1), Some(2));
+        assert_eq!(bucket_le(BUCKET_COUNT - 2), Some(1 << 26));
+        assert_eq!(bucket_le(BUCKET_COUNT - 1), None);
+    }
+
+    #[test]
+    fn records_and_summarizes_within_window() {
+        let h = RollingHistogram::new(Duration::from_secs(60), 12);
+        for v in [1u64, 2, 3, 100, 5000] {
+            h.record(v);
+        }
+        let s = h.summarize();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 5106);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 5);
+        // p50 of {1,2,3,100,5000}: third observation, bucket le=4.
+        assert_eq!(s.quantile(0.5), 4);
+        // p99 lands on the largest observation's bucket (le=8192).
+        assert_eq!(s.quantile(0.99), 8192);
+        assert!((s.mean() - 1021.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn old_slices_age_out_of_the_window() {
+        let h = RollingHistogram::new(Duration::from_secs(60), 12);
+        h.record_at(0, 10);
+        h.record_at(0, 20);
+        // Still visible 11 slices later…
+        assert_eq!(h.summarize_at(11).count, 2);
+        // …gone one lap later, without any writer touching the ring.
+        assert_eq!(h.summarize_at(12).count, 0);
+    }
+
+    #[test]
+    fn slot_reuse_resets_stale_counts() {
+        let h = RollingHistogram::new(Duration::from_secs(60), 4);
+        h.record_at(0, 7);
+        // One full lap later the same physical slot is reused.
+        h.record_at(4, 9);
+        let s = h.summarize_at(4);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum, 9);
+    }
+
+    #[test]
+    fn empty_window_quantiles_are_zero() {
+        let h = RollingHistogram::new(Duration::from_secs(1), 4);
+        let s = h.summarize();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert!(s.mean().abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers_lose_nothing_in_one_slice() {
+        let h = RollingHistogram::new(Duration::from_secs(600), 8);
+        let threads = 4;
+        let per_thread = 5000u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        h.record(t * 1000 + i % 37);
+                    }
+                });
+            }
+            // Concurrent reads must not panic or tear.
+            for _ in 0..50 {
+                let _ = h.summarize();
+            }
+        });
+        // A 75 s slice cannot rotate during the test: every record lands.
+        assert_eq!(h.summarize().count, threads * per_thread);
+    }
+
+    #[test]
+    fn saturating_add_pins_at_max() {
+        let c = AtomicU64::new(u64::MAX - 1);
+        saturating_fetch_add(&c, 5);
+        assert_eq!(c.load(Ordering::Relaxed), u64::MAX);
+        saturating_fetch_add(&c, 1);
+        assert_eq!(c.load(Ordering::Relaxed), u64::MAX);
+    }
+
+    #[test]
+    fn gauge_tracks_set_add_sub() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0);
+        g.add(5);
+        g.sub(2);
+        assert_eq!(g.get(), 3);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+    }
+}

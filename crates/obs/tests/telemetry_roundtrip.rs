@@ -1,0 +1,105 @@
+//! Round-trips of the telemetry payloads through the crate's own
+//! hand-rolled JSON parser and exposition validator: what one telemetry
+//! module writes, another must read back bit-for-bit. These are the
+//! cross-module contracts the unit tests cannot see.
+
+use std::time::Duration;
+
+use mupod_obs::{json, Exposition, FlightRecorder, FlightStage, RollingHistogram};
+
+#[test]
+fn flight_dump_round_trips_every_field_through_the_parser() {
+    let fr = FlightRecorder::new(64);
+    // One full lifecycle plus the failure stages, with field values at
+    // the edges: 2^52 + 1 is the largest class of trace ID the JSON
+    // number representation carries exactly.
+    let big_trace = (1u64 << 52) + 1;
+    fr.record(big_trace, FlightStage::Admit, -1, 0);
+    fr.record(big_trace, FlightStage::Dequeue, 7, 0);
+    fr.record(big_trace, FlightStage::Exec, 7, 0);
+    fr.record(big_trace, FlightStage::Reply, -1, 0);
+    fr.record(0, FlightStage::Shed, -1, 10);
+    fr.record(3, FlightStage::Crash, 2, 14);
+
+    let doc = json::parse(&fr.to_json()).expect("dump parses");
+    let obj = doc.as_object().unwrap();
+    assert_eq!(obj["schema"].as_str(), Some(mupod_obs::FLIGHT_SCHEMA));
+    assert_eq!(obj["dropped"].as_f64(), Some(0.0));
+    let events = obj["events"].as_array().unwrap();
+    assert_eq!(events.len(), 6);
+
+    let originals = fr.events();
+    for (ev, parsed) in originals.iter().zip(events) {
+        let p = parsed.as_object().unwrap();
+        assert_eq!(p["seq"].as_f64(), Some(ev.seq as f64));
+        assert_eq!(p["t_us"].as_f64(), Some(ev.t_us as f64));
+        assert_eq!(p["trace_id"].as_f64(), Some(ev.trace_id as f64));
+        assert_eq!(p["stage"].as_str(), Some(ev.stage.name()));
+        assert_eq!(p["worker"].as_f64(), Some(ev.worker as f64));
+        assert_eq!(p["status"].as_f64(), Some(f64::from(ev.status)));
+    }
+    assert_eq!(
+        events[0].as_object().unwrap()["trace_id"].as_f64(),
+        Some(4_503_599_627_370_497.0),
+        "2^52 + 1 must survive exactly"
+    );
+}
+
+#[test]
+fn rendered_exposition_with_live_window_data_validates() {
+    let h = RollingHistogram::new(Duration::from_secs(60), 12);
+    for v in [3u64, 40, 500, 6_000, 70_000] {
+        h.record(v);
+    }
+    let s = h.summarize();
+    assert_eq!(s.count, 5);
+
+    let mut e = Exposition::new();
+    e.counter("roundtrip_requests_total", "Requests handled.", 5);
+    e.gauge("roundtrip_queue_depth", "Queued right now.", 2);
+    e.gauge_f64("roundtrip_uptime_seconds", "Uptime.", 1.5);
+    e.histogram("roundtrip_latency_us", "Latency distribution.", &s);
+    e.summary(
+        "roundtrip_latency_window_us",
+        "Rolling-window latency.",
+        &[("0.5", s.quantile(0.5)), ("0.99", s.quantile(0.99))],
+        &s,
+    );
+    let text = e.finish();
+    mupod_obs::expo::validate(&text).expect("rendered exposition validates");
+
+    // The histogram's +Inf bucket equals the count, and the window
+    // quantiles are readable samples — the scrape-side contract.
+    assert!(
+        text.contains("roundtrip_latency_us_bucket{le=\"+Inf\"} 5"),
+        "{text}"
+    );
+    assert!(
+        text.contains("roundtrip_latency_window_us{quantile=\"0.99\"}"),
+        "{text}"
+    );
+}
+
+#[test]
+fn sealed_flight_dump_survives_the_artifact_layer() {
+    // The serving layer seals dumps with `mupod_runtime::write_atomic`;
+    // the unseal + parse path is what `query --dump-flight` consumers
+    // run. The obs crate cannot depend on runtime, so emulate the seal
+    // boundary: the JSON must tolerate trailing footer lines being
+    // stripped by byte offset, i.e. end in exactly one newline.
+    let fr = FlightRecorder::new(16);
+    fr.record(1, FlightStage::Admit, -1, 0);
+    let doc = fr.to_json();
+    assert!(doc.ends_with("}\n") && !doc.ends_with("\n\n"));
+    // Re-parsing the exact byte prefix a footer-stripper would return
+    // (the document minus nothing — footers append, never rewrite)
+    // still yields the same event count.
+    let parsed = json::parse(&doc).unwrap();
+    assert_eq!(
+        parsed.as_object().unwrap()["events"]
+            .as_array()
+            .unwrap()
+            .len(),
+        1
+    );
+}

@@ -10,7 +10,9 @@ use std::time::{Duration, Instant};
 
 use mupod_runtime::StatusCode;
 
-use crate::frame::{self, FrameError, Priority, ReqKind, HEADER_LEN, MAX_PAYLOAD_BYTES};
+use crate::frame::{
+    self, FrameError, Priority, ReqKind, HEADER_LEN, MAX_PAYLOAD_BYTES, TRACE_ID_LEN,
+};
 
 /// Client-side failures (server-side rejections arrive as a [`Reply`]
 /// with a non-OK status, not as errors).
@@ -61,6 +63,9 @@ pub struct Reply {
     pub class: Option<u32>,
     /// The server's diagnostic, when `status` is an error.
     pub message: Option<String>,
+    /// The trace ID the server echoed back, when the request carried
+    /// one and the server understood it.
+    pub trace_id: Option<u64>,
     /// Round-trip time as the client saw it.
     pub latency: Duration,
 }
@@ -96,17 +101,50 @@ impl Connection {
         deadline_ms: u32,
         priority: Priority,
     ) -> Result<Reply, ClientError> {
-        self.round_trip(ReqKind::Classify, priority, deadline_ms, image)
+        self.round_trip(ReqKind::Classify, priority, deadline_ms, None, image)
+    }
+
+    /// Like [`Connection::classify`], but stamps the request with a
+    /// nonzero trace ID the server echoes back and records on every
+    /// flight-recorder event the request produces.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Connection::classify`].
+    pub fn classify_traced(
+        &mut self,
+        image: &[f32],
+        deadline_ms: u32,
+        priority: Priority,
+        trace_id: u64,
+    ) -> Result<Reply, ClientError> {
+        self.round_trip(
+            ReqKind::Classify,
+            priority,
+            deadline_ms,
+            Some(trace_id),
+            image,
+        )
     }
 
     /// Sends a chaos-panic frame (only honored by `--chaos` servers);
-    /// the expected reply is `WorkerCrashed`.
+    /// the expected reply is `WorkerCrashed`. A nonzero `trace_id` tags
+    /// the injected fault in the flight recorder.
     ///
     /// # Errors
     ///
     /// Same as [`Connection::classify`].
     pub fn chaos_panic(&mut self) -> Result<Reply, ClientError> {
-        self.round_trip(ReqKind::ChaosPanic, Priority::High, 0, &[])
+        self.round_trip(ReqKind::ChaosPanic, Priority::High, 0, None, &[])
+    }
+
+    /// [`Connection::chaos_panic`] with a trace ID.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Connection::classify`].
+    pub fn chaos_panic_traced(&mut self, trace_id: u64) -> Result<Reply, ClientError> {
+        self.round_trip(ReqKind::ChaosPanic, Priority::High, 0, Some(trace_id), &[])
     }
 
     fn round_trip(
@@ -114,16 +152,24 @@ impl Connection {
         kind: ReqKind,
         priority: Priority,
         deadline_ms: u32,
+        trace_id: Option<u64>,
         image: &[f32],
     ) -> Result<Reply, ClientError> {
         let start = Instant::now();
-        let req = frame::encode_request(kind, priority, deadline_ms, image);
+        let req = frame::encode_request_traced(kind, priority, deadline_ms, trace_id, image);
         self.stream.write_all(&req)?;
         self.stream.flush()?;
         let mut header = [0u8; HEADER_LEN];
         self.stream.read_exact(&mut header)?;
         let h = frame::parse_response_header(&header)?;
         debug_assert!(h.payload_len <= MAX_PAYLOAD_BYTES);
+        let echoed = if h.has_trace_id {
+            let mut ext = [0u8; TRACE_ID_LEN];
+            self.stream.read_exact(&mut ext)?;
+            Some(frame::decode_trace_id(&ext))
+        } else {
+            None
+        };
         let mut payload = vec![0u8; h.payload_len];
         self.stream.read_exact(&mut payload)?;
         let latency = start.elapsed();
@@ -141,6 +187,7 @@ impl Connection {
                     payload[0], payload[1], payload[2], payload[3],
                 ])),
                 message: None,
+                trace_id: echoed,
                 latency,
             }
         } else {
@@ -148,6 +195,7 @@ impl Connection {
                 status: h.status,
                 class: None,
                 message: Some(String::from_utf8_lossy(&payload).into_owned()),
+                trace_id: echoed,
                 latency,
             }
         })

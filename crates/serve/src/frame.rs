@@ -11,10 +11,20 @@
 //!      4     1  version (1)
 //!      5     1  kind     1 = classify, 2 = chaos-panic (test only)
 //!      6     1  priority 0 = high, 1 = low
-//!      7     1  reserved (0)
+//!      7     1  flags    bit 0 = trace-ID extension present
 //!      8     4  deadline_ms (u32 LE; 0 = server default)
 //!     12     4  payload_len (u32 LE, bytes)
 //! ```
+//!
+//! When [`FLAG_TRACE_ID`] is set, an 8-byte LE trace ID follows the
+//! header immediately, **before** the payload and excluded from
+//! `payload_len`. The server echoes the ID back in the response frame
+//! (response flags live at byte 6; byte 7 stays reserved) and stamps
+//! it on every flight-recorder event the request produces, so one ID
+//! links a client-side timeout to the server-side lifecycle. Trace ID
+//! 0 is reserved to mean "untraced" — senders wanting tracing should
+//! pick a nonzero ID. Unknown flag bits are a hard [`FrameError`]:
+//! old servers reject rather than silently mis-frame.
 //!
 //! The classify payload is the image as raw `f32` LE words; its length
 //! must equal the served model's input element count exactly — anything
@@ -38,6 +48,12 @@ pub const HEADER_LEN: usize = 16;
 /// Absolute payload ceiling — no model served here comes close, and it
 /// bounds what a malicious `payload_len` can make the server allocate.
 pub const MAX_PAYLOAD_BYTES: usize = 16 << 20;
+/// Flag bit: an 8-byte LE trace ID follows the header.
+pub const FLAG_TRACE_ID: u8 = 0b0000_0001;
+/// Size of the trace-ID extension when present.
+pub const TRACE_ID_LEN: usize = 8;
+/// All flag bits this version understands.
+const KNOWN_FLAGS: u8 = FLAG_TRACE_ID;
 
 /// What a request asks the server to do.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +85,8 @@ pub struct RequestHeader {
     pub deadline_ms: u32,
     /// Payload size in bytes (already bounds-checked).
     pub payload_len: usize,
+    /// Whether an 8-byte trace ID follows the header.
+    pub has_trace_id: bool,
 }
 
 /// A parsed response header.
@@ -78,6 +96,8 @@ pub struct ResponseHeader {
     pub status: StatusCode,
     /// Payload size in bytes (already bounds-checked).
     pub payload_len: usize,
+    /// Whether an 8-byte trace ID follows the header.
+    pub has_trace_id: bool,
 }
 
 /// Why a frame was rejected. Every variant maps to
@@ -98,6 +118,8 @@ pub enum FrameError {
     BadPriority(u8),
     /// Unknown response status byte.
     BadStatus(u8),
+    /// Flag bits this protocol version does not understand.
+    BadFlags(u8),
     /// `payload_len` exceeds [`MAX_PAYLOAD_BYTES`].
     Oversized {
         /// Declared payload length.
@@ -122,6 +144,7 @@ impl std::fmt::Display for FrameError {
             FrameError::BadKind(k) => write!(f, "unknown request kind {k}"),
             FrameError::BadPriority(p) => write!(f, "unknown priority {p}"),
             FrameError::BadStatus(s) => write!(f, "unknown response status {s}"),
+            FrameError::BadFlags(b) => write!(f, "unknown frame flags {b:#04x}"),
             FrameError::Oversized { len } => {
                 write!(
                     f,
@@ -145,8 +168,22 @@ pub fn encode_request(
     deadline_ms: u32,
     image: &[f32],
 ) -> Vec<u8> {
+    encode_request_traced(kind, priority, deadline_ms, None, image)
+}
+
+/// Encodes a request frame, optionally carrying a trace ID the server
+/// will echo back. `Some(0)` is treated as untraced.
+pub fn encode_request_traced(
+    kind: ReqKind,
+    priority: Priority,
+    deadline_ms: u32,
+    trace_id: Option<u64>,
+    image: &[f32],
+) -> Vec<u8> {
+    let trace_id = trace_id.filter(|&id| id != 0);
     let payload_len = image.len() * 4;
-    let mut buf = Vec::with_capacity(HEADER_LEN + payload_len);
+    let ext = if trace_id.is_some() { TRACE_ID_LEN } else { 0 };
+    let mut buf = Vec::with_capacity(HEADER_LEN + ext + payload_len);
     buf.extend_from_slice(&REQ_MAGIC);
     buf.push(PROTOCOL_VERSION);
     buf.push(match kind {
@@ -157,9 +194,12 @@ pub fn encode_request(
         Priority::High => 0,
         Priority::Low => 1,
     });
-    buf.push(0);
+    buf.push(if trace_id.is_some() { FLAG_TRACE_ID } else { 0 });
     buf.extend_from_slice(&deadline_ms.to_le_bytes());
     buf.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    if let Some(id) = trace_id {
+        buf.extend_from_slice(&id.to_le_bytes());
+    }
     for v in image {
         buf.extend_from_slice(&v.to_le_bytes());
     }
@@ -192,6 +232,10 @@ pub fn parse_request_header(buf: &[u8; HEADER_LEN]) -> Result<RequestHeader, Fra
         1 => Priority::Low,
         p => return Err(FrameError::BadPriority(p)),
     };
+    let flags = buf[7];
+    if flags & !KNOWN_FLAGS != 0 {
+        return Err(FrameError::BadFlags(flags));
+    }
     let deadline_ms = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
     let payload_len = u32::from_le_bytes([buf[12], buf[13], buf[14], buf[15]]) as usize;
     if payload_len > MAX_PAYLOAD_BYTES {
@@ -202,6 +246,7 @@ pub fn parse_request_header(buf: &[u8; HEADER_LEN]) -> Result<RequestHeader, Fra
         priority,
         deadline_ms,
         payload_len,
+        has_trace_id: flags & FLAG_TRACE_ID != 0,
     })
 }
 
@@ -221,13 +266,29 @@ pub fn decode_image(payload: &[u8]) -> Vec<f32> {
 
 /// Encodes a response frame with an arbitrary payload.
 pub fn encode_response(status: StatusCode, payload: &[u8]) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    encode_response_traced(status, None, payload)
+}
+
+/// Encodes a response frame, echoing a trace ID when `Some` and
+/// nonzero (response flags live at byte 6; byte 7 stays reserved).
+pub fn encode_response_traced(
+    status: StatusCode,
+    trace_id: Option<u64>,
+    payload: &[u8],
+) -> Vec<u8> {
+    let trace_id = trace_id.filter(|&id| id != 0);
+    let ext = if trace_id.is_some() { TRACE_ID_LEN } else { 0 };
+    let mut buf = Vec::with_capacity(HEADER_LEN + ext + payload.len());
     buf.extend_from_slice(&RESP_MAGIC);
     buf.push(PROTOCOL_VERSION);
     buf.push(status.wire());
-    buf.extend_from_slice(&[0, 0]);
+    buf.push(if trace_id.is_some() { FLAG_TRACE_ID } else { 0 });
+    buf.push(0);
     buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     buf.extend_from_slice(&[0, 0, 0, 0]);
+    if let Some(id) = trace_id {
+        buf.extend_from_slice(&id.to_le_bytes());
+    }
     buf.extend_from_slice(payload);
     buf
 }
@@ -252,6 +313,10 @@ pub fn parse_response_header(buf: &[u8; HEADER_LEN]) -> Result<ResponseHeader, F
         return Err(FrameError::BadVersion(buf[4]));
     }
     let status = StatusCode::from_wire(buf[5]).ok_or(FrameError::BadStatus(buf[5]))?;
+    let flags = buf[6];
+    if flags & !KNOWN_FLAGS != 0 {
+        return Err(FrameError::BadFlags(flags));
+    }
     let payload_len = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]) as usize;
     if payload_len > MAX_PAYLOAD_BYTES {
         return Err(FrameError::Oversized { len: payload_len });
@@ -259,7 +324,13 @@ pub fn parse_response_header(buf: &[u8; HEADER_LEN]) -> Result<ResponseHeader, F
     Ok(ResponseHeader {
         status,
         payload_len,
+        has_trace_id: flags & FLAG_TRACE_ID != 0,
     })
+}
+
+/// Decodes the 8-byte LE trace-ID extension.
+pub fn decode_trace_id(ext: &[u8; TRACE_ID_LEN]) -> u64 {
+    u64::from_le_bytes(*ext)
 }
 
 #[cfg(test)]
@@ -347,6 +418,73 @@ mod tests {
         assert!(matches!(
             parse_response_header(&h),
             Err(FrameError::BadStatus(99))
+        ));
+    }
+
+    #[test]
+    fn traced_request_round_trips() {
+        let image = [1.0f32, 2.0];
+        let frame =
+            encode_request_traced(ReqKind::Classify, Priority::High, 100, Some(0xFACE), &image);
+        let h = parse_request_header(&header_of(&frame)).unwrap();
+        assert!(h.has_trace_id);
+        assert_eq!(h.payload_len, 8, "trace ID is excluded from payload_len");
+        let ext: [u8; TRACE_ID_LEN] = frame[HEADER_LEN..HEADER_LEN + TRACE_ID_LEN]
+            .try_into()
+            .unwrap();
+        assert_eq!(decode_trace_id(&ext), 0xFACE);
+        assert_eq!(decode_image(&frame[HEADER_LEN + TRACE_ID_LEN..]), image);
+    }
+
+    #[test]
+    fn traced_response_round_trips() {
+        let frame = encode_response_traced(StatusCode::Ok, Some(0xFACE), &7u32.to_le_bytes());
+        let h = parse_response_header(&header_of(&frame)).unwrap();
+        assert!(h.has_trace_id);
+        assert_eq!(h.payload_len, 4);
+        let ext: [u8; TRACE_ID_LEN] = frame[HEADER_LEN..HEADER_LEN + TRACE_ID_LEN]
+            .try_into()
+            .unwrap();
+        assert_eq!(decode_trace_id(&ext), 0xFACE);
+        assert_eq!(&frame[HEADER_LEN + TRACE_ID_LEN..], 7u32.to_le_bytes());
+    }
+
+    #[test]
+    fn zero_or_absent_trace_id_means_untraced() {
+        for frame in [
+            encode_request_traced(ReqKind::Classify, Priority::High, 0, None, &[1.0]),
+            encode_request_traced(ReqKind::Classify, Priority::High, 0, Some(0), &[1.0]),
+            encode_request(ReqKind::Classify, Priority::High, 0, &[1.0]),
+        ] {
+            let h = parse_request_header(&header_of(&frame)).unwrap();
+            assert!(!h.has_trace_id);
+            assert_eq!(frame.len(), HEADER_LEN + 4);
+        }
+        let resp = encode_response_traced(StatusCode::Ok, Some(0), &[]);
+        assert!(
+            !parse_response_header(&header_of(&resp))
+                .unwrap()
+                .has_trace_id
+        );
+        assert_eq!(resp.len(), HEADER_LEN);
+    }
+
+    #[test]
+    fn unknown_flag_bits_are_rejected_both_directions() {
+        let good = encode_request(ReqKind::Classify, Priority::High, 0, &[1.0]);
+        let mut h = header_of(&good);
+        h[7] = 0x82;
+        assert!(matches!(
+            parse_request_header(&h),
+            Err(FrameError::BadFlags(0x82))
+        ));
+
+        let resp = encode_class_response(0);
+        let mut h = header_of(&resp);
+        h[6] = 0x04;
+        assert!(matches!(
+            parse_response_header(&h),
+            Err(FrameError::BadFlags(0x04))
         ));
     }
 }

@@ -24,20 +24,32 @@
 //!   be flushed atomically. A load-shedding ladder (shrink batch →
 //!   reject low-priority → drain) degrades service loudly before that.
 //!
+//! * **Live telemetry** — `--metrics-addr` binds a second listener
+//!   ([`admin`](crate::http_get)) answering `/metrics` (Prometheus text
+//!   exposition with rolling-window p50/p99), `/health` (degradation
+//!   state as JSON) and `/flight` (the flight-recorder ring). Requests
+//!   may carry a trace ID the server echoes and stamps on every
+//!   lifecycle event, so one ID links a client timeout to the
+//!   server-side post-mortem. `DESIGN.md` §13 has the details.
+//!
 //! Status codes on the wire come from the shared
 //! [`StatusCode`](mupod_runtime::StatusCode) table; the frame format
 //! lives in [`frame`]. `DESIGN.md` §12 describes the architecture.
 
+mod admin;
 mod client;
 pub mod frame;
 mod queue;
 mod server;
+mod telemetry;
 mod worker;
 
+pub use admin::http_get;
 pub use client::{run_load, ClientError, Connection, LoadReport, Reply};
 pub use frame::{FrameError, Priority, ReqKind};
 pub use queue::{BoundedQueue, Pop, PushError};
-pub use server::{percentiles_us, run, ServeConfig, ServeError, ServeReport};
+pub use server::{percentiles_us, run, Bound, ServeConfig, ServeError, ServeReport};
+pub use telemetry::HEALTH_SCHEMA;
 
 #[cfg(test)]
 pub(crate) mod test_util {
@@ -76,8 +88,29 @@ mod tests {
     use std::sync::mpsc;
     use std::time::{Duration, Instant};
 
-    /// Starts a server on an ephemeral port; returns its address and
-    /// the join handle yielding the final report.
+    /// Starts a server on an ephemeral port; returns its bound
+    /// addresses and the join handle yielding the final report.
+    fn start_bound(
+        cfg: ServeConfig,
+        token: CancelToken,
+    ) -> (
+        Bound,
+        std::thread::JoinHandle<Result<ServeReport, ServeError>>,
+    ) {
+        let (tx, rx) = mpsc::channel();
+        let handle = std::thread::spawn(move || {
+            let net = test_util::tiny_net();
+            run(&net, &cfg, &token, move |bound| {
+                tx.send(bound).expect("ready receiver alive")
+            })
+        });
+        let bound = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("server binds");
+        (bound, handle)
+    }
+
+    /// [`start_bound`] for tests that only need the frame port.
     fn start(
         cfg: ServeConfig,
         token: CancelToken,
@@ -85,17 +118,8 @@ mod tests {
         std::net::SocketAddr,
         std::thread::JoinHandle<Result<ServeReport, ServeError>>,
     ) {
-        let (tx, rx) = mpsc::channel();
-        let handle = std::thread::spawn(move || {
-            let net = test_util::tiny_net();
-            run(&net, &cfg, &token, move |addr| {
-                tx.send(addr).expect("ready receiver alive")
-            })
-        });
-        let addr = rx
-            .recv_timeout(Duration::from_secs(10))
-            .expect("server binds");
-        (addr, handle)
+        let (bound, handle) = start_bound(cfg, token);
+        (bound.addr, handle)
     }
 
     fn connect(addr: std::net::SocketAddr) -> Connection {
@@ -235,9 +259,112 @@ mod tests {
             err,
             ServeError::RestartBudgetExhausted {
                 crashes: 1,
-                budget: 0
+                budget: 0,
+                ..
             }
         ));
+        // The drain's report rides along on the error path.
+        if let ServeError::RestartBudgetExhausted { report, .. } = err {
+            assert_eq!(report.worker_crashes, 1);
+        }
+    }
+
+    #[test]
+    fn trace_id_is_echoed_and_untraced_requests_stay_untraced() {
+        let token = CancelToken::new();
+        let (addr, handle) = start(ServeConfig::default(), token.clone());
+        let mut conn = connect(addr);
+        let img = test_util::image(0);
+        let traced = conn
+            .classify_traced(&img, 0, Priority::High, 0xBEEF_CAFE)
+            .expect("reply");
+        assert_eq!(traced.status, StatusCode::Ok);
+        assert_eq!(traced.trace_id, Some(0xBEEF_CAFE));
+        let plain = conn.classify(&img, 0, Priority::High).expect("reply");
+        assert_eq!(plain.status, StatusCode::Ok);
+        assert_eq!(plain.trace_id, None);
+        token.cancel(CancelReason::Interrupt);
+        handle.join().expect("server thread").expect("clean drain");
+    }
+
+    #[test]
+    fn metrics_and_health_scrape_a_live_server() {
+        let token = CancelToken::new();
+        let cfg = ServeConfig {
+            metrics_addr: Some("127.0.0.1:0".to_string()),
+            ..ServeConfig::default()
+        };
+        let (bound, handle) = start_bound(cfg, token.clone());
+        let metrics_addr = bound.metrics_addr.expect("metrics listener bound");
+        let mut conn = connect(bound.addr);
+        for seed in 0..3 {
+            let reply = conn
+                .classify(&test_util::image(seed), 0, Priority::High)
+                .expect("reply");
+            assert_eq!(reply.status, StatusCode::Ok);
+        }
+        let timeout = Duration::from_secs(5);
+        let (code, body) = http_get(metrics_addr, "/metrics", timeout).expect("scrape");
+        assert_eq!(code, 200);
+        let text = String::from_utf8(body).expect("utf-8 exposition");
+        mupod_obs::expo::validate(&text).expect("valid exposition");
+        assert!(text.contains("mupod_requests_ok_total 3\n"), "{text}");
+        assert!(text.contains("mupod_request_latency_us_count 3\n"));
+        assert!(text.contains("mupod_request_latency_window_us{quantile=\"0.5\"}"));
+        assert!(text.contains("mupod_request_latency_window_us{quantile=\"0.99\"}"));
+        assert!(text.contains("mupod_restart_budget_remaining 8\n"));
+
+        let (code, body) = http_get(metrics_addr, "/health", timeout).expect("health");
+        assert_eq!(code, 200);
+        let doc = mupod_obs::json::parse(&String::from_utf8(body).expect("utf-8 health"))
+            .expect("health is JSON");
+        let obj = doc.as_object().expect("health object");
+        assert_eq!(obj["schema"].as_str(), Some(HEALTH_SCHEMA));
+        assert_eq!(obj["state"].as_str(), Some("ok"));
+        assert_eq!(obj["worker_crashes"].as_f64(), Some(0.0));
+
+        let (code, _) = http_get(metrics_addr, "/nope", timeout).expect("404 route");
+        assert_eq!(code, 404);
+
+        token.cancel(CancelReason::Interrupt);
+        handle.join().expect("server thread").expect("clean drain");
+    }
+
+    #[test]
+    fn flight_recorder_carries_a_request_lifecycle() {
+        let token = CancelToken::new();
+        let cfg = ServeConfig {
+            metrics_addr: Some("127.0.0.1:0".to_string()),
+            ..ServeConfig::default()
+        };
+        let (bound, handle) = start_bound(cfg, token.clone());
+        let metrics_addr = bound.metrics_addr.expect("metrics listener bound");
+        let mut conn = connect(bound.addr);
+        let reply = conn
+            .classify_traced(&test_util::image(0), 0, Priority::High, 77)
+            .expect("reply");
+        assert_eq!(reply.status, StatusCode::Ok);
+        let (code, body) =
+            http_get(metrics_addr, "/flight", Duration::from_secs(5)).expect("flight");
+        assert_eq!(code, 200);
+        let doc = mupod_obs::json::parse(&String::from_utf8(body).expect("utf-8 flight"))
+            .expect("flight is JSON");
+        let obj = doc.as_object().expect("flight object");
+        assert_eq!(obj["schema"].as_str(), Some(mupod_obs::FLIGHT_SCHEMA));
+        let stages: Vec<String> = obj["events"]
+            .as_array()
+            .expect("events array")
+            .iter()
+            .filter_map(|e| {
+                let ev = e.as_object()?;
+                (ev["trace_id"].as_f64() == Some(77.0))
+                    .then(|| ev["stage"].as_str().map(str::to_string))
+                    .flatten()
+            })
+            .collect();
+        assert_eq!(stages, ["admit", "dequeue", "exec", "reply"]);
+        token.cancel(CancelReason::Interrupt);
+        handle.join().expect("server thread").expect("clean drain");
     }
 
     #[test]

@@ -19,16 +19,20 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use mupod_nn::Network;
+use mupod_obs::FlightStage;
 use mupod_runtime::{CancelToken, StatusCode};
 
-use crate::frame::{self, FrameError, Priority, ReqKind, HEADER_LEN};
+use crate::admin;
+use crate::frame::{self, FrameError, Priority, ReqKind, HEADER_LEN, TRACE_ID_LEN};
 use crate::queue::{BoundedQueue, PushError};
+use crate::telemetry::Telemetry;
 use crate::worker;
 
 /// How often blocked loops (accept, idle connection reads, queue pops)
@@ -63,6 +67,12 @@ pub struct ServeConfig {
     /// Test hook: sleep this long before executing each batch, making
     /// deadline-expiry and drain windows deterministic in tests.
     pub slow_batch: Option<Duration>,
+    /// Bind address for the admin/scrape plane (`/metrics`, `/health`,
+    /// `/flight`); `None` disables it.
+    pub metrics_addr: Option<String>,
+    /// Where worker panics and budget exhaustion seal the flight
+    /// recorder; `None` disables automatic dumps.
+    pub flight_out: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -76,8 +86,21 @@ impl Default for ServeConfig {
             restart_budget: 8,
             chaos: false,
             slow_batch: None,
+            metrics_addr: None,
+            flight_out: None,
         }
     }
+}
+
+/// The addresses a running server actually bound, delivered through
+/// `on_ready` — with port 0 in the config this is the only way to
+/// learn the real ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bound {
+    /// The frame-protocol listener.
+    pub addr: SocketAddr,
+    /// The admin/scrape listener, when `metrics_addr` was set.
+    pub metrics_addr: Option<SocketAddr>,
 }
 
 /// What happened over one serving run, computed at drain.
@@ -127,6 +150,9 @@ pub enum ServeError {
         crashes: u32,
         /// The configured budget.
         budget: u32,
+        /// What the server did before giving up — filled in by
+        /// [`run`] at drain so callers can still print a summary.
+        report: Box<ServeReport>,
     },
 }
 
@@ -134,7 +160,9 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::Bind { addr, source } => write!(f, "cannot bind {addr}: {source}"),
-            ServeError::RestartBudgetExhausted { crashes, budget } => write!(
+            ServeError::RestartBudgetExhausted {
+                crashes, budget, ..
+            } => write!(
                 f,
                 "worker restart budget exhausted ({crashes} crashes > budget {budget}); drained"
             ),
@@ -161,6 +189,8 @@ pub(crate) struct Job {
     pub(crate) deadline: Instant,
     /// When the handler admitted it (latency base).
     pub(crate) accepted: Instant,
+    /// Wire trace ID (0 = untraced), stamped on flight events.
+    pub(crate) trace_id: u64,
     /// Rendezvous back to the waiting handler.
     pub(crate) resp: mpsc::SyncSender<(StatusCode, Vec<u8>)>,
 }
@@ -196,6 +226,8 @@ pub(crate) struct Shared {
     /// OK-request latencies in microseconds (percentiles at drain).
     pub(crate) latencies_us: Mutex<Vec<u64>>,
     pub(crate) stats: Stats,
+    /// Live instruments for the scrape endpoint and flight recorder.
+    pub(crate) telemetry: Telemetry,
 }
 
 impl Shared {
@@ -208,6 +240,7 @@ impl Shared {
             fatal: Mutex::new(None),
             latencies_us: Mutex::new(Vec::new()),
             stats: Stats::default(),
+            telemetry: Telemetry::new(),
         }
     }
 
@@ -231,6 +264,7 @@ impl Shared {
     pub(crate) fn record_latency(&self, accepted: Instant) {
         let us = accepted.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         mupod_obs::histogram_record("serve.latency_us", us as f64);
+        self.telemetry.latency_us.record(us);
         self.latencies_us
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -261,13 +295,13 @@ pub fn percentiles_us(latencies_us: &mut [u64]) -> (u64, u64) {
 /// Runs the server until `token` cancels (graceful drain → `Ok`) or a
 /// terminal error occurs.
 ///
-/// `on_ready` fires once with the bound address — with port 0 in the
-/// config this is the only way to learn the real port, and tests use it
-/// to synchronize.
+/// `on_ready` fires once with the bound addresses — with port 0 in the
+/// config this is the only way to learn the real ports, and tests use
+/// it to synchronize.
 ///
 /// # Errors
 ///
-/// [`ServeError::Bind`] if the listener cannot bind;
+/// [`ServeError::Bind`] if either listener cannot bind;
 /// [`ServeError::RestartBudgetExhausted`] if workers panic more often
 /// than `cfg.restart_budget` tolerates (the server drains first, so
 /// in-flight clients still get answers).
@@ -275,22 +309,20 @@ pub fn run(
     net: &Network,
     cfg: &ServeConfig,
     token: &CancelToken,
-    on_ready: impl FnOnce(SocketAddr),
+    on_ready: impl FnOnce(Bound),
 ) -> Result<ServeReport, ServeError> {
-    let listener = TcpListener::bind(&cfg.addr).map_err(|source| ServeError::Bind {
-        addr: cfg.addr.clone(),
-        source,
-    })?;
-    let local = listener.local_addr().map_err(|source| ServeError::Bind {
-        addr: cfg.addr.clone(),
-        source,
-    })?;
-    listener
-        .set_nonblocking(true)
-        .map_err(|source| ServeError::Bind {
-            addr: cfg.addr.clone(),
+    let bind = |addr: &str| -> Result<(TcpListener, SocketAddr), ServeError> {
+        let to_err = |source| ServeError::Bind {
+            addr: addr.to_string(),
             source,
-        })?;
+        };
+        let listener = TcpListener::bind(addr).map_err(to_err)?;
+        let local = listener.local_addr().map_err(to_err)?;
+        listener.set_nonblocking(true).map_err(to_err)?;
+        Ok((listener, local))
+    };
+    let (listener, local) = bind(&cfg.addr)?;
+    let metrics = cfg.metrics_addr.as_deref().map(bind).transpose()?;
     mupod_obs::event(
         mupod_obs::Level::Info,
         "serve.listening",
@@ -302,11 +334,17 @@ pub fn run(
         ],
     );
     let shared = Shared::new(cfg);
-    on_ready(local);
+    on_ready(Bound {
+        addr: local,
+        metrics_addr: metrics.as_ref().map(|(_, a)| *a),
+    });
     std::thread::scope(|s| {
         let shared = &shared;
         for idx in 0..cfg.workers.max(1) {
             s.spawn(move || worker::worker_loop(idx, net, cfg, shared));
+        }
+        if let Some((metrics_listener, _)) = metrics {
+            s.spawn(move || admin::admin_loop(&metrics_listener, cfg, shared));
         }
         loop {
             if token.is_cancelled() || shared.is_draining() {
@@ -335,19 +373,12 @@ pub fn run(
         // workers exit when the closed queue runs dry, handlers when
         // their bounded reads/waits observe the drain flag.
     });
-    let fatal = shared
-        .fatal
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
-        .take();
-    if let Some(e) = fatal {
-        return Err(e);
-    }
     let mut lat = shared
         .latencies_us
         .lock()
         .unwrap_or_else(PoisonError::into_inner);
     let (p50, p99) = percentiles_us(&mut lat);
+    drop(lat);
     let st = &shared.stats;
     let report = ServeReport {
         requests_ok: st.requests_ok.load(Ordering::SeqCst),
@@ -371,6 +402,19 @@ pub fn run(
             ("worker_crashes", &report.worker_crashes.to_string()),
         ],
     );
+    let fatal = shared
+        .fatal
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take();
+    if let Some(mut e) = fatal {
+        // The drain still happened; attach what it measured so callers
+        // can summarize even on the error path.
+        if let ServeError::RestartBudgetExhausted { report: r, .. } = &mut e {
+            **r = report;
+        }
+        return Err(e);
+    }
     Ok(report)
 }
 
@@ -446,14 +490,16 @@ fn read_remaining(stream: &mut TcpStream, buf: &mut [u8], deadline: Instant) -> 
     true
 }
 
-/// Writes a response frame; `false` means the peer vanished.
+/// Writes a response frame, echoing the request's trace ID when
+/// nonzero; `false` means the peer vanished.
 fn write_response(
     stream: &mut TcpStream,
     shared: &Shared,
     status: StatusCode,
+    trace_id: u64,
     payload: &[u8],
 ) -> bool {
-    let frame = frame::encode_response(status, payload);
+    let frame = frame::encode_response_traced(status, Some(trace_id), payload);
     match stream.write_all(&frame).and_then(|()| stream.flush()) {
         Ok(()) => true,
         Err(e) => {
@@ -486,6 +532,7 @@ fn reject_bad_frame(stream: &mut TcpStream, shared: &Shared, err: &FrameError) -
         stream,
         shared,
         StatusCode::BadRequest,
+        0,
         err.to_string().as_bytes(),
     );
     false
@@ -509,6 +556,15 @@ fn serve_one(
     let h = match frame::parse_request_header(&header) {
         Ok(h) => h,
         Err(e) => return reject_bad_frame(stream, shared, &e),
+    };
+    let trace_id = if h.has_trace_id {
+        let mut ext = [0u8; TRACE_ID_LEN];
+        if !read_remaining(stream, &mut ext, frame_deadline) {
+            return reject_bad_frame(stream, shared, &FrameError::Truncated);
+        }
+        frame::decode_trace_id(&ext)
+    } else {
+        0
     };
     let mut payload = vec![0u8; h.payload_len];
     if !read_remaining(stream, &mut payload, frame_deadline) {
@@ -540,10 +596,17 @@ fn serve_one(
             .rejected_draining
             .fetch_add(1, Ordering::SeqCst);
         mupod_obs::counter_add("serve.rejected_draining", 1);
+        shared.telemetry.flight.record(
+            trace_id,
+            FlightStage::Shed,
+            -1,
+            StatusCode::Draining.wire(),
+        );
         write_response(
             stream,
             shared,
             StatusCode::Draining,
+            trace_id,
             b"server draining; not accepting work",
         );
         return false;
@@ -551,6 +614,7 @@ fn serve_one(
     // Re-evaluate the degradation ladder at every admission.
     let depth = shared.queue.len();
     mupod_obs::histogram_record("serve.queue_depth", depth as f64);
+    shared.telemetry.queue_depth.record(depth as u64);
     let level = ladder_level(depth, shared.queue.capacity());
     let prev = shared.degrade.swap(level, Ordering::SeqCst);
     if level != prev {
@@ -571,10 +635,17 @@ fn serve_one(
             .fetch_add(1, Ordering::SeqCst);
         shared.stats.rejected_busy.fetch_add(1, Ordering::SeqCst);
         mupod_obs::counter_add("serve.shed_low_priority", 1);
+        shared.telemetry.flight.record(
+            trace_id,
+            FlightStage::Shed,
+            -1,
+            StatusCode::ServerBusy.wire(),
+        );
         return write_response(
             stream,
             shared,
             StatusCode::ServerBusy,
+            trace_id,
             b"shedding low-priority traffic",
         );
     }
@@ -591,17 +662,32 @@ fn serve_one(
         image: frame::decode_image(&payload),
         deadline,
         accepted,
+        trace_id,
         resp: tx,
     };
+    // Recorded before the push: once the job is in the queue a worker
+    // may dequeue it instantly, and admit must order before dequeue in
+    // the flight ring. A failed push follows up with a shed event.
+    shared
+        .telemetry
+        .flight
+        .record(trace_id, FlightStage::Admit, -1, 0);
     match shared.queue.try_push(job, h.priority) {
         Ok(()) => {}
         Err((PushError::Full, _)) => {
             shared.stats.rejected_busy.fetch_add(1, Ordering::SeqCst);
             mupod_obs::counter_add("serve.rejected_busy", 1);
+            shared.telemetry.flight.record(
+                trace_id,
+                FlightStage::Shed,
+                -1,
+                StatusCode::ServerBusy.wire(),
+            );
             return write_response(
                 stream,
                 shared,
                 StatusCode::ServerBusy,
+                trace_id,
                 b"request queue full",
             );
         }
@@ -611,37 +697,48 @@ fn serve_one(
                 .rejected_draining
                 .fetch_add(1, Ordering::SeqCst);
             mupod_obs::counter_add("serve.rejected_draining", 1);
+            shared.telemetry.flight.record(
+                trace_id,
+                FlightStage::Shed,
+                -1,
+                StatusCode::Draining.wire(),
+            );
             write_response(
                 stream,
                 shared,
                 StatusCode::Draining,
+                trace_id,
                 b"server draining; not accepting work",
             );
             return false;
         }
     }
+    shared.telemetry.in_flight.add(1);
     let wait = deadline.saturating_duration_since(Instant::now())
         + RESPONSE_GRACE
         + cfg.slow_batch.unwrap_or(Duration::ZERO);
-    match rx.recv_timeout(wait) {
-        Ok((status, body)) => write_response(stream, shared, status, &body),
+    let outcome = rx.recv_timeout(wait);
+    shared.telemetry.in_flight.sub(1);
+    let (status, body): (StatusCode, Vec<u8>) = match outcome {
+        Ok((status, body)) => (status, body),
         Err(RecvTimeoutError::Timeout) => {
             shared.stats.deadline_expired.fetch_add(1, Ordering::SeqCst);
             mupod_obs::counter_add("serve.deadline_expired", 1);
-            write_response(
-                stream,
-                shared,
+            (
                 StatusCode::DeadlineExceeded,
-                b"no worker answered in time",
+                b"no worker answered in time".to_vec(),
             )
         }
-        Err(RecvTimeoutError::Disconnected) => write_response(
-            stream,
-            shared,
+        Err(RecvTimeoutError::Disconnected) => (
             StatusCode::WorkerCrashed,
-            b"worker dropped the request",
+            b"worker dropped the request".to_vec(),
         ),
-    }
+    };
+    shared
+        .telemetry
+        .flight
+        .record(trace_id, FlightStage::Reply, -1, status.wire());
+    write_response(stream, shared, status, trace_id, &body)
 }
 
 #[cfg(test)]

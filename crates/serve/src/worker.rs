@@ -22,12 +22,14 @@ use std::sync::PoisonError;
 use std::time::{Duration, Instant};
 
 use mupod_nn::{BatchArena, Network};
+use mupod_obs::FlightStage;
 use mupod_runtime::{RetryPolicy, StatusCode};
 use mupod_tensor::Tensor;
 
 use crate::frame::ReqKind;
 use crate::queue::Pop;
 use crate::server::{respond_job, Job, ServeConfig, ServeError, Shared, POLL};
+use crate::telemetry;
 
 /// Backoff between a worker crash and its restart: fast first retry,
 /// capped well under a request deadline, deterministic per worker so
@@ -69,12 +71,19 @@ pub(crate) fn worker_loop(idx: usize, net: &Network, cfg: &ServeConfig, shared: 
                 None => break,
             }
         }
-        process_batch(net, cfg, shared, &mut arena, batch, &policy);
+        for job in &batch {
+            shared
+                .telemetry
+                .flight
+                .record(job.trace_id, FlightStage::Dequeue, idx as i64, 0);
+        }
+        process_batch(idx, net, cfg, shared, &mut arena, batch, &policy);
     }
 }
 
 /// Executes one collected batch, answering every job exactly once.
 fn process_batch(
+    idx: usize,
     net: &Network,
     cfg: &ServeConfig,
     shared: &Shared,
@@ -122,6 +131,13 @@ fn process_batch(
         .fetch_add(live.len() as u64, Ordering::SeqCst);
     mupod_obs::counter_add("serve.batches", 1);
     mupod_obs::histogram_record("serve.batch_size", live.len() as f64);
+    shared.telemetry.batch_fill.record(live.len() as u64);
+    for job in &live {
+        shared
+            .telemetry
+            .flight
+            .record(job.trace_id, FlightStage::Exec, idx as i64, 0);
+    }
     let chaos = live.iter().any(|j| j.kind == ReqKind::ChaosPanic);
     let images: Vec<Tensor> = live
         .iter_mut()
@@ -168,12 +184,19 @@ fn process_batch(
             shared.stats.worker_crashes.fetch_add(1, Ordering::SeqCst);
             mupod_obs::counter_add("serve.worker_crashes", 1);
             for job in &live {
+                shared
+                    .telemetry
+                    .flight
+                    .record(job.trace_id, FlightStage::Crash, idx as i64, 0);
                 respond_job(
                     job,
                     StatusCode::WorkerCrashed,
                     b"worker panicked serving this batch; restarted".to_vec(),
                 );
             }
+            // Seal the ring's final moments while they are still final:
+            // the panic is the event a post-mortem will ask about.
+            telemetry::dump_flight(cfg, shared);
             let crashes = shared.crashes.fetch_add(1, Ordering::SeqCst) + 1;
             if crashes > cfg.restart_budget {
                 mupod_obs::event(
@@ -189,6 +212,8 @@ fn process_batch(
                     *fatal = Some(ServeError::RestartBudgetExhausted {
                         crashes,
                         budget: cfg.restart_budget,
+                        // run() fills this in once the drain completes.
+                        report: Box::default(),
                     });
                 }
                 drop(fatal);
