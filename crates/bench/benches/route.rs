@@ -1,0 +1,229 @@
+//! Router-path benchmark: the same sustained loopback load as the
+//! `serve` bench, measured twice — straight at a shard, then through a
+//! `mupod route` front over two shards — so `BENCH_route.json` records
+//! what the extra hop costs (throughput, p50/p99, and the added p50 as
+//! its own record) next to `BENCH_serve.json`'s direct numbers.
+//!
+//! Like the serve bench this is harness-free: routing behaviour
+//! (pooling, pick spread, hedging timers) only exists under concurrent
+//! load. The run ends with a traced request whose trace ID must appear
+//! in BOTH the router's and the shard's flight recorders — the
+//! propagation proof, benched exactly as deployed.
+//!
+//! `MUPOD_BENCH_SAMPLES` shortens the window for CI smoke runs; the
+//! default window is 4 s per load point.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use criterion::BenchRecord;
+use mupod_bench::setup;
+use mupod_models::ModelKind;
+use mupod_runtime::{CancelReason, CancelToken, StatusCode};
+use mupod_serve::{
+    http_get, percentiles_us, route, run, run_load, Connection, LoadReport, Priority, RouteConfig,
+    ServeConfig,
+};
+
+/// Spawns an in-process shard and returns its data-plane address.
+fn spawn_shard(
+    token: &CancelToken,
+    metrics: bool,
+    scope_handles: &mut Vec<std::thread::JoinHandle<()>>,
+) -> (SocketAddr, Option<SocketAddr>) {
+    let cfg = ServeConfig {
+        workers: 2,
+        queue_depth: 64,
+        max_batch: 8,
+        default_deadline: Duration::from_secs(5),
+        metrics_addr: metrics.then(|| "127.0.0.1:0".to_string()),
+        ..ServeConfig::default()
+    };
+    let (tx, rx) = std::sync::mpsc::channel();
+    let token = token.clone();
+    let net = setup(ModelKind::SqueezeNet, 1).net;
+    scope_handles.push(std::thread::spawn(move || {
+        run(&net, &cfg, &token, move |bound| {
+            tx.send(bound).expect("ready receiver alive")
+        })
+        .expect("shard drains cleanly");
+    }));
+    let bound = rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("shard binds");
+    (bound.addr, bound.metrics_addr)
+}
+
+fn record_point(bench: String, report: &LoadReport, window: Duration) -> (u64, u64) {
+    assert!(
+        report.ok > 0,
+        "{bench}: no OK replies (busy={} errors={})",
+        report.busy,
+        report.transport_errors
+    );
+    let mut lat = report.latencies_us.clone();
+    let (p50_us, p99_us) = percentiles_us(&mut lat);
+    let min_us = *lat.first().expect("non-empty after ok>0 check");
+    let max_us = *lat.last().expect("non-empty");
+    let mean_us = lat.iter().sum::<u64>() / lat.len() as u64;
+    let rps = (report.ok as f64 / window.as_secs_f64()).round() as u64;
+    criterion::record_manual(BenchRecord {
+        group: "route".to_string(),
+        bench: bench.clone(),
+        min_ns: u128::from(min_us) * 1000,
+        mean_ns: u128::from(mean_us) * 1000,
+        max_ns: u128::from(max_us) * 1000,
+        samples: lat.len(),
+        p50_ns: Some(u128::from(p50_us) * 1000),
+        p99_ns: Some(u128::from(p99_us) * 1000),
+        throughput_rps: Some(rps),
+    });
+    println!(
+        "route/{bench}: {} ok, {rps} rps, p50 {p50_us} µs, p99 {p99_us} µs",
+        report.ok
+    );
+    (p50_us, p99_us)
+}
+
+/// Counts `trace`'s events in the flight recorder behind `metrics`.
+fn trace_hops(who: &str, metrics: SocketAddr, trace: u64) -> usize {
+    let (code, body) = http_get(metrics, "/flight", Duration::from_secs(5)).expect("flight scrape");
+    assert_eq!(code, 200, "{who} /flight");
+    let text = String::from_utf8(body).expect("utf-8 flight");
+    let doc = mupod_obs::json::parse(&text).expect("flight JSON");
+    doc.as_object().unwrap()["events"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter(|e| e.as_object().unwrap()["trace_id"].as_f64() == Some(trace as f64))
+        .count()
+}
+
+/// Asserts `trace` shows up in the flight recorder behind `metrics`.
+fn assert_trace_in_flight(who: &str, metrics: SocketAddr, trace: u64) {
+    let hops = trace_hops(who, metrics, trace);
+    assert!(
+        hops > 0,
+        "trace {trace:#x} missing from {who} flight recorder"
+    );
+    println!("route/trace: {hops} {who} flight events for trace {trace:#x}");
+}
+
+fn bench_route(image: &[f32], concurrency: usize, window: Duration) {
+    let token = CancelToken::new();
+    let mut handles = Vec::new();
+    let (shard_a, shard_a_metrics) = spawn_shard(&token, true, &mut handles);
+    let (shard_b, _) = spawn_shard(&token, false, &mut handles);
+
+    let route_cfg = RouteConfig {
+        shards: vec![shard_a, shard_b],
+        default_deadline: Duration::from_secs(5),
+        health_interval: Duration::from_millis(100),
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        ..RouteConfig::default()
+    };
+    let (tx, rx) = std::sync::mpsc::channel();
+    let router = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            route(&route_cfg, &token, move |bound| {
+                tx.send(bound).expect("ready receiver alive")
+            })
+            .expect("router drains cleanly")
+        })
+    };
+    let bound = rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("router binds");
+    let front = bound.addr;
+    let route_metrics = bound.metrics_addr.expect("admin plane requested");
+
+    // Warm both paths: worker arenas on the shards, pooled connections
+    // in the router.
+    run_load(shard_a, image, concurrency, Duration::from_millis(300), 0);
+    run_load(front, image, concurrency, Duration::from_millis(300), 0);
+
+    // Baseline: straight at one shard, then the same load through the
+    // router spread over both shards.
+    let direct = run_load(shard_a, image, concurrency, window, 0);
+    let (direct_p50, _) = record_point(format!("direct/c{concurrency}"), &direct, window);
+    let routed = run_load(front, image, concurrency, window, 0);
+    let (routed_p50, _) = record_point(format!("routed/c{concurrency}"), &routed, window);
+    assert_eq!(
+        routed.transport_errors, 0,
+        "routed path leaked transport errors"
+    );
+
+    // The hop cost as its own record, so the perf trajectory tracks it
+    // directly instead of diffing two files. Clamped at zero: with two
+    // shards absorbing the load the router can come out ahead.
+    let added_us = routed_p50.saturating_sub(direct_p50);
+    criterion::record_manual(BenchRecord {
+        group: "route".to_string(),
+        bench: format!("hop_added_p50/c{concurrency}"),
+        min_ns: u128::from(added_us) * 1000,
+        mean_ns: u128::from(added_us) * 1000,
+        max_ns: u128::from(added_us) * 1000,
+        samples: 1,
+        p50_ns: None,
+        p99_ns: None,
+        throughput_rps: None,
+    });
+    println!("route/hop_added_p50/c{concurrency}: {added_us} µs (direct {direct_p50} µs)");
+
+    // Trace propagation proof: one sampled request whose trace ID must
+    // land in the flight recorders on BOTH sides of the hop.
+    let trace: u64 = 0xB0_07ED;
+    let shard_plane = shard_a_metrics.expect("shard A plane requested");
+    let mut conn = Connection::connect(front, Duration::from_secs(10)).expect("connect front");
+    let give_up = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        // With two shards behind the router the traced request may land
+        // on the un-instrumented one; send until shard A executes it.
+        let reply = conn
+            .classify_traced(image, 0, Priority::High, trace)
+            .expect("traced reply");
+        assert_eq!(reply.status, StatusCode::Ok);
+        assert_eq!(reply.trace_id, Some(trace), "trace must echo end to end");
+        if trace_hops("shard", shard_plane, trace) > 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < give_up,
+            "round-robin never landed the traced request on shard A"
+        );
+    }
+    drop(conn);
+    assert_trace_in_flight("router", route_metrics, trace);
+    assert_trace_in_flight("shard", shard_plane, trace);
+
+    token.cancel(CancelReason::Interrupt);
+    router.join().expect("router thread");
+    for h in handles {
+        h.join().expect("shard thread");
+    }
+}
+
+fn main() {
+    // `cargo test` runs bench targets with `--test`; there is nothing
+    // meaningful to measure in that mode, only that the binary links.
+    if criterion::is_test_mode() {
+        return;
+    }
+    let window = match std::env::var("MUPOD_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        Some(samples) => Duration::from_millis((samples.max(1) * 500).min(10_000)),
+        None => Duration::from_secs(4),
+    };
+    let image: Vec<f32> = {
+        let s = setup(ModelKind::SqueezeNet, 1);
+        let (img, _) = s.data.sample(0);
+        img.data().to_vec()
+    };
+    for concurrency in [4usize, 16] {
+        bench_route(&image, concurrency, window);
+    }
+    criterion::write_bench_json();
+}

@@ -62,6 +62,11 @@ pub enum Command {
     Serve(CommonArgs, ServeArgs),
     /// Send classify requests to a running `mupod serve`.
     Query(CommonArgs, QueryArgs),
+    /// Run the multi-shard routing front until SIGINT drains it.
+    /// Model-free: the router forwards frames, it never executes them.
+    Route(RouteArgs),
+    /// Hot-swap the model of a running shard (drain-and-swap).
+    Reload(ReloadArgs),
     /// Print usage.
     Help,
 }
@@ -166,6 +171,59 @@ pub struct QueryArgs {
     /// this path instead of sending classify requests
     /// (`--dump-flight`).
     pub dump_flight: Option<String>,
+    /// Attempts per request for connect failures and retryable wire
+    /// statuses (`--retries`; shares the flag with the pipeline's
+    /// per-stage budget). Exhaustion exits 3.
+    pub retries: u32,
+    /// Base delay between attempts (`--retry-backoff-ms`), doubled per
+    /// retry with deterministic jitter from `--seed`.
+    pub retry_backoff_ms: u64,
+}
+
+/// `route` options; defaults mirror [`mupod_serve::RouteConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteArgs {
+    /// Front bind address (`--addr`); port 0 picks an ephemeral port,
+    /// printed on the "routing on ..." line once live.
+    pub addr: String,
+    /// Backend shard addresses (`--shard`, repeatable, at least one).
+    pub shards: Vec<String>,
+    /// Deadline for requests that do not carry one, ms
+    /// (`--deadline-ms`).
+    pub deadline_ms: u64,
+    /// Extra attempts per retryable request (`--retry-budget`).
+    pub retry_budget: u32,
+    /// Hedge-timer floor, ms (`--hedge-ms`); the effective timer is
+    /// the max of this and the windowed p99.
+    pub hedge_ms: u64,
+    /// Active health-ping cadence, ms (`--health-interval-ms`).
+    pub health_interval_ms: u64,
+    /// Consecutive failures that open a shard's breaker
+    /// (`--breaker-threshold`).
+    pub breaker_threshold: u32,
+    /// Base breaker cooldown, ms (`--breaker-cooldown-ms`).
+    pub breaker_cooldown_ms: u64,
+    /// Bind address for the router's own telemetry plane
+    /// (`--metrics-addr`).
+    pub metrics_addr: Option<String>,
+    /// Seal the router flight recorder here at drain (`--flight-out`).
+    pub flight_out: Option<String>,
+    /// Verbosity of structured stderr events (`--log-level`).
+    pub log_level: mupod_obs::Level,
+}
+
+/// `reload` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReloadArgs {
+    /// The shard's frame address (`--addr`, required) — reloads go
+    /// directly to a shard, never through the router.
+    pub addr: String,
+    /// Seed for the rebuilt model's weights (`--seed`).
+    pub seed: u64,
+    /// How long to wait for the rebuild + swap, ms (`--deadline-ms`).
+    pub deadline_ms: u64,
+    /// Verbosity of structured stderr events (`--log-level`).
+    pub log_level: mupod_obs::Level,
 }
 
 /// Errors from parsing or running a command.
@@ -279,7 +337,14 @@ USAGE:
                  [--flight-out <file.json>] [--chaos] [common flags]
   mupod query    --model <name> --addr <host:port> [--count N]
                  [--deadline-ms MS] [--low-priority]
+                 [--retries N] [--retry-backoff-ms MS]
                  [--dump-flight <file.json>]
+  mupod route    --shard <host:port> [--shard ...] [--addr 127.0.0.1:0]
+                 [--retry-budget N] [--hedge-ms MS]
+                 [--health-interval-ms MS] [--breaker-threshold N]
+                 [--breaker-cooldown-ms MS] [--deadline-ms MS]
+                 [--metrics-addr host:port] [--flight-out <file.json>]
+  mupod reload   --addr <shard host:port> [--seed N] [--deadline-ms MS]
   mupod help
 
 COMMON FLAGS (observability):
@@ -320,6 +385,17 @@ TELEMETRY (see DESIGN.md §13):
   panics and budget exhaustion seal the ring to --flight-out as a
   verified artifact; `mupod query --addr <metrics-addr>
   --dump-flight <file>` fetches and seals it on demand.
+
+SCALING OUT (see DESIGN.md §14):
+  `route` is a model-free front over N `mupod serve` shards speaking
+  the same frame protocol: health-checked round-robin with per-shard
+  circuit breakers, bounded retry of idempotent requests on another
+  shard, and p99-informed hedging — all inside each request's
+  deadline. `reload` hot-swaps one shard's model (rebuild at --seed,
+  calibrate, drain-and-swap) with zero dropped requests; during the
+  swap the router steers traffic to the remaining shards. `query
+  --retries` adds the matching client-side retry with deterministic
+  jittered backoff; exhausting it exits 3.
 
 EXIT CODES: 0 ok (incl. a drained `serve`), 1 run error, 2 usage,
             3 stage failed after retries / serve restart budget
@@ -406,6 +482,13 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut count = 1usize;
     let mut low_priority = false;
     let mut dump_flight = None;
+    let mut retry_backoff_ms = 50u64;
+    let mut shards: Vec<String> = Vec::new();
+    let mut retry_budget = 2u32;
+    let mut hedge_ms = 25u64;
+    let mut health_interval_ms = 200u64;
+    let mut breaker_threshold = 3u32;
+    let mut breaker_cooldown_ms = 500u64;
 
     let mut i = 1;
     while i < args.len() {
@@ -529,6 +612,45 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 count = n.max(1);
             }
             "--low-priority" => low_priority = true,
+            "--retry-backoff-ms" => {
+                retry_backoff_ms = take_value(args, &mut i, "--retry-backoff-ms")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("bad --retry-backoff-ms".into()))?
+            }
+            "--shard" => {
+                let s = take_value(args, &mut i, "--shard")?;
+                parse_sock_addr(s)
+                    .map_err(|_| CliError::Usage(format!("bad --shard `{s}` (want host:port)")))?;
+                shards.push(s.to_string());
+            }
+            "--retry-budget" => {
+                retry_budget = take_value(args, &mut i, "--retry-budget")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("bad --retry-budget".into()))?
+            }
+            "--hedge-ms" => {
+                hedge_ms = take_value(args, &mut i, "--hedge-ms")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("bad --hedge-ms".into()))?
+            }
+            "--health-interval-ms" => {
+                let n: u64 = take_value(args, &mut i, "--health-interval-ms")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("bad --health-interval-ms".into()))?;
+                health_interval_ms = n.max(10);
+            }
+            "--breaker-threshold" => {
+                let n: u32 = take_value(args, &mut i, "--breaker-threshold")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("bad --breaker-threshold".into()))?;
+                breaker_threshold = n.max(1);
+            }
+            "--breaker-cooldown-ms" => {
+                let n: u64 = take_value(args, &mut i, "--breaker-cooldown-ms")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("bad --breaker-cooldown-ms".into()))?;
+                breaker_cooldown_ms = n.max(1);
+            }
             "--scheme" => {
                 scheme = match take_value(args, &mut i, "--scheme")? {
                     "equal" | "scheme1" => SearchScheme::EqualScheme,
@@ -541,6 +663,47 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         i += 1;
     }
 
+    // Model-free subcommands resolve before CommonArgs demands --model.
+    match sub.as_str() {
+        "route" => {
+            let addr = addr.unwrap_or_else(|| "127.0.0.1:0".to_string());
+            parse_sock_addr(&addr)?;
+            if shards.is_empty() {
+                return Err(CliError::Usage(
+                    "route needs at least one --shard <host:port>".into(),
+                ));
+            }
+            if let Some(m) = &metrics_addr {
+                parse_sock_addr(m).map_err(|_| {
+                    CliError::Usage(format!("bad --metrics-addr `{m}` (want host:port)"))
+                })?;
+            }
+            return Ok(Command::Route(RouteArgs {
+                addr,
+                shards,
+                deadline_ms: deadline_ms.unwrap_or(1_000),
+                retry_budget,
+                hedge_ms,
+                health_interval_ms,
+                breaker_threshold,
+                breaker_cooldown_ms,
+                metrics_addr,
+                flight_out,
+                log_level,
+            }));
+        }
+        "reload" => {
+            let addr = addr.ok_or_else(|| CliError::Usage("--addr is required".into()))?;
+            parse_sock_addr(&addr)?;
+            return Ok(Command::Reload(ReloadArgs {
+                addr,
+                seed,
+                deadline_ms: deadline_ms.unwrap_or(30_000),
+                log_level,
+            }));
+        }
+        _ => {}
+    }
     let common = CommonArgs {
         model: model.ok_or_else(|| CliError::Usage("--model is required".into()))?,
         scale,
@@ -611,6 +774,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     deadline_ms,
                     low_priority,
                     dump_flight,
+                    retries,
+                    retry_backoff_ms,
                 },
             ))
         }
@@ -668,6 +833,38 @@ fn drain_summary(report: &mupod_serve::ServeReport, status: mupod_runtime::Statu
         s,
         "{} batches served {} requests; latency p50 {} µs, p99 {} µs",
         report.batches, report.batched_requests, report.p50_latency_us, report.p99_latency_us,
+    );
+    s
+}
+
+/// Renders the post-drain routing summary (the router's counterpart to
+/// [`drain_summary`]).
+fn route_summary(report: &mupod_serve::RouteReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "routed: {} requests, {} ok, {} relayed errors, {} no-healthy-shard, \
+         {} deadline-expired, {} bad frames, {} disconnects",
+        report.requests,
+        report.relayed_ok,
+        report.relayed_errors,
+        report.no_healthy_shard,
+        report.deadline_exceeded,
+        report.bad_frames,
+        report.client_disconnects,
+    );
+    let _ = writeln!(
+        s,
+        "{} attempts ({} retries, {} hedges, {} hedge wins); breaker {} opens / {} closes; \
+         latency p50 {} µs, p99 {} µs",
+        report.forwarded_attempts,
+        report.retries,
+        report.hedges,
+        report.hedge_wins,
+        report.breaker_opens,
+        report.breaker_closes,
+        report.p50_latency_us,
+        report.p99_latency_us,
     );
     s
 }
@@ -740,26 +937,33 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
 /// / [`CliError::StageTimeout`] / [`CliError::Interrupted`] from the
 /// supervisor (distinct exit codes; see [`CliError`]).
 pub fn run_with_token(cmd: &Command, token: &CancelToken) -> Result<String, CliError> {
-    let common = match cmd {
+    // Route/reload are model-free and carry their own log level; the
+    // pipeline subcommands share CommonArgs (and its export flags).
+    let (log_level, common) = match cmd {
         Command::Help => return Ok(USAGE.to_string()),
+        Command::Route(r) => (r.log_level, None),
+        Command::Reload(r) => (r.log_level, None),
         Command::Inspect(c)
         | Command::Profile(c, _)
         | Command::Optimize(c, _)
         | Command::Serve(c, _)
-        | Command::Query(c, _) => c,
+        | Command::Query(c, _) => (c.log_level, Some(c)),
     };
     // One recorder per invocation. Installing serializes concurrent
     // `run` calls in one process (the facade is process-global); the
     // guard is dropped before the exporters read the snapshot so every
     // span has closed.
-    let recorder = mupod_obs::Recorder::new(common.log_level);
+    let recorder = mupod_obs::Recorder::new(log_level);
     let guard = recorder.install();
     let result = run_inner(cmd, token);
     drop(guard);
     // Export even when the pipeline failed or was cancelled — a trace of
     // a failed run is exactly what one wants to look at — but report the
     // run error first.
-    let exported = write_observability(common, &recorder);
+    let exported = match common {
+        Some(c) => write_observability(c, &recorder),
+        None => Ok(()),
+    };
     let text = result?;
     exported?;
     Ok(text)
@@ -1026,7 +1230,23 @@ fn run_inner(cmd: &Command, token: &CancelToken) -> Result<String, CliError> {
             // The "serving on" line is the first stdout line by contract
             // (the chaos harness parses it); "metrics on" follows when
             // the telemetry plane is up.
-            let report = mupod_serve::run(&net, &cfg, token, |bound| {
+            //
+            // The reloader rebuilds this model at the requested seed and
+            // re-runs quick calibration; `mupod reload --addr <shard>`
+            // swaps it in without dropping accepted requests.
+            let model = common.model;
+            let scale = common.scale;
+            let images = common.images;
+            let reloader = move |seed: u64| -> Result<Network, String> {
+                let mut net = model.build(&scale, seed);
+                let spec = DatasetSpec::new(scale.classes, 3, scale.input_hw, scale.input_hw)
+                    .with_class_seed(seed);
+                let calib = Dataset::generate(&spec, seed ^ 0xA, images);
+                calibrate_head_quick(&mut net, &calib, 0.1)
+                    .map_err(|e| format!("calibration failed: {e}"))?;
+                Ok(net)
+            };
+            let report = mupod_serve::run_reloadable(net, &cfg, token, Some(&reloader), |bound| {
                 println!("serving on {}", bound.addr);
                 if let Some(m) = bound.metrics_addr {
                     println!("metrics on {m}");
@@ -1047,6 +1267,57 @@ fn run_inner(cmd: &Command, token: &CancelToken) -> Result<String, CliError> {
                 }
             })?;
             out.push_str(&drain_summary(&report, mupod_runtime::StatusCode::Ok));
+        }
+        Command::Route(rargs) => {
+            let _span = mupod_obs::span("cli.route");
+            let mut shard_addrs = Vec::with_capacity(rargs.shards.len());
+            for s in &rargs.shards {
+                shard_addrs.push(parse_sock_addr(s)?);
+            }
+            let cfg = mupod_serve::RouteConfig {
+                addr: rargs.addr.clone(),
+                shards: shard_addrs,
+                default_deadline: Duration::from_millis(rargs.deadline_ms),
+                retry_budget: rargs.retry_budget,
+                hedge_after: Duration::from_millis(rargs.hedge_ms),
+                health_interval: Duration::from_millis(rargs.health_interval_ms),
+                breaker_threshold: rargs.breaker_threshold,
+                breaker_cooldown: Duration::from_millis(rargs.breaker_cooldown_ms),
+                metrics_addr: rargs.metrics_addr.clone(),
+                flight_out: rargs.flight_out.clone().map(std::path::PathBuf::from),
+            };
+            // "routing on" is the first stdout line by contract, like
+            // serve's "serving on" (the chaos harness parses both).
+            let report = mupod_serve::route(&cfg, token, |bound| {
+                println!("routing on {}", bound.addr);
+                if let Some(m) = bound.metrics_addr {
+                    println!("metrics on {m}");
+                }
+                let _ = std::io::Write::flush(&mut std::io::stdout());
+            })
+            .map_err(|e| CliError::Run(e.to_string()))?;
+            out.push_str(&route_summary(&report));
+        }
+        Command::Reload(rargs) => {
+            let _span = mupod_obs::span("cli.reload");
+            let addr = parse_sock_addr(&rargs.addr)?;
+            let epoch = mupod_serve::reload_shard(
+                addr,
+                rargs.seed,
+                Duration::from_millis(rargs.deadline_ms),
+            )
+            .map_err(|e| match e {
+                // Transport trouble is exit 1; a shard that answered but
+                // refused (dims mismatch, unsupported, build failure) is
+                // a stage failure, exit 3 — scripts can tell them apart.
+                mupod_serve::ReloadError::Client(_) => CliError::Run(e.to_string()),
+                mupod_serve::ReloadError::Rejected { .. } => CliError::StageFailed(e.to_string()),
+            })?;
+            let _ = writeln!(
+                out,
+                "reloaded {addr} with seed {}: model epoch {epoch}",
+                rargs.seed
+            );
         }
         Command::Query(common, qargs) => {
             let _span = mupod_obs::span("cli.query");
@@ -1087,20 +1358,87 @@ fn run_inner(cmd: &Command, token: &CancelToken) -> Result<String, CliError> {
             )
             .with_class_seed(common.seed);
             let data = Dataset::generate(&spec, common.seed ^ 0xC, qargs.count);
-            let mut conn = mupod_serve::Connection::connect(addr, Duration::from_secs(10))
-                .map_err(|e| CliError::Run(format!("cannot reach {addr}: {e}")))?;
             let priority = if qargs.low_priority {
                 mupod_serve::Priority::Low
             } else {
                 mupod_serve::Priority::High
             };
+            // Client-side resilience: connect failures, transport
+            // errors, and retryable wire statuses are retried with the
+            // runtime's deterministic jittered backoff. Transport
+            // exhaustion is a stage failure (exit 3) — the arguments
+            // were fine, the fleet wasn't; a non-retryable rejection is
+            // still printed, never retried.
+            let retry = RetryPolicy {
+                max_attempts: qargs.retries.max(1),
+                base_delay: Duration::from_millis(qargs.retry_backoff_ms.max(1)),
+                max_delay: Duration::from_millis(qargs.retry_backoff_ms.saturating_mul(8).max(1)),
+                jitter_seed: common.seed,
+            };
+            let retryable_status = |s: mupod_runtime::StatusCode| {
+                matches!(
+                    s,
+                    mupod_runtime::StatusCode::ServerBusy
+                        | mupod_runtime::StatusCode::Draining
+                        | mupod_runtime::StatusCode::WorkerCrashed
+                        | mupod_runtime::StatusCode::NoHealthyShard
+                )
+            };
+            let backoff = |attempt: u32| -> Result<(), CliError> {
+                token
+                    .sleep_cancellable(retry.delay_for(attempt))
+                    .map_err(|_| CliError::Interrupted)
+            };
+            let mut conn: Option<mupod_serve::Connection> = None;
             let mut ok = 0u64;
+            let mut retried = 0u64;
             for i in 0..qargs.count {
                 token.checkpoint().map_err(|_| CliError::Interrupted)?;
                 let (img, _) = data.sample(i);
-                let reply = conn
-                    .classify(img.data(), qargs.deadline_ms, priority)
-                    .map_err(|e| CliError::Run(format!("request {i} failed: {e}")))?;
+                let mut attempt = 1u32;
+                let reply = loop {
+                    let c = match conn.as_mut() {
+                        Some(c) => c,
+                        None => {
+                            match mupod_serve::Connection::connect(addr, Duration::from_secs(10)) {
+                                Ok(c) => conn.insert(c),
+                                Err(e) => {
+                                    if attempt >= retry.max_attempts {
+                                        return Err(CliError::StageFailed(format!(
+                                            "request {i}: cannot reach {addr} after \
+                                         {attempt} attempt(s): {e}"
+                                        )));
+                                    }
+                                    backoff(attempt)?;
+                                    attempt += 1;
+                                    retried += 1;
+                                    continue;
+                                }
+                            }
+                        }
+                    };
+                    match c.classify(img.data(), qargs.deadline_ms, priority) {
+                        Ok(r) if retryable_status(r.status) && attempt < retry.max_attempts => {
+                            backoff(attempt)?;
+                            attempt += 1;
+                            retried += 1;
+                        }
+                        Ok(r) => break r,
+                        Err(e) => {
+                            // Transport broke mid-request; the stream is
+                            // unusable — reconnect on the next attempt.
+                            conn = None;
+                            if attempt >= retry.max_attempts {
+                                return Err(CliError::StageFailed(format!(
+                                    "request {i} failed after {attempt} attempt(s): {e}"
+                                )));
+                            }
+                            backoff(attempt)?;
+                            attempt += 1;
+                            retried += 1;
+                        }
+                    }
+                };
                 match reply.status {
                     mupod_runtime::StatusCode::Ok => {
                         ok += 1;
@@ -1124,7 +1462,11 @@ fn run_inner(cmd: &Command, token: &CancelToken) -> Result<String, CliError> {
                     }
                 }
             }
-            let _ = writeln!(out, "{ok}/{} ok", qargs.count);
+            if retried > 0 {
+                let _ = writeln!(out, "{ok}/{} ok ({retried} retried)", qargs.count);
+            } else {
+                let _ = writeln!(out, "{ok}/{} ok", qargs.count);
+            }
         }
     }
     Ok(out)
@@ -1403,6 +1745,99 @@ mod tests {
         ));
         assert!(USAGE.contains("serve"), "serve missing from help");
         assert!(USAGE.contains("query"), "query missing from help");
+    }
+
+    #[test]
+    fn parses_query_retry_flags() {
+        match parse(&argv(
+            "query --model alexnet --addr 127.0.0.1:7700 --retries 5 \
+             --retry-backoff-ms 20",
+        ))
+        .unwrap()
+        {
+            Command::Query(_, q) => {
+                assert_eq!(q.retries, 5);
+                assert_eq!(q.retry_backoff_ms, 20);
+            }
+            _ => panic!("wrong command"),
+        }
+        // Defaults: the shared --retries default and a 50 ms backoff.
+        match parse(&argv("query --model alexnet --addr 127.0.0.1:7700")).unwrap() {
+            Command::Query(_, q) => {
+                assert_eq!(q.retries, 3);
+                assert_eq!(q.retry_backoff_ms, 50);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(
+            USAGE.contains("--retry-backoff-ms"),
+            "help lists retry knobs"
+        );
+    }
+
+    #[test]
+    fn parses_route_flags() {
+        match parse(&argv(
+            "route --shard 127.0.0.1:9001 --shard 127.0.0.1:9002 \
+             --retry-budget 4 --hedge-ms 15 --health-interval-ms 100 \
+             --breaker-threshold 5 --breaker-cooldown-ms 250 \
+             --deadline-ms 800 --metrics-addr 127.0.0.1:0 \
+             --flight-out rf.json",
+        ))
+        .unwrap()
+        {
+            Command::Route(r) => {
+                assert_eq!(r.shards, vec!["127.0.0.1:9001", "127.0.0.1:9002"]);
+                assert_eq!(r.addr, "127.0.0.1:0", "default front bind");
+                assert_eq!(r.retry_budget, 4);
+                assert_eq!(r.hedge_ms, 15);
+                assert_eq!(r.health_interval_ms, 100);
+                assert_eq!(r.breaker_threshold, 5);
+                assert_eq!(r.breaker_cooldown_ms, 250);
+                assert_eq!(r.deadline_ms, 800);
+                assert_eq!(r.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+                assert_eq!(r.flight_out.as_deref(), Some("rf.json"));
+            }
+            _ => panic!("wrong command"),
+        }
+        // No --model needed, but at least one --shard is.
+        assert!(matches!(parse(&argv("route")), Err(CliError::Usage(_))));
+        // Shard addresses are validated at parse time.
+        assert!(matches!(
+            parse(&argv("route --shard nonsense")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(USAGE.contains("route"), "route missing from help");
+        assert!(
+            USAGE.contains("--breaker-threshold"),
+            "breaker knobs listed"
+        );
+    }
+
+    #[test]
+    fn parses_reload_flags() {
+        match parse(&argv(
+            "reload --addr 127.0.0.1:9001 --seed 77 --deadline-ms 5000",
+        ))
+        .unwrap()
+        {
+            Command::Reload(r) => {
+                assert_eq!(r.addr, "127.0.0.1:9001");
+                assert_eq!(r.seed, 77);
+                assert_eq!(r.deadline_ms, 5_000);
+            }
+            _ => panic!("wrong command"),
+        }
+        // Defaults: master seed and a rebuild-sized deadline.
+        match parse(&argv("reload --addr 127.0.0.1:9001")).unwrap() {
+            Command::Reload(r) => {
+                assert_eq!(r.seed, 42);
+                assert_eq!(r.deadline_ms, 30_000);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(matches!(parse(&argv("reload")), Err(CliError::Usage(_))));
+        assert!(USAGE.contains("reload"), "reload missing from help");
     }
 
     #[test]

@@ -1,0 +1,475 @@
+//! Chaos harness for `mupod route`: process-level fault injection
+//! against the real binary — a SIGKILLed shard under sustained load,
+//! breaker open/recovery observed through `/metrics`, a live
+//! `mupod reload` with traffic flowing, and trace-ID propagation into
+//! both the router's and the shard's flight recorders.
+//!
+//! Everything spawns `CARGO_BIN_EXE_mupod`, so the flag parsing, the
+//! stdout contract ("serving on ..." / "routing on ...") and the exit
+//! codes are the production ones. The 30 s soak at the bottom is
+//! ignored by default; CI's `route-chaos` job runs it with
+//! `-- --ignored`.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Read};
+use std::net::SocketAddr;
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use mupod_models::ModelScale;
+use mupod_runtime::StatusCode;
+use mupod_serve::{http_get, run_load, Connection, Priority};
+
+/// Sends a signal to a child process (raw FFI; no external crates).
+fn send_signal(child: &Child, sig: i32) {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    // SAFETY: plain syscall wrapper with scalar arguments; the pid comes
+    // from a live `Child` handle owned by this test.
+    let rc = unsafe { kill(child.id() as i32, sig) };
+    assert_eq!(rc, 0, "kill({sig}) failed");
+}
+
+const SIGINT: i32 = 2;
+const SIGKILL: i32 = 9;
+
+fn wait_with_deadline(mut child: Child, deadline: Duration) -> std::process::ExitStatus {
+    let start = Instant::now();
+    loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            return status;
+        }
+        assert!(
+            start.elapsed() < deadline,
+            "child did not exit within {deadline:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Reads one stdout line and parses the address after `prefix`.
+fn read_addr_line(reader: &mut BufReader<ChildStdout>, prefix: &str) -> SocketAddr {
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    line.trim()
+        .strip_prefix(prefix)
+        .unwrap_or_else(|| panic!("expected {prefix:?}, got line: {line:?}"))
+        .parse()
+        .unwrap()
+}
+
+/// Spawns a `mupod serve` shard and blocks until it announces its
+/// address. `bind` pins the listen address (used to restart a killed
+/// shard on its old port); "127.0.0.1:0" picks an ephemeral one.
+fn start_shard(bind: &str, extra_args: &[&str]) -> (Child, SocketAddr, BufReader<ChildStdout>) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_mupod"));
+    cmd.args([
+        "serve", "--model", "alexnet", "--scale", "tiny", "--images", "24", "--addr", bind,
+    ])
+    .args(extra_args)
+    .stdout(Stdio::piped())
+    .stderr(Stdio::null());
+    let mut child = cmd.spawn().unwrap();
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    let addr = read_addr_line(&mut reader, "serving on ");
+    (child, addr, reader)
+}
+
+/// Spawns `mupod route` in front of `shards` with the admin plane on,
+/// blocking until both the "routing on ..." and "metrics on ..." lines
+/// arrive.
+fn start_route(
+    shards: &[SocketAddr],
+    extra_args: &[&str],
+) -> (Child, SocketAddr, SocketAddr, BufReader<ChildStdout>) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_mupod"));
+    cmd.args(["route", "--metrics-addr", "127.0.0.1:0"]);
+    for s in shards {
+        cmd.arg("--shard").arg(s.to_string());
+    }
+    cmd.args(extra_args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    let mut child = cmd.spawn().unwrap();
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    let addr = read_addr_line(&mut reader, "routing on ");
+    let metrics = read_addr_line(&mut reader, "metrics on ");
+    (child, addr, metrics, reader)
+}
+
+/// A correctly-sized input for the tiny-scale alexnet the shards run.
+fn image() -> Vec<f32> {
+    let hw = ModelScale::tiny().input_hw;
+    (0..3 * hw * hw)
+        .map(|i| (i % 7) as f32 * 0.1 - 0.3)
+        .collect()
+}
+
+fn scrape(metrics: SocketAddr, path: &str) -> (u16, String) {
+    let (code, body) = http_get(metrics, path, Duration::from_secs(5)).expect("scrape");
+    (code, String::from_utf8(body).expect("utf-8 body"))
+}
+
+/// Extracts the value of an un-labelled sample line, e.g.
+/// `mupod_route_requests_total 3`.
+fn sample(text: &str, name: &str) -> f64 {
+    text.lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("{name} missing from exposition:\n{text}"))
+        .trim()
+        .parse()
+        .expect("numeric sample")
+}
+
+/// Polls the router's `/metrics` until `pred` accepts the exposition.
+fn await_metrics(metrics: SocketAddr, what: &str, pred: impl Fn(&str) -> bool) -> String {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let (_, text) = scrape(metrics, "/metrics");
+        if pred(&text) {
+            return text;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what}; last exposition:\n{text}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn stop_clean(child: Child, reader: Option<&mut BufReader<ChildStdout>>) {
+    send_signal(&child, SIGINT);
+    let status = wait_with_deadline(child, Duration::from_secs(20));
+    assert_eq!(
+        status.code(),
+        Some(StatusCode::Ok.exit_code()),
+        "{status:?}"
+    );
+    if let Some(r) = reader {
+        let mut rest = String::new();
+        r.read_to_string(&mut rest).unwrap();
+    }
+}
+
+#[test]
+fn sigkilled_shard_is_invisible_to_clients_and_breaker_recovers() {
+    let (shard_a, addr_a, _ra) = start_shard("127.0.0.1:0", &[]);
+    let (shard_b, addr_b, mut rb) = start_shard("127.0.0.1:0", &[]);
+    // Threshold 1 so the first failed health ping is guaranteed to trip
+    // the breaker before we look for the open.
+    let (router, front, metrics, mut rr) = start_route(
+        &[addr_a, addr_b],
+        &[
+            "--health-interval-ms",
+            "50",
+            "--breaker-threshold",
+            "1",
+            "--breaker-cooldown-ms",
+            "200",
+            "--deadline-ms",
+            "5000",
+        ],
+    );
+
+    // SIGKILL shard A one second into a three-second load window; the
+    // router must absorb the failure with retries so clients see only
+    // OK replies — the chaos proof for this PR.
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_secs(1));
+        send_signal(&shard_a, SIGKILL);
+        shard_a
+    });
+    let report = run_load(front, &image(), 4, Duration::from_secs(3), 0);
+    let mut shard_a = killer.join().expect("killer thread");
+    let _ = shard_a.wait();
+
+    assert!(report.ok > 100, "expected sustained throughput: {report:?}");
+    assert_eq!(
+        report.transport_errors, 0,
+        "clients must never see the dead shard: {report:?}"
+    );
+    assert_eq!(
+        report.ok, report.sent,
+        "every classify must succeed: {report:?}"
+    );
+
+    // The breaker opened on the killed shard and /metrics says so.
+    let text = await_metrics(metrics, "breaker open", |t| {
+        sample(t, "mupod_route_breaker_opens_total") >= 1.0
+    });
+    assert!(
+        text.contains(&format!("mupod_route_shard_up{{shard=\"{addr_a}\"}} 0")),
+        "killed shard still marked up:\n{text}"
+    );
+    assert_eq!(sample(&text, "mupod_route_healthy_shards"), 1.0, "{text}");
+
+    // Restart the shard on its old port: the breaker must probe
+    // half-open and close again without anyone touching the router.
+    let (shard_a, _addr_a2, _ra2) = start_shard(&addr_a.to_string(), &[]);
+    let text = await_metrics(metrics, "breaker close after restart", |t| {
+        sample(t, "mupod_route_breaker_closes_total") >= 1.0
+            && t.contains(&format!("mupod_route_shard_up{{shard=\"{addr_a}\"}} 1"))
+    });
+    assert_eq!(sample(&text, "mupod_route_healthy_shards"), 2.0, "{text}");
+
+    // The recovered pool serves traced traffic end to end.
+    let mut conn = Connection::connect(front, Duration::from_secs(10)).expect("connect");
+    let reply = conn
+        .classify_traced(&image(), 0, Priority::High, 0xFEED01)
+        .expect("reply");
+    assert_eq!(reply.status, StatusCode::Ok);
+    assert_eq!(reply.trace_id, Some(0xFEED01));
+    drop(conn);
+
+    stop_clean(router, Some(&mut rr));
+    stop_clean(shard_a, None);
+    stop_clean(shard_b, Some(&mut rb));
+}
+
+#[test]
+fn live_reload_under_load_drops_no_requests() {
+    let (shard_a, addr_a, _ra) = start_shard("127.0.0.1:0", &[]);
+    let (shard_b, addr_b, _rb) = start_shard("127.0.0.1:0", &[]);
+    let (router, front, _metrics, mut rr) = start_route(
+        &[addr_a, addr_b],
+        &["--health-interval-ms", "50", "--deadline-ms", "5000"],
+    );
+
+    // Hot-swap shard A's model while load flows through the router; the
+    // drain-and-swap handshake plus router-side retry must keep every
+    // accepted request answered OK.
+    let reloader = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(700));
+        Command::new(env!("CARGO_BIN_EXE_mupod"))
+            .args(["reload", "--addr"])
+            .arg(addr_a.to_string())
+            .args(["--seed", "7"])
+            .output()
+            .unwrap()
+    });
+    let report = run_load(front, &image(), 4, Duration::from_millis(2_500), 0);
+    let out = reloader.join().expect("reloader thread");
+
+    assert!(
+        out.status.success(),
+        "reload failed: {out:?} / stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("model epoch 1"),
+        "unexpected stdout: {stdout}"
+    );
+
+    assert!(report.ok > 100, "expected sustained throughput: {report:?}");
+    assert_eq!(
+        report.transport_errors, 0,
+        "reload dropped connections: {report:?}"
+    );
+    assert_eq!(
+        report.ok, report.sent,
+        "reload dropped requests: {report:?}"
+    );
+
+    // A second reload bumps the epoch again — the swap really happened.
+    let out = Command::new(env!("CARGO_BIN_EXE_mupod"))
+        .args(["reload", "--addr"])
+        .arg(addr_a.to_string())
+        .args(["--seed", "8"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "second reload failed: {out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("model epoch 2"),
+        "unexpected stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    stop_clean(router, Some(&mut rr));
+    stop_clean(shard_a, None);
+    stop_clean(shard_b, None);
+}
+
+#[test]
+fn reload_through_the_router_is_refused_with_stage_failed() {
+    let (shard, addr, _rs) = start_shard("127.0.0.1:0", &[]);
+    let (router, front, _metrics, _rr) = start_route(&[addr], &[]);
+
+    // The reload frame must go to a shard; the router refuses it with a
+    // diagnostic and `mupod reload` maps the refusal to exit 3.
+    let out = Command::new(env!("CARGO_BIN_EXE_mupod"))
+        .args(["reload", "--addr"])
+        .arg(front.to_string())
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(StatusCode::StageFailed.exit_code()),
+        "{out:?}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("directly to a shard"), "stderr: {stderr}");
+
+    stop_clean(router, None);
+    stop_clean(shard, None);
+}
+
+#[test]
+fn trace_ids_land_in_both_router_and_shard_flight_recorders() {
+    let (shard, addr, mut rs) = start_shard("127.0.0.1:0", &["--metrics-addr", "127.0.0.1:0"]);
+    let shard_metrics = read_addr_line(&mut rs, "metrics on ");
+    let (router, front, route_metrics, _rr) = start_route(&[addr], &[]);
+
+    let trace: u64 = 0xC0FFEE;
+    let mut conn = Connection::connect(front, Duration::from_secs(10)).expect("connect");
+    let reply = conn
+        .classify_traced(&image(), 0, Priority::High, trace)
+        .expect("reply");
+    assert_eq!(reply.status, StatusCode::Ok);
+    assert_eq!(
+        reply.trace_id,
+        Some(trace),
+        "trace must echo through the hop"
+    );
+
+    // The same trace ID shows up in both flight recorders: the router
+    // logged the admit/forward/reply hops, the shard its execution.
+    for (who, metrics) in [("router", route_metrics), ("shard", shard_metrics)] {
+        let (code, text) = scrape(metrics, "/flight");
+        assert_eq!(code, 200, "{who} /flight");
+        let doc = mupod_obs::json::parse(&text).expect("flight JSON");
+        let events = doc.as_object().unwrap()["events"].as_array().unwrap();
+        let stages: Vec<&str> = events
+            .iter()
+            .map(|e| e.as_object().unwrap())
+            .filter(|e| e["trace_id"].as_f64() == Some(trace as f64))
+            .map(|e| e["stage"].as_str().unwrap())
+            .collect();
+        assert!(
+            !stages.is_empty(),
+            "trace {trace:#x} missing from {who} flight: {text}"
+        );
+        if who == "router" {
+            assert_eq!(
+                stages,
+                ["admit", "forward", "reply"],
+                "router hop lifecycle"
+            );
+        }
+    }
+
+    stop_clean(router, None);
+    stop_clean(shard, Some(&mut rs));
+}
+
+/// Soak duration; `MUPOD_SOAK_SECS` overrides for local experiments.
+fn soak_window() -> Duration {
+    let secs = std::env::var("MUPOD_SOAK_SECS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(30);
+    Duration::from_secs(secs.max(3))
+}
+
+#[test]
+#[ignore = "30s routed-load soak; run explicitly (CI route-chaos job)"]
+fn soak_routed_load_survives_kill_restart_and_reload() {
+    // CI sets MUPOD_SOAK_DIR to keep (and upload) the metrics artifact;
+    // unset, everything lands in a scratch dir that is removed on pass.
+    let (dir, keep) = match std::env::var("MUPOD_SOAK_DIR") {
+        Ok(d) => (std::path::PathBuf::from(d), true),
+        Err(_) => (
+            std::env::temp_dir().join(format!("mupod_route_soak_{}", std::process::id())),
+            false,
+        ),
+    };
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let (shard_a, addr_a, _ra) = start_shard("127.0.0.1:0", &["--workers", "2"]);
+    let (shard_b, addr_b, mut rb) = start_shard("127.0.0.1:0", &["--workers", "2"]);
+    let flight_out = dir.join("route_flight.json");
+    let flight_arg = flight_out.to_string_lossy().to_string();
+    let (router, front, metrics, mut rr) = start_route(
+        &[addr_a, addr_b],
+        &[
+            "--health-interval-ms",
+            "100",
+            "--breaker-threshold",
+            "1",
+            "--breaker-cooldown-ms",
+            "300",
+            "--deadline-ms",
+            "5000",
+            "--flight-out",
+            &flight_arg,
+        ],
+    );
+    let window = soak_window();
+
+    // Fault schedule across the window: kill shard A at 1/3, restart it
+    // at 1/2, hot-reload shard B at 2/3 — all while the load generator
+    // below keeps hammering the front.
+    let injector = std::thread::spawn(move || {
+        std::thread::sleep(window / 3);
+        send_signal(&shard_a, SIGKILL);
+        let mut dead = shard_a;
+        let _ = dead.wait();
+        std::thread::sleep(window / 6);
+        // The reader must outlive the drain at the bottom of the test:
+        // dropping it closes the pipe and the shard's summary print
+        // would die on EPIPE.
+        let (revived, _, reader) = start_shard(&addr_a.to_string(), &["--workers", "2"]);
+        std::thread::sleep(window / 6);
+        let out = Command::new(env!("CARGO_BIN_EXE_mupod"))
+            .args(["reload", "--addr"])
+            .arg(addr_b.to_string())
+            .args(["--seed", "9"])
+            .output()
+            .unwrap();
+        (revived, reader, out)
+    });
+
+    let report = run_load(front, &image(), 8, window, 0);
+    let (shard_a, mut ra, reload_out) = injector.join().expect("injector thread");
+    assert!(
+        reload_out.status.success(),
+        "mid-soak reload failed: {reload_out:?}"
+    );
+
+    // The soak must have served real traffic with zero client-visible
+    // failures despite the kill, the restart and the reload.
+    assert!(
+        report.ok > 1_000,
+        "expected sustained throughput, got {} ok ({} transport errors)",
+        report.ok,
+        report.transport_errors
+    );
+    assert_eq!(report.transport_errors, 0, "{report:?}");
+    assert_eq!(report.ok, report.sent, "{report:?}");
+
+    // Breaker lifecycle completed: opened on the kill, closed after the
+    // restart. Keep the final exposition as the soak artifact.
+    let text = await_metrics(metrics, "breaker open+close", |t| {
+        sample(t, "mupod_route_breaker_opens_total") >= 1.0
+            && sample(t, "mupod_route_breaker_closes_total") >= 1.0
+    });
+    mupod_obs::expo::validate(&text).expect("valid exposition");
+    std::fs::write(dir.join("route_metrics.prom"), &text).unwrap();
+
+    stop_clean(router, Some(&mut rr));
+    stop_clean(shard_a, Some(&mut ra));
+    stop_clean(shard_b, Some(&mut rb));
+
+    // The router sealed its flight recorder on drain.
+    let bytes = mupod_runtime::read_verified(&flight_out).expect("sealed flight dump");
+    let doc = mupod_obs::json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+    assert_eq!(
+        doc.as_object().unwrap()["schema"].as_str(),
+        Some("mupod-flight v1")
+    );
+    if !keep {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

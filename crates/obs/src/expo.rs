@@ -62,6 +62,29 @@ impl Exposition {
         self.sample(name, "", &fmt_f64(value));
     }
 
+    /// Appends a gauge family with one sample per `(label value,
+    /// sample value)` entry, all sharing the single label `key` — e.g.
+    /// per-shard liveness: `gauge_set("mupod_route_shard_up", …,
+    /// "shard", &[("127.0.0.1:9000".into(), 1)])`. Label values must
+    /// not contain `"` or `\` (the serving layer only labels by socket
+    /// address and state names, which never do).
+    pub fn gauge_set(&mut self, name: &str, help: &str, key: &str, samples: &[(String, i64)]) {
+        self.family(name, help, "gauge");
+        for (label, value) in samples {
+            self.sample(name, &format!("{{{key}=\"{label}\"}}"), &value.to_string());
+        }
+    }
+
+    /// Appends a counter family with one sample per `(label value,
+    /// sample value)` entry; the labeled twin of [`Self::counter`],
+    /// with the same label-value restrictions as [`Self::gauge_set`].
+    pub fn counter_set(&mut self, name: &str, help: &str, key: &str, samples: &[(String, u64)]) {
+        self.family(name, help, "counter");
+        for (label, value) in samples {
+            self.sample(name, &format!("{{{key}=\"{label}\"}}"), &value.to_string());
+        }
+    }
+
     /// Appends a rolling-window histogram as cumulative `_bucket`
     /// series plus `_sum` and `_count`.
     pub fn histogram(&mut self, name: &str, help: &str, s: &RollingSummary) {
@@ -243,6 +266,29 @@ mod tests {
         assert!(text.contains("mupod_latency_window_us{quantile=\"0.5\"}"));
         assert!(text.contains("mupod_latency_window_us{quantile=\"0.99\"}"));
         assert!(text.contains("mupod_latency_window_us_count 3\n"));
+    }
+
+    #[test]
+    fn labeled_families_render_one_header_many_samples() {
+        let mut e = Exposition::new();
+        e.gauge_set(
+            "mupod_route_shard_up",
+            "1 if the shard is routable",
+            "shard",
+            &[("127.0.0.1:9000".into(), 1), ("127.0.0.1:9001".into(), 0)],
+        );
+        e.counter_set(
+            "mupod_route_forwarded_total",
+            "requests forwarded per shard",
+            "shard",
+            &[("127.0.0.1:9000".into(), 7)],
+        );
+        let text = e.finish();
+        validate(&text).unwrap();
+        assert_eq!(text.matches("# TYPE mupod_route_shard_up gauge").count(), 1);
+        assert!(text.contains("mupod_route_shard_up{shard=\"127.0.0.1:9000\"} 1\n"));
+        assert!(text.contains("mupod_route_shard_up{shard=\"127.0.0.1:9001\"} 0\n"));
+        assert!(text.contains("mupod_route_forwarded_total{shard=\"127.0.0.1:9000\"} 7\n"));
     }
 
     #[test]

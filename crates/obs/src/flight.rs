@@ -52,6 +52,12 @@ pub enum FlightStage {
     Reply,
     /// The worker executing this request's batch panicked.
     Crash,
+    /// Router: the request was forwarded to a backend shard (the
+    /// `worker` field carries the shard index).
+    Forward,
+    /// Router: a hedged duplicate was sent to a second shard because
+    /// the primary attempt outlived the hedge timer.
+    Hedge,
 }
 
 impl FlightStage {
@@ -64,6 +70,8 @@ impl FlightStage {
             FlightStage::Exec => "exec",
             FlightStage::Reply => "reply",
             FlightStage::Crash => "crash",
+            FlightStage::Forward => "forward",
+            FlightStage::Hedge => "hedge",
         }
     }
 }

@@ -17,11 +17,13 @@
 //! | 12   | [`StatusCode::BadRequest`]       | wire | malformed / truncated / oversized request frame |
 //! | 13   | [`StatusCode::Draining`]         | wire | server is draining; queued request returned unexecuted |
 //! | 14   | [`StatusCode::WorkerCrashed`]    | wire | the worker serving this batch panicked; it was restarted |
+//! | 15   | [`StatusCode::NoHealthyShard`]   | wire | the router found no routable shard (all breakers open / draining) |
+//! | 16   | [`StatusCode::Rerouted`]         | wire | bookkeeping: a request was retried on another shard (flight events, never terminal) |
 //! | 130  | [`StatusCode::Interrupted`]      | exit | SIGINT before a clean drain (or forced second Ctrl-C) |
 //!
 //! "exit" codes are process exit statuses (`main.rs`); "wire" codes are
 //! the status byte of a `mupod-serve` response frame. The ranges are
-//! disjoint on purpose (10–14 never appear as exit statuses, 130 never
+//! disjoint on purpose (10–16 never appear as exit statuses, 130 never
 //! on the wire) so a number in a log is unambiguous.
 
 /// One entry of the shared exit-/wire-status table (see module docs).
@@ -55,6 +57,14 @@ pub enum StatusCode {
     /// Wire: the worker serving this request's batch panicked. The
     /// worker was restarted; retrying the request is safe.
     WorkerCrashed = 14,
+    /// Wire: the routing front had no shard to forward to — every
+    /// backend was draining, reloading, or behind an open circuit
+    /// breaker. Retrying after a backoff is safe.
+    NoHealthyShard = 15,
+    /// Wire: bookkeeping status stamped on router flight events when a
+    /// request is retried on another shard. Never a terminal response —
+    /// the client sees the rerouted attempt's real outcome.
+    Rerouted = 16,
     /// SIGINT ended the run before a clean drain completed (pipelines
     /// always exit 130 on SIGINT; `serve` only on a forced second
     /// Ctrl-C).
@@ -73,6 +83,8 @@ pub const ALL_STATUS_CODES: &[StatusCode] = &[
     StatusCode::BadRequest,
     StatusCode::Draining,
     StatusCode::WorkerCrashed,
+    StatusCode::NoHealthyShard,
+    StatusCode::Rerouted,
     StatusCode::Interrupted,
 ];
 
@@ -105,6 +117,8 @@ impl StatusCode {
             StatusCode::BadRequest => "malformed request frame",
             StatusCode::Draining => "server draining",
             StatusCode::WorkerCrashed => "worker panicked serving this batch",
+            StatusCode::NoHealthyShard => "no healthy shard to route to",
+            StatusCode::Rerouted => "request rerouted to another shard",
             StatusCode::Interrupted => "interrupted before a clean drain",
         }
     }
@@ -123,7 +137,7 @@ mod tests {
     #[test]
     fn codes_are_stable_and_unique() {
         let codes: Vec<u8> = ALL_STATUS_CODES.iter().map(|s| s.wire()).collect();
-        assert_eq!(codes, vec![0, 1, 2, 3, 4, 10, 11, 12, 13, 14, 130]);
+        assert_eq!(codes, vec![0, 1, 2, 3, 4, 10, 11, 12, 13, 14, 15, 16, 130]);
         for &s in ALL_STATUS_CODES {
             assert_eq!(StatusCode::from_wire(s.wire()), Some(s));
             assert_eq!(s.exit_code(), i32::from(s.wire()));
@@ -132,7 +146,7 @@ mod tests {
 
     #[test]
     fn unknown_wire_bytes_are_rejected() {
-        for byte in [5u8, 9, 15, 42, 129, 131, 255] {
+        for byte in [5u8, 9, 17, 42, 129, 131, 255] {
             assert_eq!(StatusCode::from_wire(byte), None, "{byte}");
         }
     }

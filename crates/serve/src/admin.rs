@@ -12,11 +12,14 @@
 //! | `/health`  | `mupod-health v1` JSON; 503 while draining        |
 //! | `/flight`  | the flight-recorder ring as `mupod-flight v1` JSON |
 //!
-//! The responder is deliberately minimal: requests are capped at 4 KiB,
-//! reads carry a 2-second timeout, every response closes the
-//! connection, and connections are handled serially — an admin plane
-//! has no business holding threads. No request body is ever read, no
-//! method other than `GET`/`HEAD` accepted.
+//! The responder is deliberately minimal: requests are capped at 4 KiB
+//! (request line and headers together), every read carries a
+//! 2-second whole-request deadline, every response closes the
+//! connection, and each connection is served on its own short-lived
+//! thread so one slow-loris peer — connected but trickling or
+//! withholding bytes — can delay only itself, never a concurrent
+//! scrape. No request body is ever read, no method other than
+//! `GET`/`HEAD` accepted.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -30,29 +33,62 @@ const MAX_REQUEST_BYTES: usize = 4096;
 /// How long one admin connection may take to deliver its request.
 const READ_TIMEOUT: Duration = Duration::from_secs(2);
 
-/// Accept loop for the admin listener; exits when the server drains.
-/// The listener must already be nonblocking.
-pub(crate) fn admin_loop(listener: &TcpListener, cfg: &ServeConfig, shared: &Shared) {
-    loop {
-        if shared.is_draining() {
+/// One route's answer: status code, content type, body.
+pub(crate) type AdminResponse = (u16, &'static str, Vec<u8>);
+
+/// Generic accept loop for an admin-style HTTP plane: accepts until
+/// `stop` turns true, serving each connection on its own scoped
+/// thread. `respond` maps a request path to an [`AdminResponse`]
+/// (`None` → 404). The scope joins every handler before returning;
+/// each is bounded by [`READ_TIMEOUT`], so the join is too. The
+/// listener must already be nonblocking.
+pub(crate) fn run_admin(
+    listener: &TcpListener,
+    stop: &(dyn Fn() -> bool + Sync),
+    respond: &(dyn Fn(&str) -> Option<AdminResponse> + Sync),
+) {
+    std::thread::scope(|s| loop {
+        if stop() {
             break;
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
                 mupod_obs::counter_add("serve.admin_requests", 1);
-                handle_admin(stream, cfg, shared);
+                s.spawn(move || handle_admin(stream, respond));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(POLL);
             }
             Err(_) => std::thread::sleep(POLL),
         }
-    }
+    });
+}
+
+/// Accept loop for the serving node's admin listener (`/metrics`,
+/// `/health`, `/flight`); exits when the server drains.
+pub(crate) fn admin_loop(listener: &TcpListener, cfg: &ServeConfig, shared: &Shared) {
+    run_admin(listener, &|| shared.is_draining(), &|path| match path {
+        "/metrics" => Some((
+            200,
+            "text/plain; version=0.0.4",
+            telemetry::render_metrics(cfg, shared).into_bytes(),
+        )),
+        "/health" => {
+            let (code, body) = telemetry::render_health(cfg, shared);
+            Some((code, "application/json", body.into_bytes()))
+        }
+        "/flight" => Some((
+            200,
+            "application/json",
+            shared.telemetry.flight.to_json().into_bytes(),
+        )),
+        _ => None,
+    });
 }
 
 /// Serves one admin connection: parse the request line, route, answer,
 /// close.
-fn handle_admin(mut stream: TcpStream, cfg: &ServeConfig, shared: &Shared) {
+fn handle_admin(mut stream: TcpStream, respond: &(dyn Fn(&str) -> Option<AdminResponse> + Sync)) {
     if stream.set_read_timeout(Some(POLL)).is_err() {
         return;
     }
@@ -65,25 +101,11 @@ fn handle_admin(mut stream: TcpStream, cfg: &ServeConfig, shared: &Shared) {
         let _ = write_http(&mut stream, 400, "text/plain", b"bad request\n");
         return;
     };
-    match path.as_str() {
-        "/metrics" => {
-            let body = telemetry::render_metrics(cfg, shared);
-            let _ = write_http(
-                &mut stream,
-                200,
-                "text/plain; version=0.0.4",
-                body.as_bytes(),
-            );
+    match respond(&path) {
+        Some((code, content_type, body)) => {
+            let _ = write_http(&mut stream, code, content_type, &body);
         }
-        "/health" => {
-            let (code, body) = telemetry::render_health(cfg, shared);
-            let _ = write_http(&mut stream, code, "application/json", body.as_bytes());
-        }
-        "/flight" => {
-            let body = shared.telemetry.flight.to_json();
-            let _ = write_http(&mut stream, 200, "application/json", body.as_bytes());
-        }
-        _ => {
+        None => {
             let _ = write_http(&mut stream, 404, "text/plain", b"unknown route\n");
         }
     }
@@ -212,5 +234,91 @@ mod tests {
         assert_eq!(status, 200);
         assert_eq!(body, b"hi");
         assert!(parse_http_response(b"not http").is_none());
+    }
+
+    fn ping_plane(listener: &TcpListener, stop: &std::sync::atomic::AtomicBool) {
+        run_admin(
+            listener,
+            &|| stop.load(std::sync::atomic::Ordering::SeqCst),
+            &|path| match path {
+                "/ping" => Some((200, "text/plain", b"pong\n".to_vec())),
+                _ => None,
+            },
+        );
+    }
+
+    #[test]
+    fn stalled_half_written_request_cannot_starve_the_listener() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let (listener, stop) = (&listener, &stop);
+            s.spawn(move || ping_plane(listener, stop));
+            // Slow-loris peers: connect, write half a request line, then
+            // stall with the connection held open.
+            let mut lorises: Vec<TcpStream> = (0..3)
+                .map(|_| {
+                    let mut c = TcpStream::connect(addr).unwrap();
+                    c.write_all(b"GET /pi").unwrap();
+                    c.flush().unwrap();
+                    c
+                })
+                .collect();
+            // While they stall, a well-behaved scrape must be answered
+            // promptly — well inside the per-connection read deadline the
+            // stalled peers are still burning.
+            let start = Instant::now();
+            let (code, body) = http_get(addr, "/ping", Duration::from_secs(5)).unwrap();
+            assert_eq!(code, 200);
+            assert_eq!(body, b"pong\n");
+            assert!(
+                start.elapsed() < READ_TIMEOUT,
+                "scrape starved behind stalled peers: {:?}",
+                start.elapsed()
+            );
+            // Each stalled connection is bounded: answered 400 once its
+            // read deadline lapses, never held open indefinitely.
+            for loris in &mut lorises {
+                loris
+                    .set_read_timeout(Some(READ_TIMEOUT + Duration::from_secs(3)))
+                    .unwrap();
+                let mut raw = Vec::new();
+                loris.read_to_end(&mut raw).unwrap();
+                let (code, _) = parse_http_response(&raw).unwrap();
+                assert_eq!(code, 400);
+            }
+            stop.store(true, Ordering::SeqCst);
+        });
+    }
+
+    #[test]
+    fn oversized_request_head_is_rejected() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let (listener, stop) = (&listener, &stop);
+            s.spawn(move || ping_plane(listener, stop));
+            // A request head that never terminates and blows through the
+            // size cap is cut off with 400 without waiting for the
+            // deadline.
+            let mut c = TcpStream::connect(addr).unwrap();
+            let garbage = vec![b'x'; 2 * MAX_REQUEST_BYTES];
+            // The peer may already have been answered mid-write; ignore
+            // write errors and read whatever came back.
+            let _ = c.write_all(&garbage);
+            let _ = c.flush();
+            c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let mut raw = Vec::new();
+            let _ = c.read_to_end(&mut raw);
+            let (code, _) = parse_http_response(&raw).unwrap();
+            assert_eq!(code, 400);
+            stop.store(true, Ordering::SeqCst);
+        });
     }
 }

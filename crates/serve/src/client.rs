@@ -11,7 +11,7 @@ use std::time::{Duration, Instant};
 use mupod_runtime::StatusCode;
 
 use crate::frame::{
-    self, FrameError, Priority, ReqKind, HEADER_LEN, MAX_PAYLOAD_BYTES, TRACE_ID_LEN,
+    self, FrameError, Priority, ReqKind, ShardState, HEADER_LEN, MAX_PAYLOAD_BYTES, TRACE_ID_LEN,
 };
 
 /// Client-side failures (server-side rejections arrive as a [`Reply`]
@@ -68,6 +68,18 @@ pub struct Reply {
     pub trace_id: Option<u64>,
     /// Round-trip time as the client saw it.
     pub latency: Duration,
+}
+
+/// Outcome of a [`Connection::reload`] request.
+#[derive(Debug, Clone)]
+pub struct ReloadReply {
+    /// `Ok` for a completed swap, `BadRequest` (with a diagnostic in
+    /// `message`) for a rejected or failed one.
+    pub status: StatusCode,
+    /// The shard's new model epoch, when the swap completed.
+    pub epoch: Option<u64>,
+    /// The server's diagnostic, when it did not.
+    pub message: Option<String>,
 }
 
 /// A persistent connection to a `mupod serve` instance.
@@ -145,6 +157,79 @@ impl Connection {
     /// Same as [`Connection::classify`].
     pub fn chaos_panic_traced(&mut self, trace_id: u64) -> Result<Reply, ClientError> {
         self.round_trip(ReqKind::ChaosPanic, Priority::High, 0, Some(trace_id), &[])
+    }
+
+    /// Sends a health ping; the server answers inline (never queued)
+    /// with its self-reported [`ShardState`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on transport failure, [`ClientError::Frame`]
+    /// if the reply is not an OK frame carrying one known state byte.
+    pub fn ping(&mut self) -> Result<ShardState, ClientError> {
+        let (status, payload) = self.round_trip_raw(&frame::encode_ping())?;
+        if status == StatusCode::Ok {
+            if payload.len() != 1 {
+                return Err(FrameError::WrongPayloadLen {
+                    got: payload.len(),
+                    want: 1,
+                }
+                .into());
+            }
+            return ShardState::from_wire(payload[0])
+                .ok_or_else(|| FrameError::BadStatus(payload[0]).into());
+        }
+        Err(FrameError::BadStatus(status.wire()).into())
+    }
+
+    /// Asks the server to hot-reload its network from `seed` (see the
+    /// reload handshake in [`crate::frame`]). Blocks until the rebuild
+    /// finishes or `deadline_ms` of socket inactivity passes.
+    ///
+    /// # Errors
+    ///
+    /// Transport/framing problems only; a server-side rejection comes
+    /// back as a [`ReloadReply`] with a non-OK status and diagnostic.
+    pub fn reload(&mut self, seed: u64, deadline_ms: u32) -> Result<ReloadReply, ClientError> {
+        let (status, payload) = self.round_trip_raw(&frame::encode_reload(seed, deadline_ms))?;
+        Ok(if status == StatusCode::Ok {
+            let bytes: [u8; 8] = payload.as_slice().try_into().map_err(|_| {
+                ClientError::Frame(FrameError::WrongPayloadLen {
+                    got: payload.len(),
+                    want: 8,
+                })
+            })?;
+            ReloadReply {
+                status,
+                epoch: Some(u64::from_le_bytes(bytes)),
+                message: None,
+            }
+        } else {
+            ReloadReply {
+                status,
+                epoch: None,
+                message: Some(String::from_utf8_lossy(&payload).into_owned()),
+            }
+        })
+    }
+
+    /// Writes a pre-encoded request frame and reads back one response,
+    /// returning the raw status and payload (a trace extension, if
+    /// echoed, is consumed and discarded).
+    fn round_trip_raw(&mut self, req: &[u8]) -> Result<(StatusCode, Vec<u8>), ClientError> {
+        self.stream.write_all(req)?;
+        self.stream.flush()?;
+        let mut header = [0u8; HEADER_LEN];
+        self.stream.read_exact(&mut header)?;
+        let h = frame::parse_response_header(&header)?;
+        debug_assert!(h.payload_len <= MAX_PAYLOAD_BYTES);
+        if h.has_trace_id {
+            let mut ext = [0u8; TRACE_ID_LEN];
+            self.stream.read_exact(&mut ext)?;
+        }
+        let mut payload = vec![0u8; h.payload_len];
+        self.stream.read_exact(&mut payload)?;
+        Ok((h.status, payload))
     }
 
     fn round_trip(

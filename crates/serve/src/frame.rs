@@ -9,7 +9,8 @@
 //! offset  size  field
 //!      0     4  magic  b"mupq"
 //!      4     1  version (1)
-//!      5     1  kind     1 = classify, 2 = chaos-panic (test only)
+//!      5     1  kind     1 = classify, 2 = chaos-panic (test only),
+//!                        3 = health-ping, 4 = reload
 //!      6     1  priority 0 = high, 1 = low
 //!      7     1  flags    bit 0 = trace-ID extension present
 //!      8     4  deadline_ms (u32 LE; 0 = server default)
@@ -34,6 +35,18 @@
 //! byte from the shared [`StatusCode`](mupod_runtime::StatusCode)
 //! table; an OK payload is the class index as one `u32` LE, an error
 //! payload is a UTF-8 diagnostic.
+//!
+//! Two control ops ride the same frame, added for the routing front:
+//!
+//! * **health-ping** (kind 3, empty payload) is answered inline by the
+//!   connection handler — it never enters the queue — with an OK frame
+//!   whose 1-byte payload is a [`ShardState`]. The router uses it for
+//!   active health checking and as the half-open breaker probe.
+//! * **reload** (kind 4, 8-byte LE seed payload) asks the shard to
+//!   rebuild and recalibrate its network from the seed and swap it in
+//!   atomically; the OK payload is the new 8-byte LE model epoch.
+//!   Queued and in-flight requests keep executing on whichever network
+//!   they dequeued with, so a reload never drops a connection.
 
 use mupod_runtime::StatusCode;
 
@@ -63,6 +76,57 @@ pub enum ReqKind {
     /// Panic the worker that picks this up (fault injection; only
     /// honored when the server runs with `--chaos`).
     ChaosPanic,
+    /// Liveness probe answered inline by the connection handler with a
+    /// [`ShardState`] byte; never queued, never touches a worker.
+    HealthPing,
+    /// Rebuild the served network from the 8-byte LE seed in the
+    /// payload and hot-swap it (drain-and-swap; see module docs).
+    Reload,
+}
+
+/// What a shard reports about itself in a health-ping reply payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardState {
+    /// Serving normally.
+    Ok,
+    /// Serving, but the load-shedding ladder is above level 0.
+    Degraded,
+    /// A model reload is in progress; serving continues on the old
+    /// network, but a router may prefer other shards.
+    Reloading,
+    /// Draining; the shard will reject new work.
+    Draining,
+}
+
+impl ShardState {
+    /// The state as its wire byte.
+    pub fn wire(self) -> u8 {
+        match self {
+            ShardState::Ok => 0,
+            ShardState::Degraded => 1,
+            ShardState::Reloading => 2,
+            ShardState::Draining => 3,
+        }
+    }
+
+    /// Looks a wire byte back up; `None` for unknown bytes.
+    pub fn from_wire(byte: u8) -> Option<ShardState> {
+        match byte {
+            0 => Some(ShardState::Ok),
+            1 => Some(ShardState::Degraded),
+            2 => Some(ShardState::Reloading),
+            3 => Some(ShardState::Draining),
+            _ => None,
+        }
+    }
+
+    /// Whether a router should send classify traffic here.
+    pub fn routable(self) -> bool {
+        matches!(
+            self,
+            ShardState::Ok | ShardState::Degraded | ShardState::Reloading
+        )
+    }
 }
 
 /// Admission priority; the load-shedding ladder rejects `Low` first.
@@ -180,15 +244,33 @@ pub fn encode_request_traced(
     trace_id: Option<u64>,
     image: &[f32],
 ) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(image.len() * 4);
+    for v in image {
+        payload.extend_from_slice(&v.to_le_bytes());
+    }
+    encode_request_raw(kind, priority, deadline_ms, trace_id, &payload)
+}
+
+/// Encodes a request frame around an arbitrary raw payload. The
+/// classify encoders build their `f32` payload and delegate here; the
+/// control ops ([`encode_ping`], [`encode_reload`]) use it directly.
+pub fn encode_request_raw(
+    kind: ReqKind,
+    priority: Priority,
+    deadline_ms: u32,
+    trace_id: Option<u64>,
+    payload: &[u8],
+) -> Vec<u8> {
     let trace_id = trace_id.filter(|&id| id != 0);
-    let payload_len = image.len() * 4;
     let ext = if trace_id.is_some() { TRACE_ID_LEN } else { 0 };
-    let mut buf = Vec::with_capacity(HEADER_LEN + ext + payload_len);
+    let mut buf = Vec::with_capacity(HEADER_LEN + ext + payload.len());
     buf.extend_from_slice(&REQ_MAGIC);
     buf.push(PROTOCOL_VERSION);
     buf.push(match kind {
         ReqKind::Classify => 1,
         ReqKind::ChaosPanic => 2,
+        ReqKind::HealthPing => 3,
+        ReqKind::Reload => 4,
     });
     buf.push(match priority {
         Priority::High => 0,
@@ -196,14 +278,36 @@ pub fn encode_request_traced(
     });
     buf.push(if trace_id.is_some() { FLAG_TRACE_ID } else { 0 });
     buf.extend_from_slice(&deadline_ms.to_le_bytes());
-    buf.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     if let Some(id) = trace_id {
         buf.extend_from_slice(&id.to_le_bytes());
     }
-    for v in image {
-        buf.extend_from_slice(&v.to_le_bytes());
-    }
+    buf.extend_from_slice(payload);
     buf
+}
+
+/// Encodes a health-ping request (empty payload, server-default
+/// deadline; answered inline, so the deadline is moot anyway).
+pub fn encode_ping() -> Vec<u8> {
+    encode_request_raw(ReqKind::HealthPing, Priority::High, 0, None, &[])
+}
+
+/// Encodes a reload request carrying the new calibration seed.
+pub fn encode_reload(seed: u64, deadline_ms: u32) -> Vec<u8> {
+    encode_request_raw(
+        ReqKind::Reload,
+        Priority::High,
+        deadline_ms,
+        None,
+        &seed.to_le_bytes(),
+    )
+}
+
+/// Decodes a reload request's seed payload; `None` unless it is
+/// exactly eight bytes.
+pub fn decode_reload_seed(payload: &[u8]) -> Option<u64> {
+    let bytes: [u8; 8] = payload.try_into().ok()?;
+    Some(u64::from_le_bytes(bytes))
 }
 
 /// Parses and validates a request header.
@@ -225,6 +329,8 @@ pub fn parse_request_header(buf: &[u8; HEADER_LEN]) -> Result<RequestHeader, Fra
     let kind = match buf[5] {
         1 => ReqKind::Classify,
         2 => ReqKind::ChaosPanic,
+        3 => ReqKind::HealthPing,
+        4 => ReqKind::Reload,
         k => return Err(FrameError::BadKind(k)),
     };
     let priority = match buf[6] {
@@ -467,6 +573,78 @@ mod tests {
                 .has_trace_id
         );
         assert_eq!(resp.len(), HEADER_LEN);
+    }
+
+    #[test]
+    fn control_ops_round_trip() {
+        let ping = encode_ping();
+        let h = parse_request_header(&header_of(&ping)).unwrap();
+        assert_eq!(h.kind, ReqKind::HealthPing);
+        assert_eq!(h.payload_len, 0);
+        assert_eq!(ping.len(), HEADER_LEN);
+
+        let reload = encode_reload(0xDEAD_BEEF_CAFE, 2_000);
+        let h = parse_request_header(&header_of(&reload)).unwrap();
+        assert_eq!(h.kind, ReqKind::Reload);
+        assert_eq!(h.deadline_ms, 2_000);
+        assert_eq!(h.payload_len, 8);
+        assert_eq!(
+            decode_reload_seed(&reload[HEADER_LEN..]),
+            Some(0xDEAD_BEEF_CAFE)
+        );
+        assert_eq!(decode_reload_seed(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn unknown_op_bytes_are_rejected() {
+        let good = encode_ping();
+        for op in [0u8, 5, 6, 42, 255] {
+            let mut h = header_of(&good);
+            h[5] = op;
+            assert!(
+                matches!(parse_request_header(&h), Err(FrameError::BadKind(k)) if k == op),
+                "op {op} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_state_wire_round_trips() {
+        for state in [
+            ShardState::Ok,
+            ShardState::Degraded,
+            ShardState::Reloading,
+            ShardState::Draining,
+        ] {
+            assert_eq!(ShardState::from_wire(state.wire()), Some(state));
+        }
+        assert_eq!(ShardState::from_wire(4), None);
+        assert!(ShardState::Ok.routable());
+        assert!(ShardState::Reloading.routable());
+        assert!(!ShardState::Draining.routable());
+    }
+
+    #[test]
+    fn raw_request_encapsulation_is_byte_identical() {
+        // A router that re-encodes a parsed request with
+        // `encode_request_raw` must reproduce the original frame
+        // byte-for-byte: deadline, flags, trace ID, and payload all
+        // survive the hop.
+        let image = [0.25f32, -7.5, 11.0];
+        let original =
+            encode_request_traced(ReqKind::Classify, Priority::Low, 777, Some(0xABCD), &image);
+        let h = parse_request_header(&header_of(&original)).unwrap();
+        let ext: [u8; TRACE_ID_LEN] = original[HEADER_LEN..HEADER_LEN + TRACE_ID_LEN]
+            .try_into()
+            .unwrap();
+        let reencoded = encode_request_raw(
+            h.kind,
+            h.priority,
+            h.deadline_ms,
+            Some(decode_trace_id(&ext)),
+            &original[HEADER_LEN + TRACE_ID_LEN..],
+        );
+        assert_eq!(reencoded, original);
     }
 
     #[test]

@@ -40,15 +40,22 @@ mod admin;
 mod client;
 pub mod frame;
 mod queue;
+pub mod router;
 mod server;
 mod telemetry;
 mod worker;
 
 pub use admin::http_get;
-pub use client::{run_load, ClientError, Connection, LoadReport, Reply};
-pub use frame::{FrameError, Priority, ReqKind};
+pub use client::{run_load, ClientError, Connection, LoadReport, ReloadReply, Reply};
+pub use frame::{FrameError, Priority, ReqKind, ShardState};
 pub use queue::{BoundedQueue, Pop, PushError};
-pub use server::{percentiles_us, run, Bound, ServeConfig, ServeError, ServeReport};
+pub use router::{
+    reload_shard, route, BreakerState, ReloadError, RouteConfig, RouteError, RouteReport,
+    ROUTE_HEALTH_SCHEMA,
+};
+pub use server::{
+    percentiles_us, run, run_reloadable, Bound, Reloader, ServeConfig, ServeError, ServeReport,
+};
 pub use telemetry::HEALTH_SCHEMA;
 
 #[cfg(test)]

@@ -247,6 +247,101 @@ mod tests {
         assert!(matches!(popped, Pop::Closed));
     }
 
+    /// The close-then-drain contract under real contention: pushers,
+    /// poppers, and a closer race, and afterwards every item that a
+    /// push accepted was popped exactly once (never dropped, never
+    /// duplicated), while every rejected item was handed back to its
+    /// pusher — i.e. no job can be both answered `Draining` and
+    /// executed, and shutdown loses nothing that was admitted.
+    #[test]
+    fn concurrent_close_then_drain_loses_and_duplicates_nothing() {
+        use std::collections::HashSet;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Mutex;
+
+        const PUSHERS: u64 = 4;
+        const POPPERS: usize = 3;
+        const PER_PUSHER: u64 = 500;
+
+        for round in 0..8u64 {
+            let q: BoundedQueue<u64> = BoundedQueue::new(16);
+            let accepted: Mutex<HashSet<u64>> = Mutex::new(HashSet::new());
+            let rejected: Mutex<HashSet<u64>> = Mutex::new(HashSet::new());
+            let popped: Mutex<HashSet<u64>> = Mutex::new(HashSet::new());
+            let done_pushing = AtomicBool::new(false);
+            std::thread::scope(|s| {
+                for p in 0..PUSHERS {
+                    let (q, accepted, rejected) = (&q, &accepted, &rejected);
+                    s.spawn(move || {
+                        for i in 0..PER_PUSHER {
+                            let item = p * PER_PUSHER + i;
+                            let pri = if item.is_multiple_of(3) {
+                                Priority::Low
+                            } else {
+                                Priority::High
+                            };
+                            match q.try_push(item, pri) {
+                                Ok(()) => {
+                                    accepted.lock().unwrap().insert(item);
+                                }
+                                Err((_, returned)) => {
+                                    // Full or Closed: the item must come
+                                    // back so the caller can answer the
+                                    // client itself.
+                                    assert_eq!(returned, item);
+                                    rejected.lock().unwrap().insert(item);
+                                }
+                            }
+                        }
+                    });
+                }
+                for _ in 0..POPPERS {
+                    let (q, popped, done_pushing) = (&q, &popped, &done_pushing);
+                    s.spawn(move || loop {
+                        match q.pop_timeout(Duration::from_millis(1)) {
+                            Pop::Item(v) => {
+                                assert!(popped.lock().unwrap().insert(v), "item {v} popped twice");
+                            }
+                            Pop::Closed => break,
+                            Pop::Empty => {
+                                // Pre-close an empty pop is routine; the
+                                // popper only exits on Closed, which
+                                // close() guarantees to eventually
+                                // surface.
+                                if done_pushing.load(Ordering::SeqCst) && q.is_empty() {
+                                    // Give close() a chance to land.
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    });
+                }
+                // Close somewhere inside the push storm — the round
+                // number staggers how much work precedes the drain.
+                std::thread::sleep(Duration::from_micros(200 * round));
+                q.close();
+                done_pushing.store(true, Ordering::SeqCst);
+            });
+            let accepted = accepted.into_inner().unwrap();
+            let rejected = rejected.into_inner().unwrap();
+            let popped = popped.into_inner().unwrap();
+            assert_eq!(
+                accepted.len() + rejected.len(),
+                (PUSHERS * PER_PUSHER) as usize,
+                "every push either succeeded or handed its item back"
+            );
+            assert!(
+                accepted.is_disjoint(&rejected),
+                "an item cannot be both accepted and rejected"
+            );
+            assert_eq!(
+                popped, accepted,
+                "drain must surface exactly the accepted items: \
+                 nothing dropped, nothing invented"
+            );
+        }
+    }
+
     #[test]
     fn push_wakes_blocked_poppers() {
         let q: Arc<BoundedQueue<u8>> = Arc::new(BoundedQueue::new(1));

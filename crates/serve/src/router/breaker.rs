@@ -1,0 +1,215 @@
+//! Per-shard circuit breaker: closed → open → half-open → closed.
+//!
+//! The breaker counts *consecutive* failures (connect errors, relay
+//! I/O errors, failed health pings). At `threshold` it opens: the
+//! shard takes no client traffic. After a jittered cooldown — the
+//! deterministic [`RetryPolicy`] backoff stream, so chaos tests replay
+//! schedules exactly — the breaker moves to half-open, where the next
+//! health ping is the probe: success closes the breaker, failure
+//! re-opens it with a longer cooldown. Client requests are never spent
+//! as probes; the active health checker does that job, so a recovering
+//! shard rejoins the rotation without risking a real request.
+
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use mupod_runtime::RetryPolicy;
+
+/// Where the breaker is in its cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: traffic flows, failures are counted.
+    Closed,
+    /// Tripped: no traffic until the cooldown lapses.
+    Open,
+    /// Cooldown lapsed: waiting for one probe to decide.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Lowercase name for metrics and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+struct Inner {
+    state: BreakerState,
+    /// Consecutive failures while closed.
+    failures: u32,
+    /// Times the breaker has opened (backoff stream position).
+    opens: u32,
+    /// When the current open period ends.
+    reopen_at: Instant,
+}
+
+/// What a [`Breaker::on_success`]/[`Breaker::on_failure`] call did,
+/// so the caller can count transitions without re-deriving them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// No state change.
+    None,
+    /// Closed/half-open → open.
+    Opened,
+    /// Half-open → closed (a probe succeeded).
+    Closed,
+}
+
+/// The per-shard breaker (see module docs). All methods take `&self`;
+/// the state sits behind one short mutex.
+pub struct Breaker {
+    inner: Mutex<Inner>,
+    threshold: u32,
+    cooldown: RetryPolicy,
+}
+
+impl Breaker {
+    /// A closed breaker tripping after `threshold` consecutive
+    /// failures, cooling down `cooldown` (scaled by the deterministic
+    /// jitter stream seeded with `seed`, doubling per consecutive
+    /// open).
+    pub fn new(threshold: u32, cooldown: Duration, seed: u64) -> Self {
+        Breaker {
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                failures: 0,
+                opens: 0,
+                reopen_at: Instant::now(),
+            }),
+            threshold: threshold.max(1),
+            cooldown: RetryPolicy {
+                max_attempts: u32::MAX,
+                base_delay: cooldown,
+                max_delay: cooldown.saturating_mul(8),
+                jitter_seed: seed,
+            },
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The current state, promoting open → half-open once the cooldown
+    /// has lapsed (callers observe the promotion, they never cause it
+    /// elsewhere).
+    pub fn state(&self) -> BreakerState {
+        let mut inner = self.lock();
+        if inner.state == BreakerState::Open && Instant::now() >= inner.reopen_at {
+            inner.state = BreakerState::HalfOpen;
+        }
+        inner.state
+    }
+
+    /// Whether client traffic may be routed here right now. Half-open
+    /// admits no client traffic — the health ping is the probe.
+    pub fn allows_traffic(&self) -> bool {
+        self.state() == BreakerState::Closed
+    }
+
+    /// Records a success (relayed reply or healthy ping).
+    pub fn on_success(&self) -> Transition {
+        let mut inner = self.lock();
+        inner.failures = 0;
+        match inner.state {
+            BreakerState::HalfOpen => {
+                inner.state = BreakerState::Closed;
+                Transition::Closed
+            }
+            // A success while open can only be a stale in-flight
+            // attempt finishing late; keep cooling down.
+            BreakerState::Open | BreakerState::Closed => Transition::None,
+        }
+    }
+
+    /// Records a failure (connect/I-O error or failed ping).
+    pub fn on_failure(&self) -> Transition {
+        let mut inner = self.lock();
+        match inner.state {
+            BreakerState::Closed => {
+                inner.failures = inner.failures.saturating_add(1);
+                if inner.failures >= self.threshold {
+                    self.trip(&mut inner);
+                    Transition::Opened
+                } else {
+                    Transition::None
+                }
+            }
+            BreakerState::HalfOpen => {
+                // The probe failed: back to open with a longer cooldown.
+                self.trip(&mut inner);
+                Transition::Opened
+            }
+            BreakerState::Open => Transition::None,
+        }
+    }
+
+    fn trip(&self, inner: &mut Inner) {
+        inner.opens = inner.opens.saturating_add(1);
+        inner.failures = 0;
+        inner.state = BreakerState::Open;
+        inner.reopen_at = Instant::now() + self.cooldown.delay_for(inner.opens);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_breaker(threshold: u32) -> Breaker {
+        Breaker::new(threshold, Duration::from_millis(20), 7)
+    }
+
+    #[test]
+    fn opens_after_consecutive_failures_only() {
+        let b = fast_breaker(3);
+        assert_eq!(b.on_failure(), Transition::None);
+        assert_eq!(b.on_failure(), Transition::None);
+        // A success in between resets the run.
+        assert_eq!(b.on_success(), Transition::None);
+        assert_eq!(b.on_failure(), Transition::None);
+        assert_eq!(b.on_failure(), Transition::None);
+        assert_eq!(b.on_failure(), Transition::Opened);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allows_traffic());
+    }
+
+    #[test]
+    fn cooldown_promotes_to_half_open_then_probe_decides() {
+        let b = fast_breaker(1);
+        assert_eq!(b.on_failure(), Transition::Opened);
+        assert!(!b.allows_traffic());
+        // Wait out the (jittered, ≤ base) cooldown.
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Half-open still takes no client traffic...
+        assert!(!b.allows_traffic());
+        // ...and one successful probe closes it.
+        assert_eq!(b.on_success(), Transition::Closed);
+        assert!(b.allows_traffic());
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_longer_cooldown() {
+        let b = fast_breaker(1);
+        b.on_failure();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.on_failure(), Transition::Opened);
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn open_ignores_stale_results() {
+        let b = fast_breaker(1);
+        b.on_failure();
+        // Late results from attempts launched before the trip must not
+        // flap the breaker.
+        assert_eq!(b.on_success(), Transition::None);
+        assert_eq!(b.on_failure(), Transition::None);
+    }
+}

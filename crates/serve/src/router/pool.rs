@@ -1,0 +1,96 @@
+//! Per-shard pool of idle persistent connections.
+//!
+//! The router keeps the TCP connections it used successfully and
+//! reuses them for later requests, so steady-state forwarding costs no
+//! handshake. The pool is deliberately dumb: a bounded LIFO stack of
+//! streams (most recently used first — the one least likely to have
+//! been idled out by the shard). A connection that sees any error is
+//! dropped, never pooled; a pooled connection that turns out dead
+//! surfaces as an ordinary attempt failure and the retry machinery
+//! handles it.
+
+use std::net::TcpStream;
+use std::sync::{Mutex, PoisonError};
+
+/// Idle connections kept per shard; beyond this, extras just close.
+const MAX_IDLE: usize = 8;
+
+/// The bounded LIFO connection pool (see module docs).
+pub(crate) struct ConnPool {
+    idle: Mutex<Vec<TcpStream>>,
+}
+
+impl ConnPool {
+    pub(crate) fn new() -> Self {
+        ConnPool {
+            idle: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Takes the most recently returned idle connection, if any.
+    pub(crate) fn take(&self) -> Option<TcpStream> {
+        self.idle
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop()
+    }
+
+    /// Returns a healthy connection for reuse; drops it instead when
+    /// the pool is full.
+    pub(crate) fn put(&self, stream: TcpStream) {
+        let mut idle = self.idle.lock().unwrap_or_else(PoisonError::into_inner);
+        if idle.len() < MAX_IDLE {
+            idle.push(stream);
+        }
+    }
+
+    /// Drops every idle connection (used when a shard goes unhealthy,
+    /// so recovery starts from fresh handshakes).
+    pub(crate) fn clear(&self) {
+        self.idle
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+    }
+
+    /// Idle connections currently pooled.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.idle
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair(listener: &TcpListener) -> TcpStream {
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let _server_side = listener.accept().unwrap();
+        client
+    }
+
+    #[test]
+    fn pool_is_lifo_and_bounded() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let pool = ConnPool::new();
+        assert!(pool.take().is_none());
+        for _ in 0..MAX_IDLE + 3 {
+            pool.put(pair(&listener));
+        }
+        assert_eq!(pool.len(), MAX_IDLE, "extras beyond the cap are dropped");
+        let mut drained = 0;
+        while pool.take().is_some() {
+            drained += 1;
+        }
+        assert_eq!(drained, MAX_IDLE);
+        pool.put(pair(&listener));
+        pool.clear();
+        assert_eq!(pool.len(), 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Client side of the hot-reload handshake: what `mupod reload` runs.
+//!
+//! The reload frame goes **directly to the shard**, not through the
+//! router — the router notices the swap passively (health pings report
+//! `Reloading` during the rebuild) and steers traffic to the remaining
+//! shards until the shard reports healthy again. The server side of
+//! the handshake lives in [`crate::server`]; the frame layout in
+//! [`crate::frame`].
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use mupod_runtime::StatusCode;
+
+use crate::client::{ClientError, Connection};
+
+/// Why a reload did not complete.
+#[derive(Debug)]
+pub enum ReloadError {
+    /// Transport or framing failure talking to the shard.
+    Client(ClientError),
+    /// The shard answered, but refused or failed the swap.
+    Rejected {
+        /// The wire status it answered with.
+        status: StatusCode,
+        /// Its diagnostic message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ReloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReloadError::Client(e) => write!(f, "reload transport error: {e}"),
+            ReloadError::Rejected { status, message } => {
+                write!(f, "shard rejected reload ({status}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReloadError::Client(e) => Some(e),
+            ReloadError::Rejected { .. } => None,
+        }
+    }
+}
+
+/// Asks the shard at `addr` to hot-reload its network from `seed`,
+/// blocking until the swap completes (model rebuild plus calibration —
+/// give `timeout` seconds, not milliseconds, of patience). Returns the
+/// shard's new model epoch.
+///
+/// # Errors
+///
+/// [`ReloadError::Client`] on transport problems, otherwise
+/// [`ReloadError::Rejected`] with the shard's diagnostic (unsupported,
+/// dims mismatch, build failure).
+pub fn reload_shard(addr: SocketAddr, seed: u64, timeout: Duration) -> Result<u64, ReloadError> {
+    let deadline_ms = timeout.as_millis().min(u128::from(u32::MAX)) as u32;
+    let mut conn = Connection::connect(addr, timeout).map_err(ReloadError::Client)?;
+    let reply = conn
+        .reload(seed, deadline_ms)
+        .map_err(ReloadError::Client)?;
+    match reply.epoch {
+        Some(epoch) => Ok(epoch),
+        None => Err(ReloadError::Rejected {
+            status: reply.status,
+            message: reply.message.unwrap_or_default(),
+        }),
+    }
+}

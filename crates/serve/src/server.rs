@@ -22,7 +22,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use mupod_nn::Network;
@@ -30,7 +30,7 @@ use mupod_obs::FlightStage;
 use mupod_runtime::{CancelToken, StatusCode};
 
 use crate::admin;
-use crate::frame::{self, FrameError, Priority, ReqKind, HEADER_LEN, TRACE_ID_LEN};
+use crate::frame::{self, FrameError, Priority, ReqKind, ShardState, HEADER_LEN, TRACE_ID_LEN};
 use crate::queue::{BoundedQueue, PushError};
 use crate::telemetry::Telemetry;
 use crate::worker;
@@ -212,9 +212,26 @@ pub(crate) struct Stats {
     pub(crate) batched_requests: AtomicU64,
 }
 
+/// Rebuilds a freshly calibrated [`Network`] from a reload seed; the
+/// CLI injects one that re-runs model build + head calibration. `None`
+/// makes the server answer reload requests `BadRequest`.
+pub type Reloader = dyn Fn(u64) -> Result<Network, String> + Sync;
+
 /// State shared by the listener, every handler and every worker.
 pub(crate) struct Shared {
     pub(crate) queue: BoundedQueue<Job>,
+    /// The served network. Workers hold an [`Arc`] clone and re-check
+    /// [`Self::net_epoch`] between batches, so a reload swap never
+    /// blocks the hot path on this mutex.
+    pub(crate) net: Mutex<Arc<Network>>,
+    /// Bumped once per successful hot reload; workers rebuild their
+    /// arenas when it moves.
+    pub(crate) net_epoch: AtomicU64,
+    /// A reload build is in progress (health pings report `Reloading`).
+    pub(crate) reloading: AtomicBool,
+    /// Serializes concurrent reload requests without holding
+    /// [`Self::net`] across the (slow) rebuild.
+    reload_gate: Mutex<()>,
     /// Level-3 flag: set by SIGINT or a fatal worker error.
     pub(crate) draining: AtomicBool,
     /// Current ladder level (0–2; 3 is `draining`).
@@ -231,9 +248,13 @@ pub(crate) struct Shared {
 }
 
 impl Shared {
-    fn new(cfg: &ServeConfig) -> Self {
+    fn new(net: Network, cfg: &ServeConfig) -> Self {
         Self {
             queue: BoundedQueue::new(cfg.queue_depth.max(1)),
+            net: Mutex::new(Arc::new(net)),
+            net_epoch: AtomicU64::new(0),
+            reloading: AtomicBool::new(false),
+            reload_gate: Mutex::new(()),
             draining: AtomicBool::new(false),
             degrade: AtomicU8::new(0),
             crashes: AtomicU32::new(0),
@@ -241,6 +262,27 @@ impl Shared {
             latencies_us: Mutex::new(Vec::new()),
             stats: Stats::default(),
             telemetry: Telemetry::new(),
+        }
+    }
+
+    /// The currently served network (cheap Arc clone).
+    pub(crate) fn current_net(&self) -> Arc<Network> {
+        self.net
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// What a health ping should report right now.
+    pub(crate) fn shard_state(&self) -> ShardState {
+        if self.is_draining() {
+            ShardState::Draining
+        } else if self.reloading.load(Ordering::SeqCst) {
+            ShardState::Reloading
+        } else if self.degrade.load(Ordering::SeqCst) > 0 {
+            ShardState::Degraded
+        } else {
+            ShardState::Ok
         }
     }
 
@@ -311,6 +353,26 @@ pub fn run(
     token: &CancelToken,
     on_ready: impl FnOnce(Bound),
 ) -> Result<ServeReport, ServeError> {
+    run_reloadable(net.clone(), cfg, token, None, on_ready)
+}
+
+/// [`run`], plus hot model reload: when `reloader` is `Some`, a
+/// `Reload` frame rebuilds the network from the carried seed on the
+/// requesting connection's thread and swaps it in atomically. Workers
+/// pick the new network up at their next batch boundary; requests
+/// already queued or in flight finish on whichever network they
+/// dequeued with, so zero accepted requests are dropped.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_reloadable(
+    net: Network,
+    cfg: &ServeConfig,
+    token: &CancelToken,
+    reloader: Option<&Reloader>,
+    on_ready: impl FnOnce(Bound),
+) -> Result<ServeReport, ServeError> {
     let bind = |addr: &str| -> Result<(TcpListener, SocketAddr), ServeError> {
         let to_err = |source| ServeError::Bind {
             addr: addr.to_string(),
@@ -333,7 +395,7 @@ pub fn run(
             ("max_batch", &cfg.max_batch.to_string()),
         ],
     );
-    let shared = Shared::new(cfg);
+    let shared = Shared::new(net, cfg);
     on_ready(Bound {
         addr: local,
         metrics_addr: metrics.as_ref().map(|(_, a)| *a),
@@ -341,7 +403,7 @@ pub fn run(
     std::thread::scope(|s| {
         let shared = &shared;
         for idx in 0..cfg.workers.max(1) {
-            s.spawn(move || worker::worker_loop(idx, net, cfg, shared));
+            s.spawn(move || worker::worker_loop(idx, cfg, shared));
         }
         if let Some((metrics_listener, _)) = metrics {
             s.spawn(move || admin::admin_loop(&metrics_listener, cfg, shared));
@@ -353,7 +415,7 @@ pub fn run(
             match listener.accept() {
                 Ok((stream, _peer)) => {
                     mupod_obs::counter_add("serve.connections", 1);
-                    s.spawn(move || handle_conn(stream, net, cfg, shared));
+                    s.spawn(move || handle_conn(stream, cfg, shared, reloader));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(POLL);
@@ -431,8 +493,15 @@ fn ladder_level(queue_len: usize, capacity: usize) -> u8 {
 
 /// Per-connection loop: poll for a frame, serve it, repeat until the
 /// peer leaves, the frame stream goes bad, or the server drains.
-fn handle_conn(mut stream: TcpStream, net: &Network, cfg: &ServeConfig, shared: &Shared) {
-    let expected_elems: usize = net.input_dims().iter().product();
+/// Input dims are a reload invariant (a dims-changing reload is
+/// rejected), so the expected element count is computed once.
+fn handle_conn(
+    mut stream: TcpStream,
+    cfg: &ServeConfig,
+    shared: &Shared,
+    reloader: Option<&Reloader>,
+) {
+    let expected_elems: usize = shared.current_net().input_dims().iter().product();
     let _ = stream.set_nodelay(true);
     if stream.set_read_timeout(Some(POLL)).is_err() {
         return;
@@ -446,7 +515,7 @@ fn handle_conn(mut stream: TcpStream, net: &Network, cfg: &ServeConfig, shared: 
         match stream.read(&mut first) {
             Ok(0) => break,
             Ok(_) => {
-                if !serve_one(&mut stream, first[0], expected_elems, cfg, shared) {
+                if !serve_one(&mut stream, first[0], expected_elems, cfg, shared, reloader) {
                     break;
                 }
             }
@@ -546,6 +615,7 @@ fn serve_one(
     expected_elems: usize,
     cfg: &ServeConfig,
     shared: &Shared,
+    reloader: Option<&Reloader>,
 ) -> bool {
     let frame_deadline = Instant::now() + FRAME_READ_TIMEOUT;
     let mut header = [0u8; HEADER_LEN];
@@ -588,6 +658,30 @@ fn serve_one(
             if !cfg.chaos {
                 return reject_bad_frame(stream, shared, &FrameError::BadKind(2));
             }
+        }
+        // Control ops are answered inline on the handler thread — they
+        // never enter the queue, so they work even under full-queue
+        // pressure and (for pings) report the drain honestly.
+        ReqKind::HealthPing => {
+            let state = shared.shard_state();
+            return write_response(stream, shared, StatusCode::Ok, trace_id, &[state.wire()]);
+        }
+        ReqKind::Reload => {
+            if h.payload_len != 8 {
+                return reject_bad_frame(
+                    stream,
+                    shared,
+                    &FrameError::WrongPayloadLen {
+                        got: h.payload_len,
+                        want: 8,
+                    },
+                );
+            }
+            let Some(seed) = frame::decode_reload_seed(&payload) else {
+                return reject_bad_frame(stream, shared, &FrameError::Truncated);
+            };
+            let (status, body) = do_reload(seed, shared, reloader);
+            return write_response(stream, shared, status, trace_id, &body);
         }
     }
     if shared.is_draining() {
@@ -739,6 +833,72 @@ fn serve_one(
         .flight
         .record(trace_id, FlightStage::Reply, -1, status.wire());
     write_response(stream, shared, status, trace_id, &body)
+}
+
+/// The drain-and-swap reload handshake: rebuild from the seed (slow,
+/// on the requesting connection's thread, gate held so concurrent
+/// reloads serialize), verify the input dims are unchanged, then swap
+/// the [`Arc`] and bump the epoch. The OK payload is the new epoch as
+/// 8 LE bytes; every failure is `BadRequest` with a diagnostic and the
+/// old network stays in service untouched.
+fn do_reload(seed: u64, shared: &Shared, reloader: Option<&Reloader>) -> (StatusCode, Vec<u8>) {
+    let Some(reloader) = reloader else {
+        return (
+            StatusCode::BadRequest,
+            b"reload not supported by this server".to_vec(),
+        );
+    };
+    let _gate = shared
+        .reload_gate
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    shared.reloading.store(true, Ordering::SeqCst);
+    mupod_obs::event(
+        mupod_obs::Level::Info,
+        "serve.reload_begin",
+        &[("seed", &seed.to_string())],
+    );
+    let outcome = match reloader(seed) {
+        Ok(new_net) => {
+            let old_dims = shared.current_net().input_dims().to_vec();
+            if new_net.input_dims() != old_dims.as_slice() {
+                (
+                    StatusCode::BadRequest,
+                    format!(
+                        "reload changed input dims {:?} -> {:?}; rejected",
+                        old_dims,
+                        new_net.input_dims()
+                    )
+                    .into_bytes(),
+                )
+            } else {
+                *shared.net.lock().unwrap_or_else(PoisonError::into_inner) = Arc::new(new_net);
+                let epoch = shared
+                    .net_epoch
+                    .fetch_add(1, Ordering::SeqCst)
+                    .wrapping_add(1);
+                mupod_obs::event(
+                    mupod_obs::Level::Info,
+                    "serve.reloaded",
+                    &[("seed", &seed.to_string()), ("epoch", &epoch.to_string())],
+                );
+                (StatusCode::Ok, epoch.to_le_bytes().to_vec())
+            }
+        }
+        Err(msg) => (
+            StatusCode::BadRequest,
+            format!("reload failed: {msg}").into_bytes(),
+        ),
+    };
+    if outcome.0 != StatusCode::Ok {
+        mupod_obs::event(
+            mupod_obs::Level::Warn,
+            "serve.reload_rejected",
+            &[("seed", &seed.to_string())],
+        );
+    }
+    shared.reloading.store(false, Ordering::SeqCst);
+    outcome
 }
 
 #[cfg(test)]

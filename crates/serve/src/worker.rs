@@ -18,7 +18,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
-use std::sync::PoisonError;
+use std::sync::{Arc, PoisonError};
 use std::time::{Duration, Instant};
 
 use mupod_nn::{BatchArena, Network};
@@ -53,11 +53,28 @@ fn effective_max_batch(cfg: &ServeConfig, shared: &Shared) -> usize {
 }
 
 /// One worker thread's whole life: runs until the queue closes and
-/// drains dry.
-pub(crate) fn worker_loop(idx: usize, net: &Network, cfg: &ServeConfig, shared: &Shared) {
-    let mut arena = BatchArena::for_network(net, cfg.max_batch.max(1));
+/// drains dry. The served network is re-checked at every batch
+/// boundary: when a hot reload bumps the epoch, the worker picks up
+/// the new `Arc<Network>` and rebuilds its arena before the next
+/// batch — jobs already collected ran on the old network, which stays
+/// alive through the `Arc` until the last holder drops it.
+pub(crate) fn worker_loop(idx: usize, cfg: &ServeConfig, shared: &Shared) {
+    let mut epoch = shared.net_epoch.load(Ordering::SeqCst);
+    let mut net: Arc<Network> = shared.current_net();
+    let mut arena = BatchArena::for_network(&net, cfg.max_batch.max(1));
     let policy = restart_policy(idx);
     loop {
+        let now_epoch = shared.net_epoch.load(Ordering::SeqCst);
+        if now_epoch != epoch {
+            epoch = now_epoch;
+            net = shared.current_net();
+            arena = BatchArena::for_network(&net, cfg.max_batch.max(1));
+            mupod_obs::event(
+                mupod_obs::Level::Info,
+                "serve.worker_reloaded",
+                &[("worker", &idx.to_string()), ("epoch", &epoch.to_string())],
+            );
+        }
         let job = match shared.queue.pop_timeout(POLL) {
             Pop::Closed => break,
             Pop::Empty => continue,
@@ -77,7 +94,7 @@ pub(crate) fn worker_loop(idx: usize, net: &Network, cfg: &ServeConfig, shared: 
                 .flight
                 .record(job.trace_id, FlightStage::Dequeue, idx as i64, 0);
         }
-        process_batch(idx, net, cfg, shared, &mut arena, batch, &policy);
+        process_batch(idx, &net, cfg, shared, &mut arena, batch, &policy);
     }
 }
 
