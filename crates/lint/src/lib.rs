@@ -14,16 +14,26 @@
 //! | `unsafe-needs-safety-comment` | every `unsafe` carries a `// SAFETY:` justification |
 //! | `no-float-eq` | no `==`/`!=` against float operands outside `mupod-stats` |
 //! | `error-enum-contract` | every `pub enum *Error` implements `Display` + `Error` |
+//! | `lock-order-cycle` | the workspace-wide lock acquisition graph is acyclic (no potential deadlocks) |
+//! | `no-blocking-under-lock` | no sleep/join/accept/recv/connect/I-O while a guard is live |
+//! | `atomic-ordering-contract` | weak orderings on non-counter atomics carry `// ordering:` comments; `SeqCst` counters are perf smells |
+//! | `status-code-exhaustive` | every `StatusCode` variant is in the wire table, `describe()`, and DESIGN.md |
 //!
-//! Escape hatch: `// lint:allow(rule-name) reason=why` on (or directly
-//! above) the offending line. Escapes without a reason are themselves
-//! violations; all escapes are counted in the summary. See DESIGN.md §10.
+//! The first five are per-file token checks; the concurrency rules run a
+//! guard-scope dataflow pass per file ([`scope`]) and assemble a
+//! workspace-wide lock graph here. Escape hatch:
+//! `// lint:allow(rule-name) reason=why` on (or directly above) the
+//! offending line. Escapes without a reason are themselves violations;
+//! stale escapes are warnings (errors under `--strict`). See DESIGN.md
+//! §10 and §15.
 
 pub mod lexer;
 pub mod rules;
+pub mod scope;
 
-use rules::{check_file, FileContext, FileReport, RULE_NAMES};
-use std::collections::BTreeMap;
+use rules::{check_file, Escape, FileContext, FileReport, RULE_NAMES};
+use scope::GENERIC_CALLEES;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 /// A violation tagged with the file it occurred in.
@@ -63,12 +73,20 @@ pub struct LintReport {
     pub files_scanned: usize,
     /// Number of crates (directories) visited.
     pub crates_scanned: usize,
+    /// Strict mode: stale escapes render as errors and fail the run.
+    pub strict: bool,
 }
 
 impl LintReport {
     /// Whether the workspace satisfies every invariant.
     pub fn is_clean(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// [`LintReport::is_clean`] plus: no stale escape hatches. This is
+    /// what `--strict` (and the `lint-invariants` CI job) gates on.
+    pub fn is_clean_strict(&self) -> bool {
+        self.is_clean() && self.escapes_unused.is_empty()
     }
 
     /// Renders diagnostics, the per-rule summary table and the verdict.
@@ -79,9 +97,10 @@ impl LintReport {
             let _ = writeln!(out, "{v}");
         }
         for w in &self.escapes_unused {
+            let severity = if self.strict { "error" } else { "warning" };
             let _ = writeln!(
                 out,
-                "{}:{}: warning: unused lint:allow({}) — nothing to suppress here",
+                "{}:{}: {severity}: unused lint:allow({}) — nothing to suppress here",
                 w.path, w.line, w.rule
             );
         }
@@ -124,21 +143,23 @@ impl LintReport {
             );
         }
         let total_escapes: usize = self.escapes_used.values().sum();
-        if self.is_clean() {
-            let _ = writeln!(
-                out,
-                "mupod-lint: PASS ({} violations, {} explained escapes)",
-                self.violations.len(),
-                total_escapes
-            );
+        let pass = if self.strict {
+            self.is_clean_strict()
         } else {
-            let _ = writeln!(
-                out,
-                "mupod-lint: FAIL ({} violations, {} explained escapes)",
-                self.violations.len(),
-                total_escapes
-            );
-        }
+            self.is_clean()
+        };
+        let stale = if self.strict && !self.escapes_unused.is_empty() {
+            format!(", {} stale escapes", self.escapes_unused.len())
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "mupod-lint: {} ({} violations, {} explained escapes{stale})",
+            if pass { "PASS" } else { "FAIL" },
+            self.violations.len(),
+            total_escapes
+        );
         out
     }
 }
@@ -223,12 +244,18 @@ pub fn lint_workspace(root: &Path) -> Result<LintReport, LintError> {
         crates_scanned,
         ..LintReport::default()
     };
+    // Escapes are tallied only after the workspace-level rules run, so
+    // an allow escape for lock-order-cycle on a cycle's witness line
+    // both suppresses the diagnostic and counts as used.
+    let mut escapes: Vec<(String, Escape)> = Vec::new();
+    let mut lock_graph = LockGraph::default();
     for file in &files {
         let src =
             std::fs::read_to_string(&file.abs).map_err(|e| LintError::Io(file.abs.clone(), e))?;
         let FileReport {
             violations,
-            escapes,
+            escapes: file_escapes,
+            concurrency,
         } = check_file(&file.ctx, &src);
         report.files_scanned += 1;
         for v in violations {
@@ -239,20 +266,402 @@ pub fn lint_workspace(root: &Path) -> Result<LintReport, LintError> {
                 message: v.message,
             });
         }
-        for e in escapes {
-            if e.used {
-                *report.escapes_used.entry(e.rule).or_insert(0) += 1;
-            } else if e.has_reason {
-                report.escapes_unused.push(Diagnostic {
-                    path: file.rel.clone(),
-                    rule: e.rule,
-                    line: e.comment_line,
-                    message: String::new(),
-                });
-            }
+        for e in file_escapes {
+            escapes.push((file.rel.clone(), e));
+        }
+        if let Some(conc) = concurrency {
+            lock_graph.absorb(&file.rel, conc);
+        }
+    }
+
+    // Workspace-level rules: the lock-acquisition graph and the shared
+    // status-code table contract.
+    let mut workspace_diags = lock_graph.cycle_diagnostics();
+    check_status_codes(root, &mut workspace_diags);
+    for d in workspace_diags {
+        let escaped = escapes.iter_mut().find(|(path, e)| {
+            *path == d.path && e.has_reason && e.rule == d.rule && e.effective_line == d.line
+        });
+        match escaped {
+            Some((_, e)) => e.used = true,
+            None => report.violations.push(d),
+        }
+    }
+
+    for (path, e) in escapes {
+        if e.used {
+            *report.escapes_used.entry(e.rule).or_insert(0) += 1;
+        } else if e.has_reason {
+            report.escapes_unused.push(Diagnostic {
+                path,
+                rule: e.rule,
+                line: e.comment_line,
+                message: String::new(),
+            });
         }
     }
     Ok(report)
+}
+
+/// One witness for a lock-graph edge: where lock `to` was (or would
+/// transitively be) acquired with `from` held.
+#[derive(Debug, Clone)]
+struct EdgeWitness {
+    path: String,
+    line: u32,
+    /// Interprocedural edges record the call that pulls the lock in.
+    via: Option<String>,
+}
+
+/// The workspace-wide lock-acquisition graph (DESIGN.md §15): nodes are
+/// `file_stem::receiver` lock identities, a `A -> B` edge means some
+/// thread acquires B while holding A. A cycle is a potential deadlock.
+#[derive(Debug, Default)]
+struct LockGraph {
+    /// `from -> to -> first witness`, all BTree for deterministic order.
+    edges: BTreeMap<String, BTreeMap<String, EdgeWitness>>,
+    /// Named calls made while holding a lock, pending resolution.
+    held_calls: Vec<(String, scope::HeldCall)>,
+    /// Function name -> locks it acquires directly / functions it calls.
+    fn_locks: BTreeMap<String, BTreeSet<String>>,
+    fn_calls: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl LockGraph {
+    fn add_edge(&mut self, from: &str, to: &str, witness: EdgeWitness) {
+        self.edges
+            .entry(from.to_string())
+            .or_default()
+            .entry(to.to_string())
+            .or_insert(witness);
+    }
+
+    /// Folds one file's guard-scope analysis into the graph.
+    fn absorb(&mut self, path: &str, conc: scope::Concurrency) {
+        for e in &conc.edges {
+            self.add_edge(
+                &e.held,
+                &e.acquired,
+                EdgeWitness {
+                    path: path.to_string(),
+                    line: e.line,
+                    via: None,
+                },
+            );
+        }
+        for hc in conc.held_calls {
+            self.held_calls.push((path.to_string(), hc));
+        }
+        for (name, summary) in conc.fns {
+            self.fn_locks
+                .entry(name.clone())
+                .or_default()
+                .extend(summary.locks);
+            self.fn_calls.entry(name).or_default().extend(summary.calls);
+        }
+    }
+
+    /// Propagates locks through the name-matched call graph to a
+    /// fixpoint (`locks(f) ⊇ locks(g)` for every callee `g` of `f`),
+    /// then materializes interprocedural edges from held calls. Callee
+    /// matching is by bare name, so [`GENERIC_CALLEES`] are excluded to
+    /// keep `vec.len()` from inheriting `BoundedQueue::len`'s locks.
+    fn propagate(&mut self) {
+        for _ in 0..20 {
+            let mut changed = false;
+            let snapshot = self.fn_locks.clone();
+            for (f, calls) in &self.fn_calls {
+                for c in calls {
+                    if GENERIC_CALLEES.contains(&c.as_str()) {
+                        continue;
+                    }
+                    if let Some(callee_locks) = snapshot.get(c) {
+                        let mine = self.fn_locks.entry(f.clone()).or_default();
+                        for l in callee_locks {
+                            changed |= mine.insert(l.clone());
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let held_calls = std::mem::take(&mut self.held_calls);
+        for (path, hc) in held_calls {
+            let Some(locks) = self.fn_locks.get(&hc.callee) else {
+                continue;
+            };
+            for l in locks.clone() {
+                if l != hc.held {
+                    self.add_edge(
+                        &hc.held,
+                        &l,
+                        EdgeWitness {
+                            path: path.clone(),
+                            line: hc.line,
+                            via: Some(hc.callee.clone()),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Runs propagation, then reports one diagnostic per elementary
+    /// cycle, anchored at the cycle's first witness edge and carrying
+    /// the full cycle path.
+    fn cycle_diagnostics(mut self) -> Vec<Diagnostic> {
+        self.propagate();
+        let mut cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+        let nodes: Vec<String> = self.edges.keys().cloned().collect();
+        for start in &nodes {
+            let mut stack: Vec<String> = Vec::new();
+            let mut on_stack: BTreeSet<String> = BTreeSet::new();
+            self.dfs(start, &mut stack, &mut on_stack, &mut cycles);
+        }
+        let mut out = Vec::new();
+        for cycle in cycles {
+            let mut legs = Vec::new();
+            let mut witness: Option<EdgeWitness> = None;
+            for (i, from) in cycle.iter().enumerate() {
+                let to = &cycle[(i + 1) % cycle.len()];
+                if let Some(w) = self.edges.get(from).and_then(|m| m.get(to)) {
+                    let via = w
+                        .via
+                        .as_ref()
+                        .map(|v| format!(" via `{v}()`"))
+                        .unwrap_or_default();
+                    legs.push(format!("`{to}` acquired at {}:{}{via}", w.path, w.line));
+                    if witness.is_none() {
+                        witness = Some(w.clone());
+                    }
+                }
+            }
+            let Some(w) = witness else { continue };
+            let path_str = cycle
+                .iter()
+                .chain(std::iter::once(&cycle[0]))
+                .cloned()
+                .collect::<Vec<_>>()
+                .join(" -> ");
+            out.push(Diagnostic {
+                path: w.path,
+                rule: "lock-order-cycle".into(),
+                line: w.line,
+                message: format!(
+                    "lock acquisition cycle {path_str} — a potential deadlock; \
+                     impose one order (DESIGN.md §15). Edges: {}",
+                    legs.join("; ")
+                ),
+            });
+        }
+        out
+    }
+
+    /// DFS collecting elementary cycles, normalized to start at their
+    /// lexicographically smallest node so each is reported once.
+    fn dfs(
+        &self,
+        node: &str,
+        stack: &mut Vec<String>,
+        on_stack: &mut BTreeSet<String>,
+        cycles: &mut BTreeSet<Vec<String>>,
+    ) {
+        if on_stack.contains(node) {
+            let pos = stack.iter().position(|n| n == node).unwrap_or(0);
+            let mut cycle: Vec<String> = stack[pos..].to_vec();
+            if cycle.is_empty() {
+                return;
+            }
+            let min = cycle
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, n)| n.as_str())
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            cycle.rotate_left(min);
+            cycles.insert(cycle);
+            return;
+        }
+        if stack.len() > 64 {
+            return; // depth guard; lock graphs are tiny
+        }
+        stack.push(node.to_string());
+        on_stack.insert(node.to_string());
+        if let Some(nexts) = self.edges.get(node) {
+            for next in nexts.keys() {
+                self.dfs(next, stack, on_stack, cycles);
+            }
+        }
+        stack.pop();
+        on_stack.remove(node);
+    }
+}
+
+/// The `status-code-exhaustive` rule: every variant of the shared
+/// `StatusCode` enum (crates/runtime/src/exit.rs) must appear in the
+/// `ALL_STATUS_CODES` wire lookup table, the `describe()` mapping, and
+/// DESIGN.md. Absent files (miniature fixture workspaces) skip the
+/// corresponding check.
+fn check_status_codes(root: &Path, out: &mut Vec<Diagnostic>) {
+    let rel = "crates/runtime/src/exit.rs";
+    let exit_path = root.join(rel);
+    let Ok(src) = std::fs::read_to_string(&exit_path) else {
+        return;
+    };
+    let toks = lexer::lex(&src).toks;
+    let variants = enum_variants(&toks, "StatusCode");
+    if variants.is_empty() {
+        return;
+    }
+    let wire_table = idents_in_const(&toks, "ALL_STATUS_CODES");
+    let describe = idents_in_fn(&toks, "describe");
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).ok();
+    for (name, line) in variants {
+        let mut missing = Vec::new();
+        if !wire_table.contains(&name) {
+            missing.push("the `ALL_STATUS_CODES` wire table");
+        }
+        if !describe.contains(&name) {
+            missing.push("the `describe()` mapping");
+        }
+        if design.as_deref().is_some_and(|d| !mentions_word(d, &name)) {
+            missing.push("DESIGN.md");
+        }
+        if !missing.is_empty() {
+            out.push(Diagnostic {
+                path: rel.to_string(),
+                rule: "status-code-exhaustive".into(),
+                line,
+                message: format!(
+                    "`StatusCode::{name}` is missing from {}; the status \
+                     table must stay exhaustive everywhere it is mirrored",
+                    missing.join(" and ")
+                ),
+            });
+        }
+    }
+}
+
+/// Variant names (with lines) of `enum <name> { ... }`.
+fn enum_variants(toks: &[lexer::Tok], name: &str) -> Vec<(String, u32)> {
+    use lexer::TokKind;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].text != "enum" || toks.get(i + 1).is_none_or(|t| t.text != name) {
+            continue;
+        }
+        let Some(open) = toks[i..].iter().position(|t| t.text == "{").map(|p| p + i) else {
+            continue;
+        };
+        let mut depth = 0i64;
+        let mut expect_variant = true;
+        for t in &toks[open..] {
+            match t.text.as_str() {
+                "{" | "(" => depth += 1,
+                "}" | ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "," if depth == 1 => expect_variant = true,
+                "=" => {}
+                _ => {
+                    if depth == 1 && expect_variant && t.kind == TokKind::Ident {
+                        out.push((t.text.clone(), t.line));
+                        expect_variant = false;
+                    }
+                }
+            }
+        }
+        break;
+    }
+    out
+}
+
+/// Identifiers inside the first `open ... close` block after `anchor`.
+fn idents_in_delimited(
+    toks: &[lexer::Tok],
+    anchor: &str,
+    open: &str,
+    close: &str,
+) -> BTreeSet<String> {
+    use lexer::TokKind;
+    let mut out = BTreeSet::new();
+    let Some(a) = toks.iter().position(|t| t.text == anchor) else {
+        return out;
+    };
+    let Some(start) = toks[a..].iter().position(|t| t.text == open).map(|p| p + a) else {
+        return out;
+    };
+    let mut depth = 0i64;
+    for t in &toks[start..] {
+        if t.text == open {
+            depth += 1;
+        } else if t.text == close {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.kind == TokKind::Ident {
+            out.insert(t.text.clone());
+        }
+    }
+    out
+}
+
+/// Identifiers in the initializer of `const <name>: ... = ...;` — scanning
+/// starts after the `=` so the type annotation (e.g. `&[StatusCode]`) is
+/// not mistaken for the value.
+fn idents_in_const(toks: &[lexer::Tok], name: &str) -> BTreeSet<String> {
+    use lexer::TokKind;
+    let mut out = BTreeSet::new();
+    let Some(a) = toks.iter().position(|t| t.text == name) else {
+        return out;
+    };
+    let Some(eq) = toks[a..].iter().position(|t| t.text == "=").map(|p| p + a) else {
+        return out;
+    };
+    for t in &toks[eq..] {
+        if t.text == ";" {
+            break;
+        }
+        if t.kind == TokKind::Ident {
+            out.insert(t.text.clone());
+        }
+    }
+    out
+}
+
+/// Identifiers inside the body of `fn <name>`.
+fn idents_in_fn(toks: &[lexer::Tok], name: &str) -> BTreeSet<String> {
+    for i in 0..toks.len() {
+        if toks[i].text == "fn" && toks.get(i + 1).is_some_and(|t| t.text == name) {
+            return idents_in_delimited(&toks[i..], name, "{", "}");
+        }
+    }
+    BTreeSet::new()
+}
+
+/// Word-boundary mention of `word` in prose.
+fn mentions_word(text: &str, word: &str) -> bool {
+    let bytes = text.as_bytes();
+    let mut from = 0;
+    while let Some(p) = text[from..].find(word) {
+        let start = from + p;
+        let end = start + word.len();
+        let pre = start
+            .checked_sub(1)
+            .map(|i| bytes[i].is_ascii_alphanumeric());
+        let post = bytes.get(end).map(|b| b.is_ascii_alphanumeric());
+        if pre != Some(true) && post != Some(true) {
+            return true;
+        }
+        from = end;
+    }
+    false
 }
 
 /// Collects the scannable trees of one member crate.
@@ -300,11 +709,28 @@ fn collect_tree(
                 .unwrap_or(&entry)
                 .to_string_lossy()
                 .into_owned();
+            // `lib.rs`/`main.rs`/`mod.rs` stems would alias across
+            // crates as lock qualifiers; use the enclosing directory
+            // (or the crate) instead: `router/mod.rs` -> `router`.
+            let mut file_stem = name.trim_end_matches(".rs").to_string();
+            if matches!(file_stem.as_str(), "lib" | "main" | "mod") {
+                let parent = entry
+                    .parent()
+                    .and_then(|p| p.file_name())
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                file_stem = if parent.is_empty() || parent == "src" {
+                    crate_key.to_string()
+                } else {
+                    parent
+                };
+            }
             files.push(SourceFile {
                 abs: entry.clone(),
                 rel,
                 ctx: FileContext {
                     crate_key: crate_key.to_string(),
+                    file_stem,
                     is_test_code,
                 },
             });

@@ -1,13 +1,15 @@
-//! The `mupod-lint` binary: `cargo run -p mupod-lint [-- --root DIR]`.
+//! The `mupod-lint` binary: `cargo run -p mupod-lint [-- --root DIR] [--strict]`.
 //!
 //! Exit codes: 0 — every invariant holds (all escapes explained);
-//! 1 — violations found; 2 — usage or I/O error.
+//! 1 — violations found (under `--strict`, stale escapes too);
+//! 2 — usage or I/O error.
 
 use std::path::PathBuf;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut root: Option<PathBuf> = None;
+    let mut strict = false;
     let mut i = 0usize;
     while i < args.len() {
         match args[i].as_str() {
@@ -19,13 +21,18 @@ fn main() {
                 root = Some(PathBuf::from(value));
                 i += 2;
             }
+            "--strict" => {
+                strict = true;
+                i += 1;
+            }
             "--help" | "-h" => {
                 println!(
-                    "mupod-lint — workspace invariant checker (DESIGN.md §10)\n\n\
-                     USAGE: mupod-lint [--root DIR]\n\n\
-                     Scans every crate for violations of the project's five\n\
+                    "mupod-lint — workspace invariant checker (DESIGN.md §10, §15)\n\n\
+                     USAGE: mupod-lint [--root DIR] [--strict]\n\n\
+                     Scans every crate for violations of the project's nine\n\
                      invariant rules and exits non-zero on any violation or\n\
-                     unexplained `lint:allow` escape."
+                     unexplained `lint:allow` escape. With --strict, stale\n\
+                     escapes (suppressing nothing) are errors too."
                 );
                 return;
             }
@@ -37,9 +44,15 @@ fn main() {
     }
     let root = root.unwrap_or_else(find_workspace_root);
     match mupod_lint::lint_workspace(&root) {
-        Ok(report) => {
+        Ok(mut report) => {
+            report.strict = strict;
             print!("{}", report.render());
-            if !report.is_clean() {
+            let clean = if strict {
+                report.is_clean_strict()
+            } else {
+                report.is_clean()
+            };
+            if !clean {
                 std::process::exit(1);
             }
         }

@@ -6,6 +6,7 @@
 //! DESIGN.md §10 is the human-readable contract this module enforces.
 
 use crate::lexer::{lex, Comment, Tok, TokKind};
+use crate::scope::{self, Concurrency};
 
 /// All rule names, in the order they are reported.
 pub const RULE_NAMES: &[&str] = &[
@@ -14,6 +15,10 @@ pub const RULE_NAMES: &[&str] = &[
     "unsafe-needs-safety-comment",
     "no-float-eq",
     "error-enum-contract",
+    "lock-order-cycle",
+    "no-blocking-under-lock",
+    "atomic-ordering-contract",
+    "status-code-exhaustive",
 ];
 
 /// Crates whose non-test code sits on the panic-free
@@ -73,6 +78,9 @@ pub struct FileReport {
     pub violations: Vec<Violation>,
     /// All well-formed escapes found, with usage marked.
     pub escapes: Vec<Escape>,
+    /// Guard-scope analysis (lock edges, held calls, fn summaries) for
+    /// the workspace-level lock-graph pass; `None` for test code.
+    pub concurrency: Option<Concurrency>,
 }
 
 /// Where a file sits in the workspace, for rule scoping.
@@ -81,6 +89,9 @@ pub struct FileContext {
     /// Directory name under `crates/` (`core`, `cli`, ...), `mupod` for
     /// the root facade, or `workspace` for root-level tests/examples.
     pub crate_key: String,
+    /// File stem (`queue` for `queue.rs`); qualifies lock identities so
+    /// two crates' `inner` fields never alias in the lock graph.
+    pub file_stem: String,
     /// True for files under a `tests/` or `benches/` directory, and for
     /// examples: integration-test style code where the panic/IO/float
     /// rules do not apply (the unsafe rule still does).
@@ -131,6 +142,7 @@ pub fn check_file(ctx: &FileContext, src: &str) -> FileReport {
             "unsafe-needs-safety-comment" => true,
             "no-float-eq" => !ctx.is_test_code && ctx.crate_key != FLOAT_EQ_OWNER,
             "error-enum-contract" => !ctx.is_test_code,
+            "no-blocking-under-lock" | "atomic-ordering-contract" => !ctx.is_test_code,
             _ => false,
         }
     };
@@ -150,6 +162,18 @@ pub fn check_file(ctx: &FileContext, src: &str) -> FileReport {
     if in_scope("error-enum-contract") {
         rule_error_enum_contract(toks, &exempt, &mut raw);
     }
+    let concurrency = if !ctx.is_test_code {
+        let conc = scope::analyze(&ctx.file_stem, toks, &exempt);
+        if in_scope("no-blocking-under-lock") {
+            rule_no_blocking_under_lock(&conc, &mut raw);
+        }
+        Some(conc)
+    } else {
+        None
+    };
+    if in_scope("atomic-ordering-contract") {
+        rule_atomic_ordering_contract(toks, &lexed.comments, &exempt, &mut raw);
+    }
 
     // Apply escapes: a violation on an escaped (rule, line) is
     // suppressed; escapes without a reason never suppress anything.
@@ -167,6 +191,7 @@ pub fn check_file(ctx: &FileContext, src: &str) -> FileReport {
     FileReport {
         violations: surviving,
         escapes,
+        concurrency,
     }
 }
 
@@ -567,6 +592,131 @@ fn rule_error_enum_contract(toks: &[Tok], exempt: &[bool], out: &mut Vec<Violati
     }
 }
 
+// ---------------------------------------------------------------------
+// Rule 6: no-blocking-under-lock
+// ---------------------------------------------------------------------
+
+fn rule_no_blocking_under_lock(conc: &Concurrency, out: &mut Vec<Violation>) {
+    for b in &conc.blocking {
+        out.push(Violation {
+            rule: "no-blocking-under-lock".into(),
+            line: b.line,
+            message: format!(
+                "{} while guard of `{}` (acquired line {}) is live; drop the \
+                 guard first or move the blocking call out of the critical \
+                 section (DESIGN.md §15)",
+                b.what, b.held, b.held_line
+            ),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 7: atomic-ordering-contract
+// ---------------------------------------------------------------------
+
+/// How many lines above an `Ordering::` use an `// ordering:` comment
+/// may end and still count as attached (mirrors SAFETY comments).
+const ORDERING_COMMENT_REACH: u32 = 4;
+
+/// Counter RMWs where `Relaxed` is the uncontroversial right answer; on
+/// these, `SeqCst` is the finding (a hot-path fence for nothing).
+const COUNTER_OPS: &[&str] = &["fetch_add", "fetch_sub"];
+
+fn rule_atomic_ordering_contract(
+    toks: &[Tok],
+    comments: &[Comment],
+    exempt: &[bool],
+    out: &mut Vec<Violation>,
+) {
+    for i in 0..toks.len() {
+        if exempt[i] || toks[i].text != "Ordering" || toks.get(i + 1).is_none_or(|t| t.text != "::")
+        {
+            continue;
+        }
+        let Some(ord) = toks.get(i + 2) else { continue };
+        let ordering = ord.text.as_str();
+        if !matches!(
+            ordering,
+            "Relaxed" | "Acquire" | "Release" | "AcqRel" | "SeqCst"
+        ) {
+            continue;
+        }
+        let line = ord.line;
+        let method = enclosing_call_method(toks, i);
+        let is_counter = method.is_some_and(|m| COUNTER_OPS.contains(&m));
+        let justified = comments.iter().enumerate().any(|(ci, c)| {
+            if !c.text.contains("ordering:") {
+                return false;
+            }
+            if c.line == line {
+                return true;
+            }
+            // The lexer keeps each `//` line as its own comment; a
+            // multi-line justification counts from its *last* line, so
+            // extend through the contiguous own-line run that follows.
+            let mut end = c.end_line;
+            for n in &comments[ci + 1..] {
+                if n.own_line && n.line == end + 1 {
+                    end = n.end_line;
+                } else {
+                    break;
+                }
+            }
+            end < line && line - end <= ORDERING_COMMENT_REACH
+        });
+        if justified {
+            continue;
+        }
+        if is_counter && ordering == "SeqCst" {
+            out.push(Violation {
+                rule: "atomic-ordering-contract".into(),
+                line,
+                message: format!(
+                    "`Ordering::SeqCst` on a `{}` counter is a hot-path perf \
+                     smell; counters want `Relaxed` — or justify the fence \
+                     with an adjacent `// ordering:` comment (DESIGN.md §15)",
+                    method.unwrap_or("fetch")
+                ),
+            });
+        } else if !is_counter && ordering != "SeqCst" {
+            out.push(Violation {
+                rule: "atomic-ordering-contract".into(),
+                line,
+                message: format!(
+                    "`Ordering::{ordering}` on a non-counter atomic needs an \
+                     adjacent `// ordering:` comment explaining why the \
+                     weaker ordering is sound (DESIGN.md §15)"
+                ),
+            });
+        }
+    }
+}
+
+/// The method name whose argument list encloses token `i`: walks left
+/// counting parens until the unmatched `(` and returns the identifier
+/// before it. `None` at statement/block boundaries.
+fn enclosing_call_method(toks: &[Tok], i: usize) -> Option<&str> {
+    let mut depth = 0i64;
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        match toks[j].text.as_str() {
+            ")" => depth += 1,
+            "(" => {
+                if depth == 0 {
+                    let m = j.checked_sub(1).map(|k| &toks[k])?;
+                    return (m.kind == TokKind::Ident).then_some(m.text.as_str());
+                }
+                depth -= 1;
+            }
+            ";" | "{" | "}" if depth == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -574,6 +724,7 @@ mod tests {
     fn ctx(crate_key: &str) -> FileContext {
         FileContext {
             crate_key: crate_key.into(),
+            file_stem: "fixture".into(),
             is_test_code: false,
         }
     }
@@ -736,11 +887,104 @@ impl std::error::Error for FooError {}\n";
     fn test_code_files_only_get_unsafe_rule() {
         let test_ctx = FileContext {
             crate_key: "cli".into(),
+            file_stem: "fixture".into(),
             is_test_code: true,
         };
         let src = "fn f(x: Option<u8>) { x.unwrap(); unsafe { g() } }\n";
         let r = check_file(&test_ctx, src);
         assert_eq!(r.violations.len(), 1);
         assert_eq!(r.violations[0].rule, "unsafe-needs-safety-comment");
+    }
+
+    #[test]
+    fn blocking_under_lock_fires_and_drop_clears_it() {
+        let bad = "\
+fn f(&self) {\n\
+    let g = self.state.lock();\n\
+    std::thread::sleep(d);\n\
+}\n";
+        let r = check_file(&ctx("stats"), bad);
+        assert_eq!(rules_fired(&r), [("no-blocking-under-lock".to_string(), 3)]);
+
+        let good = "\
+fn f(&self) {\n\
+    let g = self.state.lock();\n\
+    drop(g);\n\
+    std::thread::sleep(d);\n\
+}\n";
+        assert!(check_file(&ctx("stats"), good).violations.is_empty());
+    }
+
+    #[test]
+    fn condvar_wait_under_lock_is_the_approved_idiom() {
+        let src = "\
+fn f(&self) {\n\
+    let mut inner = self.inner.lock();\n\
+    let (g, _) = self.cv.wait_timeout(inner, d);\n\
+    inner = g;\n\
+}\n";
+        assert!(check_file(&ctx("stats"), src).violations.is_empty());
+    }
+
+    #[test]
+    fn relaxed_on_non_counter_needs_ordering_comment() {
+        let bad = "fn f(a: &AtomicBool) -> bool { a.load(Ordering::Relaxed) }\n";
+        let r = check_file(&ctx("stats"), bad);
+        assert_eq!(
+            rules_fired(&r),
+            [("atomic-ordering-contract".to_string(), 1)]
+        );
+
+        let good = "\
+fn f(a: &AtomicBool) -> bool {\n\
+    // ordering: flag is advisory; stale reads only delay the check.\n\
+    a.load(Ordering::Relaxed)\n\
+}\n";
+        assert!(check_file(&ctx("stats"), good).violations.is_empty());
+    }
+
+    #[test]
+    fn counter_rmw_relaxed_is_free_but_seqcst_is_a_smell() {
+        let relaxed = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n";
+        assert!(check_file(&ctx("stats"), relaxed).violations.is_empty());
+
+        let seqcst = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::SeqCst); }\n";
+        let r = check_file(&ctx("stats"), seqcst);
+        assert_eq!(
+            rules_fired(&r),
+            [("atomic-ordering-contract".to_string(), 1)]
+        );
+        assert!(r.violations[0].message.contains("perf smell"));
+
+        let justified = "\
+fn f(c: &AtomicU64) {\n\
+    // ordering: epoch bump must publish after the guarded swap above.\n\
+    c.fetch_add(1, Ordering::SeqCst);\n\
+}\n";
+        assert!(check_file(&ctx("stats"), justified).violations.is_empty());
+    }
+
+    #[test]
+    fn seqcst_load_store_need_no_comment() {
+        let src = "\
+fn f(a: &AtomicBool) -> bool {\n\
+    a.store(true, Ordering::SeqCst);\n\
+    a.load(Ordering::SeqCst)\n\
+}\n";
+        assert!(check_file(&ctx("stats"), src).violations.is_empty());
+    }
+
+    #[test]
+    fn concurrency_summary_is_exposed_for_the_workspace_pass() {
+        let src = "\
+fn f(&self) {\n\
+    let a = self.first.lock();\n\
+    let b = self.second.lock();\n\
+}\n";
+        let r = check_file(&ctx("stats"), src);
+        let conc = r.concurrency.expect("non-test files carry analysis");
+        assert_eq!(conc.edges.len(), 1);
+        assert_eq!(conc.edges[0].held, "fixture::first");
+        assert_eq!(conc.edges[0].acquired, "fixture::second");
     }
 }

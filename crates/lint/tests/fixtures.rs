@@ -18,6 +18,7 @@ fn run_fixture(name: &str, crate_key: &str) -> FileReport {
     check_file(
         &FileContext {
             crate_key: crate_key.to_string(),
+            file_stem: name.trim_end_matches(".rs").to_string(),
             is_test_code: false,
         },
         &src,
@@ -99,11 +100,212 @@ fn panic_rule_skips_declared_test_code() {
     let rep = check_file(
         &FileContext {
             crate_key: "core".into(),
+            file_stem: "panic_path".into(),
             is_test_code: true,
         },
         &src,
     );
     assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+}
+
+#[test]
+fn no_blocking_under_lock_fires_with_exact_lines() {
+    let rep = run_fixture("blocking_lock.rs", "serve");
+    assert_eq!(rep.violations.len(), 2, "{:?}", rep.violations);
+    for v in &rep.violations {
+        assert_eq!(v.rule, "no-blocking-under-lock");
+    }
+    assert_eq!(rep.violations[0].line, 11); // sleep under the guard
+    assert_eq!(rep.violations[1].line, 12); // recv under the guard
+}
+
+#[test]
+fn atomic_ordering_contract_fires_with_exact_lines() {
+    let rep = run_fixture("atomic_ordering.rs", "serve");
+    assert_eq!(rep.violations.len(), 2, "{:?}", rep.violations);
+    for v in &rep.violations {
+        assert_eq!(v.rule, "atomic-ordering-contract");
+    }
+    assert_eq!(rep.violations[0].line, 9); // bare Relaxed load
+    assert_eq!(rep.violations[1].line, 14); // SeqCst counter bump
+    assert!(
+        rep.violations[1].message.contains("perf smell"),
+        "{:?}",
+        rep.violations[1]
+    );
+}
+
+#[test]
+fn concurrency_escapes_suppress_and_are_counted() {
+    let rep = run_fixture("concurrency_escape.rs", "serve");
+    assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+    let used: Vec<_> = rep.escapes.iter().filter(|e| e.used).collect();
+    assert_eq!(used.len(), 2, "{:?}", rep.escapes);
+    assert_eq!(used[0].rule, "no-blocking-under-lock");
+    assert_eq!(used[1].rule, "atomic-ordering-contract");
+    assert!(used.iter().all(|e| e.has_reason));
+}
+
+/// Writes a miniature workspace under the system temp dir and returns
+/// its root. Any previous run's leftovers are cleared first.
+fn temp_workspace(name: &str, files: &[(&str, &str)]) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mupod_lint_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    for (rel, content) in files {
+        let p = dir.join(rel);
+        std::fs::create_dir_all(p.parent().unwrap()).unwrap();
+        std::fs::write(p, content).unwrap();
+    }
+    dir
+}
+
+const ALPHA_REGISTRY_THEN_JOURNAL: &str = "\
+use std::sync::Mutex;
+
+pub static REGISTRY: Mutex<u64> = Mutex::new(0);
+
+pub fn registry_then_journal() {
+    let g = REGISTRY.lock();
+    journal_append();
+    drop(g);
+}
+
+pub fn registry_bump() {
+    let g = REGISTRY.lock();
+    drop(g);
+}
+";
+
+const BETA_JOURNAL_THEN_REGISTRY: &str = "\
+use std::sync::Mutex;
+
+pub static JOURNAL: Mutex<u64> = Mutex::new(0);
+
+pub fn journal_append() {
+    let g = JOURNAL.lock();
+    drop(g);
+}
+
+pub fn journal_then_registry() {
+    let g = JOURNAL.lock();
+    registry_bump();
+    drop(g);
+}
+";
+
+#[test]
+fn lock_order_cycle_reported_across_crates_with_witness() {
+    let dir = temp_workspace(
+        "cycle",
+        &[
+            ("crates/alpha/src/lib.rs", ALPHA_REGISTRY_THEN_JOURNAL),
+            ("crates/beta/src/lib.rs", BETA_JOURNAL_THEN_REGISTRY),
+        ],
+    );
+    let report = mupod_lint::lint_workspace(&dir).expect("walk succeeds");
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    let d = &report.violations[0];
+    assert_eq!(d.rule, "lock-order-cycle");
+    // Anchored at the first witness edge of the normalized cycle: the
+    // held call into beta while alpha::REGISTRY is locked.
+    assert_eq!(d.path, "crates/alpha/src/lib.rs");
+    assert_eq!(d.line, 7);
+    assert!(
+        d.message
+            .contains("alpha::REGISTRY -> beta::JOURNAL -> alpha::REGISTRY"),
+        "{d}"
+    );
+    assert!(d.message.contains("via `journal_append()`"), "{d}");
+    assert!(d.message.contains("crates/beta/src/lib.rs:12"), "{d}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn consistent_lock_order_stays_silent() {
+    // Same shape, but beta never calls back into alpha under its lock:
+    // the graph has one edge and no cycle.
+    let beta_green = "\
+use std::sync::Mutex;
+
+pub static JOURNAL: Mutex<u64> = Mutex::new(0);
+
+pub fn journal_append() {
+    let g = JOURNAL.lock();
+    drop(g);
+}
+";
+    let dir = temp_workspace(
+        "cycle_green",
+        &[
+            ("crates/alpha/src/lib.rs", ALPHA_REGISTRY_THEN_JOURNAL),
+            ("crates/beta/src/lib.rs", beta_green),
+        ],
+    );
+    let report = mupod_lint::lint_workspace(&dir).expect("walk succeeds");
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lock_order_cycle_escape_on_witness_line_suppresses() {
+    let alpha_escaped = ALPHA_REGISTRY_THEN_JOURNAL.replace(
+        "    journal_append();",
+        "    // lint:allow(lock-order-cycle) reason=startup-only; beta never runs concurrently\n    journal_append();",
+    );
+    let dir = temp_workspace(
+        "cycle_escape",
+        &[
+            ("crates/alpha/src/lib.rs", alpha_escaped.as_str()),
+            ("crates/beta/src/lib.rs", BETA_JOURNAL_THEN_REGISTRY),
+        ],
+    );
+    let report = mupod_lint::lint_workspace(&dir).expect("walk succeeds");
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert!(report.is_clean_strict(), "escape must count as used");
+    assert_eq!(report.escapes_used.get("lock-order-cycle"), Some(&1));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn status_code_exhaustive_flags_missing_variant_mirrors() {
+    let exit_rs = "\
+/// Miniature status table for the fixture workspace.
+#[repr(u8)]
+pub enum StatusCode {
+    Ok = 0,
+    Draining = 1,
+}
+
+/// Deliberately missing `Draining`.
+pub const ALL_STATUS_CODES: &[StatusCode] = &[StatusCode::Ok];
+
+impl StatusCode {
+    pub fn describe(self) -> &'static str {
+        match self {
+            StatusCode::Ok => \"success\",
+            StatusCode::Draining => \"draining\",
+        }
+    }
+}
+";
+    let dir = temp_workspace(
+        "status",
+        &[
+            ("crates/runtime/src/exit.rs", exit_rs),
+            ("DESIGN.md", "The fixture workspace documents only Ok.\n"),
+        ],
+    );
+    let report = mupod_lint::lint_workspace(&dir).expect("walk succeeds");
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    let d = &report.violations[0];
+    assert_eq!(d.rule, "status-code-exhaustive");
+    assert_eq!(d.path, "crates/runtime/src/exit.rs");
+    assert_eq!(d.line, 5); // the `Draining` variant
+    assert!(d.message.contains("`StatusCode::Draining`"), "{d}");
+    assert!(d.message.contains("ALL_STATUS_CODES"), "{d}");
+    assert!(d.message.contains("DESIGN.md"), "{d}");
+    assert!(!d.message.contains("describe"), "{d}");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -1,0 +1,31 @@
+//! Fixture: atomic-ordering-contract. Expected: the bare Relaxed load
+//! (line 9) and the SeqCst counter bump (line 14) fire; the justified
+//! and idiomatic uses below stay quiet.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Reads a flag with an unexplained weak ordering — the finding.
+pub fn peek(flag: &AtomicU64) -> u64 {
+    flag.load(Ordering::Relaxed)
+}
+
+/// Counts through a full fence — the perf smell.
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Counts the idiomatic way: Relaxed on a tally is free.
+pub fn tally(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Publishes with a justified weak ordering.
+pub fn publish(flag: &AtomicU64) {
+    // ordering: Release pairs with an Acquire load on the reader side.
+    flag.store(1, Ordering::Release);
+}
+
+/// A SeqCst load needs no justification.
+pub fn strongest(flag: &AtomicU64) -> u64 {
+    flag.load(Ordering::SeqCst)
+}

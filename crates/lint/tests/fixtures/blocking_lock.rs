@@ -1,0 +1,19 @@
+//! Fixture: blocking calls while a guard binding is live. Expected:
+//! no-blocking-under-lock fires on the sleep (line 11) and the channel
+//! recv (line 12), and stays quiet once the guard is dropped.
+
+use std::sync::{mpsc::Receiver, Mutex};
+use std::time::Duration;
+
+/// Sleeps and blocks on a channel with the state lock held.
+pub fn drains_badly(m: &Mutex<u64>, rx: &Receiver<u64>) -> u64 {
+    let g = m.lock();
+    std::thread::sleep(Duration::from_millis(1));
+    let v = rx.recv();
+    drop(g);
+    std::thread::sleep(Duration::from_millis(1));
+    match v {
+        Ok(n) => n,
+        Err(_) => 0,
+    }
+}

@@ -1,0 +1,20 @@
+//! Fixture: the concurrency rules suppressed by well-formed escapes.
+//! Expected: zero violations and two used, explained escapes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Startup-only path where the pause under lock is deliberate.
+pub fn warm_up(m: &Mutex<u64>) {
+    let g = m.lock();
+    // lint:allow(no-blocking-under-lock) reason=one-shot startup path, nothing contends yet
+    std::thread::sleep(Duration::from_millis(1));
+    drop(g);
+}
+
+/// Diagnostic counter where the full fence is intentional.
+pub fn fenced_bump(counter: &AtomicU64) {
+    // lint:allow(atomic-ordering-contract) reason=fence doubles as a publication barrier here
+    counter.fetch_add(1, Ordering::SeqCst);
+}

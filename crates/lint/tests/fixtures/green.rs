@@ -32,6 +32,28 @@ impl std::fmt::Display for GreenError {
 
 impl std::error::Error for GreenError {}
 
+/// Concurrency lookalikes. A condvar wait releases its lock (the
+/// sanctioned idiom, never a blocking finding), I/O `read(&mut buf)`
+/// takes arguments so it is neither a lock acquisition nor — with no
+/// guard live — a finding, and a Relaxed tally / SeqCst load need no
+/// `// ordering:` comment.
+pub fn concurrency_lookalikes(
+    pair: &(std::sync::Mutex<bool>, std::sync::Condvar),
+    counter: &std::sync::atomic::AtomicU64,
+    stream: &mut impl std::io::Read,
+) -> u64 {
+    use std::sync::atomic::Ordering;
+    let mut started = pair.0.lock().unwrap_or_else(|e| e.into_inner());
+    while !*started {
+        started = pair.1.wait(started).unwrap_or_else(|e| e.into_inner());
+    }
+    drop(started);
+    let mut buf = [0u8; 16];
+    let n = stream.read(&mut buf).unwrap_or(0);
+    counter.fetch_add(n as u64, Ordering::Relaxed);
+    counter.load(Ordering::SeqCst)
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

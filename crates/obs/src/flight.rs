@@ -156,6 +156,8 @@ impl FlightRecorder {
 
     /// Events evicted so far because the ring was full.
     pub fn dropped(&self) -> u64 {
+        // ordering: monotonic tally; Relaxed reads are exact once the
+        // writers quiesce and near-exact while they run.
         self.dropped.load(Ordering::Relaxed)
     }
 

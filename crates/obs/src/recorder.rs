@@ -39,6 +39,9 @@ fn current_tid() -> u64 {
 }
 
 fn with_recorder<F: FnOnce(&Recorder)>(f: F) {
+    // ordering: ACTIVE is a fast-path hint only; the CURRENT read lock
+    // below is the real synchronization. A stale read merely skips (or
+    // double-checks) one event around install/uninstall.
     if !ACTIVE.load(Ordering::Relaxed) {
         return;
     }
@@ -61,6 +64,8 @@ pub struct InstallGuard {
 
 impl Drop for InstallGuard {
     fn drop(&mut self) {
+        // ordering: hint flag; the CURRENT write lock below is what
+        // actually fences recording off.
         ACTIVE.store(false, Ordering::Relaxed);
         *CURRENT.write().unwrap_or_else(|e| e.into_inner()) = None;
     }
@@ -224,6 +229,7 @@ impl Recorder {
     pub fn install(&self) -> InstallGuard {
         let lock = INSTALL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         *CURRENT.write().unwrap_or_else(|e| e.into_inner()) = Some(self.clone());
+        // ordering: hint flag; the CURRENT write above synchronizes.
         ACTIVE.store(true, Ordering::Relaxed);
         InstallGuard { _lock: lock }
     }
@@ -346,6 +352,9 @@ impl Recorder {
                 .read()
                 .unwrap_or_else(|e| e.into_inner());
             map.iter()
+                // ordering: Relaxed tally read — the counters RwLock
+                // orders map access; a racing increment lands in the
+                // next snapshot instead.
                 .map(|(k, v)| ((*k).to_string(), v.load(Ordering::Relaxed)))
                 .collect::<BTreeMap<String, u64>>()
         };

@@ -43,6 +43,9 @@ const RESETTING: u64 = u64::MAX;
 /// Adds `n` to an atomic counter, pinning at `u64::MAX` instead of
 /// wrapping. One CAS in the common case; loops only under contention.
 pub(crate) fn saturating_fetch_add(counter: &AtomicU64, n: u64) {
+    // ordering: Relaxed throughout — the counter is a monotonic tally
+    // whose readers tolerate a slightly stale value; the slot epoch
+    // (Release/Acquire) is what publishes data across threads.
     let mut cur = counter.load(Ordering::Relaxed);
     loop {
         let next = cur.saturating_add(n);
@@ -137,6 +140,8 @@ impl RollingHistogram {
     fn activate(&self, slot: &Slot, slice: u64) {
         let want = slice + 1;
         loop {
+            // ordering: Acquire pairs with the Release epoch publish
+            // below, so a current epoch implies the reset is visible.
             let cur = slot.epoch.load(Ordering::Acquire);
             if cur >= want && cur != RESETTING {
                 // Already current (or a slightly newer writer rotated
@@ -148,16 +153,21 @@ impl RollingHistogram {
                 std::hint::spin_loop();
                 continue;
             }
+            // ordering: AcqRel on the claim CAS takes exclusive
+            // ownership of the slot for the duration of the reset.
             if slot
                 .epoch
                 .compare_exchange(cur, RESETTING, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
+                // ordering: Relaxed data stores are published by the
+                // Release epoch store that ends the reset below.
                 slot.count.store(0, Ordering::Relaxed);
                 slot.sum.store(0, Ordering::Relaxed);
                 for b in &slot.buckets {
                     b.store(0, Ordering::Relaxed);
                 }
+                // ordering: Release publishes the cleared slot data.
                 slot.epoch.store(want, Ordering::Release);
                 return;
             }
@@ -174,6 +184,8 @@ impl RollingHistogram {
         let n = self.slots.len() as u64;
         let mut out = RollingSummary::default();
         for slot in self.slots.iter() {
+            // ordering: Acquire pairs with the writer's Release epoch
+            // store, making that writer's reset visible before we read.
             let e = slot.epoch.load(Ordering::Acquire);
             if e == 0 || e == RESETTING {
                 continue;
@@ -182,6 +194,9 @@ impl RollingHistogram {
             if now_slice.saturating_sub(slice) >= n {
                 continue; // a stale lap, outside the window
             }
+            // ordering: Relaxed tally reads — concurrent increments may
+            // be missed by one summary and caught by the next; the
+            // Acquire epoch load above already ordered us past the reset.
             out.count = out.count.saturating_add(slot.count.load(Ordering::Relaxed));
             out.sum = out.sum.saturating_add(slot.sum.load(Ordering::Relaxed));
             for (acc, b) in out.buckets.iter_mut().zip(slot.buckets.iter()) {
@@ -262,6 +277,8 @@ impl Gauge {
 
     /// Sets the value outright.
     pub fn set(&self, v: i64) {
+        // ordering: a gauge is a standalone observable value; nothing
+        // else is published through it, so Relaxed suffices.
         self.0.store(v, Ordering::Relaxed);
     }
 
@@ -277,6 +294,7 @@ impl Gauge {
 
     /// The current value.
     pub fn get(&self) -> i64 {
+        // ordering: see `set` — Relaxed reads the standalone value.
         self.0.load(Ordering::Relaxed)
     }
 }

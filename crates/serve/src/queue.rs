@@ -254,6 +254,10 @@ mod tests {
     /// pusher — i.e. no job can be both answered `Draining` and
     /// executed, and shutdown loses nothing that was admitted.
     #[test]
+    // Under miri's ~100x interpretation slowdown this stress test
+    // measures the interpreter, not the queue; the smaller unit tests
+    // above cover the same contract for the UB sweep.
+    #[cfg_attr(miri, ignore)]
     fn concurrent_close_then_drain_loses_and_duplicates_nothing() {
         use std::collections::HashSet;
         use std::sync::atomic::{AtomicBool, Ordering};

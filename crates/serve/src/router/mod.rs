@@ -206,11 +206,11 @@ pub(crate) struct RouteStats {
 
 impl RouteStats {
     pub(crate) fn note_breaker_opened(&self) {
-        self.breaker_opens.fetch_add(1, Ordering::SeqCst);
+        self.breaker_opens.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn note_breaker_closed(&self) {
-        self.breaker_closes.fetch_add(1, Ordering::SeqCst);
+        self.breaker_closes.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -324,7 +324,7 @@ impl RouterShared {
     /// worker may well serve a retry), `None` when nothing is routable.
     fn pick_shard(&self, used: &[usize]) -> Option<usize> {
         let n = self.shards.len();
-        let start = self.rr.fetch_add(1, Ordering::SeqCst);
+        let start = self.rr.fetch_add(1, Ordering::Relaxed);
         for i in 0..n {
             let idx = (start + i) % n;
             if !used.contains(&idx) && self.shards[idx].routable() {
@@ -346,7 +346,7 @@ impl RouterShared {
     /// available the hedge simply does not launch.
     fn pick_unused_shard(&self, used: &[usize]) -> Option<usize> {
         let n = self.shards.len();
-        let start = self.rr.fetch_add(1, Ordering::SeqCst);
+        let start = self.rr.fetch_add(1, Ordering::Relaxed);
         (0..n)
             .map(|i| (start + i) % n)
             .find(|&idx| !used.contains(&idx) && self.shards[idx].routable())
@@ -562,7 +562,7 @@ fn handle_client(mut stream: TcpStream, shared: &Arc<RouterShared>) {
                 shared
                     .stats
                     .client_disconnects
-                    .fetch_add(1, Ordering::SeqCst);
+                    .fetch_add(1, Ordering::Relaxed);
                 break;
             }
         }
@@ -615,7 +615,7 @@ fn write_raw(stream: &mut TcpStream, shared: &RouterShared, bytes: &[u8]) -> boo
             shared
                 .stats
                 .client_disconnects
-                .fetch_add(1, Ordering::SeqCst);
+                .fetch_add(1, Ordering::Relaxed);
             false
         }
     }
@@ -682,7 +682,7 @@ fn serve_front_one(stream: &mut TcpStream, first: u8, shared: &Arc<RouterShared>
         );
         return false;
     }
-    shared.stats.requests.fetch_add(1, Ordering::SeqCst);
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
     shared
         .telemetry
         .flight
@@ -694,7 +694,7 @@ fn serve_front_one(stream: &mut TcpStream, first: u8, shared: &Arc<RouterShared>
 }
 
 fn reject_bad_frame(stream: &mut TcpStream, shared: &RouterShared, err: &FrameError) -> bool {
-    shared.stats.bad_frames.fetch_add(1, Ordering::SeqCst);
+    shared.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
     answer(
         stream,
         shared,
@@ -767,7 +767,10 @@ fn relay(
     let mut hedge_idx: Option<usize> = None;
 
     let Some(primary) = shared.pick_shard(&used) else {
-        shared.stats.no_healthy_shard.fetch_add(1, Ordering::SeqCst);
+        shared
+            .stats
+            .no_healthy_shard
+            .fetch_add(1, Ordering::Relaxed);
         return answer(
             stream,
             shared,
@@ -786,7 +789,7 @@ fn relay(
             shared
                 .stats
                 .deadline_exceeded
-                .fetch_add(1, Ordering::SeqCst);
+                .fetch_add(1, Ordering::Relaxed);
             return answer(
                 stream,
                 shared,
@@ -818,11 +821,11 @@ fn relay(
                     && Instant::now() < deadline;
                 if can_retry {
                     if relayed.status == StatusCode::WorkerCrashed {
-                        shard.failures.fetch_add(1, Ordering::SeqCst);
+                        shard.failures.fetch_add(1, Ordering::Relaxed);
                     }
                     if let Some(next) = shared.pick_shard(&used) {
                         retries_used += 1;
-                        shared.stats.retries.fetch_add(1, Ordering::SeqCst);
+                        shared.stats.retries.fetch_add(1, Ordering::Relaxed);
                         shared.telemetry.flight.record(
                             trace_id,
                             FlightStage::Forward,
@@ -836,13 +839,13 @@ fn relay(
                     }
                 }
                 if relayed.status == StatusCode::Ok {
-                    shared.stats.relayed_ok.fetch_add(1, Ordering::SeqCst);
+                    shared.stats.relayed_ok.fetch_add(1, Ordering::Relaxed);
                     shared.record_latency(accepted);
                 } else {
-                    shared.stats.relayed_errors.fetch_add(1, Ordering::SeqCst);
+                    shared.stats.relayed_errors.fetch_add(1, Ordering::Relaxed);
                 }
                 if hedge_idx == Some(idx) {
-                    shared.stats.hedge_wins.fetch_add(1, Ordering::SeqCst);
+                    shared.stats.hedge_wins.fetch_add(1, Ordering::Relaxed);
                 }
                 shared.telemetry.flight.record(
                     trace_id,
@@ -855,7 +858,7 @@ fn relay(
             Ok((idx, Err(e))) => {
                 outstanding = outstanding.saturating_sub(1);
                 let shard = &shared.shards[idx];
-                shard.failures.fetch_add(1, Ordering::SeqCst);
+                shard.failures.fetch_add(1, Ordering::Relaxed);
                 shard.pool.clear();
                 if shard.breaker.on_failure() == breaker::Transition::Opened {
                     shared.stats.note_breaker_opened();
@@ -874,7 +877,7 @@ fn relay(
                 if can_retry {
                     if let Some(next) = shared.pick_shard(&used) {
                         retries_used += 1;
-                        shared.stats.retries.fetch_add(1, Ordering::SeqCst);
+                        shared.stats.retries.fetch_add(1, Ordering::Relaxed);
                         shared.telemetry.flight.record(
                             trace_id,
                             FlightStage::Forward,
@@ -892,7 +895,10 @@ fn relay(
                     // decide the request.
                     continue;
                 }
-                shared.stats.no_healthy_shard.fetch_add(1, Ordering::SeqCst);
+                shared
+                    .stats
+                    .no_healthy_shard
+                    .fetch_add(1, Ordering::Relaxed);
                 let msg = format!("all shard attempts failed: {e}");
                 return answer(
                     stream,
@@ -910,7 +916,7 @@ fn relay(
                             Some(next) => {
                                 hedged = true;
                                 hedge_idx = Some(next);
-                                shared.stats.hedges.fetch_add(1, Ordering::SeqCst);
+                                shared.stats.hedges.fetch_add(1, Ordering::Relaxed);
                                 shared.telemetry.flight.record(
                                     trace_id,
                                     FlightStage::Hedge,
@@ -961,7 +967,7 @@ fn launch_attempt(
     shared
         .stats
         .forwarded_attempts
-        .fetch_add(1, Ordering::SeqCst);
+        .fetch_add(1, Ordering::Relaxed);
     shared
         .telemetry
         .flight
@@ -985,7 +991,7 @@ fn attempt(
     final_deadline: Instant,
 ) -> Result<Relayed, AttemptError> {
     let shard = &shared.shards[idx];
-    shard.forwarded.fetch_add(1, Ordering::SeqCst);
+    shard.forwarded.fetch_add(1, Ordering::Relaxed);
     let mut stream = match shard.pool.take() {
         Some(s) => s,
         None => TcpStream::connect_timeout(&shard.addr, CONNECT_TIMEOUT)

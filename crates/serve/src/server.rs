@@ -529,7 +529,7 @@ fn handle_conn(
                 shared
                     .stats
                     .client_disconnects
-                    .fetch_add(1, Ordering::SeqCst);
+                    .fetch_add(1, Ordering::Relaxed);
                 mupod_obs::counter_add("serve.client_disconnects", 1);
                 break;
             }
@@ -575,7 +575,7 @@ fn write_response(
             shared
                 .stats
                 .client_disconnects
-                .fetch_add(1, Ordering::SeqCst);
+                .fetch_add(1, Ordering::Relaxed);
             mupod_obs::counter_add("serve.client_disconnects", 1);
             mupod_obs::event(
                 mupod_obs::Level::Warn,
@@ -590,7 +590,7 @@ fn write_response(
 /// Answers a frame error with `BadRequest`; the connection then closes
 /// (a malformed binary stream cannot be re-synchronized).
 fn reject_bad_frame(stream: &mut TcpStream, shared: &Shared, err: &FrameError) -> bool {
-    shared.stats.bad_frames.fetch_add(1, Ordering::SeqCst);
+    shared.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
     mupod_obs::counter_add("serve.bad_frames", 1);
     mupod_obs::event(
         mupod_obs::Level::Warn,
@@ -688,7 +688,7 @@ fn serve_one(
         shared
             .stats
             .rejected_draining
-            .fetch_add(1, Ordering::SeqCst);
+            .fetch_add(1, Ordering::Relaxed);
         mupod_obs::counter_add("serve.rejected_draining", 1);
         shared.telemetry.flight.record(
             trace_id,
@@ -726,8 +726,8 @@ fn serve_one(
         shared
             .stats
             .shed_low_priority
-            .fetch_add(1, Ordering::SeqCst);
-        shared.stats.rejected_busy.fetch_add(1, Ordering::SeqCst);
+            .fetch_add(1, Ordering::Relaxed);
+        shared.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
         mupod_obs::counter_add("serve.shed_low_priority", 1);
         shared.telemetry.flight.record(
             trace_id,
@@ -769,7 +769,7 @@ fn serve_one(
     match shared.queue.try_push(job, h.priority) {
         Ok(()) => {}
         Err((PushError::Full, _)) => {
-            shared.stats.rejected_busy.fetch_add(1, Ordering::SeqCst);
+            shared.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
             mupod_obs::counter_add("serve.rejected_busy", 1);
             shared.telemetry.flight.record(
                 trace_id,
@@ -789,7 +789,7 @@ fn serve_one(
             shared
                 .stats
                 .rejected_draining
-                .fetch_add(1, Ordering::SeqCst);
+                .fetch_add(1, Ordering::Relaxed);
             mupod_obs::counter_add("serve.rejected_draining", 1);
             shared.telemetry.flight.record(
                 trace_id,
@@ -816,7 +816,10 @@ fn serve_one(
     let (status, body): (StatusCode, Vec<u8>) = match outcome {
         Ok((status, body)) => (status, body),
         Err(RecvTimeoutError::Timeout) => {
-            shared.stats.deadline_expired.fetch_add(1, Ordering::SeqCst);
+            shared
+                .stats
+                .deadline_expired
+                .fetch_add(1, Ordering::Relaxed);
             mupod_obs::counter_add("serve.deadline_expired", 1);
             (
                 StatusCode::DeadlineExceeded,
@@ -873,6 +876,10 @@ fn do_reload(seed: u64, shared: &Shared, reloader: Option<&Reloader>) -> (Status
                 )
             } else {
                 *shared.net.lock().unwrap_or_else(PoisonError::into_inner) = Arc::new(new_net);
+                // ordering: epoch publication, not a tally — workers
+                // poll this with SeqCst loads to notice a reload
+                // between batches; keep the RMW SeqCst so the bump is
+                // never observed before the net swap above.
                 let epoch = shared
                     .net_epoch
                     .fetch_add(1, Ordering::SeqCst)

@@ -116,7 +116,7 @@ fn process_batch(
             shared
                 .stats
                 .rejected_draining
-                .fetch_add(1, Ordering::SeqCst);
+                .fetch_add(1, Ordering::Relaxed);
             mupod_obs::counter_add("serve.rejected_draining", 1);
             respond_job(job, StatusCode::Draining, b"server draining".to_vec());
         }
@@ -127,7 +127,10 @@ fn process_batch(
     let mut live = Vec::with_capacity(batch.len());
     for job in batch {
         if now >= job.deadline {
-            shared.stats.deadline_expired.fetch_add(1, Ordering::SeqCst);
+            shared
+                .stats
+                .deadline_expired
+                .fetch_add(1, Ordering::Relaxed);
             mupod_obs::counter_add("serve.deadline_expired", 1);
             respond_job(
                 &job,
@@ -141,11 +144,11 @@ fn process_batch(
     if live.is_empty() {
         return;
     }
-    shared.stats.batches.fetch_add(1, Ordering::SeqCst);
+    shared.stats.batches.fetch_add(1, Ordering::Relaxed);
     shared
         .stats
         .batched_requests
-        .fetch_add(live.len() as u64, Ordering::SeqCst);
+        .fetch_add(live.len() as u64, Ordering::Relaxed);
     mupod_obs::counter_add("serve.batches", 1);
     mupod_obs::histogram_record("serve.batch_size", live.len() as f64);
     shared.telemetry.batch_fill.record(live.len() as u64);
@@ -182,7 +185,10 @@ fn process_batch(
             // same order the images were gathered.
             for (job, class) in live.iter().zip(classes) {
                 if done >= job.deadline {
-                    shared.stats.deadline_expired.fetch_add(1, Ordering::SeqCst);
+                    shared
+                        .stats
+                        .deadline_expired
+                        .fetch_add(1, Ordering::Relaxed);
                     mupod_obs::counter_add("serve.deadline_expired", 1);
                     respond_job(
                         job,
@@ -190,7 +196,7 @@ fn process_batch(
                         b"deadline expired during execution".to_vec(),
                     );
                 } else {
-                    shared.stats.requests_ok.fetch_add(1, Ordering::SeqCst);
+                    shared.stats.requests_ok.fetch_add(1, Ordering::Relaxed);
                     mupod_obs::counter_add("serve.requests_ok", 1);
                     shared.record_latency(job.accepted);
                     respond_job(job, StatusCode::Ok, (class as u32).to_le_bytes().to_vec());
@@ -198,7 +204,7 @@ fn process_batch(
             }
         }
         Err(_) => {
-            shared.stats.worker_crashes.fetch_add(1, Ordering::SeqCst);
+            shared.stats.worker_crashes.fetch_add(1, Ordering::Relaxed);
             mupod_obs::counter_add("serve.worker_crashes", 1);
             for job in &live {
                 shared
@@ -214,7 +220,9 @@ fn process_batch(
             // Seal the ring's final moments while they are still final:
             // the panic is the event a post-mortem will ask about.
             telemetry::dump_flight(cfg, shared);
-            let crashes = shared.crashes.fetch_add(1, Ordering::SeqCst) + 1;
+            // ordering: Relaxed — the RMW is still atomic, so every
+            // crash draws a unique count against the restart budget.
+            let crashes = shared.crashes.fetch_add(1, Ordering::Relaxed) + 1;
             if crashes > cfg.restart_budget {
                 mupod_obs::event(
                     mupod_obs::Level::Error,
