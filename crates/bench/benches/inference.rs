@@ -8,9 +8,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mupod_bench::setup;
 use mupod_models::ModelKind;
-use mupod_nn::ExecArena;
+use mupod_nn::{ExecArena, KernelTier};
 use mupod_stats::SeededRng;
 use mupod_tensor::conv::{conv2d, conv2d_direct, Conv2dParams};
+use mupod_tensor::fast::gemm_fast;
 use mupod_tensor::gemm::{gemm, gemm_tiled};
 use mupod_tensor::Tensor;
 
@@ -86,6 +87,15 @@ fn bench_gemm_kernels(c: &mut Criterion) {
                 gemm_tiled(m, k, n, &a, &b, &mut out);
             })
         });
+        // The fast tier: runtime-dispatched SIMD/FMA microkernels
+        // (KernelTier::Fast). Not bit-identical to the rows above —
+        // the exactness contract is traded for ≥4× on these shapes.
+        group.bench_with_input(BenchmarkId::new("fast", &shape), &(), |bch, ()| {
+            bch.iter(|| {
+                out.fill(0.0);
+                gemm_fast(m, k, n, &a, &b, &mut out);
+            })
+        });
     }
     group.finish();
 }
@@ -102,6 +112,12 @@ fn bench_arena_forward(c: &mut Criterion) {
     let mut arena = ExecArena::for_network(&s.net);
     group.bench_function("arena", |b| {
         b.iter(|| s.net.classify_arena(&img, &mut arena))
+    });
+    // Same arena path on the fast tier: the end-to-end view of the
+    // SIMD/FMA kernels (gemm is most, not all, of a forward pass).
+    let mut arena_fast = ExecArena::for_network_tier(&s.net, KernelTier::Fast);
+    group.bench_function("arena-fast", |b| {
+        b.iter(|| s.net.classify_arena(&img, &mut arena_fast))
     });
     group.finish();
 }

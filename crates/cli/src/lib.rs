@@ -31,7 +31,7 @@ use mupod_core::{Objective, PrecisionOptimizer, Profile, ProfileConfig, SearchSc
 use mupod_data::{Dataset, DatasetSpec};
 use mupod_models::{calibrate::calibrate_head_quick, ModelKind, ModelScale};
 use mupod_nn::inventory::LayerInventory;
-use mupod_nn::Network;
+use mupod_nn::{KernelTier, Network};
 use mupod_runtime::{CancelToken, ErrorClass, RetryPolicy, StageError, StagePolicy, Supervisor};
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -97,6 +97,10 @@ pub struct CommonArgs {
     /// (`--threads`); `0` means "use the machine's available
     /// parallelism". Results are bit-identical for any value.
     pub threads: usize,
+    /// Kernel tier for every forward pass (`--kernel-tier`). `Exact`
+    /// (the default) keeps artifacts byte-reproducible; `Fast` trades
+    /// bit-exactness for SIMD/FMA throughput (DESIGN.md §16).
+    pub kernel_tier: KernelTier,
 }
 
 /// `profile` options.
@@ -334,7 +338,8 @@ USAGE:
   mupod serve    --model <name> [--addr 127.0.0.1:0] [--workers N]
                  [--queue-depth N] [--max-batch N] [--deadline-ms MS]
                  [--restart-budget N] [--metrics-addr host:port]
-                 [--flight-out <file.json>] [--chaos] [common flags]
+                 [--flight-out <file.json>] [--kernel-tier exact|fast]
+                 [--chaos] [common flags]
   mupod query    --model <name> --addr <host:port> [--count N]
                  [--deadline-ms MS] [--low-priority]
                  [--retries N] [--retry-backoff-ms MS]
@@ -359,6 +364,11 @@ COMMON FLAGS (performance):
   --threads <n>               worker threads for the profiling sweep and
                               accuracy evaluation (default 0 = all cores;
                               results are identical for any value)
+  --kernel-tier exact|fast    forward-pass kernel tier (default exact).
+                              `exact` is bit-reproducible everywhere;
+                              `fast` enables SIMD/FMA reassociated
+                              kernels — faster, not byte-comparable
+                              against exact artifacts (DESIGN.md §16)
 
 COMMON FLAGS (robustness):
   --stage-timeout <secs>      watchdog deadline per pipeline stage; an
@@ -367,8 +377,12 @@ COMMON FLAGS (robustness):
                               (default 3; deterministic errors never retry)
 
 SERVING (see DESIGN.md §12):
-  `serve` prints `serving on <addr>` once live and runs until SIGINT,
-  then drains: in-flight requests finish, queued ones are answered
+  `serve` prints `serving on <addr> kernel-tier=<tier>` once live
+  (the active tier also lands in the drain summary and the
+  `mupod_serve_kernel_tier` gauge, so chaos/soak logs record which
+  tier was under test; `query` answers come from whichever tier the
+  server was started with) and runs until SIGINT, then drains:
+  in-flight requests finish, queued ones are answered
   `13 draining`, metrics flush, and the process exits 0. Admission
   rejects with `10 server busy` when the queue is full; expired
   requests get `11 deadline exceeded`; a crashed worker answers its
@@ -470,6 +484,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut stage_timeout = None;
     let mut retries = 3u32;
     let mut threads = 0usize;
+    let mut kernel_tier = KernelTier::Exact;
     let mut addr = None;
     let mut workers = 2usize;
     let mut queue_depth = 32usize;
@@ -563,6 +578,12 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 threads = take_value(args, &mut i, "--threads")?
                     .parse()
                     .map_err(|_| CliError::Usage("bad --threads".into()))?
+            }
+            "--kernel-tier" => {
+                let v = take_value(args, &mut i, "--kernel-tier")?;
+                kernel_tier = KernelTier::parse(v).ok_or_else(|| {
+                    CliError::Usage(format!("bad --kernel-tier `{v}` (want exact|fast)"))
+                })?;
             }
             "--addr" => addr = Some(take_value(args, &mut i, "--addr")?.to_string()),
             "--workers" => {
@@ -715,6 +736,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         stage_timeout,
         retries,
         threads,
+        kernel_tier,
     };
     match sub.as_str() {
         "inspect" => Ok(Command::Inspect(common)),
@@ -815,7 +837,11 @@ fn progress_event(done: usize, total: usize, layer: &str) {
 /// of the first line, so the summary alone distinguishes a clean drain
 /// (`status 0 (ok)`) from a budget-exhausted one (`status 3 (stage
 /// failed after retries)`).
-fn drain_summary(report: &mupod_serve::ServeReport, status: mupod_runtime::StatusCode) -> String {
+fn drain_summary(
+    report: &mupod_serve::ServeReport,
+    status: mupod_runtime::StatusCode,
+    tier: KernelTier,
+) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
@@ -831,8 +857,12 @@ fn drain_summary(report: &mupod_serve::ServeReport, status: mupod_runtime::Statu
     );
     let _ = writeln!(
         s,
-        "{} batches served {} requests; latency p50 {} µs, p99 {} µs",
-        report.batches, report.batched_requests, report.p50_latency_us, report.p99_latency_us,
+        "{} batches served {} requests; latency p50 {} µs, p99 {} µs; kernel-tier {}",
+        report.batches,
+        report.batched_requests,
+        report.p50_latency_us,
+        report.p99_latency_us,
+        tier.name(),
     );
     s
 }
@@ -1057,6 +1087,7 @@ fn run_inner(cmd: &Command, token: &CancelToken) -> Result<String, CliError> {
                         .with_config(ProfileConfig {
                             n_deltas: pargs.n_deltas,
                             threads: common.threads,
+                            kernel_tier: common.kernel_tier,
                             ..Default::default()
                         })
                         .with_progress(progress_event)
@@ -1130,6 +1161,7 @@ fn run_inner(cmd: &Command, token: &CancelToken) -> Result<String, CliError> {
                     .scheme(scheme)
                     .profile_config(ProfileConfig {
                         threads: common.threads,
+                        kernel_tier: common.kernel_tier,
                         ..Default::default()
                     })
                     .with_cancel(tok.clone());
@@ -1220,6 +1252,7 @@ fn run_inner(cmd: &Command, token: &CancelToken) -> Result<String, CliError> {
                 slow_batch,
                 metrics_addr: sargs.metrics_addr.clone(),
                 flight_out: sargs.flight_out.clone().map(std::path::PathBuf::from),
+                kernel_tier: common.kernel_tier,
             };
             // The serve stage is not retried: its internal supervisor
             // (worker restarts under the budget) is the retry layer, and
@@ -1246,8 +1279,9 @@ fn run_inner(cmd: &Command, token: &CancelToken) -> Result<String, CliError> {
                     .map_err(|e| format!("calibration failed: {e}"))?;
                 Ok(net)
             };
+            let tier = cfg.kernel_tier;
             let report = mupod_serve::run_reloadable(net, &cfg, token, Some(&reloader), |bound| {
-                println!("serving on {}", bound.addr);
+                println!("serving on {} kernel-tier={}", bound.addr, tier.name());
                 if let Some(m) = bound.metrics_addr {
                     println!("metrics on {m}");
                 }
@@ -1261,12 +1295,12 @@ fn run_inner(cmd: &Command, token: &CancelToken) -> Result<String, CliError> {
                     // the failure status before the typed error exits 3.
                     eprint!(
                         "{}",
-                        drain_summary(report, mupod_runtime::StatusCode::StageFailed)
+                        drain_summary(report, mupod_runtime::StatusCode::StageFailed, tier)
                     );
                     CliError::StageFailed(format!("serve: {e}"))
                 }
             })?;
-            out.push_str(&drain_summary(&report, mupod_runtime::StatusCode::Ok));
+            out.push_str(&drain_summary(&report, mupod_runtime::StatusCode::Ok, tier));
         }
         Command::Route(rargs) => {
             let _span = mupod_obs::span("cli.route");
@@ -1602,6 +1636,57 @@ mod tests {
             Err(CliError::Usage(_))
         ));
         assert!(USAGE.contains("--threads"), "--threads missing from help");
+    }
+
+    #[test]
+    fn parses_kernel_tier_flag() {
+        match parse(&argv(
+            "profile --model alexnet --out p.csv --kernel-tier fast",
+        ))
+        .unwrap()
+        {
+            Command::Profile(c, _) => assert_eq!(c.kernel_tier, KernelTier::Fast),
+            _ => panic!("wrong command"),
+        }
+        match parse(&argv("serve --model alexnet --kernel-tier exact")).unwrap() {
+            Command::Serve(c, _) => assert_eq!(c.kernel_tier, KernelTier::Exact),
+            _ => panic!("wrong command"),
+        }
+        // The exact tier is the default: byte-reproducible artifacts
+        // unless the user explicitly opts into the fast tier.
+        match parse(&argv("inspect --model alexnet")).unwrap() {
+            Command::Inspect(c) => assert_eq!(c.kernel_tier, KernelTier::Exact),
+            _ => panic!("wrong command"),
+        }
+        assert!(matches!(
+            parse(&argv("inspect --model alexnet --kernel-tier turbo")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(
+            USAGE.contains("--kernel-tier"),
+            "--kernel-tier missing from help"
+        );
+    }
+
+    #[test]
+    fn explicit_exact_tier_matches_default_profile_artifact() {
+        let dir = std::env::temp_dir().join("mupod_cli_kernel_tier_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = format!(
+            "profile --model alexnet --scale tiny --images 24 --deltas 4 --out {}",
+            dir.join("t.csv").display()
+        );
+        let mut outputs = Vec::new();
+        for suffix in ["", " --kernel-tier exact"] {
+            let line = format!("{base}{suffix}");
+            run(&parse(&argv(&line)).unwrap()).unwrap();
+            outputs.push(std::fs::read(dir.join("t.csv")).unwrap());
+        }
+        assert_eq!(
+            outputs[0], outputs[1],
+            "`--kernel-tier exact` must reproduce the default artifact byte-for-byte"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -49,13 +49,17 @@ fn wait_with_deadline(mut child: Child, deadline: Duration) -> std::process::Exi
     }
 }
 
-/// Reads one stdout line and parses the address after `prefix`.
+/// Reads one stdout line and parses the address after `prefix`; the
+/// address is the first token (serve appends `kernel-tier=<tier>`).
 fn read_addr_line(reader: &mut BufReader<ChildStdout>, prefix: &str) -> SocketAddr {
     let mut line = String::new();
     reader.read_line(&mut line).unwrap();
     line.trim()
         .strip_prefix(prefix)
         .unwrap_or_else(|| panic!("expected {prefix:?}, got line: {line:?}"))
+        .split_whitespace()
+        .next()
+        .unwrap_or_else(|| panic!("empty address on line: {line:?}"))
         .parse()
         .unwrap()
 }

@@ -69,6 +69,9 @@ fn start_serve(
         .trim()
         .strip_prefix("serving on ")
         .unwrap_or_else(|| panic!("unexpected first line: {line:?}"))
+        .split_whitespace()
+        .next()
+        .unwrap_or_else(|| panic!("empty address on line: {line:?}"))
         .parse()
         .unwrap();
     (child, addr, reader)

@@ -71,6 +71,9 @@ fn start_serve_with_metrics(
         .trim()
         .strip_prefix("serving on ")
         .unwrap_or_else(|| panic!("unexpected first line: {line:?}"))
+        .split_whitespace()
+        .next()
+        .unwrap_or_else(|| panic!("empty address on line: {line:?}"))
         .parse()
         .unwrap();
     line.clear();
@@ -248,6 +251,9 @@ fn exhausted_budget_prints_drain_summary_with_status_name() {
         .trim()
         .strip_prefix("serving on ")
         .unwrap_or_else(|| panic!("unexpected first line: {line:?}"))
+        .split_whitespace()
+        .next()
+        .unwrap_or_else(|| panic!("empty address on line: {line:?}"))
         .parse()
         .unwrap();
     let stderr = child.stderr.take().unwrap();

@@ -9,7 +9,7 @@
 
 use mupod_data::Dataset;
 use mupod_nn::tap::{gaussian_output_noise, QuantizeTap, StochasticQuantizeTap, UniformNoiseTap};
-use mupod_nn::{ExecArena, Network, NodeId};
+use mupod_nn::{ExecArena, KernelTier, Network, NodeId};
 use mupod_quant::{BitwidthAllocation, FixedPointFormat};
 use mupod_stats::SeededRng;
 use mupod_tensor::Tensor;
@@ -102,6 +102,8 @@ pub struct AccuracyEvaluator<'a> {
     /// Worker threads (`0` = machine parallelism). Results are
     /// bit-identical for any value.
     threads: usize,
+    /// Kernel tier every forward pass (reference and noisy) runs on.
+    tier: KernelTier,
 }
 
 impl std::fmt::Debug for AccuracyEvaluator<'_> {
@@ -140,6 +142,27 @@ impl<'a> AccuracyEvaluator<'a> {
         mode: AccuracyMode,
         threads: usize,
     ) -> Self {
+        Self::with_threads_tier(net, dataset, mode, threads, KernelTier::Exact)
+    }
+
+    /// [`AccuracyEvaluator::with_threads`] with an explicit kernel
+    /// tier: every forward pass — the clean reference establishing
+    /// pass included — dispatches to `tier`'s kernels. With
+    /// [`KernelTier::Exact`] (the default everywhere) results are
+    /// bit-exact and byte-reproducible; `Fast` runs the SIMD/FMA
+    /// microkernels, whose top-1 agreement with the exact tier is
+    /// asserted by the e2e test suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn with_threads_tier(
+        net: &'a Network,
+        dataset: &'a Dataset,
+        mode: AccuracyMode,
+        threads: usize,
+        tier: KernelTier,
+    ) -> Self {
         assert!(!dataset.is_empty(), "evaluation dataset must not be empty");
         let resolved = resolve_threads(threads);
         // The fp-reference pass goes through the same parallel engine as
@@ -148,7 +171,7 @@ impl<'a> AccuracyEvaluator<'a> {
         let fp_preds = predict_all(
             dataset.images(),
             resolved,
-            || ExecArena::for_network(net),
+            || ExecArena::for_network_tier(net, tier),
             |arena, _i, img| net.classify_arena(img, arena),
         );
         let (targets, fp_accuracy) = match mode {
@@ -172,7 +195,13 @@ impl<'a> AccuracyEvaluator<'a> {
             targets,
             fp_accuracy,
             threads,
+            tier,
         }
+    }
+
+    /// The kernel tier this evaluator's forward passes run on.
+    pub fn tier(&self) -> KernelTier {
+        self.tier
     }
 
     /// The label mode in use.
@@ -230,7 +259,7 @@ impl<'a> AccuracyEvaluator<'a> {
         self.fraction_correct_with(
             || {
                 (
-                    ExecArena::for_network(self.net),
+                    ExecArena::for_network_tier(self.net, self.tier),
                     UniformNoiseTap::new(deltas.clone(), root.fork(0)),
                 )
             },
@@ -246,7 +275,7 @@ impl<'a> AccuracyEvaluator<'a> {
     pub fn accuracy_gaussian_output(&self, sigma: f64, seed: u64) -> f64 {
         let root = SeededRng::new(seed);
         self.fraction_correct_with(
-            || ExecArena::for_network(self.net),
+            || ExecArena::for_network_tier(self.net, self.tier),
             |arena, i, img| {
                 let acts = self.net.forward_arena(img, arena);
                 let mut logits = self.net.output(acts).clone();
@@ -263,7 +292,7 @@ impl<'a> AccuracyEvaluator<'a> {
         self.fraction_correct_with(
             || {
                 (
-                    ExecArena::for_network(self.net),
+                    ExecArena::for_network_tier(self.net, self.tier),
                     QuantizeTap::new(formats.clone()),
                 )
             },
@@ -283,7 +312,7 @@ impl<'a> AccuracyEvaluator<'a> {
         self.fraction_correct_with(
             || {
                 (
-                    ExecArena::for_network(self.net),
+                    ExecArena::for_network_tier(self.net, self.tier),
                     StochasticQuantizeTap::new(formats.clone(), root.fork(0)),
                 )
             },
@@ -326,7 +355,7 @@ impl<'a> AccuracyEvaluator<'a> {
     /// Panics if the other network's input shape differs.
     pub fn accuracy_of_network(&self, other: &Network) -> f64 {
         self.fraction_correct_with(
-            || ExecArena::for_network(other),
+            || ExecArena::for_network_tier(other, self.tier),
             |arena, _i, img| other.classify_arena(img, arena),
         )
     }
@@ -345,7 +374,7 @@ impl<'a> AccuracyEvaluator<'a> {
         self.fraction_correct_with(
             || {
                 (
-                    ExecArena::for_network(other),
+                    ExecArena::for_network_tier(other, self.tier),
                     QuantizeTap::new(formats.clone()),
                 )
             },

@@ -300,11 +300,12 @@ impl<'a> PrecisionOptimizer<'a> {
         // 2. Binary search for σ_{Y_Ł}.
         self.cancel_checkpoint()?;
         let _search_span = mupod_obs::span("optimize.search");
-        let evaluator = AccuracyEvaluator::with_threads(
+        let evaluator = AccuracyEvaluator::with_threads_tier(
             self.net,
             self.dataset,
             self.mode,
             self.profile_config.threads,
+            self.profile_config.kernel_tier,
         );
         let fp_accuracy = evaluator.fp_accuracy();
         let target = fp_accuracy * (1.0 - self.relative_loss);

@@ -12,7 +12,7 @@
 
 use mupod_nn::inventory::LayerInventory;
 use mupod_nn::tap::UniformNoiseTap;
-use mupod_nn::{ExecArena, ExecError, Network, NodeId, ValidateConfig};
+use mupod_nn::{ExecArena, ExecError, KernelTier, Network, NodeId, ValidateConfig};
 use mupod_stats::regression::FitError;
 use mupod_stats::{LinearFit, RunningStats, SeededRng};
 use mupod_tensor::Tensor;
@@ -40,6 +40,12 @@ pub struct ProfileConfig {
     /// any thread count: each layer's noise streams are keyed by its
     /// position, not by execution order.
     pub threads: usize,
+    /// Kernel tier the sweep's forward passes run on. The default,
+    /// [`KernelTier::Exact`], keeps every profile artifact bit-exact
+    /// and byte-reproducible; `Fast` trades that for the SIMD/FMA
+    /// microkernels (profile CSVs are then *not* byte-comparable
+    /// against exact-tier runs).
+    pub kernel_tier: KernelTier,
     /// Numerical guardrails applied during the sweep.
     pub guard: GuardConfig,
 }
@@ -54,6 +60,7 @@ impl Default for ProfileConfig {
             seed: 0x9E37,
             full_replay: false,
             threads: 0,
+            kernel_tier: KernelTier::default(),
             guard: GuardConfig::default(),
         }
     }
@@ -515,7 +522,7 @@ impl<'a> Profiler<'a> {
         let threads = threads.min(layers.len());
 
         if threads <= 1 {
-            let mut arena = ExecArena::for_network(self.net);
+            let mut arena = ExecArena::for_network_tier(self.net, self.config.kernel_tier);
             let mut out = Vec::with_capacity(layers.len());
             for (li, &layer) in layers.iter().enumerate() {
                 out.push(finish(li, layer, &mut arena)?);
@@ -535,7 +542,8 @@ impl<'a> Profiler<'a> {
                     let next_job = &next_job;
                     let finish = &finish;
                     handles.push(scope.spawn(move || {
-                        let mut arena = ExecArena::for_network(self.net);
+                        let mut arena =
+                            ExecArena::for_network_tier(self.net, self.config.kernel_tier);
                         let mut local = Vec::new();
                         loop {
                             let li = next_job.fetch_add(1, std::sync::atomic::Ordering::Relaxed);

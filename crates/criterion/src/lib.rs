@@ -8,10 +8,12 @@
 //! `criterion_group!`/`criterion_main!` macros.
 //!
 //! Statistical machinery (outlier analysis, regression detection, HTML
-//! reports) is intentionally absent; each benchmark reports min / mean /
-//! max over its samples. When the binary is invoked with `--test` (as
-//! `cargo test --benches` does), benchmarks are skipped after setup so
-//! the test suite stays fast.
+//! reports) is intentionally absent; each benchmark reports min / p50 /
+//! mean / max over its samples, after a handful of untimed warm-up
+//! iterations let caches, branch predictors, and the CPU governor
+//! settle. When the binary is invoked with `--test` (as `cargo test
+//! --benches` does), benchmarks are skipped after setup so the test
+//! suite stays fast.
 //!
 //! ## Machine-readable output
 //!
@@ -23,7 +25,9 @@
 //!
 //! * `MUPOD_BENCH_DIR` — output directory (default: current directory);
 //! * `MUPOD_BENCH_SAMPLES` — overrides every group's sample count, for
-//!   quick smoke runs in CI.
+//!   quick smoke runs in CI;
+//! * `MUPOD_BENCH_WARMUP` — overrides the untimed warm-up iteration
+//!   count per benchmark (default 3; `0` disables warm-up).
 
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -45,8 +49,9 @@ pub struct BenchRecord {
     pub max_ns: u128,
     /// Number of timed samples.
     pub samples: usize,
-    /// Median, nanoseconds — only benches that track a latency
-    /// distribution (e.g. the serving bench) report it.
+    /// Median, nanoseconds. Timed `Bencher::iter` benches always report
+    /// it (since the warm-up/percentile revision of the shim); manual
+    /// records may omit it.
     pub p50_ns: Option<u128>,
     /// 99th percentile, nanoseconds (see `p50_ns`).
     pub p99_ns: Option<u128>,
@@ -262,6 +267,7 @@ impl BenchmarkGroup<'_> {
         let mut b = Bencher {
             samples: Vec::with_capacity(sample_size),
             sample_size,
+            warmup_iters: warmup_iters(),
         };
         f(&mut b);
         if b.samples.is_empty() {
@@ -271,8 +277,9 @@ impl BenchmarkGroup<'_> {
         let min = b.samples.iter().min().copied().unwrap_or_default();
         let max = b.samples.iter().max().copied().unwrap_or_default();
         let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+        let p50 = median(&b.samples);
         println!(
-            "{full}: min {min:?}  mean {mean:?}  max {max:?}  ({} samples)",
+            "{full}: min {min:?}  p50 {p50:?}  mean {mean:?}  max {max:?}  ({} samples)",
             b.samples.len()
         );
         push_record(BenchRecord {
@@ -282,11 +289,32 @@ impl BenchmarkGroup<'_> {
             mean_ns: mean.as_nanos(),
             max_ns: max.as_nanos(),
             samples: b.samples.len(),
-            p50_ns: None,
+            p50_ns: Some(p50.as_nanos()),
             p99_ns: None,
             throughput_rps: None,
         });
     }
+}
+
+/// Untimed warm-up iterations before the timed samples (default 3,
+/// `MUPOD_BENCH_WARMUP` overrides; `0` disables). One iteration is not
+/// enough on a cold binary: the first few passes still pay for page
+/// faults, cold caches, and frequency-governor ramp-up, which lands as
+/// noise in `min_ns` — exactly the statistic the CI regression gate
+/// compares.
+fn warmup_iters() -> usize {
+    std::env::var("MUPOD_BENCH_WARMUP")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(3)
+}
+
+/// Median of the recorded samples (lower-middle for even counts, so the
+/// value is always one actually-observed sample).
+fn median(samples: &[Duration]) -> Duration {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    sorted[(sorted.len() - 1) / 2]
 }
 
 /// Times closures handed to it by a benchmark body.
@@ -294,12 +322,16 @@ impl BenchmarkGroup<'_> {
 pub struct Bencher {
     samples: Vec<Duration>,
     sample_size: usize,
+    warmup_iters: usize,
 }
 
 impl Bencher {
-    /// Runs `f` once as warm-up, then `sample_size` timed iterations.
+    /// Runs `f` for `warmup_iters` untimed iterations, then
+    /// `sample_size` timed ones.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
-        black_box(f());
+        for _ in 0..self.warmup_iters {
+            black_box(f());
+        }
         for _ in 0..self.sample_size {
             let start = Instant::now();
             black_box(f());
@@ -412,6 +444,46 @@ mod tests {
         assert!(json.contains("\"throughput_rps\": 1234"));
         // Still one JSON object per line, still strict JSON.
         assert_eq!(json.matches("},\n").count(), 0);
+    }
+
+    #[test]
+    fn median_is_an_observed_sample() {
+        let ms = |n| Duration::from_millis(n);
+        assert_eq!(median(&[ms(5)]), ms(5));
+        assert_eq!(median(&[ms(9), ms(1), ms(5)]), ms(5));
+        // Even count: lower-middle, not an interpolated midpoint.
+        assert_eq!(median(&[ms(4), ms(1), ms(3), ms(2)]), ms(2));
+    }
+
+    #[test]
+    fn bencher_warms_up_then_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 4,
+            warmup_iters: 2,
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 6, "2 warm-up + 4 timed iterations");
+        assert_eq!(b.samples.len(), 4, "only timed iterations are recorded");
+    }
+
+    #[test]
+    fn timed_benches_record_p50() {
+        // Run a group through the real `run` path and check the global
+        // accumulator gained a record with a median.
+        let mut c = Criterion { test_mode: false };
+        let mut group = c.benchmark_group("shim-p50");
+        group.sample_size(5);
+        group.bench_function("noop", |b| b.iter(|| black_box(0u64)));
+        group.finish();
+        let results = RESULTS.lock().unwrap();
+        let rec = results
+            .iter()
+            .find(|r| r.group == "shim-p50" && r.bench == "noop")
+            .expect("record pushed");
+        let p50 = rec.p50_ns.expect("timed benches always report p50");
+        assert!(rec.min_ns <= p50 && p50 <= rec.max_ns);
     }
 
     #[test]

@@ -50,6 +50,17 @@ fn unsafe_needs_safety_comment_fires_with_exact_line() {
 }
 
 #[test]
+fn target_feature_intrinsics_need_safety_on_the_unsafe_fn_only() {
+    // The SIMD-kernel shape from the fast tier: the `unsafe fn` behind
+    // `#[target_feature]` fires when undocumented, while the dispatch
+    // call under its feature check passes on its SAFETY comment.
+    let rep = run_fixture("target_feature_intrinsics.rs", "tensor");
+    assert_eq!(rep.violations.len(), 1, "{:?}", rep.violations);
+    assert_eq!(rep.violations[0].rule, "unsafe-needs-safety-comment");
+    assert_eq!(rep.violations[0].line, 8);
+}
+
+#[test]
 fn no_float_eq_fires_with_exact_line() {
     let rep = run_fixture("float_eq.rs", "nn");
     assert_eq!(rep.violations.len(), 1, "{:?}", rep.violations);

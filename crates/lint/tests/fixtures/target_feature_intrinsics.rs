@@ -1,0 +1,27 @@
+//! Fixture: a `#[target_feature]` SIMD intrinsics block. The
+//! undocumented `unsafe fn` on line 8 fires; the dispatch call under
+//! its feature check carries a SAFETY comment and stays green.
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::missing_safety_doc)]
+pub unsafe fn sum8(p: *const f32) -> f32 {
+    use std::arch::x86_64::*;
+    let v = _mm256_loadu_ps(p);
+    let hi = _mm256_extractf128_ps::<1>(v);
+    let lo = _mm256_castps256_ps128(v);
+    let q = _mm_add_ps(lo, hi);
+    let d = _mm_add_ps(q, _mm_movehl_ps(q, q));
+    let s = _mm_add_ss(d, _mm_shuffle_ps::<1>(d, d));
+    _mm_cvtss_f32(s)
+}
+
+#[cfg(target_arch = "x86_64")]
+pub fn sum8_dispatch(x: &[f32; 8]) -> f32 {
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        // SAFETY: the runtime checks above prove AVX2+FMA are
+        // available, and `x` is exactly one 8-lane vector.
+        return unsafe { sum8(x.as_ptr()) };
+    }
+    x.iter().sum()
+}

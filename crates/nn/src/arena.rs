@@ -19,7 +19,7 @@ use crate::exec::{eval_op_into, Activations, ExecError, ValidateConfig};
 use crate::graph::Network;
 use crate::layer::{NodeId, Op};
 use crate::tap::InputTap;
-use mupod_tensor::Tensor;
+use mupod_tensor::{KernelTier, Tensor};
 
 /// Largest fan-in gathered on the stack; wider nodes (unheard of in the
 /// model zoo, where concat tops out at a handful of branches) fall back
@@ -67,12 +67,23 @@ pub struct ExecArena {
     affected: Vec<bool>,
     /// Total bytes held by the activation slots (for the obs counter).
     pub(crate) slot_bytes: u64,
+    /// Kernel tier every dot-product op in this arena dispatches to.
+    pub(crate) tier: KernelTier,
 }
 
 impl ExecArena {
     /// Builds an arena sized for `net`, allocating every activation slot
-    /// up front from the shapes recorded at build time.
+    /// up front from the shapes recorded at build time. Runs on the
+    /// bit-exact kernel tier; see [`ExecArena::for_network_tier`].
     pub fn for_network(net: &Network) -> Self {
+        Self::for_network_tier(net, KernelTier::Exact)
+    }
+
+    /// [`ExecArena::for_network`] with an explicit kernel tier: every
+    /// conv / fully-connected evaluation through this arena dispatches
+    /// to `tier`'s kernels ([`KernelTier::Fast`] trades bit-exactness
+    /// for the SIMD/FMA microkernels — see `mupod_tensor::fast`).
+    pub fn for_network_tier(net: &Network, tier: KernelTier) -> Self {
         let slots: Vec<Tensor> = (0..net.node_count())
             .map(|i| Tensor::zeros(net.node_out_dims(NodeId(i))))
             .collect();
@@ -86,12 +97,18 @@ impl ExecArena {
             tap_scratch: vec![None; net.node_count()],
             affected: Vec::new(),
             slot_bytes,
+            tier,
         }
     }
 
     /// The activations written by the most recent arena pass.
     pub fn activations(&self) -> &Activations {
         &self.acts
+    }
+
+    /// The kernel tier this arena dispatches dot-product ops to.
+    pub fn tier(&self) -> KernelTier {
+        self.tier
     }
 }
 
@@ -103,16 +120,17 @@ pub(crate) fn eval_node_into<'t>(
     resolve: impl Fn(NodeId) -> &'t Tensor,
     out: &mut Tensor,
     patches: &mut Vec<f32>,
+    tier: KernelTier,
 ) {
     if !inputs.is_empty() && inputs.len() <= MAX_FANIN {
         let mut buf = [resolve(inputs[0]); MAX_FANIN];
         for (slot, &p) in buf.iter_mut().zip(inputs) {
             *slot = resolve(p);
         }
-        eval_op_into(op, &buf[..inputs.len()], out, patches);
+        eval_op_into(op, &buf[..inputs.len()], out, patches, tier);
     } else {
         let gathered: Vec<&Tensor> = inputs.iter().map(|&p| resolve(p)).collect();
-        eval_op_into(op, &gathered, out, patches);
+        eval_op_into(op, &gathered, out, patches, tier);
     }
 }
 
@@ -141,6 +159,7 @@ impl Network {
         mupod_obs::counter_add("nn.node_evals", self.nodes.len() as u64 - 1);
         mupod_obs::counter_add("nn.arena_passes", 1);
         mupod_obs::counter_add("nn.arena_bytes_recycled", arena.slot_bytes);
+        let tier = arena.tier;
         let ExecArena {
             acts,
             patches,
@@ -169,9 +188,9 @@ impl Network {
                 let scratch = slot.get_or_insert_with(|| src.clone());
                 scratch.copy_from(src);
                 tap.apply(id, scratch);
-                eval_op_into(&node.op, &[&*scratch], out, patches);
+                eval_op_into(&node.op, &[&*scratch], out, patches, tier);
             } else {
-                eval_node_into(&node.op, &node.inputs, |p| &prev[p.0], out, patches);
+                eval_node_into(&node.op, &node.inputs, |p| &prev[p.0], out, patches, tier);
             }
             if let Some(c) = cfg {
                 if c.check_activations {
@@ -208,6 +227,7 @@ impl Network {
         mupod_obs::counter_add("nn.suffix_replays", 1);
         mupod_obs::counter_add("nn.arena_passes", 1);
         mupod_obs::counter_add("nn.arena_bytes_recycled", arena.slot_bytes);
+        let tier = arena.tier;
         let ExecArena {
             acts,
             patches,
@@ -243,7 +263,7 @@ impl Network {
                 let scratch = tap_scratch[i].get_or_insert_with(|| src.clone());
                 scratch.copy_from(src);
                 tap.apply(NodeId(i), scratch);
-                eval_op_into(&node.op, &[&*scratch], out, patches);
+                eval_op_into(&node.op, &[&*scratch], out, patches, tier);
             } else {
                 eval_node_into(
                     &node.op,
@@ -257,6 +277,7 @@ impl Network {
                     },
                     out,
                     patches,
+                    tier,
                 );
             }
             if let Some(c) = cfg {

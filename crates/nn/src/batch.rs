@@ -41,8 +41,8 @@
 use crate::arena::{eval_node_into, ExecArena};
 use crate::graph::Network;
 use crate::layer::Op;
-use mupod_tensor::conv::conv2d_batch_into;
-use mupod_tensor::Tensor;
+use mupod_tensor::conv::conv2d_batch_into_tier;
+use mupod_tensor::{KernelTier, Tensor};
 
 /// Reusable execution state for batches of up to `max_batch` images:
 /// one [`ExecArena`] per batch slot plus the shared batched-conv
@@ -61,28 +61,49 @@ pub struct BatchArena {
     patches: Vec<f32>,
     /// Batched GEMM output panel: `group_out_c × (N · oh · ow)`.
     gemm_out: Vec<f32>,
+    /// Kernel tier the batched conv fusion (and every slot) runs on.
+    tier: KernelTier,
 }
 
 impl BatchArena {
-    /// Builds a batch arena for `net` with `max_batch` slots.
+    /// Builds a batch arena for `net` with `max_batch` slots, running
+    /// on the bit-exact kernel tier; see
+    /// [`BatchArena::for_network_tier`].
     ///
     /// # Panics
     ///
     /// Panics if `max_batch` is zero.
     pub fn for_network(net: &Network, max_batch: usize) -> Self {
+        Self::for_network_tier(net, max_batch, KernelTier::Exact)
+    }
+
+    /// [`BatchArena::for_network`] with an explicit kernel tier: the
+    /// fused batch convolution and every per-slot evaluation dispatch
+    /// to `tier`'s kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero.
+    pub fn for_network_tier(net: &Network, max_batch: usize, tier: KernelTier) -> Self {
         assert!(max_batch > 0, "batch arena needs at least one slot");
         Self {
             arenas: (0..max_batch)
-                .map(|_| ExecArena::for_network(net))
+                .map(|_| ExecArena::for_network_tier(net, tier))
                 .collect(),
             patches: Vec::new(),
             gemm_out: Vec::new(),
+            tier,
         }
     }
 
     /// Number of batch slots (the largest batch this arena can run).
     pub fn max_batch(&self) -> usize {
         self.arenas.len()
+    }
+
+    /// The kernel tier this arena dispatches dot-product ops to.
+    pub fn tier(&self) -> KernelTier {
+        self.tier
     }
 
     /// The activations slot `i` holds from the most recent batch pass.
@@ -126,7 +147,9 @@ impl Network {
             arenas,
             patches,
             gemm_out,
+            tier,
         } = batch;
+        let tier = *tier;
         let live = &mut arenas[..n];
         for (arena, image) in live.iter_mut().zip(images) {
             assert_eq!(
@@ -162,7 +185,8 @@ impl Network {
                         ins.push(&prev[src]);
                         outs.push(rest[0].data_mut());
                     }
-                    conv2d_batch_into(
+                    conv2d_batch_into_tier(
+                        tier,
                         &ins,
                         weight,
                         Some(bias),
@@ -184,6 +208,7 @@ impl Network {
                     |p| &prev[p.index()],
                     &mut rest[0],
                     patches,
+                    tier,
                 );
             }
         }

@@ -4,12 +4,12 @@
 use crate::graph::Network;
 use crate::layer::{NodeId, Op};
 use crate::tap::InputTap;
-use mupod_tensor::conv::conv2d_into;
-use mupod_tensor::gemm::matvec_into;
+use mupod_tensor::conv::conv2d_into_tier;
+use mupod_tensor::gemm::matvec_into_tier;
 use mupod_tensor::pool::{
     avg_pool2d_into, global_avg_pool_into, lrn_across_channels_into, max_pool2d_into,
 };
-use mupod_tensor::{Tensor, TensorError};
+use mupod_tensor::{KernelTier, Tensor, TensorError};
 
 /// What the validated forward variants check at each layer boundary.
 ///
@@ -176,10 +176,20 @@ pub(crate) fn op_output_dims(op: &Op, inputs: &[&Tensor]) -> Vec<usize> {
 /// [`eval_op`] and the arena executor route through this function, so
 /// the two paths cannot diverge numerically.
 ///
+/// The dot-product ops (conv, fully-connected) run on `tier`
+/// ([`KernelTier::Exact`] keeps the bit-exact contract; `Fast` routes
+/// to the SIMD/FMA microkernels); every other op is tier-independent.
+///
 /// # Panics
 ///
 /// Panics on operand-shape mismatches (the tensor kernels validate).
-pub(crate) fn eval_op_into(op: &Op, inputs: &[&Tensor], out: &mut Tensor, patches: &mut Vec<f32>) {
+pub(crate) fn eval_op_into(
+    op: &Op,
+    inputs: &[&Tensor],
+    out: &mut Tensor,
+    patches: &mut Vec<f32>,
+    tier: KernelTier,
+) {
     match op {
         // lint:allow(no-panic-path) reason=executor seeds Input nodes from the image and never schedules them for evaluation
         Op::Input => unreachable!("input placeholder is never evaluated"),
@@ -187,7 +197,8 @@ pub(crate) fn eval_op_into(op: &Op, inputs: &[&Tensor], out: &mut Tensor, patche
             params,
             weight,
             bias,
-        } => conv2d_into(
+        } => conv2d_into_tier(
+            tier,
             inputs[0],
             weight,
             Some(bias),
@@ -201,7 +212,8 @@ pub(crate) fn eval_op_into(op: &Op, inputs: &[&Tensor], out: &mut Tensor, patche
                 1,
                 "fully-connected input must be rank 1 (insert a flatten)"
             );
-            matvec_into(
+            matvec_into_tier(
+                tier,
                 weight.dims()[0],
                 weight.dims()[1],
                 weight.data(),
@@ -298,7 +310,9 @@ pub(crate) fn eval_op(op: &Op, inputs: &[&Tensor]) -> Tensor {
     let dims = op_output_dims(op, inputs);
     let mut out = Tensor::zeros(&dims);
     let mut patches = Vec::new();
-    eval_op_into(op, inputs, &mut out, &mut patches);
+    // The allocating path is the bit-exact reference oracle: always
+    // Exact, regardless of any arena's tier.
+    eval_op_into(op, inputs, &mut out, &mut patches, KernelTier::Exact);
     out
 }
 

@@ -59,3 +59,4 @@ pub use batch::BatchArena;
 pub use exec::{Activations, ExecError, ValidateConfig};
 pub use graph::{BuildError, Network, NetworkBuilder};
 pub use layer::{Node, NodeId, Op};
+pub use mupod_tensor::KernelTier;

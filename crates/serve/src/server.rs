@@ -25,7 +25,7 @@ use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
-use mupod_nn::Network;
+use mupod_nn::{KernelTier, Network};
 use mupod_obs::FlightStage;
 use mupod_runtime::{CancelToken, StatusCode};
 
@@ -73,6 +73,12 @@ pub struct ServeConfig {
     /// Where worker panics and budget exhaustion seal the flight
     /// recorder; `None` disables automatic dumps.
     pub flight_out: Option<PathBuf>,
+    /// Kernel tier the workers' batch arenas run on. `Exact` (default)
+    /// keeps bit-exact inference; `Fast` dispatches to the SIMD/FMA
+    /// microkernels (`mupod_tensor::fast`). Surfaces in the readiness
+    /// line and the `mupod_serve_kernel_tier` gauge so chaos/soak logs
+    /// record which tier was under test.
+    pub kernel_tier: KernelTier,
 }
 
 impl Default for ServeConfig {
@@ -88,6 +94,7 @@ impl Default for ServeConfig {
             slow_batch: None,
             metrics_addr: None,
             flight_out: None,
+            kernel_tier: KernelTier::default(),
         }
     }
 }

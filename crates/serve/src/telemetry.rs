@@ -155,6 +155,14 @@ pub(crate) fn render_metrics(cfg: &ServeConfig, shared: &Shared) -> String {
                 .saturating_sub(shared.crashes.load(Ordering::SeqCst)),
         ),
     );
+    e.gauge(
+        "mupod_serve_kernel_tier",
+        "Kernel tier the workers run on (0 = exact, 1 = fast).",
+        match cfg.kernel_tier {
+            mupod_nn::KernelTier::Exact => 0,
+            mupod_nn::KernelTier::Fast => 1,
+        },
+    );
     let lat = t.latency_us.summarize();
     e.histogram(
         "mupod_request_latency_us",

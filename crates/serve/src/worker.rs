@@ -61,14 +61,14 @@ fn effective_max_batch(cfg: &ServeConfig, shared: &Shared) -> usize {
 pub(crate) fn worker_loop(idx: usize, cfg: &ServeConfig, shared: &Shared) {
     let mut epoch = shared.net_epoch.load(Ordering::SeqCst);
     let mut net: Arc<Network> = shared.current_net();
-    let mut arena = BatchArena::for_network(&net, cfg.max_batch.max(1));
+    let mut arena = BatchArena::for_network_tier(&net, cfg.max_batch.max(1), cfg.kernel_tier);
     let policy = restart_policy(idx);
     loop {
         let now_epoch = shared.net_epoch.load(Ordering::SeqCst);
         if now_epoch != epoch {
             epoch = now_epoch;
             net = shared.current_net();
-            arena = BatchArena::for_network(&net, cfg.max_batch.max(1));
+            arena = BatchArena::for_network_tier(&net, cfg.max_batch.max(1), cfg.kernel_tier);
             mupod_obs::event(
                 mupod_obs::Level::Info,
                 "serve.worker_reloaded",
@@ -247,7 +247,7 @@ fn process_batch(
             }
             // Poison isolation: the old arena may hold half-written
             // activations — rebuild from scratch before serving again.
-            *arena = BatchArena::for_network(net, cfg.max_batch.max(1));
+            *arena = BatchArena::for_network_tier(net, cfg.max_batch.max(1), cfg.kernel_tier);
             let backoff = policy.delay_for(crashes);
             mupod_obs::counter_add("serve.worker_restarts", 1);
             mupod_obs::event(

@@ -6,8 +6,10 @@
 //! benchmarks. Grouped convolution covers both AlexNet's two-group layers
 //! and MobileNet's depthwise layers (`groups == in_channels`).
 
+#[allow(unused_imports)] // doc links only: [`gemm_tiled`] in the kernel contract docs
 use crate::gemm::gemm_tiled;
-use crate::Tensor;
+use crate::gemm::gemm_tiled_tier;
+use crate::{KernelTier, Tensor};
 
 /// Geometry of a 2-D convolution.
 ///
@@ -258,6 +260,26 @@ pub fn conv2d_into(
     patches: &mut Vec<f32>,
     out: &mut [f32],
 ) {
+    conv2d_into_tier(KernelTier::Exact, input, weight, bias, p, patches, out);
+}
+
+/// [`conv2d_into`] under the two-tier contract: the per-group GEMM
+/// runs on the selected tier (`Exact` = bit-exact [`gemm_tiled`],
+/// `Fast` = [`crate::fast::gemm_fast`]); im2col and the bias add are
+/// tier-independent.
+///
+/// # Panics
+///
+/// Panics on any shape mismatch.
+pub fn conv2d_into_tier(
+    tier: KernelTier,
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    p: &Conv2dParams,
+    patches: &mut Vec<f32>,
+    out: &mut [f32],
+) {
     check_conv_args(input, weight, bias, p);
     let (h, w) = (input.dims()[1], input.dims()[2]);
     let (oh, ow) = p.out_spatial(h, w);
@@ -280,7 +302,7 @@ pub fn conv2d_into(
         im2col_into(input, p, g, patch);
         let w_group = &weight.data()[g * gc_out * gc_in * kk..(g + 1) * gc_out * gc_in * kk];
         let c_group = &mut out[g * gc_out * cols..(g + 1) * gc_out * cols];
-        gemm_tiled(gc_out, gc_in * kk, cols, w_group, patch, c_group);
+        gemm_tiled_tier(tier, gc_out, gc_in * kk, cols, w_group, patch, c_group);
     }
     if let Some(b) = bias {
         for (oc, &bv) in b.iter().enumerate() {
@@ -317,6 +339,36 @@ pub fn conv2d_into(
 /// Panics on any shape mismatch, on an empty batch, or when the images
 /// in the batch disagree on shape.
 pub fn conv2d_batch_into(
+    inputs: &[&Tensor],
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    p: &Conv2dParams,
+    patches: &mut Vec<f32>,
+    gemm_out: &mut Vec<f32>,
+    outs: &mut [&mut [f32]],
+) {
+    conv2d_batch_into_tier(
+        KernelTier::Exact,
+        inputs,
+        weight,
+        bias,
+        p,
+        patches,
+        gemm_out,
+        outs,
+    );
+}
+
+/// [`conv2d_batch_into`] under the two-tier contract — see
+/// [`conv2d_into_tier`] for what the tier changes.
+///
+/// # Panics
+///
+/// Panics on any shape mismatch, on an empty batch, or when the images
+/// in the batch disagree on shape.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_batch_into_tier(
+    tier: KernelTier,
     inputs: &[&Tensor],
     weight: &Tensor,
     bias: Option<&[f32]>,
@@ -368,7 +420,7 @@ pub fn conv2d_batch_into(
         let c_buf = &mut gemm_out[..gemm_len];
         c_buf.fill(0.0);
         let w_group = &weight.data()[g * gc_out * gc_in * kk..(g + 1) * gc_out * gc_in * kk];
-        gemm_tiled(gc_out, gc_in * kk, total, w_group, patch, c_buf);
+        gemm_tiled_tier(tier, gc_out, gc_in * kk, total, w_group, patch, c_buf);
         // Scatter each image's column block back to its CHW output.
         for oc in 0..gc_out {
             let row = &c_buf[oc * total..(oc + 1) * total];

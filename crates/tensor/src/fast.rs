@@ -1,0 +1,697 @@
+//! Fast-tier microkernels: reassociated, FMA-contracted, SIMD-dispatched.
+//!
+//! Everything in this module implements the [`crate::KernelTier::Fast`]
+//! side of the two-tier contract (DESIGN.md §16). The kernels keep the
+//! exact tier's *shape* semantics — `gemm_fast` accumulates `c += a·b`
+//! exactly like [`crate::gemm::gemm`], `matvec_fast_into` fully
+//! overwrites its output — but drop the bit-exactness discipline:
+//!
+//! * inner loops run **≥8 independent accumulators** (reassociation),
+//! * products are contracted with `f32::mul_add`,
+//! * the exact-zero sparsity skip is removed (branchless inner loops),
+//! * on x86_64 an AVX2+FMA path is selected at runtime behind
+//!   `is_x86_feature_detected!`; on aarch64 the NEON path is used
+//!   unconditionally (NEON is a baseline aarch64 feature); everywhere
+//!   else a portable multi-accumulator fallback runs.
+//!
+//! # Divergence bound
+//!
+//! For one output element that sums `k` products, both the exact and
+//! every fast variant compute some rounding of the same real-number
+//! sum. The worst-case difference is bounded by the classic summation
+//! error bound: `|fast − exact| ≤ 2·γ(k)·Σᵢ|aᵢ·bᵢ|` with
+//! `γ(k) = k·ε/(1−k·ε)`, `ε = f32::EPSILON/2`. The property suite
+//! (`crates/tensor/tests/fast_tier_ulp.rs`) asserts this bound — for
+//! fast-vs-exact *and* SIMD-vs-portable — across adversarial shapes.
+//! Relative to the *result* the error is unbounded (cancellation), so
+//! the bound is stated against the absolute-value inner product.
+//!
+//! The public `*_portable` and `*_simd` twins exist so the dispatch
+//! tests can pin both sides of the runtime choice independently.
+
+/// Accumulator count of the portable reassociated reductions; the SIMD
+/// paths use 4×8 (AVX2) or 4×4 (NEON) lanes, always ≥ 8-way.
+const P_ACC: usize = 8;
+
+/// Register-tile width of the fast GEMM paths (columns per row tile).
+const FR: usize = 16;
+
+/// Human-readable name of the SIMD path the fast tier dispatches to on
+/// this machine: `"avx2+fma"`, `"neon"` or `"portable"`. Surfaces in
+/// logs and docs so recorded numbers name the microkernel under test.
+pub fn dispatch_label() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    if avx2::available() {
+        return "avx2+fma";
+    }
+    #[cfg(target_arch = "aarch64")]
+    return "neon";
+    #[cfg(not(target_arch = "aarch64"))]
+    "portable"
+}
+
+fn check_gemm_args(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &[f32]) {
+    assert_eq!(a.len(), m * k, "lhs size mismatch");
+    assert_eq!(b.len(), k * n, "rhs size mismatch");
+    assert_eq!(c.len(), m * n, "output size mismatch");
+}
+
+/// Fast-tier `c += a · b` (`a` is `m×k`, `b` is `k×n`, row-major):
+/// runtime-dispatched SIMD with the portable fallback.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given dimensions.
+pub fn gemm_fast(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    check_gemm_args(m, k, n, a, b, c);
+    mupod_obs::counter_add("tensor.gemm_calls", 1);
+    mupod_obs::counter_add("tensor.gemm_macs", (m * k * n) as u64);
+    if !gemm_fast_simd(m, k, n, a, b, c) {
+        gemm_fast_portable(m, k, n, a, b, c);
+    }
+}
+
+/// The portable fast kernel: per row, [`FR`]-wide register tiles of
+/// independent accumulators with `mul_add` contraction and no sparsity
+/// branch. Public so the dispatch tests can pin it against the SIMD
+/// path.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given dimensions.
+pub fn gemm_fast_portable(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    check_gemm_args(m, k, n, a, b, c);
+    let nr = n - n % FR;
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let mut j = 0;
+        while j < nr {
+            let c_off = i * n + j;
+            let mut acc = [0.0f32; FR];
+            acc.copy_from_slice(&c[c_off..c_off + FR]);
+            for (kk, &av) in a_row.iter().enumerate() {
+                let b_row = &b[kk * n + j..kk * n + j + FR];
+                for (av_c, &bv) in acc.iter_mut().zip(b_row) {
+                    *av_c = av.mul_add(bv, *av_c);
+                }
+            }
+            c[c_off..c_off + FR].copy_from_slice(&acc);
+            j += FR;
+        }
+        for j in nr..n {
+            let mut acc = c[i * n + j];
+            for (kk, &av) in a_row.iter().enumerate() {
+                acc = av.mul_add(b[kk * n + j], acc);
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+/// Runs the SIMD fast GEMM directly; returns `false` with `c`
+/// untouched when this CPU has no SIMD path (then callers fall back to
+/// [`gemm_fast_portable`]). Public so the dispatch-agreement tests can
+/// compare both paths on machines that have one.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given dimensions.
+#[cfg(target_arch = "x86_64")]
+pub fn gemm_fast_simd(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) -> bool {
+    check_gemm_args(m, k, n, a, b, c);
+    if !avx2::available() {
+        return false;
+    }
+    // SAFETY: `available()` just confirmed AVX2 and FMA on this CPU, and
+    // the dimension asserts above guarantee every pointer offset the
+    // microkernel forms stays inside the slices.
+    unsafe { avx2::gemm(m, k, n, a, b, c) };
+    true
+}
+
+/// NEON variant of [`gemm_fast_simd`] — see the x86_64 docs.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given dimensions.
+#[cfg(target_arch = "aarch64")]
+pub fn gemm_fast_simd(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) -> bool {
+    check_gemm_args(m, k, n, a, b, c);
+    // SAFETY: NEON is a baseline aarch64 feature, and the dimension
+    // asserts above guarantee every pointer offset the microkernel
+    // forms stays inside the slices.
+    unsafe { neon::gemm(m, k, n, a, b, c) };
+    true
+}
+
+/// No-SIMD variant of [`gemm_fast_simd`]: always `false`.
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+pub fn gemm_fast_simd(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) -> bool {
+    check_gemm_args(m, k, n, a, b, c);
+    false
+}
+
+/// Fast-tier `out = w · x + bias` (`w` is `out_dim×in_dim` row-major),
+/// fully overwriting `out`. Each row is a reassociated multi-
+/// accumulator dot product.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the dimensions.
+pub fn matvec_fast_into(
+    out_dim: usize,
+    in_dim: usize,
+    w: &[f32],
+    x: &[f32],
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+) {
+    assert_eq!(w.len(), out_dim * in_dim, "weight size mismatch");
+    assert_eq!(x.len(), in_dim, "input size mismatch");
+    assert_eq!(out.len(), out_dim, "output size mismatch");
+    if let Some(b) = bias {
+        assert_eq!(b.len(), out_dim, "bias size mismatch");
+    }
+    mupod_obs::counter_add("tensor.matvec_macs", (out_dim * in_dim) as u64);
+    for (o, out_v) in out.iter_mut().enumerate() {
+        let row = &w[o * in_dim..(o + 1) * in_dim];
+        let acc = dot_fast_simd(row, x).unwrap_or_else(|| dot_fast_portable(row, x));
+        *out_v = acc + bias.map_or(0.0, |b| b[o]);
+    }
+}
+
+/// Fast-tier dot product: runtime-dispatched SIMD with the portable
+/// fallback.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot_fast(a: &[f32], b: &[f32]) -> f32 {
+    dot_fast_simd(a, b).unwrap_or_else(|| dot_fast_portable(a, b))
+}
+
+/// The portable fast dot product: [`P_ACC`] independent `mul_add`
+/// accumulators, reduced pairwise. Public for the dispatch tests.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot_fast_portable(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    let len = a.len();
+    let la = len - len % P_ACC;
+    let mut acc = [0.0f32; P_ACC];
+    let mut i = 0;
+    while i < la {
+        for (l, s) in acc.iter_mut().enumerate() {
+            *s = a[i + l].mul_add(b[i + l], *s);
+        }
+        i += P_ACC;
+    }
+    let mut sum = ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7]));
+    while i < len {
+        sum = a[i].mul_add(b[i], sum);
+        i += 1;
+    }
+    sum
+}
+
+/// Runs the SIMD dot product directly; `None` when this CPU has no
+/// SIMD path. Public for the dispatch-agreement tests.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+#[cfg(target_arch = "x86_64")]
+pub fn dot_fast_simd(a: &[f32], b: &[f32]) -> Option<f32> {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    if !avx2::available() {
+        return None;
+    }
+    // SAFETY: `available()` just confirmed AVX2 and FMA on this CPU,
+    // and the equal-length assert above bounds every vector load.
+    Some(unsafe { avx2::dot(a, b) })
+}
+
+/// NEON variant of [`dot_fast_simd`] — see the x86_64 docs.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+#[cfg(target_arch = "aarch64")]
+pub fn dot_fast_simd(a: &[f32], b: &[f32]) -> Option<f32> {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    // SAFETY: NEON is a baseline aarch64 feature, and the equal-length
+    // assert above bounds every vector load.
+    Some(unsafe { neon::dot(a, b) })
+}
+
+/// No-SIMD variant of [`dot_fast_simd`]: always `None`.
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+pub fn dot_fast_simd(a: &[f32], b: &[f32]) -> Option<f32> {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    None
+}
+
+/// AVX2+FMA microkernels, reached only behind the runtime feature
+/// check in the dispatchers above.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::*;
+
+    /// Rows per register tile (×16 columns = 8 ymm accumulators).
+    const MR: usize = 4;
+    /// Columns per register tile (two ymm vectors).
+    const NR: usize = 16;
+
+    pub(super) fn available() -> bool {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+
+    /// `c += a · b` with 4×16 register tiles: 8 ymm accumulators, two
+    /// `b` loads and four `a` broadcasts per `k` step, all FMA.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2+FMA support at runtime and that
+    /// `a`, `b`, `c` hold exactly `m·k`, `k·n`, `m·n` elements.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        let (ap, bp, cp) = (a.as_ptr(), b.as_ptr(), c.as_mut_ptr());
+        let nr = n - n % NR;
+        let mr = m - m % MR;
+        // j-outer so one k×16 column panel of `b` stays L1-resident
+        // while every row tile streams over it; `a` is small and hot.
+        let mut j = 0;
+        while j < nr {
+            let mut i = 0;
+            while i < mr {
+                // SAFETY: i+MR ≤ m and j+NR ≤ n, so every offset the
+                // tile touches is in bounds per the caller's contract.
+                unsafe { tile_4x16(i, j, k, n, ap, bp, cp) };
+                i += MR;
+            }
+            while i < m {
+                // SAFETY: i < m and j+NR ≤ n — in bounds as above.
+                unsafe { tile_1x16(i, j, k, n, ap, bp, cp) };
+                i += 1;
+            }
+            j += NR;
+        }
+        // Ragged column tail (< NR wide): scalar, still FMA-contracted
+        // because `mul_add` compiles to vfmadd under this target_feature.
+        if nr < n {
+            for i in 0..m {
+                for kk in 0..k {
+                    let av = a[i * k + kk];
+                    let b_row = &b[kk * n + nr..(kk + 1) * n];
+                    let c_row = &mut c[i * n + nr..(i + 1) * n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                        *cv = av.mul_add(bv, *cv);
+                    }
+                }
+            }
+        }
+    }
+
+    /// One 4×16 tile of [`gemm`].
+    ///
+    /// # Safety
+    /// AVX2+FMA verified by the caller; `i + 4 ≤ m`, `j + 16 ≤ n`, and
+    /// the pointers cover `m·k` / `k·n` / `m·n` elements.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn tile_4x16(
+        i: usize,
+        j: usize,
+        k: usize,
+        n: usize,
+        a: *const f32,
+        b: *const f32,
+        c: *mut f32,
+    ) {
+        // SAFETY: all offsets below stay inside the caller-guaranteed
+        // bounds: rows i..i+4, columns j..j+16, depth 0..k.
+        unsafe {
+            let mut acc00 = _mm256_loadu_ps(c.add(i * n + j));
+            let mut acc01 = _mm256_loadu_ps(c.add(i * n + j + 8));
+            let mut acc10 = _mm256_loadu_ps(c.add((i + 1) * n + j));
+            let mut acc11 = _mm256_loadu_ps(c.add((i + 1) * n + j + 8));
+            let mut acc20 = _mm256_loadu_ps(c.add((i + 2) * n + j));
+            let mut acc21 = _mm256_loadu_ps(c.add((i + 2) * n + j + 8));
+            let mut acc30 = _mm256_loadu_ps(c.add((i + 3) * n + j));
+            let mut acc31 = _mm256_loadu_ps(c.add((i + 3) * n + j + 8));
+            for kk in 0..k {
+                let b0 = _mm256_loadu_ps(b.add(kk * n + j));
+                let b1 = _mm256_loadu_ps(b.add(kk * n + j + 8));
+                let a0 = _mm256_set1_ps(*a.add(i * k + kk));
+                acc00 = _mm256_fmadd_ps(a0, b0, acc00);
+                acc01 = _mm256_fmadd_ps(a0, b1, acc01);
+                let a1 = _mm256_set1_ps(*a.add((i + 1) * k + kk));
+                acc10 = _mm256_fmadd_ps(a1, b0, acc10);
+                acc11 = _mm256_fmadd_ps(a1, b1, acc11);
+                let a2 = _mm256_set1_ps(*a.add((i + 2) * k + kk));
+                acc20 = _mm256_fmadd_ps(a2, b0, acc20);
+                acc21 = _mm256_fmadd_ps(a2, b1, acc21);
+                let a3 = _mm256_set1_ps(*a.add((i + 3) * k + kk));
+                acc30 = _mm256_fmadd_ps(a3, b0, acc30);
+                acc31 = _mm256_fmadd_ps(a3, b1, acc31);
+            }
+            _mm256_storeu_ps(c.add(i * n + j), acc00);
+            _mm256_storeu_ps(c.add(i * n + j + 8), acc01);
+            _mm256_storeu_ps(c.add((i + 1) * n + j), acc10);
+            _mm256_storeu_ps(c.add((i + 1) * n + j + 8), acc11);
+            _mm256_storeu_ps(c.add((i + 2) * n + j), acc20);
+            _mm256_storeu_ps(c.add((i + 2) * n + j + 8), acc21);
+            _mm256_storeu_ps(c.add((i + 3) * n + j), acc30);
+            _mm256_storeu_ps(c.add((i + 3) * n + j + 8), acc31);
+        }
+    }
+
+    /// One 1×16 row-tail tile of [`gemm`].
+    ///
+    /// # Safety
+    /// AVX2+FMA verified by the caller; `i < m`, `j + 16 ≤ n`, and the
+    /// pointers cover `m·k` / `k·n` / `m·n` elements.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn tile_1x16(
+        i: usize,
+        j: usize,
+        k: usize,
+        n: usize,
+        a: *const f32,
+        b: *const f32,
+        c: *mut f32,
+    ) {
+        // SAFETY: all offsets below stay inside the caller-guaranteed
+        // bounds: row i, columns j..j+16, depth 0..k.
+        unsafe {
+            let mut acc0 = _mm256_loadu_ps(c.add(i * n + j));
+            let mut acc1 = _mm256_loadu_ps(c.add(i * n + j + 8));
+            for kk in 0..k {
+                let av = _mm256_set1_ps(*a.add(i * k + kk));
+                acc0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b.add(kk * n + j)), acc0);
+                acc1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b.add(kk * n + j + 8)), acc1);
+            }
+            _mm256_storeu_ps(c.add(i * n + j), acc0);
+            _mm256_storeu_ps(c.add(i * n + j + 8), acc1);
+        }
+    }
+
+    /// 32-lane (4 ymm accumulator) FMA dot product.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2+FMA support at runtime;
+    /// `a.len() == b.len()` is asserted by every caller.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let len = a.len();
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        // SAFETY: every vector load below reads 8 lanes at an offset
+        // bounded by the step checks against `len`.
+        unsafe {
+            let mut acc0 = _mm256_setzero_ps();
+            let mut acc1 = _mm256_setzero_ps();
+            let mut acc2 = _mm256_setzero_ps();
+            let mut acc3 = _mm256_setzero_ps();
+            let l32 = len - len % 32;
+            let mut i = 0;
+            while i < l32 {
+                acc0 =
+                    _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+                acc1 = _mm256_fmadd_ps(
+                    _mm256_loadu_ps(ap.add(i + 8)),
+                    _mm256_loadu_ps(bp.add(i + 8)),
+                    acc1,
+                );
+                acc2 = _mm256_fmadd_ps(
+                    _mm256_loadu_ps(ap.add(i + 16)),
+                    _mm256_loadu_ps(bp.add(i + 16)),
+                    acc2,
+                );
+                acc3 = _mm256_fmadd_ps(
+                    _mm256_loadu_ps(ap.add(i + 24)),
+                    _mm256_loadu_ps(bp.add(i + 24)),
+                    acc3,
+                );
+                i += 32;
+            }
+            let l8 = len - len % 8;
+            while i < l8 {
+                acc0 =
+                    _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+                i += 8;
+            }
+            let s = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
+            let q = _mm_add_ps(_mm256_castps256_ps128(s), _mm256_extractf128_ps(s, 1));
+            let h = _mm_add_ps(q, _mm_movehl_ps(q, q));
+            let mut sum = _mm_cvtss_f32(_mm_add_ss(h, _mm_shuffle_ps(h, h, 1)));
+            while i < len {
+                sum = a[i].mul_add(b[i], sum);
+                i += 1;
+            }
+            sum
+        }
+    }
+}
+
+/// NEON microkernels. NEON is baseline on aarch64, so no runtime
+/// detection is needed — the dispatchers call these unconditionally.
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use std::arch::aarch64::*;
+
+    /// Rows per register tile (×16 columns = 16 q-register accumulators).
+    const MR: usize = 4;
+    /// Columns per register tile (four q vectors).
+    const NR: usize = 16;
+
+    /// `c += a · b` with 4×16 register tiles of `vfmaq_f32` lanes.
+    ///
+    /// # Safety
+    ///
+    /// `a`, `b`, `c` must hold exactly `m·k`, `k·n`, `m·n` elements.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        let (ap, bp, cp) = (a.as_ptr(), b.as_ptr(), c.as_mut_ptr());
+        let nr = n - n % NR;
+        let mr = m - m % MR;
+        // j-outer so one k×16 column panel of `b` stays cache-resident
+        // while every row tile streams over it (see the AVX2 twin).
+        let mut j = 0;
+        while j < nr {
+            let mut i = 0;
+            while i < mr {
+                // SAFETY: i+MR ≤ m and j+NR ≤ n — every offset the tile
+                // touches is in bounds per the caller's contract.
+                unsafe { tile(i, MR, j, k, n, ap, bp, cp) };
+                i += MR;
+            }
+            while i < m {
+                // SAFETY: i < m and j+NR ≤ n — in bounds as above.
+                unsafe { tile(i, 1, j, k, n, ap, bp, cp) };
+                i += 1;
+            }
+            j += NR;
+        }
+        if nr < n {
+            for i in 0..m {
+                for kk in 0..k {
+                    let av = a[i * k + kk];
+                    let b_row = &b[kk * n + nr..(kk + 1) * n];
+                    let c_row = &mut c[i * n + nr..(i + 1) * n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                        *cv = av.mul_add(bv, *cv);
+                    }
+                }
+            }
+        }
+    }
+
+    /// One `rows`×16 tile of [`gemm`] (`rows` ≤ [`MR`]).
+    ///
+    /// # Safety
+    /// `i + rows ≤ m`, `j + 16 ≤ n`, and the pointers cover `m·k` /
+    /// `k·n` / `m·n` elements.
+    #[target_feature(enable = "neon")]
+    unsafe fn tile(
+        i: usize,
+        rows: usize,
+        j: usize,
+        k: usize,
+        n: usize,
+        a: *const f32,
+        b: *const f32,
+        c: *mut f32,
+    ) {
+        // SAFETY: all offsets below stay inside the caller-guaranteed
+        // bounds: rows i..i+rows, columns j..j+16, depth 0..k.
+        unsafe {
+            let mut acc = [[vdupq_n_f32(0.0); 4]; MR];
+            for (r, row) in acc.iter_mut().enumerate().take(rows) {
+                for (q, v) in row.iter_mut().enumerate() {
+                    *v = vld1q_f32(c.add((i + r) * n + j + 4 * q));
+                }
+            }
+            for kk in 0..k {
+                let bq = [
+                    vld1q_f32(b.add(kk * n + j)),
+                    vld1q_f32(b.add(kk * n + j + 4)),
+                    vld1q_f32(b.add(kk * n + j + 8)),
+                    vld1q_f32(b.add(kk * n + j + 12)),
+                ];
+                for (r, row) in acc.iter_mut().enumerate().take(rows) {
+                    let av = vdupq_n_f32(*a.add((i + r) * k + kk));
+                    for (q, v) in row.iter_mut().enumerate() {
+                        *v = vfmaq_f32(*v, av, bq[q]);
+                    }
+                }
+            }
+            for (r, row) in acc.iter().enumerate().take(rows) {
+                for (q, v) in row.iter().enumerate() {
+                    vst1q_f32(c.add((i + r) * n + j + 4 * q), *v);
+                }
+            }
+        }
+    }
+
+    /// 16-lane (4 q-register accumulator) FMA dot product.
+    ///
+    /// # Safety
+    ///
+    /// `a.len() == b.len()` is asserted by every caller.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let len = a.len();
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        // SAFETY: every vector load below reads 4 lanes at an offset
+        // bounded by the step checks against `len`.
+        unsafe {
+            let mut acc0 = vdupq_n_f32(0.0);
+            let mut acc1 = vdupq_n_f32(0.0);
+            let mut acc2 = vdupq_n_f32(0.0);
+            let mut acc3 = vdupq_n_f32(0.0);
+            let l16 = len - len % 16;
+            let mut i = 0;
+            while i < l16 {
+                acc0 = vfmaq_f32(acc0, vld1q_f32(ap.add(i)), vld1q_f32(bp.add(i)));
+                acc1 = vfmaq_f32(acc1, vld1q_f32(ap.add(i + 4)), vld1q_f32(bp.add(i + 4)));
+                acc2 = vfmaq_f32(acc2, vld1q_f32(ap.add(i + 8)), vld1q_f32(bp.add(i + 8)));
+                acc3 = vfmaq_f32(acc3, vld1q_f32(ap.add(i + 12)), vld1q_f32(bp.add(i + 12)));
+                i += 16;
+            }
+            let l4 = len - len % 4;
+            while i < l4 {
+                acc0 = vfmaq_f32(acc0, vld1q_f32(ap.add(i)), vld1q_f32(bp.add(i)));
+                i += 4;
+            }
+            let mut sum = vaddvq_f32(vaddq_f32(vaddq_f32(acc0, acc1), vaddq_f32(acc2, acc3)));
+            while i < len {
+                sum = a[i].mul_add(b[i], sum);
+                i += 1;
+            }
+            sum
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{dot, gemm};
+
+    /// `2·γ(k)` bound on |fast − exact| relative to `Σ|aᵢ·bᵢ|`.
+    fn sum_bound(k: usize, abs_dot: f32) -> f32 {
+        let eps = f32::EPSILON as f64 / 2.0;
+        let gamma = (k as f64 * eps) / (1.0 - k as f64 * eps);
+        (2.0 * gamma * abs_dot as f64) as f32 + f32::MIN_POSITIVE
+    }
+
+    fn fill(seed: u32, len: usize, zero_every: usize) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                if zero_every != 0 && i % zero_every == 0 {
+                    0.0
+                } else {
+                    ((i as f32) * 0.731 + seed as f32).sin()
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fast_gemm_within_summation_bound_of_exact() {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 7, 5),
+            (4, 75, 16),
+            (5, 33, 37),
+            (16, 75, 64),
+        ] {
+            let a = fill(1, m * k, 7);
+            let b = fill(2, k * n, 0);
+            let mut c_exact: Vec<f32> = fill(3, m * n, 0);
+            let mut c_fast = c_exact.clone();
+            let mut c_port = c_exact.clone();
+            gemm(m, k, n, &a, &b, &mut c_exact);
+            gemm_fast(m, k, n, &a, &b, &mut c_fast);
+            gemm_fast_portable(m, k, n, &a, &b, &mut c_port);
+            for i in 0..m {
+                for j in 0..n {
+                    let abs_dot: f32 = (0..k).map(|kk| (a[i * k + kk] * b[kk * n + j]).abs()).sum();
+                    let bound = sum_bound(k + 1, abs_dot);
+                    let e = c_exact[i * n + j];
+                    assert!(
+                        (c_fast[i * n + j] - e).abs() <= bound,
+                        "dispatched fast gemm out of bound at ({i},{j}) for {m}x{k}x{n}"
+                    );
+                    assert!(
+                        (c_port[i * n + j] - e).abs() <= bound,
+                        "portable fast gemm out of bound at ({i},{j}) for {m}x{k}x{n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_dot_and_matvec_within_bound() {
+        for &len in &[0usize, 1, 3, 8, 31, 32, 33, 100] {
+            let a = fill(4, len, 5);
+            let b = fill(5, len, 0);
+            let exact = dot(&a, &b);
+            let abs_dot: f32 = a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum();
+            let bound = sum_bound(len.max(1), abs_dot);
+            assert!(
+                (dot_fast(&a, &b) - exact).abs() <= bound,
+                "dot_fast len={len}"
+            );
+            assert!(
+                (dot_fast_portable(&a, &b) - exact).abs() <= bound,
+                "dot_fast_portable len={len}"
+            );
+        }
+        let (out_dim, in_dim) = (5, 37);
+        let w = fill(6, out_dim * in_dim, 9);
+        let x = fill(7, in_dim, 0);
+        let bias = fill(8, out_dim, 0);
+        let exact = crate::gemm::matvec(out_dim, in_dim, &w, &x, Some(&bias));
+        let mut out = vec![0.0f32; out_dim];
+        matvec_fast_into(out_dim, in_dim, &w, &x, Some(&bias), &mut out);
+        for (o, (&fast, &ex)) in out.iter().zip(&exact).enumerate() {
+            let row = &w[o * in_dim..(o + 1) * in_dim];
+            let abs_dot: f32 = row.iter().zip(&x).map(|(a, b)| (a * b).abs()).sum();
+            assert!(
+                (fast - ex).abs() <= sum_bound(in_dim + 1, abs_dot + bias[o].abs()),
+                "matvec_fast_into row {o}"
+            );
+        }
+    }
+
+    #[test]
+    fn dispatch_label_is_stable() {
+        let l = dispatch_label();
+        assert!(
+            ["avx2+fma", "neon", "portable"].contains(&l),
+            "unknown label {l}"
+        );
+    }
+}

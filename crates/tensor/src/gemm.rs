@@ -182,6 +182,83 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
+/// [`gemm`] under the two-tier contract: `Exact` runs the bit-exact
+/// scalar reference, `Fast` runs [`crate::fast::gemm_fast`].
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given dimensions.
+pub fn gemm_tier(
+    tier: crate::KernelTier,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    match tier {
+        crate::KernelTier::Exact => gemm(m, k, n, a, b, c),
+        crate::KernelTier::Fast => crate::fast::gemm_fast(m, k, n, a, b, c),
+    }
+}
+
+/// [`gemm_tiled`] under the two-tier contract: `Exact` runs the
+/// bit-exact cache-blocked kernel, `Fast` runs
+/// [`crate::fast::gemm_fast`] (the fast tier has no separate tiled
+/// variant — its register tiling subsumes the cache blocking at the
+/// shapes this workspace runs).
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given dimensions.
+pub fn gemm_tiled_tier(
+    tier: crate::KernelTier,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    match tier {
+        crate::KernelTier::Exact => gemm_tiled(m, k, n, a, b, c),
+        crate::KernelTier::Fast => crate::fast::gemm_fast(m, k, n, a, b, c),
+    }
+}
+
+/// [`matvec_into`] under the two-tier contract.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the dimensions.
+pub fn matvec_into_tier(
+    tier: crate::KernelTier,
+    out_dim: usize,
+    in_dim: usize,
+    w: &[f32],
+    x: &[f32],
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+) {
+    match tier {
+        crate::KernelTier::Exact => matvec_into(out_dim, in_dim, w, x, bias, out),
+        crate::KernelTier::Fast => crate::fast::matvec_fast_into(out_dim, in_dim, w, x, bias, out),
+    }
+}
+
+/// [`dot`] under the two-tier contract.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot_tier(tier: crate::KernelTier, a: &[f32], b: &[f32]) -> f32 {
+    match tier {
+        crate::KernelTier::Exact => dot(a, b),
+        crate::KernelTier::Fast => crate::fast::dot_fast(a, b),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -27,10 +27,13 @@
 //! ```
 
 pub mod conv;
+pub mod fast;
 pub mod gemm;
 pub mod pool;
 mod tensor;
+mod tier;
 mod validate;
 
 pub use tensor::Tensor;
+pub use tier::KernelTier;
 pub use validate::TensorError;
